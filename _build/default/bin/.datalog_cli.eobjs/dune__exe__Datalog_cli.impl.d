@@ -1,0 +1,1 @@
+bin/datalog_cli.ml: Arg Array Bench_util Cmd Cmdliner Dl_io Dl_stats Engine Eval Filename Format List Parser Plan Pool Printf Storage Stratify String Term

@@ -1,0 +1,1 @@
+bin/datalog_cli.mli:

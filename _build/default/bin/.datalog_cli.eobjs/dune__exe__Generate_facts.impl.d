@@ -1,0 +1,1 @@
+bin/generate_facts.ml: Arg Array Ast Cmd Cmdliner Filename Format Hashtbl List Network_gen Pointsto_gen Printf Rng String Sys Term Unix

@@ -1,0 +1,117 @@
+(* Command-line Datalog runner: evaluate a .dl file with a chosen relation
+   storage and thread count, print output relation sizes or contents.
+
+     datalog_cli run program.dl --storage btree --threads 4 --print path
+*)
+
+open Cmdliner
+
+let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir =
+  match Storage.kind_of_name storage with
+  | None ->
+    Printf.eprintf "unknown storage kind %S (try: btree, btree-nohints, \
+                    rbtree, hashset, bplus, tbb)\n" storage;
+    exit 2
+  | Some kind -> (
+    match Parser.parse_file file with
+    | exception Parser.Syntax_error { line; col; message } ->
+      Printf.eprintf "%s:%d:%d: syntax error: %s\n" file line col message;
+      exit 1
+    | prog -> (
+      match Engine.create ~kind ~instrument:show_stats ~profile:show_profile prog with
+      | exception Plan.Compile_error m ->
+        Printf.eprintf "%s: compile error: %s\n" file m;
+        exit 1
+      | exception Stratify.Not_stratifiable m ->
+        Printf.eprintf "%s: not stratifiable: %s\n" file m;
+        exit 1
+      | engine ->
+        (match facts_dir with
+        | Some dir ->
+          List.iter
+            (fun (rel, n) -> Printf.printf "loaded %d facts into %s\n" n rel)
+            (Dl_io.load_facts_dir engine dir)
+        | None -> ());
+        let t0 = Bench_util.wall () in
+        Pool.with_pool threads (fun pool -> Engine.run engine pool);
+        let elapsed = Bench_util.wall () -. t0 in
+        let outputs =
+          match Engine.output_relations engine with
+          | [] -> Engine.relations engine
+          | l -> l
+        in
+        List.iter
+          (fun name ->
+            Printf.printf "%s: %d tuples\n" name (Engine.relation_size engine name))
+          outputs;
+        List.iter
+          (fun name ->
+            Printf.printf "--- %s ---\n" name;
+            Engine.iter_relation engine name (fun tup ->
+                print_endline
+                  (String.concat "\t"
+                     (Array.to_list (Array.map string_of_int tup)))))
+          print_rels;
+        (match output_dir with
+        | Some dir ->
+          List.iter
+            (fun (rel, n) ->
+              Printf.printf "wrote %d tuples to %s\n" n
+                (Filename.concat dir (rel ^ ".csv")))
+            (Dl_io.write_outputs engine ~dir)
+        | None -> ());
+        if show_stats then (
+          match Engine.stats engine with
+          | Some s -> Format.printf "stats: %a@." Dl_stats.pp s
+          | None -> ());
+        if show_profile then begin
+          print_endline "rule profile (hottest first):";
+          List.iter
+            (fun (p : Eval.rule_profile) ->
+              Printf.printf "  %8.3fs  %4d evals  %s%s\n" p.Eval.rp_seconds
+                p.Eval.rp_evaluations
+                (if p.Eval.rp_delta then "[delta] " else "[seed]  ")
+                p.Eval.rp_rule)
+            (Engine.rule_profile engine)
+        end;
+        Printf.printf "evaluated in %.3fs (%d iterations, storage=%s, threads=%d)\n"
+          elapsed (Engine.iterations engine) (Storage.kind_name kind) threads))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.dl")
+
+let storage_arg =
+  Arg.(value & opt string "btree" & info [ "storage"; "s" ] ~docv:"KIND"
+         ~doc:"Relation storage: btree, btree-nohints, rbtree, hashset, bplus, tbb.")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "threads"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for parallel evaluation.")
+
+let print_arg =
+  Arg.(value & opt_all string [] & info [ "print"; "p" ] ~docv:"RELATION"
+         ~doc:"Print the contents of this relation (repeatable).")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print operation statistics (Table 2 counters).")
+
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ] ~doc:"Print per-rule evaluation times.")
+
+let facts_arg =
+  Arg.(value & opt (some dir) None & info [ "facts"; "F" ] ~docv:"DIR"
+         ~doc:"Load <DIR>/<relation>.facts (TSV) for every input relation.")
+
+let output_arg =
+  Arg.(value & opt (some dir) None & info [ "output"; "D" ] ~docv:"DIR"
+         ~doc:"Write every output relation to <DIR>/<relation>.csv (TSV).")
+
+let cmd =
+  let doc = "evaluate a Datalog program with the specialized concurrent B-tree engine" in
+  Cmd.v
+    (Cmd.info "datalog_cli" ~doc)
+    Term.(
+      const run_program $ file_arg $ storage_arg $ threads_arg $ print_arg
+      $ stats_arg $ profile_arg $ facts_arg $ output_arg)
+
+let () = exit (Cmd.eval cmd)

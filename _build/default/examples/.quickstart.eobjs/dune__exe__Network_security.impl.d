@@ -1,0 +1,1 @@
+examples/network_security.ml: Array Bench_util Dl_stats Domain Engine Hashtbl List Network_gen Option Pool Printf Rng

@@ -1,0 +1,1 @@
+examples/points_to.ml: Array Bench_util Dl_stats Domain Engine Eval Hashtbl List Option Pointsto_gen Pool Printf Rng Storage

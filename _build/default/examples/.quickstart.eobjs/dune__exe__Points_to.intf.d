@@ -1,0 +1,1 @@
+examples/points_to.mli:

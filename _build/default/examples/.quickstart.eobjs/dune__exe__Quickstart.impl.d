@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bench_util Btree Domain Key List Printf

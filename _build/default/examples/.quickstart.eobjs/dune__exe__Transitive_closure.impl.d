@@ -1,0 +1,1 @@
+examples/transitive_closure.ml: Array Bench_util Domain Engine Graphs List Parser Pool Printf Rng Storage

@@ -1,0 +1,1 @@
+lib/alttrees/bslack_tree.ml: Array Key List Olock Printf

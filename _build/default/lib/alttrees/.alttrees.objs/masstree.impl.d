@@ -1,0 +1,1 @@
+lib/alttrees/masstree.ml: Array Key List Olock Printf

@@ -1,0 +1,1 @@
+lib/alttrees/masstree.mli: Key

@@ -1,0 +1,1 @@
+lib/alttrees/palm_tree.ml: Array Bplus_tree Key Olock

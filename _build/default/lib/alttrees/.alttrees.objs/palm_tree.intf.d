@@ -1,0 +1,1 @@
+lib/alttrees/palm_tree.mli: Key

@@ -1,0 +1,275 @@
+(* Relaxed-fill B+-tree: on leaf overflow, shed a key to the left or right
+   sibling when possible (adjusting the parent separator); split only when
+   both siblings are full.  Node key arrays reserve one slack slot so the
+   overflowing key can be placed before rebalancing. *)
+
+module Make (K : Key.ORDERED) = struct
+  type key = K.t
+
+  type node = {
+    keys : key array; (* length capacity + 1: one slot of slack *)
+    mutable nkeys : int;
+    children : node array; (* [||] = leaf; length capacity + 2 otherwise *)
+  }
+
+  type t = {
+    lock : Olock.Spin.t;
+    capacity : int;
+    mutable root : node option;
+    mutable count : int;
+  }
+
+  let create ?(node_capacity = 32) () =
+    if node_capacity < 4 then
+      invalid_arg "Bslack_tree.create: node_capacity must be >= 4";
+    { lock = Olock.Spin.create (); capacity = node_capacity; root = None; count = 0 }
+
+  let alloc_leaf t =
+    { keys = Array.make (t.capacity + 1) K.dummy; nkeys = 0; children = [||] }
+
+  let dummy_node = { keys = [||]; nkeys = 0; children = [||] }
+
+  let alloc_inner t =
+    {
+      keys = Array.make (t.capacity + 1) K.dummy;
+      nkeys = 0;
+      children = Array.make (t.capacity + 2) dummy_node;
+    }
+
+  let is_leaf n = Array.length n.children = 0
+
+  let lower_idx keys n key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare (Array.unsafe_get keys mid) key < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  let upper_idx keys n key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare (Array.unsafe_get keys mid) key <= 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  (* ---- overflow resolution (caller holds the lock) ---- *)
+
+  (* Move one key from the overflowing leaf [c] (child [ci] of [p]) to its
+     left sibling; separator between them becomes [c]'s new minimum. *)
+  let shed_left p ci c =
+    let l = p.children.(ci - 1) in
+    l.keys.(l.nkeys) <- c.keys.(0);
+    l.nkeys <- l.nkeys + 1;
+    Array.blit c.keys 1 c.keys 0 (c.nkeys - 1);
+    c.nkeys <- c.nkeys - 1;
+    p.keys.(ci - 1) <- c.keys.(0)
+
+  (* Move one key from the overflowing leaf [c] to its right sibling. *)
+  let shed_right p ci c =
+    let r = p.children.(ci + 1) in
+    let k = c.keys.(c.nkeys - 1) in
+    Array.blit r.keys 0 r.keys 1 r.nkeys;
+    r.keys.(0) <- k;
+    r.nkeys <- r.nkeys + 1;
+    c.nkeys <- c.nkeys - 1;
+    p.keys.(ci) <- k
+
+  (* Split child [ci] of [p]; [p] has a slack slot so this cannot fail.
+     Returns whether [p] itself is now overflowing. *)
+  let split_child p ci c =
+    let half = (c.nkeys + 1) / 2 in
+    let right =
+      if is_leaf c then
+        { keys = Array.make (Array.length c.keys) c.keys.(0); nkeys = 0; children = [||] }
+      else
+        {
+          keys = Array.make (Array.length c.keys) c.keys.(0);
+          nkeys = 0;
+          children = Array.make (Array.length c.children) dummy_node;
+        }
+    in
+    let sep =
+      if is_leaf c then begin
+        let rcount = c.nkeys - half in
+        Array.blit c.keys half right.keys 0 rcount;
+        right.nkeys <- rcount;
+        c.nkeys <- half;
+        right.keys.(0)
+      end
+      else begin
+        let s = c.keys.(half) in
+        let rcount = c.nkeys - half - 1 in
+        Array.blit c.keys (half + 1) right.keys 0 rcount;
+        Array.blit c.children (half + 1) right.children 0 (rcount + 1);
+        right.nkeys <- rcount;
+        c.nkeys <- half;
+        s
+      end
+    in
+    let n = p.nkeys in
+    Array.blit p.keys ci p.keys (ci + 1) (n - ci);
+    p.keys.(ci) <- sep;
+    Array.blit p.children (ci + 1) p.children (ci + 2) (n - ci);
+    p.children.(ci + 1) <- right;
+    p.nkeys <- n + 1
+
+  let insert_locked t key =
+    (match t.root with
+    | None -> t.root <- Some (alloc_leaf t)
+    | Some _ -> ());
+    let root = match t.root with Some r -> r | None -> assert false in
+    (* descend recording the path *)
+    let path = ref [] in
+    let rec descend node =
+      if is_leaf node then node
+      else begin
+        let ci = upper_idx node.keys node.nkeys key in
+        path := (node, ci) :: !path;
+        descend node.children.(ci)
+      end
+    in
+    let leaf = descend root in
+    let i = lower_idx leaf.keys leaf.nkeys key in
+    if i < leaf.nkeys && K.compare leaf.keys.(i) key = 0 then false
+    else begin
+      Array.blit leaf.keys i leaf.keys (i + 1) (leaf.nkeys - i);
+      leaf.keys.(i) <- key;
+      leaf.nkeys <- leaf.nkeys + 1;
+      t.count <- t.count + 1;
+      (* resolve overflow bottom-up *)
+      let rec fix node path =
+        if node.nkeys > t.capacity then
+          match path with
+          | [] ->
+            (* root overflow: grow the tree *)
+            let nr = alloc_inner t in
+            nr.children.(0) <- node;
+            split_child nr 0 node;
+            t.root <- Some nr
+          | (p, ci) :: rest ->
+            (* slack rebalancing only at the leaf level, where it pays for
+               itself in fill grade; inner overflow splits directly *)
+            if
+              is_leaf node && ci > 0
+              && p.children.(ci - 1).nkeys < t.capacity
+            then shed_left p ci node
+            else if
+              is_leaf node && ci < p.nkeys
+              && p.children.(ci + 1).nkeys < t.capacity
+            then shed_right p ci node
+            else begin
+              split_child p ci node;
+              fix p rest
+            end
+      in
+      fix leaf !path;
+      true
+    end
+
+  let insert t key = Olock.Spin.with_lock t.lock (fun () -> insert_locked t key)
+
+  let mem_unlocked t key =
+    match t.root with
+    | None -> false
+    | Some root ->
+      let rec go node =
+        if is_leaf node then
+          let i = lower_idx node.keys node.nkeys key in
+          i < node.nkeys && K.compare node.keys.(i) key = 0
+        else go node.children.(upper_idx node.keys node.nkeys key)
+      in
+      go root
+
+  let mem t key = Olock.Spin.with_lock t.lock (fun () -> mem_unlocked t key)
+  let cardinal t = t.count
+
+  let iter f t =
+    match t.root with
+    | None -> ()
+    | Some root ->
+      let rec go node =
+        if is_leaf node then
+          for i = 0 to node.nkeys - 1 do
+            f node.keys.(i)
+          done
+        else
+          for i = 0 to node.nkeys do
+            go node.children.(i)
+          done
+      in
+      go root
+
+  let to_list t =
+    let acc = ref [] in
+    iter (fun k -> acc := k :: !acc) t;
+    List.rev !acc
+
+  let fill_grade t =
+    match t.root with
+    | None -> 0.0
+    | Some root ->
+      let elems = ref 0 and slots = ref 0 in
+      let rec go node =
+        if is_leaf node then begin
+          elems := !elems + node.nkeys;
+          slots := !slots + t.capacity
+        end
+        else
+          for i = 0 to node.nkeys do
+            go node.children.(i)
+          done
+      in
+      go root;
+      if !slots = 0 then 0.0 else float_of_int !elems /. float_of_int !slots
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    match t.root with
+    | None -> if t.count <> 0 then fail "empty tree, count %d" t.count
+    | Some root ->
+      let leaf_depth = ref (-1) in
+      let rec go node depth lo hi =
+        let n = node.nkeys in
+        if n > t.capacity then fail "overflow survived";
+        for i = 0 to n - 2 do
+          if K.compare node.keys.(i) node.keys.(i + 1) >= 0 then
+            fail "keys out of order"
+        done;
+        if n > 0 then begin
+          (match lo with
+          | Some b -> if K.compare node.keys.(0) b < 0 then fail "lo violated"
+          | None -> ());
+          match hi with
+          | Some b ->
+            if K.compare node.keys.(n - 1) b >= 0 then fail "hi violated"
+          | None -> ()
+        end;
+        if is_leaf node then begin
+          if !leaf_depth = -1 then leaf_depth := depth
+          else if !leaf_depth <> depth then fail "leaves at different depths"
+        end
+        else begin
+          if n = 0 then fail "inner without separators";
+          for i = 0 to n do
+            let lo = if i = 0 then lo else Some node.keys.(i - 1) in
+            let hi = if i = n then hi else Some node.keys.(i) in
+            go node.children.(i) (depth + 1) lo hi
+          done
+        end
+      in
+      go root 0 None None;
+      let n = ref 0 and prev = ref None in
+      iter
+        (fun k ->
+          incr n;
+          (match !prev with
+          | Some p -> if K.compare p k >= 0 then fail "iteration out of order"
+          | None -> ());
+          prev := Some k)
+        t;
+      if !n <> t.count then fail "count %d <> enumerated %d" t.count !n
+end

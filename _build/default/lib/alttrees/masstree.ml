@@ -1,0 +1,341 @@
+(* Concurrent B+-tree with optimistic version locks (OLC).
+
+   Fast path: optimistic descent under read leases; leaf insert by lease
+   upgrade when the leaf has room.  Slow path (full leaf, or any validation
+   failure): pessimistic top-down descent with write-lock coupling and
+   preemptive splits — at most two nodes are write-locked at any moment and
+   locks are acquired strictly top-down, so the scheme is deadlock-free and
+   never needs parent pointers. *)
+
+module Make (K : Key.ORDERED) = struct
+  type key = K.t
+
+  type node = {
+    lock : Olock.t;
+    keys : key array;
+    mutable nkeys : int;
+    children : node array; (* [||] = leaf; separator i = min of child i+1 *)
+  }
+
+  type t = {
+    root_lock : Olock.t;
+    mutable root : node;
+    capacity : int;
+  }
+
+  let sentinel =
+    { lock = Olock.create (); keys = [||]; nkeys = 0; children = [||] }
+
+  let is_leaf n = Array.length n.children = 0
+
+  let alloc_leaf t =
+    {
+      lock = Olock.create ();
+      keys = Array.make t.capacity K.dummy;
+      nkeys = 0;
+      children = [||];
+    }
+
+  let alloc_inner t =
+    {
+      lock = Olock.create ();
+      keys = Array.make t.capacity K.dummy;
+      nkeys = 0;
+      children = Array.make (t.capacity + 1) sentinel;
+    }
+
+  let create ?(node_capacity = 32) () =
+    if node_capacity < 4 then
+      invalid_arg "Masstree.create: node_capacity must be >= 4";
+    { root_lock = Olock.create (); root = sentinel; capacity = node_capacity }
+
+  let clamped_nkeys n =
+    let k = n.nkeys in
+    if k < 0 then 0
+    else
+      let cap = Array.length n.keys in
+      if k > cap then cap else k
+
+  (* smallest index with keys.(i) >= key *)
+  let lower_idx keys n key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare (Array.unsafe_get keys mid) key < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  (* smallest index with keys.(i) > key; the inner-node routing function *)
+  let upper_idx keys n key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare (Array.unsafe_get keys mid) key <= 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  let leaf_insert leaf key =
+    let i = lower_idx leaf.keys leaf.nkeys key in
+    if i < leaf.nkeys && K.compare leaf.keys.(i) key = 0 then false
+    else begin
+      Array.blit leaf.keys i leaf.keys (i + 1) (leaf.nkeys - i);
+      leaf.keys.(i) <- key;
+      leaf.nkeys <- leaf.nkeys + 1;
+      true
+    end
+
+  (* Split the full child at slot [ci] of the write-locked [parent]; the
+     child must be write-locked too.  Returns the new right sibling, freshly
+     write-locked (it is unreachable until the parent update, which we
+     perform while holding the parent's lock, so the try always succeeds). *)
+  let split_child t parent ci child =
+    let right = if is_leaf child then alloc_leaf t else alloc_inner t in
+    let got = Olock.try_start_write right.lock in
+    assert got;
+    let sep =
+      if is_leaf child then begin
+        let mid = child.nkeys / 2 in
+        let rcount = child.nkeys - mid in
+        Array.blit child.keys mid right.keys 0 rcount;
+        right.nkeys <- rcount;
+        child.nkeys <- mid;
+        right.keys.(0) (* copy-up: separator = min of right leaf *)
+      end
+      else begin
+        let mid = child.nkeys / 2 in
+        let s = child.keys.(mid) in
+        let rcount = child.nkeys - mid - 1 in
+        Array.blit child.keys (mid + 1) right.keys 0 rcount;
+        Array.blit child.children (mid + 1) right.children 0 (rcount + 1);
+        right.nkeys <- rcount;
+        child.nkeys <- mid;
+        s (* move-up *)
+      end
+    in
+    let n = parent.nkeys in
+    Array.blit parent.keys ci parent.keys (ci + 1) (n - ci);
+    parent.keys.(ci) <- sep;
+    Array.blit parent.children (ci + 1) parent.children (ci + 2) (n - ci);
+    parent.children.(ci + 1) <- right;
+    parent.nkeys <- n + 1;
+    right
+
+  let ensure_root t =
+    while t.root == sentinel do
+      if Olock.try_start_write t.root_lock then begin
+        if t.root == sentinel then t.root <- alloc_leaf t;
+        Olock.end_write t.root_lock
+      end
+    done
+
+  (* Pessimistic insert: write-lock coupling from the root downward,
+     preemptively splitting every full node met on the way. *)
+  let insert_pessimistic t key =
+    Olock.start_write t.root_lock;
+    let root = t.root in
+    Olock.start_write root.lock;
+    let cur =
+      if root.nkeys >= t.capacity then begin
+        (* grow the tree; the old root becomes child 0 of a new root *)
+        let nr = alloc_inner t in
+        let got = Olock.try_start_write nr.lock in
+        assert got;
+        nr.children.(0) <- root;
+        let right = split_child t nr 0 root in
+        t.root <- nr;
+        Olock.end_write t.root_lock;
+        (* descend into the proper half *)
+        let ci = upper_idx nr.keys nr.nkeys key in
+        let target = nr.children.(ci) in
+        (* target is root or right, both locked; release the others *)
+        if target == root then Olock.end_write right.lock
+        else Olock.end_write root.lock;
+        Olock.end_write nr.lock;
+        target
+      end
+      else begin
+        Olock.end_write t.root_lock;
+        root
+      end
+    in
+    (* invariant: [cur] is write-locked and not full *)
+    let rec go cur =
+      if is_leaf cur then begin
+        let added = leaf_insert cur key in
+        Olock.end_write cur.lock;
+        added
+      end
+      else begin
+        let ci = upper_idx cur.keys cur.nkeys key in
+        let child = cur.children.(ci) in
+        Olock.start_write child.lock;
+        if child.nkeys >= t.capacity then begin
+          let right = split_child t cur ci child in
+          let ci' = upper_idx cur.keys cur.nkeys key in
+          let target = cur.children.(ci') in
+          if target == child then Olock.end_write right.lock
+          else Olock.end_write child.lock;
+          Olock.end_write cur.lock;
+          go target
+        end
+        else begin
+          Olock.end_write cur.lock;
+          go child
+        end
+      end
+    in
+    go cur
+
+  (* Optimistic fast path; falls back on any validation failure or when the
+     target leaf is full. *)
+  let rec insert_optimistic t key attempts =
+    if attempts = 0 then insert_pessimistic t key
+    else begin
+      let retry () = insert_optimistic t key (attempts - 1) in
+      let rec locate_root () =
+        let rl = Olock.start_read t.root_lock in
+        let cur = t.root in
+        let cl = Olock.start_read cur.lock in
+        if Olock.end_read t.root_lock rl then (cur, cl) else locate_root ()
+      in
+      let rec descend cur cl =
+        let n = clamped_nkeys cur in
+        if is_leaf cur then
+          if cur.nkeys >= t.capacity then
+            if Olock.valid cur.lock cl then insert_pessimistic t key
+            else retry ()
+          else if not (Olock.try_upgrade_to_write cur.lock cl) then retry ()
+          else if cur.nkeys >= t.capacity then begin
+            Olock.end_write cur.lock;
+            insert_pessimistic t key
+          end
+          else begin
+            let added = leaf_insert cur key in
+            Olock.end_write cur.lock;
+            added
+          end
+        else begin
+          let ci = upper_idx cur.keys n key in
+          let child = cur.children.(ci) in
+          if not (Olock.valid cur.lock cl) then retry ()
+          else begin
+            let chl = Olock.start_read child.lock in
+            if not (Olock.valid cur.lock cl) then retry ()
+            else descend child chl
+          end
+        end
+      in
+      let cur, cl = locate_root () in
+      descend cur cl
+    end
+
+  let insert t key =
+    ensure_root t;
+    insert_optimistic t key 3
+
+  let mem t key =
+    if t.root == sentinel then false
+    else begin
+      let rec attempt () =
+        let rec locate_root () =
+          let rl = Olock.start_read t.root_lock in
+          let cur = t.root in
+          let cl = Olock.start_read cur.lock in
+          if Olock.end_read t.root_lock rl then (cur, cl) else locate_root ()
+        in
+        let rec descend cur cl =
+          let n = clamped_nkeys cur in
+          if is_leaf cur then begin
+            let i = lower_idx cur.keys n key in
+            let found = i < n && K.compare cur.keys.(i) key = 0 in
+            if Olock.valid cur.lock cl then found else attempt ()
+          end
+          else begin
+            let ci = upper_idx cur.keys n key in
+            let child = cur.children.(ci) in
+            if not (Olock.valid cur.lock cl) then attempt ()
+            else begin
+              let chl = Olock.start_read child.lock in
+              if not (Olock.valid cur.lock cl) then attempt ()
+              else descend child chl
+            end
+          end
+        in
+        let cur, cl = locate_root () in
+        descend cur cl
+      in
+      attempt ()
+    end
+
+  let iter f t =
+    if t.root != sentinel then begin
+      let rec go node =
+        if is_leaf node then
+          for i = 0 to node.nkeys - 1 do
+            f node.keys.(i)
+          done
+        else
+          for i = 0 to node.nkeys do
+            go node.children.(i)
+          done
+      in
+      go t.root
+    end
+
+  let cardinal t =
+    let n = ref 0 in
+    iter (fun _ -> incr n) t;
+    !n
+
+  let to_list t =
+    let acc = ref [] in
+    iter (fun k -> acc := k :: !acc) t;
+    List.rev !acc
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    if t.root != sentinel then begin
+      let leaf_depth = ref (-1) in
+      let rec go node depth lo hi =
+        let n = node.nkeys in
+        if n > t.capacity then fail "node overflow";
+        for i = 0 to n - 2 do
+          if K.compare node.keys.(i) node.keys.(i + 1) >= 0 then
+            fail "keys out of order"
+        done;
+        if n > 0 then begin
+          (match lo with
+          | Some b -> if K.compare node.keys.(0) b < 0 then fail "lo violated"
+          | None -> ());
+          match hi with
+          | Some b ->
+            if K.compare node.keys.(n - 1) b >= 0 then fail "hi violated"
+          | None -> ()
+        end;
+        if is_leaf node then begin
+          if !leaf_depth = -1 then leaf_depth := depth
+          else if !leaf_depth <> depth then fail "leaves at different depths"
+        end
+        else begin
+          if n = 0 then fail "inner node without separators";
+          for i = 0 to n do
+            let lo = if i = 0 then lo else Some node.keys.(i - 1) in
+            let hi = if i = n then hi else Some node.keys.(i) in
+            if node.children.(i) == sentinel then fail "sentinel child";
+            go node.children.(i) (depth + 1) lo hi
+          done
+        end
+      in
+      go t.root 0 None None;
+      let prev = ref None in
+      iter
+        (fun k ->
+          (match !prev with
+          | Some p -> if K.compare p k >= 0 then fail "iteration out of order"
+          | None -> ());
+          prev := Some k)
+        t
+    end
+end

@@ -1,0 +1,37 @@
+(** Simplified Masstree (Mao et al., EuroSys'12) for the Table 3 comparison.
+
+    Masstree is a trie of B+-trees over 8-byte key segments with optimistic
+    per-node version locks.  For the fixed-width integer keys of Table 3 the
+    trie collapses to a single layer, so this reproduction is that layer: a
+    concurrent B+-tree with per-node optimistic version locks, optimistic
+    reads validated against node versions, and a pessimistic top-down
+    lock-coupling descent (with preemptive splits) when an insert needs to
+    restructure.  No operation hints, no two-phase specialisation — i.e. a
+    good {e generic} concurrent ordered set, which is exactly the role it
+    plays against the specialized B-tree.
+
+    The original's client/server architecture and persistence layer are out
+    of scope (see DESIGN.md). *)
+
+module Make (K : Key.ORDERED) : sig
+  type key = K.t
+  type t
+
+  val create : ?node_capacity:int -> unit -> t
+
+  val insert : t -> key -> bool
+  (** Thread-safe; [true] iff the key was absent. *)
+
+  val mem : t -> key -> bool
+  (** Thread-safe, including against concurrent inserts (validated
+      optimistic reads). *)
+
+  val cardinal : t -> int
+  (** Quiescent use. *)
+
+  val iter : (key -> unit) -> t -> unit
+  (** In-order; quiescent use. *)
+
+  val to_list : t -> key list
+  val check_invariants : t -> unit
+end

@@ -1,0 +1,63 @@
+(* Batch-synchronous B+-tree in the spirit of PALM: clients enqueue
+   operations into a shared buffer; a full buffer triggers a round that
+   sorts the batch, removes intra-batch duplicates, and applies the
+   remainder in ascending order to the underlying B+-tree. *)
+
+module Make (K : Key.ORDERED) = struct
+  type key = K.t
+
+  module Tree = Bplus_tree.Make (K)
+
+  type t = {
+    lock : Olock.Spin.t;       (* protects buffer and tree during rounds *)
+    mutable buffer : key array;
+    mutable buffered : int;
+    tree : Tree.t;
+  }
+
+  let create ?(batch_size = 4096) ?(node_capacity = 32) () =
+    if batch_size < 1 then invalid_arg "Palm_tree.create: batch_size >= 1";
+    {
+      lock = Olock.Spin.create ();
+      buffer = Array.make batch_size K.dummy;
+      buffered = 0;
+      tree = Tree.create ~node_capacity ();
+    }
+
+  (* caller holds [lock] *)
+  let flush_locked t =
+    if t.buffered > 0 then begin
+      let batch = Array.sub t.buffer 0 t.buffered in
+      t.buffered <- 0;
+      Array.sort K.compare batch;
+      (* apply in order; duplicates (intra-batch and vs the tree) are
+         silently absorbed by the set semantics of the tree *)
+      Array.iter (fun k -> ignore (Tree.insert t.tree k : bool)) batch
+    end
+
+  let flush t = Olock.Spin.with_lock t.lock (fun () -> flush_locked t)
+
+  let insert t k =
+    Olock.Spin.with_lock t.lock (fun () ->
+        t.buffer.(t.buffered) <- k;
+        t.buffered <- t.buffered + 1;
+        if t.buffered >= Array.length t.buffer then flush_locked t)
+
+  let mem t k =
+    Olock.Spin.with_lock t.lock (fun () ->
+        flush_locked t;
+        Tree.mem t.tree k)
+
+  let cardinal t =
+    Olock.Spin.with_lock t.lock (fun () ->
+        flush_locked t;
+        Tree.cardinal t.tree)
+
+  let iter f t =
+    flush t;
+    Tree.iter f t.tree
+
+  let check_invariants t =
+    flush t;
+    Tree.check_invariants t.tree
+end

@@ -1,0 +1,1 @@
+lib/baselines/bplus_tree.ml: Array Key List Printf

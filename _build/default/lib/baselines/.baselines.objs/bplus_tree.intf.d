@@ -1,0 +1,1 @@
+lib/baselines/bplus_tree.mli: Key

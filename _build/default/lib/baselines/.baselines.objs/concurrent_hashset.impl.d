@@ -1,0 +1,1 @@
+lib/baselines/concurrent_hashset.ml: Array Hashset Key Olock

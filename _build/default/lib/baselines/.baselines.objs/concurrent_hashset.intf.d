@@ -1,0 +1,1 @@
+lib/baselines/concurrent_hashset.mli: Key

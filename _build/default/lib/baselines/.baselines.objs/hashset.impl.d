@@ -1,0 +1,1 @@
+lib/baselines/hashset.ml: Array Bytes Key Printf

@@ -1,0 +1,1 @@
+lib/baselines/hashset.mli: Key

@@ -1,0 +1,1 @@
+lib/baselines/locked_set.ml: Mutex Set_intf

@@ -1,0 +1,1 @@
+lib/baselines/locked_set.mli: Set_intf

@@ -1,0 +1,1 @@
+lib/baselines/rbtree.ml: Key List Printf

@@ -1,0 +1,1 @@
+lib/baselines/rbtree.mli: Key

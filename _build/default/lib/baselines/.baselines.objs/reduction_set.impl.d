@@ -1,0 +1,1 @@
+lib/baselines/reduction_set.ml: Array Bplus_tree Key Pool

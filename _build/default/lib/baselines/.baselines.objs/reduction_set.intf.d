@@ -1,0 +1,1 @@
+lib/baselines/reduction_set.mli: Bplus_tree Key Pool

@@ -1,0 +1,1 @@
+lib/baselines/set_intf.ml:

@@ -1,0 +1,11 @@
+module Make (S : Set_intf.S) = struct
+  type key = S.key
+  type t = { base : S.t; mutex : Mutex.t }
+
+  let wrap base = { base; mutex = Mutex.create () }
+  let create () = wrap (S.create ())
+  let insert t k = Mutex.protect t.mutex (fun () -> S.insert t.base k)
+  let mem t k = Mutex.protect t.mutex (fun () -> S.mem t.base k)
+  let cardinal t = Mutex.protect t.mutex (fun () -> S.cardinal t.base)
+  let iter f t = Mutex.protect t.mutex (fun () -> S.iter f t.base)
+end

@@ -1,0 +1,14 @@
+(** Global-lock adapter: makes any sequential set thread-safe by serialising
+    every operation through one mutex.
+
+    This realises the paper's "google btree (global lock)" parallel
+    contestant — the configuration that predictably fails to scale in
+    Fig. 4 — and the globally locked engine configurations of Fig. 5. *)
+
+module Make (S : Set_intf.S) : sig
+  include Set_intf.S with type key = S.key
+
+  val wrap : S.t -> t
+  (** Protect an existing structure (e.g. one built with a non-default
+      constructor). *)
+end

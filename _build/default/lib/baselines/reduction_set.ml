@@ -1,0 +1,60 @@
+module Make (K : Key.ORDERED) = struct
+  type key = K.t
+
+  module Tree = Bplus_tree.Make (K)
+
+  (* k-way merge by repeated pairwise merging (k is the worker count, so a
+     tournament tree would be over-engineering). *)
+  let merge2 a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let out = Array.make (la + lb) a.(0) in
+      let i = ref 0 and j = ref 0 and o = ref 0 in
+      let push k =
+        if !o = 0 || K.compare out.(!o - 1) k < 0 then begin
+          out.(!o) <- k;
+          incr o
+        end
+      in
+      while !i < la && !j < lb do
+        let c = K.compare a.(!i) b.(!j) in
+        if c <= 0 then begin
+          push a.(!i);
+          incr i;
+          if c = 0 then incr j
+        end
+        else begin
+          push b.(!j);
+          incr j
+        end
+      done;
+      while !i < la do
+        push a.(!i);
+        incr i
+      done;
+      while !j < lb do
+        push b.(!j);
+        incr j
+      done;
+      Array.sub out 0 !o
+    end
+
+  let merge_sorted runs = Array.fold_left merge2 [||] runs
+
+  let build pool keys =
+    let n = Array.length keys in
+    let runs =
+      Pool.parallel_reduce pool 0 n
+        ~init:(fun () -> Tree.create ())
+        ~body:(fun tree i ->
+          ignore (Tree.insert tree keys.(i) : bool);
+          tree)
+        ~combine:(fun a b ->
+          (* pairwise reduction merge: rebuild from the merged sorted runs *)
+          let m = merge2 (Tree.to_sorted_array a) (Tree.to_sorted_array b) in
+          Tree.of_sorted_array m)
+    in
+    runs
+end

@@ -1,0 +1,14 @@
+(** Minimal common interface of the set data structures, used to wrap any of
+    them behind a global lock ({!Locked_set}) and to write structure-generic
+    tests and benchmark drivers. *)
+
+module type S = sig
+  type key
+  type t
+
+  val create : unit -> t
+  val insert : t -> key -> bool
+  val mem : t -> key -> bool
+  val cardinal : t -> int
+  val iter : (key -> unit) -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Key List Olock Printf

@@ -1,0 +1,1 @@
+lib/btree/btree_seq.ml: Array Key List Printf

@@ -1,0 +1,1 @@
+lib/btree/btree_tuples.ml: Array List Olock Printf

@@ -1,0 +1,1 @@
+lib/btree/key.ml: Array Int64 Printf Stdlib String

@@ -1,0 +1,1012 @@
+(* Concurrent B-tree with optimistic read-write locking and operation hints.
+
+   Structure: a classic B-tree — elements live in inner nodes as well as
+   leaves, an inner node with [k] elements has [k + 1] children.  Nodes are
+   never deleted, moved or converted between leaf and inner, which is the
+   property that makes optimistic traversal and hint pointers safe.
+
+   Synchronisation (Algorithm 1 / 2 of the paper):
+   - every node carries an optimistic read-write lock; the tree carries an
+     extra [root_lock] protecting the root pointer;
+   - insertion descends taking read leases only, validating a node's lease
+     before acting on anything read from it (in particular before descending
+     through a child pointer);
+   - at the target leaf the lease is upgraded to an exclusive write permit by
+     compare-and-swap; failure of any validation or upgrade restarts the
+     insertion from the root;
+   - splits write-lock the ancestor path bottom-up (re-checking the parent
+     pointer after each acquisition, since a concurrent split of the parent
+     may have moved the child), perform the split, and unlock top-down.
+
+   Memory-model note.  Payload fields ([keys], [nkeys], [children], [parent],
+   [position]) are plain mutable fields read racily during optimistic
+   descent.  OCaml's memory model defines such races (a read yields some
+   value previously written, never a wild pointer), so the only extra care
+   needed is bounds-clamping of racily read counters before they are used as
+   indices; semantic inconsistency is caught by lease validation, whose
+   [Atomic] accesses provide the acquire/release edges of the Boehm seqlock
+   recipe. *)
+
+module Make (K : Key.ORDERED) = struct
+  type key = K.t
+
+  type node = {
+    lock : Olock.t;
+    mutable parent : node option; (* covered by the parent's lock *)
+    mutable position : int;       (* index in parent.children; ditto *)
+    keys : key array;             (* length = capacity *)
+    mutable nkeys : int;
+    children : node array;        (* length = capacity + 1, or [||] for leaves *)
+    (* Whether this leaf is the first/last leaf of the whole tree.  Lets the
+       hint coverage check extend the edge leaves' ranges to infinity ("weak
+       coverage"), which is what makes hints effective on the append-heavy
+       ordered workloads Datalog produces.  A leaf's edge status only changes
+       when that leaf itself splits, so the flags are covered by the leaf's
+       own lock — unlike the parent-walk Soufflé uses in its sequential tree,
+       this is sound under concurrent optimistic readers. *)
+    mutable leftmost : bool;
+    mutable rightmost : bool;
+  }
+
+  type t = {
+    root_lock : Olock.t;
+    mutable root : node; (* == sentinel while the tree is empty *)
+    capacity : int;
+    binary : bool;
+  }
+
+  let default_capacity = 24
+
+  (* Placeholder stored in unused child slots and in [t.root] of an empty
+     tree.  It is a 0-key leaf, so accidentally descending into it during a
+     racy read is harmless: the search finds nothing and validation fails. *)
+  let sentinel =
+    {
+      lock = Olock.create ();
+      parent = None;
+      position = 0;
+      keys = [||];
+      nkeys = 0;
+      children = [||];
+      leftmost = false;
+      rightmost = false;
+    }
+
+  let is_leaf n = Array.length n.children = 0
+
+  let alloc_leaf t =
+    {
+      lock = Olock.create ();
+      parent = None;
+      position = 0;
+      keys = Array.make t.capacity K.dummy;
+      nkeys = 0;
+      children = [||];
+      leftmost = false;
+      rightmost = false;
+    }
+
+  let alloc_inner t =
+    {
+      lock = Olock.create ();
+      parent = None;
+      position = 0;
+      keys = Array.make t.capacity K.dummy;
+      nkeys = 0;
+      children = Array.make (t.capacity + 1) sentinel;
+      leftmost = false;
+      rightmost = false;
+    }
+
+  let create ?(capacity = default_capacity) ?(binary_search = false) () =
+    if capacity < 3 then invalid_arg "Btree.create: capacity must be >= 3";
+    { root_lock = Olock.create (); root = sentinel; capacity; binary = binary_search }
+
+  (* Clamp a racily read key count into the valid index range of [n]. *)
+  let clamped_nkeys n =
+    let k = n.nkeys in
+    if k < 0 then 0
+    else
+      let cap = Array.length n.keys in
+      if k > cap then cap else k
+
+  (* [search_ge keys n key] is [(i, found)] where [i] is the smallest index
+     in [0, n) with [keys.(i) >= key] (or [n] if none) and [found] tells
+     whether [keys.(i) = key].  [i] doubles as the descent child index. *)
+  let search_ge_linear keys n key =
+    let rec go i =
+      if i >= n then (n, false)
+      else
+        let c = K.compare key (Array.unsafe_get keys i) in
+        if c > 0 then go (i + 1) else (i, c = 0)
+    in
+    go 0
+
+  let search_ge_binary keys n key =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare (Array.unsafe_get keys mid) key < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    let i = !lo in
+    (i, i < n && K.compare (Array.unsafe_get keys i) key = 0)
+
+  let search t keys n key =
+    if t.binary then search_ge_binary keys n key else search_ge_linear keys n key
+
+  (* Smallest index with [keys.(i) > key], or [n]. *)
+  let search_gt keys n key =
+    let rec go i =
+      if i >= n then n
+      else if K.compare (Array.unsafe_get keys i) key > 0 then i
+      else go (i + 1)
+    in
+    go 0
+
+  (* ------------------------------------------------------------------ *)
+  (* Hints (section 3.2)                                                *)
+  (* ------------------------------------------------------------------ *)
+
+  type hints = {
+    mutable insert_leaf : node;
+    mutable find_leaf : node;
+    mutable lb_leaf : node;
+    mutable ub_leaf : node;
+    mutable h_insert_hits : int;
+    mutable h_insert_misses : int;
+    mutable h_find_hits : int;
+    mutable h_find_misses : int;
+    mutable h_lb_hits : int;
+    mutable h_lb_misses : int;
+    mutable h_ub_hits : int;
+    mutable h_ub_misses : int;
+  }
+
+  let make_hints () =
+    {
+      insert_leaf = sentinel;
+      find_leaf = sentinel;
+      lb_leaf = sentinel;
+      ub_leaf = sentinel;
+      h_insert_hits = 0;
+      h_insert_misses = 0;
+      h_find_hits = 0;
+      h_find_misses = 0;
+      h_lb_hits = 0;
+      h_lb_misses = 0;
+      h_ub_hits = 0;
+      h_ub_misses = 0;
+    }
+
+  type hint_stats = {
+    insert_hits : int;
+    insert_misses : int;
+    find_hits : int;
+    find_misses : int;
+    lower_bound_hits : int;
+    lower_bound_misses : int;
+    upper_bound_hits : int;
+    upper_bound_misses : int;
+  }
+
+  let hint_stats h =
+    {
+      insert_hits = h.h_insert_hits;
+      insert_misses = h.h_insert_misses;
+      find_hits = h.h_find_hits;
+      find_misses = h.h_find_misses;
+      lower_bound_hits = h.h_lb_hits;
+      lower_bound_misses = h.h_lb_misses;
+      upper_bound_hits = h.h_ub_hits;
+      upper_bound_misses = h.h_ub_misses;
+    }
+
+  let reset_hint_stats h =
+    h.h_insert_hits <- 0;
+    h.h_insert_misses <- 0;
+    h.h_find_hits <- 0;
+    h.h_find_misses <- 0;
+    h.h_lb_hits <- 0;
+    h.h_lb_misses <- 0;
+    h.h_ub_hits <- 0;
+    h.h_ub_misses <- 0
+
+  let merge_hint_stats l =
+    List.fold_left
+      (fun a b ->
+        {
+          insert_hits = a.insert_hits + b.insert_hits;
+          insert_misses = a.insert_misses + b.insert_misses;
+          find_hits = a.find_hits + b.find_hits;
+          find_misses = a.find_misses + b.find_misses;
+          lower_bound_hits = a.lower_bound_hits + b.lower_bound_hits;
+          lower_bound_misses = a.lower_bound_misses + b.lower_bound_misses;
+          upper_bound_hits = a.upper_bound_hits + b.upper_bound_hits;
+          upper_bound_misses = a.upper_bound_misses + b.upper_bound_misses;
+        })
+      {
+        insert_hits = 0;
+        insert_misses = 0;
+        find_hits = 0;
+        find_misses = 0;
+        lower_bound_hits = 0;
+        lower_bound_misses = 0;
+        upper_bound_hits = 0;
+        upper_bound_misses = 0;
+      }
+      l
+
+  let hit_rate s =
+    let hits =
+      s.insert_hits + s.find_hits + s.lower_bound_hits + s.upper_bound_hits
+    in
+    let total =
+      hits + s.insert_misses + s.find_misses + s.lower_bound_misses
+      + s.upper_bound_misses
+    in
+    if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+  (* A leaf "covers" [key] when [key] falls within its responsibility range;
+     in a classic B-tree no inner separator can fall strictly inside a leaf's
+     range, so a covering leaf is authoritative for [key].  The first/last
+     leaf of the tree covers everything below/above its keys ("weak
+     coverage"), which makes hints hit on append-style ordered streams. *)
+  let covers n nk key =
+    nk > 0
+    && (n.leftmost || K.compare n.keys.(0) key <= 0)
+    && (n.rightmost || K.compare key n.keys.(nk - 1) <= 0)
+
+  (* ------------------------------------------------------------------ *)
+  (* Splitting (Algorithm 2)                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  type locked_ancestor = Anc_node of node | Anc_root
+
+  (* Write-lock [cur]'s parent, re-reading the parent pointer after each
+     acquisition: a concurrent split of the old parent may have moved [cur]
+     under a new one.  [cur] itself must already be write-locked by the
+     caller, which rules out the None <-> Some transitions. *)
+  let lock_parent t cur =
+    match cur.parent with
+    | None ->
+      Olock.start_write t.root_lock;
+      Anc_root
+    | Some p ->
+      let rec acquire p =
+        Olock.start_write p.lock;
+        match cur.parent with
+        | Some p' when p' == p -> Anc_node p
+        | Some p' ->
+          Olock.abort_write p.lock;
+          acquire p'
+        | None ->
+          (* unreachable: a node's parent is cleared only never — roots are
+             the only parentless nodes and [cur] is write-locked *)
+          Olock.abort_write p.lock;
+          assert false
+      in
+      acquire p
+
+  (* Lock ancestors bottom-up until a non-full node or the root lock;
+     returns them bottom-up (immediate parent first). *)
+  let lock_path t node =
+    let rec go cur acc =
+      match lock_parent t cur with
+      | Anc_root -> List.rev (Anc_root :: acc)
+      | Anc_node p ->
+        if p.nkeys < t.capacity then List.rev (Anc_node p :: acc)
+        else go p (Anc_node p :: acc)
+    in
+    go node []
+
+  let unlock_path t path =
+    List.iter
+      (fun a ->
+        match a with
+        | Anc_node p -> Olock.end_write p.lock
+        | Anc_root -> Olock.end_write t.root_lock)
+      (List.rev path)
+
+  (* Split a full, write-locked (or not yet published) node around its
+     median; returns [(median, right_sibling)].  Children moved to the right
+     sibling get their parent/position fields updated — both are covered by
+     the old parent's lock, which we hold. *)
+  let split_node t node =
+    let cap = t.capacity in
+    let mid = cap / 2 in
+    let median = node.keys.(mid) in
+    let right = if is_leaf node then alloc_leaf t else alloc_inner t in
+    let rcount = cap - mid - 1 in
+    Array.blit node.keys (mid + 1) right.keys 0 rcount;
+    right.nkeys <- rcount;
+    if not (is_leaf node) then begin
+      Array.blit node.children (mid + 1) right.children 0 (rcount + 1);
+      for i = 0 to rcount do
+        let c = right.children.(i) in
+        c.parent <- Some right;
+        c.position <- i
+      done
+    end;
+    node.nkeys <- mid;
+    right.rightmost <- node.rightmost;
+    node.rightmost <- false;
+    (median, right)
+
+  (* Insert separator [median] and its right subtree [right] just after the
+     child [cur] of the write-locked, non-full node [p]. *)
+  let link_sibling p cur right median =
+    let i = cur.position in
+    let n = p.nkeys in
+    Array.blit p.keys i p.keys (i + 1) (n - i);
+    p.keys.(i) <- median;
+    Array.blit p.children (i + 1) p.children (i + 2) (n - i);
+    p.children.(i + 1) <- right;
+    p.nkeys <- n + 1;
+    right.parent <- Some p;
+    for j = i + 1 to n + 1 do
+      p.children.(j).position <- j
+    done
+
+  (* Propagate a split upward along the locked [path]: every path node except
+     the last is full and is split in turn; the final node (or a fresh root)
+     absorbs the last separator. *)
+  let rec insert_into_parent t path cur right median =
+    match path with
+    | [] -> assert false
+    | Anc_root :: _ ->
+      (* [cur] is the root: grow the tree by one level. *)
+      let new_root = alloc_inner t in
+      new_root.keys.(0) <- median;
+      new_root.nkeys <- 1;
+      new_root.children.(0) <- cur;
+      new_root.children.(1) <- right;
+      cur.parent <- Some new_root;
+      cur.position <- 0;
+      right.parent <- Some new_root;
+      right.position <- 1;
+      t.root <- new_root
+    | Anc_node p :: rest ->
+      if p.nkeys >= t.capacity then begin
+        let p_median, p_right = split_node t p in
+        insert_into_parent t rest p p_right p_median;
+        (* [split_node] redirected moved children, so [cur.parent] now names
+           whichever half [cur] landed in. *)
+        let q = match cur.parent with Some q -> q | None -> assert false in
+        link_sibling q cur right median
+      end
+      else link_sibling p cur right median
+
+  (* Split the full node [node] (write-locked by the caller, who also
+     releases that lock afterwards, cf. Algorithm 1 line 41). *)
+  let split t node =
+    let path = lock_path t node in
+    let median, right = split_node t node in
+    insert_into_parent t path node right median;
+    unlock_path t path
+
+  (* ------------------------------------------------------------------ *)
+  (* Insertion (Algorithm 1)                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Safely create the root node of an empty tree (Algorithm 1, lines 2-9). *)
+  let ensure_root t =
+    while t.root == sentinel do
+      if Olock.try_start_write t.root_lock then begin
+        if t.root == sentinel then begin
+          let leaf = alloc_leaf t in
+          leaf.leftmost <- true;
+          leaf.rightmost <- true;
+          t.root <- leaf
+        end;
+        Olock.end_write t.root_lock
+      end
+    done
+
+  (* Insert [key] at index [idx] of the write-locked, non-full leaf. *)
+  let insert_in_leaf leaf idx key =
+    let n = leaf.nkeys in
+    Array.blit leaf.keys idx leaf.keys (idx + 1) (n - idx);
+    leaf.keys.(idx) <- key;
+    leaf.nkeys <- n + 1
+
+  (* Full insertion: optimistic descent from the root.  Returns whether the
+     key was new, plus the leaf finally touched (to refresh hints); the leaf
+     is [sentinel] when the duplicate was discovered in an inner node. *)
+  let rec insert_slow t key =
+    (* Obtain the root and a lease on it, validating the root pointer
+       (Algorithm 1, lines 13-17). *)
+    let rec locate_root () =
+      let root_lease = Olock.start_read t.root_lock in
+      let cur = t.root in
+      let cur_lease = Olock.start_read cur.lock in
+      if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
+      else locate_root ()
+    in
+    let cur, cur_lease = locate_root () in
+    descend t key cur cur_lease
+
+  and descend t key cur cur_lease =
+    let n = clamped_nkeys cur in
+    let idx, found = search t cur.keys n key in
+    if found then begin
+      (* value already present — if the observation was consistent *)
+      if Olock.valid cur.lock cur_lease then (false, sentinel)
+      else insert_slow t key
+    end
+    else if not (is_leaf cur) then begin
+      let next = cur.children.(idx) in
+      if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+      else begin
+        let next_lease = Olock.start_read next.lock in
+        if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+        else descend t key next next_lease
+      end
+    end
+    else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+      insert_slow t key
+    else if cur.nkeys >= t.capacity then begin
+      split t cur;
+      Olock.end_write cur.lock;
+      insert_slow t key
+    end
+    else begin
+      (* The upgrade CAS certifies the node is unchanged since the lease, so
+         [idx]/[found] computed above are still accurate. *)
+      insert_in_leaf cur idx key;
+      Olock.end_write cur.lock;
+      (true, cur)
+    end
+
+  (* One attempt to insert directly at the hinted leaf. *)
+  type hint_attempt = Done of bool | Fallback
+
+  let try_insert_at t leaf key =
+    let lease = Olock.start_read leaf.lock in
+    let n = clamped_nkeys leaf in
+    if not (covers leaf n key && Olock.valid leaf.lock lease) then Fallback
+    else begin
+      let idx, found = search t leaf.keys n key in
+      if found then
+        if Olock.valid leaf.lock lease then Done false else Fallback
+      else if not (Olock.try_upgrade_to_write leaf.lock lease) then Fallback
+      else if leaf.nkeys >= t.capacity then begin
+        (* Bottom-up split locking starts from the hinted leaf — the very
+           compatibility property of section 3.2. *)
+        split t leaf;
+        Olock.end_write leaf.lock;
+        Fallback
+      end
+      else begin
+        insert_in_leaf leaf idx key;
+        Olock.end_write leaf.lock;
+        Done true
+      end
+    end
+
+  let insert ?hints t key =
+    ensure_root t;
+    match hints with
+    | None -> fst (insert_slow t key)
+    | Some h ->
+      let attempt =
+        if h.insert_leaf == sentinel then Fallback
+        else try_insert_at t h.insert_leaf key
+      in
+      (match attempt with
+      | Done b ->
+        h.h_insert_hits <- h.h_insert_hits + 1;
+        b
+      | Fallback ->
+        h.h_insert_misses <- h.h_insert_misses + 1;
+        let inserted, leaf = insert_slow t key in
+        if leaf != sentinel then h.insert_leaf <- leaf;
+        inserted)
+
+  (* ------------------------------------------------------------------ *)
+  (* Read operations (read phase: no synchronisation needed)            *)
+  (* ------------------------------------------------------------------ *)
+
+  let mem ?hints t key =
+    let slow () =
+      let rec go node last_leaf =
+        if node == sentinel then (false, last_leaf)
+        else
+          let n = clamped_nkeys node in
+          let idx, found = search t node.keys n key in
+          if found then (true, if is_leaf node then node else last_leaf)
+          else if is_leaf node then (false, node)
+          else go node.children.(idx) last_leaf
+      in
+      go t.root sentinel
+    in
+    match hints with
+    | None -> fst (slow ())
+    | Some h ->
+      let leaf = h.find_leaf in
+      let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
+      if nk > 0 && covers leaf nk key then begin
+        h.h_find_hits <- h.h_find_hits + 1;
+        snd (search t leaf.keys nk key)
+      end
+      else begin
+        h.h_find_misses <- h.h_find_misses + 1;
+        let r, l = slow () in
+        if l != sentinel then h.find_leaf <- l;
+        r
+      end
+
+  let is_empty t = t.root == sentinel || (t.root.nkeys = 0 && is_leaf t.root)
+
+  let rec min_node n = if is_leaf n then n else min_node n.children.(0)
+  let rec max_node n = if is_leaf n then n else max_node n.children.(n.nkeys)
+
+  let min_elt t =
+    if is_empty t then None
+    else
+      let n = min_node t.root in
+      Some n.keys.(0)
+
+  let max_elt t =
+    if is_empty t then None
+    else
+      let n = max_node t.root in
+      Some n.keys.(n.nkeys - 1)
+
+  (* Generic bound query: [strict = false] gives lower_bound (>=), [strict =
+     true] gives upper_bound (>).  At each node, [g] is the index of the
+     smallest qualifying element; the answer is either inside [children.(g)]
+     (whose range ends just below [keys.(g)]) or [keys.(g)] itself.
+     [visited], when given, receives the leaf the descent ends in — used to
+     refresh hints without a second traversal. *)
+  let bound_visit ?visited ~strict t key =
+    let rec go node best =
+      if node == sentinel then best
+      else
+        let n = clamped_nkeys node in
+        if is_leaf node then (
+          match visited with Some r -> r := node | None -> ());
+        let idx, found = search t node.keys n key in
+        if found && not strict then Some key
+        else
+          let g = if strict then search_gt node.keys n key else idx in
+          if is_leaf node then if g < n then Some node.keys.(g) else best
+          else
+            let best = if g < n then Some node.keys.(g) else best in
+            go node.children.(g) best
+    in
+    go t.root None
+
+  let bound ~strict t key = bound_visit ~strict t key
+
+  let bound_hinted ~strict ?hints t key =
+    match hints with
+    | None -> bound ~strict t key
+    | Some h ->
+      let leaf = if strict then h.ub_leaf else h.lb_leaf in
+      let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
+      (* A covering leaf answers bound queries authoritatively, except when
+         the answer would be past its last key — the successor then lives in
+         an ancestor — unless the leaf is rightmost (then there is none). *)
+      let usable =
+        nk > 0
+        && (leaf.leftmost || K.compare leaf.keys.(0) key <= 0)
+        &&
+        let c = K.compare key leaf.keys.(nk - 1) in
+        if strict then c < 0 || leaf.rightmost else c <= 0 || leaf.rightmost
+      in
+      if usable then begin
+        let idx =
+          if strict then search_gt leaf.keys nk key
+          else fst (search t leaf.keys nk key)
+        in
+        if strict then h.h_ub_hits <- h.h_ub_hits + 1
+        else h.h_lb_hits <- h.h_lb_hits + 1;
+        if idx < nk then Some leaf.keys.(idx) else None
+      end
+      else begin
+        if strict then h.h_ub_misses <- h.h_ub_misses + 1
+        else h.h_lb_misses <- h.h_lb_misses + 1;
+        (* the query's own descent refreshes the hint *)
+        let visited = ref sentinel in
+        let r = bound_visit ~visited ~strict t key in
+        if !visited != sentinel then
+          if strict then h.ub_leaf <- !visited else h.lb_leaf <- !visited;
+        r
+      end
+
+  let lower_bound ?hints t key = bound_hinted ~strict:false ?hints t key
+  let upper_bound ?hints t key = bound_hinted ~strict:true ?hints t key
+
+  let iter f t =
+    let rec go node =
+      if node != sentinel then
+        if is_leaf node then
+          for i = 0 to node.nkeys - 1 do
+            f node.keys.(i)
+          done
+        else begin
+          for i = 0 to node.nkeys - 1 do
+            go node.children.(i);
+            f node.keys.(i)
+          done;
+          go node.children.(node.nkeys)
+        end
+    in
+    go t.root
+
+  let fold f init t =
+    let acc = ref init in
+    iter (fun k -> acc := f !acc k) t;
+    !acc
+
+  exception Stop
+
+  let iter_while f t =
+    let g k = if not (f k) then raise Stop in
+    try iter g t with Stop -> ()
+
+  (* [strict = true] starts at the first element [> key] instead of [>= key];
+     used to resume a scan past a known element.  [visited], when given,
+     receives the first leaf the scan descends into (the leaf holding the
+     range start), to refresh hints without a second traversal. *)
+  let iter_from_plain ?visited ~strict f t key =
+    let emit k = if not (f k) then raise Stop in
+    let rec emit_all node =
+      if node != sentinel then
+        if is_leaf node then
+          for i = 0 to node.nkeys - 1 do
+            emit node.keys.(i)
+          done
+        else begin
+          for i = 0 to node.nkeys - 1 do
+            emit_all node.children.(i);
+            emit node.keys.(i)
+          done;
+          emit_all node.children.(node.nkeys)
+        end
+    in
+    let rec scan node =
+      if node != sentinel then begin
+        let n = clamped_nkeys node in
+        let idx, found = search t node.keys n key in
+        if is_leaf node then begin
+          (match visited with Some r -> r := node | None -> ());
+          let idx = if strict && found then idx + 1 else idx in
+          for i = idx to n - 1 do
+            emit node.keys.(i)
+          done
+        end
+        else begin
+          scan node.children.(idx);
+          let start = if strict && found then idx + 1 else idx in
+          (if strict && found && idx < n then emit_all node.children.(idx + 1));
+          for i = start to n - 1 do
+            emit node.keys.(i);
+            emit_all node.children.(i + 1)
+          done
+        end
+      end
+    in
+    try scan t.root with Stop -> ()
+
+  let iter_from ?hints f t key =
+    match hints with
+    | None -> iter_from_plain ~strict:false f t key
+    | Some h ->
+      let leaf = h.lb_leaf in
+      let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
+      let usable =
+        nk > 0
+        && (leaf.leftmost || K.compare leaf.keys.(0) key <= 0)
+        && (leaf.rightmost || K.compare key leaf.keys.(nk - 1) <= 0)
+      in
+      if usable then begin
+        h.h_lb_hits <- h.h_lb_hits + 1;
+        let idx, _ = search t leaf.keys nk key in
+        let continue = ref true in
+        let i = ref idx in
+        while !continue && !i < nk do
+          continue := f leaf.keys.(!i);
+          incr i
+        done;
+        (* ran off the hinted leaf: resume past its last key unless it is
+           the last leaf of the tree *)
+        if !continue && not leaf.rightmost then
+          iter_from_plain ~strict:true f t leaf.keys.(nk - 1)
+      end
+      else begin
+        h.h_lb_misses <- h.h_lb_misses + 1;
+        (* the scan's own descent refreshes the hint *)
+        let visited = ref sentinel in
+        iter_from_plain ~visited ~strict:false f t key;
+        if !visited != sentinel then h.lb_leaf <- !visited
+      end
+
+  let cardinal t = fold (fun n _ -> n + 1) 0 t
+  let to_list t = List.rev (fold (fun acc k -> k :: acc) [] t)
+
+  let to_sorted_array t =
+    let n = cardinal t in
+    if n = 0 then [||]
+    else begin
+      let first = match min_elt t with Some k -> k | None -> assert false in
+      let a = Array.make n first in
+      let i = ref 0 in
+      iter
+        (fun k ->
+          a.(!i) <- k;
+          incr i)
+        t;
+      a
+    end
+
+  let insert_all ?hints dst src =
+    let h = match hints with Some h -> h | None -> make_hints () in
+    iter (fun k -> ignore (insert ~hints:h dst k : bool)) src
+
+  (* ------------------------------------------------------------------ *)
+  (* Bulk building                                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  let of_sorted_array ?capacity arr =
+    let t = create ?capacity () in
+    let len = Array.length arr in
+    for i = 1 to len - 1 do
+      if K.compare arr.(i - 1) arr.(i) >= 0 then
+        invalid_arg "Btree.of_sorted_array: input not strictly increasing"
+    done;
+    if len > 0 then begin
+      (* Target fill keeps headroom for later inserts. *)
+      let target = max 1 (t.capacity * 3 / 4) in
+      (* max elements in a subtree of the given height *)
+      let rec max_elems h =
+        if h = 0 then target else target + ((target + 1) * max_elems (h - 1))
+      in
+      let rec height_for n h = if max_elems h >= n then h else height_for n (h + 1) in
+      let rec build lo hi h =
+        let n = hi - lo in
+        if h = 0 then begin
+          let leaf = alloc_leaf t in
+          Array.blit arr lo leaf.keys 0 n;
+          leaf.nkeys <- n;
+          leaf
+        end
+        else begin
+          let sub = max_elems (h - 1) in
+          (* smallest child count whose subtrees can absorb the elements *)
+          let k = max 2 (((n - 1) / (sub + 1)) + 1) in
+          let k = min k (t.capacity + 1) in
+          let node = alloc_inner t in
+          let elems = n - (k - 1) in
+          let base = elems / k and extra = elems mod k in
+          let pos = ref lo in
+          for i = 0 to k - 1 do
+            let sz = base + if i < extra then 1 else 0 in
+            let child = build !pos (!pos + sz) (h - 1) in
+            child.parent <- Some node;
+            child.position <- i;
+            node.children.(i) <- child;
+            pos := !pos + sz;
+            if i < k - 1 then begin
+              node.keys.(i) <- arr.(!pos);
+              incr pos
+            end
+          done;
+          node.nkeys <- k - 1;
+          node
+        end
+      in
+      let h = height_for len 0 in
+      t.root <- build 0 len h;
+      (min_node t.root).leftmost <- true;
+      (max_node t.root).rightmost <- true
+    end;
+    t
+
+  (* ------------------------------------------------------------------ *)
+  (* Explicit iterators                                                 *)
+  (* ------------------------------------------------------------------ *)
+
+  module Iterator = struct
+    (* [inode == sentinel] encodes the end iterator.  For a leaf position,
+       [idx] indexes the next element; for an inner position, [idx] is the
+       separator key just reached after exhausting child [idx]. *)
+    type it = { mutable inode : node; mutable idx : int }
+
+    let at_end it = it.inode == sentinel
+    let copy it = { inode = it.inode; idx = it.idx }
+
+    let start t =
+      if is_empty t then { inode = sentinel; idx = 0 }
+      else { inode = min_node t.root; idx = 0 }
+
+    let get it =
+      if at_end it then invalid_arg "Btree.Iterator.get: at end"
+      else it.inode.keys.(it.idx)
+
+    (* climb to the nearest ancestor of which [node] is not the last child;
+       yields that ancestor's separator position, or the end *)
+    let rec climb it node =
+      match node.parent with
+      | None ->
+        it.inode <- sentinel;
+        it.idx <- 0
+      | Some p ->
+        if node.position < p.nkeys then begin
+          it.inode <- p;
+          it.idx <- node.position
+        end
+        else climb it p
+
+    let advance it =
+      if at_end it then invalid_arg "Btree.Iterator.advance: at end";
+      let n = it.inode in
+      if is_leaf n then
+        if it.idx + 1 < n.nkeys then it.idx <- it.idx + 1 else climb it n
+      else begin
+        (* successor of an inner separator: leftmost leaf of the subtree to
+           its right *)
+        let leaf = min_node n.children.(it.idx + 1) in
+        it.inode <- leaf;
+        it.idx <- 0
+      end
+
+    let seek t key =
+      let rec go node best =
+        if node == sentinel then best
+        else
+          let nk = node.nkeys in
+          let idx, found = search t node.keys nk key in
+          if found then { inode = node; idx }
+          else if is_leaf node then
+            if idx < nk then { inode = node; idx } else best
+          else
+            go node.children.(idx)
+              (if idx < nk then { inode = node; idx } else best)
+      in
+      go t.root { inode = sentinel; idx = 0 }
+  end
+
+  (* ------------------------------------------------------------------ *)
+  (* Set predicates                                                     *)
+  (* ------------------------------------------------------------------ *)
+
+  let equal a b =
+    let ia = Iterator.start a and ib = Iterator.start b in
+    let rec go () =
+      match (Iterator.at_end ia, Iterator.at_end ib) with
+      | true, true -> true
+      | false, false ->
+        K.compare (Iterator.get ia) (Iterator.get ib) = 0
+        && begin
+             Iterator.advance ia;
+             Iterator.advance ib;
+             go ()
+           end
+      | _ -> false
+    in
+    go ()
+
+  let subset a b =
+    let missing = ref false in
+    iter_while
+      (fun k ->
+        if mem b k then true
+        else begin
+          missing := true;
+          false
+        end)
+      a;
+    not !missing
+
+  let disjoint a b =
+    (* lockstep merge walk: a shared element stops the scan *)
+    let ia = Iterator.start a and ib = Iterator.start b in
+    let rec go () =
+      if Iterator.at_end ia || Iterator.at_end ib then true
+      else
+        let c = K.compare (Iterator.get ia) (Iterator.get ib) in
+        if c = 0 then false
+        else begin
+          if c < 0 then Iterator.advance ia else Iterator.advance ib;
+          go ()
+        end
+    in
+    go ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Introspection                                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  type stats = {
+    elements : int;
+    nodes : int;
+    leaves : int;
+    height : int;
+    fill : float;
+  }
+
+  let stats t =
+    if is_empty t then { elements = 0; nodes = 0; leaves = 0; height = 0; fill = 0.0 }
+    else begin
+      let elements = ref 0 and nodes = ref 0 and leaves = ref 0 in
+      let rec go node depth maxd =
+        incr nodes;
+        elements := !elements + node.nkeys;
+        if is_leaf node then begin
+          incr leaves;
+          max maxd depth
+        end
+        else begin
+          let m = ref maxd in
+          for i = 0 to node.nkeys do
+            m := max !m (go node.children.(i) (depth + 1) !m)
+          done;
+          !m
+        end
+      in
+      let height = go t.root 1 1 in
+      {
+        elements = !elements;
+        nodes = !nodes;
+        leaves = !leaves;
+        height;
+        fill = float_of_int !elements /. float_of_int (!nodes * t.capacity);
+      }
+    end
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    if not (is_empty t) then begin
+      let leaf_depth = ref (-1) in
+      (* [lo]/[hi] are exclusive bounds on the subtree's keys. *)
+      let rec go node depth lo hi =
+        let n = node.nkeys in
+        if n < 1 then fail "node with %d keys" n;
+        if n > t.capacity then fail "node overflow: %d > %d" n t.capacity;
+        for i = 0 to n - 2 do
+          if K.compare node.keys.(i) node.keys.(i + 1) >= 0 then
+            fail "keys out of order at index %d" i
+        done;
+        (match lo with
+        | Some l ->
+          if K.compare l node.keys.(0) >= 0 then fail "lower bound violated"
+        | None -> ());
+        (match hi with
+        | Some h ->
+          if K.compare node.keys.(n - 1) h >= 0 then fail "upper bound violated"
+        | None -> ());
+        if is_leaf node then begin
+          if !leaf_depth = -1 then leaf_depth := depth
+          else if !leaf_depth <> depth then
+            fail "leaves at different depths (%d vs %d)" !leaf_depth depth;
+          (* edge flags must identify exactly the first/last leaf *)
+          let is_first = lo = None and is_last = hi = None in
+          if node.leftmost <> is_first then
+            fail "leftmost flag %b on leaf with is_first=%b" node.leftmost
+              is_first;
+          if node.rightmost <> is_last then
+            fail "rightmost flag %b on leaf with is_last=%b" node.rightmost
+              is_last
+        end
+        else
+          for i = 0 to n do
+            let c = node.children.(i) in
+            if c == sentinel then fail "sentinel child in occupied slot %d" i;
+            (match c.parent with
+            | Some p when p == node -> ()
+            | _ -> fail "broken parent pointer at child %d" i);
+            if c.position <> i then
+              fail "broken position: child %d records %d" i c.position;
+            let lo = if i = 0 then lo else Some node.keys.(i - 1) in
+            let hi = if i = n then hi else Some node.keys.(i) in
+            go c (depth + 1) lo hi
+          done
+      in
+      (match t.root.parent with
+      | None -> ()
+      | Some _ -> fail "root has a parent");
+      go t.root 0 None None
+    end
+end

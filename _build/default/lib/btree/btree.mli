@@ -1,0 +1,192 @@
+(** The specialized concurrent B-tree of the paper (section 3).
+
+    A classic in-memory B-tree (elements stored in inner nodes as well as
+    leaves) over a totally ordered key type, specialised for parallel
+    semi-naive Datalog evaluation:
+
+    - {b concurrent insertion} with the optimistic fine-grained locking
+      scheme of Algorithms 1 and 2: descent takes read leases only and
+      validates them before every use; exclusive write permits are taken on
+      the target leaf by lease upgrade and, for splits, bottom-up along the
+      ancestor path;
+    - {b no deletion}: Datalog relations only grow, so nodes are never freed
+      or replaced — which is what makes both optimistic reads and operation
+      hints safe;
+    - {b operation hints} (section 3.2): thread-local caches of the last leaf
+      accessed by each of the four frequent operations (insert, membership,
+      lower bound, upper bound).  When the next operation falls within the
+      cached leaf's key range the tree traversal is skipped entirely;
+    - {b two-phase usage}: in every parallel context the tree is either
+      exclusively written or exclusively queried.  [insert] is safe against
+      concurrent [insert]s; the read operations ([mem], bounds, iteration)
+      are safe against concurrent reads and need no synchronisation, per the
+      semi-naive evaluation guarantee (section 2).
+
+    The implementation never blocks readers, and writers block only in
+    [start_write] during bottom-up split locking, preserving the paper's
+    deadlock-freedom argument (read permits are non-blocking, write permits
+    are acquired in strictly increasing tree-level order). *)
+
+module Make (K : Key.ORDERED) : sig
+  type key = K.t
+
+  type t
+  (** A concurrent B-tree set of [key]s. *)
+
+  val create : ?capacity:int -> ?binary_search:bool -> unit -> t
+  (** [create ()] is an empty tree.
+
+      @param capacity maximal number of keys per node (default {!default_capacity});
+        must be at least 3.  Chosen so a node spans a few cache lines.
+      @param binary_search search within nodes by binary instead of linear
+        scan (default [false]: linear search wins for cache-resident node
+        sizes, as in Soufflé).  Exposed for the width/search ablation. *)
+
+  val default_capacity : int
+
+  (** {1 Operation hints}
+
+      A [hints] value caches the last leaf located by each operation kind.
+      Hints are {e thread-local by convention}: create one per domain with
+      {!make_hints} and pass it to every call from that domain.  Sharing one
+      [hints] value between domains is memory-safe but destroys the hit
+      rate.  Hints never dangle because nodes are never deleted. *)
+
+  type hints
+
+  val make_hints : unit -> hints
+  (** Fresh, empty hints (the paper's "factory function for initial operation
+      hints"). *)
+
+  type hint_stats = {
+    insert_hits : int;
+    insert_misses : int;
+    find_hits : int;
+    find_misses : int;
+    lower_bound_hits : int;
+    lower_bound_misses : int;
+    upper_bound_hits : int;
+    upper_bound_misses : int;
+  }
+
+  val hint_stats : hints -> hint_stats
+  val reset_hint_stats : hints -> unit
+
+  val merge_hint_stats : hint_stats list -> hint_stats
+  val hit_rate : hint_stats -> float
+  (** Overall fraction of hinted operations that hit, in [0..1]. *)
+
+  (** {1 Modification} *)
+
+  val insert : ?hints:hints -> t -> key -> bool
+  (** [insert t k] adds [k]; returns [true] iff [k] was not already present.
+      Thread-safe against concurrent [insert]s (Algorithm 1). *)
+
+  val insert_all : ?hints:hints -> t -> t -> unit
+  (** [insert_all dst src] inserts every element of [src] into [dst] in
+      order, driving the insertion with hints so that runs of consecutive
+      keys share tree traversals — the paper's specialised merge.  [src] is
+      not modified.  Thread-safe on [dst] (it is a loop of [insert]s). *)
+
+  (** {1 Queries (read phase)} *)
+
+  val mem : ?hints:hints -> t -> key -> bool
+  val is_empty : t -> bool
+
+  val cardinal : t -> int
+  (** O(n); the tree maintains no element counter (counters would serialise
+      writers). *)
+
+  val min_elt : t -> key option
+  val max_elt : t -> key option
+
+  val lower_bound : ?hints:hints -> t -> key -> key option
+  (** Smallest element [>= k], if any. *)
+
+  val upper_bound : ?hints:hints -> t -> key -> key option
+  (** Smallest element [> k], if any. *)
+
+  val iter : (key -> unit) -> t -> unit
+  (** In-order iteration over all elements. *)
+
+  val fold : ('a -> key -> 'a) -> 'a -> t -> 'a
+
+  val iter_while : (key -> bool) -> t -> unit
+  (** In-order iteration stopping the first time the callback returns
+      [false]. *)
+
+  val iter_from : ?hints:hints -> (key -> bool) -> t -> key -> unit
+  (** [iter_from f t k] applies [f] in order to every element [>= k] and
+      stops when [f] returns [false].  This is the range-scan primitive
+      behind the Datalog engine's [lower_bound]/[upper_bound] joins.
+
+      With [hints], a scan that starts inside (and completes within) the
+      leaf cached by the previous bound query skips the tree traversal
+      entirely; the hit is counted in the lower-bound hint statistics. *)
+
+  val to_list : t -> key list
+  val to_sorted_array : t -> key array
+
+  val of_sorted_array : ?capacity:int -> key array -> t
+  (** Bulk-build from a sorted, duplicate-free array; O(n).  Used by the
+      parallel-reduction baseline's merge step and by tests.
+      @raise Invalid_argument if the input is not strictly increasing. *)
+
+  (** {1 Explicit iterators}
+
+      An imperative cursor over the tree, mirroring the STL-like interface
+      the paper's engine requires ([begin()]/[end()]/increment).  Iterators
+      navigate through parent pointers, so they are O(1) amortised per step
+      and need no heap-allocated stack.  Read-phase use only: advancing an
+      iterator during concurrent writes is memory-safe but may miss or
+      repeat elements. *)
+
+  module Iterator : sig
+    type it
+
+    val start : t -> it
+    (** Positioned on the smallest element ([begin()]); at the end for an
+        empty tree. *)
+
+    val seek : t -> key -> it
+    (** Positioned on the smallest element [>= k] ([lower_bound]). *)
+
+    val at_end : it -> bool
+
+    val get : it -> key
+    (** @raise Invalid_argument when {!at_end}. *)
+
+    val advance : it -> unit
+    (** Move to the in-order successor.  @raise Invalid_argument when
+        already {!at_end}. *)
+
+    val copy : it -> it
+  end
+
+  (** {1 Set predicates} *)
+
+  val equal : t -> t -> bool
+  (** Same elements (lockstep in-order walk; O(min(m, n))). *)
+
+  val subset : t -> t -> bool
+  (** [subset a b]: every element of [a] is in [b]. *)
+
+  val disjoint : t -> t -> bool
+
+  (** {1 Introspection (tests, space ablation)} *)
+
+  type stats = {
+    elements : int;
+    nodes : int;
+    leaves : int;
+    height : int;
+    fill : float;  (** mean node fill grade in [0..1] *)
+  }
+
+  val stats : t -> stats
+
+  val check_invariants : t -> unit
+  (** Validates ordering, node fill bounds, uniform leaf depth and
+      parent/position back-pointers.  @raise Failure describing the first
+      violated invariant.  Quiescent use only. *)
+end

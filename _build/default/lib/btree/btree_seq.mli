@@ -1,0 +1,62 @@
+(** Sequential variant of the specialized B-tree.
+
+    Same data structure and operation hints as {!Btree}, with all
+    synchronisation removed.  This is the paper's "seq btree" contestant: it
+    isolates the cost of the optimistic locking scheme (compare [seq btree]
+    vs [btree] in Fig. 3) and of the hint mechanism (pass or omit [hints]).
+
+    Not thread-safe.  All other semantics match {!Btree}. *)
+
+module Make (K : Key.ORDERED) : sig
+  type key = K.t
+  type t
+
+  val create : ?capacity:int -> ?binary_search:bool -> unit -> t
+  val default_capacity : int
+
+  type hints
+
+  val make_hints : unit -> hints
+
+  type hint_stats = {
+    insert_hits : int;
+    insert_misses : int;
+    find_hits : int;
+    find_misses : int;
+    lower_bound_hits : int;
+    lower_bound_misses : int;
+    upper_bound_hits : int;
+    upper_bound_misses : int;
+  }
+
+  val hint_stats : hints -> hint_stats
+  val reset_hint_stats : hints -> unit
+
+  val insert : ?hints:hints -> t -> key -> bool
+  val insert_all : ?hints:hints -> t -> t -> unit
+  val mem : ?hints:hints -> t -> key -> bool
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val min_elt : t -> key option
+  val max_elt : t -> key option
+  val lower_bound : ?hints:hints -> t -> key -> key option
+  val upper_bound : ?hints:hints -> t -> key -> key option
+  val iter : (key -> unit) -> t -> unit
+  val fold : ('a -> key -> 'a) -> 'a -> t -> 'a
+  val iter_while : (key -> bool) -> t -> unit
+  val iter_from : (key -> bool) -> t -> key -> unit
+  val to_list : t -> key list
+  val to_sorted_array : t -> key array
+  val of_sorted_array : ?capacity:int -> key array -> t
+
+  type stats = {
+    elements : int;
+    nodes : int;
+    leaves : int;
+    height : int;
+    fill : float;
+  }
+
+  val stats : t -> stats
+  val check_invariants : t -> unit
+end

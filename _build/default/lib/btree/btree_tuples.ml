@@ -1,0 +1,554 @@
+(* Specialized concurrent B-tree over int-array tuples.
+
+   Same algorithms as [Btree.Make] (see btree.ml for the full commentary on
+   the optimistic locking protocol, memory-model reasoning and weak-coverage
+   hints); this copy exists to inline the tuple comparator into the search
+   loops — the specialization the paper's implementation notes call out.
+   Comparisons here are direct calls on concrete [int array]s with a
+   fast path for the ubiquitous binary relations, instead of indirect
+   functor-closure calls. *)
+
+type node = {
+  lock : Olock.t;
+  mutable parent : node option;
+  mutable position : int;
+  keys : int array array; (* length = capacity *)
+  mutable nkeys : int;
+  children : node array; (* length = capacity + 1, or [||] for leaves *)
+  mutable leftmost : bool;
+  mutable rightmost : bool;
+}
+
+type t = {
+  root_lock : Olock.t;
+  mutable root : node;
+  capacity : int;
+  binary : bool;
+  t_arity : int;
+  order : int array;
+  two_cols : bool; (* order = exactly two columns: use the inline fast path *)
+  c0 : int;
+  c1 : int; (* the two columns of the fast path *)
+}
+
+let sentinel =
+  {
+    lock = Olock.create ();
+    parent = None;
+    position = 0;
+    keys = [||];
+    nkeys = 0;
+    children = [||];
+    leftmost = false;
+    rightmost = false;
+  }
+
+let is_leaf n = Array.length n.children = 0
+let dummy_key : int array = [||]
+
+let alloc_leaf t =
+  {
+    lock = Olock.create ();
+    parent = None;
+    position = 0;
+    keys = Array.make t.capacity dummy_key;
+    nkeys = 0;
+    children = [||];
+    leftmost = false;
+    rightmost = false;
+  }
+
+let alloc_inner t =
+  {
+    lock = Olock.create ();
+    parent = None;
+    position = 0;
+    keys = Array.make t.capacity dummy_key;
+    nkeys = 0;
+    children = Array.make (t.capacity + 1) sentinel;
+    leftmost = false;
+    rightmost = false;
+  }
+
+let create ?(capacity = 24) ?(binary_search = true) ~arity ~order () =
+  if capacity < 3 then invalid_arg "Btree_tuples.create: capacity must be >= 3";
+  if Array.length order <> arity then
+    invalid_arg "Btree_tuples.create: order must be a permutation of columns";
+  let seen = Array.make arity false in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= arity || seen.(c) then
+        invalid_arg "Btree_tuples.create: order must be a permutation of columns";
+      seen.(c) <- true)
+    order;
+  let two = arity = 2 in
+  {
+    root_lock = Olock.create ();
+    root = sentinel;
+    capacity;
+    binary = binary_search;
+    t_arity = arity;
+    order;
+    two_cols = two;
+    c0 = (if arity > 0 then order.(0) else 0);
+    c1 = (if arity > 1 then order.(1) else 0);
+  }
+
+let arity t = t.t_arity
+
+(* The inlined 3-way comparator.  The arity-2 fast path is branch-free of
+   the permutation loop; the general case walks [order]. *)
+let compare_keys t (a : int array) (b : int array) =
+  if t.two_cols then begin
+    let x = Array.unsafe_get a t.c0 and y = Array.unsafe_get b t.c0 in
+    if x < y then -1
+    else if x > y then 1
+    else
+      let x = Array.unsafe_get a t.c1 and y = Array.unsafe_get b t.c1 in
+      if x < y then -1 else if x > y then 1 else 0
+  end
+  else begin
+    let order = t.order in
+    let n = Array.length order in
+    let rec go i =
+      if i = n then 0
+      else
+        let p = Array.unsafe_get order i in
+        let x = Array.unsafe_get a p and y = Array.unsafe_get b p in
+        if x < y then -1 else if x > y then 1 else go (i + 1)
+    in
+    go 0
+  end
+
+let clamped_nkeys n =
+  let k = n.nkeys in
+  if k < 0 then 0
+  else
+    let cap = Array.length n.keys in
+    if k > cap then cap else k
+
+let search_linear t keys n key =
+  let rec go i =
+    if i >= n then (n, false)
+    else
+      let c = compare_keys t key (Array.unsafe_get keys i) in
+      if c > 0 then go (i + 1) else (i, c = 0)
+  in
+  go 0
+
+let search_binary t keys n key =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_keys t (Array.unsafe_get keys mid) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  let i = !lo in
+  (i, i < n && compare_keys t (Array.unsafe_get keys i) key = 0)
+
+let search t keys n key =
+  if t.binary then search_binary t keys n key else search_linear t keys n key
+
+(* ---------------- hints ---------------- *)
+
+type hints = {
+  mutable insert_leaf : node;
+  mutable find_leaf : node;
+  mutable lb_leaf : node;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make_hints () =
+  { insert_leaf = sentinel; find_leaf = sentinel; lb_leaf = sentinel; hits = 0; misses = 0 }
+
+let hint_counters h = (h.hits, h.misses)
+
+let covers t n nk key =
+  nk > 0
+  && (n.leftmost || compare_keys t n.keys.(0) key <= 0)
+  && (n.rightmost || compare_keys t key n.keys.(nk - 1) <= 0)
+
+(* ---------------- splitting (Algorithm 2) ---------------- *)
+
+type locked_ancestor = Anc_node of node | Anc_root
+
+let lock_parent t cur =
+  match cur.parent with
+  | None ->
+    Olock.start_write t.root_lock;
+    Anc_root
+  | Some p ->
+    let rec acquire p =
+      Olock.start_write p.lock;
+      match cur.parent with
+      | Some p' when p' == p -> Anc_node p
+      | Some p' ->
+        Olock.abort_write p.lock;
+        acquire p'
+      | None ->
+        Olock.abort_write p.lock;
+        assert false
+    in
+    acquire p
+
+let lock_path t node =
+  let rec go cur acc =
+    match lock_parent t cur with
+    | Anc_root -> List.rev (Anc_root :: acc)
+    | Anc_node p ->
+      if p.nkeys < t.capacity then List.rev (Anc_node p :: acc)
+      else go p (Anc_node p :: acc)
+  in
+  go node []
+
+let unlock_path t path =
+  List.iter
+    (fun a ->
+      match a with
+      | Anc_node p -> Olock.end_write p.lock
+      | Anc_root -> Olock.end_write t.root_lock)
+    (List.rev path)
+
+let split_node t node =
+  let cap = t.capacity in
+  let mid = cap / 2 in
+  let median = node.keys.(mid) in
+  let right = if is_leaf node then alloc_leaf t else alloc_inner t in
+  let rcount = cap - mid - 1 in
+  Array.blit node.keys (mid + 1) right.keys 0 rcount;
+  right.nkeys <- rcount;
+  if not (is_leaf node) then begin
+    Array.blit node.children (mid + 1) right.children 0 (rcount + 1);
+    for i = 0 to rcount do
+      let c = right.children.(i) in
+      c.parent <- Some right;
+      c.position <- i
+    done
+  end;
+  node.nkeys <- mid;
+  right.rightmost <- node.rightmost;
+  node.rightmost <- false;
+  (median, right)
+
+let link_sibling p cur right median =
+  let i = cur.position in
+  let n = p.nkeys in
+  Array.blit p.keys i p.keys (i + 1) (n - i);
+  p.keys.(i) <- median;
+  Array.blit p.children (i + 1) p.children (i + 2) (n - i);
+  p.children.(i + 1) <- right;
+  p.nkeys <- n + 1;
+  right.parent <- Some p;
+  for j = i + 1 to n + 1 do
+    p.children.(j).position <- j
+  done
+
+let rec insert_into_parent t path cur right median =
+  match path with
+  | [] -> assert false
+  | Anc_root :: _ ->
+    let new_root = alloc_inner t in
+    new_root.keys.(0) <- median;
+    new_root.nkeys <- 1;
+    new_root.children.(0) <- cur;
+    new_root.children.(1) <- right;
+    cur.parent <- Some new_root;
+    cur.position <- 0;
+    right.parent <- Some new_root;
+    right.position <- 1;
+    t.root <- new_root
+  | Anc_node p :: rest ->
+    if p.nkeys >= t.capacity then begin
+      let p_median, p_right = split_node t p in
+      insert_into_parent t rest p p_right p_median;
+      let q = match cur.parent with Some q -> q | None -> assert false in
+      link_sibling q cur right median
+    end
+    else link_sibling p cur right median
+
+let split t node =
+  let path = lock_path t node in
+  let median, right = split_node t node in
+  insert_into_parent t path node right median;
+  unlock_path t path
+
+(* ---------------- insertion (Algorithm 1) ---------------- *)
+
+let ensure_root t =
+  while t.root == sentinel do
+    if Olock.try_start_write t.root_lock then begin
+      if t.root == sentinel then begin
+        let leaf = alloc_leaf t in
+        leaf.leftmost <- true;
+        leaf.rightmost <- true;
+        t.root <- leaf
+      end;
+      Olock.end_write t.root_lock
+    end
+  done
+
+let insert_in_leaf leaf idx key =
+  let n = leaf.nkeys in
+  Array.blit leaf.keys idx leaf.keys (idx + 1) (n - idx);
+  leaf.keys.(idx) <- key;
+  leaf.nkeys <- n + 1
+
+let rec insert_slow t key =
+  let rec locate_root () =
+    let root_lease = Olock.start_read t.root_lock in
+    let cur = t.root in
+    let cur_lease = Olock.start_read cur.lock in
+    if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
+    else locate_root ()
+  in
+  let cur, cur_lease = locate_root () in
+  descend t key cur cur_lease
+
+and descend t key cur cur_lease =
+  let n = clamped_nkeys cur in
+  let idx, found = search t cur.keys n key in
+  if found then
+    if Olock.valid cur.lock cur_lease then (false, sentinel)
+    else insert_slow t key
+  else if not (is_leaf cur) then begin
+    let next = cur.children.(idx) in
+    if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+    else begin
+      let next_lease = Olock.start_read next.lock in
+      if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+      else descend t key next next_lease
+    end
+  end
+  else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+    insert_slow t key
+  else if cur.nkeys >= t.capacity then begin
+    split t cur;
+    Olock.end_write cur.lock;
+    insert_slow t key
+  end
+  else begin
+    insert_in_leaf cur idx key;
+    Olock.end_write cur.lock;
+    (true, cur)
+  end
+
+type hint_attempt = Done of bool | Fallback
+
+let try_insert_at t leaf key =
+  let lease = Olock.start_read leaf.lock in
+  let n = clamped_nkeys leaf in
+  if not (covers t leaf n key && Olock.valid leaf.lock lease) then Fallback
+  else begin
+    let idx, found = search t leaf.keys n key in
+    if found then if Olock.valid leaf.lock lease then Done false else Fallback
+    else if not (Olock.try_upgrade_to_write leaf.lock lease) then Fallback
+    else if leaf.nkeys >= t.capacity then begin
+      split t leaf;
+      Olock.end_write leaf.lock;
+      Fallback
+    end
+    else begin
+      insert_in_leaf leaf idx key;
+      Olock.end_write leaf.lock;
+      Done true
+    end
+  end
+
+let insert ?hints t key =
+  ensure_root t;
+  match hints with
+  | None -> fst (insert_slow t key)
+  | Some h ->
+    let attempt =
+      if h.insert_leaf == sentinel then Fallback
+      else try_insert_at t h.insert_leaf key
+    in
+    (match attempt with
+    | Done b ->
+      h.hits <- h.hits + 1;
+      b
+    | Fallback ->
+      h.misses <- h.misses + 1;
+      let inserted, leaf = insert_slow t key in
+      if leaf != sentinel then h.insert_leaf <- leaf;
+      inserted)
+
+(* ---------------- queries ---------------- *)
+
+let mem ?hints t key =
+  let slow () =
+    let rec go node last_leaf =
+      if node == sentinel then (false, last_leaf)
+      else
+        let n = clamped_nkeys node in
+        let idx, found = search t node.keys n key in
+        if found then (true, if is_leaf node then node else last_leaf)
+        else if is_leaf node then (false, node)
+        else go node.children.(idx) last_leaf
+    in
+    go t.root sentinel
+  in
+  match hints with
+  | None -> fst (slow ())
+  | Some h ->
+    let leaf = h.find_leaf in
+    let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
+    if nk > 0 && covers t leaf nk key then begin
+      h.hits <- h.hits + 1;
+      snd (search t leaf.keys nk key)
+    end
+    else begin
+      h.misses <- h.misses + 1;
+      let r, l = slow () in
+      if l != sentinel then h.find_leaf <- l;
+      r
+    end
+
+let is_empty t = t.root == sentinel || (t.root.nkeys = 0 && is_leaf t.root)
+
+let iter f t =
+  let rec go node =
+    if node != sentinel then
+      if is_leaf node then
+        for i = 0 to node.nkeys - 1 do
+          f node.keys.(i)
+        done
+      else begin
+        for i = 0 to node.nkeys - 1 do
+          go node.children.(i);
+          f node.keys.(i)
+        done;
+        go node.children.(node.nkeys)
+      end
+  in
+  go t.root
+
+let cardinal t =
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  !n
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k -> acc := k :: !acc) t;
+  List.rev !acc
+
+exception Stop
+
+let iter_from_plain ?visited ~strict f t key =
+  let emit k = if not (f k) then raise Stop in
+  let rec emit_all node =
+    if node != sentinel then
+      if is_leaf node then
+        for i = 0 to node.nkeys - 1 do
+          emit node.keys.(i)
+        done
+      else begin
+        for i = 0 to node.nkeys - 1 do
+          emit_all node.children.(i);
+          emit node.keys.(i)
+        done;
+        emit_all node.children.(node.nkeys)
+      end
+  in
+  let rec scan node =
+    if node != sentinel then begin
+      let n = clamped_nkeys node in
+      let idx, found = search t node.keys n key in
+      if is_leaf node then begin
+        (match visited with Some r -> r := node | None -> ());
+        let idx = if strict && found then idx + 1 else idx in
+        for i = idx to n - 1 do
+          emit node.keys.(i)
+        done
+      end
+      else begin
+        scan node.children.(idx);
+        let start = if strict && found then idx + 1 else idx in
+        (if strict && found && idx < n then emit_all node.children.(idx + 1));
+        for i = start to n - 1 do
+          emit node.keys.(i);
+          emit_all node.children.(i + 1)
+        done
+      end
+    end
+  in
+  try scan t.root with Stop -> ()
+
+let iter_from ?hints f t key =
+  match hints with
+  | None -> iter_from_plain ~strict:false f t key
+  | Some h ->
+    let leaf = h.lb_leaf in
+    let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
+    let usable =
+      nk > 0
+      && (leaf.leftmost || compare_keys t leaf.keys.(0) key <= 0)
+      && (leaf.rightmost || compare_keys t key leaf.keys.(nk - 1) <= 0)
+    in
+    if usable then begin
+      h.hits <- h.hits + 1;
+      let idx, _ = search t leaf.keys nk key in
+      let continue = ref true in
+      let i = ref idx in
+      while !continue && !i < nk do
+        continue := f leaf.keys.(!i);
+        incr i
+      done;
+      if !continue && not leaf.rightmost then
+        iter_from_plain ~strict:true f t leaf.keys.(nk - 1)
+    end
+    else begin
+      h.misses <- h.misses + 1;
+      let visited = ref sentinel in
+      iter_from_plain ~visited ~strict:false f t key;
+      if !visited != sentinel then h.lb_leaf <- !visited
+    end
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if not (is_empty t) then begin
+    let leaf_depth = ref (-1) in
+    let rec go node depth lo hi =
+      let n = node.nkeys in
+      if n < 1 then fail "node with %d keys" n;
+      if n > t.capacity then fail "node overflow";
+      for i = 0 to n - 2 do
+        if compare_keys t node.keys.(i) node.keys.(i + 1) >= 0 then
+          fail "keys out of order"
+      done;
+      (match lo with
+      | Some l ->
+        if compare_keys t l node.keys.(0) >= 0 then fail "lower bound violated"
+      | None -> ());
+      (match hi with
+      | Some h ->
+        if compare_keys t node.keys.(n - 1) h >= 0 then
+          fail "upper bound violated"
+      | None -> ());
+      if is_leaf node then begin
+        if !leaf_depth = -1 then leaf_depth := depth
+        else if !leaf_depth <> depth then fail "leaves at different depths";
+        let is_first = lo = None and is_last = hi = None in
+        if node.leftmost <> is_first then fail "leftmost flag wrong";
+        if node.rightmost <> is_last then fail "rightmost flag wrong"
+      end
+      else
+        for i = 0 to n do
+          let c = node.children.(i) in
+          if c == sentinel then fail "sentinel child";
+          (match c.parent with
+          | Some p when p == node -> ()
+          | _ -> fail "broken parent pointer");
+          if c.position <> i then fail "broken position";
+          let lo = if i = 0 then lo else Some node.keys.(i - 1) in
+          let hi = if i = n then hi else Some node.keys.(i) in
+          go c (depth + 1) lo hi
+        done
+    in
+    (match t.root.parent with
+    | None -> ()
+    | Some _ -> fail "root has a parent");
+    go t.root 0 None None
+  end

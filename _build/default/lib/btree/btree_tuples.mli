@@ -1,0 +1,49 @@
+(** The specialized concurrent B-tree, hand-specialized for integer tuples.
+
+    Functionally equivalent to [Btree.Make] over an integer-array key with a
+    column-permutation comparator, but with the 3-way tuple comparator
+    inlined into the search loops instead of called through a functor
+    closure.  This mirrors the paper's implementation note (2): Soufflé's
+    C++ template instantiation inlines the tuple comparator; without
+    cross-module inlining, OCaml functor applications pay an indirect call
+    per comparison, which dominates descent cost on tuple keys.  The Datalog
+    engine's relation indexes use this module.
+
+    Tuples are [int array]s of a fixed arity; ordering is lexicographic over
+    [order] (a column permutation: the index signature's bound columns
+    first).  Inserted arrays are retained — callers must not mutate them.
+
+    Concurrency contract, hints, and algorithms are identical to {!Btree}:
+    optimistic lock-free descent with validation, lease upgrade at the leaf,
+    bottom-up split locking, weak-coverage operation hints. *)
+
+type t
+
+val create :
+  ?capacity:int -> ?binary_search:bool -> arity:int -> order:int array -> unit -> t
+(** [order] must be a permutation of [0 .. arity-1].
+    @raise Invalid_argument otherwise. *)
+
+val arity : t -> int
+
+type hints
+
+val make_hints : unit -> hints
+
+val hint_counters : hints -> int * int
+(** (hits, misses) over all operation kinds. *)
+
+val insert : ?hints:hints -> t -> int array -> bool
+(** Thread-safe against concurrent inserts. *)
+
+val mem : ?hints:hints -> t -> int array -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val iter : (int array -> unit) -> t -> unit
+val iter_from : ?hints:hints -> (int array -> bool) -> t -> int array -> unit
+(** In-order from the first tuple [>=] the probe (in [order]-major
+    comparison), while the callback returns [true]. *)
+
+val to_list : t -> int array list
+val check_invariants : t -> unit

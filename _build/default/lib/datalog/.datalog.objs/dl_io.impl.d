@@ -1,0 +1,1 @@
+lib/datalog/dl_io.ml: Array Engine Filename List Printf String Sys

@@ -1,0 +1,1 @@
+lib/datalog/dl_stats.mli: Atomic Format

@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Dl_stats Eval List Option Plan Printf Relation Storage Symtab

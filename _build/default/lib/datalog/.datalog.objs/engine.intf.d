@@ -1,0 +1,1 @@
+lib/datalog/engine.mli: Ast Dl_stats Eval Pool Storage

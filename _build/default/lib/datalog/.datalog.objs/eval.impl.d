@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Array Ast Atomic Dl_stats List Option Plan Pool Printf Relation Storage Stratify Unix

@@ -1,0 +1,1 @@
+lib/datalog/eval.mli: Dl_stats Plan Pool Relation Storage

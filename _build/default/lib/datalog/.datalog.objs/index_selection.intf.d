@@ -1,0 +1,1 @@
+lib/datalog/index_selection.mli:

@@ -1,0 +1,1 @@
+lib/datalog/naive.ml: Array Ast Hashtbl Key List Set Stratify Symtab

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Ast Buffer Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/datalog/plan.ml: Array Ast Format Hashtbl List Printf Stratify Symtab

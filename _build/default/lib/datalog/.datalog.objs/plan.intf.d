@@ -1,0 +1,1 @@
+lib/datalog/plan.mli: Ast Stratify Symtab

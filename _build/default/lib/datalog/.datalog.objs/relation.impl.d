@@ -1,0 +1,1 @@
+lib/datalog/relation.ml: Array Atomic Dl_stats Index_selection List Mutex Printf Storage

@@ -1,0 +1,1 @@
+lib/datalog/storage.ml: Array Atomic Bplus_tree Btree_tuples Concurrent_hashset Dl_stats Hashset Hashtbl Key List Olock Printf Rbtree Stdlib String

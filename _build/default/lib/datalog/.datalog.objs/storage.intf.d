@@ -1,0 +1,1 @@
+lib/datalog/storage.mli: Dl_stats

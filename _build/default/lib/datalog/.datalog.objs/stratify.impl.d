@@ -1,0 +1,1 @@
+lib/datalog/stratify.ml: Array List Printf

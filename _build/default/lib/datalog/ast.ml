@@ -1,0 +1,103 @@
+type term =
+  | Var of string
+  | Int of int
+  | Sym of string
+  | Add of term * term
+  | Sub of term * term
+  | Mul of term * term
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+type agg_func = Count | Min | Max | Sum
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of cmpop * term * term
+  | Agg of aggregate
+
+and aggregate = {
+  agg_result : string;
+  agg_func : agg_func;
+  agg_arg : term option;
+  agg_body : literal list;
+}
+type rule = { head : atom; body : literal list }
+
+type decl = {
+  name : string;
+  arity : int;
+  is_input : bool;
+  is_output : bool;
+}
+
+type program = { decls : decl list; rules : rule list }
+
+let rec pp_term fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Int n -> Format.pp_print_int fmt n
+  | Sym s -> Format.fprintf fmt "%S" s
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_term a pp_term b
+  | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp_term a pp_term b
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_term a pp_term b
+
+let cmpop_name = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "!="
+
+let pp_atom fmt a =
+  Format.fprintf fmt "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_term)
+    a.args
+
+let agg_name = function
+  | Count -> "count"
+  | Min -> "min"
+  | Max -> "max"
+  | Sum -> "sum"
+
+let rec pp_literal fmt = function
+  | Pos a -> pp_atom fmt a
+  | Neg a -> Format.fprintf fmt "!%a" pp_atom a
+  | Cmp (op, a, b) ->
+    Format.fprintf fmt "%a %s %a" pp_term a (cmpop_name op) pp_term b
+  | Agg g ->
+    Format.fprintf fmt "%s = %s %a: { %a }" g.agg_result (agg_name g.agg_func)
+      (fun fmt -> function
+        | Some t -> Format.fprintf fmt "%a " pp_term t
+        | None -> ())
+      g.agg_arg
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_literal)
+      g.agg_body
+
+let pp_rule fmt r =
+  match r.body with
+  | [] -> Format.fprintf fmt "%a." pp_atom r.head
+  | body ->
+    Format.fprintf fmt "%a :- %a." pp_atom r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_literal)
+      body
+
+let pp_program fmt p =
+  List.iter
+    (fun (d : decl) ->
+      Format.fprintf fmt ".decl %s/%d%s%s@." d.name d.arity
+        (if d.is_input then " input" else "")
+        (if d.is_output then " output" else ""))
+    p.decls;
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_rule r) p.rules
+
+let atom pred args = { pred; args }
+let rule head body = { head; body }
+let fact p args = { head = atom p (List.map (fun n -> Int n) args); body = [] }

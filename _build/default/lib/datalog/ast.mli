@@ -1,0 +1,69 @@
+(** Abstract syntax of the Datalog dialect (a core subset of Soufflé's).
+
+    A program consists of relation declarations, facts and rules:
+    {v
+      .decl edge(x:number, y:number)
+      .input edge
+      .decl path(x:number, y:number)
+      .output path
+      path(x, y) :- edge(x, y).
+      path(x, z) :- path(x, y), edge(y, z).
+      edge(1, 2).
+    v}
+    Negation is written [!atom] and must be stratifiable. *)
+
+type term =
+  | Var of string      (** variable; ["_"] parses to a fresh wildcard *)
+  | Int of int         (** numeric constant *)
+  | Sym of string      (** quoted symbol constant, interned at compile time *)
+  | Add of term * term (** arithmetic; must be ground when evaluated *)
+  | Sub of term * term
+  | Mul of term * term
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+type agg_func = Count | Min | Max | Sum
+
+type atom = { pred : string; args : term list }
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of cmpop * term * term
+      (** constraint, e.g. [x < y + 1].  [Eq] with an unbound variable on
+          one side acts as an assignment (Souffle-style [x = e]). *)
+  | Agg of aggregate
+      (** aggregate, e.g. [n = count : { edge(x, y) }] or
+          [m = max d : { dist(x, y, d) }].  The aggregated predicates must
+          live in a strictly lower stratum, like negated ones. *)
+
+and aggregate = {
+  agg_result : string;      (** the variable receiving the aggregate *)
+  agg_func : agg_func;
+  agg_arg : term option;    (** the aggregated expression; [None] for count *)
+  agg_body : literal list;  (** positive atoms and constraints only *)
+}
+
+type rule = { head : atom; body : literal list }
+(** A fact is a rule with an empty body and a ground head. *)
+
+type decl = {
+  name : string;
+  arity : int;
+  is_input : bool;
+  is_output : bool;
+}
+
+type program = { decls : decl list; rules : rule list }
+
+val pp_term : Format.formatter -> term -> unit
+val pp_literal : Format.formatter -> literal -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit
+
+val fact : string -> int list -> rule
+(** [fact p args] is the ground fact [p(args).] — convenience for workload
+    generators that build programs without parsing. *)
+
+val rule : atom -> literal list -> rule
+val atom : string -> term list -> atom

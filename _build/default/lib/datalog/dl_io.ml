@@ -1,0 +1,68 @@
+let parse_field engine s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> Engine.intern engine s
+
+let load_facts_channel engine ~relation ic =
+  let arity = Engine.relation_arity engine relation in
+  let count = ref 0 in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         let fields = String.split_on_char '\t' line in
+         if List.length fields <> arity then
+           failwith
+             (Printf.sprintf
+                "facts for %s, line %d: %d fields, expected %d" relation
+                !line_no (List.length fields) arity);
+         let tup = Array.of_list (List.map (parse_field engine) fields) in
+         Engine.add_fact engine relation tup;
+         incr count
+       end
+     done
+   with End_of_file -> ());
+  !count
+
+let load_facts_file engine ~relation path =
+  let ic = open_in path in
+  match load_facts_channel engine ~relation ic with
+  | n ->
+    close_in ic;
+    n
+  | exception e ->
+    close_in ic;
+    raise e
+
+let load_facts_dir engine dir =
+  List.filter_map
+    (fun relation ->
+      let path = Filename.concat dir (relation ^ ".facts") in
+      if Sys.file_exists path then
+        Some (relation, load_facts_file engine ~relation path)
+      else None)
+    (Engine.input_relations engine)
+
+let write_relation engine ~relation path =
+  let oc = open_out path in
+  let count = ref 0 in
+  (try
+     Engine.iter_relation engine relation (fun tup ->
+         incr count;
+         output_string oc
+           (String.concat "\t" (Array.to_list (Array.map string_of_int tup)));
+         output_char oc '\n')
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc;
+  !count
+
+let write_outputs engine ~dir =
+  List.map
+    (fun relation ->
+      let path = Filename.concat dir (relation ^ ".csv") in
+      (relation, write_relation engine ~relation path))
+    (Engine.output_relations engine)

@@ -1,0 +1,27 @@
+(** Tab-separated fact files, Soufflé style.
+
+    An input relation [edge] reads [<dir>/edge.facts]: one tuple per line,
+    fields separated by tabs, each field either an integer or a symbol
+    (interned through the engine's symbol table).  Output relations write
+    [<dir>/<name>.csv] in the same format, decoding symbol ids is the
+    caller's business (facts are plain integers once interned). *)
+
+val load_facts_channel : Engine.t -> relation:string -> in_channel -> int
+(** Queue every tuple of the channel; returns the number of tuples read.
+    @raise Failure with line information on malformed input
+    @raise Invalid_argument on arity mismatch *)
+
+val load_facts_file : Engine.t -> relation:string -> string -> int
+(** @raise Sys_error on IO failure. *)
+
+val load_facts_dir : Engine.t -> string -> (string * int) list
+(** [load_facts_dir e dir] loads [<dir>/<name>.facts] for every declared
+    input relation of the program for which such a file exists; returns the
+    per-relation tuple counts. *)
+
+val write_relation : Engine.t -> relation:string -> string -> int
+(** Write a relation's tuples as TSV (after {!Engine.run}); returns the
+    tuple count. *)
+
+val write_outputs : Engine.t -> dir:string -> (string * int) list
+(** Write every [.output] relation to [<dir>/<name>.csv]. *)

@@ -1,0 +1,56 @@
+type t = {
+  inserts : int Atomic.t;
+  mem_tests : int Atomic.t;
+  lower_bounds : int Atomic.t;
+  upper_bounds : int Atomic.t;
+  input_tuples : int Atomic.t;
+  produced_tuples : int Atomic.t;
+}
+
+let create () =
+  {
+    inserts = Atomic.make 0;
+    mem_tests = Atomic.make 0;
+    lower_bounds = Atomic.make 0;
+    upper_bounds = Atomic.make 0;
+    input_tuples = Atomic.make 0;
+    produced_tuples = Atomic.make 0;
+  }
+
+let reset t =
+  Atomic.set t.inserts 0;
+  Atomic.set t.mem_tests 0;
+  Atomic.set t.lower_bounds 0;
+  Atomic.set t.upper_bounds 0;
+  Atomic.set t.input_tuples 0;
+  Atomic.set t.produced_tuples 0
+
+type snapshot = {
+  s_inserts : int;
+  s_mem_tests : int;
+  s_lower_bounds : int;
+  s_upper_bounds : int;
+  s_input_tuples : int;
+  s_produced_tuples : int;
+}
+
+let snapshot t =
+  {
+    s_inserts = Atomic.get t.inserts;
+    s_mem_tests = Atomic.get t.mem_tests;
+    s_lower_bounds = Atomic.get t.lower_bounds;
+    s_upper_bounds = Atomic.get t.upper_bounds;
+    s_input_tuples = Atomic.get t.input_tuples;
+    s_produced_tuples = Atomic.get t.produced_tuples;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "inserts=%.1e mem=%.1e lower_bound=%.1e upper_bound=%.1e input=%.1e \
+     produced=%.1e"
+    (float_of_int s.s_inserts)
+    (float_of_int s.s_mem_tests)
+    (float_of_int s.s_lower_bounds)
+    (float_of_int s.s_upper_bounds)
+    (float_of_int s.s_input_tuples)
+    (float_of_int s.s_produced_tuples)

@@ -1,0 +1,340 @@
+type rule_profile = {
+  rp_rule : string;       (* pretty-printed source rule *)
+  rp_delta : bool;        (* a semi-naive delta variant? *)
+  rp_evaluations : int;   (* times this version was evaluated *)
+  rp_seconds : float;     (* cumulative wall time *)
+}
+
+type result = {
+  relations : Relation.t array;
+  iterations : int;
+  profile : rule_profile list; (* sorted by descending time *)
+}
+
+(* Evaluate a source into the environment. *)
+let rec value env = function
+  | Plan.Const c -> c
+  | Plan.Slot s -> Array.unsafe_get env s
+  | Plan.SAdd (a, b) -> value env a + value env b
+  | Plan.SSub (a, b) -> value env a - value env b
+  | Plan.SMul (a, b) -> value env a * value env b
+
+let cmp_holds op x y =
+  match op with
+  | Ast.Lt -> x < y
+  | Ast.Le -> x <= y
+  | Ast.Gt -> x > y
+  | Ast.Ge -> x >= y
+  | Ast.Eq -> x = y
+  | Ast.Ne -> x <> y
+
+(* Per-worker execution context for one (sub-)plan: one entry per step.
+   Aggregate steps carry a nested context over the same environment. *)
+type wctx = {
+  env : int array;
+  steps : Plan.step array;
+  step_cursors : Relation.Cursor.t array;
+  step_sigids : int array;
+  step_scratch : int array array;
+  step_sub : wctx option array; (* Some for SAgg *)
+}
+
+(* Execute steps [i..]; [emit] fires once per complete match of the plan. *)
+let rec exec ctx i ~emit =
+  if i = Array.length ctx.steps then emit ()
+  else
+    match ctx.steps.(i) with
+    | Plan.SMatch m ->
+      let bound = ctx.step_scratch.(i) in
+      Array.iteri (fun j s -> bound.(j) <- value ctx.env s) m.m_bound;
+      Relation.Cursor.scan ctx.step_cursors.(i) ctx.step_sigids.(i) bound
+        (fun tup ->
+          let nb = Array.length m.m_binds in
+          for b = 0 to nb - 1 do
+            let col, slot = Array.unsafe_get m.m_binds b in
+            ctx.env.(slot) <- tup.(col)
+          done;
+          let ok = ref true in
+          let nc = Array.length m.m_checks in
+          for c = 0 to nc - 1 do
+            let col, s = Array.unsafe_get m.m_checks c in
+            if tup.(col) <> value ctx.env s then ok := false
+          done;
+          if !ok then exec ctx (i + 1) ~emit)
+    | Plan.SNeg n ->
+      let probe = ctx.step_scratch.(i) in
+      Array.iteri (fun j s -> probe.(j) <- value ctx.env s) n.n_bound;
+      if not (Relation.Cursor.mem ctx.step_cursors.(i) probe) then
+        exec ctx (i + 1) ~emit
+    | Plan.SCmp c ->
+      if cmp_holds c.c_op (value ctx.env c.c_lhs) (value ctx.env c.c_rhs) then
+        exec ctx (i + 1) ~emit
+    | Plan.SBind b ->
+      ctx.env.(b.b_slot) <- value ctx.env b.b_src;
+      exec ctx (i + 1) ~emit
+    | Plan.SAgg a -> (
+      let sub =
+        match ctx.step_sub.(i) with Some s -> s | None -> assert false
+      in
+      let result =
+        match a.a_func with
+        | Ast.Count ->
+          let c = ref 0 in
+          exec sub 0 ~emit:(fun () -> incr c);
+          Some !c
+        | Ast.Sum ->
+          let arg = Option.get a.a_arg in
+          let acc = ref 0 in
+          exec sub 0 ~emit:(fun () -> acc := !acc + value ctx.env arg);
+          Some !acc
+        | Ast.Min | Ast.Max ->
+          let arg = Option.get a.a_arg in
+          let keep_min = a.a_func = Ast.Min in
+          let best = ref None in
+          exec sub 0 ~emit:(fun () ->
+              let v = value ctx.env arg in
+              match !best with
+              | None -> best := Some v
+              | Some b -> if (if keep_min then v < b else v > b) then best := Some v);
+          (* min/max over an empty body: the literal does not fire *)
+          !best
+      in
+      match result with
+      | None -> ()
+      | Some v ->
+        if a.a_slot >= 0 then begin
+          ctx.env.(a.a_slot) <- v;
+          exec ctx (i + 1) ~emit
+        end
+        else if v = value ctx.env (Option.get a.a_check) then
+          exec ctx (i + 1) ~emit)
+
+(* Apply binds/checks of the (already matched) outer tuple, then run the
+   remaining steps. *)
+let exec_outer ctx tup ~emit =
+  match ctx.steps.(0) with
+  | Plan.SMatch m ->
+    let nb = Array.length m.m_binds in
+    for b = 0 to nb - 1 do
+      let col, slot = Array.unsafe_get m.m_binds b in
+      ctx.env.(slot) <- tup.(col)
+    done;
+    let ok = ref true in
+    let nc = Array.length m.m_checks in
+    for c = 0 to nc - 1 do
+      let col, s = Array.unsafe_get m.m_checks c in
+      if tup.(col) <> value ctx.env s then ok := false
+    done;
+    if !ok then exec ctx 1 ~emit
+  | Plan.SNeg _ | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ -> assert false
+
+let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
+    ~profile =
+  let npreds = plan.Plan.npreds in
+  let fulls =
+    Array.init npreds (fun p ->
+        Relation.create ~check_phases ~name:plan.Plan.pred_names.(p)
+          ~arity:plan.Plan.arities.(p) ~kind ~sigs:plan.Plan.sigs_full.(p)
+          ~stats ())
+  in
+  let load (p, tup) =
+    if Array.length tup <> plan.Plan.arities.(p) then
+      invalid_arg
+        (Printf.sprintf "fact arity mismatch for %s" plan.Plan.pred_names.(p));
+    if Relation.insert fulls.(p) tup then
+      match stats with
+      | Some s -> Atomic.incr s.Dl_stats.input_tuples
+      | None -> ()
+  in
+  List.iter load plan.Plan.facts;
+  List.iter load extra_facts;
+  let iterations = ref 0 in
+  (* delta / new relations, allocated per stratum *)
+  let deltas = Array.make npreds None in
+  let news = Array.make npreds None in
+  let fresh_rel p =
+    Relation.create ~check_phases ~name:plan.Plan.pred_names.(p)
+      ~arity:plan.Plan.arities.(p) ~kind
+      ~sigs:plan.Plan.sigs_delta.(p)
+      ~stats ()
+  in
+  let the = function Some r -> r | None -> assert false in
+  (* per compiled-rule-version accumulators, keyed physically *)
+  let prof : (Plan.crule * float ref * int ref) list ref = ref [] in
+  let prof_entry cr =
+    match List.find_opt (fun (c, _, _) -> c == cr) !prof with
+    | Some (_, t, n) -> (t, n)
+    | None ->
+      let t = ref 0.0 and n = ref 0 in
+      prof := (cr, t, n) :: !prof;
+      (t, n)
+  in
+  (* Evaluate one compiled rule version, reading delta relations where the
+     plan says so, writing into news.(head). *)
+  let eval_rule_timed (cr : Plan.crule) =
+    let step_rel step =
+      match step with
+      | Plan.SMatch m ->
+        if m.m_delta then the deltas.(m.m_pred) else fulls.(m.m_pred)
+      | Plan.SNeg n -> fulls.(n.n_pred)
+      | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ ->
+        (* these steps touch no relation; any placeholder works *)
+        fulls.(cr.cr_head)
+    in
+    (* resolve signature ids once per rule evaluation; workers then only
+       create cursors *)
+    let sigids_of steps =
+      Array.map
+        (fun step ->
+          match step with
+          | Plan.SMatch m -> Relation.sig_id (step_rel step) m.m_sig
+          | Plan.SNeg _ | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ -> -1)
+        steps
+    in
+    let scratch_len step =
+      match step with
+      | Plan.SMatch m -> Array.length m.m_sig
+      | Plan.SNeg n -> Array.length n.n_bound
+      | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ -> 0
+    in
+    let rec make_steps_ctx env steps =
+      {
+        env;
+        steps;
+        step_cursors =
+          Array.map (fun st -> Relation.Cursor.create (step_rel st)) steps;
+        step_sigids = sigids_of steps;
+        step_scratch = Array.map (fun st -> Array.make (scratch_len st) 0) steps;
+        step_sub =
+          Array.map
+            (fun st ->
+              match st with
+              | Plan.SAgg a -> Some (make_steps_ctx env a.a_steps)
+              | _ -> None)
+            steps;
+      }
+    in
+    (* per-worker context + emit: build the head tuple, dedup against full,
+       insert into new *)
+    let make_worker () =
+      let ctx = make_steps_ctx (Array.make (max 1 cr.cr_nslots) 0) cr.cr_steps in
+      let head_cursor = Relation.Cursor.create (the news.(cr.cr_head)) in
+      let full_head_cursor = Relation.Cursor.create fulls.(cr.cr_head) in
+      let emit () =
+        let tup = Array.map (fun s -> value ctx.env s) cr.cr_head_src in
+        if not (Relation.Cursor.mem full_head_cursor tup) then
+          ignore (Relation.Cursor.insert head_cursor tup : bool)
+      in
+      (ctx, emit)
+    in
+    match cr.cr_steps.(0) with
+    | Plan.SNeg _ | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ ->
+      (* ground prefix (e.g. `p(1) :- !q(2).`): no outer loop to split *)
+      let ctx, emit = make_worker () in
+      exec ctx 0 ~emit
+    | Plan.SMatch m ->
+      (* materialise the outer scan, then partition it over the pool *)
+      let outer_rel = step_rel cr.cr_steps.(0) in
+      let bound = Array.map (value [||]) m.m_bound in
+      (* outer bound sources are constants only: the first literal has no
+         previously bound variables; [value] with an empty env would fail on
+         slots, which the planner rules out *)
+      let cur = Relation.Cursor.create outer_rel in
+      let outer_sig = Relation.sig_id outer_rel m.m_sig in
+      let buf = ref [] and n = ref 0 in
+      Relation.Cursor.scan cur outer_sig bound (fun tup ->
+          buf := tup :: !buf;
+          incr n);
+      if !n > 0 then begin
+        let arr = Array.make !n [||] in
+        List.iteri (fun i tup -> arr.(i) <- tup) !buf;
+        if !n < 64 || Pool.size pool = 1 then begin
+          let ctx, emit = make_worker () in
+          Array.iter (fun tup -> exec_outer ctx tup ~emit) arr
+        end
+        else
+          Pool.parallel_for_ranges pool 0 !n (fun _w lo hi ->
+              let ctx, emit = make_worker () in
+              for i = lo to hi - 1 do
+                exec_outer ctx arr.(i) ~emit
+              done)
+      end
+  in
+  let eval_rule cr =
+    if profile then begin
+      let t, n = prof_entry cr in
+      incr n;
+      let t0 = Unix.gettimeofday () in
+      eval_rule_timed cr;
+      t := !t +. (Unix.gettimeofday () -. t0)
+    end
+    else eval_rule_timed cr
+  in
+  (* merge new into full, returning whether anything was new *)
+  let promote stratum =
+    let any = ref false in
+    Array.iter
+      (fun p ->
+        let n = the news.(p) in
+        if not (Relation.is_empty n) then begin
+          any := true;
+          let tuples = ref [] and cnt = ref 0 in
+          Relation.iter n (fun tup ->
+              tuples := tup :: !tuples;
+              incr cnt);
+          let arr = Array.make !cnt [||] in
+          List.iteri (fun i tup -> arr.(i) <- tup) !tuples;
+          if !cnt < 256 || Pool.size pool = 1 || not (Storage.thread_safe_insert kind)
+          then Array.iter (fun tup -> ignore (Relation.insert fulls.(p) tup : bool)) arr
+          else
+            Pool.parallel_for_ranges pool 0 !cnt (fun _w lo hi ->
+                for i = lo to hi - 1 do
+                  ignore (Relation.insert fulls.(p) arr.(i) : bool)
+                done)
+        end;
+        deltas.(p) <- news.(p);
+        news.(p) <- Some (fresh_rel p))
+      stratum;
+    !any
+  in
+  Array.iteri
+    (fun s stratum ->
+      let seed = plan.Plan.seed_rules.(s) in
+      let delta_versions = plan.Plan.delta_rules.(s) in
+      if seed <> [] then begin
+        Array.iter (fun p -> news.(p) <- Some (fresh_rel p)) stratum;
+        List.iter eval_rule seed;
+        incr iterations;
+        let continue = ref (promote stratum) in
+        while !continue && delta_versions <> [] do
+          List.iter eval_rule delta_versions;
+          incr iterations;
+          continue := promote stratum
+        done;
+        (* release per-stratum scaffolding *)
+        Array.iter
+          (fun p ->
+            deltas.(p) <- None;
+            news.(p) <- None)
+          stratum
+      end)
+    plan.Plan.strat.Stratify.strata;
+  let is_delta cr =
+    Array.exists
+      (function Plan.SMatch m -> m.Plan.m_delta | _ -> false)
+      cr.Plan.cr_steps
+  in
+  let profile =
+    List.sort
+      (fun a b -> compare b.rp_seconds a.rp_seconds)
+      (List.map
+         (fun ((cr : Plan.crule), t, n) ->
+           {
+             rp_rule = cr.Plan.cr_text;
+             rp_delta = is_delta cr;
+             rp_evaluations = !n;
+             rp_seconds = !t;
+           })
+         !prof)
+  in
+  { relations = fulls; iterations = !iterations; profile }

@@ -1,0 +1,39 @@
+(** Parallel semi-naive evaluation of a compiled program.
+
+    Stratum by stratum, the engine seeds each stratum with one naive round
+    over the current relation contents, then iterates the delta variants of
+    the recursive rules to the fixed point.  Rule instances are evaluated in
+    parallel by partitioning the outer (delta) scan across the worker pool;
+    every worker drives the storage layer through its own hint-carrying
+    cursors, and produced tuples are inserted into the shared [new]
+    relations concurrently — the parallelisation scheme of the paper's
+    section 2. *)
+
+type rule_profile = {
+  rp_rule : string;       (** pretty-printed source rule *)
+  rp_delta : bool;        (** a semi-naive delta variant? *)
+  rp_evaluations : int;   (** times this version was evaluated *)
+  rp_seconds : float;     (** cumulative wall time *)
+}
+
+type result = {
+  relations : Relation.t array; (** final full relations, by predicate id *)
+  iterations : int; (** total fixed-point rounds across all strata *)
+  profile : rule_profile list;
+      (** per rule-version timings, sorted by descending cumulative time;
+          empty unless profiling was requested *)
+}
+
+val run :
+  ?check_phases:bool ->
+  Plan.t ->
+  pool:Pool.t ->
+  kind:Storage.kind ->
+  stats:Dl_stats.t option ->
+  extra_facts:(int * int array) list ->
+  profile:bool ->
+  result
+(** [extra_facts] are programmatically added input tuples (pred id, tuple);
+    they are loaded alongside the program's inline facts.  [check_phases]
+    wraps every index in {!Storage.Index.with_phase_check}, turning any
+    violation of the two-phase access discipline into an exception. *)

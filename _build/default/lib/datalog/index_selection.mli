@@ -1,0 +1,38 @@
+(** Minimal index selection (the paper's companion technique, cited as
+    "Optimal On The Fly Index Selection in Polynomial Time" [29]).
+
+    A join literal whose bound column set is [S] can be answered by any
+    index whose column order starts with the elements of [S] (in any
+    permutation): the bound columns form a prefix, so the matching tuples
+    are contiguous.  Consequently two signatures [S ⊂ T] can share a single
+    index ordered [elements of S ++ elements of T\S ++ rest] — and, in
+    general, every {e chain} in the subset partial order needs only one
+    index.  The minimal number of indexes for a relation is therefore the
+    minimum chain cover of its signature set, computed here exactly via
+    maximum bipartite matching (Dilworth / König), as in the cited paper.
+
+    The result maps each signature to the index ordering that serves it. *)
+
+type plan = {
+  orders : int array list;
+      (** one index ordering (a column permutation prefix, possibly partial —
+          extend with the remaining columns for a total order) per chain *)
+  assignment : (int array * int) list;
+      (** signature (sorted ascending) -> position of its index in [orders] *)
+}
+
+val solve : arity:int -> int array list -> plan
+(** [solve ~arity sigs] computes a minimum chain cover of the given
+    signatures (each a strictly increasing column array).  Signatures may
+    repeat; duplicates share the same assignment.  The empty signature is
+    ignored (the primary index always exists).
+
+    Each returned order lists the columns of the chain's smallest signature
+    first, then the increments along the chain, then any remaining columns
+    of the relation — so for every signature assigned to it, the
+    signature's columns form a prefix of the order. *)
+
+val chains_lower_bound : int array list -> int
+(** Size of the largest antichain in the signature set (by brute force over
+    the distinct signatures; they are few).  By Dilworth's theorem the
+    minimum chain cover has exactly this size — exposed for tests. *)

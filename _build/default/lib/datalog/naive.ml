@@ -1,0 +1,248 @@
+module TupleSet = Set.Make (struct
+  type t = int array
+
+  let compare = Key.Int_array.compare
+end)
+
+
+let rec term_value symtab env = function
+  | Ast.Int n -> Some n
+  | Ast.Sym s -> Some (Symtab.intern symtab s)
+  | Ast.Var v -> List.assoc_opt v env
+  | Ast.Add (a, b) -> arith symtab env ( + ) a b
+  | Ast.Sub (a, b) -> arith symtab env ( - ) a b
+  | Ast.Mul (a, b) -> arith symtab env ( * ) a b
+
+and arith symtab env op a b =
+  match (term_value symtab env a, term_value symtab env b) with
+  | Some x, Some y -> Some (op x y)
+  | _ -> None
+
+let cmp_holds op x y =
+  match op with
+  | Ast.Lt -> x < y
+  | Ast.Le -> x <= y
+  | Ast.Gt -> x > y
+  | Ast.Ge -> x >= y
+  | Ast.Eq -> x = y
+  | Ast.Ne -> x <> y
+
+let run (prog : Ast.program) ~extra_facts =
+  let symtab = Symtab.create () in
+  (* predicate ids for stratification only *)
+  let ids = Hashtbl.create 16 in
+  let next = ref 0 in
+  let id_of name =
+    match Hashtbl.find_opt ids name with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      incr next;
+      Hashtbl.add ids name i;
+      i
+  in
+  List.iter (fun (d : Ast.decl) -> ignore (id_of d.name : int)) prog.decls;
+  List.iter
+    (fun (r : Ast.rule) ->
+      ignore (id_of r.head.Ast.pred : int);
+      let rec visit l =
+        match l with
+        | Ast.Pos a | Ast.Neg a -> ignore (id_of a.Ast.pred : int)
+        | Ast.Cmp _ -> ()
+        | Ast.Agg g -> List.iter visit g.Ast.agg_body
+      in
+      List.iter visit r.body)
+    prog.rules;
+  let edges =
+    List.concat_map
+      (fun (r : Ast.rule) ->
+        if r.body = [] then []
+        else
+          let h = id_of r.head.Ast.pred in
+          let rec edges_of l =
+            match l with
+            | Ast.Pos a -> [ (h, id_of a.Ast.pred, false) ]
+            | Ast.Neg a -> [ (h, id_of a.Ast.pred, true) ]
+            | Ast.Cmp _ -> []
+            | Ast.Agg g ->
+              (* aggregated predicates behave like negated ones: they must
+                 be complete before the aggregate is taken *)
+              List.concat_map
+                (fun inner ->
+                  List.map (fun (a, b, _) -> (a, b, true)) (edges_of inner))
+                g.Ast.agg_body
+          in
+          List.concat_map edges_of r.body)
+      prog.rules
+  in
+  let strat = Stratify.compute ~npreds:!next ~edges in
+  let stratum_of_pred name = strat.Stratify.stratum_of.(id_of name) in
+  (* data *)
+  let data : (string, TupleSet.t ref) Hashtbl.t = Hashtbl.create 16 in
+  let rel name =
+    match Hashtbl.find_opt data name with
+    | Some r -> r
+    | None ->
+      let r = ref TupleSet.empty in
+      Hashtbl.add data name r;
+      r
+  in
+  let add name tup =
+    let r = rel name in
+    if TupleSet.mem tup !r then false
+    else begin
+      r := TupleSet.add tup !r;
+      true
+    end
+  in
+  (* facts *)
+  List.iter
+    (fun (r : Ast.rule) ->
+      if r.body = [] then begin
+        let tup =
+          Array.of_list
+            (List.map
+               (fun a ->
+                 match term_value symtab [] a with
+                 | Some v -> v
+                 | None -> failwith "naive: fact with variable")
+               r.head.Ast.args)
+        in
+        ignore (add r.head.Ast.pred tup : bool)
+      end)
+    prog.rules;
+  List.iter (fun (name, tup) -> ignore (add name tup : bool)) extra_facts;
+  (* brute-force joins *)
+  let match_atom env (a : Ast.atom) (tup : int array) =
+    let rec go env i = function
+      | [] -> Some env
+      | arg :: rest -> (
+        match term_value symtab env arg with
+        | Some v -> if tup.(i) = v then go env (i + 1) rest else None
+        | None -> (
+          match arg with
+          | Ast.Var v -> go ((v, tup.(i)) :: env) (i + 1) rest
+          | _ -> None))
+    in
+    go env 0 a.Ast.args
+  in
+  let eval_rule (r : Ast.rule) =
+    let changed = ref false in
+    let rec go env = function
+      | [] ->
+        let tup =
+          Array.of_list
+            (List.map
+               (fun a ->
+                 match term_value symtab env a with
+                 | Some v -> v
+                 | None -> failwith "naive: unsafe head")
+               r.head.Ast.args)
+        in
+        if add r.head.Ast.pred tup then changed := true
+      | Ast.Pos a :: rest ->
+        TupleSet.iter
+          (fun tup ->
+            match match_atom env a tup with
+            | Some env -> go env rest
+            | None -> ())
+          !(rel a.Ast.pred)
+      | Ast.Neg a :: rest ->
+        let tup =
+          Array.of_list
+            (List.map
+               (fun arg ->
+                 match term_value symtab env arg with
+                 | Some v -> v
+                 | None -> failwith "naive: unsafe negation")
+               a.Ast.args)
+        in
+        if not (TupleSet.mem tup !(rel a.Ast.pred)) then go env rest
+      | Ast.Cmp (op, a, b) :: rest -> (
+        match (term_value symtab env a, term_value symtab env b) with
+        | Some x, Some y -> if cmp_holds op x y then go env rest
+        | None, Some y -> (
+          (* assignment form: x = e *)
+          match (op, a) with
+          | Ast.Eq, Ast.Var v -> go ((v, y) :: env) rest
+          | _ -> failwith "naive: unsafe comparison")
+        | Some x, None -> (
+          match (op, b) with
+          | Ast.Eq, Ast.Var v -> go ((v, x) :: env) rest
+          | _ -> failwith "naive: unsafe comparison")
+        | None, None -> failwith "naive: unsafe comparison")
+      | Ast.Agg g :: rest ->
+        (* enumerate the inner body with the outer bindings visible and
+           fold the aggregate; inner bindings stay scoped to the body *)
+        let acc = ref [] in
+        let rec inner env = function
+          | [] ->
+            let v =
+              match g.Ast.agg_arg with
+              | None -> 0
+              | Some t -> (
+                match term_value symtab env t with
+                | Some v -> v
+                | None -> failwith "naive: unbound aggregate argument")
+            in
+            acc := v :: !acc
+          | Ast.Pos a :: irest ->
+            TupleSet.iter
+              (fun tup ->
+                match match_atom env a tup with
+                | Some env -> inner env irest
+                | None -> ())
+              !(rel a.Ast.pred)
+          | Ast.Cmp (op, a, b) :: irest -> (
+            match (term_value symtab env a, term_value symtab env b) with
+            | Some x, Some y -> if cmp_holds op x y then inner env irest
+            | None, Some y -> (
+              match (op, a) with
+              | Ast.Eq, Ast.Var v -> inner ((v, y) :: env) irest
+              | _ -> failwith "naive: unsafe comparison in aggregate")
+            | Some x, None -> (
+              match (op, b) with
+              | Ast.Eq, Ast.Var v -> inner ((v, x) :: env) irest
+              | _ -> failwith "naive: unsafe comparison in aggregate")
+            | None, None -> failwith "naive: unsafe comparison in aggregate")
+          | (Ast.Neg _ | Ast.Agg _) :: _ ->
+            failwith "naive: unsupported literal inside aggregate"
+        in
+        inner env g.Ast.agg_body;
+        let result =
+          match (g.Ast.agg_func, !acc) with
+          | Ast.Count, l -> Some (List.length l)
+          | Ast.Sum, l -> Some (List.fold_left ( + ) 0 l)
+          | (Ast.Min | Ast.Max), [] -> None (* no match: rule does not fire *)
+          | Ast.Min, l -> Some (List.fold_left min max_int l)
+          | Ast.Max, l -> Some (List.fold_left max min_int l)
+        in
+        (match result with
+        | None -> ()
+        | Some v -> (
+          match List.assoc_opt g.Ast.agg_result env with
+          | Some bound -> if bound = v then go env rest
+          | None -> go ((g.Ast.agg_result, v) :: env) rest))
+    in
+    go [] r.body;
+    !changed
+  in
+  let nstrata = Array.length strat.Stratify.strata in
+  for s = 0 to nstrata - 1 do
+    let stratum_rules =
+      List.filter
+        (fun (r : Ast.rule) ->
+          r.body <> [] && stratum_of_pred r.head.Ast.pred = s)
+        prog.rules
+    in
+    if stratum_rules <> [] then begin
+      let continue = ref true in
+      while !continue do
+        continue := false;
+        List.iter (fun r -> if eval_rule r then continue := true) stratum_rules
+      done
+    end
+  done;
+  let out = Hashtbl.create 16 in
+  Hashtbl.iter (fun name set -> Hashtbl.replace out name (TupleSet.elements !set)) data;
+  out

@@ -1,0 +1,13 @@
+(** Reference evaluator: naive bottom-up fixed point with brute-force joins
+    and no indexes, deltas or parallelism.  Deliberately written without any
+    machinery shared with {!Eval} so the two can be tested differentially on
+    random programs. *)
+
+val run :
+  Ast.program -> extra_facts:(string * int array) list -> (string, int array list) Hashtbl.t
+(** Returns every relation's final contents (sorted).  Symbol constants are
+    interned in first-occurrence order (matching {!Engine.create} followed by
+    {!Engine.add_fact} in the same order, for programs whose symbols appear
+    in rule text before facts).
+    @raise Stratify.Not_stratifiable on negative recursion
+    @raise Failure on unsafe rules *)

@@ -1,0 +1,524 @@
+exception Syntax_error of { line : int; col : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string   (* lower- or upper-case identifier *)
+  | NUMBER of int
+  | STRING of string
+  | DOT
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | IMPLIES (* :- *)
+  | COLON
+  | BANG
+  | PLUS
+  | MINUS
+  | STAR
+  | LBRACE
+  | RBRACE
+  | CMP of Ast.cmpop
+  | DIRECTIVE of string (* .decl / .input / .output *)
+  | EOF
+
+type lexer_state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let error st message =
+  raise (Syntax_error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '?'
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src -> begin
+    match st.src.[st.pos + 1] with
+    | '/' ->
+      while peek_char st <> None && peek_char st <> Some '\n' do
+        advance st
+      done;
+      skip_ws st
+    | '*' ->
+      advance st;
+      advance st;
+      let rec close () =
+        match peek_char st with
+        | None -> error st "unterminated block comment"
+        | Some '*' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' ->
+          advance st;
+          advance st
+        | Some _ ->
+          advance st;
+          close ()
+      in
+      close ();
+      skip_ws st
+    | _ -> ()
+  end
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while match peek_char st with Some c -> is_ident_char c | None -> false do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start = st.pos in
+  (match peek_char st with Some '-' -> advance st | _ -> ());
+  while match peek_char st with Some c -> c >= '0' && c <= '9' | None -> false do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> n
+  | None -> error st (Printf.sprintf "invalid number %S" text)
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek_char st with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some c -> Buffer.add_char buf c
+      | None -> error st "unterminated escape");
+      advance st;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st =
+  skip_ws st;
+  match peek_char st with
+  | None -> EOF
+  | Some c -> (
+    match c with
+    | ',' ->
+      advance st;
+      COMMA
+    | '(' ->
+      advance st;
+      LPAREN
+    | ')' ->
+      advance st;
+      RPAREN
+    | '{' ->
+      advance st;
+      LBRACE
+    | '}' ->
+      advance st;
+      RBRACE
+    | '!' ->
+      advance st;
+      if peek_char st = Some '=' then begin
+        advance st;
+        CMP Ast.Ne
+      end
+      else BANG
+    | '"' -> STRING (lex_string st)
+    | '<' ->
+      advance st;
+      if peek_char st = Some '=' then begin
+        advance st;
+        CMP Ast.Le
+      end
+      else CMP Ast.Lt
+    | '>' ->
+      advance st;
+      if peek_char st = Some '=' then begin
+        advance st;
+        CMP Ast.Ge
+      end
+      else CMP Ast.Gt
+    | '=' ->
+      advance st;
+      CMP Ast.Eq
+    | '+' ->
+      advance st;
+      PLUS
+    | '*' ->
+      advance st;
+      STAR
+    | ':' ->
+      advance st;
+      if peek_char st = Some '-' then begin
+        advance st;
+        IMPLIES
+      end
+      else COLON
+    | '.' ->
+      advance st;
+      (match peek_char st with
+      | Some c2 when is_ident_start c2 -> DIRECTIVE (lex_ident st)
+      | _ -> DOT)
+    | '-' ->
+      if
+        st.pos + 1 < String.length st.src
+        && st.src.[st.pos + 1] >= '0'
+        && st.src.[st.pos + 1] <= '9'
+      then NUMBER (lex_number st)
+      else begin
+        advance st;
+        MINUS
+      end
+    | c when c >= '0' && c <= '9' -> NUMBER (lex_number st)
+    | c when is_ident_start c -> IDENT (lex_ident st)
+    | c -> error st (Printf.sprintf "unexpected character %C" c))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = {
+  lx : lexer_state;
+  mutable tok : token;
+  mutable wildcards : int; (* counter for fresh names of `_` *)
+}
+
+let shift ps = ps.tok <- next_token ps.lx
+let perror ps message = error ps.lx message
+
+let expect ps tok message =
+  if ps.tok = tok then shift ps else perror ps message
+
+(* expressions: factor := var | number | string | '(' expr ')';
+   product := factor ('*' factor)*;
+   expr := product (('+'|'-') product)* *)
+let rec parse_factor ps =
+  match ps.tok with
+  | IDENT "_" ->
+    shift ps;
+    ps.wildcards <- ps.wildcards + 1;
+    Ast.Var (Printf.sprintf "_w%d" ps.wildcards)
+  | IDENT v ->
+    shift ps;
+    Ast.Var v
+  | NUMBER n ->
+    shift ps;
+    Ast.Int n
+  | STRING s ->
+    shift ps;
+    Ast.Sym s
+  | LPAREN ->
+    shift ps;
+    let e = parse_expr ps in
+    expect ps RPAREN "expected ')' closing expression";
+    e
+  | _ -> perror ps "expected a term (variable, number, string or '(')"
+
+and parse_product ps =
+  let rec go acc =
+    match ps.tok with
+    | STAR ->
+      shift ps;
+      go (Ast.Mul (acc, parse_factor ps))
+    | _ -> acc
+  in
+  go (parse_factor ps)
+
+and parse_expr ps =
+  let rec go acc =
+    match ps.tok with
+    | PLUS ->
+      shift ps;
+      go (Ast.Add (acc, parse_product ps))
+    | MINUS ->
+      shift ps;
+      go (Ast.Sub (acc, parse_product ps))
+    | _ -> acc
+  in
+  go (parse_product ps)
+
+(* continue an expression whose first factor was already consumed *)
+and parse_expr_from ps first =
+  let first =
+    let rec prod acc =
+      match ps.tok with
+      | STAR ->
+        shift ps;
+        prod (Ast.Mul (acc, parse_factor ps))
+      | _ -> acc
+    in
+    prod first
+  in
+  let rec go acc =
+    match ps.tok with
+    | PLUS ->
+      shift ps;
+      go (Ast.Add (acc, parse_product ps))
+    | MINUS ->
+      shift ps;
+      go (Ast.Sub (acc, parse_product ps))
+    | _ -> acc
+  in
+  go first
+
+let parse_term = parse_expr
+
+let parse_atom ps =
+  match ps.tok with
+  | IDENT pred ->
+    shift ps;
+    expect ps LPAREN "expected '(' after predicate name";
+    let rec args acc =
+      let t = parse_term ps in
+      match ps.tok with
+      | COMMA ->
+        shift ps;
+        args (t :: acc)
+      | RPAREN ->
+        shift ps;
+        List.rev (t :: acc)
+      | _ -> perror ps "expected ',' or ')' in argument list"
+    in
+    let args = if ps.tok = RPAREN then (shift ps; []) else args [] in
+    Ast.atom pred args
+  | _ -> perror ps "expected predicate name"
+
+let agg_func_of_name = function
+  | "count" -> Some Ast.Count
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | "sum" -> Some Ast.Sum
+  | _ -> None
+
+(* after `v =` the right side may be an aggregate:
+     v = count : { body }      v = min expr : { body }
+   or an ordinary expression. *)
+let rec parse_cmp_rest ps lhs =
+  match ps.tok with
+  | CMP op -> (
+    shift ps;
+    match (op, lhs, ps.tok) with
+    | Ast.Eq, Ast.Var result, IDENT name when agg_func_of_name name <> None -> (
+      let func = Option.get (agg_func_of_name name) in
+      shift ps;
+      match (func, ps.tok) with
+      | Ast.Count, COLON -> parse_agg_body ps ~result ~func ~arg:None
+      | (Ast.Min | Ast.Max | Ast.Sum), (IDENT _ | NUMBER _ | STRING _ | LPAREN)
+        ->
+        let arg = parse_expr ps in
+        parse_agg_body ps ~result ~func ~arg:(Some arg)
+      | _ ->
+        (* not aggregate syntax: the name was an ordinary variable *)
+        let rhs = parse_expr_from ps (Ast.Var name) in
+        Ast.Cmp (op, lhs, rhs))
+    | _ ->
+      let rhs = parse_expr ps in
+      Ast.Cmp (op, lhs, rhs))
+  | _ -> perror ps "expected a comparison operator"
+
+and parse_agg_body ps ~result ~func ~arg =
+  expect ps COLON "expected ':' before aggregate body";
+  expect ps LBRACE "expected '{' opening aggregate body";
+  let rec body acc =
+    let l = parse_literal ps in
+    (match l with
+    | Ast.Pos _ | Ast.Cmp _ -> ()
+    | Ast.Neg _ -> perror ps "negation not supported inside aggregates"
+    | Ast.Agg _ -> perror ps "nested aggregates are not supported");
+    match ps.tok with
+    | COMMA ->
+      shift ps;
+      body (l :: acc)
+    | RBRACE ->
+      shift ps;
+      List.rev (l :: acc)
+    | _ -> perror ps "expected ',' or '}' in aggregate body"
+  in
+  let agg_body = body [] in
+  Ast.Agg { Ast.agg_result = result; agg_func = func; agg_arg = arg; agg_body }
+
+and parse_literal ps =
+  match ps.tok with
+  | BANG ->
+    shift ps;
+    Ast.Neg (parse_atom ps)
+  | IDENT name ->
+    shift ps;
+    if ps.tok = LPAREN then begin
+      (* an atom: re-use parse_atom's argument parsing *)
+      shift ps;
+      let rec args acc =
+        let t = parse_term ps in
+        match ps.tok with
+        | COMMA ->
+          shift ps;
+          args (t :: acc)
+        | RPAREN ->
+          shift ps;
+          List.rev (t :: acc)
+        | _ -> perror ps "expected ',' or ')' in argument list"
+      in
+      let args = if ps.tok = RPAREN then (shift ps; []) else args [] in
+      Ast.Pos (Ast.atom name args)
+    end
+    else
+      (* a constraint whose left side starts with this variable *)
+      let lhs =
+        if name = "_" then perror ps "'_' cannot appear in a constraint"
+        else parse_expr_from ps (Ast.Var name)
+      in
+      parse_cmp_rest ps lhs
+  | NUMBER _ | STRING _ | LPAREN ->
+    let lhs = parse_expr ps in
+    parse_cmp_rest ps lhs
+  | _ -> perror ps "expected a literal (atom, negated atom or constraint)"
+
+let parse_clause ps =
+  let head = parse_atom ps in
+  match ps.tok with
+  | DOT ->
+    shift ps;
+    Ast.rule head []
+  | IMPLIES ->
+    shift ps;
+    let rec body acc =
+      let l = parse_literal ps in
+      match ps.tok with
+      | COMMA ->
+        shift ps;
+        body (l :: acc)
+      | DOT ->
+        shift ps;
+        List.rev (l :: acc)
+      | _ -> perror ps "expected ',' or '.' in rule body"
+    in
+    Ast.rule head (body [])
+  | _ -> perror ps "expected '.' or ':-' after atom"
+
+(* .decl name(arg:type, ...) — argument names/types are parsed and ignored
+   beyond the arity. *)
+let parse_decl ps =
+  match ps.tok with
+  | IDENT name ->
+    shift ps;
+    expect ps LPAREN "expected '(' in .decl";
+    let rec fields n =
+      match ps.tok with
+      | RPAREN ->
+        shift ps;
+        n
+      | IDENT _ ->
+        shift ps;
+        (* optional ":type" annotation *)
+        (match ps.tok with
+        | COLON -> (
+          shift ps;
+          match ps.tok with
+          | IDENT _ -> shift ps
+          | _ -> perror ps "expected type name after ':' in .decl")
+        | _ -> ());
+        let n = n + 1 in
+        (match ps.tok with
+        | COMMA ->
+          shift ps;
+          fields n
+        | RPAREN ->
+          shift ps;
+          n
+        | _ -> perror ps "expected ',' or ')' in .decl")
+      | _ -> perror ps "expected field name in .decl"
+    in
+    let arity = fields 0 in
+    (name, arity)
+  | _ -> perror ps "expected relation name after .decl"
+
+let parse_program ps =
+  let decls = Hashtbl.create 16 in
+  let order = ref [] in
+  let rules = ref [] in
+  let ensure_decl name =
+    if not (Hashtbl.mem decls name) then begin
+      Hashtbl.add decls name
+        { Ast.name; arity = -1; is_input = false; is_output = false };
+      order := name :: !order
+    end
+  in
+  let update name f =
+    ensure_decl name;
+    Hashtbl.replace decls name (f (Hashtbl.find decls name))
+  in
+  let rec loop () =
+    match ps.tok with
+    | EOF -> ()
+    | DIRECTIVE "decl" ->
+      shift ps;
+      let name, arity = parse_decl ps in
+      update name (fun d -> { d with Ast.arity });
+      loop ()
+    | DIRECTIVE "input" ->
+      shift ps;
+      (match ps.tok with
+      | IDENT name ->
+        shift ps;
+        update name (fun d -> { d with Ast.is_input = true });
+        loop ()
+      | _ -> perror ps "expected relation name after .input")
+    | DIRECTIVE "output" ->
+      shift ps;
+      (match ps.tok with
+      | IDENT name ->
+        shift ps;
+        update name (fun d -> { d with Ast.is_output = true });
+        loop ()
+      | _ -> perror ps "expected relation name after .output")
+    | DIRECTIVE d -> perror ps (Printf.sprintf "unknown directive .%s" d)
+    | _ ->
+      rules := parse_clause ps :: !rules;
+      loop ()
+  in
+  loop ();
+  {
+    Ast.decls = List.rev_map (Hashtbl.find decls) !order;
+    rules = List.rev !rules;
+  }
+
+let parse_string ?filename:_ src =
+  let lx = { src; pos = 0; line = 1; bol = 0 } in
+  let ps = { lx; tok = EOF; wildcards = 0 } in
+  ps.tok <- next_token lx;
+  parse_program ps
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_string ~filename:path src

@@ -1,0 +1,10 @@
+(** Hand-written lexer and recursive-descent parser for the Datalog dialect
+    described in {!Ast}. *)
+
+exception Syntax_error of { line : int; col : int; message : string }
+
+val parse_string : ?filename:string -> string -> Ast.program
+(** @raise Syntax_error with position information on malformed input. *)
+
+val parse_file : string -> Ast.program
+(** Reads and parses a whole file.  @raise Sys_error on IO failure. *)

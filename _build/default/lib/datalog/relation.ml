@@ -1,0 +1,164 @@
+type t = {
+  name : string;
+  arity : int;
+  kind : Storage.kind;
+  stats : Dl_stats.t option;
+  write_lock : Mutex.t option; (* Some for kinds without thread-safe insert *)
+  primary : Storage.Index.t;
+  secondary : (int array * Storage.Index.t) array;
+      (* signature -> serving index; entries may share indexes physically
+         (chain cover, tree kinds only) *)
+  distinct : Storage.Index.t array; (* each underlying secondary index once *)
+}
+
+(* Tree indexes can serve every signature on a containment chain; hash
+   multimaps serve exactly one signature each. *)
+let shares_indexes = function
+  | Storage.Btree | Storage.Btree_nohints | Storage.Rbtree | Storage.Bplus ->
+    true
+  | Storage.Hashset | Storage.Tbb_hash -> false
+
+let create ?(check_phases = false) ~name ~arity ~kind ~sigs ~stats () =
+  let checked i idx =
+    if check_phases then
+      Storage.Index.with_phase_check
+        ~name:(Printf.sprintf "%s[%d]" name i)
+        idx
+    else idx
+  in
+  let uniq =
+    List.sort_uniq compare (List.filter (fun s -> Array.length s > 0) sigs)
+  in
+  let secondary, distinct =
+    if shares_indexes kind then begin
+      let plan = Index_selection.solve ~arity uniq in
+      let indexes =
+        Array.of_list
+          (List.mapi
+             (fun i order ->
+               checked (i + 1)
+                 (Storage.Index.create kind ~arity ~cols:[||] ~order ~stats ()))
+             plan.Index_selection.orders)
+      in
+      ( Array.of_list
+          (List.map
+             (fun (cols, chain) -> (cols, indexes.(chain)))
+             plan.Index_selection.assignment),
+        indexes )
+    end
+    else begin
+      let entries =
+        List.mapi
+          (fun i cols ->
+            (cols, checked (i + 1) (Storage.Index.create kind ~arity ~cols ~stats ())))
+          uniq
+      in
+      (Array.of_list entries, Array.of_list (List.map snd entries))
+    end
+  in
+  {
+    name;
+    arity;
+    kind;
+    stats;
+    write_lock =
+      (if Storage.thread_safe_insert kind then None else Some (Mutex.create ()));
+    primary = checked 0 (Storage.Index.create kind ~arity ~cols:[||] ~stats ());
+    secondary;
+    distinct;
+  }
+
+let name t = t.name
+let arity t = t.arity
+let cardinal t = Storage.Index.cardinal t.primary
+let is_empty t = Storage.Index.is_empty t.primary
+let iter t f = Storage.Index.iter t.primary f
+let mem t tup = Storage.Index.mem t.primary tup
+
+let insert_unlocked t tup =
+  let fresh = Storage.Index.insert t.primary tup in
+  if fresh then
+    Array.iter
+      (fun idx -> ignore (Storage.Index.insert idx tup : bool))
+      t.distinct;
+  fresh
+
+let insert t tup =
+  match t.write_lock with
+  | None -> insert_unlocked t tup
+  | Some m -> Mutex.protect m (fun () -> insert_unlocked t tup)
+
+let hint_counters t =
+  let add acc idx =
+    match (acc, Storage.Index.hint_counters idx) with
+    | None, c -> c
+    | Some (h, m), Some (h', m') -> Some (h + h', m + m')
+    | Some _, None -> acc
+  in
+  Array.fold_left (fun acc idx -> add acc idx) (add None t.primary) t.distinct
+
+let index_count t = Array.length t.distinct
+
+let sig_id t cols =
+  let n = Array.length t.secondary in
+  let rec go i =
+    if i = n then raise Not_found
+    else if fst t.secondary.(i) = cols then i
+    else go (i + 1)
+  in
+  if Array.length cols = 0 then -1 else go 0
+
+module Cursor = struct
+  type rel = t
+
+  type t = {
+    rel : rel;
+    c_primary : Storage.Index.cursor;
+    c_insert : Storage.Index.cursor array; (* one per underlying index *)
+    c_scan : (int array * Storage.Index.cursor) array; (* one per signature *)
+  }
+
+  let create rel =
+    {
+      rel;
+      c_primary = Storage.Index.cursor rel.primary;
+      c_insert = Array.map Storage.Index.cursor rel.distinct;
+      c_scan =
+        Array.map
+          (fun (cols, idx) -> (cols, Storage.Index.cursor idx))
+          rel.secondary;
+    }
+
+  let count_insert c fresh =
+    match c.rel.stats with
+    | None -> ()
+    | Some s ->
+      Atomic.incr s.Dl_stats.inserts;
+      if fresh then Atomic.incr s.Dl_stats.produced_tuples
+
+  let insert_unlocked c tup =
+    let fresh = Storage.Index.c_insert c.c_primary tup in
+    if fresh then
+      Array.iter
+        (fun cur -> ignore (Storage.Index.c_insert cur tup : bool))
+        c.c_insert;
+    fresh
+
+  let insert c tup =
+    let fresh =
+      match c.rel.write_lock with
+      | None -> insert_unlocked c tup
+      | Some m -> Mutex.protect m (fun () -> insert_unlocked c tup)
+    in
+    count_insert c fresh;
+    fresh
+
+  let mem c tup = Storage.Index.c_mem c.c_primary tup
+
+  let scan c sig_id bound f =
+    if sig_id < 0 then Storage.Index.c_scan c.c_primary ~cols:[||] bound f
+    else begin
+      let cols, cur = c.c_scan.(sig_id) in
+      Storage.Index.c_scan cur ~cols bound f
+    end
+end

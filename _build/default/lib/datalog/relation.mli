@@ -1,0 +1,66 @@
+(** A Datalog relation: a set of fixed-arity integer tuples held in a
+    primary index plus the secondary indexes the compiled rules require.
+
+    Insertion goes to all indexes and is deduplicated by the primary; for
+    storage kinds whose insert is not thread-safe a per-relation mutex
+    serialises writers (the paper's "global lock" configurations).  Reads
+    are never synchronised — the engine guarantees the two-phase access
+    discipline. *)
+
+type t
+
+val create :
+  ?check_phases:bool ->
+  name:string ->
+  arity:int ->
+  kind:Storage.kind ->
+  sigs:int array list ->
+  stats:Dl_stats.t option ->
+  unit ->
+  t
+(** [sigs] are the secondary-index signatures (each a strictly increasing,
+    non-empty array of column indices); the primary index always exists.
+    For tree-backed storage kinds, signatures forming containment chains
+    share one physical index whose order serves every signature on the
+    chain ({!Index_selection} — the paper's companion index-minimisation
+    technique); hash kinds get one multimap per signature. *)
+
+val index_count : t -> int
+(** Number of physical secondary indexes (≤ number of signatures for tree
+    kinds). *)
+
+val name : t -> string
+val arity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+val iter : t -> (int array -> unit) -> unit
+val mem : t -> int array -> bool
+
+val insert : t -> int array -> bool
+(** Direct insert (fact loading, merging); thread-safety per the contract
+    above.  [true] iff the tuple was new. *)
+
+val hint_counters : t -> (int * int) option
+(** Aggregated (hits, misses) of every hint-carrying cursor over all of the
+    relation's indexes; [None] for hint-less storage kinds. *)
+
+val sig_id : t -> int array -> int
+(** Index id of a signature for {!Cursor.scan}; [-1] denotes the primary.
+    @raise Not_found if the signature was not declared at creation. *)
+
+(** Per-worker access handles (hint-carrying cursors over every index). *)
+module Cursor : sig
+  type rel = t
+  type t
+
+  val create : rel -> t
+
+  val insert : t -> int array -> bool
+  (** Insert through this worker's hinted cursors; counts an insert attempt
+      and — when fresh — a produced tuple into the stats. *)
+
+  val mem : t -> int array -> bool
+  val scan : t -> int -> int array -> (int array -> unit) -> unit
+  (** [scan c sig_id bound f]: enumerate tuples matching [bound] on the
+      signature [sig_id] (from {!sig_id}); [-1] scans the whole relation. *)
+end

@@ -1,0 +1,574 @@
+type kind = Btree | Btree_nohints | Rbtree | Hashset | Bplus | Tbb_hash
+
+let all_kinds = [ Btree; Btree_nohints; Rbtree; Hashset; Bplus; Tbb_hash ]
+
+let kind_name = function
+  | Btree -> "btree"
+  | Btree_nohints -> "btree (n/h)"
+  | Rbtree -> "rbtset"
+  | Hashset -> "hashset"
+  | Bplus -> "google btree"
+  | Tbb_hash -> "tbb hashset"
+
+let kind_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "btree" -> Some Btree
+  | "btree-nohints" | "btree (n/h)" | "btree_nohints" -> Some Btree_nohints
+  | "rbtree" | "rbtset" -> Some Rbtree
+  | "hashset" -> Some Hashset
+  | "bplus" | "google" | "google btree" -> Some Bplus
+  | "tbb" | "tbb hashset" | "tbb_hash" -> Some Tbb_hash
+  | _ -> None
+
+let thread_safe_insert = function
+  | Btree | Btree_nohints | Tbb_hash -> true
+  | Rbtree | Hashset | Bplus -> false
+
+(* Key module comparing int-array tuples in [cols]-major order, remaining
+   columns in ascending position order.  The comparator is specialised for
+   the common arities: without cross-module inlining every K.compare call is
+   indirect, so shaving the permutation-array loop measurably speeds up all
+   tree-backed indexes. *)
+let ordered_key ~arity ~(cols : int array) : (module Key.ORDERED with type t = int array) =
+  let in_cols = Array.make arity false in
+  Array.iter (fun c -> in_cols.(c) <- true) cols;
+  let rest = ref [] in
+  for p = arity - 1 downto 0 do
+    if not in_cols.(p) then rest := p :: !rest
+  done;
+  let order = Array.append cols (Array.of_list !rest) in
+  let cmp2 p0 p1 a b =
+    let x = Array.unsafe_get a p0 and y = Array.unsafe_get b p0 in
+    if x < y then -1
+    else if x > y then 1
+    else
+      let x = Array.unsafe_get a p1 and y = Array.unsafe_get b p1 in
+      if x < y then -1 else if x > y then 1 else 0
+  in
+  let cmp3 p0 p1 p2 a b =
+    let x = Array.unsafe_get a p0 and y = Array.unsafe_get b p0 in
+    if x < y then -1
+    else if x > y then 1
+    else
+      let x = Array.unsafe_get a p1 and y = Array.unsafe_get b p1 in
+      if x < y then -1
+      else if x > y then 1
+      else
+        let x = Array.unsafe_get a p2 and y = Array.unsafe_get b p2 in
+        if x < y then -1 else if x > y then 1 else 0
+  in
+  let generic a b =
+    let n = Array.length order in
+    let rec go i =
+      if i = n then 0
+      else
+        let p = Array.unsafe_get order i in
+        let x = Array.unsafe_get a p and y = Array.unsafe_get b p in
+        if x < y then -1 else if x > y then 1 else go (i + 1)
+    in
+    go 0
+  in
+  let compare =
+    match order with
+    | [| p0 |] ->
+      fun a b ->
+        let x = Array.unsafe_get a p0 and y = Array.unsafe_get b p0 in
+        Stdlib.compare (x : int) y
+    | [| p0; p1 |] -> cmp2 p0 p1
+    | [| p0; p1; p2 |] -> cmp3 p0 p1 p2
+    | _ -> generic
+  in
+  (module struct
+    type t = int array
+
+    let compare = compare
+    let dummy = [||]
+    let to_string = Key.Int_array.to_string
+  end)
+
+let matches ~cols bound (tuple : int array) =
+  let n = Array.length cols in
+  let rec go i =
+    i = n || (tuple.(cols.(i)) = bound.(i) && go (i + 1))
+  in
+  go 0
+
+module Index = struct
+  type cursor = {
+    c_insert : int array -> bool;
+    c_mem : int array -> bool;
+    c_scan : cols:int array -> int array -> (int array -> unit) -> unit;
+  }
+
+  type t = {
+    i_insert : int array -> bool;
+    i_mem : int array -> bool;
+    i_iter : (int array -> unit) -> unit;
+    i_cardinal : unit -> int;
+    i_is_empty : unit -> bool;
+    i_cursor : unit -> cursor;
+    i_hint_counters : unit -> (int * int) option;
+  }
+
+  let count c = Atomic.incr c
+
+  let count_scan stats ncols =
+    match stats with
+    | Some s when ncols > 0 ->
+      count s.Dl_stats.lower_bounds;
+      count s.Dl_stats.upper_bounds
+    | _ -> ()
+
+  let count_mem stats =
+    match stats with Some s -> count s.Dl_stats.mem_tests | None -> ()
+
+  (* ---------------- ordered kinds ---------------- *)
+
+  let full_order ~arity ~cols =
+    let in_cols = Array.make (max 1 arity) false in
+    Array.iter (fun c -> in_cols.(c) <- true) cols;
+    let rest = ref [] in
+    for p = arity - 1 downto 0 do
+      if not in_cols.(p) then rest := p :: !rest
+    done;
+    Array.append cols (Array.of_list !rest)
+
+  (* extend a (possibly partial) shared order to a total column order *)
+  let extend_order ~arity order =
+    let present = Array.make (max 1 arity) false in
+    Array.iter (fun c -> present.(c) <- true) order;
+    let rest = ref [] in
+    for p = arity - 1 downto 0 do
+      if not present.(p) then rest := p :: !rest
+    done;
+    Array.append order (Array.of_list !rest)
+
+  let make_btree ~hints ~arity ~cols ~order ~stats =
+    (* specialized tuple tree: inlined comparator; the comparison order is
+       either cols-major or an explicit shared-chain order *)
+    let order =
+      match order with
+      | Some o -> extend_order ~arity o
+      | None -> full_order ~arity ~cols
+    in
+    let tree = Btree_tuples.create ~arity ~order () in
+    (* every hint record ever handed to a cursor, for hit-rate reporting *)
+    let hint_registry = ref [] in
+    let registry_lock = Olock.Spin.create () in
+    let scan h scratch ~cols bound f =
+      count_scan stats (Array.length cols);
+      if Array.length cols = 0 then Btree_tuples.iter f tree
+      else begin
+        Array.fill scratch 0 arity min_int;
+        Array.iteri (fun i c -> scratch.(c) <- bound.(i)) cols;
+        Btree_tuples.iter_from ?hints:h
+          (fun tup ->
+            if matches ~cols bound tup then begin
+              f tup;
+              true
+            end
+            else false)
+          tree scratch
+      end
+    in
+    let cursor () =
+      let h = if hints then Some (Btree_tuples.make_hints ()) else None in
+      (match h with
+      | Some hr ->
+        Olock.Spin.with_lock registry_lock (fun () ->
+            hint_registry := hr :: !hint_registry)
+      | None -> ());
+      let scratch = Array.make (max 1 arity) 0 in
+      {
+        c_insert = (fun tup -> Btree_tuples.insert ?hints:h tree tup);
+        c_mem =
+          (fun tup ->
+            count_mem stats;
+            Btree_tuples.mem ?hints:h tree tup);
+        c_scan = (fun ~cols bound f -> scan h scratch ~cols bound f);
+      }
+    in
+    {
+      i_insert = (fun tup -> Btree_tuples.insert tree tup);
+      i_mem = (fun tup -> Btree_tuples.mem tree tup);
+      i_iter = (fun f -> Btree_tuples.iter f tree);
+      i_cardinal = (fun () -> Btree_tuples.cardinal tree);
+      i_is_empty = (fun () -> Btree_tuples.is_empty tree);
+      i_cursor = cursor;
+      i_hint_counters =
+        (fun () ->
+          if not hints then None
+          else
+            Some
+              (List.fold_left
+                 (fun (h, m) hr ->
+                   let h', m' = Btree_tuples.hint_counters hr in
+                   (h + h', m + m'))
+                 (0, 0) !hint_registry));
+    }
+
+  let make_rbtree ~arity ~cols ~order ~stats =
+    let module K = (val ordered_key ~arity ~cols:(match order with Some o -> o | None -> cols)) in
+    let module T = Rbtree.Make (K) in
+    let tree = T.create () in
+    let scan scratch ~cols bound f =
+      count_scan stats (Array.length cols);
+      if Array.length cols = 0 then T.iter f tree
+      else begin
+        Array.fill scratch 0 arity min_int;
+        Array.iteri (fun i c -> scratch.(c) <- bound.(i)) cols;
+        T.iter_from
+          (fun tup ->
+            if matches ~cols bound tup then begin
+              f tup;
+              true
+            end
+            else false)
+          tree scratch
+      end
+    in
+    let cursor () =
+      let scratch = Array.make (max 1 arity) 0 in
+      {
+        c_insert = (fun tup -> T.insert tree tup);
+        c_mem =
+          (fun tup ->
+            count_mem stats;
+            T.mem tree tup);
+        c_scan = scan scratch;
+      }
+    in
+    {
+      i_insert = (fun tup -> T.insert tree tup);
+      i_mem = (fun tup -> T.mem tree tup);
+      i_iter = (fun f -> T.iter f tree);
+      i_cardinal = (fun () -> T.cardinal tree);
+      i_is_empty = (fun () -> T.is_empty tree);
+      i_cursor = cursor;
+      i_hint_counters = (fun () -> None);
+    }
+
+  let make_bplus ~arity ~cols ~order ~stats =
+    let module K = (val ordered_key ~arity ~cols:(match order with Some o -> o | None -> cols)) in
+    let module T = Bplus_tree.Make (K) in
+    let tree = T.create () in
+    let scan scratch ~cols bound f =
+      count_scan stats (Array.length cols);
+      if Array.length cols = 0 then T.iter f tree
+      else begin
+        Array.fill scratch 0 arity min_int;
+        Array.iteri (fun i c -> scratch.(c) <- bound.(i)) cols;
+        T.iter_from
+          (fun tup ->
+            if matches ~cols bound tup then begin
+              f tup;
+              true
+            end
+            else false)
+          tree scratch
+      end
+    in
+    let cursor () =
+      let scratch = Array.make (max 1 arity) 0 in
+      {
+        c_insert = (fun tup -> T.insert tree tup);
+        c_mem =
+          (fun tup ->
+            count_mem stats;
+            T.mem tree tup);
+        c_scan = scan scratch;
+      }
+    in
+    {
+      i_insert = (fun tup -> T.insert tree tup);
+      i_mem = (fun tup -> T.mem tree tup);
+      i_iter = (fun f -> T.iter f tree);
+      i_cardinal = (fun () -> T.cardinal tree);
+      i_is_empty = (fun () -> T.is_empty tree);
+      i_cursor = cursor;
+      i_hint_counters = (fun () -> None);
+    }
+
+  (* ---------------- hash kinds ---------------- *)
+
+  module Tuple_hashed = struct
+    type t = int array
+
+    let equal = Key.Int_array.equal
+    let hash = Key.Int_array.hash
+  end
+
+  module Tuple_tbl = Hashtbl.Make (Tuple_hashed)
+
+  (* sequential hash index: primary = hash set of tuples; secondary = hash
+     multimap from bound values to tuples *)
+  let make_hashset ~arity:_ ~cols ~stats =
+    let ncols = Array.length cols in
+    if ncols = 0 then begin
+      let module H = Hashset.Make (Key.Int_array) in
+      let set = H.create () in
+      let cursor () =
+        {
+          c_insert = (fun tup -> H.insert set tup);
+          c_mem =
+            (fun tup ->
+              count_mem stats;
+              H.mem set tup);
+          c_scan =
+            (fun ~cols:_ _bound f ->
+              count_scan stats ncols;
+              H.iter f set);
+        }
+      in
+      {
+        i_insert = (fun tup -> H.insert set tup);
+        i_mem = (fun tup -> H.mem set tup);
+        i_iter = (fun f -> H.iter f set);
+        i_cardinal = (fun () -> H.cardinal set);
+        i_is_empty = (fun () -> H.cardinal set = 0);
+        i_cursor = cursor;
+        i_hint_counters = (fun () -> None);
+      }
+    end
+    else begin
+      let tbl : int array list ref Tuple_tbl.t = Tuple_tbl.create 1024 in
+      let key_of tup = Array.map (fun c -> tup.(c)) cols in
+      let insert tup =
+        let k = key_of tup in
+        (match Tuple_tbl.find_opt tbl k with
+        | Some bucket -> bucket := tup :: !bucket
+        | None -> Tuple_tbl.add tbl k (ref [ tup ]));
+        true
+      in
+      let scan ~cols:_ bound f =
+        count_scan stats ncols;
+        match Tuple_tbl.find_opt tbl bound with
+        | Some bucket -> List.iter f !bucket
+        | None -> ()
+      in
+      let iter f = Tuple_tbl.iter (fun _ bucket -> List.iter f !bucket) tbl in
+      let cursor () =
+        {
+          c_insert = insert;
+          c_mem =
+            (fun tup ->
+              count_mem stats;
+              match Tuple_tbl.find_opt tbl (key_of tup) with
+              | Some bucket -> List.exists (Key.Int_array.equal tup) !bucket
+              | None -> false);
+          c_scan = scan;
+        }
+      in
+      {
+        i_insert = insert;
+        i_mem =
+          (fun tup ->
+            match Tuple_tbl.find_opt tbl (key_of tup) with
+            | Some bucket -> List.exists (Key.Int_array.equal tup) !bucket
+            | None -> false);
+        i_iter = iter;
+        i_cardinal =
+          (fun () -> Tuple_tbl.fold (fun _ b acc -> acc + List.length !b) tbl 0);
+        i_is_empty = (fun () -> Tuple_tbl.length tbl = 0);
+        i_cursor = cursor;
+        i_hint_counters = (fun () -> None);
+      }
+    end
+
+  (* concurrent hash index: primary = lock-striped hash set; secondary =
+     lock-striped hash multimap *)
+  let make_tbb ~arity:_ ~cols ~stats =
+    let ncols = Array.length cols in
+    if ncols = 0 then begin
+      let module H = Concurrent_hashset.Make (Key.Int_array) in
+      let set = H.create () in
+      let cursor () =
+        {
+          c_insert = (fun tup -> H.insert set tup);
+          c_mem =
+            (fun tup ->
+              count_mem stats;
+              H.mem set tup);
+          c_scan =
+            (fun ~cols:_ _bound f ->
+              count_scan stats ncols;
+              H.iter f set);
+        }
+      in
+      {
+        i_insert = (fun tup -> H.insert set tup);
+        i_mem = (fun tup -> H.mem set tup);
+        i_iter = (fun f -> H.iter f set);
+        i_cardinal = (fun () -> H.cardinal set);
+        i_is_empty = (fun () -> H.cardinal set = 0);
+        i_cursor = cursor;
+        i_hint_counters = (fun () -> None);
+      }
+    end
+    else begin
+      let nstripes = 64 in
+      let stripes =
+        Array.init nstripes (fun _ ->
+            (Olock.Spin.create (), Tuple_tbl.create 64))
+      in
+      let key_of tup = Array.map (fun c -> tup.(c)) cols in
+      let stripe_of k = Tuple_hashed.hash k land (nstripes - 1) in
+      let insert tup =
+        let k = key_of tup in
+        let lock, tbl = stripes.(stripe_of k) in
+        Olock.Spin.with_lock lock (fun () ->
+            match Tuple_tbl.find_opt tbl k with
+            | Some bucket -> bucket := tup :: !bucket
+            | None -> Tuple_tbl.add tbl k (ref [ tup ]));
+        true
+      in
+      let scan ~cols:_ bound f =
+        count_scan stats ncols;
+        let _, tbl = stripes.(stripe_of bound) in
+        match Tuple_tbl.find_opt tbl bound with
+        | Some bucket -> List.iter f !bucket
+        | None -> ()
+      in
+      let mem tup =
+        let k = key_of tup in
+        let _, tbl = stripes.(stripe_of k) in
+        match Tuple_tbl.find_opt tbl k with
+        | Some bucket -> List.exists (Key.Int_array.equal tup) !bucket
+        | None -> false
+      in
+      let iter f =
+        Array.iter
+          (fun (_, tbl) -> Tuple_tbl.iter (fun _ b -> List.iter f !b) tbl)
+          stripes
+      in
+      let cursor () =
+        {
+          c_insert = insert;
+          c_mem =
+            (fun tup ->
+              count_mem stats;
+              mem tup);
+          c_scan = scan;
+        }
+      in
+      {
+        i_insert = insert;
+        i_mem = mem;
+        i_iter = iter;
+        i_cardinal =
+          (fun () ->
+            Array.fold_left
+              (fun acc (_, tbl) ->
+                Tuple_tbl.fold (fun _ b acc -> acc + List.length !b) tbl acc)
+              0 stripes);
+        i_is_empty =
+          (fun () ->
+            Array.for_all (fun (_, tbl) -> Tuple_tbl.length tbl = 0) stripes);
+        i_cursor = cursor;
+        i_hint_counters = (fun () -> None);
+      }
+    end
+
+  let create kind ~arity ~cols ?order ~stats () =
+    (match cols with
+    | [||] -> ()
+    | _ ->
+      let ok = ref true in
+      for i = 1 to Array.length cols - 1 do
+        if cols.(i - 1) >= cols.(i) then ok := false
+      done;
+      Array.iter (fun c -> if c < 0 || c >= arity then ok := false) cols;
+      if not !ok then invalid_arg "Storage.Index.create: bad signature");
+    (match order with
+    | None -> ()
+    | Some o ->
+      let seen = Array.make (max 1 arity) false in
+      Array.iter
+        (fun c ->
+          if c < 0 || c >= arity || seen.(c) then
+            invalid_arg "Storage.Index.create: bad order";
+          seen.(c) <- true)
+        o;
+      (* cols must be a prefix set of the order *)
+      let prefix = Array.sub o 0 (min (Array.length o) (Array.length cols)) in
+      let sp = List.sort compare (Array.to_list prefix) in
+      if Array.length cols > Array.length o || sp <> Array.to_list cols then
+        invalid_arg "Storage.Index.create: cols not a prefix set of order");
+    match kind with
+    | Btree -> make_btree ~hints:true ~arity ~cols ~order ~stats
+    | Btree_nohints -> make_btree ~hints:false ~arity ~cols ~order ~stats
+    | Rbtree -> make_rbtree ~arity ~cols ~order ~stats
+    | Bplus -> make_bplus ~arity ~cols ~order ~stats
+    | Hashset -> make_hashset ~arity ~cols ~stats
+    | Tbb_hash -> make_tbb ~arity ~cols ~stats
+
+  let hint_counters t = t.i_hint_counters ()
+  let is_empty t = t.i_is_empty ()
+  exception Phase_violation of string
+
+  (* Readers and writers counted in one atomic word: writers in the low 20
+     bits, readers above — so the read+write overlap check is a single
+     atomic read-modify-write with no window. *)
+  let with_phase_check ~name t =
+    let state = Atomic.make 0 in
+    let writer_bit = 1 in
+    let reader_bit = 1 lsl 20 in
+    let enter bit other_mask what =
+      let s = Atomic.fetch_and_add state bit in
+      if s land other_mask <> 0 then begin
+        ignore (Atomic.fetch_and_add state (-bit) : int);
+        raise
+          (Phase_violation
+             (Printf.sprintf "%s: concurrent %s during the opposite phase"
+                name what))
+      end
+    in
+    let leave bit = ignore (Atomic.fetch_and_add state (-bit) : int) in
+    let readers_mask = -1 lxor (reader_bit - 1) in
+    let writers_mask = reader_bit - 1 in
+    let as_reader f =
+      enter reader_bit writers_mask "read";
+      match f () with
+      | r ->
+        leave reader_bit;
+        r
+      | exception e ->
+        leave reader_bit;
+        raise e
+    in
+    let as_writer f =
+      enter writer_bit readers_mask "write";
+      match f () with
+      | r ->
+        leave writer_bit;
+        r
+      | exception e ->
+        leave writer_bit;
+        raise e
+    in
+    let wrap_cursor c =
+      {
+        c_insert = (fun tup -> as_writer (fun () -> c.c_insert tup));
+        c_mem = (fun tup -> as_reader (fun () -> c.c_mem tup));
+        c_scan = (fun ~cols bound f -> as_reader (fun () -> c.c_scan ~cols bound f));
+      }
+    in
+    {
+      i_insert = (fun tup -> as_writer (fun () -> t.i_insert tup));
+      i_mem = (fun tup -> as_reader (fun () -> t.i_mem tup));
+      i_iter = (fun f -> as_reader (fun () -> t.i_iter f));
+      i_cardinal = t.i_cardinal;
+      i_is_empty = t.i_is_empty;
+      i_cursor = (fun () -> wrap_cursor (t.i_cursor ()));
+      i_hint_counters = t.i_hint_counters;
+    }
+
+  let insert t tup = t.i_insert tup
+  let mem t tup = t.i_mem tup
+  let iter t f = t.i_iter f
+  let cardinal t = t.i_cardinal ()
+  let cursor t = t.i_cursor ()
+  let c_insert c tup = c.c_insert tup
+  let c_mem c tup = c.c_mem tup
+  let c_scan c ~cols bound f = c.c_scan ~cols bound f
+end

@@ -1,0 +1,104 @@
+(** Pluggable tuple storage for Datalog relations.
+
+    A relation is represented by one or more {e indexes}.  Every index holds
+    the full tuples of its relation; an index with signature [cols] supports
+    enumerating all tuples whose values at the columns [cols] equal given
+    bound values (the access pattern of a join literal whose [cols] are bound
+    when it executes).  The primary index (empty signature) additionally
+    provides full-tuple membership, deduplicating insertion and whole-relation
+    scans.
+
+    Ordered storage kinds implement signature scans with a tree ordered by
+    [cols]-major lexicographic comparison (lower_bound + in-order scan —
+    exactly the paper's B-tree usage); hash-based kinds implement them with a
+    hash multimap from bound values to tuples, since hashes cannot perform
+    ordered range scans (footnote in DESIGN.md).
+
+    Thread-safety contract, matching the two-phase discipline of parallel
+    semi-naive evaluation: [insert] must be safe against concurrent [insert]s
+    {e when the kind is flagged thread-safe}; the engine serialises inserts
+    through a per-relation mutex for the other kinds (the paper's
+    "global lock" configurations).  Queries are only ever concurrent with
+    queries. *)
+
+type kind =
+  | Btree          (** the paper's tree, with operation hints *)
+  | Btree_nohints  (** ablation: same tree, hints disabled *)
+  | Rbtree         (** red-black tree — "STL rbtset" *)
+  | Hashset        (** open-addressing hash — "STL hashset" *)
+  | Bplus          (** sequential B+-tree — "google btree" *)
+  | Tbb_hash       (** lock-striped concurrent hash — "TBB hashset" *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+val thread_safe_insert : kind -> bool
+(** Whether [insert] may be called concurrently without external locking. *)
+
+module Index : sig
+  type t
+
+  val create :
+    kind ->
+    arity:int ->
+    cols:int array ->
+    ?order:int array ->
+    stats:Dl_stats.t option ->
+    unit ->
+    t
+  (** [cols] is the signature: strictly increasing column indices, possibly
+      empty (primary).  When [stats] is given, operations count into it.
+
+      [order], accepted by the ordered (tree) kinds, overrides the index's
+      comparison order with an explicit column permutation; it must contain
+      [cols] within its prefix.  This is how several signatures forming a
+      containment chain share one physical index ({!Index_selection}): any
+      signature whose columns form a prefix set of [order] can be scanned on
+      this index.  Hash kinds ignore [order] (a hash multimap serves exactly
+      one signature). *)
+
+  val insert : t -> int array -> bool
+  (** Add a tuple (the array is not retained for hash kinds and retained
+      as-is for tree kinds; callers must not mutate tuples after insertion).
+      Returns [true] iff new.  Only meaningful as a freshness signal on the
+      primary index; secondary indexes always contain exactly the tuples of
+      the primary. *)
+
+  val mem : t -> int array -> bool
+  val iter : t -> (int array -> unit) -> unit
+  val cardinal : t -> int
+  val is_empty : t -> bool
+  (** O(1) (unlike [cardinal], which may enumerate). *)
+
+  (** Per-worker access handle carrying operation hints (tree kinds) — the
+      paper's thread-local hint records, created once per worker and reused
+      across operations. *)
+  type cursor
+
+  val cursor : t -> cursor
+  val c_insert : cursor -> int array -> bool
+  val c_mem : cursor -> int array -> bool
+
+  val c_scan : cursor -> cols:int array -> int array -> (int array -> unit) -> unit
+  (** [c_scan cur ~cols bound f] calls [f] on every tuple whose columns
+      [cols] equal [bound] (same length, in [cols] order).  [cols] must be
+      the index's own signature for hash kinds, and any prefix set of the
+      index's order for tree kinds.  With empty [cols] this is a full
+      scan. *)
+
+  val hint_counters : t -> (int * int) option
+  (** [(hits, misses)] aggregated over every cursor ever created on this
+      index — the paper's section 4.3 hint hit-rate statistic.  [None] for
+      storage kinds without operation hints. *)
+
+  exception Phase_violation of string
+
+  val with_phase_check : name:string -> t -> t
+  (** Debug wrapper enforcing the paper's two-phase contract: at any moment
+      an index is either being read (any number of concurrent readers) or
+      written (any number of concurrent inserters), never both.  Raises
+      {!Phase_violation} the moment a read overlaps a write.  Used by the
+      test suite to validate that parallel semi-naive evaluation respects
+      the discipline the B-tree's synchronisation is specialised for. *)
+end

@@ -1,0 +1,73 @@
+exception Not_stratifiable of string
+
+type t = { strata : int array array; stratum_of : int array }
+
+(* Tarjan's strongly connected components; iterative would be needed for
+   very deep graphs, but dependency graphs over predicates are shallow
+   (hundreds of nodes), so the recursive formulation is fine. *)
+let tarjan n succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      (* v is the root of an SCC: pop it *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* With successor edges v -> w meaning "v depends on w", Tarjan finishes
+     (and emits) w's component before v's; prepending each emission and
+     reversing therefore yields dependencies-first order — stratum 0 first. *)
+  List.rev !sccs
+
+let compute ~npreds ~edges =
+  let succ = Array.make npreds [] in
+  List.iter (fun (p, q, _) -> succ.(p) <- q :: succ.(p)) edges;
+  let sccs = tarjan npreds (fun v -> succ.(v)) in
+  let stratum_of = Array.make npreds (-1) in
+  List.iteri (fun s comp -> List.iter (fun p -> stratum_of.(p) <- s) comp) sccs;
+  (* reject negative edges within a stratum *)
+  List.iter
+    (fun (p, q, negated) ->
+      if negated && stratum_of.(p) = stratum_of.(q) then
+        raise
+          (Not_stratifiable
+             (Printf.sprintf
+                "predicate %d depends negatively on predicate %d within the \
+                 same recursive component"
+                p q)))
+    edges;
+  (* sanity: every dependency must point to the same or an earlier stratum *)
+  List.iter
+    (fun (p, q, _) ->
+      if stratum_of.(q) > stratum_of.(p) then
+        invalid_arg "Stratify.compute: topological order violated")
+    edges;
+  { strata = Array.of_list (List.map Array.of_list sccs); stratum_of }

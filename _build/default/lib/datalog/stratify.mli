@@ -1,0 +1,24 @@
+(** Predicate dependency analysis and stratification.
+
+    Builds the dependency graph of a program (an edge [p -> q] for every rule
+    with head [p] and body literal over [q]), condenses it with Tarjan's SCC
+    algorithm, and orders the components topologically.  Each SCC is a
+    stratum: all its relations reach their fixed point together under
+    semi-naive evaluation.  Negation edges inside an SCC are rejected
+    (non-stratifiable program). *)
+
+exception Not_stratifiable of string
+(** Raised when a predicate depends negatively on its own stratum; the
+    message names the offending predicates. *)
+
+type t = {
+  strata : int array array;
+  (** [strata.(s)] = predicate ids of stratum [s], in dependency order —
+      stratum 0 first. *)
+  stratum_of : int array;  (** inverse mapping: predicate id -> stratum *)
+}
+
+val compute :
+  npreds:int -> edges:(int * int * bool) list -> t
+(** [compute ~npreds ~edges] where an edge [(p, q, negated)] means the
+    definition of [p] depends on [q].  @raise Not_stratifiable *)

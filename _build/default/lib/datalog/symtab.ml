@@ -1,0 +1,25 @@
+type t = { by_name : (string, int) Hashtbl.t; mutable by_id : string array; mutable next : int }
+
+let create () = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    t.next <- id + 1;
+    Hashtbl.add t.by_name s id;
+    if id >= Array.length t.by_id then begin
+      let bigger = Array.make (2 * Array.length t.by_id) "" in
+      Array.blit t.by_id 0 bigger 0 (Array.length t.by_id);
+      t.by_id <- bigger
+    end;
+    t.by_id.(id) <- s;
+    id
+
+let find_opt t s = Hashtbl.find_opt t.by_name s
+
+let name t id =
+  if id < 0 || id >= t.next then raise Not_found else t.by_id.(id)
+
+let size t = t.next

@@ -1,0 +1,16 @@
+(** String interning: bijective mapping between symbol strings and dense
+    integer ids, so that relations store plain integer tuples (the paper's
+    setting — Soufflé likewise maps all symbols into a numeric domain). *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Stable id for the string; allocates the next id on first sight. *)
+
+val find_opt : t -> string -> int option
+val name : t -> int -> string
+(** @raise Not_found if the id was never allocated. *)
+
+val size : t -> int

@@ -1,0 +1,54 @@
+let wall () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = wall () in
+  let r = f () in
+  (r, wall () -. t0)
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to max 1 n do
+    let _, d = time f in
+    if d < !best then best := d
+  done;
+  !best
+
+let mops count seconds =
+  if seconds <= 0.0 then 0.0 else float_of_int count /. seconds /. 1e6
+
+let thread_counts ~max:m =
+  let rec go t acc = if t >= m then List.rev (m :: acc) else go (t * 2) (t :: acc) in
+  if m <= 1 then [ 1 ] else go 1 []
+
+let fmt_f v =
+  if v = 0.0 then "0"
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10.0 then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.3f" v
+
+module Table = struct
+  let print ~header ~rows =
+    let all = header :: rows in
+    let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+    let width = Array.make ncols 0 in
+    List.iter
+      (fun row ->
+        List.iteri
+          (fun i cell -> width.(i) <- max width.(i) (String.length cell))
+          row)
+      all;
+    let print_row row =
+      let cells =
+        List.mapi
+          (fun i cell -> Printf.sprintf "%-*s" width.(i) cell)
+          row
+      in
+      print_string "  ";
+      print_endline (String.concat "  " cells)
+    in
+    print_row header;
+    print_row
+      (List.mapi (fun i _ -> String.make width.(i) '-') header);
+    List.iter print_row rows
+end

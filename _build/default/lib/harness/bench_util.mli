@@ -1,0 +1,27 @@
+(** Timing and reporting utilities shared by the benchmark harness and the
+    examples. *)
+
+val wall : unit -> float
+(** Monotonic-enough wall clock in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall time. *)
+
+val best_of : int -> (unit -> unit) -> float
+(** Minimum elapsed time over [n] runs — the standard microbenchmark
+    aggregation (minimum rejects scheduler noise). *)
+
+val mops : int -> float -> float
+(** [mops count seconds] = millions of operations per second. *)
+
+val thread_counts : max:int -> int list
+(** The ladder of thread counts used by the strong-scaling experiments:
+    1, 2, 4, ... up to [max], always including [max]. *)
+
+module Table : sig
+  val print : header:string list -> rows:string list list -> unit
+  (** Fixed-width ASCII table on stdout. *)
+end
+
+val fmt_f : float -> string
+(** Compact float rendering ("12.3", "0.45"). *)

@@ -1,0 +1,129 @@
+(* Optimistic read-write lock: a seqlock extended with a read-to-write
+   upgrade, following section 3.1 of the paper.  The whole lock is a single
+   atomic version counter; even = free, odd = write-locked.
+
+   Protocol summary (Fig. 2 of the paper):
+     start_read            : spin until even version v; lease := v
+     valid lease           : version = lease
+     end_read lease        : valid lease
+     try_upgrade_to_write  : CAS (lease -> lease+1)
+     try_start_write       : read v; even v && CAS (v -> v+1)
+     start_write           : spin on try_start_write
+     end_write             : version := version+1   (writer-exclusive)
+     abort_write           : version := version-1   (writer-exclusive)
+
+   end_write / abort_write use a plain atomic increment: the writer holds
+   exclusivity so no CAS is needed, but the store must be atomic so readers
+   obtain the release/acquire edge required by the seqlock recipe. *)
+
+module Backoff = struct
+  type t = { mutable current : int; ceiling : int }
+
+  let create ?(ceiling = 4096) () = { current = 1; ceiling }
+
+  let reset b = b.current <- 1
+
+  let once b =
+    (* [cpu_relax] is not exposed by the stdlib; a short counted loop of
+       [Domain.cpu_relax] is.  OCaml 5.1 provides Domain.cpu_relax. *)
+    for _ = 1 to b.current do
+      Domain.cpu_relax ()
+    done;
+    if b.current < b.ceiling then b.current <- b.current * 2
+end
+
+type t = { version : int Atomic.t }
+type lease = int
+
+let create () = { version = Atomic.make 0 }
+
+let is_even v = v land 1 = 0
+
+let start_read l =
+  let b = Backoff.create () in
+  let rec loop () =
+    let v = Atomic.get l.version in
+    if is_even v then v
+    else begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let valid l lease = Atomic.get l.version = lease
+let end_read = valid
+
+let try_upgrade_to_write l lease =
+  Atomic.compare_and_set l.version lease (lease + 1)
+
+let try_start_write l =
+  let v = Atomic.get l.version in
+  is_even v && Atomic.compare_and_set l.version v (v + 1)
+
+let start_write l =
+  let b = Backoff.create () in
+  while not (try_start_write l) do
+    Backoff.once b
+  done
+
+let end_write l = ignore (Atomic.fetch_and_add l.version 1 : int)
+let abort_write l = ignore (Atomic.fetch_and_add l.version (-1) : int)
+let is_write_locked l = not (is_even (Atomic.get l.version))
+let version l = Atomic.get l.version
+
+module Rwlock = struct
+  (* state >= 0: number of active readers; -1: writer active *)
+  type t = { state : int Atomic.t }
+
+  let create () = { state = Atomic.make 0 }
+
+  let try_read_lock l =
+    let s = Atomic.get l.state in
+    s >= 0 && Atomic.compare_and_set l.state s (s + 1)
+
+  let read_lock l =
+    let b = Backoff.create () in
+    while not (try_read_lock l) do
+      Backoff.once b
+    done
+
+  let read_unlock l = ignore (Atomic.fetch_and_add l.state (-1) : int)
+
+  let try_write_lock l = Atomic.compare_and_set l.state 0 (-1)
+
+  let write_lock l =
+    let b = Backoff.create () in
+    while not (try_write_lock l) do
+      Backoff.once b
+    done
+
+  let write_unlock l = Atomic.set l.state 0
+end
+
+module Spin = struct
+  type t = { flag : bool Atomic.t }
+
+  let create () = { flag = Atomic.make false }
+
+  let try_acquire l =
+    (not (Atomic.get l.flag)) && Atomic.compare_and_set l.flag false true
+
+  let acquire l =
+    let b = Backoff.create () in
+    while not (try_acquire l) do
+      Backoff.once b
+    done
+
+  let release l = Atomic.set l.flag false
+
+  let with_lock l f =
+    acquire l;
+    match f () with
+    | x ->
+      release l;
+      x
+    | exception e ->
+      release l;
+      raise e
+end

@@ -1,0 +1,124 @@
+(** Optimistic read-write lock.
+
+    This is the synchronisation primitive of the paper (PPoPP'19, section 3.1):
+    an extension of Linux seqlocks for {e read-potential-write} threads.  A
+    thread starts a read phase, inspects the protected data, and only then
+    decides whether to upgrade the read permit to an exclusive write permit.
+
+    The lock is a single version counter:
+    - an {e even} value means the lock is free,
+    - an {e odd} value means a writer is active.
+
+    Readers never modify the counter, so the hot read path causes no cache-line
+    invalidation — the property the paper relies on for multi-socket
+    scalability.
+
+    The protected data itself is read without synchronisation during a read
+    phase and must be re-validated (with {!valid} or {!end_read}) before any
+    observed value is acted upon.  In OCaml this discipline is sound without
+    per-field atomics: the OCaml memory model defines the behaviour of racy
+    reads (they yield some previously written value and can never yield a wild
+    pointer), so a torn observation is always caught by the validation step
+    rather than causing undefined behaviour, as it would in C++. *)
+
+type t
+(** An optimistic read-write lock. *)
+
+type lease = int
+(** A read lease: the version number observed by {!start_read}.  Even by
+    construction. *)
+
+val create : unit -> t
+(** [create ()] is a fresh, unlocked lock (version [0]). *)
+
+val start_read : t -> lease
+(** [start_read l] begins a read phase and returns the observed lease.  Spins
+    (with exponential backoff) while a writer is active, i.e. always returns an
+    even version number. *)
+
+val valid : t -> lease -> bool
+(** [valid l lease] is [true] iff no write phase has started since [lease] was
+    obtained.  Non-blocking; does not end the read phase.  Data read under
+    [lease] may only be used if this returns [true]. *)
+
+val end_read : t -> lease -> bool
+(** [end_read l lease] terminates a read phase, returning whether the phase
+    was free of concurrent writes (same condition as {!valid}). *)
+
+val try_upgrade_to_write : t -> lease -> bool
+(** [try_upgrade_to_write l lease] attempts to atomically convert a read
+    permit into an exclusive write permit.  Succeeds iff the version is still
+    exactly [lease]; on success the caller holds the write lock.  On failure
+    the read phase is invalid and the caller must restart.  Non-blocking. *)
+
+val try_start_write : t -> bool
+(** [try_start_write l] attempts to directly enter a write phase.
+    Non-blocking; [true] on success. *)
+
+val start_write : t -> unit
+(** [start_write l] blocks (spins with backoff) until a write permit is
+    granted.  The only blocking operation of the protocol. *)
+
+val end_write : t -> unit
+(** [end_write l] ends a write phase, publishing the modifications: the
+    version becomes even again and differs from every lease handed out before
+    the write. *)
+
+val abort_write : t -> unit
+(** [abort_write l] ends a write phase during which {e no} modification was
+    performed.  The version is rolled back to its pre-write value so that
+    concurrent readers are not needlessly invalidated. *)
+
+val is_write_locked : t -> bool
+(** [is_write_locked l] observes whether a writer is currently active (racy,
+    for diagnostics and tests). *)
+
+val version : t -> int
+(** [version l] is the raw version counter (racy; diagnostics only). *)
+
+module Spin : sig
+  (** A plain test-and-test-and-set spin lock, used by baseline structures
+      (e.g. lock striping in the concurrent hash set) and as a comparison
+      point for the optimistic protocol. *)
+
+  type t
+
+  val create : unit -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** [with_lock l f] runs [f ()] under the lock, releasing it on exceptions. *)
+end
+
+module Rwlock : sig
+  (** A conventional pessimistic reader-writer spin lock (atomic reader
+      count, writer bit).  This is the comparison point the paper argues
+      against: acquiring even a {e read} permit performs a store on the
+      shared lock word, invalidating the cache line in every other core —
+      the cost {!Olock.start_read} avoids by being a pure load. *)
+
+  type t
+
+  val create : unit -> t
+  val read_lock : t -> unit
+  val read_unlock : t -> unit
+  val write_lock : t -> unit
+  val write_unlock : t -> unit
+  val try_read_lock : t -> bool
+  val try_write_lock : t -> bool
+end
+
+module Backoff : sig
+  (** Truncated exponential backoff for spin loops. *)
+
+  type t
+
+  val create : ?ceiling:int -> unit -> t
+  val once : t -> unit
+  (** [once b] spins for the current delay and doubles it (up to the
+      ceiling). *)
+
+  val reset : t -> unit
+end

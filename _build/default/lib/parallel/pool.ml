@@ -1,0 +1,189 @@
+(* Fork-join pool of worker domains.
+
+   Spawned workers block on a mutex/condition pair waiting for a job
+   generation to be published; the caller participates as worker 0.  A job is
+   a closure [int -> unit] applied to the worker index.  Completion is
+   signalled by a countdown guarded by the same mutex.
+
+   The pool is deliberately simple (no work stealing): the paper's benchmarks
+   use statically partitioned OpenMP loops, which [parallel_for_ranges]
+   mirrors exactly, and dynamically chunked loops, which [parallel_for]
+   implements with a shared atomic cursor. *)
+
+type job = int -> unit
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;          (* incremented per published job *)
+  mutable job : job option;
+  mutable pending : int;             (* workers still running current job *)
+  mutable stop : bool;
+  mutable error : exn option;        (* first exception raised by a worker *)
+  mutable domains : unit Domain.t list;
+  mutable alive : bool;
+}
+
+let recommended_workers () = Domain.recommended_domain_count ()
+
+let record_error p e =
+  Mutex.lock p.mutex;
+  if p.error = None then p.error <- Some e;
+  Mutex.unlock p.mutex
+
+let worker_loop p w =
+  let my_generation = ref 0 in
+  let rec loop () =
+    Mutex.lock p.mutex;
+    while (not p.stop) && p.generation = !my_generation do
+      Condition.wait p.work_ready p.mutex
+    done;
+    if p.stop then Mutex.unlock p.mutex
+    else begin
+      my_generation := p.generation;
+      let job =
+        match p.job with
+        | Some j -> j
+        | None -> assert false
+      in
+      Mutex.unlock p.mutex;
+      (try job w with e -> record_error p e);
+      Mutex.lock p.mutex;
+      p.pending <- p.pending - 1;
+      if p.pending = 0 then Condition.broadcast p.work_done;
+      Mutex.unlock p.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let p =
+    {
+      size = n;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      job = None;
+      pending = 0;
+      stop = false;
+      error = None;
+      domains = [];
+      alive = true;
+    }
+  in
+  let spawn w = Domain.spawn (fun () -> worker_loop p w) in
+  p.domains <- List.init (n - 1) (fun i -> spawn (i + 1));
+  p
+
+let size p = p.size
+
+let run p f =
+  if not p.alive then invalid_arg "Pool.run: pool has been shut down";
+  if p.size = 1 then f 0
+  else begin
+    Mutex.lock p.mutex;
+    p.job <- Some f;
+    p.pending <- p.size - 1;
+    p.generation <- p.generation + 1;
+    p.error <- None;
+    Condition.broadcast p.work_ready;
+    Mutex.unlock p.mutex;
+    (* The caller is worker 0. *)
+    (try f 0 with e -> record_error p e);
+    Mutex.lock p.mutex;
+    while p.pending > 0 do
+      Condition.wait p.work_done p.mutex
+    done;
+    let err = p.error in
+    p.job <- None;
+    Mutex.unlock p.mutex;
+    match err with None -> () | Some e -> raise e
+  end
+
+let parallel_for p ?chunk lo hi f =
+  if hi > lo then begin
+    let n = hi - lo in
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
+      | None -> max 1 (n / (p.size * 8))
+    in
+    let cursor = Atomic.make lo in
+    let work _w =
+      let rec take () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < hi then begin
+          let stop = min hi (start + chunk) in
+          for i = start to stop - 1 do
+            f i
+          done;
+          take ()
+        end
+      in
+      take ()
+    in
+    run p work
+  end
+
+let partition ~workers ~lo ~hi w =
+  (* Contiguous partition of [lo, hi) into [workers] near-equal ranges. *)
+  let n = hi - lo in
+  let base = n / workers and extra = n mod workers in
+  let start = lo + (w * base) + min w extra in
+  let len = base + if w < extra then 1 else 0 in
+  (start, start + len)
+
+let parallel_for_ranges p lo hi f =
+  if hi > lo then
+    run p (fun w ->
+        let rlo, rhi = partition ~workers:p.size ~lo ~hi w in
+        if rhi > rlo then f w rlo rhi)
+
+let parallel_reduce p lo hi ~init ~body ~combine =
+  if hi <= lo then init ()
+  else begin
+    let results = Array.make p.size None in
+    run p (fun w ->
+        let rlo, rhi = partition ~workers:p.size ~lo ~hi w in
+        let acc = ref (init ()) in
+        for i = rlo to rhi - 1 do
+          acc := body !acc i
+        done;
+        results.(w) <- Some !acc);
+    let acc = ref None in
+    Array.iter
+      (fun r ->
+        match (!acc, r) with
+        | None, r -> acc := r
+        | Some a, Some b -> acc := Some (combine a b)
+        | Some _, None -> ())
+      results;
+    match !acc with Some a -> a | None -> init ()
+  end
+
+let shutdown p =
+  if p.alive then begin
+    p.alive <- false;
+    Mutex.lock p.mutex;
+    p.stop <- true;
+    Condition.broadcast p.work_ready;
+    Mutex.unlock p.mutex;
+    List.iter Domain.join p.domains;
+    p.domains <- []
+  end
+
+let with_pool n f =
+  let p = create n in
+  match f p with
+  | x ->
+    shutdown p;
+    x
+  | exception e ->
+    shutdown p;
+    raise e

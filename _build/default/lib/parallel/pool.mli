@@ -1,0 +1,59 @@
+(** A fixed-size pool of worker domains.
+
+    This is the substrate replacing OpenMP in the paper's benchmarks: a pool
+    of [size] workers (the calling domain plus [size - 1] spawned domains)
+    that execute fork-join parallel loops.
+
+    The strong-scaling benchmarks of the paper (Fig. 4, Fig. 5, Table 3)
+    create one pool per thread count and partition the input among the
+    workers, exactly like the paper's OpenMP loops with static scheduling
+    and thread pinning. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a pool of [n] workers in total ([n - 1] spawned domains).
+    [n] must be at least 1; [create 1] spawns nothing and runs everything on
+    the caller. *)
+
+val size : t -> int
+(** Number of workers, including the calling domain. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run p f] executes [f w] once on each worker [w] in [0 .. size - 1]
+    concurrently (worker [0] is the calling domain) and returns when all
+    calls have finished.  The first exception raised by any worker is
+    re-raised on the caller after the join. *)
+
+val parallel_for : t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
+(** [parallel_for p lo hi f] executes [f i] for every [lo <= i < hi], work
+    distributed dynamically in chunks of [chunk] (default: a heuristic based
+    on the iteration count and pool size).  Corresponds to OpenMP
+    [schedule(dynamic, chunk)]. *)
+
+val parallel_for_ranges : t -> int -> int -> (int -> int -> int -> unit) -> unit
+(** [parallel_for_ranges p lo hi f] partitions [\[lo, hi)] into [size]
+    contiguous ranges and calls [f w rlo rhi] on worker [w] with its range.
+    Corresponds to OpenMP [schedule(static)]; this is the NUMA-friendly
+    partitioning used for Fig. 4c of the paper. *)
+
+val parallel_reduce :
+  t -> int -> int -> init:(unit -> 'a) -> body:('a -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) -> 'a
+(** [parallel_reduce p lo hi ~init ~body ~combine] folds [body] over
+    [\[lo, hi)] with one accumulator per worker (seeded by [init ()]) and
+    combines the per-worker results left-to-right in worker order.
+    Corresponds to an OpenMP user-defined reduction — the mechanism behind
+    the paper's "reduction btree" contestant. *)
+
+val shutdown : t -> unit
+(** Joins all spawned domains.  The pool must not be used afterwards.
+    Idempotent. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] with a fresh pool of [n] workers and guarantees
+    shutdown, including on exceptions. *)
+
+val recommended_workers : unit -> int
+(** The number of hardware execution contexts available, as reported by
+    [Domain.recommended_domain_count]. *)

@@ -1,0 +1,1 @@
+lib/workloads/graphs.ml: Array Hashset Key Rng

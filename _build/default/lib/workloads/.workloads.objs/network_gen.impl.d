@@ -1,0 +1,1 @@
+lib/workloads/network_gen.ml: Parser Rng Zipf

@@ -1,0 +1,1 @@
+lib/workloads/network_gen.mli: Ast Rng

@@ -1,0 +1,1 @@
+lib/workloads/pointsto_gen.ml: Parser Rng Zipf

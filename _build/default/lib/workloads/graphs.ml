@@ -1,0 +1,63 @@
+let chain n = Array.init n (fun i -> (i, i + 1))
+let cycle n = Array.init n (fun i -> (i, (i + 1) mod n))
+
+let grid ~width ~height =
+  let edges = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let v = (y * width) + x in
+      if x + 1 < width then edges := (v, v + 1) :: !edges;
+      if y + 1 < height then edges := (v, v + width) :: !edges
+    done
+  done;
+  Array.of_list !edges
+
+let random_digraph rng ~nodes ~edges =
+  if edges > nodes * (nodes - 1) then
+    invalid_arg "Graphs.random_digraph: too many edges requested";
+  let module PS = Hashset.Make (Key.Pair) in
+  let seen = PS.create ~initial_capacity:(2 * edges) () in
+  let out = Array.make edges (0, 0) in
+  let filled = ref 0 in
+  while !filled < edges do
+    let u = Rng.int rng nodes and v = Rng.int rng nodes in
+    if u <> v && PS.insert seen (u, v) then begin
+      out.(!filled) <- (u, v);
+      incr filled
+    end
+  done;
+  out
+
+let scale_free rng ~nodes ~out_degree =
+  (* degree-proportional choice via the "repeated endpoints" trick: sample a
+     uniform position in the array of all edge endpoints so far *)
+  let cap = max 16 (2 * nodes * out_degree) in
+  let endpoints = Array.make cap 0 in
+  let nend = ref 0 in
+  let push v =
+    endpoints.(!nend) <- v;
+    incr nend
+  in
+  let edges = ref [] in
+  for v = 1 to nodes - 1 do
+    let d = min v out_degree in
+    for _ = 1 to d do
+      let u =
+        if !nend = 0 || Rng.int rng 4 = 0 then Rng.int rng v
+        else endpoints.(Rng.int rng !nend)
+      in
+      let u = if u >= v then v - 1 else u in
+      edges := (v, u) :: !edges;
+      push u;
+      push v
+    done
+  done;
+  Array.of_list !edges
+
+let points_ordered side =
+  Array.init (side * side) (fun i -> (i / side, i mod side))
+
+let points_random rng side =
+  let pts = points_ordered side in
+  Rng.shuffle rng pts;
+  pts

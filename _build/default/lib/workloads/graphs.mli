@@ -1,0 +1,23 @@
+(** Graph generators for the micro-benchmarks and example programs. *)
+
+val chain : int -> (int * int) array
+(** [chain n]: edges [0->1->...->n]. *)
+
+val cycle : int -> (int * int) array
+val grid : width:int -> height:int -> (int * int) array
+(** Right/down edges of a [width x height] grid (node = [y*width + x]). *)
+
+val random_digraph : Rng.t -> nodes:int -> edges:int -> (int * int) array
+(** [edges] distinct directed edges, no self-loops. *)
+
+val scale_free : Rng.t -> nodes:int -> out_degree:int -> (int * int) array
+(** Preferential attachment: node [i] links to [out_degree] earlier nodes
+    chosen proportionally to their current degree.  Produces the skewed
+    degree distributions of call graphs and network topologies. *)
+
+val points_ordered : int -> (int * int) array
+(** [points_ordered side]: the [side x side] grid of 2D points in
+    lexicographic order — the ordered insertion workload of Fig. 3/4. *)
+
+val points_random : Rng.t -> int -> (int * int) array
+(** Same points, shuffled — the random-order workload. *)

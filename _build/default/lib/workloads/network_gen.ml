@@ -1,0 +1,83 @@
+type config = {
+  instances : int;
+  groups : int;
+  ports : int;
+  links_per_instance : int;
+  allow_rules : int;
+  groups_per_instance : int;
+}
+
+let default =
+  {
+    instances = 300;
+    groups = 20;
+    ports = 5;
+    links_per_instance = 6;
+    allow_rules = 220;
+    groups_per_instance = 2;
+  }
+
+let scaled f =
+  let s n = max 1 (int_of_float (float_of_int n *. f)) in
+  {
+    instances = s default.instances;
+    groups = s default.groups;
+    ports = default.ports;
+    links_per_instance = default.links_per_instance;
+    allow_rules = s default.allow_rules;
+    groups_per_instance = default.groups_per_instance;
+  }
+
+(* The group/allow join is deliberately not materialised into a "conn"
+   relation: every recursive step re-consults member and allow, as a rule
+   firewall analysis over the raw configuration would.  This is what makes
+   the workload read-heavy — the paper's EC2 analysis performs two orders
+   of magnitude more membership tests than insertions (Table 2). *)
+let program =
+  Parser.parse_string
+    {|
+    .decl link(i:number, j:number)
+    .input link
+    .decl member(i:number, g:number)
+    .input member
+    .decl allow(g1:number, g2:number, p:number)
+    .input allow
+    .decl reach(i:number, j:number, p:number)
+    .output reach
+    .decl exposed(i:number, p:number)
+    .output exposed
+    reach(i, j, p) :- link(i, j), member(i, g1), member(j, g2), allow(g1, g2, p).
+    reach(i, k, p) :- reach(i, j, p), link(j, k), member(j, g1), member(k, g2),
+                      allow(g1, g2, p).
+    exposed(i, p) :- reach(0, i, p).
+    |}
+
+let facts cfg rng =
+  let out = ref [] in
+  (* clustered topology: instances mostly link within their neighbourhood,
+     giving locally ordered tuples *)
+  for i = 0 to cfg.instances - 1 do
+    for _ = 1 to cfg.links_per_instance do
+      let span = 1 + Rng.int rng 16 in
+      let j = (i + span) mod cfg.instances in
+      if i <> j then out := ("link", [| i; j |]) :: !out
+    done
+  done;
+  (* group membership: group correlated with instance locality *)
+  let zgroup = Zipf.create ~exponent:0.7 cfg.groups in
+  for i = 0 to cfg.instances - 1 do
+    let home = i * cfg.groups / cfg.instances in
+    out := ("member", [| i; home |]) :: !out;
+    for _ = 2 to cfg.groups_per_instance do
+      out := ("member", [| i; Zipf.sample zgroup rng |]) :: !out
+    done
+  done;
+  (* allow rules: skewed toward a few hot ports *)
+  let zport = Zipf.create ~exponent:1.2 cfg.ports in
+  for _ = 1 to cfg.allow_rules do
+    let g1 = Rng.int rng cfg.groups and g2 = Rng.int rng cfg.groups in
+    out := ("allow", [| g1; g2; Zipf.sample zport rng |]) :: !out
+  done;
+  !out
+
+let output_relation = "reach"

@@ -1,0 +1,38 @@
+(** Synthetic network reachability workload (the Fig. 5b / Amazon EC2
+    security analysis substitute).
+
+    Models a cloud estate: instances grouped into security groups, pairwise
+    subnet connectivity, and group-to-group allow rules per port; the
+    analysis derives which instances can transitively reach which others on
+    which port, and which are exposed to an internet-facing node:
+
+    {v
+      reach(i, j, p) :- link(i, j), member(i, g1), member(j, g2),
+                        allow(g1, g2, p).
+      reach(i, k, p) :- reach(i, j, p), link(j, k), member(j, g1),
+                        member(k, g2), allow(g1, g2, p).
+      exposed(i, p)  :- reach(0, i, p).
+    v}
+
+    The group/allow join is re-evaluated at every recursive step (it is not
+    materialised into a helper relation), so the workload is {e read heavy}:
+    membership tests and bound queries far outnumber insertions (Table 2's
+    EC2 column shows a two-orders-of-magnitude gap), and tuples are highly
+    ordered — the regime where the paper reports ~77% hint hit rates.  Like
+    the paper's workload, a single relation ([reach]) concentrates most
+    produced tuples. *)
+
+type config = {
+  instances : int;
+  groups : int;
+  ports : int;
+  links_per_instance : int;
+  allow_rules : int;
+  groups_per_instance : int;
+}
+
+val default : config
+val scaled : float -> config
+val program : Ast.program
+val facts : config -> Rng.t -> (string * int array) list
+val output_relation : string (** ["reach"] *)

@@ -1,0 +1,141 @@
+type config = {
+  variables : int;
+  objects : int;
+  fields : int;
+  classes : int;
+      (* type filter granularity: a field stores only objects of its
+         compatible class, as Doop's type filtering would *)
+  functions : int;
+      (* variables are partitioned into functions; calls generate the
+         parameter/return copy assignments real IR produces *)
+  calls : int;
+  allocs : int;
+  assigns : int;
+  loads : int;
+  stores : int;
+  with_alias : bool;
+}
+
+(* The assign graph stays subcritical (assigns < variables): real programs'
+   copy chains are mostly tree-like, and a supercritical random graph makes
+   points-to sets — and the fixed point — blow up quadratically. *)
+let default =
+  {
+    variables = 6000;
+    objects = 1500;
+    fields = 10;
+    classes = 8;
+    functions = 300;
+    calls = 900;
+    allocs = 4000;
+    assigns = 3000;
+    loads = 2400;
+    stores = 1200;
+    with_alias = false;
+  }
+
+let scaled f =
+  let s n = max 1 (int_of_float (float_of_int n *. f)) in
+  {
+    variables = s default.variables;
+    objects = s default.objects;
+    fields = default.fields;
+    classes = default.classes;
+    functions = s default.functions;
+    calls = s default.calls;
+    allocs = s default.allocs;
+    assigns = s default.assigns;
+    loads = s default.loads;
+    stores = s default.stores;
+    with_alias = false;
+  }
+
+let source with_alias =
+  let base =
+    {|
+    .decl new(v:number, o:number)
+    .input new
+    .decl assign(to:number, from:number)
+    .input assign
+    .decl load(to:number, base:number, f:number)
+    .input load
+    .decl store(base:number, f:number, from:number)
+    .input store
+    .decl store_ok(f:number, o:number)
+    .input store_ok
+    .decl vpt(v:number, o:number)
+    .output vpt
+    .decl hpt(o:number, f:number, o2:number)
+    .output hpt
+    .decl load_pt(to:number, o:number, f:number)
+    .decl store_pt(f:number, o2:number, base:number)
+    vpt(v, o) :- new(v, o).
+    vpt(to, o) :- assign(to, from), vpt(from, o).
+    load_pt(to, o, f) :- load(to, base, f), vpt(base, o).
+    vpt(to, o2) :- load_pt(to, o, f), hpt(o, f, o2).
+    store_pt(f, o2, base) :- store(base, f, from), vpt(from, o2), store_ok(f, o2).
+    hpt(o, f, o2) :- store_pt(f, o2, base), vpt(base, o).
+    |}
+  in
+  if with_alias then
+    base
+    ^ {|
+    .decl alias(v:number, w:number)
+    .output alias
+    alias(v, w) :- vpt(v, o), vpt(w, o).
+    |}
+  else base
+
+let program cfg = Parser.parse_string (source cfg.with_alias)
+
+let facts cfg rng =
+  (* skewed choices: a few hot variables and objects, like real programs *)
+  let zvar = Zipf.create ~exponent:0.35 cfg.variables in
+  let zobj = Zipf.create ~exponent:0.5 cfg.objects in
+  let var () = Zipf.sample zvar rng in
+  let obj () = Zipf.sample zobj rng in
+  let field () = Rng.int rng cfg.fields in
+  let out = ref [] in
+  for _ = 1 to cfg.allocs do
+    out := ("new", [| var (); obj () |]) :: !out
+  done;
+  for _ = 1 to cfg.assigns do
+    out := ("assign", [| var (); var () |]) :: !out
+  done;
+  (* call structure: each function owns a contiguous slice of variables;
+     slot 0 of the slice is its formal parameter, slot 1 its return
+     variable.  A call copies an actual argument of the caller into the
+     callee's formal and the callee's return variable into a destination
+     in the caller — the inter-procedural edges of a context-insensitive
+     analysis, which hub the assign graph through formals/returns the way
+     real programs do. *)
+  if cfg.functions > 0 && cfg.calls > 0 then begin
+    let per_fn = max 3 (cfg.variables / cfg.functions) in
+    let formal f = (f * per_fn) mod cfg.variables in
+    let retvar f = ((f * per_fn) + 1) mod cfg.variables in
+    let local f i = ((f * per_fn) + 2 + (i mod (per_fn - 2))) mod cfg.variables in
+    for _ = 1 to cfg.calls do
+      let caller = Rng.int rng cfg.functions
+      and callee = Rng.int rng cfg.functions in
+      let actual = local caller (Rng.int rng per_fn)
+      and dest = local caller (Rng.int rng per_fn) in
+      out := ("assign", [| formal callee; actual |]) :: !out;
+      out := ("assign", [| dest; retvar callee |]) :: !out
+    done
+  end;
+  for _ = 1 to cfg.loads do
+    out := ("load", [| var (); var (); field () |]) :: !out
+  done;
+  for _ = 1 to cfg.stores do
+    out := ("store", [| var (); field (); var () |]) :: !out
+  done;
+  (* type filter: field f accepts objects whose class matches f's *)
+  for f = 0 to cfg.fields - 1 do
+    for o = 0 to cfg.objects - 1 do
+      if (o + f) mod cfg.classes = 0 then
+        out := ("store_ok", [| f; o |]) :: !out
+    done
+  done;
+  !out
+
+let output_relation = "vpt"

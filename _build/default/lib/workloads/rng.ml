@@ -1,0 +1,28 @@
+(* splitmix64, truncated to OCaml's 63-bit ints via Key.mix64 *)
+
+type t = { mutable state : int }
+
+let golden = 0x2545F4914F6CDD1D (* fits in 62 bits *)
+
+let create seed = { state = Key.mix64 (seed + 1) }
+
+let next t =
+  t.state <- t.state + golden;
+  Key.mix64 t.state
+
+let split t = { state = Key.mix64 (next t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let bool t = next t land 1 = 1
+let float t = float_of_int (next t) /. 4.611686018427388e18
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

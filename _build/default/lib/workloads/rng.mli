@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All workload generators take an explicit generator so every benchmark
+    and test is reproducible; streams derived with {!split} are independent,
+    which the parallel benchmarks use to give each worker its own stream. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds yield equal streams. *)
+
+val split : t -> t
+(** A new generator statistically independent of the parent (which
+    advances). *)
+
+val next : t -> int
+(** Uniform in [0, 2{^62}). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -1,0 +1,26 @@
+(* Inverse-CDF sampling from a precomputed cumulative table. *)
+
+type t = { cdf : float array }
+
+let create ?(exponent = 1.0) n =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (w.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* first index with cdf.(i) >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,13 @@
+(** Zipf-distributed sampling over [0, n).
+
+    Used by the workload generators to give relations the skewed access
+    patterns real Datalog inputs exhibit (a few hot variables/objects and a
+    long tail). *)
+
+type t
+
+val create : ?exponent:float -> int -> t
+(** [create n] prepares a sampler over [0, n) with the given exponent
+    (default 1.0).  O(n) setup, O(log n) per sample. *)
+
+val sample : t -> Rng.t -> int

@@ -1,0 +1,1 @@
+test/test_alttrees.ml: Alcotest Array Atomic Bslack_tree Domain Int Key List Masstree Palm_tree Printf QCheck QCheck_alcotest Set

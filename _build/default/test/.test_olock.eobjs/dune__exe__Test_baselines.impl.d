@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Atomic Bplus_tree Concurrent_hashset Domain Gen Hashset Int Key List Locked_set Pool QCheck QCheck_alcotest Rbtree Reduction_set Set

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Atomic Btree Domain Fun Gen Int Key List Pool Printf QCheck QCheck_alcotest Set

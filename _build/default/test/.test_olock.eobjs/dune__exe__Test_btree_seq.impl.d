@@ -1,0 +1,1 @@
+test/test_btree_seq.ml: Alcotest Array Btree Btree_seq Gen Int Key List QCheck QCheck_alcotest Set

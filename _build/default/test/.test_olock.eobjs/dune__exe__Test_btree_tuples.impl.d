@@ -1,0 +1,1 @@
+test/test_btree_tuples.ml: Alcotest Array Atomic Btree Btree_tuples Domain Fun Key List QCheck QCheck_alcotest Set

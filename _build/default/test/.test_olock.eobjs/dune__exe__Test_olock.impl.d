@@ -1,0 +1,1 @@
+test/test_olock.ml: Alcotest Atomic Domain List Olock

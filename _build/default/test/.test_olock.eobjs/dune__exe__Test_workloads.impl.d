@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bench_util Dl_stats Engine Fun Graphs Key List Network_gen Option Pointsto_gen Pool Rng Set Zipf

@@ -1,0 +1,276 @@
+(* Tests for the Table 3 contestants: PALM tree, Masstree, B-slack tree. *)
+
+module PT = Palm_tree.Make (Key.Int)
+module MT = Masstree.Make (Key.Int)
+module BS = Bslack_tree.Make (Key.Int)
+module ISet = Set.Make (Int)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ilist = Alcotest.(check (list int))
+
+let rng seed =
+  let s = ref (Key.mix64 (seed + 1)) in
+  fun bound ->
+    s := Key.mix64 (!s + 0x2545F4914F6CDD1D);
+    !s mod bound
+
+let domains () = min 8 (max 2 (Domain.recommended_domain_count ()))
+
+(* ---------------- PALM ---------------- *)
+
+let test_palm_basic () =
+  let t = PT.create ~batch_size:8 () in
+  PT.insert t 5;
+  PT.insert t 3;
+  PT.insert t 5;
+  check_bool "mem flushes" true (PT.mem t 5);
+  check_bool "mem 3" true (PT.mem t 3);
+  check_bool "absent" false (PT.mem t 4);
+  check_int "dedup across batch" 2 (PT.cardinal t);
+  PT.check_invariants t
+
+let test_palm_vs_model () =
+  let r = rng 50 in
+  let t = PT.create ~batch_size:64 ~node_capacity:8 () in
+  let model = ref ISet.empty in
+  for _ = 1 to 20_000 do
+    let k = r 5000 in
+    PT.insert t k;
+    model := ISet.add k !model
+  done;
+  PT.flush t;
+  check_int "palm cardinal" (ISet.cardinal !model) (PT.cardinal t);
+  let out = ref [] in
+  PT.iter (fun k -> out := k :: !out) t;
+  check_ilist "palm contents" (ISet.elements !model) (List.rev !out);
+  PT.check_invariants t
+
+let test_palm_parallel () =
+  let t = PT.create () in
+  let d = domains () in
+  let per = 10_000 in
+  let ds =
+    List.init d (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              PT.insert t ((w * per) + i)
+            done))
+  in
+  List.iter Domain.join ds;
+  PT.flush t;
+  check_int "palm parallel cardinal" (d * per) (PT.cardinal t);
+  PT.check_invariants t
+
+(* ---------------- Masstree ---------------- *)
+
+let test_mass_basic () =
+  let t = MT.create () in
+  check_bool "insert" true (MT.insert t 9);
+  check_bool "dup" false (MT.insert t 9);
+  check_bool "mem" true (MT.mem t 9);
+  check_bool "absent" false (MT.mem t 10);
+  check_int "cardinal" 1 (MT.cardinal t);
+  MT.check_invariants t
+
+let test_mass_vs_model () =
+  let r = rng 60 in
+  let t = MT.create ~node_capacity:4 () in
+  let model = ref ISet.empty in
+  for _ = 1 to 30_000 do
+    let k = r 8000 in
+    check_bool "mass insert vs model" (not (ISet.mem k !model)) (MT.insert t k);
+    model := ISet.add k !model
+  done;
+  MT.check_invariants t;
+  check_ilist "mass contents" (ISet.elements !model) (MT.to_list t)
+
+let test_mass_ordered () =
+  let t = MT.create ~node_capacity:8 () in
+  for i = 0 to 9999 do
+    ignore (MT.insert t i : bool)
+  done;
+  MT.check_invariants t;
+  check_int "mass ordered cardinal" 10_000 (MT.cardinal t)
+
+let test_mass_parallel_overlap () =
+  let t = MT.create () in
+  let d = domains () in
+  let n = 20_000 in
+  let fresh = Atomic.make 0 in
+  let worker () =
+    let mine = ref 0 in
+    for i = 0 to n - 1 do
+      if MT.insert t i then incr mine
+    done;
+    ignore (Atomic.fetch_and_add fresh !mine)
+  in
+  let ds = List.init d (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  check_int "mass cardinal" n (MT.cardinal t);
+  check_int "fresh once" n (Atomic.get fresh);
+  MT.check_invariants t
+
+let test_mass_parallel_random () =
+  let t = MT.create ~node_capacity:8 () in
+  let d = domains () in
+  let per = 20_000 in
+  let streams =
+    Array.init d (fun w ->
+        let r = rng (w + 70) in
+        Array.init per (fun _ -> r 500_000))
+  in
+  let ds =
+    Array.to_list
+      (Array.mapi
+         (fun _w keys ->
+           Domain.spawn (fun () ->
+               Array.iter (fun k -> ignore (MT.insert t k : bool)) keys))
+         streams)
+  in
+  List.iter Domain.join ds;
+  MT.check_invariants t;
+  let model =
+    Array.fold_left
+      (fun s a -> Array.fold_left (fun s k -> ISet.add k s) s a)
+      ISet.empty streams
+  in
+  check_int "mass union cardinal" (ISet.cardinal model) (MT.cardinal t);
+  check_bool "mass contents = union" true (MT.to_list t = ISet.elements model)
+
+let test_mass_concurrent_reads () =
+  (* readers race with writers; every read must terminate and return a
+     value consistent with "inserted before or during the read" *)
+  let t = MT.create () in
+  for i = 0 to 999 do
+    ignore (MT.insert t (2 * i) : bool)
+  done;
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let reader () =
+    while not (Atomic.get stop) do
+      (* keys 0,2,..,1998 are permanently present *)
+      if not (MT.mem t 1998) then Atomic.incr bad;
+      if MT.mem t (-1) then Atomic.incr bad
+    done
+  in
+  let writer () =
+    for i = 0 to 99_999 do
+      ignore (MT.insert t (10_000 + i) : bool)
+    done;
+    Atomic.set stop true
+  in
+  let rs = List.init 2 (fun _ -> Domain.spawn reader) in
+  let w = Domain.spawn writer in
+  Domain.join w;
+  List.iter Domain.join rs;
+  check_int "no inconsistent reads" 0 (Atomic.get bad);
+  MT.check_invariants t
+
+(* ---------------- B-slack ---------------- *)
+
+let test_bslack_basic () =
+  let t = BS.create () in
+  check_bool "insert" true (BS.insert t 1);
+  check_bool "dup" false (BS.insert t 1);
+  check_bool "mem" true (BS.mem t 1);
+  check_int "cardinal" 1 (BS.cardinal t);
+  BS.check_invariants t
+
+let test_bslack_vs_model () =
+  let r = rng 80 in
+  let t = BS.create ~node_capacity:4 () in
+  let model = ref ISet.empty in
+  for _ = 1 to 30_000 do
+    let k = r 8000 in
+    check_bool "bslack insert vs model" (not (ISet.mem k !model)) (BS.insert t k);
+    model := ISet.add k !model
+  done;
+  BS.check_invariants t;
+  check_ilist "bslack contents" (ISet.elements !model) (BS.to_list t)
+
+let test_bslack_fill_grade () =
+  (* the space-efficiency claim: ordered inserts with slack shedding must
+     reach clearly higher fill than a plain B+-tree's worst case of ~50% *)
+  let t = BS.create ~node_capacity:16 () in
+  for i = 0 to 99_999 do
+    ignore (BS.insert t i : bool)
+  done;
+  BS.check_invariants t;
+  let fill = BS.fill_grade t in
+  check_bool (Printf.sprintf "fill %.2f > 0.60" fill) true (fill > 0.60)
+
+let test_bslack_parallel () =
+  let t = BS.create () in
+  let d = domains () in
+  let per = 5_000 in
+  let ds =
+    List.init d (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (BS.insert t ((w * per) + i) : bool)
+            done))
+  in
+  List.iter Domain.join ds;
+  check_int "bslack parallel" (d * per) (BS.cardinal t);
+  BS.check_invariants t
+
+let prop_mass_model =
+  QCheck.Test.make ~count:200 ~name:"masstree = model"
+    QCheck.(list (int_bound 300))
+    (fun keys ->
+      let t = MT.create ~node_capacity:4 () in
+      List.iter (fun k -> ignore (MT.insert t k : bool)) keys;
+      MT.check_invariants t;
+      MT.to_list t = ISet.elements (ISet.of_list keys))
+
+let prop_bslack_model =
+  QCheck.Test.make ~count:200 ~name:"bslack = model"
+    QCheck.(list (int_bound 300))
+    (fun keys ->
+      let t = BS.create ~node_capacity:4 () in
+      List.iter (fun k -> ignore (BS.insert t k : bool)) keys;
+      BS.check_invariants t;
+      BS.to_list t = ISet.elements (ISet.of_list keys))
+
+let prop_palm_model =
+  QCheck.Test.make ~count:200 ~name:"palm = model"
+    QCheck.(list (int_bound 300))
+    (fun keys ->
+      let t = PT.create ~batch_size:16 ~node_capacity:4 () in
+      List.iter (PT.insert t) keys;
+      PT.flush t;
+      PT.check_invariants t;
+      let out = ref [] in
+      PT.iter (fun k -> out := k :: !out) t;
+      List.rev !out = ISet.elements (ISet.of_list keys))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "alttrees"
+    [
+      ( "palm",
+        [
+          Alcotest.test_case "basic" `Quick test_palm_basic;
+          Alcotest.test_case "vs model" `Quick test_palm_vs_model;
+          Alcotest.test_case "parallel" `Quick test_palm_parallel;
+        ] );
+      ( "masstree",
+        [
+          Alcotest.test_case "basic" `Quick test_mass_basic;
+          Alcotest.test_case "vs model" `Quick test_mass_vs_model;
+          Alcotest.test_case "ordered" `Quick test_mass_ordered;
+          Alcotest.test_case "parallel overlap" `Quick test_mass_parallel_overlap;
+          Alcotest.test_case "parallel random" `Quick test_mass_parallel_random;
+          Alcotest.test_case "concurrent reads" `Quick test_mass_concurrent_reads;
+        ] );
+      ( "bslack",
+        [
+          Alcotest.test_case "basic" `Quick test_bslack_basic;
+          Alcotest.test_case "vs model" `Quick test_bslack_vs_model;
+          Alcotest.test_case "fill grade" `Quick test_bslack_fill_grade;
+          Alcotest.test_case "parallel" `Quick test_bslack_parallel;
+        ] );
+      qsuite "properties" [ prop_mass_model; prop_bslack_model; prop_palm_model ];
+    ]

@@ -1,0 +1,340 @@
+(* Tests for the baseline data structures: red-black tree, hash sets,
+   B+-tree, global-lock wrapper, reduction set. *)
+
+module RB = Rbtree.Make (Key.Int)
+module HS = Hashset.Make (Key.Int)
+module CHS = Concurrent_hashset.Make (Key.Int)
+module BP = Bplus_tree.Make (Key.Int)
+module RED = Reduction_set.Make (Key.Int)
+module ISet = Set.Make (Int)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ilist = Alcotest.(check (list int))
+let int_opt = Alcotest.(option int)
+
+let rng seed =
+  let s = ref (Key.mix64 (seed + 1)) in
+  fun bound ->
+    s := Key.mix64 (!s + 0x2545F4914F6CDD1D);
+    !s mod bound
+
+(* ---------------- red-black tree ---------------- *)
+
+let test_rb_basic () =
+  let t = RB.create () in
+  check_bool "empty" true (RB.is_empty t);
+  check_bool "insert" true (RB.insert t 5);
+  check_bool "dup" false (RB.insert t 5);
+  check_bool "mem" true (RB.mem t 5);
+  check_bool "mem absent" false (RB.mem t 6);
+  check_int "cardinal" 1 (RB.cardinal t);
+  RB.check_invariants t
+
+let test_rb_vs_model () =
+  let r = rng 10 in
+  let t = RB.create () in
+  let model = ref ISet.empty in
+  for _ = 1 to 20_000 do
+    let k = r 5000 in
+    check_bool "rb insert vs model" (not (ISet.mem k !model)) (RB.insert t k);
+    model := ISet.add k !model
+  done;
+  RB.check_invariants t;
+  check_ilist "rb contents" (ISet.elements !model) (RB.to_list t);
+  Alcotest.check int_opt "rb min" (ISet.min_elt_opt !model) (RB.min_elt t);
+  Alcotest.check int_opt "rb max" (ISet.max_elt_opt !model) (RB.max_elt t)
+
+let test_rb_ordered_insert_balance () =
+  let t = RB.create () in
+  for i = 0 to 9999 do
+    ignore (RB.insert t i : bool)
+  done;
+  RB.check_invariants t;
+  check_int "cardinal" 10_000 (RB.cardinal t)
+
+let test_rb_bounds () =
+  let t = RB.create () in
+  List.iter (fun k -> ignore (RB.insert t k : bool)) [ 2; 4; 6; 8 ];
+  Alcotest.check int_opt "lb 4" (Some 4) (RB.lower_bound t 4);
+  Alcotest.check int_opt "lb 5" (Some 6) (RB.lower_bound t 5);
+  Alcotest.check int_opt "lb 9" None (RB.lower_bound t 9);
+  Alcotest.check int_opt "ub 4" (Some 6) (RB.upper_bound t 4);
+  Alcotest.check int_opt "ub 8" None (RB.upper_bound t 8)
+
+let test_rb_iter_from () =
+  let t = RB.create () in
+  for i = 0 to 50 do
+    ignore (RB.insert t (i * 2) : bool)
+  done;
+  let seen = ref [] in
+  RB.iter_from
+    (fun k -> if k < 20 then (seen := k :: !seen; true) else false)
+    t 11;
+  check_ilist "rb range" [ 12; 14; 16; 18 ] (List.rev !seen)
+
+let prop_rb_model =
+  QCheck.Test.make ~count:200 ~name:"rbtree = model"
+    QCheck.(list (int_bound 400))
+    (fun keys ->
+      let t = RB.create () in
+      List.iter (fun k -> ignore (RB.insert t k : bool)) keys;
+      RB.check_invariants t;
+      RB.to_list t = ISet.elements (ISet.of_list keys))
+
+(* ---------------- hash set ---------------- *)
+
+let test_hs_basic () =
+  let t = HS.create () in
+  check_bool "insert" true (HS.insert t 1);
+  check_bool "dup" false (HS.insert t 1);
+  check_bool "mem" true (HS.mem t 1);
+  check_bool "absent" false (HS.mem t 2);
+  HS.check_invariants t
+
+let test_hs_growth () =
+  let t = HS.create ~initial_capacity:4 () in
+  for i = 0 to 99_999 do
+    ignore (HS.insert t i : bool)
+  done;
+  check_int "cardinal" 100_000 (HS.cardinal t);
+  HS.check_invariants t;
+  for i = 0 to 99_999 do
+    if not (HS.mem t i) then Alcotest.failf "hashset lost %d" i
+  done;
+  check_bool "absent big" false (HS.mem t 100_000)
+
+let test_hs_collisions () =
+  (* adversarial-ish: keys congruent modulo a small table *)
+  let t = HS.create ~initial_capacity:16 () in
+  for i = 0 to 999 do
+    ignore (HS.insert t (i * 16) : bool)
+  done;
+  check_int "cardinal" 1000 (HS.cardinal t);
+  HS.check_invariants t
+
+let prop_hs_model =
+  QCheck.Test.make ~count:200 ~name:"hashset = model"
+    QCheck.(list (int_bound 500))
+    (fun keys ->
+      let t = HS.create () in
+      List.iter (fun k -> ignore (HS.insert t k : bool)) keys;
+      HS.check_invariants t;
+      List.sort compare (HS.to_list t) = ISet.elements (ISet.of_list keys))
+
+(* ---------------- concurrent hash set ---------------- *)
+
+let test_chs_sequential () =
+  let t = CHS.create ~segments:8 () in
+  let r = rng 4 in
+  let model = ref ISet.empty in
+  for _ = 1 to 10_000 do
+    let k = r 3000 in
+    check_bool "chs insert vs model" (not (ISet.mem k !model)) (CHS.insert t k);
+    model := ISet.add k !model
+  done;
+  CHS.check_invariants t;
+  check_int "chs cardinal" (ISet.cardinal !model) (CHS.cardinal t);
+  check_ilist "chs contents" (ISet.elements !model)
+    (List.sort compare (CHS.to_list t))
+
+let test_chs_parallel () =
+  let t = CHS.create () in
+  let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let n = 20_000 in
+  let fresh = Atomic.make 0 in
+  let worker () =
+    let mine = ref 0 in
+    for i = 0 to n - 1 do
+      if CHS.insert t i then incr mine
+    done;
+    ignore (Atomic.fetch_and_add fresh !mine)
+  in
+  let ds = List.init d (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  check_int "chs parallel cardinal" n (CHS.cardinal t);
+  check_int "each key fresh once" n (Atomic.get fresh);
+  CHS.check_invariants t
+
+let test_chs_parallel_disjoint () =
+  let t = CHS.create () in
+  let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let per = 20_000 in
+  let ds =
+    List.init d (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (CHS.insert t ((w * per) + i) : bool)
+            done))
+  in
+  List.iter Domain.join ds;
+  check_int "disjoint cardinal" (d * per) (CHS.cardinal t);
+  CHS.check_invariants t
+
+(* ---------------- B+ tree ---------------- *)
+
+let test_bp_basic () =
+  let t = BP.create () in
+  check_bool "empty" true (BP.is_empty t);
+  check_bool "insert" true (BP.insert t 3);
+  check_bool "dup" false (BP.insert t 3);
+  check_bool "mem" true (BP.mem t 3);
+  BP.check_invariants t
+
+let test_bp_vs_model () =
+  let r = rng 20 in
+  let t = BP.create ~node_capacity:4 () in
+  let model = ref ISet.empty in
+  for _ = 1 to 20_000 do
+    let k = r 6000 in
+    check_bool "bp insert vs model" (not (ISet.mem k !model)) (BP.insert t k);
+    model := ISet.add k !model
+  done;
+  BP.check_invariants t;
+  check_ilist "bp contents" (ISet.elements !model) (BP.to_list t)
+
+let test_bp_bounds_vs_model () =
+  let r = rng 21 in
+  let t = BP.create ~node_capacity:6 () in
+  let model = ref ISet.empty in
+  for _ = 1 to 3000 do
+    let k = r 1000 * 2 in
+    ignore (BP.insert t k : bool);
+    model := ISet.add k !model
+  done;
+  for probe = -3 to 2003 do
+    Alcotest.check int_opt "bp lb"
+      (ISet.find_first_opt (fun x -> x >= probe) !model)
+      (BP.lower_bound t probe);
+    Alcotest.check int_opt "bp ub"
+      (ISet.find_first_opt (fun x -> x > probe) !model)
+      (BP.upper_bound t probe)
+  done
+
+let test_bp_iter_from () =
+  let t = BP.create ~node_capacity:4 () in
+  for i = 0 to 200 do
+    ignore (BP.insert t (i * 3) : bool)
+  done;
+  let seen = ref [] in
+  BP.iter_from
+    (fun k -> if k <= 30 then (seen := k :: !seen; true) else false)
+    t 10;
+  check_ilist "bp range" [ 12; 15; 18; 21; 24; 27; 30 ] (List.rev !seen)
+
+let test_bp_bulk () =
+  List.iter
+    (fun n ->
+      let arr = Array.init n (fun i -> i * 5) in
+      let t = BP.of_sorted_array ~node_capacity:6 arr in
+      BP.check_invariants t;
+      check_int "bp bulk cardinal" n (BP.cardinal t);
+      ignore (BP.insert t 1 : bool);
+      BP.check_invariants t)
+    [ 0; 1; 2; 6; 7; 30; 500; 4096 ]
+
+let prop_bp_model =
+  QCheck.Test.make ~count:200 ~name:"bplus = model"
+    QCheck.(list (int_bound 400))
+    (fun keys ->
+      let t = BP.create ~node_capacity:4 () in
+      List.iter (fun k -> ignore (BP.insert t k : bool)) keys;
+      BP.check_invariants t;
+      BP.to_list t = ISet.elements (ISet.of_list keys))
+
+let prop_bp_bulk =
+  QCheck.Test.make ~count:200 ~name:"bplus bulk build"
+    QCheck.(list_of_size Gen.(0 -- 1500) (int_bound 100_000))
+    (fun keys ->
+      let uniq = Array.of_list (ISet.elements (ISet.of_list keys)) in
+      let t = BP.of_sorted_array ~node_capacity:8 uniq in
+      BP.check_invariants t;
+      BP.to_sorted_array t = uniq)
+
+(* ---------------- locked set ---------------- *)
+
+module LockedRB = Locked_set.Make (struct
+  type key = int
+  type t = RB.t
+
+  let create () = RB.create ()
+  let insert = RB.insert
+  let mem = RB.mem
+  let cardinal = RB.cardinal
+  let iter = RB.iter
+end)
+
+let test_locked_parallel () =
+  let t = LockedRB.create () in
+  let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let per = 5_000 in
+  let ds =
+    List.init d (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ignore (LockedRB.insert t ((w * per) + i) : bool)
+            done))
+  in
+  List.iter Domain.join ds;
+  check_int "locked set cardinal" (d * per) (LockedRB.cardinal t)
+
+(* ---------------- reduction set ---------------- *)
+
+let test_reduction_build () =
+  let r = rng 30 in
+  let keys = Array.init 50_000 (fun _ -> r 20_000) in
+  Pool.with_pool 4 (fun p ->
+      let tree = RED.build p keys in
+      RED.Tree.check_invariants tree;
+      let model = Array.fold_left (fun s k -> ISet.add k s) ISet.empty keys in
+      check_int "reduction cardinal" (ISet.cardinal model) (RED.Tree.cardinal tree);
+      check_ilist "reduction contents" (ISet.elements model) (RED.Tree.to_list tree))
+
+let test_merge_sorted () =
+  let a = [| 1; 3; 5 |] and b = [| 2; 3; 4; 9 |] and c = [| 0; 9 |] in
+  Alcotest.(check (array int))
+    "merge dedup" [| 0; 1; 2; 3; 4; 5; 9 |]
+    (RED.merge_sorted [| a; b; c |]);
+  Alcotest.(check (array int)) "merge empty" [||] (RED.merge_sorted [| [||]; [||] |])
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "rbtree",
+        [
+          Alcotest.test_case "basic" `Quick test_rb_basic;
+          Alcotest.test_case "vs model" `Quick test_rb_vs_model;
+          Alcotest.test_case "ordered balance" `Quick test_rb_ordered_insert_balance;
+          Alcotest.test_case "bounds" `Quick test_rb_bounds;
+          Alcotest.test_case "iter_from" `Quick test_rb_iter_from;
+        ] );
+      ( "hashset",
+        [
+          Alcotest.test_case "basic" `Quick test_hs_basic;
+          Alcotest.test_case "growth" `Quick test_hs_growth;
+          Alcotest.test_case "collisions" `Quick test_hs_collisions;
+        ] );
+      ( "concurrent_hashset",
+        [
+          Alcotest.test_case "sequential" `Quick test_chs_sequential;
+          Alcotest.test_case "parallel overlap" `Quick test_chs_parallel;
+          Alcotest.test_case "parallel disjoint" `Quick test_chs_parallel_disjoint;
+        ] );
+      ( "bplus_tree",
+        [
+          Alcotest.test_case "basic" `Quick test_bp_basic;
+          Alcotest.test_case "vs model" `Quick test_bp_vs_model;
+          Alcotest.test_case "bounds" `Quick test_bp_bounds_vs_model;
+          Alcotest.test_case "iter_from" `Quick test_bp_iter_from;
+          Alcotest.test_case "bulk" `Quick test_bp_bulk;
+        ] );
+      ( "wrappers",
+        [
+          Alcotest.test_case "locked parallel" `Quick test_locked_parallel;
+          Alcotest.test_case "reduction build" `Quick test_reduction_build;
+          Alcotest.test_case "merge sorted" `Quick test_merge_sorted;
+        ] );
+      qsuite "properties" [ prop_rb_model; prop_hs_model; prop_bp_model; prop_bp_bulk ];
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the specialized tuple B-tree: differential against the generic
+   functor tree, invariants, hints and multi-domain stress. *)
+
+module Generic = Btree.Make (Key.Int_array)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rng seed =
+  let s = ref (Key.mix64 (seed + 1)) in
+  fun bound ->
+    s := Key.mix64 (!s + 0x2545F4914F6CDD1D);
+    !s mod bound
+
+let tuples_equal a b = Key.Int_array.compare a b = 0
+
+let test_basic () =
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  check_bool "empty" true (Btree_tuples.is_empty t);
+  check_bool "insert" true (Btree_tuples.insert t [| 1; 2 |]);
+  check_bool "dup" false (Btree_tuples.insert t [| 1; 2 |]);
+  check_bool "mem" true (Btree_tuples.mem t [| 1; 2 |]);
+  check_bool "absent" false (Btree_tuples.mem t [| 2; 1 |]);
+  check_int "cardinal" 1 (Btree_tuples.cardinal t);
+  check_int "arity" 2 (Btree_tuples.arity t);
+  Btree_tuples.check_invariants t
+
+let test_bad_order_rejected () =
+  List.iter
+    (fun order ->
+      match Btree_tuples.create ~arity:2 ~order () with
+      | _ -> Alcotest.fail "accepted bad order"
+      | exception Invalid_argument _ -> ())
+    [ [| 0 |]; [| 0; 0 |]; [| 0; 2 |]; [| -1; 0 |] ]
+
+let test_permuted_order () =
+  (* order [1; 0]: sorted by second column first *)
+  let t = Btree_tuples.create ~arity:2 ~order:[| 1; 0 |] () in
+  List.iter
+    (fun tup -> ignore (Btree_tuples.insert t tup : bool))
+    [ [| 5; 1 |]; [| 1; 5 |]; [| 3; 3 |]; [| 9; 0 |] ];
+  Btree_tuples.check_invariants t;
+  let order = List.map (fun a -> (a.(0), a.(1))) (Btree_tuples.to_list t) in
+  Alcotest.(check (list (pair int int)))
+    "second-column order"
+    [ (9, 0); (5, 1); (3, 3); (1, 5) ]
+    order
+
+let test_arity3 () =
+  let r = rng 1 in
+  let t = Btree_tuples.create ~arity:3 ~order:[| 2; 0; 1 |] () in
+  let module TS = Set.Make (struct
+    type t = int array
+
+    let compare = Key.Int_array.compare
+  end) in
+  let model = ref TS.empty in
+  for _ = 1 to 10_000 do
+    let tup = [| r 50; r 50; r 50 |] in
+    check_bool "fresh agrees with model"
+      (not (TS.mem tup !model))
+      (Btree_tuples.insert t tup);
+    model := TS.add tup !model
+  done;
+  Btree_tuples.check_invariants t;
+  check_int "cardinal" (TS.cardinal !model) (Btree_tuples.cardinal t)
+
+let test_prefix_scan () =
+  (* sig [0]-major order: scanning from (7, -inf) while first col = 7 must
+     enumerate exactly row 7 *)
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  for x = 0 to 19 do
+    for y = 0 to 19 do
+      ignore (Btree_tuples.insert t [| x; y |] : bool)
+    done
+  done;
+  let seen = ref [] in
+  Btree_tuples.iter_from
+    (fun tup ->
+      if tup.(0) = 7 then begin
+        seen := tup.(1) :: !seen;
+        true
+      end
+      else false)
+    t [| 7; min_int |];
+  Alcotest.(check (list int)) "row 7" (List.init 20 Fun.id) (List.rev !seen)
+
+let test_hinted_ops () =
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  let h = Btree_tuples.make_hints () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    ignore (Btree_tuples.insert ~hints:h t [| i / 100; i mod 100 |] : bool)
+  done;
+  Btree_tuples.check_invariants t;
+  check_int "cardinal" n (Btree_tuples.cardinal t);
+  let hits, misses = Btree_tuples.hint_counters h in
+  check_bool "ordered stream hits" true (hits > misses * 5);
+  (* hinted membership *)
+  for i = 0 to n - 1 do
+    if not (Btree_tuples.mem ~hints:h t [| i / 100; i mod 100 |]) then
+      Alcotest.failf "lost %d" i
+  done
+
+let prop_matches_generic =
+  QCheck.Test.make ~count:200 ~name:"specialized = generic functor tree"
+    QCheck.(pair (list (pair (int_bound 40) (int_bound 40))) (small_list (pair (int_bound 45) (int_bound 45))))
+    (fun (ins, probes) ->
+      let sp = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+      let ge = Generic.create () in
+      let agree_ins =
+        List.for_all
+          (fun (a, b) ->
+            Btree_tuples.insert sp [| a; b |] = Generic.insert ge [| a; b |])
+          ins
+      in
+      let agree_mem =
+        List.for_all
+          (fun (a, b) ->
+            Btree_tuples.mem sp [| a; b |] = Generic.mem ge [| a; b |])
+          probes
+      in
+      Btree_tuples.check_invariants sp;
+      agree_ins && agree_mem
+      && List.for_all2 tuples_equal (Btree_tuples.to_list sp) (Generic.to_list ge))
+
+let test_concurrent_inserts () =
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let per = 20_000 in
+  let fresh = Atomic.make 0 in
+  let worker w () =
+    let h = Btree_tuples.make_hints () in
+    let mine = ref 0 in
+    for i = 0 to per - 1 do
+      (* half disjoint, half overlapping across workers *)
+      let tup = if i land 1 = 0 then [| w; i |] else [| -1; i |] in
+      if Btree_tuples.insert ~hints:h t tup then incr mine
+    done;
+    ignore (Atomic.fetch_and_add fresh !mine)
+  in
+  let ds = List.init d (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join ds;
+  Btree_tuples.check_invariants t;
+  let expected = (d * per / 2) + (per / 2) in
+  check_int "cardinal" expected (Btree_tuples.cardinal t);
+  check_int "fresh total" expected (Atomic.get fresh)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "btree_tuples"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "bad order" `Quick test_bad_order_rejected;
+          Alcotest.test_case "permuted order" `Quick test_permuted_order;
+          Alcotest.test_case "arity 3" `Quick test_arity3;
+          Alcotest.test_case "prefix scan" `Quick test_prefix_scan;
+          Alcotest.test_case "hints" `Quick test_hinted_ops;
+        ] );
+      qsuite "properties" [ prop_matches_generic ];
+      ( "concurrency",
+        [ Alcotest.test_case "mixed inserts" `Quick test_concurrent_inserts ] );
+    ]

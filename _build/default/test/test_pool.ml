@@ -1,0 +1,157 @@
+(* Tests for the domain pool. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_size_one_runs_inline () =
+  Pool.with_pool 1 (fun p ->
+      check_int "size" 1 (Pool.size p);
+      let ran = ref false in
+      Pool.run p (fun w ->
+          check_int "worker id" 0 w;
+          ran := true);
+      check_bool "ran" true !ran)
+
+let test_run_covers_all_workers () =
+  Pool.with_pool 4 (fun p ->
+      let seen = Array.make 4 0 in
+      Pool.run p (fun w -> seen.(w) <- seen.(w) + 1);
+      Array.iteri (fun i c -> check_int (Printf.sprintf "worker %d ran once" i) 1 c) seen)
+
+let test_run_reusable () =
+  Pool.with_pool 3 (fun p ->
+      let counter = Atomic.make 0 in
+      for _ = 1 to 50 do
+        Pool.run p (fun _ -> Atomic.incr counter)
+      done;
+      check_int "all jobs ran" (3 * 50) (Atomic.get counter))
+
+let test_parallel_for_full_coverage () =
+  Pool.with_pool 4 (fun p ->
+      let n = 10_000 in
+      let hit = Array.make n 0 in
+      Pool.parallel_for p 0 n (fun i -> hit.(i) <- hit.(i) + 1);
+      let bad = ref 0 in
+      Array.iter (fun c -> if c <> 1 then incr bad) hit;
+      check_int "every index exactly once" 0 !bad)
+
+let test_parallel_for_empty_range () =
+  Pool.with_pool 2 (fun p ->
+      let ran = ref false in
+      Pool.parallel_for p 5 5 (fun _ -> ran := true);
+      Pool.parallel_for p 5 3 (fun _ -> ran := true);
+      check_bool "no iteration on empty range" false !ran)
+
+let test_parallel_for_chunk1 () =
+  Pool.with_pool 3 (fun p ->
+      let n = 101 in
+      let sum = Atomic.make 0 in
+      Pool.parallel_for p ~chunk:1 0 n (fun i -> ignore (Atomic.fetch_and_add sum i));
+      check_int "sum" (n * (n - 1) / 2) (Atomic.get sum))
+
+let test_parallel_for_ranges_partition () =
+  Pool.with_pool 4 (fun p ->
+      let n = 1003 in
+      let hit = Array.make n 0 in
+      Pool.parallel_for_ranges p 0 n (fun _w lo hi ->
+          for i = lo to hi - 1 do
+            hit.(i) <- hit.(i) + 1
+          done);
+      let bad = ref 0 in
+      Array.iter (fun c -> if c <> 1 then incr bad) hit;
+      check_int "contiguous partition covers exactly once" 0 !bad)
+
+let test_parallel_reduce_sum () =
+  Pool.with_pool 4 (fun p ->
+      let n = 100_000 in
+      let s =
+        Pool.parallel_reduce p 0 n
+          ~init:(fun () -> 0)
+          ~body:(fun acc i -> acc + i)
+          ~combine:( + )
+      in
+      check_int "reduction sum" (n * (n - 1) / 2) s)
+
+let test_parallel_reduce_empty () =
+  Pool.with_pool 2 (fun p ->
+      let s =
+        Pool.parallel_reduce p 3 3
+          ~init:(fun () -> 7)
+          ~body:(fun acc _ -> acc + 1)
+          ~combine:( + )
+      in
+      check_int "empty reduce yields init" 7 s)
+
+let test_reduce_order_preserved () =
+  (* combine must be applied in worker order so non-commutative merges
+     (e.g. list concatenation of sorted runs) work *)
+  Pool.with_pool 4 (fun p ->
+      let n = 1000 in
+      let l =
+        Pool.parallel_reduce p 0 n
+          ~init:(fun () -> [])
+          ~body:(fun acc i -> i :: acc)
+          ~combine:(fun a b -> b @ a)
+      in
+      let l = List.rev l in
+      check_bool "concatenated in index order" true (l = List.init n Fun.id))
+
+let test_exception_propagates () =
+  Pool.with_pool 4 (fun p ->
+      let raised =
+        try
+          Pool.run p (fun w -> if w = 2 then failwith "boom");
+          false
+        with Failure m -> m = "boom"
+      in
+      check_bool "exception propagated to caller" true raised;
+      (* pool must still be usable afterwards *)
+      let c = Atomic.make 0 in
+      Pool.run p (fun _ -> Atomic.incr c);
+      check_int "pool alive after exception" 4 (Atomic.get c))
+
+let test_shutdown_idempotent () =
+  let p = Pool.create 3 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  check_bool "double shutdown ok" true true
+
+let test_nested_data_parallelism () =
+  (* workers of one pool hammer a shared atomic; ensures no job interleaving
+     corruption across many generations *)
+  Pool.with_pool 4 (fun p ->
+      let total = Atomic.make 0 in
+      for _ = 1 to 20 do
+        Pool.parallel_for p 0 1000 (fun _ -> Atomic.incr total)
+      done;
+      check_int "20 rounds of 1000" 20_000 (Atomic.get total))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "size 1 inline" `Quick test_size_one_runs_inline;
+          Alcotest.test_case "run covers workers" `Quick test_run_covers_all_workers;
+          Alcotest.test_case "run reusable" `Quick test_run_reusable;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ] );
+      ( "parallel_for",
+        [
+          Alcotest.test_case "full coverage" `Quick test_parallel_for_full_coverage;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+          Alcotest.test_case "chunk 1" `Quick test_parallel_for_chunk1;
+          Alcotest.test_case "static ranges" `Quick test_parallel_for_ranges_partition;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "sum" `Quick test_parallel_reduce_sum;
+          Alcotest.test_case "empty" `Quick test_parallel_reduce_empty;
+          Alcotest.test_case "order preserved" `Quick test_reduce_order_preserved;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "many generations" `Quick test_nested_data_parallelism;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the workload generators and harness utilities. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let tc = Alcotest.test_case
+
+(* ---------------- rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 1000 do
+    check_int "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  check_bool "different seeds diverge" true (!same < 5)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_uniformity () =
+  let r = Rng.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d wildly off: %d vs %d" i c expected)
+    buckets
+
+let test_rng_split_independent () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next parent = Rng.next child then incr same
+  done;
+  check_bool "split streams diverge" true (!same < 5)
+
+let test_shuffle_is_permutation () =
+  let r = Rng.create 9 in
+  let a = Array.init 1000 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "permutation" true (sorted = Array.init 1000 Fun.id);
+  check_bool "actually shuffled" true (a <> Array.init 1000 Fun.id)
+
+(* ---------------- zipf ---------------- *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create 50 in
+  let r = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z r in
+    if v < 0 || v >= 50 then Alcotest.failf "zipf out of bounds: %d" v
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create 100 in
+  let r = Rng.create 12 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let v = Zipf.sample z r in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "rank 0 dominates rank 50" true (counts.(0) > 10 * counts.(50));
+  check_bool "rank 0 ~ 2x rank 1" true
+    (counts.(0) > counts.(1) && counts.(0) < 3 * counts.(1))
+
+(* ---------------- graphs ---------------- *)
+
+let test_grid_edge_count () =
+  let w = 7 and h = 4 in
+  check_int "grid edges formula"
+    (((w - 1) * h) + (w * (h - 1)))
+    (Array.length (Graphs.grid ~width:w ~height:h))
+
+let test_random_digraph () =
+  let r = Rng.create 13 in
+  let edges = Graphs.random_digraph r ~nodes:50 ~edges:200 in
+  check_int "requested edges" 200 (Array.length edges);
+  let module PS = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let set = Array.fold_left (fun s e -> PS.add e s) PS.empty edges in
+  check_int "edges distinct" 200 (PS.cardinal set);
+  Array.iter
+    (fun (u, v) ->
+      if u = v then Alcotest.fail "self loop";
+      if u < 0 || u >= 50 || v < 0 || v >= 50 then Alcotest.fail "out of range")
+    edges
+
+let test_scale_free_skew () =
+  let r = Rng.create 14 in
+  let edges = Graphs.scale_free r ~nodes:2000 ~out_degree:3 in
+  let deg = Array.make 2000 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let sorted = Array.copy deg in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* hubs must exist: top node far above the median *)
+  check_bool "skewed degrees" true (sorted.(0) > 5 * max 1 sorted.(1000))
+
+let test_points () =
+  let pts = Graphs.points_ordered 10 in
+  check_int "count" 100 (Array.length pts);
+  check_bool "lexicographic" true
+    (Array.for_all
+       (fun i -> i = 0 || Key.Pair.compare pts.(i - 1) pts.(i) < 0)
+       (Array.init 100 Fun.id));
+  let rnd = Graphs.points_random (Rng.create 15) 10 in
+  let s1 = List.sort compare (Array.to_list pts) in
+  let s2 = List.sort compare (Array.to_list rnd) in
+  check_bool "same point set" true (s1 = s2);
+  check_bool "shuffled" true (pts <> rnd)
+
+(* ---------------- datalog workload generators ---------------- *)
+
+let test_pointsto_runs () =
+  let cfg =
+    {
+      Pointsto_gen.variables = 200;
+      objects = 40;
+      fields = 4;
+      classes = 4;
+      functions = 10;
+      calls = 30;
+      allocs = 150;
+      assigns = 300;
+      loads = 100;
+      stores = 60;
+      with_alias = true;
+    }
+  in
+  let prog = Pointsto_gen.program cfg in
+  let facts = Pointsto_gen.facts cfg (Rng.create 16) in
+  let e = Engine.create prog in
+  List.iter (fun (r, t) -> Engine.add_fact e r t) facts;
+  Pool.with_pool 2 (fun p -> Engine.run e p);
+  check_bool "vpt nonempty" true (Engine.relation_size e "vpt" > 0);
+  check_bool "alias derived" true (Engine.relation_size e "alias" > 0);
+  (* every alloc produces at least its own vpt tuple *)
+  check_bool "vpt >= distinct allocs" true
+    (Engine.relation_size e "vpt"
+    >= List.length
+         (List.sort_uniq compare
+            (List.filter_map
+               (fun (r, t) -> if r = "new" then Some (t.(0), t.(1)) else None)
+               facts)))
+
+let test_pointsto_deterministic () =
+  let facts1 = Pointsto_gen.facts Pointsto_gen.default (Rng.create 1) in
+  let facts2 = Pointsto_gen.facts Pointsto_gen.default (Rng.create 1) in
+  check_bool "same facts for same seed" true (facts1 = facts2)
+
+let test_network_runs () =
+  let cfg =
+    {
+      Network_gen.instances = 60;
+      groups = 8;
+      ports = 3;
+      links_per_instance = 4;
+      allow_rules = 40;
+      groups_per_instance = 2;
+    }
+  in
+  let facts = Network_gen.facts cfg (Rng.create 17) in
+  let e = Engine.create ~instrument:true Network_gen.program in
+  List.iter (fun (r, t) -> Engine.add_fact e r t) facts;
+  Pool.with_pool 2 (fun p -> Engine.run e p);
+  check_bool "reach nonempty" true (Engine.relation_size e "reach" > 0);
+  (* read heavy: membership + range queries outnumber inserts *)
+  let s = Option.get (Engine.stats e) in
+  check_bool "read heavy" true
+    (s.Dl_stats.s_mem_tests + s.Dl_stats.s_lower_bounds > s.Dl_stats.s_inserts)
+
+let test_workload_scaling () =
+  let small = Pointsto_gen.scaled 0.1 and big = Pointsto_gen.scaled 2.0 in
+  check_bool "scaling monotone" true
+    (small.Pointsto_gen.assigns < big.Pointsto_gen.assigns);
+  let s = Network_gen.scaled 0.1 and b = Network_gen.scaled 2.0 in
+  check_bool "network scaling monotone" true
+    (s.Network_gen.instances < b.Network_gen.instances)
+
+(* ---------------- harness ---------------- *)
+
+let test_thread_counts () =
+  Alcotest.(check (list int)) "max 8" [ 1; 2; 4; 8 ] (Bench_util.thread_counts ~max:8);
+  Alcotest.(check (list int)) "max 6" [ 1; 2; 4; 6 ] (Bench_util.thread_counts ~max:6);
+  Alcotest.(check (list int)) "max 1" [ 1 ] (Bench_util.thread_counts ~max:1)
+
+let test_mops () =
+  check_bool "mops" true (abs_float (Bench_util.mops 2_000_000 2.0 -. 1.0) < 1e-9);
+  check_bool "zero time" true (Bench_util.mops 5 0.0 = 0.0)
+
+let test_timing () =
+  let r, dt = Bench_util.time (fun () -> 21 * 2) in
+  check_int "result" 42 r;
+  check_bool "non-negative" true (dt >= 0.0);
+  let b = Bench_util.best_of 3 (fun () -> ()) in
+  check_bool "best_of non-negative" true (b >= 0.0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          tc "deterministic" `Quick test_rng_deterministic;
+          tc "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          tc "bounds" `Quick test_rng_bounds;
+          tc "uniformity" `Quick test_rng_uniformity;
+          tc "split" `Quick test_rng_split_independent;
+          tc "shuffle" `Quick test_shuffle_is_permutation;
+        ] );
+      ( "zipf",
+        [ tc "bounds" `Quick test_zipf_bounds; tc "skew" `Quick test_zipf_skew ] );
+      ( "graphs",
+        [
+          tc "grid edges" `Quick test_grid_edge_count;
+          tc "random digraph" `Quick test_random_digraph;
+          tc "scale free" `Quick test_scale_free_skew;
+          tc "points" `Quick test_points;
+        ] );
+      ( "datalog workloads",
+        [
+          tc "points-to runs" `Quick test_pointsto_runs;
+          tc "points-to deterministic" `Quick test_pointsto_deterministic;
+          tc "network runs" `Quick test_network_runs;
+          tc "scaling" `Quick test_workload_scaling;
+        ] );
+      ( "harness",
+        [
+          tc "thread counts" `Quick test_thread_counts;
+          tc "mops" `Quick test_mops;
+          tc "timing" `Quick test_timing;
+        ] );
+    ]
