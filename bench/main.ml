@@ -32,7 +32,12 @@ module PT = Palm_tree.Make (Key.Int)
 module MT = Masstree.Make (Key.Int)
 module BS = Bslack_tree.Make (Key.Int)
 
-type config = { scale : float; max_threads : int; full : bool }
+type config = {
+  scale : float;
+  max_threads : int;
+  full : bool;
+  json : string; (* metrics output of the smoke experiment *)
+}
 
 let scaled cfg n = max 1 (int_of_float (float_of_int n *. cfg.scale))
 
@@ -775,6 +780,91 @@ let ablation_specialization cfg =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* Smoke: telemetry overhead + machine-readable metrics               *)
+(* ------------------------------------------------------------------ *)
+
+(* A fast end-to-end exercise of the telemetry layer, meant for CI:
+     1. measure counters-on vs telemetry-off insert time (a strictly harder
+        bound than the disabled-path "<5%" target, since the disabled path
+        only pays one load + branch per event site);
+     2. run a small Datalog workload with counters + tracing on and export
+        the Chrome trace;
+     3. write all of it as metrics JSON and re-parse both files, failing
+        loudly on malformed output. *)
+let smoke cfg =
+  pf "\n== smoke: telemetry overhead + metrics export ==\n";
+  let threads = min 2 cfg.max_threads in
+  let read_file f = In_channel.with_open_bin f In_channel.input_all in
+  (* 1. overhead: sequential random inserts, telemetry off vs counters on *)
+  let pts = random_points { cfg with scale = min cfg.scale 1.0 } 300_000 41 in
+  let insert_run () =
+    let t = CB.create () in
+    Array.iter (fun p -> ignore (CB.insert t p : bool)) pts
+  in
+  Telemetry.disable ();
+  Gc.full_major ();
+  let d_off = Bench_util.best_of 3 insert_run in
+  Telemetry.enable ();
+  Gc.full_major ();
+  let d_on = Bench_util.best_of 3 insert_run in
+  Telemetry.disable ();
+  let overhead_pct = (d_on -. d_off) /. d_off *. 100.0 in
+  pf "insert %d points: %.3fs off, %.3fs counters-on (%+.1f%%)\n"
+    (Array.length pts) d_off d_on overhead_pct;
+  (* 2. traced Datalog run *)
+  Telemetry.reset ();
+  Telemetry.enable ~tracing:true ();
+  let workload = pointsto_workload { cfg with scale = min cfg.scale 0.2 } in
+  let engine, dt = run_engine ~kind:Storage.Btree ~threads workload in
+  let snap = Telemetry.snapshot () in
+  let trace_file = Filename.temp_file "smoke" ".trace.json" in
+  Telemetry.export_trace ~process_name:"bench smoke" trace_file;
+  Telemetry.disable ();
+  let trace = Telemetry.Json.of_string (read_file trace_file) in
+  let events =
+    match Telemetry.Json.member "traceEvents" trace with
+    | Some (Telemetry.Json.List l) -> List.length l
+    | _ -> failwith "smoke: trace JSON has no traceEvents list"
+  in
+  if events = 0 then failwith "smoke: trace contains no events";
+  pf "traced pointsto run: %.3fs on %d threads, %d iterations, %d trace \
+      events (%s)\n"
+    dt threads (Engine.iterations engine) events trace_file;
+  (* 3. metrics JSON + parse-back *)
+  let open Telemetry.Json in
+  let metrics =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ( "config",
+          Obj
+            [
+              ("threads", Int threads);
+              ("scale", Float cfg.scale);
+              ("insert_points", Int (Array.length pts));
+            ] );
+        ( "overhead",
+          Obj
+            [
+              ("insert_off_s", Float d_off);
+              ("insert_counters_s", Float d_on);
+              ("overhead_pct", Float overhead_pct);
+            ] );
+        ("eval", Obj [ ("seconds", Float dt);
+                       ("iterations", Int (Engine.iterations engine)) ]);
+        ("counters", Telemetry.counters_json snap);
+        ("trace", Obj [ ("file", String trace_file); ("events", Int events) ]);
+      ]
+  in
+  Out_channel.with_open_bin cfg.json (fun oc ->
+      output oc metrics;
+      output_char oc '\n');
+  (match member "counters" (of_string (read_file cfg.json)) with
+  | Some (Obj (_ :: _)) -> ()
+  | _ -> failwith "smoke: metrics JSON failed parse-back");
+  pf "metrics written to %s (parse-back ok)\n" cfg.json
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -891,7 +981,7 @@ let known_experiments =
     "fig4a"; "fig4b"; "fig4c"; "fig4d";
     "table1"; "table2"; "fig5a"; "fig5b"; "table3";
     "ablation-width"; "ablation-search"; "ablation-merge";
-    "ablation-specialization"; "ablation-locks"; "bechamel";
+    "ablation-specialization"; "ablation-locks"; "bechamel"; "smoke";
   ]
 
 let run_experiment cfg = function
@@ -916,20 +1006,27 @@ let run_experiment cfg = function
   | "ablation-specialization" -> ablation_specialization cfg
   | "ablation-locks" -> ablation_locks cfg
   | "bechamel" -> bechamel_suite ()
+  | "smoke" -> smoke cfg
   | other ->
     Printf.eprintf "unknown experiment %S; known: %s\n" other
       (String.concat ", " ("all" :: known_experiments));
     exit 2
 
-let main experiments scale threads full =
+let main experiments scale threads full smoke_only json =
   let max_threads =
     match threads with
     | Some t -> max 1 t
     | None -> max 1 (Domain.recommended_domain_count ())
   in
-  let cfg = { scale; max_threads; full } in
+  let cfg = { scale; max_threads; full; json } in
   let experiments =
-    match experiments with [] | [ "all" ] -> known_experiments | l -> l
+    if smoke_only then [ "smoke" ]
+    else
+      match experiments with
+      | [] | [ "all" ] ->
+        (* "all" is the paper reproduction; the CI smoke run is explicit *)
+        List.filter (fun e -> e <> "smoke") known_experiments
+      | l -> l
   in
   pf "repro bench: %d hardware thread(s) visible, running up to %d worker \
       domain(s); scale=%.2f\n"
@@ -967,10 +1064,25 @@ let full_arg =
     value & flag
     & info [ "full" ] ~doc:"Use the paper's full Fig. 3 sizes (1000^2..10000^2).")
 
+let smoke_arg =
+  Arg.(
+    value & flag
+    & info [ "smoke" ]
+        ~doc:"Run only the telemetry smoke experiment and write metrics JSON \
+              (the CI entry point).")
+
+let json_arg =
+  Arg.(
+    value & opt string "bench_metrics.json"
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Where the smoke experiment writes machine-readable metrics.")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "bench" ~doc)
-    Term.(const main $ experiments_arg $ scale_arg $ threads_arg $ full_arg)
+    Term.(
+      const main $ experiments_arg $ scale_arg $ threads_arg $ full_arg
+      $ smoke_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

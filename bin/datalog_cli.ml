@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir =
+let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file =
   match Storage.kind_of_name storage with
   | None ->
     Printf.eprintf "unknown storage kind %S (try: btree, btree-nohints, \
@@ -32,9 +32,33 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
             (fun (rel, n) -> Printf.printf "loaded %d facts into %s\n" n rel)
             (Dl_io.load_facts_dir engine dir)
         | None -> ());
+        (* Telemetry: counters whenever --stats is on, tracing when a
+           --trace file was requested. *)
+        if show_stats || trace_file <> None then
+          Telemetry.enable ~tracing:(trace_file <> None) ();
         let t0 = Bench_util.wall () in
         Pool.with_pool threads (fun pool -> Engine.run engine pool);
         let elapsed = Bench_util.wall () -. t0 in
+        let telemetry_snap =
+          if Telemetry.enabled () then Some (Telemetry.snapshot ()) else None
+        in
+        (match trace_file with
+        | Some f -> (
+          match
+            Telemetry.export_trace
+              ~process_name:
+                (Printf.sprintf "datalog_cli %s" (Filename.basename file))
+              f
+          with
+          | () ->
+            Printf.printf
+              "wrote %d trace events to %s (open in ui.perfetto.dev)\n"
+              (Telemetry.event_count ()) f
+          | exception Sys_error m ->
+            Printf.eprintf "cannot write trace: %s\n" m;
+            exit 1)
+        | None -> ());
+        Telemetry.disable ();
         let outputs =
           match Engine.output_relations engine with
           | [] -> Engine.relations engine
@@ -60,10 +84,14 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
                 (Filename.concat dir (rel ^ ".csv")))
             (Dl_io.write_outputs engine ~dir)
         | None -> ());
-        if show_stats then (
-          match Engine.stats engine with
+        if show_stats then begin
+          (match Engine.stats engine with
           | Some s -> Format.printf "stats: %a@." Dl_stats.pp s
           | None -> ());
+          match telemetry_snap with
+          | Some snap -> Format.printf "%a@." Telemetry.pp_snapshot snap
+          | None -> ()
+        end;
         if show_profile then begin
           print_endline "rule profile (hottest first):";
           List.iter
@@ -106,12 +134,17 @@ let output_arg =
   Arg.(value & opt (some dir) None & info [ "output"; "D" ] ~docv:"DIR"
          ~doc:"Write every output relation to <DIR>/<relation>.csv (TSV).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON of the evaluation to $(docv) \
+               (load it in ui.perfetto.dev or chrome://tracing).")
+
 let cmd =
   let doc = "evaluate a Datalog program with the specialized concurrent B-tree engine" in
   Cmd.v
     (Cmd.info "datalog_cli" ~doc)
     Term.(
       const run_program $ file_arg $ storage_arg $ threads_arg $ print_arg
-      $ stats_arg $ profile_arg $ facts_arg $ output_arg)
+      $ stats_arg $ profile_arg $ facts_arg $ output_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -313,6 +313,9 @@ module Make (K : Key.ORDERED) = struct
      sibling get their parent/position fields updated — both are covered by
      the old parent's lock, which we hold. *)
   let split_node t node =
+    Telemetry.bump
+      (if is_leaf node then Telemetry.Counter.Btree_leaf_splits
+       else Telemetry.Counter.Btree_inner_splits);
     let cap = t.capacity in
     let mid = cap / 2 in
     let median = node.keys.(mid) in
@@ -356,6 +359,7 @@ module Make (K : Key.ORDERED) = struct
     | [] -> assert false
     | Anc_root :: _ ->
       (* [cur] is the root: grow the tree by one level. *)
+      Telemetry.bump Telemetry.Counter.Btree_root_splits;
       let new_root = alloc_inner t in
       new_root.keys.(0) <- median;
       new_root.nkeys <- 1;
@@ -426,25 +430,30 @@ module Make (K : Key.ORDERED) = struct
     let cur, cur_lease = locate_root () in
     descend t key cur cur_lease
 
+  and restart t key =
+    (* optimistic descent observed a concurrent write: back to the root *)
+    Telemetry.bump Telemetry.Counter.Btree_restarts;
+    insert_slow t key
+
   and descend t key cur cur_lease =
     let n = clamped_nkeys cur in
     let idx, found = search t cur.keys n key in
     if found then begin
       (* value already present — if the observation was consistent *)
       if Olock.valid cur.lock cur_lease then (false, sentinel)
-      else insert_slow t key
+      else restart t key
     end
     else if not (is_leaf cur) then begin
       let next = cur.children.(idx) in
-      if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+      if not (Olock.valid cur.lock cur_lease) then restart t key
       else begin
         let next_lease = Olock.start_read next.lock in
-        if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+        if not (Olock.valid cur.lock cur_lease) then restart t key
         else descend t key next next_lease
       end
     end
     else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
-      insert_slow t key
+      restart t key
     else if cur.nkeys >= t.capacity then begin
       split t cur;
       Olock.end_write cur.lock;
@@ -496,9 +505,11 @@ module Make (K : Key.ORDERED) = struct
       (match attempt with
       | Done b ->
         h.h_insert_hits <- h.h_insert_hits + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         b
       | Fallback ->
         h.h_insert_misses <- h.h_insert_misses + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         let inserted, leaf = insert_slow t key in
         if leaf != sentinel then h.insert_leaf <- leaf;
         inserted)
@@ -527,10 +538,12 @@ module Make (K : Key.ORDERED) = struct
       let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
       if nk > 0 && covers leaf nk key then begin
         h.h_find_hits <- h.h_find_hits + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         snd (search t leaf.keys nk key)
       end
       else begin
         h.h_find_misses <- h.h_find_misses + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         let r, l = slow () in
         if l != sentinel then h.find_leaf <- l;
         r
@@ -602,11 +615,13 @@ module Make (K : Key.ORDERED) = struct
         in
         if strict then h.h_ub_hits <- h.h_ub_hits + 1
         else h.h_lb_hits <- h.h_lb_hits + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         if idx < nk then Some leaf.keys.(idx) else None
       end
       else begin
         if strict then h.h_ub_misses <- h.h_ub_misses + 1
         else h.h_lb_misses <- h.h_lb_misses + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         (* the query's own descent refreshes the hint *)
         let visited = ref sentinel in
         let r = bound_visit ~visited ~strict t key in
@@ -703,6 +718,7 @@ module Make (K : Key.ORDERED) = struct
       in
       if usable then begin
         h.h_lb_hits <- h.h_lb_hits + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         let idx, _ = search t leaf.keys nk key in
         let continue = ref true in
         let i = ref idx in
@@ -717,6 +733,7 @@ module Make (K : Key.ORDERED) = struct
       end
       else begin
         h.h_lb_misses <- h.h_lb_misses + 1;
+        Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         (* the scan's own descent refreshes the hint *)
         let visited = ref sentinel in
         iter_from_plain ~visited ~strict:false f t key;

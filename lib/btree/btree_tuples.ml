@@ -211,6 +211,9 @@ let unlock_path t path =
     (List.rev path)
 
 let split_node t node =
+  Telemetry.bump
+    (if is_leaf node then Telemetry.Counter.Btree_leaf_splits
+     else Telemetry.Counter.Btree_inner_splits);
   let cap = t.capacity in
   let mid = cap / 2 in
   let median = node.keys.(mid) in
@@ -248,6 +251,7 @@ let rec insert_into_parent t path cur right median =
   match path with
   | [] -> assert false
   | Anc_root :: _ ->
+    Telemetry.bump Telemetry.Counter.Btree_root_splits;
     let new_root = alloc_inner t in
     new_root.keys.(0) <- median;
     new_root.nkeys <- 1;
@@ -305,23 +309,28 @@ let rec insert_slow t key =
   let cur, cur_lease = locate_root () in
   descend t key cur cur_lease
 
+and restart t key =
+  (* optimistic descent observed a concurrent write: back to the root *)
+  Telemetry.bump Telemetry.Counter.Btree_restarts;
+  insert_slow t key
+
 and descend t key cur cur_lease =
   let n = clamped_nkeys cur in
   let idx, found = search t cur.keys n key in
   if found then
     if Olock.valid cur.lock cur_lease then (false, sentinel)
-    else insert_slow t key
+    else restart t key
   else if not (is_leaf cur) then begin
     let next = cur.children.(idx) in
-    if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+    if not (Olock.valid cur.lock cur_lease) then restart t key
     else begin
       let next_lease = Olock.start_read next.lock in
-      if not (Olock.valid cur.lock cur_lease) then insert_slow t key
+      if not (Olock.valid cur.lock cur_lease) then restart t key
       else descend t key next next_lease
     end
   end
   else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
-    insert_slow t key
+    restart t key
   else if cur.nkeys >= t.capacity then begin
     split t cur;
     Olock.end_write cur.lock;
@@ -367,9 +376,11 @@ let insert ?hints t key =
     (match attempt with
     | Done b ->
       h.hits <- h.hits + 1;
+      Telemetry.bump Telemetry.Counter.Btree_hint_hits;
       b
     | Fallback ->
       h.misses <- h.misses + 1;
+      Telemetry.bump Telemetry.Counter.Btree_hint_misses;
       let inserted, leaf = insert_slow t key in
       if leaf != sentinel then h.insert_leaf <- leaf;
       inserted)
@@ -396,10 +407,12 @@ let mem ?hints t key =
     let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
     if nk > 0 && covers t leaf nk key then begin
       h.hits <- h.hits + 1;
+      Telemetry.bump Telemetry.Counter.Btree_hint_hits;
       snd (search t leaf.keys nk key)
     end
     else begin
       h.misses <- h.misses + 1;
+      Telemetry.bump Telemetry.Counter.Btree_hint_misses;
       let r, l = slow () in
       if l != sentinel then h.find_leaf <- l;
       r
@@ -489,6 +502,7 @@ let iter_from ?hints f t key =
     in
     if usable then begin
       h.hits <- h.hits + 1;
+      Telemetry.bump Telemetry.Counter.Btree_hint_hits;
       let idx, _ = search t leaf.keys nk key in
       let continue = ref true in
       let i = ref idx in
@@ -501,6 +515,7 @@ let iter_from ?hints f t key =
     end
     else begin
       h.misses <- h.misses + 1;
+      Telemetry.bump Telemetry.Counter.Btree_hint_misses;
       let visited = ref sentinel in
       iter_from_plain ~visited ~strict:false f t key;
       if !visited != sentinel then h.lb_leaf <- !visited

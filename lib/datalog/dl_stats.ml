@@ -44,13 +44,18 @@ let snapshot t =
     s_produced_tuples = Atomic.get t.produced_tuples;
   }
 
+(* Exact integer, with an abbreviated form appended once it stops being
+   readable at a glance: [1234567] prints as ["1234567 (~1.2e6)"]. *)
+let pp_count fmt n =
+  if n < 100_000 then Format.fprintf fmt "%d" n
+  else Format.fprintf fmt "%d (~%.1e)" n (float_of_int n)
+
 let pp fmt s =
   Format.fprintf fmt
-    "inserts=%.1e mem=%.1e lower_bound=%.1e upper_bound=%.1e input=%.1e \
-     produced=%.1e"
-    (float_of_int s.s_inserts)
-    (float_of_int s.s_mem_tests)
-    (float_of_int s.s_lower_bounds)
-    (float_of_int s.s_upper_bounds)
-    (float_of_int s.s_input_tuples)
-    (float_of_int s.s_produced_tuples)
+    "inserts=%a mem=%a lower_bound=%a upper_bound=%a input=%a produced=%a"
+    pp_count s.s_inserts
+    pp_count s.s_mem_tests
+    pp_count s.s_lower_bounds
+    pp_count s.s_upper_bounds
+    pp_count s.s_input_tuples
+    pp_count s.s_produced_tuples

@@ -146,8 +146,11 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
       | Some s -> Atomic.incr s.Dl_stats.input_tuples
       | None -> ()
   in
+  let t_eval = Telemetry.span_start () in
+  let t_load = Telemetry.span_start () in
   List.iter load plan.Plan.facts;
   List.iter load extra_facts;
+  Telemetry.span_end ~cat:"eval" "eval.load_facts" t_load;
   let iterations = ref 0 in
   (* delta / new relations, allocated per stratum *)
   let deltas = Array.make npreds None in
@@ -253,7 +256,7 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
           Array.iter (fun tup -> exec_outer ctx tup ~emit) arr
         end
         else
-          Pool.parallel_for_ranges pool 0 !n (fun _w lo hi ->
+          Pool.parallel_for_ranges ~label:"rule" pool 0 !n (fun _w lo hi ->
               let ctx, emit = make_worker () in
               for i = lo to hi - 1 do
                 exec_outer ctx arr.(i) ~emit
@@ -261,6 +264,7 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
       end
   in
   let eval_rule cr =
+    Telemetry.bump Telemetry.Counter.Eval_rule_evals;
     if profile then begin
       let t, n = prof_entry cr in
       incr n;
@@ -270,24 +274,25 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
     end
     else eval_rule_timed cr
   in
-  (* merge new into full, returning whether anything was new *)
+  (* merge new into full, returning the number of promoted tuples (the
+     iteration's delta cardinality; 0 means fixed point) *)
   let promote stratum =
-    let any = ref false in
+    let total = ref 0 in
     Array.iter
       (fun p ->
         let n = the news.(p) in
         if not (Relation.is_empty n) then begin
-          any := true;
           let tuples = ref [] and cnt = ref 0 in
           Relation.iter n (fun tup ->
               tuples := tup :: !tuples;
               incr cnt);
+          total := !total + !cnt;
           let arr = Array.make !cnt [||] in
           List.iteri (fun i tup -> arr.(i) <- tup) !tuples;
           if !cnt < 256 || Pool.size pool = 1 || not (Storage.thread_safe_insert kind)
           then Array.iter (fun tup -> ignore (Relation.insert fulls.(p) tup : bool)) arr
           else
-            Pool.parallel_for_ranges pool 0 !cnt (fun _w lo hi ->
+            Pool.parallel_for_ranges ~label:"promote" pool 0 !cnt (fun _w lo hi ->
                 for i = lo to hi - 1 do
                   ignore (Relation.insert fulls.(p) arr.(i) : bool)
                 done)
@@ -295,28 +300,50 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
         deltas.(p) <- news.(p);
         news.(p) <- Some (fresh_rel p))
       stratum;
-    !any
+    if !total > 0 then Telemetry.add Telemetry.Counter.Eval_delta_tuples !total;
+    !total
   in
   Array.iteri
     (fun s stratum ->
       let seed = plan.Plan.seed_rules.(s) in
       let delta_versions = plan.Plan.delta_rules.(s) in
       if seed <> [] then begin
+        let t_stratum = Telemetry.span_start () in
         Array.iter (fun p -> news.(p) <- Some (fresh_rel p)) stratum;
-        List.iter eval_rule seed;
-        incr iterations;
-        let continue = ref (promote stratum) in
-        while !continue && delta_versions <> [] do
-          List.iter eval_rule delta_versions;
+        (* one fixed-point round: evaluate [rules], promote, report delta *)
+        let round rules =
+          let t_round = Telemetry.span_start () in
+          let t_rules = Telemetry.span_start () in
+          List.iter eval_rule rules;
+          Telemetry.span_end ~cat:"eval" "eval.rules" t_rules;
           incr iterations;
-          continue := promote stratum
+          Telemetry.bump Telemetry.Counter.Eval_iterations;
+          let t_promote = Telemetry.span_start () in
+          let delta = promote stratum in
+          Telemetry.span_end ~cat:"eval" "eval.promote" t_promote;
+          Telemetry.span_end
+            ~args:
+              [
+                ("stratum", Telemetry.A_int s);
+                ("round", Telemetry.A_int !iterations);
+                ("delta_tuples", Telemetry.A_int delta);
+              ]
+            ~cat:"eval" "eval.iteration" t_round;
+          delta > 0
+        in
+        let continue = ref (round seed) in
+        while !continue && delta_versions <> [] do
+          continue := round delta_versions
         done;
         (* release per-stratum scaffolding *)
         Array.iter
           (fun p ->
             deltas.(p) <- None;
             news.(p) <- None)
-          stratum
+          stratum;
+        Telemetry.span_end
+          ~args:[ ("stratum", Telemetry.A_int s) ]
+          ~cat:"eval" "eval.stratum" t_stratum
       end)
     plan.Plan.strat.Stratify.strata;
   let is_delta cr =
@@ -337,4 +364,7 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
            })
          !prof)
   in
+  Telemetry.span_end
+    ~args:[ ("iterations", Telemetry.A_int !iterations) ]
+    ~cat:"eval" "eval.run" t_eval;
   { relations = fulls; iterations = !iterations; profile }

@@ -39,23 +39,36 @@ let create () = { version = Atomic.make 0 }
 
 let is_even v = v land 1 = 0
 
+(* Telemetry sites sit on the contention paths only: the uncontended fast
+   paths (an even version on the first read, a successful CAS) touch no
+   counter, so the cost of an event is paid exactly when the event — a spin,
+   a stale lease, an abort — actually happened.  All counters are
+   domain-local plain stores (see lib/telemetry). *)
+
 let start_read l =
   let b = Backoff.create () in
   let rec loop () =
     let v = Atomic.get l.version in
     if is_even v then v
     else begin
+      Telemetry.bump Telemetry.Counter.Olock_read_spins;
       Backoff.once b;
       loop ()
     end
   in
   loop ()
 
-let valid l lease = Atomic.get l.version = lease
+let valid l lease =
+  let ok = Atomic.get l.version = lease in
+  if not ok then Telemetry.bump Telemetry.Counter.Olock_validation_failures;
+  ok
+
 let end_read = valid
 
 let try_upgrade_to_write l lease =
-  Atomic.compare_and_set l.version lease (lease + 1)
+  let ok = Atomic.compare_and_set l.version lease (lease + 1) in
+  if not ok then Telemetry.bump Telemetry.Counter.Olock_upgrade_failures;
+  ok
 
 let try_start_write l =
   let v = Atomic.get l.version in
@@ -64,11 +77,15 @@ let try_start_write l =
 let start_write l =
   let b = Backoff.create () in
   while not (try_start_write l) do
+    Telemetry.bump Telemetry.Counter.Olock_write_spins;
     Backoff.once b
   done
 
 let end_write l = ignore (Atomic.fetch_and_add l.version 1 : int)
-let abort_write l = ignore (Atomic.fetch_and_add l.version (-1) : int)
+
+let abort_write l =
+  Telemetry.bump Telemetry.Counter.Olock_write_aborts;
+  ignore (Atomic.fetch_and_add l.version (-1) : int)
 let is_write_locked l = not (is_even (Atomic.get l.version))
 let version l = Atomic.get l.version
 

@@ -82,8 +82,7 @@ let create n =
 
 let size p = p.size
 
-let run p f =
-  if not p.alive then invalid_arg "Pool.run: pool has been shut down";
+let run_plain p f =
   if p.size = 1 then f 0
   else begin
     Mutex.lock p.mutex;
@@ -105,7 +104,56 @@ let run p f =
     match err with None -> () | Some e -> raise e
   end
 
-let parallel_for p ?chunk lo hi f =
+(* Instrumented wrapper around [run_plain]: per-worker busy time (recorded
+   by each worker on its own domain: a plain store into a caller-owned
+   array, published to the caller by the join) and a job span carrying the
+   load-imbalance summary.  The whole wrapper is skipped when telemetry is
+   off, so the plain path pays one load + branch per job. *)
+let run ?(label = "job") p f =
+  if not p.alive then invalid_arg "Pool.run: pool has been shut down";
+  if not (Telemetry.enabled ()) then run_plain p f
+  else begin
+    let t0 = Telemetry.now_ns () in
+    let busy = Array.make p.size 0 in
+    let g w =
+      let s0 = Telemetry.now_ns () in
+      let finish () =
+        busy.(w) <- Telemetry.now_ns () - s0;
+        Telemetry.span_end
+          ~args:[ ("worker", Telemetry.A_int w) ]
+          ~cat:"pool"
+          (label ^ ".worker")
+          s0
+      in
+      match f w with
+      | () -> finish ()
+      | exception e ->
+        finish ();
+        raise e
+    in
+    run_plain p g;
+    let wall = Telemetry.now_ns () - t0 in
+    let total_busy = Array.fold_left ( + ) 0 busy in
+    let max_busy = Array.fold_left max 0 busy in
+    let avg_busy = total_busy / p.size in
+    Telemetry.bump Telemetry.Counter.Pool_jobs;
+    Telemetry.add Telemetry.Counter.Pool_busy_ns total_busy;
+    Telemetry.add Telemetry.Counter.Pool_wall_ns (wall * p.size);
+    Telemetry.span_end
+      ~args:
+        [
+          ("workers", Telemetry.A_int p.size);
+          ("max_busy_us", Telemetry.A_int (max_busy / 1000));
+          ("avg_busy_us", Telemetry.A_int (avg_busy / 1000));
+          ( "imbalance",
+            Telemetry.A_float
+              (if avg_busy = 0 then 1.0
+               else float_of_int max_busy /. float_of_int avg_busy) );
+        ]
+      ~cat:"pool" label t0
+  end
+
+let parallel_for ?label p ?chunk lo hi f =
   if hi > lo then begin
     let n = hi - lo in
     let chunk =
@@ -128,7 +176,7 @@ let parallel_for p ?chunk lo hi f =
       in
       take ()
     in
-    run p work
+    run ?label p work
   end
 
 let partition ~workers ~lo ~hi w =
@@ -139,17 +187,17 @@ let partition ~workers ~lo ~hi w =
   let len = base + if w < extra then 1 else 0 in
   (start, start + len)
 
-let parallel_for_ranges p lo hi f =
+let parallel_for_ranges ?label p lo hi f =
   if hi > lo then
-    run p (fun w ->
+    run ?label p (fun w ->
         let rlo, rhi = partition ~workers:p.size ~lo ~hi w in
         if rhi > rlo then f w rlo rhi)
 
-let parallel_reduce p lo hi ~init ~body ~combine =
+let parallel_reduce ?label p lo hi ~init ~body ~combine =
   if hi <= lo then init ()
   else begin
     let results = Array.make p.size None in
-    run p (fun w ->
+    run ?label p (fun w ->
         let rlo, rhi = partition ~workers:p.size ~lo ~hi w in
         let acc = ref (init ()) in
         for i = rlo to rhi - 1 do

@@ -19,26 +19,32 @@ val create : int -> t
 val size : t -> int
 (** Number of workers, including the calling domain. *)
 
-val run : t -> (int -> unit) -> unit
+val run : ?label:string -> t -> (int -> unit) -> unit
 (** [run p f] executes [f w] once on each worker [w] in [0 .. size - 1]
     concurrently (worker [0] is the calling domain) and returns when all
     calls have finished.  The first exception raised by any worker is
-    re-raised on the caller after the join. *)
+    re-raised on the caller after the join.
 
-val parallel_for : t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
+    When telemetry is enabled (see lib/telemetry) the job records per-worker
+    busy time and, under tracing, emits one span per worker plus a job span
+    named [label] (default ["job"]) carrying the load-imbalance summary
+    ([max_busy / avg_busy]). *)
+
+val parallel_for : ?label:string -> t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
 (** [parallel_for p lo hi f] executes [f i] for every [lo <= i < hi], work
     distributed dynamically in chunks of [chunk] (default: a heuristic based
     on the iteration count and pool size).  Corresponds to OpenMP
     [schedule(dynamic, chunk)]. *)
 
-val parallel_for_ranges : t -> int -> int -> (int -> int -> int -> unit) -> unit
+val parallel_for_ranges :
+  ?label:string -> t -> int -> int -> (int -> int -> int -> unit) -> unit
 (** [parallel_for_ranges p lo hi f] partitions [\[lo, hi)] into [size]
     contiguous ranges and calls [f w rlo rhi] on worker [w] with its range.
     Corresponds to OpenMP [schedule(static)]; this is the NUMA-friendly
     partitioning used for Fig. 4c of the paper. *)
 
 val parallel_reduce :
-  t -> int -> int -> init:(unit -> 'a) -> body:('a -> int -> 'a) ->
+  ?label:string -> t -> int -> int -> init:(unit -> 'a) -> body:('a -> int -> 'a) ->
   combine:('a -> 'a -> 'a) -> 'a
 (** [parallel_reduce p lo hi ~init ~body ~combine] folds [body] over
     [\[lo, hi)] with one accumulator per worker (seeded by [init ()]) and

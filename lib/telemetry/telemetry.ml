@@ -1,0 +1,666 @@
+(* Domain-local telemetry: sharded counters, phase timers, Chrome traces.
+
+   The design constraint comes straight from the paper: the hot paths this
+   layer observes (optimistic reads, lease upgrades) derive their scalability
+   from performing NO shared stores.  Instrumentation that bumped shared
+   atomics would re-introduce exactly the cache-line ping-pong the B-tree is
+   built to avoid and would invalidate every measurement taken through it.
+
+   Therefore:
+   - every domain owns a private [shard] — a plain mutable record of counts
+     and an event buffer — reached through [Domain.DLS];
+   - the hot path performs no synchronised operation at all: a counter bump
+     is a DLS lookup plus a plain array store;
+   - shards are registered once (at first use per domain) in a global,
+     mutex-protected registry; aggregation walks the registry only when a
+     snapshot or export is requested.  Snapshots of a running system are
+     racy-but-defined reads of plain ints, exactly like the paper's own
+     statistics;
+   - every event site is gated on a plain [bool ref]: with telemetry
+     disabled the cost is one load and one branch, so instrumentation can
+     stay compiled into the hot loops.
+
+   Timestamps come from CLOCK_MONOTONIC via a C stub ([now_ns]).  The trace
+   exporter writes the Chrome trace-event JSON format (the [traceEvents]
+   flavour), loadable in Perfetto or chrome://tracing; counters are also
+   exported there as "C" samples so contention is visible on the timeline. *)
+
+external now_ns : unit -> int = "repro_telemetry_now_ns" [@@noalloc]
+
+(* ------------------------------------------------------------------ *)
+(* JSON (emitter + parser)                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let buffer_add_escaped buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec to_buffer buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else if Float.is_finite f then
+        Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else Buffer.add_string buf "null"
+    | String s ->
+      Buffer.add_char buf '"';
+      buffer_add_escaped buf s;
+      Buffer.add_char buf '"'
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          buffer_add_escaped buf k;
+          Buffer.add_string buf "\":";
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    to_buffer buf j;
+    Buffer.contents buf
+
+  let output oc j = output_string oc (to_string j)
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser, sufficient for trace/metrics round-trips in
+     tests and the CI smoke check (no external JSON dependency available). *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          let c = s.[!pos] in
+          advance ();
+          match c with
+          | '"' -> Buffer.contents buf
+          | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              go ()
+            | 'n' ->
+              Buffer.add_char buf '\n';
+              go ()
+            | 't' ->
+              Buffer.add_char buf '\t';
+              go ()
+            | 'r' ->
+              Buffer.add_char buf '\r';
+              go ()
+            | 'b' ->
+              Buffer.add_char buf '\b';
+              go ()
+            | 'f' ->
+              Buffer.add_char buf '\012';
+              go ()
+            | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* non-ASCII escapes round-trip as '?' — enough for traces,
+                 which only contain ASCII names *)
+              Buffer.add_char buf (if code < 128 then Char.chr code else '?');
+              go ()
+            | _ -> fail "bad escape")
+          | c ->
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t =
+    (* optimistic lock (lib/optlock) *)
+    | Olock_read_spins
+    | Olock_write_spins
+    | Olock_validation_failures
+    | Olock_upgrade_failures
+    | Olock_write_aborts
+    (* concurrent B-tree (lib/btree) *)
+    | Btree_restarts
+    | Btree_leaf_splits
+    | Btree_inner_splits
+    | Btree_root_splits
+    | Btree_hint_hits
+    | Btree_hint_misses
+    (* domain pool (lib/parallel) *)
+    | Pool_jobs
+    | Pool_busy_ns
+    | Pool_wall_ns
+    (* semi-naive evaluation (lib/datalog) *)
+    | Eval_iterations
+    | Eval_rule_evals
+    | Eval_delta_tuples
+
+  let all =
+    [
+      Olock_read_spins; Olock_write_spins; Olock_validation_failures;
+      Olock_upgrade_failures; Olock_write_aborts; Btree_restarts;
+      Btree_leaf_splits; Btree_inner_splits; Btree_root_splits;
+      Btree_hint_hits; Btree_hint_misses; Pool_jobs; Pool_busy_ns;
+      Pool_wall_ns; Eval_iterations; Eval_rule_evals; Eval_delta_tuples;
+    ]
+
+  let index = function
+    | Olock_read_spins -> 0
+    | Olock_write_spins -> 1
+    | Olock_validation_failures -> 2
+    | Olock_upgrade_failures -> 3
+    | Olock_write_aborts -> 4
+    | Btree_restarts -> 5
+    | Btree_leaf_splits -> 6
+    | Btree_inner_splits -> 7
+    | Btree_root_splits -> 8
+    | Btree_hint_hits -> 9
+    | Btree_hint_misses -> 10
+    | Pool_jobs -> 11
+    | Pool_busy_ns -> 12
+    | Pool_wall_ns -> 13
+    | Eval_iterations -> 14
+    | Eval_rule_evals -> 15
+    | Eval_delta_tuples -> 16
+
+  let count = List.length all
+
+  let name = function
+    | Olock_read_spins -> "olock.read_spins"
+    | Olock_write_spins -> "olock.write_spins"
+    | Olock_validation_failures -> "olock.validation_failures"
+    | Olock_upgrade_failures -> "olock.upgrade_failures"
+    | Olock_write_aborts -> "olock.write_aborts"
+    | Btree_restarts -> "btree.restarts"
+    | Btree_leaf_splits -> "btree.leaf_splits"
+    | Btree_inner_splits -> "btree.inner_splits"
+    | Btree_root_splits -> "btree.root_splits"
+    | Btree_hint_hits -> "btree.hint_hits"
+    | Btree_hint_misses -> "btree.hint_misses"
+    | Pool_jobs -> "pool.jobs"
+    | Pool_busy_ns -> "pool.busy_ns"
+    | Pool_wall_ns -> "pool.wall_ns"
+    | Eval_iterations -> "eval.iterations"
+    | Eval_rule_evals -> "eval.rule_evals"
+    | Eval_delta_tuples -> "eval.delta_tuples"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace events                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type arg_value = A_int of int | A_float of float | A_string of string
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char; (* 'X' complete, 'i' instant, 'C' counter sample *)
+  ev_ts : int; (* ns, monotonic *)
+  ev_dur : int; (* ns; 0 unless 'X' *)
+  ev_tid : int; (* trace lane; domain id unless overridden *)
+  ev_args : (string * arg_value) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local shards                                                *)
+(* ------------------------------------------------------------------ *)
+
+type shard = {
+  sh_domain : int;
+  counts : int array; (* plain mutable: single-writer, racy readers *)
+  mutable events : event array; (* grow-only buffer, [sh_nev] used *)
+  mutable sh_nev : int;
+}
+
+let dummy_event =
+  { ev_name = ""; ev_cat = ""; ev_ph = 'i'; ev_ts = 0; ev_dur = 0; ev_tid = 0; ev_args = [] }
+
+(* The registry is append-only: shards of terminated domains stay listed so
+   their counts survive into snapshots taken after a pool shuts down. *)
+let registry : shard list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let sh =
+        {
+          sh_domain = (Domain.self () :> int);
+          counts = Array.make Counter.count 0;
+          events = Array.make 64 dummy_event;
+          sh_nev = 0;
+        }
+      in
+      Mutex.protect registry_mutex (fun () -> registry := sh :: !registry);
+      sh)
+
+(* Master switches.  Plain refs: they are flipped only from quiescent code
+   (before/after parallel sections); racy readers seeing a stale value skip
+   or record a handful of events, which is harmless. *)
+let counters_on = ref false
+let tracing_on = ref false
+
+let enabled () = !counters_on
+let tracing () = !tracing_on
+
+let enable ?(tracing = false) () =
+  counters_on := true;
+  if tracing then tracing_on := true
+
+let disable () =
+  counters_on := false;
+  tracing_on := false
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      List.iter
+        (fun sh ->
+          Array.fill sh.counts 0 Counter.count 0;
+          sh.sh_nev <- 0)
+        !registry)
+
+(* The per-event fast path: one load + branch when disabled. *)
+let bump c =
+  if !counters_on then begin
+    let sh = Domain.DLS.get shard_key in
+    let i = Counter.index c in
+    Array.unsafe_set sh.counts i (Array.unsafe_get sh.counts i + 1)
+  end
+
+let add c n =
+  if !counters_on then begin
+    let sh = Domain.DLS.get shard_key in
+    let i = Counter.index c in
+    Array.unsafe_set sh.counts i (Array.unsafe_get sh.counts i + n)
+  end
+
+let record ev =
+  let sh = Domain.DLS.get shard_key in
+  let cap = Array.length sh.events in
+  if sh.sh_nev = cap then begin
+    let bigger = Array.make (cap * 2) dummy_event in
+    Array.blit sh.events 0 bigger 0 cap;
+    sh.events <- bigger
+  end;
+  sh.events.(sh.sh_nev) <- ev;
+  sh.sh_nev <- sh.sh_nev + 1
+
+let emit ?(tid = -1) ?(args = []) ?(cat = "app") ~ph ~ts ~dur name =
+  if !tracing_on then
+    let sh = Domain.DLS.get shard_key in
+    record
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ph = ph;
+        ev_ts = ts;
+        ev_dur = dur;
+        ev_tid = (if tid >= 0 then tid else sh.sh_domain);
+        ev_args = args;
+      }
+
+let span_start () = if !tracing_on then now_ns () else 0
+
+let span_end ?tid ?args ?cat name t0 =
+  if !tracing_on && t0 > 0 then
+    let t1 = now_ns () in
+    emit ?tid ?args ?cat ~ph:'X' ~ts:t0 ~dur:(t1 - t0) name
+
+let with_span ?tid ?args ?cat name f =
+  if not !tracing_on then f ()
+  else begin
+    let t0 = now_ns () in
+    match f () with
+    | r ->
+      span_end ?tid ?args ?cat name t0;
+      r
+    | exception e ->
+      span_end ?tid ?args ?cat name t0;
+      raise e
+  end
+
+let instant ?tid ?args ?cat name =
+  if !tracing_on then emit ?tid ?args ?cat ~ph:'i' ~ts:(now_ns ()) ~dur:0 name
+
+let counter_sample ?cat name value =
+  if !tracing_on then
+    emit ?cat ~args:[ (name, A_int value) ] ~ph:'C' ~ts:(now_ns ()) ~dur:0 name
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  per_domain : (int * int array) list; (* domain id, per-counter counts *)
+  totals : int array;
+}
+
+let snapshot () =
+  let shards = Mutex.protect registry_mutex (fun () -> !registry) in
+  let totals = Array.make Counter.count 0 in
+  let per_domain =
+    List.rev_map
+      (fun sh ->
+        let copy = Array.map (fun c -> c) sh.counts in
+        Array.iteri (fun i c -> totals.(i) <- totals.(i) + c) copy;
+        (sh.sh_domain, copy))
+      shards
+  in
+  (* drop all-zero shards (e.g. long-dead domains after a reset) and order
+     by domain id for stable output *)
+  let per_domain =
+    List.filter (fun (_, c) -> Array.exists (fun x -> x <> 0) c) per_domain
+  in
+  let per_domain = List.sort (fun (a, _) (b, _) -> compare a b) per_domain in
+  { per_domain; totals }
+
+let get s c = s.totals.(Counter.index c)
+
+let hint_hit_rate s =
+  let h = get s Counter.Btree_hint_hits and m = get s Counter.Btree_hint_misses in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let imbalance s =
+  (* ratio of summed worker busy time to summed job wall time x workers is
+     job-dependent; report busy/wall, a utilisation proxy: 1.0 = perfectly
+     balanced pool, lower = idle workers *)
+  let busy = get s Counter.Pool_busy_ns and wall = get s Counter.Pool_wall_ns in
+  if wall = 0 then 1.0 else float_of_int busy /. float_of_int wall
+
+let pp_snapshot fmt s =
+  let pr fmt_str = Format.fprintf fmt fmt_str in
+  pr "@[<v>telemetry (aggregated over %d domain%s):@,"
+    (List.length s.per_domain)
+    (if List.length s.per_domain = 1 then "" else "s");
+  List.iter
+    (fun c ->
+      let v = get s c in
+      if v <> 0 then pr "  %-28s %d@," (Counter.name c) v)
+    Counter.all;
+  pr "  %-28s %.1f%%@," "btree.hint_hit_rate" (100.0 *. hint_hit_rate s);
+  pr "  %-28s %.2f@," "pool.utilisation" (imbalance s);
+  pr "per-domain breakdown (aborts / restarts / splits / hint hits+misses):@,";
+  List.iter
+    (fun (d, counts) ->
+      let g c = counts.(Counter.index c) in
+      pr
+        "  domain %-3d  val_fail=%d upg_fail=%d wr_abort=%d restarts=%d \
+         splits=%d/%d/%d hints=%d+%d@,"
+        d
+        (g Counter.Olock_validation_failures)
+        (g Counter.Olock_upgrade_failures)
+        (g Counter.Olock_write_aborts)
+        (g Counter.Btree_restarts)
+        (g Counter.Btree_leaf_splits)
+        (g Counter.Btree_inner_splits)
+        (g Counter.Btree_root_splits)
+        (g Counter.Btree_hint_hits)
+        (g Counter.Btree_hint_misses))
+    s.per_domain;
+  pr "@]"
+
+let counters_json s =
+  Json.Obj
+    (List.map (fun c -> (Counter.name c, Json.Int (get s c))) Counter.all
+    @ [
+        ("btree.hint_hit_rate", Json.Float (hint_hit_rate s));
+        ("pool.utilisation", Json.Float (imbalance s));
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ph_string = function
+  | 'X' -> "X"
+  | 'i' -> "i"
+  | 'C' -> "C"
+  | c -> String.make 1 c
+
+let arg_json = function
+  | A_int i -> Json.Int i
+  | A_float f -> Json.Float f
+  | A_string s -> Json.String s
+
+(* Chrome traces use microsecond floats; ns-precision survives as decimals. *)
+let us_of_ns ns = float_of_int ns /. 1000.0
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.String ev.ev_name);
+      ("cat", Json.String ev.ev_cat);
+      ("ph", Json.String (ph_string ev.ev_ph));
+      ("ts", Json.Float (us_of_ns ev.ev_ts));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.ev_tid);
+    ]
+  in
+  let dur = if ev.ev_ph = 'X' then [ ("dur", Json.Float (us_of_ns ev.ev_dur)) ] else [] in
+  let args =
+    match (ev.ev_ph, ev.ev_args) with
+    | _, [] -> []
+    | _, l -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_json v)) l)) ]
+  in
+  let scope = if ev.ev_ph = 'i' then [ ("s", Json.String "t") ] else [] in
+  Json.Obj (base @ dur @ args @ scope)
+
+let trace_json ?(process_name = "datalog") () =
+  let shards = Mutex.protect registry_mutex (fun () -> !registry) in
+  let events =
+    List.concat_map
+      (fun sh -> List.init sh.sh_nev (fun i -> sh.events.(i)))
+      shards
+  in
+  let events = List.sort (fun a b -> compare a.ev_ts b.ev_ts) events in
+  (* final counter samples so the trace carries the aggregate numbers even
+     when no 'C' samples were emitted during the run *)
+  let s = snapshot () in
+  let tail_ts =
+    match List.rev events with e :: _ -> e.ev_ts + e.ev_dur | [] -> now_ns ()
+  in
+  let counter_events =
+    List.filter_map
+      (fun c ->
+        let v = get s c in
+        if v = 0 then None
+        else
+          Some
+            {
+              ev_name = Counter.name c;
+              ev_cat = "counters";
+              ev_ph = 'C';
+              ev_ts = tail_ts;
+              ev_dur = 0;
+              ev_tid = 0;
+              ev_args = [ (Counter.name c, A_int v) ];
+            })
+      Counter.all
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("ts", Json.Float 0.0);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String process_name) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (meta :: List.map event_json (events @ counter_events)) );
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", counters_json s);
+    ]
+
+let export_trace ?process_name path =
+  let j = trace_json ?process_name () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.output oc j;
+      output_char oc '\n')
+
+let event_count () =
+  let shards = Mutex.protect registry_mutex (fun () -> !registry) in
+  List.fold_left (fun acc sh -> acc + sh.sh_nev) 0 shards

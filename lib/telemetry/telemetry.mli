@@ -1,0 +1,173 @@
+(** Domain-local telemetry: sharded counters, phase timers, Chrome traces.
+
+    The subsystem exists to make the paper's quantitative claims observable
+    without perturbing them: every counter lives in a per-domain shard (a
+    plain mutable record reached through [Domain.DLS]), so the hot path
+    performs {e no} shared atomic write — the same cache-line argument the
+    optimistic lock itself is built on.  Aggregation across shards happens
+    only when {!snapshot} or {!export_trace} is called.
+
+    Every event site is gated on a master flag: with telemetry disabled
+    (the default) an instrumented call costs one load and one branch, so
+    instrumentation stays compiled into release builds.
+
+    Enable/disable and reset are meant to be called from quiescent code
+    (before and after parallel sections).  Snapshots taken while domains are
+    running are racy-but-defined reads of plain integers. *)
+
+val now_ns : unit -> int
+(** Monotonic clock (CLOCK_MONOTONIC), in nanoseconds from an arbitrary
+    epoch.  Allocation-free. *)
+
+(** Minimal JSON document type with emitter and parser — enough for trace
+    files, bench metrics, and parse-back validation in tests and CI
+    (no external JSON library is available in this environment). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val output : out_channel -> t -> unit
+
+  exception Parse_error of string
+
+  val of_string : string -> t
+  (** @raise Parse_error on malformed input. *)
+
+  val member : string -> t -> t option
+end
+
+(** Counter identities, one flat namespace across the instrumented layers.
+    See the Observability section of DESIGN.md for exact semantics of
+    "abort" vs "restart" at each layer. *)
+module Counter : sig
+  type t =
+    | Olock_read_spins
+        (** backoff rounds spent in [start_read] waiting out a writer *)
+    | Olock_write_spins
+        (** backoff rounds spent in [start_write] waiting for the lock *)
+    | Olock_validation_failures
+        (** [valid]/[end_read] returning [false]: an optimistic read
+            observed a concurrent write and must be discarded *)
+    | Olock_upgrade_failures
+        (** failed [try_upgrade_to_write] CAS: the lease went stale between
+            the read phase and the upgrade *)
+    | Olock_write_aborts
+        (** [abort_write] calls: write permits released without modification *)
+    | Btree_restarts
+        (** insertions restarted from the root after a failed validation or
+            upgrade during optimistic descent *)
+    | Btree_leaf_splits
+    | Btree_inner_splits
+    | Btree_root_splits  (** splits that grew the tree by one level *)
+    | Btree_hint_hits
+    | Btree_hint_misses
+    | Pool_jobs  (** fork-join jobs executed *)
+    | Pool_busy_ns  (** summed per-worker busy time inside jobs *)
+    | Pool_wall_ns
+        (** summed job wall time × worker count, so that
+            [Pool_busy_ns / Pool_wall_ns] is pool utilisation *)
+    | Eval_iterations  (** semi-naive fixed-point rounds *)
+    | Eval_rule_evals  (** rule-version evaluations *)
+    | Eval_delta_tuples  (** tuples promoted from new into full relations *)
+
+  val all : t list
+  val index : t -> int
+  val count : int
+  val name : t -> string
+  (** Dotted lower-case name, e.g. ["olock.upgrade_failures"]. *)
+end
+
+(** {1 Switches} *)
+
+val enable : ?tracing:bool -> unit -> unit
+(** Turn counters on; [~tracing:true] additionally records trace events. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val tracing : unit -> bool
+
+val reset : unit -> unit
+(** Zero all counters and drop buffered trace events (call quiescently). *)
+
+(** {1 Event sites (hot path)} *)
+
+val bump : Counter.t -> unit
+(** Increment a counter in the calling domain's shard.  One load + branch
+    when telemetry is disabled. *)
+
+val add : Counter.t -> int -> unit
+
+(** {1 Phase timers / spans} *)
+
+type arg_value = A_int of int | A_float of float | A_string of string
+
+val with_span :
+  ?tid:int ->
+  ?args:(string * arg_value) list ->
+  ?cat:string ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span name f] runs [f] and, when tracing, records a complete span
+    covering it (monotonic timestamps).  Exceptions still end the span.
+    [tid] overrides the trace lane (defaults to the domain id). *)
+
+val span_start : unit -> int
+(** Timestamp for a manual span; [0] when tracing is off. *)
+
+val span_end :
+  ?tid:int ->
+  ?args:(string * arg_value) list ->
+  ?cat:string ->
+  string ->
+  int ->
+  unit
+(** [span_end name t0] closes a manual span opened at [span_start ()].
+    No-op if [t0 = 0]. *)
+
+val instant :
+  ?tid:int -> ?args:(string * arg_value) list -> ?cat:string -> string -> unit
+
+val counter_sample : ?cat:string -> string -> int -> unit
+(** Record a timeline counter sample ("C" event) for Perfetto graphs. *)
+
+(** {1 Aggregation} *)
+
+type snapshot = {
+  per_domain : (int * int array) list;
+      (** (domain id, counts indexed by {!Counter.index}), all-zero shards
+          omitted, sorted by domain id *)
+  totals : int array;
+}
+
+val snapshot : unit -> snapshot
+val get : snapshot -> Counter.t -> int
+
+val hint_hit_rate : snapshot -> float
+(** Hits / (hits + misses) over the btree hint counters; [0.] when no
+    hinted operation ran. *)
+
+val imbalance : snapshot -> float
+(** Pool utilisation proxy: summed worker busy time over summed job wall
+    time.  1.0 = perfectly balanced; lower = workers idling. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** {1 Export} *)
+
+val trace_json : ?process_name:string -> unit -> Json.t
+(** The Chrome trace-event document ({v {"traceEvents": [...]} v}) holding
+    all buffered spans plus final counter samples. *)
+
+val export_trace : ?process_name:string -> string -> unit
+(** Write {!trace_json} to a file (open in Perfetto / chrome://tracing). *)
+
+val counters_json : snapshot -> Json.t
+val event_count : unit -> int

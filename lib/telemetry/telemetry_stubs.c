@@ -1,0 +1,18 @@
+/* Monotonic clock for the telemetry layer.
+ *
+ * Phase timers must not jump when the wall clock is adjusted, so spans are
+ * stamped with CLOCK_MONOTONIC.  The value is returned as a tagged OCaml
+ * int: nanoseconds since an arbitrary epoch fit in 62 bits for ~73 years of
+ * uptime, so no boxing is needed and the [@@noalloc] fast path applies.
+ */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value repro_telemetry_now_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

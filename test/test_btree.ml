@@ -195,6 +195,59 @@ let test_hint_stats_reset () =
   check_int "misses cleared" 0 s.T.insert_misses;
   check_bool "rate on empty stats" true (T.hit_rate s = 0.0)
 
+let test_hint_stats_merge () =
+  (* merging no stats is the neutral element *)
+  let z = T.merge_hint_stats [] in
+  check_int "empty merge: insert hits" 0 z.T.insert_hits;
+  check_int "empty merge: find misses" 0 z.T.find_misses;
+  check_bool "empty merge rate is 0, not nan" true (T.hit_rate z = 0.0);
+  check_bool "rate of all-zero stats is finite" true
+    (Float.is_finite (T.hit_rate z));
+  (* merging a singleton is the identity *)
+  let t = T.create ~capacity:8 () in
+  let h = T.make_hints () in
+  for i = 0 to 999 do
+    ignore (T.insert ~hints:h t i : bool)
+  done;
+  let s = T.hint_stats h in
+  let m = T.merge_hint_stats [ s ] in
+  check_int "singleton merge: insert hits" s.T.insert_hits m.T.insert_hits;
+  check_int "singleton merge: insert misses" s.T.insert_misses m.T.insert_misses;
+  check_bool "singleton merge preserves rate" true
+    (T.hit_rate s = T.hit_rate m)
+
+let test_hint_stats_multi_domain () =
+  (* Each domain inserts a disjoint block through its own hints; the merged
+     stats must account for every hinted insert exactly once. *)
+  let t = T.create ~capacity:8 () in
+  let domains = 4 and per_domain = 5_000 in
+  let worker d () =
+    let h = T.make_hints () in
+    let lo = d * per_domain in
+    for i = lo to lo + per_domain - 1 do
+      ignore (T.insert ~hints:h t i : bool)
+    done;
+    T.hint_stats h
+  in
+  let spawned =
+    List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+  in
+  let stats0 = worker 0 () in
+  let stats = stats0 :: List.map Domain.join spawned in
+  let m = T.merge_hint_stats stats in
+  check_int "every hinted insert is a hit or a miss"
+    (domains * per_domain)
+    (m.T.insert_hits + m.T.insert_misses);
+  check_int "tree holds the union" (domains * per_domain) (T.cardinal t);
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  check_int "merge sums hits" (sum (fun s -> s.T.insert_hits)) m.T.insert_hits;
+  check_int "merge sums misses"
+    (sum (fun s -> s.T.insert_misses))
+    m.T.insert_misses;
+  let r = T.hit_rate m in
+  check_bool "aggregate rate in [0,1]" true (r >= 0.0 && r <= 1.0);
+  T.check_invariants t
+
 let test_insert_all_merge () =
   let a = T.create ~capacity:5 () in
   let b = T.create ~capacity:5 () in
@@ -597,6 +650,9 @@ let () =
           Alcotest.test_case "ordered" `Quick test_hints_correctness_ordered;
           Alcotest.test_case "random" `Quick test_hints_correctness_random;
           Alcotest.test_case "stats reset" `Quick test_hint_stats_reset;
+          Alcotest.test_case "stats merge" `Quick test_hint_stats_merge;
+          Alcotest.test_case "stats multi-domain" `Quick
+            test_hint_stats_multi_domain;
         ] );
       ( "bulk",
         [

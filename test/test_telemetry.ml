@@ -1,0 +1,251 @@
+(* Tests for the telemetry layer: domain-local counter aggregation, the
+   hand-rolled JSON emitter/parser, and Chrome trace export.
+
+   Telemetry state is global; every test resets and disables it on the way
+   out so tests stay order-independent. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_telemetry ?tracing f =
+  Telemetry.reset ();
+  Telemetry.enable ?tracing ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_is_inert () =
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Telemetry.bump Telemetry.Counter.Btree_restarts;
+  Telemetry.add Telemetry.Counter.Pool_busy_ns 1_000;
+  let s = Telemetry.snapshot () in
+  check_int "no counts recorded while disabled" 0
+    (Telemetry.get s Telemetry.Counter.Btree_restarts);
+  check_bool "no shards recorded" true (s.Telemetry.per_domain = [])
+
+let test_single_domain_counts () =
+  with_telemetry (fun () ->
+      for _ = 1 to 42 do
+        Telemetry.bump Telemetry.Counter.Olock_write_aborts
+      done;
+      Telemetry.add Telemetry.Counter.Eval_delta_tuples 1234;
+      let s = Telemetry.snapshot () in
+      check_int "bump counts exactly" 42
+        (Telemetry.get s Telemetry.Counter.Olock_write_aborts);
+      check_int "add counts exactly" 1234
+        (Telemetry.get s Telemetry.Counter.Eval_delta_tuples);
+      check_int "untouched counter stays zero" 0
+        (Telemetry.get s Telemetry.Counter.Btree_leaf_splits))
+
+let test_multi_domain_aggregation () =
+  (* >= 4 domains each bump their own shard; the snapshot must sum them and
+     report each domain separately. *)
+  with_telemetry (fun () ->
+      let domains = 4 and per_domain = 10_000 in
+      let worker () =
+        for _ = 1 to per_domain do
+          Telemetry.bump Telemetry.Counter.Btree_restarts
+        done
+      in
+      let spawned =
+        List.init (domains - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join spawned;
+      let s = Telemetry.snapshot () in
+      check_int "totals sum across domains" (domains * per_domain)
+        (Telemetry.get s Telemetry.Counter.Btree_restarts);
+      check_int "one shard per active domain" domains
+        (List.length s.Telemetry.per_domain);
+      let idx = Telemetry.Counter.index Telemetry.Counter.Btree_restarts in
+      List.iter
+        (fun (_, counts) ->
+          check_int "each shard saw its own bumps" per_domain counts.(idx))
+        s.Telemetry.per_domain)
+
+let test_concurrent_btree_inserts_aggregate () =
+  (* End-to-end: concurrent inserts into the specialized tuple tree must
+     yield a consistent cardinality and strictly positive split counters
+     (small capacity forces splits), aggregated across all inserting
+     domains. *)
+  with_telemetry (fun () ->
+      let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] ~capacity:4 () in
+      let domains = 4 and per_domain = 4_000 in
+      let worker d () =
+        for i = 0 to per_domain - 1 do
+          let k = (d * per_domain) + i in
+          ignore (Btree_tuples.insert t [| k; k lxor 5 |] : bool)
+        done
+      in
+      let spawned =
+        List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join spawned;
+      check_int "all tuples present" (domains * per_domain)
+        (Btree_tuples.cardinal t);
+      Btree_tuples.check_invariants t;
+      let s = Telemetry.snapshot () in
+      let leaf = Telemetry.get s Telemetry.Counter.Btree_leaf_splits in
+      let root = Telemetry.get s Telemetry.Counter.Btree_root_splits in
+      check_bool "leaf splits observed" true (leaf > 0);
+      check_bool "root splits observed" true (root > 0);
+      (* a 16k-element capacity-4 tree needs at least n/4 leaf splits *)
+      check_bool "split count plausible" true
+        (leaf >= domains * per_domain / 8))
+
+let test_reset_clears () =
+  with_telemetry (fun () ->
+      Telemetry.bump Telemetry.Counter.Pool_jobs;
+      Telemetry.instant "marker";
+      Telemetry.reset ();
+      let s = Telemetry.snapshot () in
+      check_int "counters cleared" 0
+        (Telemetry.get s Telemetry.Counter.Pool_jobs);
+      check_int "events cleared" 0 (Telemetry.event_count ()))
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("name", String "trace \"quoted\" \\ slash");
+        ("count", Int (-42));
+        ("rate", Float 0.5);
+        ("flag", Bool true);
+        ("nothing", Null);
+        ("items", List [ Int 1; Int 2; Obj [ ("nested", Bool false) ] ]);
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+      ]
+  in
+  let back = of_string (to_string doc) in
+  check_bool "roundtrip preserves document" true (back = doc);
+  check_string "escapes survive"
+    "trace \"quoted\" \\ slash"
+    (match member "name" back with Some (String s) -> s | _ -> "<missing>")
+
+let test_json_parser_rejects_garbage () =
+  let open Telemetry.Json in
+  let rejects s =
+    match of_string s with
+    | exception Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "bare garbage" true (rejects "nonsense");
+  check_bool "unterminated string" true (rejects "\"abc");
+  check_bool "trailing junk" true (rejects "{} extra");
+  check_bool "unclosed object" true (rejects "{\"a\": 1")
+
+(* ------------------------------------------------------------------ *)
+(* Trace export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let read_file f = In_channel.with_open_bin f In_channel.input_all
+
+let test_trace_export_parses_back () =
+  with_telemetry ~tracing:true (fun () ->
+      Telemetry.with_span ~cat:"test" "outer" (fun () ->
+          Telemetry.with_span ~cat:"test" "inner" (fun () ->
+              Telemetry.bump Telemetry.Counter.Btree_hint_hits);
+          Telemetry.instant ~cat:"test" "tick");
+      let file = Filename.temp_file "telemetry_test" ".trace.json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          Telemetry.export_trace ~process_name:"test proc" file;
+          let doc = Telemetry.Json.of_string (read_file file) in
+          let events =
+            match Telemetry.Json.member "traceEvents" doc with
+            | Some (Telemetry.Json.List l) -> l
+            | _ -> Alcotest.fail "traceEvents missing or not a list"
+          in
+          check_bool "spans + instant + metadata present" true
+            (List.length events >= 4);
+          let names =
+            List.filter_map
+              (fun e ->
+                match Telemetry.Json.member "name" e with
+                | Some (Telemetry.Json.String s) -> Some s
+                | _ -> None)
+              events
+          in
+          List.iter
+            (fun expected ->
+              check_bool (expected ^ " event present") true
+                (List.mem expected names))
+            [ "outer"; "inner"; "tick"; "process_name" ];
+          (* every event carries the mandatory Chrome trace fields *)
+          List.iter
+            (fun e ->
+              match
+                ( Telemetry.Json.member "ph" e,
+                  Telemetry.Json.member "pid" e,
+                  Telemetry.Json.member "ts" e )
+              with
+              | Some (Telemetry.Json.String _), Some _, Some _ -> ()
+              | _ -> Alcotest.fail "event missing ph/pid/ts")
+            events))
+
+let test_counters_json_shape () =
+  with_telemetry (fun () ->
+      Telemetry.bump Telemetry.Counter.Btree_hint_hits;
+      Telemetry.bump Telemetry.Counter.Btree_hint_misses;
+      let s = Telemetry.snapshot () in
+      let doc = Telemetry.counters_json s in
+      (match Telemetry.Json.member "btree.hint_hits" doc with
+      | Some (Telemetry.Json.Int 1) -> ()
+      | _ -> Alcotest.fail "btree.hint_hits missing from counters JSON");
+      match Telemetry.Json.member "btree.hint_hit_rate" doc with
+      | Some (Telemetry.Json.Float r) ->
+        check_bool "hit rate computed" true (Float.abs (r -. 0.5) < 1e-9)
+      | _ -> Alcotest.fail "btree.hint_hit_rate missing");
+  (* all-zero snapshot: rates defined, no NaN *)
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let s = Telemetry.snapshot () in
+  check_bool "hint rate of empty snapshot is 0" true
+    (Telemetry.hint_hit_rate s = 0.0);
+  check_bool "imbalance of empty snapshot is finite" true
+    (Float.is_finite (Telemetry.imbalance s));
+  Telemetry.disable ();
+  Telemetry.reset ()
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert;
+          Alcotest.test_case "single domain" `Quick test_single_domain_counts;
+          Alcotest.test_case "multi-domain aggregation" `Quick
+            test_multi_domain_aggregation;
+          Alcotest.test_case "concurrent btree inserts" `Quick
+            test_concurrent_btree_inserts_aggregate;
+          Alcotest.test_case "reset" `Quick test_reset_clears;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_json_parser_rejects_garbage;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "export parses back" `Quick
+            test_trace_export_parses_back;
+          Alcotest.test_case "counters json" `Quick test_counters_json_shape;
+        ] );
+    ]

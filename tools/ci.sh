@@ -1,0 +1,35 @@
+#!/bin/sh
+# CI entry point: build, run the test suites, then the telemetry smoke
+# benchmark, which writes machine-readable metrics and validates its own
+# JSON output (trace parse-back + metrics parse-back) — any malformed
+# artifact makes it exit nonzero.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (telemetry + metrics JSON) =="
+METRICS="${METRICS_JSON:-bench_metrics.json}"
+dune exec bench/main.exe -- --smoke --json "$METRICS"
+
+# Independent sanity check on the artifact: non-empty and parseable by a
+# second implementation when one is around (python3 is optional).
+test -s "$METRICS" || { echo "ci: $METRICS is missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$METRICS" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+for key in ("schema_version", "overhead", "counters", "trace"):
+    if key not in d:
+        raise SystemExit(f"ci: metrics JSON missing {key!r}")
+print("ci: metrics JSON ok:", sys.argv[1])
+PY
+fi
+
+echo "== ci passed =="
