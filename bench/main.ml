@@ -37,6 +37,7 @@ type config = {
   max_threads : int;
   full : bool;
   json : string; (* metrics output of the smoke experiment *)
+  record : string option; (* --record NAME: append to the perf trajectory *)
 }
 
 let scaled cfg n = max 1 (int_of_float (float_of_int n *. cfg.scale))
@@ -835,7 +836,7 @@ let smoke cfg =
   let metrics =
     Obj
       [
-        ("schema_version", Int 1);
+        ("schema_version", Int 2);
         ( "config",
           Obj
             [
@@ -853,16 +854,71 @@ let smoke cfg =
         ("eval", Obj [ ("seconds", Float dt);
                        ("iterations", Int (Engine.iterations engine)) ]);
         ("counters", Telemetry.counters_json snap);
+        ("histograms", Telemetry.histograms_json snap);
+        ( "tree_shape",
+          Obj
+            (List.map
+               (fun (rel, sh) -> (rel, Tree_shape.to_json sh))
+               (Engine.tree_shapes engine)) );
         ("trace", Obj [ ("file", String trace_file); ("events", Int events) ]);
       ]
   in
   Out_channel.with_open_bin cfg.json (fun oc ->
       output oc metrics;
       output_char oc '\n');
-  (match member "counters" (of_string (read_file cfg.json)) with
+  let parsed = of_string (read_file cfg.json) in
+  (match member "counters" parsed with
   | Some (Obj (_ :: _)) -> ()
   | _ -> failwith "smoke: metrics JSON failed parse-back");
-  pf "metrics written to %s (parse-back ok)\n" cfg.json
+  (match member "histograms" parsed with
+  | Some (Obj (_ :: _)) -> ()
+  | _ -> failwith "smoke: metrics JSON carries no histograms");
+  pf "metrics written to %s (parse-back ok)\n" cfg.json;
+  (* 4. optional regression recording: per-run snapshot + history line *)
+  match cfg.record with
+  | None -> ()
+  | Some name ->
+    let safe =
+      String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_')
+        name
+    in
+    let snap_file = Printf.sprintf "BENCH_%s.json" safe in
+    let now = Unix.gettimeofday () in
+    Out_channel.with_open_bin snap_file (fun oc ->
+        output oc
+          (Obj
+             [
+               ("name", String name);
+               ("recorded_at", Float now);
+               ("metrics", metrics);
+             ]);
+        output_char oc '\n');
+    let p99 m = Telemetry.hist_quantile (Telemetry.hist_of snap m) 0.99 in
+    let entry =
+      Obj
+        [
+          ("schema_version", Int 2);
+          ("name", String name);
+          ("recorded_at", Float now);
+          ("eval_seconds", Float dt);
+          ("iterations", Int (Engine.iterations engine));
+          ("insert_off_s", Float d_off);
+          ("insert_counters_s", Float d_on);
+          ("overhead_pct", Float overhead_pct);
+          ("eval_iteration_p99_ns", Int (p99 Telemetry.Hist.Eval_iteration_ns));
+          ("btree_insert_p99_ns", Int (p99 Telemetry.Hist.Btree_insert_ns));
+        ]
+    in
+    let hist_file = "BENCH_history.jsonl" in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 hist_file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output oc entry;
+        output_char oc '\n');
+    pf "recorded run %S -> %s + %s\n" name snap_file hist_file
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
@@ -1012,15 +1068,16 @@ let run_experiment cfg = function
       (String.concat ", " ("all" :: known_experiments));
     exit 2
 
-let main experiments scale threads full smoke_only json =
+let main experiments scale threads full smoke_only json record =
   let max_threads =
     match threads with
     | Some t -> max 1 t
     | None -> max 1 (Domain.recommended_domain_count ())
   in
-  let cfg = { scale; max_threads; full; json } in
+  let cfg = { scale; max_threads; full; json; record } in
   let experiments =
-    if smoke_only then [ "smoke" ]
+    (* --record implies the smoke experiment (it is what gets recorded) *)
+    if smoke_only || record <> None then [ "smoke" ]
     else
       match experiments with
       | [] | [ "all" ] ->
@@ -1077,12 +1134,20 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Where the smoke experiment writes machine-readable metrics.")
 
+let record_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "record" ] ~docv:"NAME"
+        ~doc:"Run the smoke experiment and record it: write \
+              BENCH_<NAME>.json and append a summary line to \
+              BENCH_history.jsonl (compare runs with tools/regress.sh).")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ experiments_arg $ scale_arg $ threads_arg $ full_arg
-      $ smoke_arg $ json_arg)
+      $ smoke_arg $ json_arg $ record_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,42 @@
 
 open Cmdliner
 
-let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file =
+let write_prometheus engine snap path =
+  let prom = Telemetry.Prom.create () in
+  Telemetry.prometheus_of_snapshot prom snap;
+  List.iter
+    (fun (rel, sh) ->
+      let labels = [ ("relation", rel) ] in
+      let g name v = Telemetry.Prom.gauge prom ~labels name v in
+      g "repro_btree_shape_height" (float_of_int sh.Tree_shape.height);
+      g "repro_btree_shape_nodes" (float_of_int sh.Tree_shape.nodes);
+      g "repro_btree_shape_leaves" (float_of_int sh.Tree_shape.leaves);
+      g "repro_btree_shape_elements" (float_of_int sh.Tree_shape.elements);
+      g "repro_btree_shape_fill" sh.Tree_shape.fill;
+      Array.iteri
+        (fun d n ->
+          if n > 0 then
+            Telemetry.Prom.gauge prom
+              ~labels:(("decile", string_of_int d) :: labels)
+              "repro_btree_shape_fill_nodes" (float_of_int n))
+        sh.Tree_shape.fill_deciles)
+    (Engine.tree_shapes engine);
+  (match Engine.hint_run_hist engine with
+  | Some runs ->
+    Array.iteri
+      (fun b n ->
+        if n > 0 then
+          Telemetry.Prom.gauge prom
+            ~labels:[ ("bucket", string_of_int b) ]
+            "repro_btree_hint_runs" (float_of_int n))
+      runs
+  | None -> ());
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Telemetry.Prom.to_string prom))
+
+let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file =
   match Storage.kind_of_name storage with
   | None ->
     Printf.eprintf "unknown storage kind %S (try: btree, btree-nohints, \
@@ -32,9 +67,9 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
             (fun (rel, n) -> Printf.printf "loaded %d facts into %s\n" n rel)
             (Dl_io.load_facts_dir engine dir)
         | None -> ());
-        (* Telemetry: counters whenever --stats is on, tracing when a
-           --trace file was requested. *)
-        if show_stats || trace_file <> None then
+        (* Telemetry: counters whenever --stats or --metrics is on, tracing
+           when a --trace file was requested; the three combine freely. *)
+        if show_stats || trace_file <> None || metrics_file <> None then
           Telemetry.enable ~tracing:(trace_file <> None) ();
         let t0 = Bench_util.wall () in
         Pool.with_pool threads (fun pool -> Engine.run engine pool);
@@ -58,6 +93,14 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
             Printf.eprintf "cannot write trace: %s\n" m;
             exit 1)
         | None -> ());
+        (match (metrics_file, telemetry_snap) with
+        | Some f, Some snap -> (
+          match write_prometheus engine snap f with
+          | () -> Printf.printf "wrote Prometheus metrics to %s\n" f
+          | exception Sys_error m ->
+            Printf.eprintf "cannot write metrics: %s\n" m;
+            exit 1)
+        | _ -> ());
         Telemetry.disable ();
         let outputs =
           match Engine.output_relations engine with
@@ -88,9 +131,24 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
           (match Engine.stats engine with
           | Some s -> Format.printf "stats: %a@." Dl_stats.pp s
           | None -> ());
-          match telemetry_snap with
+          (match telemetry_snap with
           | Some snap -> Format.printf "%a@." Telemetry.pp_snapshot snap
-          | None -> ()
+          | None -> ());
+          (match Engine.tree_shapes engine with
+          | [] -> ()
+          | shapes ->
+            Format.printf "tree shape (primary indexes):@.";
+            List.iter
+              (fun (rel, sh) ->
+                Format.printf "  %-14s %a@." rel Tree_shape.pp sh)
+              shapes);
+          match Engine.hint_run_hist engine with
+          | Some runs when Array.exists (fun n -> n > 0) runs ->
+            Format.printf
+              "hint locality (hit-run lengths, log2 buckets): [%s]@."
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int runs)))
+          | _ -> ()
         end;
         if show_profile then begin
           print_endline "rule profile (hottest first):";
@@ -139,12 +197,19 @@ let trace_arg =
          ~doc:"Write a Chrome trace-event JSON of the evaluation to $(docv) \
                (load it in ui.perfetto.dev or chrome://tracing).")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write Prometheus text-format metrics (counters, latency \
+               histograms, tree shape) to $(docv).  Combines with --stats \
+               and --trace.")
+
 let cmd =
   let doc = "evaluate a Datalog program with the specialized concurrent B-tree engine" in
   Cmd.v
     (Cmd.info "datalog_cli" ~doc)
     Term.(
       const run_program $ file_arg $ storage_arg $ threads_arg $ print_arg
-      $ stats_arg $ profile_arg $ facts_arg $ output_arg $ trace_arg)
+      $ stats_arg $ profile_arg $ facts_arg $ output_arg $ trace_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -161,7 +161,11 @@ module Make (K : Key.ORDERED) = struct
     mutable h_lb_misses : int;
     mutable h_ub_hits : int;
     mutable h_ub_misses : int;
+    mutable h_run : int; (* length of the current uninterrupted hit run *)
+    h_runs : int array; (* log2-bucketed run lengths, closed at each miss *)
   }
+
+  let run_buckets = 16
 
   let make_hints () =
     {
@@ -177,7 +181,35 @@ module Make (K : Key.ORDERED) = struct
       h_lb_misses = 0;
       h_ub_hits = 0;
       h_ub_misses = 0;
+      h_run = 0;
+      h_runs = Array.make run_buckets 0;
     }
+
+  (* Hint locality: every miss closes the current run of consecutive hits
+     and records its length (bucket b holds runs of 2^(b-1)..2^b-1 hits;
+     bucket 0 is the 0-hit run — a miss straight after a miss).  Long runs
+     are the sorted access pattern the paper's hints exploit. *)
+  let run_bucket r =
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    let b = bits r 0 in
+    if b >= run_buckets then run_buckets - 1 else b
+
+  let run_hit h = h.h_run <- h.h_run + 1
+
+  let run_break h =
+    let r = h.h_run in
+    h.h_run <- 0;
+    let b = run_bucket r in
+    h.h_runs.(b) <- h.h_runs.(b) + 1
+
+  let hint_run_hist h =
+    (* copy, with the still-open run counted as if it closed now *)
+    let a = Array.copy h.h_runs in
+    if h.h_run > 0 then begin
+      let b = run_bucket h.h_run in
+      a.(b) <- a.(b) + 1
+    end;
+    a
 
   type hint_stats = {
     insert_hits : int;
@@ -210,7 +242,9 @@ module Make (K : Key.ORDERED) = struct
     h.h_lb_hits <- 0;
     h.h_lb_misses <- 0;
     h.h_ub_hits <- 0;
-    h.h_ub_misses <- 0
+    h.h_ub_misses <- 0;
+    h.h_run <- 0;
+    Array.fill h.h_runs 0 run_buckets 0
 
   let merge_hint_stats l =
     List.fold_left
@@ -493,7 +527,7 @@ module Make (K : Key.ORDERED) = struct
       end
     end
 
-  let insert ?hints t key =
+  let insert_op ?hints t key =
     ensure_root t;
     match hints with
     | None -> fst (insert_slow t key)
@@ -505,20 +539,28 @@ module Make (K : Key.ORDERED) = struct
       (match attempt with
       | Done b ->
         h.h_insert_hits <- h.h_insert_hits + 1;
+        run_hit h;
         Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         b
       | Fallback ->
         h.h_insert_misses <- h.h_insert_misses + 1;
+        run_break h;
         Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         let inserted, leaf = insert_slow t key in
         if leaf != sentinel then h.insert_leaf <- leaf;
         inserted)
 
+  let insert ?hints t key =
+    let t0 = Telemetry.hist_start Telemetry.Hist.Btree_insert_ns in
+    let r = insert_op ?hints t key in
+    Telemetry.hist_end Telemetry.Hist.Btree_insert_ns t0;
+    r
+
   (* ------------------------------------------------------------------ *)
   (* Read operations (read phase: no synchronisation needed)            *)
   (* ------------------------------------------------------------------ *)
 
-  let mem ?hints t key =
+  let mem_op ?hints t key =
     let slow () =
       let rec go node last_leaf =
         if node == sentinel then (false, last_leaf)
@@ -538,16 +580,24 @@ module Make (K : Key.ORDERED) = struct
       let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
       if nk > 0 && covers leaf nk key then begin
         h.h_find_hits <- h.h_find_hits + 1;
+        run_hit h;
         Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         snd (search t leaf.keys nk key)
       end
       else begin
         h.h_find_misses <- h.h_find_misses + 1;
+        run_break h;
         Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         let r, l = slow () in
         if l != sentinel then h.find_leaf <- l;
         r
       end
+
+  let mem ?hints t key =
+    let t0 = Telemetry.hist_start Telemetry.Hist.Btree_find_ns in
+    let r = mem_op ?hints t key in
+    Telemetry.hist_end Telemetry.Hist.Btree_find_ns t0;
+    r
 
   let is_empty t = t.root == sentinel || (t.root.nkeys = 0 && is_leaf t.root)
 
@@ -615,12 +665,14 @@ module Make (K : Key.ORDERED) = struct
         in
         if strict then h.h_ub_hits <- h.h_ub_hits + 1
         else h.h_lb_hits <- h.h_lb_hits + 1;
+        run_hit h;
         Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         if idx < nk then Some leaf.keys.(idx) else None
       end
       else begin
         if strict then h.h_ub_misses <- h.h_ub_misses + 1
         else h.h_lb_misses <- h.h_lb_misses + 1;
+        run_break h;
         Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         (* the query's own descent refreshes the hint *)
         let visited = ref sentinel in
@@ -630,8 +682,17 @@ module Make (K : Key.ORDERED) = struct
         r
       end
 
-  let lower_bound ?hints t key = bound_hinted ~strict:false ?hints t key
-  let upper_bound ?hints t key = bound_hinted ~strict:true ?hints t key
+  let lower_bound ?hints t key =
+    let t0 = Telemetry.hist_start Telemetry.Hist.Btree_bound_ns in
+    let r = bound_hinted ~strict:false ?hints t key in
+    Telemetry.hist_end Telemetry.Hist.Btree_bound_ns t0;
+    r
+
+  let upper_bound ?hints t key =
+    let t0 = Telemetry.hist_start Telemetry.Hist.Btree_bound_ns in
+    let r = bound_hinted ~strict:true ?hints t key in
+    Telemetry.hist_end Telemetry.Hist.Btree_bound_ns t0;
+    r
 
   let iter f t =
     let rec go node =
@@ -718,6 +779,7 @@ module Make (K : Key.ORDERED) = struct
       in
       if usable then begin
         h.h_lb_hits <- h.h_lb_hits + 1;
+        run_hit h;
         Telemetry.bump Telemetry.Counter.Btree_hint_hits;
         let idx, _ = search t leaf.keys nk key in
         let continue = ref true in
@@ -733,6 +795,7 @@ module Make (K : Key.ORDERED) = struct
       end
       else begin
         h.h_lb_misses <- h.h_lb_misses + 1;
+        run_break h;
         Telemetry.bump Telemetry.Counter.Btree_hint_misses;
         (* the scan's own descent refreshes the hint *)
         let visited = ref sentinel in
@@ -970,6 +1033,45 @@ module Make (K : Key.ORDERED) = struct
         leaves = !leaves;
         height;
         fill = float_of_int !elements /. float_of_int (!nodes * t.capacity);
+      }
+    end
+
+  (* Full structural report; same height/fill conventions as [stats]
+     (root-only tree has height 1).  Quiescent traversal. *)
+  let shape t =
+    if is_empty t then Tree_shape.empty ~capacity:t.capacity
+    else begin
+      let rec depth n = if is_leaf n then 1 else 1 + depth n.children.(0) in
+      let h = depth t.root in
+      let level_nodes = Array.make h 0 in
+      let level_keys = Array.make h 0 in
+      let fill_deciles = Array.make 10 0 in
+      let elements = ref 0 and nodes = ref 0 and leaves = ref 0 in
+      let rec go n d =
+        incr nodes;
+        elements := !elements + n.nkeys;
+        level_nodes.(d) <- level_nodes.(d) + 1;
+        level_keys.(d) <- level_keys.(d) + n.nkeys;
+        let dec = n.nkeys * 10 / t.capacity in
+        let dec = if dec > 9 then 9 else dec in
+        fill_deciles.(dec) <- fill_deciles.(dec) + 1;
+        if is_leaf n then incr leaves
+        else
+          for i = 0 to n.nkeys do
+            go n.children.(i) (d + 1)
+          done
+      in
+      go t.root 0;
+      {
+        Tree_shape.elements = !elements;
+        nodes = !nodes;
+        leaves = !leaves;
+        height = h;
+        capacity = t.capacity;
+        fill = float_of_int !elements /. float_of_int (!nodes * t.capacity);
+        level_nodes;
+        level_keys;
+        fill_deciles;
       }
     end
 

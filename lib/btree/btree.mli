@@ -76,6 +76,14 @@ module Make (K : Key.ORDERED) : sig
   val hit_rate : hint_stats -> float
   (** Overall fraction of hinted operations that hit, in [0..1]. *)
 
+  val hint_run_hist : hints -> int array
+  (** Hint-locality distribution: log2-bucketed lengths of uninterrupted
+      hit runs (bucket [b>0] holds runs of [2^(b-1)..2^b-1] hits; bucket 0
+      counts misses that immediately followed a miss).  A run is recorded
+      when a miss breaks it; the still-open run, if any, is counted as if
+      it closed now.  Long runs are the sorted access pattern the hints
+      exploit (paper section 3.2). *)
+
   (** {1 Modification} *)
 
   val insert : ?hints:hints -> t -> key -> bool
@@ -184,6 +192,10 @@ module Make (K : Key.ORDERED) : sig
   }
 
   val stats : t -> stats
+
+  val shape : t -> Tree_shape.t
+  (** Full structural report (per-level node counts, fill-factor deciles);
+      same height/fill conventions as {!stats}.  Quiescent use only. *)
 
   val check_invariants : t -> unit
   (** Validates ordering, node fill bounds, uniform leaf depth and

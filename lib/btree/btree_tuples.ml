@@ -157,12 +157,49 @@ type hints = {
   mutable lb_leaf : node;
   mutable hits : int;
   mutable misses : int;
+  mutable run : int; (* length of the current uninterrupted hit run *)
+  runs : int array; (* log2-bucketed run lengths, closed at each miss *)
 }
 
+let run_buckets = 16
+
 let make_hints () =
-  { insert_leaf = sentinel; find_leaf = sentinel; lb_leaf = sentinel; hits = 0; misses = 0 }
+  {
+    insert_leaf = sentinel;
+    find_leaf = sentinel;
+    lb_leaf = sentinel;
+    hits = 0;
+    misses = 0;
+    run = 0;
+    runs = Array.make run_buckets 0;
+  }
 
 let hint_counters h = (h.hits, h.misses)
+
+(* Hint locality: every miss closes the current run of consecutive hits and
+   records its length (bucket b>0 holds runs of 2^(b-1)..2^b-1 hits; bucket
+   0 counts misses straight after a miss). *)
+let run_bucket r =
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  let b = bits r 0 in
+  if b >= run_buckets then run_buckets - 1 else b
+
+let run_hit h = h.run <- h.run + 1
+
+let run_break h =
+  let r = h.run in
+  h.run <- 0;
+  let b = run_bucket r in
+  h.runs.(b) <- h.runs.(b) + 1
+
+let hint_run_hist h =
+  (* copy, with the still-open run counted as if it closed now *)
+  let a = Array.copy h.runs in
+  if h.run > 0 then begin
+    let b = run_bucket h.run in
+    a.(b) <- a.(b) + 1
+  end;
+  a
 
 let covers t n nk key =
   nk > 0
@@ -364,7 +401,7 @@ let try_insert_at t leaf key =
     end
   end
 
-let insert ?hints t key =
+let insert_op ?hints t key =
   ensure_root t;
   match hints with
   | None -> fst (insert_slow t key)
@@ -376,18 +413,26 @@ let insert ?hints t key =
     (match attempt with
     | Done b ->
       h.hits <- h.hits + 1;
+      run_hit h;
       Telemetry.bump Telemetry.Counter.Btree_hint_hits;
       b
     | Fallback ->
       h.misses <- h.misses + 1;
+      run_break h;
       Telemetry.bump Telemetry.Counter.Btree_hint_misses;
       let inserted, leaf = insert_slow t key in
       if leaf != sentinel then h.insert_leaf <- leaf;
       inserted)
 
+let insert ?hints t key =
+  let t0 = Telemetry.hist_start Telemetry.Hist.Btree_insert_ns in
+  let r = insert_op ?hints t key in
+  Telemetry.hist_end Telemetry.Hist.Btree_insert_ns t0;
+  r
+
 (* ---------------- queries ---------------- *)
 
-let mem ?hints t key =
+let mem_op ?hints t key =
   let slow () =
     let rec go node last_leaf =
       if node == sentinel then (false, last_leaf)
@@ -407,16 +452,24 @@ let mem ?hints t key =
     let nk = if leaf == sentinel then 0 else clamped_nkeys leaf in
     if nk > 0 && covers t leaf nk key then begin
       h.hits <- h.hits + 1;
+      run_hit h;
       Telemetry.bump Telemetry.Counter.Btree_hint_hits;
       snd (search t leaf.keys nk key)
     end
     else begin
       h.misses <- h.misses + 1;
+      run_break h;
       Telemetry.bump Telemetry.Counter.Btree_hint_misses;
       let r, l = slow () in
       if l != sentinel then h.find_leaf <- l;
       r
     end
+
+let mem ?hints t key =
+  let t0 = Telemetry.hist_start Telemetry.Hist.Btree_find_ns in
+  let r = mem_op ?hints t key in
+  Telemetry.hist_end Telemetry.Hist.Btree_find_ns t0;
+  r
 
 let is_empty t = t.root == sentinel || (t.root.nkeys = 0 && is_leaf t.root)
 
@@ -502,6 +555,7 @@ let iter_from ?hints f t key =
     in
     if usable then begin
       h.hits <- h.hits + 1;
+      run_hit h;
       Telemetry.bump Telemetry.Counter.Btree_hint_hits;
       let idx, _ = search t leaf.keys nk key in
       let continue = ref true in
@@ -515,6 +569,7 @@ let iter_from ?hints f t key =
     end
     else begin
       h.misses <- h.misses + 1;
+      run_break h;
       Telemetry.bump Telemetry.Counter.Btree_hint_misses;
       let visited = ref sentinel in
       iter_from_plain ~visited ~strict:false f t key;
@@ -566,4 +621,43 @@ let check_invariants t =
     | None -> ()
     | Some _ -> fail "root has a parent");
     go t.root 0 None None
+  end
+
+(* Full structural report; root-only tree has height 1, like the functor's
+   [stats].  Quiescent traversal. *)
+let shape t =
+  if is_empty t then Tree_shape.empty ~capacity:t.capacity
+  else begin
+    let rec depth n = if is_leaf n then 1 else 1 + depth n.children.(0) in
+    let h = depth t.root in
+    let level_nodes = Array.make h 0 in
+    let level_keys = Array.make h 0 in
+    let fill_deciles = Array.make 10 0 in
+    let elements = ref 0 and nodes = ref 0 and leaves = ref 0 in
+    let rec go n d =
+      incr nodes;
+      elements := !elements + n.nkeys;
+      level_nodes.(d) <- level_nodes.(d) + 1;
+      level_keys.(d) <- level_keys.(d) + n.nkeys;
+      let dec = n.nkeys * 10 / t.capacity in
+      let dec = if dec > 9 then 9 else dec in
+      fill_deciles.(dec) <- fill_deciles.(dec) + 1;
+      if is_leaf n then incr leaves
+      else
+        for i = 0 to n.nkeys do
+          go n.children.(i) (d + 1)
+        done
+    in
+    go t.root 0;
+    {
+      Tree_shape.elements = !elements;
+      nodes = !nodes;
+      leaves = !leaves;
+      height = h;
+      capacity = t.capacity;
+      fill = float_of_int !elements /. float_of_int (!nodes * t.capacity);
+      level_nodes;
+      level_keys;
+      fill_deciles;
+    }
   end

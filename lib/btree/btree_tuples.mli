@@ -33,6 +33,12 @@ val make_hints : unit -> hints
 val hint_counters : hints -> int * int
 (** (hits, misses) over all operation kinds. *)
 
+val hint_run_hist : hints -> int array
+(** Hint-locality distribution: log2-bucketed lengths of uninterrupted hit
+    runs (bucket [b>0] holds runs of [2^(b-1)..2^b-1] hits; bucket 0 counts
+    misses that immediately followed a miss).  The still-open run, if any,
+    is counted as if it closed now. *)
+
 val insert : ?hints:hints -> t -> int array -> bool
 (** Thread-safe against concurrent inserts. *)
 
@@ -47,3 +53,7 @@ val iter_from : ?hints:hints -> (int array -> bool) -> t -> int array -> unit
 
 val to_list : t -> int array list
 val check_invariants : t -> unit
+
+val shape : t -> Tree_shape.t
+(** Full structural report (per-level node counts, fill-factor deciles);
+    root-only tree has height 1.  Quiescent use only. *)

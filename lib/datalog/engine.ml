@@ -106,6 +106,20 @@ let hint_rate t =
     if h + m = 0 then Some 0.0
     else Some (float_of_int h /. float_of_int (h + m))
 
+let tree_shapes t =
+  let r = result_exn t in
+  Array.to_list r.Eval.relations
+  |> List.filter_map (fun rel ->
+         match Relation.shape rel with
+         | Some s when s.Tree_shape.nodes > 0 -> Some (Relation.name rel, s)
+         | _ -> None)
+
+let hint_run_hist t =
+  let r = result_exn t in
+  Array.fold_left
+    (fun acc rel -> Storage.Index.merge_runs acc (Relation.hint_runs rel))
+    None r.Eval.relations
+
 let stats t = Option.map Dl_stats.snapshot t.stats
 let rule_profile t = (result_exn t).Eval.profile
 let kind t = t.kind

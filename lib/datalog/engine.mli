@@ -65,6 +65,14 @@ val hint_rate : t -> float option
     {!run}); [None] when the storage kind has no hints.  Reproduces the
     section 4.3 hint hit-rate statistics. *)
 
+val tree_shapes : t -> (string * Tree_shape.t) list
+(** Structural report of every non-empty B-tree-backed relation, keyed by
+    relation name (after {!run}); empty for non-B-tree storage kinds. *)
+
+val hint_run_hist : t -> int array option
+(** Hint-locality distribution (log2-bucketed hit-run lengths) summed over
+    every cursor of every relation; [None] for unhinted storage kinds. *)
+
 val rule_profile : t -> Eval.rule_profile list
 (** Per rule-version cumulative evaluation times, hottest first (after
     {!run}); empty unless created with [~profile:true]. *)

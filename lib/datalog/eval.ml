@@ -312,6 +312,8 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
         Array.iter (fun p -> news.(p) <- Some (fresh_rel p)) stratum;
         (* one fixed-point round: evaluate [rules], promote, report delta *)
         let round rules =
+          (* histogram timing is counter-gated, span timing trace-gated *)
+          let h_round = Telemetry.hist_time () in
           let t_round = Telemetry.span_start () in
           let t_rules = Telemetry.span_start () in
           List.iter eval_rule rules;
@@ -329,6 +331,7 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
                 ("delta_tuples", Telemetry.A_int delta);
               ]
             ~cat:"eval" "eval.iteration" t_round;
+          Telemetry.hist_end Telemetry.Hist.Eval_iteration_ns h_round;
           delta > 0
         in
         let continue = ref (round seed) in

@@ -97,6 +97,12 @@ let hint_counters t =
   in
   Array.fold_left (fun acc idx -> add acc idx) (add None t.primary) t.distinct
 
+let shape t = Storage.Index.shape t.primary
+
+let hint_runs t =
+  let add acc idx = Storage.Index.merge_runs acc (Storage.Index.hint_runs idx) in
+  Array.fold_left (fun acc idx -> add acc idx) (add None t.primary) t.distinct
+
 let index_count t = Array.length t.distinct
 
 let sig_id t cols =

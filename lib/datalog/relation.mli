@@ -44,6 +44,14 @@ val hint_counters : t -> (int * int) option
 (** Aggregated (hits, misses) of every hint-carrying cursor over all of the
     relation's indexes; [None] for hint-less storage kinds. *)
 
+val shape : t -> Tree_shape.t option
+(** Structural report of the primary index's tree; [None] for non-B-tree
+    storage kinds.  Quiescent use only. *)
+
+val hint_runs : t -> int array option
+(** Hint-locality distribution summed over every cursor of every index of
+    the relation; [None] when the storage kind is unhinted. *)
+
 val sig_id : t -> int array -> int
 (** Index id of a signature for {!Cursor.scan}; [-1] denotes the primary.
     @raise Not_found if the signature was not declared at creation. *)

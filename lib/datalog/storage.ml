@@ -108,7 +108,15 @@ module Index = struct
     i_is_empty : unit -> bool;
     i_cursor : unit -> cursor;
     i_hint_counters : unit -> (int * int) option;
+    i_shape : unit -> Tree_shape.t option; (* B-tree kinds only *)
+    i_hint_runs : unit -> int array option; (* hinted B-tree kinds only *)
   }
+
+  (* element-wise sum of equal-length hint-run histograms *)
+  let merge_runs a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Array.mapi (fun i v -> v + b.(i)) a)
 
   let count c = Atomic.incr c
 
@@ -205,6 +213,14 @@ module Index = struct
                    let h', m' = Btree_tuples.hint_counters hr in
                    (h + h', m + m'))
                  (0, 0) !hint_registry));
+      i_shape = (fun () -> Some (Btree_tuples.shape tree));
+      i_hint_runs =
+        (fun () ->
+          if not hints then None
+          else
+            List.fold_left
+              (fun acc hr -> merge_runs acc (Some (Btree_tuples.hint_run_hist hr)))
+              None !hint_registry);
     }
 
   let make_rbtree ~arity ~cols ~order ~stats =
@@ -246,6 +262,8 @@ module Index = struct
       i_is_empty = (fun () -> T.is_empty tree);
       i_cursor = cursor;
       i_hint_counters = (fun () -> None);
+      i_shape = (fun () -> None);
+      i_hint_runs = (fun () -> None);
     }
 
   let make_bplus ~arity ~cols ~order ~stats =
@@ -287,6 +305,8 @@ module Index = struct
       i_is_empty = (fun () -> T.is_empty tree);
       i_cursor = cursor;
       i_hint_counters = (fun () -> None);
+      i_shape = (fun () -> None);
+      i_hint_runs = (fun () -> None);
     }
 
   (* ---------------- hash kinds ---------------- *)
@@ -328,6 +348,8 @@ module Index = struct
         i_is_empty = (fun () -> H.cardinal set = 0);
         i_cursor = cursor;
         i_hint_counters = (fun () -> None);
+      i_shape = (fun () -> None);
+      i_hint_runs = (fun () -> None);
       }
     end
     else begin
@@ -372,6 +394,8 @@ module Index = struct
         i_is_empty = (fun () -> Tuple_tbl.length tbl = 0);
         i_cursor = cursor;
         i_hint_counters = (fun () -> None);
+      i_shape = (fun () -> None);
+      i_hint_runs = (fun () -> None);
       }
     end
 
@@ -403,6 +427,8 @@ module Index = struct
         i_is_empty = (fun () -> H.cardinal set = 0);
         i_cursor = cursor;
         i_hint_counters = (fun () -> None);
+      i_shape = (fun () -> None);
+      i_hint_runs = (fun () -> None);
       }
     end
     else begin
@@ -466,6 +492,8 @@ module Index = struct
             Array.for_all (fun (_, tbl) -> Tuple_tbl.length tbl = 0) stripes);
         i_cursor = cursor;
         i_hint_counters = (fun () -> None);
+      i_shape = (fun () -> None);
+      i_hint_runs = (fun () -> None);
       }
     end
 
@@ -503,6 +531,8 @@ module Index = struct
     | Tbb_hash -> make_tbb ~arity ~cols ~stats
 
   let hint_counters t = t.i_hint_counters ()
+  let shape t = t.i_shape ()
+  let hint_runs t = t.i_hint_runs ()
   let is_empty t = t.i_is_empty ()
   exception Phase_violation of string
 
@@ -561,6 +591,8 @@ module Index = struct
       i_is_empty = t.i_is_empty;
       i_cursor = (fun () -> wrap_cursor (t.i_cursor ()));
       i_hint_counters = t.i_hint_counters;
+      i_shape = t.i_shape;
+      i_hint_runs = t.i_hint_runs;
     }
 
   let insert t tup = t.i_insert tup

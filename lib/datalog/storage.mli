@@ -92,6 +92,18 @@ module Index : sig
       index — the paper's section 4.3 hint hit-rate statistic.  [None] for
       storage kinds without operation hints. *)
 
+  val shape : t -> Tree_shape.t option
+  (** Structural report of the underlying tree; [None] for non-B-tree
+      kinds.  Quiescent use only. *)
+
+  val hint_runs : t -> int array option
+  (** Hint-locality distribution ({!Btree_tuples.hint_run_hist}) summed
+      over every cursor ever created on this index; [None] for unhinted
+      kinds or when no cursor was created. *)
+
+  val merge_runs : int array option -> int array option -> int array option
+  (** Element-wise sum of two optional {!hint_runs} histograms. *)
+
   exception Phase_violation of string
 
   val with_phase_check : name:string -> t -> t

@@ -75,11 +75,20 @@ let try_start_write l =
   is_even v && Atomic.compare_and_set l.version v (v + 1)
 
 let start_write l =
-  let b = Backoff.create () in
-  while not (try_start_write l) do
+  (* Uncontended acquisitions take the first CAS and pay no timing cost;
+     only the contended path measures its wait (first failure to success)
+     into the write-wait histogram. *)
+  if not (try_start_write l) then begin
+    let t0 = Telemetry.hist_time () in
+    let b = Backoff.create () in
     Telemetry.bump Telemetry.Counter.Olock_write_spins;
-    Backoff.once b
-  done
+    Backoff.once b;
+    while not (try_start_write l) do
+      Telemetry.bump Telemetry.Counter.Olock_write_spins;
+      Backoff.once b
+    done;
+    Telemetry.hist_end Telemetry.Hist.Olock_write_wait_ns t0
+  end
 
 let end_write l = ignore (Atomic.fetch_and_add l.version 1 : int)
 

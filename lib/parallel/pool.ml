@@ -139,6 +139,7 @@ let run ?(label = "job") p f =
     Telemetry.bump Telemetry.Counter.Pool_jobs;
     Telemetry.add Telemetry.Counter.Pool_busy_ns total_busy;
     Telemetry.add Telemetry.Counter.Pool_wall_ns (wall * p.size);
+    Telemetry.hist_record Telemetry.Hist.Pool_job_ns wall;
     Telemetry.span_end
       ~args:
         [

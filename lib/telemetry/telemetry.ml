@@ -340,6 +340,97 @@ module Counter = struct
     | Eval_iterations -> "eval.iterations"
     | Eval_rule_evals -> "eval.rule_evals"
     | Eval_delta_tuples -> "eval.delta_tuples"
+
+  (* Unit metadata: most counters are event counts, but the pool time
+     accumulators are nanosecond totals.  Exporters use this to render
+     durations instead of raw tick counts. *)
+  type unit_kind = Count | Nanoseconds
+
+  let unit_of = function
+    | Pool_busy_ns | Pool_wall_ns -> Nanoseconds
+    | _ -> Count
+end
+
+(* ------------------------------------------------------------------ *)
+(* Latency histograms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Hist = struct
+  type t =
+    | Btree_insert_ns
+    | Btree_find_ns
+    | Btree_bound_ns
+    | Olock_write_wait_ns
+    | Pool_job_ns
+    | Eval_iteration_ns
+
+  let all =
+    [
+      Btree_insert_ns; Btree_find_ns; Btree_bound_ns; Olock_write_wait_ns;
+      Pool_job_ns; Eval_iteration_ns;
+    ]
+
+  let index = function
+    | Btree_insert_ns -> 0
+    | Btree_find_ns -> 1
+    | Btree_bound_ns -> 2
+    | Olock_write_wait_ns -> 3
+    | Pool_job_ns -> 4
+    | Eval_iteration_ns -> 5
+
+  let count = List.length all
+
+  let name = function
+    | Btree_insert_ns -> "btree.insert_ns"
+    | Btree_find_ns -> "btree.find_ns"
+    | Btree_bound_ns -> "btree.lower_bound_ns"
+    | Olock_write_wait_ns -> "olock.write_wait_ns"
+    | Pool_job_ns -> "pool.job_ns"
+    | Eval_iteration_ns -> "eval.iteration_ns"
+
+  (* Per-op B-tree sites fire millions of times per second, so they are
+     sampled 1-in-2^shift (the clock_gettime pair would otherwise dominate
+     the operation it measures).  The coarse sites record every event:
+     olock write waits are contention (rare by construction), pool jobs and
+     eval iterations are milliseconds apart. *)
+  let sample_shift = function
+    | Btree_insert_ns | Btree_find_ns | Btree_bound_ns -> 6
+    | Olock_write_wait_ns | Pool_job_ns | Eval_iteration_ns -> 0
+
+  (* Log-linear (HDR-style) bucketing: values below [2^sub_bits] get exact
+     buckets; above, each power-of-two octave is divided into [2^sub_bits]
+     equal sub-buckets, bounding the relative quantile error by
+     2^-sub_bits.  400 buckets cover [0, 2^52) ns — over a month. *)
+  let sub_bits = 3
+  let sub_buckets = 1 lsl sub_bits
+  let bucket_count = 400
+
+  let bucket_of_value v =
+    let v = if v < 0 then 0 else v in
+    if v < sub_buckets then v
+    else begin
+      (* position of the highest set bit of [v]; >= sub_bits here *)
+      let o = ref sub_bits and x = ref (v lsr sub_bits) in
+      while !x > 1 do
+        x := !x lsr 1;
+        incr o
+      done;
+      let b =
+        ((!o - sub_bits + 1) lsl sub_bits) + (v lsr (!o - sub_bits)) - sub_buckets
+      in
+      if b >= bucket_count then bucket_count - 1 else b
+    end
+
+  (* [lo, hi) of a bucket; inverse of [bucket_of_value] (the top bucket also
+     absorbs every clamped value above its nominal range). *)
+  let bucket_bounds b =
+    if b < sub_buckets then (b, b + 1)
+    else begin
+      let o = (b lsr sub_bits) + sub_bits - 1 in
+      let width = 1 lsl (o - sub_bits) in
+      let lo = (sub_buckets + (b land (sub_buckets - 1))) * width in
+      (lo, lo + width)
+    end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -365,9 +456,37 @@ type event = {
 type shard = {
   sh_domain : int;
   counts : int array; (* plain mutable: single-writer, racy readers *)
+  hist_counts : int array; (* flat [Hist.count * Hist.bucket_count] *)
+  hist_sum : int array; (* per-histogram ns totals *)
+  hist_max : int array; (* per-histogram exact maxima *)
+  hist_n : int array; (* per-histogram sample counts *)
+  mutable sh_rng : int; (* xorshift state for the sampling decision *)
   mutable events : event array; (* grow-only buffer, [sh_nev] used *)
   mutable sh_nev : int;
 }
+
+(* Deterministic per-shard sampling: a private xorshift stream seeded from a
+   global seed mixed with the domain id, so a fixed seed reproduces the same
+   sample set run-to-run (single-domain) and shards never share state. *)
+let hist_seed = ref 0x7FB5D329
+
+let mix_seed seed d =
+  let z = (seed + ((d + 1) * 0x9E3779B9)) land max_int in
+  let z = z lxor (z lsr 16) in
+  let z = z * 0x85EBCA6B land max_int in
+  let z = z lxor (z lsr 13) in
+  let z = z * 0xC2B2AE35 land max_int in
+  let z = z lxor (z lsr 16) in
+  if z = 0 then 0x2545F491 else z
+
+let rng_next sh =
+  let r = sh.sh_rng in
+  let r = r lxor (r lsl 13) land max_int in
+  let r = r lxor (r lsr 7) in
+  let r = r lxor (r lsl 17) land max_int in
+  let r = if r = 0 then 0x2545F491 else r in
+  sh.sh_rng <- r;
+  r
 
 let dummy_event =
   { ev_name = ""; ev_cat = ""; ev_ph = 'i'; ev_ts = 0; ev_dur = 0; ev_tid = 0; ev_args = [] }
@@ -379,16 +498,27 @@ let registry_mutex = Mutex.create ()
 
 let shard_key =
   Domain.DLS.new_key (fun () ->
+      let d = (Domain.self () :> int) in
       let sh =
         {
-          sh_domain = (Domain.self () :> int);
+          sh_domain = d;
           counts = Array.make Counter.count 0;
+          hist_counts = Array.make (Hist.count * Hist.bucket_count) 0;
+          hist_sum = Array.make Hist.count 0;
+          hist_max = Array.make Hist.count 0;
+          hist_n = Array.make Hist.count 0;
+          sh_rng = mix_seed !hist_seed d;
           events = Array.make 64 dummy_event;
           sh_nev = 0;
         }
       in
       Mutex.protect registry_mutex (fun () -> registry := sh :: !registry);
       sh)
+
+let set_hist_seed s =
+  hist_seed := s;
+  Mutex.protect registry_mutex (fun () ->
+      List.iter (fun sh -> sh.sh_rng <- mix_seed s sh.sh_domain) !registry)
 
 (* Master switches.  Plain refs: they are flipped only from quiescent code
    (before/after parallel sections); racy readers seeing a stale value skip
@@ -412,6 +542,12 @@ let reset () =
       List.iter
         (fun sh ->
           Array.fill sh.counts 0 Counter.count 0;
+          Array.fill sh.hist_counts 0 (Array.length sh.hist_counts) 0;
+          Array.fill sh.hist_sum 0 Hist.count 0;
+          Array.fill sh.hist_max 0 Hist.count 0;
+          Array.fill sh.hist_n 0 Hist.count 0;
+          (* reseed so a fixed seed makes sampling reproducible post-reset *)
+          sh.sh_rng <- mix_seed !hist_seed sh.sh_domain;
           sh.sh_nev <- 0)
         !registry)
 
@@ -429,6 +565,36 @@ let add c n =
     let i = Counter.index c in
     Array.unsafe_set sh.counts i (Array.unsafe_get sh.counts i + n)
   end
+
+(* Histogram recording.  [hist_start] makes the sampling decision (behind the
+   master flag: disabled cost is one load + one branch, returning 0);
+   [hist_end] is a no-op unless the matching start actually sampled. *)
+
+let hist_record m d =
+  if !counters_on then begin
+    let sh = Domain.DLS.get shard_key in
+    let d = if d < 0 then 0 else d in
+    let i = Hist.index m in
+    let b = (i * Hist.bucket_count) + Hist.bucket_of_value d in
+    Array.unsafe_set sh.hist_counts b (Array.unsafe_get sh.hist_counts b + 1);
+    sh.hist_sum.(i) <- sh.hist_sum.(i) + d;
+    if d > sh.hist_max.(i) then sh.hist_max.(i) <- d;
+    sh.hist_n.(i) <- sh.hist_n.(i) + 1
+  end
+
+let hist_start m =
+  if not !counters_on then 0
+  else begin
+    let shift = Hist.sample_shift m in
+    if shift = 0 then now_ns ()
+    else begin
+      let sh = Domain.DLS.get shard_key in
+      if rng_next sh land ((1 lsl shift) - 1) = 0 then now_ns () else 0
+    end
+  end
+
+let hist_end m t0 = if t0 > 0 then hist_record m (now_ns () - t0)
+let hist_time () = if !counters_on then now_ns () else 0
 
 let record ev =
   let sh = Domain.DLS.get shard_key in
@@ -486,9 +652,17 @@ let counter_sample ?cat name value =
 (* Snapshots                                                          *)
 (* ------------------------------------------------------------------ *)
 
+type hist = {
+  h_counts : int array; (* [Hist.bucket_count], merged over shards *)
+  h_total : int;
+  h_sum : int; (* ns *)
+  h_max : int; (* exact, not bucketed *)
+}
+
 type snapshot = {
   per_domain : (int * int array) list; (* domain id, per-counter counts *)
   totals : int array;
+  hists : hist array; (* indexed by [Hist.index] *)
 }
 
 let snapshot () =
@@ -508,7 +682,32 @@ let snapshot () =
     List.filter (fun (_, c) -> Array.exists (fun x -> x <> 0) c) per_domain
   in
   let per_domain = List.sort (fun (a, _) (b, _) -> compare a b) per_domain in
-  { per_domain; totals }
+  (* merge histogram shards (all shards, including count-silent ones) *)
+  let hb = Array.make (Hist.count * Hist.bucket_count) 0 in
+  let hsum = Array.make Hist.count 0 in
+  let hmax = Array.make Hist.count 0 in
+  let hn = Array.make Hist.count 0 in
+  List.iter
+    (fun sh ->
+      for i = 0 to Array.length hb - 1 do
+        hb.(i) <- hb.(i) + sh.hist_counts.(i)
+      done;
+      for i = 0 to Hist.count - 1 do
+        hsum.(i) <- hsum.(i) + sh.hist_sum.(i);
+        if sh.hist_max.(i) > hmax.(i) then hmax.(i) <- sh.hist_max.(i);
+        hn.(i) <- hn.(i) + sh.hist_n.(i)
+      done)
+    shards;
+  let hists =
+    Array.init Hist.count (fun i ->
+        {
+          h_counts = Array.sub hb (i * Hist.bucket_count) Hist.bucket_count;
+          h_total = hn.(i);
+          h_sum = hsum.(i);
+          h_max = hmax.(i);
+        })
+  in
+  { per_domain; totals; hists }
 
 let get s c = s.totals.(Counter.index c)
 
@@ -516,12 +715,58 @@ let hint_hit_rate s =
   let h = get s Counter.Btree_hint_hits and m = get s Counter.Btree_hint_misses in
   if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
 
+let hist_of s m = s.hists.(Hist.index m)
+
+(* Quantile estimate: midpoint of the bucket holding the rank-q sample,
+   clamped to the exact tracked maximum (keeps p99 <= max even when the max
+   sits low inside its bucket). *)
+let hist_quantile h q =
+  if h.h_total = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.h_total)) in
+      if r < 1 then 1 else r
+    in
+    let rec go b acc =
+      if b >= Hist.bucket_count then h.h_max
+      else begin
+        let acc = acc + h.h_counts.(b) in
+        if acc >= rank then begin
+          let lo, hi = Hist.bucket_bounds b in
+          let mid = (lo + hi - 1) / 2 in
+          if mid > h.h_max then h.h_max else mid
+        end
+        else go (b + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+let hist_mean h =
+  if h.h_total = 0 then 0.0
+  else float_of_int h.h_sum /. float_of_int h.h_total
+
 let imbalance s =
   (* ratio of summed worker busy time to summed job wall time x workers is
      job-dependent; report busy/wall, a utilisation proxy: 1.0 = perfectly
      balanced pool, lower = idle workers *)
   let busy = get s Counter.Pool_busy_ns and wall = get s Counter.Pool_wall_ns in
   if wall = 0 then 1.0 else float_of_int busy /. float_of_int wall
+
+(* Human-readable duration for ns-valued counters and quantiles. *)
+let ns_string ns =
+  let f = float_of_int ns in
+  if ns >= 1_000_000_000 then Printf.sprintf "%.3fs" (f /. 1e9)
+  else if ns >= 1_000_000 then Printf.sprintf "%.3fms" (f /. 1e6)
+  else if ns >= 1_000 then Printf.sprintf "%.3fus" (f /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+(* "pool.busy_ns" -> "pool.busy" (value rendered as a duration instead). *)
+let chop_ns_suffix n =
+  if String.length n > 3 && String.sub n (String.length n - 3) 3 = "_ns" then
+    String.sub n 0 (String.length n - 3)
+  else n
 
 let pp_snapshot fmt s =
   let pr fmt_str = Format.fprintf fmt fmt_str in
@@ -531,37 +776,196 @@ let pp_snapshot fmt s =
   List.iter
     (fun c ->
       let v = get s c in
-      if v <> 0 then pr "  %-28s %d@," (Counter.name c) v)
+      if v <> 0 then
+        match Counter.unit_of c with
+        | Counter.Count -> pr "  %-28s %d@," (Counter.name c) v
+        | Counter.Nanoseconds ->
+          pr "  %-28s %s@," (chop_ns_suffix (Counter.name c)) (ns_string v))
     Counter.all;
   pr "  %-28s %.1f%%@," "btree.hint_hit_rate" (100.0 *. hint_hit_rate s);
   pr "  %-28s %.2f@," "pool.utilisation" (imbalance s);
-  pr "per-domain breakdown (aborts / restarts / splits / hint hits+misses):@,";
-  List.iter
-    (fun (d, counts) ->
-      let g c = counts.(Counter.index c) in
-      pr
-        "  domain %-3d  val_fail=%d upg_fail=%d wr_abort=%d restarts=%d \
-         splits=%d/%d/%d hints=%d+%d@,"
-        d
-        (g Counter.Olock_validation_failures)
-        (g Counter.Olock_upgrade_failures)
-        (g Counter.Olock_write_aborts)
-        (g Counter.Btree_restarts)
-        (g Counter.Btree_leaf_splits)
-        (g Counter.Btree_inner_splits)
-        (g Counter.Btree_root_splits)
-        (g Counter.Btree_hint_hits)
-        (g Counter.Btree_hint_misses))
-    s.per_domain;
+  if List.exists (fun m -> (hist_of s m).h_total > 0) Hist.all then begin
+    pr "latency (sampled):@,";
+    List.iter
+      (fun m ->
+        let h = hist_of s m in
+        if h.h_total > 0 then
+          pr "  %-28s n=%-8d p50=%-9s p90=%-9s p99=%-9s max=%s@," (Hist.name m)
+            h.h_total
+            (ns_string (hist_quantile h 0.5))
+            (ns_string (hist_quantile h 0.9))
+            (ns_string (hist_quantile h 0.99))
+            (ns_string h.h_max))
+      Hist.all
+  end;
+  (* a single-domain breakdown repeats the aggregate line for line — skip it *)
+  if List.length s.per_domain > 1 then begin
+    pr "per-domain breakdown (aborts / restarts / splits / hint hits+misses):@,";
+    List.iter
+      (fun (d, counts) ->
+        let g c = counts.(Counter.index c) in
+        pr
+          "  domain %-3d  val_fail=%d upg_fail=%d wr_abort=%d restarts=%d \
+           splits=%d/%d/%d hints=%d+%d@,"
+          d
+          (g Counter.Olock_validation_failures)
+          (g Counter.Olock_upgrade_failures)
+          (g Counter.Olock_write_aborts)
+          (g Counter.Btree_restarts)
+          (g Counter.Btree_leaf_splits)
+          (g Counter.Btree_inner_splits)
+          (g Counter.Btree_root_splits)
+          (g Counter.Btree_hint_hits)
+          (g Counter.Btree_hint_misses))
+      s.per_domain
+  end;
   pr "@]"
 
 let counters_json s =
   Json.Obj
-    (List.map (fun c -> (Counter.name c, Json.Int (get s c))) Counter.all
+    (List.map
+       (fun c ->
+         let v = get s c in
+         match Counter.unit_of c with
+         | Counter.Count -> (Counter.name c, Json.Int v)
+         | Counter.Nanoseconds ->
+           (* export as seconds under an "_s" name, e.g. "pool.busy_s" *)
+           (chop_ns_suffix (Counter.name c) ^ "_s", Json.Float (float_of_int v /. 1e9)))
+       Counter.all
     @ [
         ("btree.hint_hit_rate", Json.Float (hint_hit_rate s));
         ("pool.utilisation", Json.Float (imbalance s));
       ])
+
+let histograms_json s =
+  Json.Obj
+    (List.filter_map
+       (fun m ->
+         let h = hist_of s m in
+         if h.h_total = 0 then None
+         else begin
+           let buckets = ref [] in
+           for b = Hist.bucket_count - 1 downto 0 do
+             let c = h.h_counts.(b) in
+             if c > 0 then begin
+               let lo, hi = Hist.bucket_bounds b in
+               buckets := Json.List [ Json.Int lo; Json.Int hi; Json.Int c ] :: !buckets
+             end
+           done;
+           Some
+             ( Hist.name m,
+               Json.Obj
+                 [
+                   ("count", Json.Int h.h_total);
+                   ("sample_period", Json.Int (1 lsl Hist.sample_shift m));
+                   ("sum_ns", Json.Int h.h_sum);
+                   ("mean_ns", Json.Float (hist_mean h));
+                   ("p50_ns", Json.Int (hist_quantile h 0.5));
+                   ("p90_ns", Json.Int (hist_quantile h 0.9));
+                   ("p99_ns", Json.Int (hist_quantile h 0.99));
+                   ("max_ns", Json.Int h.h_max);
+                   (* nonzero buckets only, as [lo, hi, count] triples *)
+                   ("buckets", Json.List !buckets);
+                 ] )
+         end)
+       Hist.all)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Prom = struct
+  type t = { buf : Buffer.t; seen : (string, unit) Hashtbl.t }
+
+  let create () = { buf = Buffer.create 1024; seen = Hashtbl.create 32 }
+
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+
+  let number v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else if Float.is_finite v then Printf.sprintf "%.9g" v
+    else if v > 0.0 then "+Inf"
+    else if v < 0.0 then "-Inf"
+    else "NaN"
+
+  (* HELP/TYPE are emitted once per metric family, on first use. *)
+  let header t ?help name typ =
+    if not (Hashtbl.mem t.seen name) then begin
+      Hashtbl.add t.seen name ();
+      (match help with
+      | Some h -> Buffer.add_string t.buf (Printf.sprintf "# HELP %s %s\n" name h)
+      | None -> ());
+      Buffer.add_string t.buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+    end
+
+  let labels_string = function
+    | [] -> ""
+    | l ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v) l)
+      ^ "}"
+
+  let line t name labels v =
+    Buffer.add_string t.buf (name ^ labels_string labels ^ " " ^ number v ^ "\n")
+
+  let metric t ?help ~typ ?(labels = []) name v =
+    let name = sanitize name in
+    header t ?help name typ;
+    line t name labels v
+
+  let counter t ?help ?labels name v = metric t ?help ~typ:"counter" ?labels name v
+  let gauge t ?help ?labels name v = metric t ?help ~typ:"gauge" ?labels name v
+  let to_string t = Buffer.contents t.buf
+end
+
+let prometheus_of_snapshot ?(prefix = "repro") prom s =
+  let base n = prefix ^ "_" ^ Prom.sanitize n in
+  List.iter
+    (fun c ->
+      let v = get s c in
+      match Counter.unit_of c with
+      | Counter.Count ->
+        Prom.counter prom (base (Counter.name c) ^ "_total") (float_of_int v)
+      | Counter.Nanoseconds ->
+        Prom.counter prom
+          (base (chop_ns_suffix (Counter.name c)) ^ "_seconds_total")
+          (float_of_int v /. 1e9))
+    Counter.all;
+  Prom.gauge prom (base "btree.hint_hit_rate") (hint_hit_rate s);
+  Prom.gauge prom (base "pool.utilisation") (imbalance s);
+  List.iter
+    (fun m ->
+      let h = hist_of s m in
+      if h.h_total > 0 then begin
+        let name = base (Hist.name m) in
+        Prom.header prom name "histogram";
+        (* cumulative counts at the inclusive upper bound of each nonzero
+           bucket (values are integral ns, so le = hi - 1) *)
+        let acc = ref 0 in
+        for b = 0 to Hist.bucket_count - 1 do
+          let c = h.h_counts.(b) in
+          if c > 0 then begin
+            acc := !acc + c;
+            let _, hi = Hist.bucket_bounds b in
+            Prom.line prom (name ^ "_bucket")
+              [ ("le", string_of_int (hi - 1)) ]
+              (float_of_int !acc)
+          end
+        done;
+        Prom.line prom (name ^ "_bucket") [ ("le", "+Inf") ] (float_of_int h.h_total);
+        Prom.line prom (name ^ "_sum") [] (float_of_int h.h_sum);
+        Prom.line prom (name ^ "_count") [] (float_of_int h.h_total);
+        Prom.gauge prom (name ^ "_p50") (float_of_int (hist_quantile h 0.5));
+        Prom.gauge prom (name ^ "_p90") (float_of_int (hist_quantile h 0.9));
+        Prom.gauge prom (name ^ "_p99") (float_of_int (hist_quantile h 0.99));
+        Prom.gauge prom (name ^ "_max") (float_of_int h.h_max)
+      end)
+    Hist.all
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace export                                                *)

@@ -82,6 +82,51 @@ module Counter : sig
   val count : int
   val name : t -> string
   (** Dotted lower-case name, e.g. ["olock.upgrade_failures"]. *)
+
+  type unit_kind = Count | Nanoseconds
+
+  val unit_of : t -> unit_kind
+  (** Unit of a counter's value: plain event count, or accumulated
+      nanoseconds ({!Pool_busy_ns}, {!Pool_wall_ns}).  Exporters render
+      nanosecond counters as durations/seconds, not raw counts. *)
+end
+
+(** Latency histogram identities: log-linear (HDR-style) bucketed latency
+    distributions recorded per domain and merged at {!snapshot} time.
+    B-tree per-op sites are sampled (1 in [2^sample_shift] ops, decided by a
+    deterministic per-shard xorshift stream); coarse sites record every
+    event. *)
+module Hist : sig
+  type t =
+    | Btree_insert_ns  (** sampled [insert] latency *)
+    | Btree_find_ns  (** sampled [mem]/[find] latency *)
+    | Btree_bound_ns  (** sampled [lower_bound]/[upper_bound] latency *)
+    | Olock_write_wait_ns
+        (** contended write acquisitions only: time from first failed
+            [try_start_write] to acquisition *)
+    | Pool_job_ns  (** fork-join job wall time *)
+    | Eval_iteration_ns  (** semi-naive fixed-point round wall time *)
+
+  val all : t list
+  val index : t -> int
+  val count : int
+
+  val name : t -> string
+  (** Dotted lower-case name, e.g. ["btree.insert_ns"]. *)
+
+  val sample_shift : t -> int
+  (** Record 1 in [2^shift] events; [0] = record every event. *)
+
+  val bucket_count : int
+
+  val bucket_of_value : int -> int
+  (** Bucket index of a nanosecond value (negative values clamp to 0; huge
+      values clamp to the top bucket).  Exact below [2^3]; above, each
+      power-of-two octave splits into 8 sub-buckets (relative error <= 1/8). *)
+
+  val bucket_bounds : int -> int * int
+  (** [bucket_bounds b] is the half-open value range [\[lo, hi)] of bucket
+      [b]; contiguous across consecutive buckets. *)
 end
 
 (** {1 Switches} *)
@@ -103,6 +148,31 @@ val bump : Counter.t -> unit
     when telemetry is disabled. *)
 
 val add : Counter.t -> int -> unit
+
+(** {1 Latency histograms (hot path)} *)
+
+val hist_start : Hist.t -> int
+(** Sampling decision plus timestamp.  Returns [0] (meaning "not sampled")
+    when telemetry is disabled — one load + one branch — or when the
+    per-shard sampling stream skips this event; otherwise the current
+    {!now_ns}. *)
+
+val hist_end : Hist.t -> int -> unit
+(** [hist_end m t0] records [now_ns () - t0] into [m] if [t0 > 0] (i.e. the
+    matching {!hist_start} sampled); no-op otherwise. *)
+
+val hist_time : unit -> int
+(** Unsampled variant of {!hist_start} for sites that time conditionally
+    (e.g. only the contended path): {!now_ns} when enabled, else [0]. *)
+
+val hist_record : Hist.t -> int -> unit
+(** Record an already-measured duration (ns) directly, e.g. a job wall time
+    that was computed anyway.  Negative durations clamp to 0. *)
+
+val set_hist_seed : int -> unit
+(** Set the seed of the deterministic sampling streams and reseed existing
+    shards; {!reset} also reseeds, so [set_hist_seed s; reset ()] makes a
+    single-domain run reproduce its sample set exactly. *)
 
 (** {1 Phase timers / spans} *)
 
@@ -140,15 +210,30 @@ val counter_sample : ?cat:string -> string -> int -> unit
 
 (** {1 Aggregation} *)
 
+type hist = {
+  h_counts : int array;  (** length {!Hist.bucket_count}, merged over shards *)
+  h_total : int;  (** number of recorded samples *)
+  h_sum : int;  (** summed nanoseconds *)
+  h_max : int;  (** exact maximum (not bucketed) *)
+}
+
 type snapshot = {
   per_domain : (int * int array) list;
       (** (domain id, counts indexed by {!Counter.index}), all-zero shards
           omitted, sorted by domain id *)
   totals : int array;
+  hists : hist array;  (** indexed by {!Hist.index} *)
 }
 
 val snapshot : unit -> snapshot
 val get : snapshot -> Counter.t -> int
+val hist_of : snapshot -> Hist.t -> hist
+
+val hist_quantile : hist -> float -> int
+(** [hist_quantile h q] estimates the [q]-quantile (midpoint of the bucket
+    holding the rank-[q] sample, clamped to [h.h_max]); [0] when empty. *)
+
+val hist_mean : hist -> float
 
 val hint_hit_rate : snapshot -> float
 (** Hits / (hits + misses) over the btree hint counters; [0.] when no
@@ -170,4 +255,38 @@ val export_trace : ?process_name:string -> string -> unit
 (** Write {!trace_json} to a file (open in Perfetto / chrome://tracing). *)
 
 val counters_json : snapshot -> Json.t
+(** Counters as a flat object; nanosecond counters appear in seconds under
+    an ["_s"]-suffixed name (e.g. ["pool.busy_s"]). *)
+
+val histograms_json : snapshot -> Json.t
+(** Non-empty histograms as an object keyed by {!Hist.name}: count,
+    sample_period, sum/mean/p50/p90/p99/max (ns), and the nonzero buckets
+    as [\[lo, hi, count\]] triples. *)
+
 val event_count : unit -> int
+
+(** {1 Prometheus text exposition}
+
+    A tiny builder for the Prometheus text format (HELP/TYPE headers emitted
+    once per metric family, label escaping, gauge/counter lines), used by
+    [datalog_cli --metrics FILE]. *)
+module Prom : sig
+  type t
+
+  val create : unit -> t
+
+  val counter :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+
+  val gauge :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+
+  val to_string : t -> string
+end
+
+val prometheus_of_snapshot : ?prefix:string -> Prom.t -> snapshot -> unit
+(** Append a snapshot to a {!Prom.t} builder: every counter as
+    [<prefix>_<name>_total] (nanosecond counters as [_seconds_total] in
+    seconds), derived gauges, and each non-empty histogram as a Prometheus
+    histogram (cumulative [le] buckets, [_sum], [_count]) plus
+    [_p50]/[_p90]/[_p99]/[_max] gauges.  Default prefix ["repro"]. *)

@@ -623,6 +623,62 @@ let test_concurrent_via_pool () =
       let model = Array.fold_left (fun s k -> ISet.add k s) ISet.empty keys in
       check_int "pool insert cardinal" (ISet.cardinal model) (T.cardinal t))
 
+(* ---------------- tree-shape analytics ---------------- *)
+
+let test_shape_empty () =
+  let sh = T.shape (T.create ()) in
+  check_int "empty height" 0 sh.Tree_shape.height;
+  check_int "empty nodes" 0 sh.Tree_shape.nodes;
+  check_int "empty elements" 0 sh.Tree_shape.elements
+
+let test_shape_matches_stats () =
+  let t = T.create ~capacity:4 () in
+  insert_all t (List.init 1000 Fun.id);
+  T.check_invariants t;
+  let st = T.stats t and sh = T.shape t in
+  check_int "elements agree" st.T.elements sh.Tree_shape.elements;
+  check_int "nodes agree" st.T.nodes sh.Tree_shape.nodes;
+  check_int "leaves agree" st.T.leaves sh.Tree_shape.leaves;
+  check_int "height agrees" st.T.height sh.Tree_shape.height;
+  check_bool "fill agrees" true
+    (Float.abs (st.T.fill -. sh.Tree_shape.fill) < 1e-9);
+  check_int "capacity recorded" 4 sh.Tree_shape.capacity;
+  check_int "one level array entry per level" sh.Tree_shape.height
+    (Array.length sh.Tree_shape.level_nodes);
+  check_int "single root" 1 sh.Tree_shape.level_nodes.(0);
+  check_int "levels sum to nodes" sh.Tree_shape.nodes
+    (Array.fold_left ( + ) 0 sh.Tree_shape.level_nodes);
+  check_int "per-level keys sum to elements" sh.Tree_shape.elements
+    (Array.fold_left ( + ) 0 sh.Tree_shape.level_keys);
+  (* every leaf sits at the bottom level (uniform depth invariant) *)
+  check_int "bottom level holds the leaves" sh.Tree_shape.leaves
+    sh.Tree_shape.level_nodes.(sh.Tree_shape.height - 1);
+  check_int "fill deciles sum to nodes" sh.Tree_shape.nodes
+    (Array.fold_left ( + ) 0 sh.Tree_shape.fill_deciles)
+
+let test_hint_run_hist () =
+  let t = T.create () in
+  let h = T.make_hints () in
+  for i = 0 to 9_999 do
+    ignore (T.insert ~hints:h t i : bool)
+  done;
+  let runs = T.hint_run_hist h in
+  check_int "log2 run buckets" 16 (Array.length runs);
+  let s = T.hint_stats h in
+  let misses = s.T.insert_misses + s.T.find_misses
+               + s.T.lower_bound_misses + s.T.upper_bound_misses in
+  let recorded = Array.fold_left ( + ) 0 runs in
+  (* every miss closes a run; the still-open run adds at most one entry *)
+  check_bool "one run recorded per miss (+ open run)" true
+    (recorded = misses || recorded = misses + 1);
+  (* a sorted insert stream produces long hit runs: some bucket >= 2^3 *)
+  check_bool "long runs observed on sorted stream" true
+    (Array.exists (fun c -> c > 0)
+       (Array.sub runs 4 (Array.length runs - 4)));
+  T.reset_hint_stats h;
+  check_bool "reset clears run histogram" true
+    (Array.for_all (fun c -> c = 0) (T.hint_run_hist h))
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -653,6 +709,12 @@ let () =
           Alcotest.test_case "stats merge" `Quick test_hint_stats_merge;
           Alcotest.test_case "stats multi-domain" `Quick
             test_hint_stats_multi_domain;
+          Alcotest.test_case "run-length histogram" `Quick test_hint_run_hist;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "empty" `Quick test_shape_empty;
+          Alcotest.test_case "matches stats" `Quick test_shape_matches_stats;
         ] );
       ( "bulk",
         [

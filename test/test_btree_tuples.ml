@@ -85,6 +85,47 @@ let test_prefix_scan () =
     t [| 7; min_int |];
   Alcotest.(check (list int)) "row 7" (List.init 20 Fun.id) (List.rev !seen)
 
+let test_shape () =
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] ~capacity:8 () in
+  let sh0 = Btree_tuples.shape t in
+  check_int "empty shape: no nodes" 0 sh0.Tree_shape.nodes;
+  check_int "empty shape: height 0" 0 sh0.Tree_shape.height;
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    ignore (Btree_tuples.insert t [| i / 100; i mod 100 |] : bool)
+  done;
+  Btree_tuples.check_invariants t;
+  let sh = Btree_tuples.shape t in
+  check_int "elements = cardinal" (Btree_tuples.cardinal t)
+    sh.Tree_shape.elements;
+  check_bool "has inner levels" true (sh.Tree_shape.height > 1);
+  check_int "single root" 1 sh.Tree_shape.level_nodes.(0);
+  check_int "levels sum to nodes" sh.Tree_shape.nodes
+    (Array.fold_left ( + ) 0 sh.Tree_shape.level_nodes);
+  check_int "per-level keys sum to elements" sh.Tree_shape.elements
+    (Array.fold_left ( + ) 0 sh.Tree_shape.level_keys);
+  check_int "bottom level holds the leaves" sh.Tree_shape.leaves
+    sh.Tree_shape.level_nodes.(sh.Tree_shape.height - 1);
+  check_int "fill deciles sum to nodes" sh.Tree_shape.nodes
+    (Array.fold_left ( + ) 0 sh.Tree_shape.fill_deciles);
+  check_bool "fill in (0,1]" true
+    (sh.Tree_shape.fill > 0.0 && sh.Tree_shape.fill <= 1.0)
+
+let test_hint_run_hist () =
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  let h = Btree_tuples.make_hints () in
+  for i = 0 to 4_999 do
+    ignore (Btree_tuples.insert ~hints:h t [| i / 100; i mod 100 |] : bool)
+  done;
+  let _, misses = Btree_tuples.hint_counters h in
+  let runs = Btree_tuples.hint_run_hist h in
+  check_int "log2 run buckets" 16 (Array.length runs);
+  let recorded = Array.fold_left ( + ) 0 runs in
+  check_bool "one run per miss (+ open run)" true
+    (recorded = misses || recorded = misses + 1);
+  check_bool "long runs on sorted stream" true
+    (Array.exists (fun c -> c > 0) (Array.sub runs 4 (Array.length runs - 4)))
+
 let test_hinted_ops () =
   let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
   let h = Btree_tuples.make_hints () in
@@ -159,6 +200,8 @@ let () =
           Alcotest.test_case "arity 3" `Quick test_arity3;
           Alcotest.test_case "prefix scan" `Quick test_prefix_scan;
           Alcotest.test_case "hints" `Quick test_hinted_ops;
+          Alcotest.test_case "hint run histogram" `Quick test_hint_run_hist;
+          Alcotest.test_case "shape" `Quick test_shape;
         ] );
       qsuite "properties" [ prop_matches_generic ];
       ( "concurrency",

@@ -223,6 +223,266 @@ let test_counters_json_shape () =
   Telemetry.disable ();
   Telemetry.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Latency histograms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_bucket_boundaries () =
+  let module H = Telemetry.Hist in
+  (* every bucket's range contains the values that map to it, ranges are
+     contiguous, and bucket_of_value is monotone *)
+  let samples =
+    [ 0; 1; 2; 7; 8; 9; 15; 16; 17; 63; 64; 65; 1_000; 1_000_000;
+      123_456_789; max_int / 2 ]
+  in
+  List.iter
+    (fun v ->
+      let b = H.bucket_of_value v in
+      check_bool "bucket index in range" true (b >= 0 && b < H.bucket_count);
+      let lo, hi = H.bucket_bounds b in
+      check_bool
+        (Printf.sprintf "value %d inside its bucket [%d,%d)" v lo hi)
+        true
+        (v >= lo && (v < hi || b = H.bucket_count - 1)))
+    samples;
+  for b = 0 to H.bucket_count - 2 do
+    let _, hi = H.bucket_bounds b in
+    let lo', _ = H.bucket_bounds (b + 1) in
+    check_int (Printf.sprintf "buckets %d/%d contiguous" b (b + 1)) hi lo'
+  done;
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      let b = H.bucket_of_value v in
+      check_bool "bucket_of_value monotone" true (b >= !prev);
+      prev := b)
+    samples;
+  check_int "negative clamps to bucket 0" 0 (H.bucket_of_value (-5))
+
+let test_hist_quantile_monotone () =
+  with_telemetry (fun () ->
+      (* a skewed distribution: many fast ops, a long tail *)
+      for i = 1 to 1_000 do
+        Telemetry.hist_record Telemetry.Hist.Pool_job_ns (100 + (i mod 7))
+      done;
+      for _ = 1 to 20 do
+        Telemetry.hist_record Telemetry.Hist.Pool_job_ns 50_000
+      done;
+      Telemetry.hist_record Telemetry.Hist.Pool_job_ns 9_999_999;
+      let s = Telemetry.snapshot () in
+      let h = Telemetry.hist_of s Telemetry.Hist.Pool_job_ns in
+      check_int "total samples" 1_021 h.Telemetry.h_total;
+      check_int "exact max kept" 9_999_999 h.Telemetry.h_max;
+      let p50 = Telemetry.hist_quantile h 0.5 in
+      let p90 = Telemetry.hist_quantile h 0.9 in
+      let p99 = Telemetry.hist_quantile h 0.99 in
+      check_bool "p50 <= p90" true (p50 <= p90);
+      check_bool "p90 <= p99" true (p90 <= p99);
+      check_bool "p99 <= max" true (p99 <= h.Telemetry.h_max);
+      check_bool "p50 in the fast mode (rel. error <= 1/8)" true
+        (p50 >= 90 && p50 <= 120);
+      check_bool "mean between p50 and max" true
+        (Telemetry.hist_mean h > float_of_int p50
+        && Telemetry.hist_mean h < float_of_int h.Telemetry.h_max))
+
+let test_hist_merge_equals_concat () =
+  (* recording half the values on a spawned domain and half on the main one
+     must merge to the same histogram as recording all of them on one
+     domain *)
+  let values_a = List.init 500 (fun i -> 10 + (i * 17 mod 5_000)) in
+  let values_b = List.init 500 (fun i -> 3 + (i * 101 mod 200_000)) in
+  let record vs =
+    List.iter (Telemetry.hist_record Telemetry.Hist.Eval_iteration_ns) vs
+  in
+  let merged =
+    with_telemetry (fun () ->
+        let d = Domain.spawn (fun () -> record values_b) in
+        record values_a;
+        Domain.join d;
+        let s = Telemetry.snapshot () in
+        Telemetry.hist_of s Telemetry.Hist.Eval_iteration_ns)
+  in
+  let concat =
+    with_telemetry (fun () ->
+        record values_a;
+        record values_b;
+        let s = Telemetry.snapshot () in
+        Telemetry.hist_of s Telemetry.Hist.Eval_iteration_ns)
+  in
+  check_int "totals equal" concat.Telemetry.h_total merged.Telemetry.h_total;
+  check_int "sums equal" concat.Telemetry.h_sum merged.Telemetry.h_sum;
+  check_int "maxima equal" concat.Telemetry.h_max merged.Telemetry.h_max;
+  check_bool "bucket arrays equal" true
+    (merged.Telemetry.h_counts = concat.Telemetry.h_counts)
+
+let test_hist_sampling_deterministic () =
+  (* Btree_insert_ns is sampled 1-in-2^shift by a seeded per-shard stream:
+     the same seed must select the same number of events, and the count
+     must sit strictly between 0 and N *)
+  let n = 20_000 in
+  let run seed =
+    Telemetry.set_hist_seed seed;
+    with_telemetry (fun () ->
+        for _ = 1 to n do
+          let t0 = Telemetry.hist_start Telemetry.Hist.Btree_insert_ns in
+          Telemetry.hist_end Telemetry.Hist.Btree_insert_ns t0
+        done;
+        let s = Telemetry.snapshot () in
+        (Telemetry.hist_of s Telemetry.Hist.Btree_insert_ns).Telemetry.h_total)
+  in
+  let a = run 42 and b = run 42 and c = run 43 in
+  check_int "same seed, same sample count" a b;
+  check_bool "sampling actually thins" true (a > 0 && a < n);
+  let shift = Telemetry.Hist.sample_shift Telemetry.Hist.Btree_insert_ns in
+  check_bool "shift configured for btree inserts" true (shift > 0);
+  let expect = n / (1 lsl shift) in
+  check_bool "sample count near n / 2^shift" true
+    (a > expect / 2 && a < expect * 2);
+  (* different seed may coincide in count but the API must not fail *)
+  check_bool "other seed also thins" true (c > 0 && c < n);
+  Telemetry.set_hist_seed 0x7FB5D329
+
+let test_hist_disabled_records_nothing () =
+  Telemetry.disable ();
+  Telemetry.reset ();
+  check_int "hist_start disabled returns 0" 0
+    (Telemetry.hist_start Telemetry.Hist.Olock_write_wait_ns);
+  check_int "hist_time disabled returns 0" 0 (Telemetry.hist_time ());
+  Telemetry.hist_record Telemetry.Hist.Pool_job_ns 123;
+  let s = Telemetry.snapshot () in
+  check_int "nothing recorded while disabled" 0
+    (Telemetry.hist_of s Telemetry.Hist.Pool_job_ns).Telemetry.h_total
+
+(* ------------------------------------------------------------------ *)
+(* Exporters: v2 metrics JSON and Prometheus text format              *)
+(* ------------------------------------------------------------------ *)
+
+let test_histograms_json_parses_back () =
+  with_telemetry (fun () ->
+      for i = 1 to 100 do
+        Telemetry.hist_record Telemetry.Hist.Eval_iteration_ns (i * 1_000)
+      done;
+      let s = Telemetry.snapshot () in
+      let doc =
+        Telemetry.Json.of_string
+          (Telemetry.Json.to_string (Telemetry.histograms_json s))
+      in
+      let h =
+        match Telemetry.Json.member "eval.iteration_ns" doc with
+        | Some h -> h
+        | None -> Alcotest.fail "eval.iteration_ns missing from JSON"
+      in
+      let int_member k =
+        match Telemetry.Json.member k h with
+        | Some (Telemetry.Json.Int v) -> v
+        | _ -> Alcotest.fail (k ^ " missing or not an int")
+      in
+      check_int "count" 100 (int_member "count");
+      check_int "sum" (5050 * 1_000) (int_member "sum_ns");
+      check_int "max exact" 100_000 (int_member "max_ns");
+      check_bool "quantiles ordered" true
+        (int_member "p50_ns" <= int_member "p90_ns"
+        && int_member "p90_ns" <= int_member "p99_ns"
+        && int_member "p99_ns" <= int_member "max_ns");
+      (* bucket triples [lo; hi; c] must sum back to count *)
+      match Telemetry.Json.member "buckets" h with
+      | Some (Telemetry.Json.List triples) ->
+        let total =
+          List.fold_left
+            (fun acc t ->
+              match t with
+              | Telemetry.Json.List
+                  [ Telemetry.Json.Int lo; Telemetry.Json.Int hi;
+                    Telemetry.Json.Int c ] ->
+                check_bool "bucket range sane" true (lo < hi && c > 0);
+                acc + c
+              | _ -> Alcotest.fail "bucket is not a [lo, hi, count] triple")
+            0 triples
+        in
+        check_int "bucket counts sum to total" 100 total
+      | _ -> Alcotest.fail "buckets missing or not a list")
+
+(* Minimal Prometheus text-format reader for parse-back: returns
+   (name, labels-fragment, value) per sample line. *)
+let parse_prom text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.rindex_opt line ' ' with
+           | None -> None
+           | Some i ->
+             let key = String.sub line 0 i in
+             let v = float_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+             let name, labels =
+               match String.index_opt key '{' with
+               | Some j ->
+                 ( String.sub key 0 j,
+                   String.sub key j (String.length key - j) )
+               | None -> (key, "")
+             in
+             Some (name, labels, v))
+
+let prom_value samples name labels =
+  match
+    List.find_opt (fun (n, l, _) -> n = name && l = labels) samples
+  with
+  | Some (_, _, v) -> v
+  | None -> Alcotest.fail (Printf.sprintf "sample %s%s missing" name labels)
+
+let test_prometheus_parse_back () =
+  with_telemetry (fun () ->
+      for _ = 1 to 7 do
+        Telemetry.bump Telemetry.Counter.Pool_jobs
+      done;
+      Telemetry.add Telemetry.Counter.Pool_busy_ns 2_500_000_000;
+      for i = 1 to 64 do
+        Telemetry.hist_record Telemetry.Hist.Pool_job_ns (i * 100)
+      done;
+      let s = Telemetry.snapshot () in
+      let prom = Telemetry.Prom.create () in
+      Telemetry.prometheus_of_snapshot prom s;
+      Telemetry.Prom.gauge prom
+        ~labels:[ ("relation", "path") ]
+        "repro_btree_shape_height" 3.0;
+      let text = Telemetry.Prom.to_string prom in
+      let samples = parse_prom text in
+      check_bool "counter exported" true
+        (prom_value samples "repro_pool_jobs_total" "" = 7.0);
+      check_bool "ns counter exported in seconds" true
+        (Float.abs (prom_value samples "repro_pool_busy_seconds_total" "" -. 2.5)
+        < 1e-9);
+      check_bool "labelled gauge exported" true
+        (prom_value samples "repro_btree_shape_height" "{relation=\"path\"}"
+        = 3.0);
+      check_bool "+Inf bucket equals count" true
+        (prom_value samples "repro_pool_job_ns_bucket" "{le=\"+Inf\"}" = 64.0);
+      check_bool "histogram count exported" true
+        (prom_value samples "repro_pool_job_ns_count" "" = 64.0);
+      check_bool "histogram sum exported" true
+        (prom_value samples "repro_pool_job_ns_sum" ""
+        = float_of_int (2080 * 100));
+      (* cumulative buckets must be non-decreasing and end at the count *)
+      let buckets =
+        List.filter (fun (n, _, _) -> n = "repro_pool_job_ns_bucket") samples
+      in
+      check_bool "several bucket lines" true (List.length buckets >= 3);
+      let last =
+        List.fold_left
+          (fun prev (_, _, v) ->
+            check_bool "cumulative non-decreasing" true (v >= prev);
+            v)
+          0.0 buckets
+      in
+      check_bool "last cumulative equals count" true (last = 64.0);
+      (* HELP/TYPE headers appear exactly once per family *)
+      let header_lines =
+        String.split_on_char '\n' text
+        |> List.filter (fun l ->
+               l = "# TYPE repro_pool_job_ns histogram")
+      in
+      check_int "one TYPE header per family" 1 (List.length header_lines))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -247,5 +507,25 @@ let () =
           Alcotest.test_case "export parses back" `Quick
             test_trace_export_parses_back;
           Alcotest.test_case "counters json" `Quick test_counters_json_shape;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_hist_bucket_boundaries;
+          Alcotest.test_case "quantile monotonicity" `Quick
+            test_hist_quantile_monotone;
+          Alcotest.test_case "merge equals concat" `Quick
+            test_hist_merge_equals_concat;
+          Alcotest.test_case "deterministic sampling" `Quick
+            test_hist_sampling_deterministic;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_hist_disabled_records_nothing;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "histograms json parses back" `Quick
+            test_histograms_json_parses_back;
+          Alcotest.test_case "prometheus parses back" `Quick
+            test_prometheus_parse_back;
         ] );
     ]

@@ -15,7 +15,7 @@ dune runtest
 
 echo "== bench smoke (telemetry + metrics JSON) =="
 METRICS="${METRICS_JSON:-bench_metrics.json}"
-dune exec bench/main.exe -- --smoke --json "$METRICS"
+dune exec bench/main.exe -- --smoke --record smoke --json "$METRICS"
 
 # Independent sanity check on the artifact: non-empty and parseable by a
 # second implementation when one is around (python3 is optional).
@@ -25,11 +25,31 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     d = json.load(f)
-for key in ("schema_version", "overhead", "counters", "trace"):
+for key in ("schema_version", "overhead", "counters", "trace",
+            "histograms", "tree_shape"):
     if key not in d:
         raise SystemExit(f"ci: metrics JSON missing {key!r}")
-print("ci: metrics JSON ok:", sys.argv[1])
+if d["schema_version"] < 2:
+    raise SystemExit(f"ci: expected schema_version >= 2, got {d['schema_version']}")
+hists = d["histograms"]
+if not hists:
+    raise SystemExit("ci: metrics JSON has no histograms")
+name, h = next(iter(hists.items()))
+for key in ("count", "p50_ns", "p99_ns", "max_ns", "buckets"):
+    if key not in h:
+        raise SystemExit(f"ci: histogram {name!r} missing {key!r}")
+shapes = d["tree_shape"]
+if not shapes:
+    raise SystemExit("ci: metrics JSON has no tree_shape entries")
+rel, sh = next(iter(shapes.items()))
+for key in ("height", "fill"):
+    if key not in sh:
+        raise SystemExit(f"ci: tree_shape {rel!r} missing {key!r}")
+print("ci: metrics JSON ok (v%d):" % d["schema_version"], sys.argv[1])
 PY
 fi
+
+echo "== bench regression check (soft gate) =="
+sh tools/regress.sh BENCH_history.jsonl
 
 echo "== ci passed =="

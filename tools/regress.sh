@@ -1,0 +1,73 @@
+#!/bin/sh
+# Compare the two most recent entries of a bench history trajectory
+# (BENCH_history.jsonl, written by `bench --record NAME`) and warn when a
+# headline metric regressed past a threshold.
+#
+#   sh tools/regress.sh [BENCH_history.jsonl]
+#
+# Environment:
+#   REGRESS_THRESHOLD_PCT  slowdown (in percent) past which a metric counts
+#                          as a regression (default 25 — smoke runs are
+#                          noisy, so the default is deliberately loose).
+#   REGRESS_STRICT         when 1, exit non-zero on regression; the default
+#                          (0) only prints warnings so CI can use this as a
+#                          soft gate.
+set -eu
+
+HIST="${1:-BENCH_history.jsonl}"
+THRESHOLD="${REGRESS_THRESHOLD_PCT:-25}"
+STRICT="${REGRESS_STRICT:-0}"
+
+if [ ! -s "$HIST" ]; then
+  echo "regress: no history at $HIST (run: bench --record NAME); skipping"
+  exit 0
+fi
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "regress: python3 not available; skipping comparison"
+  exit 0
+fi
+
+HIST="$HIST" THRESHOLD="$THRESHOLD" STRICT="$STRICT" python3 <<'EOF'
+import json, os, sys
+
+path = os.environ["HIST"]
+threshold = float(os.environ["THRESHOLD"])
+strict = os.environ["STRICT"] == "1"
+
+entries = []
+with open(path) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+
+if len(entries) < 2:
+    print(f"regress: only {len(entries)} entry in {path}; need 2 to compare")
+    sys.exit(0)
+
+prev, last = entries[-2], entries[-1]
+print(f"regress: comparing {last.get('name')!r} against previous run "
+      f"({len(entries)} entries in {path})")
+
+METRICS = ["eval_seconds", "insert_off_s", "insert_counters_s"]
+regressed = []
+for m in METRICS:
+    a, b = prev.get(m), last.get(m)
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        continue
+    if a <= 0:
+        continue
+    pct = (b - a) / a * 100.0
+    word = "slower" if pct >= 0 else "faster"
+    print(f"regress:   {m}: {a:.6f} -> {b:.6f} ({abs(pct):+.1f}% {word})")
+    if pct > threshold:
+        regressed.append((m, pct))
+
+if regressed:
+    for m, pct in regressed:
+        print(f"regress: WARNING {m} regressed {pct:.1f}% "
+              f"(threshold {threshold:.0f}%)")
+    sys.exit(1 if strict else 0)
+print("regress: OK (no metric past threshold)")
+EOF
