@@ -812,6 +812,72 @@ let smoke cfg =
   let overhead_pct = (d_on -. d_off) /. d_off *. 100.0 in
   pf "insert %d points: %.3fs off, %.3fs counters-on (%+.1f%%)\n"
     (Array.length pts) d_off d_on overhead_pct;
+  (* 1b. batch write path: delta->full sorted-run merge, per-tuple parallel
+     inserts vs the parallel structural merge, on >= 4 domains.  The tree is
+     pre-seeded (so it has internal separators to partition by) and then a
+     large sorted delta is merged — the insert-heavy shape of semi-naive
+     promotion. *)
+  let bdomains = max 4 (min cfg.max_threads 8) in
+  let bpts = random_points { cfg with scale = min cfg.scale 1.0 } 400_000 43 in
+  let btuples = Array.map (fun (x, y) -> [| x; y |]) bpts in
+  let nseed = Array.length btuples / 4 in
+  let seed_tuples = Array.sub btuples 0 nseed in
+  let delta = Array.sub btuples nseed (Array.length btuples - nseed) in
+  let cmp2 a b =
+    let c = compare a.(0) b.(0) in
+    if c <> 0 then c else compare a.(1) b.(1)
+  in
+  Array.sort cmp2 delta;
+  let ndelta = Array.length delta in
+  let prep () =
+    let idx =
+      Storage.Index.create Storage.Btree ~arity:2 ~cols:[||] ~stats:None ()
+    in
+    Array.iter (fun tup -> ignore (Storage.Index.insert idx tup : bool))
+      seed_tuples;
+    idx
+  in
+  let d_single, d_batch, batch_ok =
+    Pool.with_pool bdomains (fun pool ->
+        let single idx =
+          Pool.parallel_for_ranges ~label:"bench_single" pool 0 ndelta
+            (fun _w lo hi ->
+              let cur = Storage.Index.cursor idx in
+              for i = lo to hi - 1 do
+                ignore (Storage.Index.c_insert cur delta.(i) : bool)
+              done)
+        in
+        let batch idx = ignore (Storage.Index.merge ~pool idx delta : int) in
+        (* correctness gate (doubles as warmup): both paths must build the
+           same set *)
+        let card f =
+          let idx = prep () in
+          f idx;
+          Storage.Index.cardinal idx
+        in
+        let cs = card single and cb = card batch in
+        if cs <> cb then
+          failwith
+            (Printf.sprintf "smoke: batch merge built %d tuples, single %d" cb
+               cs);
+        let best3 f =
+          let best = ref infinity in
+          for _ = 1 to 3 do
+            let idx = prep () in
+            Gc.full_major ();
+            let _, d = Bench_util.time (fun () -> f idx) in
+            if d < !best then best := d
+          done;
+          !best
+        in
+        (best3 single, best3 batch, cs = cb))
+  in
+  ignore (batch_ok : bool);
+  let batch_speedup = d_single /. d_batch in
+  pf
+    "sorted-run merge of %d tuples on %d domains: %.3fs per-tuple, %.3fs \
+     batch (%.2fx)\n"
+    ndelta bdomains d_single d_batch batch_speedup;
   (* 2. traced Datalog run *)
   Telemetry.reset ();
   Telemetry.enable ~tracing:true ();
@@ -850,6 +916,16 @@ let smoke cfg =
               ("insert_off_s", Float d_off);
               ("insert_counters_s", Float d_on);
               ("overhead_pct", Float overhead_pct);
+            ] );
+        ( "batch",
+          Obj
+            [
+              ("domains", Int bdomains);
+              ("seed_tuples", Int nseed);
+              ("delta_tuples", Int ndelta);
+              ("single_insert_s", Float d_single);
+              ("batch_merge_s", Float d_batch);
+              ("batch_speedup", Float batch_speedup);
             ] );
         ("eval", Obj [ ("seconds", Float dt);
                        ("iterations", Int (Engine.iterations engine)) ]);
@@ -907,6 +983,9 @@ let smoke cfg =
           ("insert_off_s", Float d_off);
           ("insert_counters_s", Float d_on);
           ("overhead_pct", Float overhead_pct);
+          ("batch_single_s", Float d_single);
+          ("batch_merge_s", Float d_batch);
+          ("batch_speedup", Float batch_speedup);
           ("eval_iteration_p99_ns", Int (p99 Telemetry.Hist.Eval_iteration_ns));
           ("btree_insert_p99_ns", Int (p99 Telemetry.Hist.Btree_insert_ns));
         ]

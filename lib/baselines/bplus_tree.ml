@@ -361,4 +361,33 @@ module Make (K : Key.ORDERED) = struct
           | None -> ());
           prev := Some k)
         t
+
+  let insert_batch t run =
+    let n = Array.length run in
+    for k = 1 to n - 1 do
+      if K.compare run.(k - 1) run.(k) > 0 then
+        invalid_arg "Bplus_tree.insert_batch: run not sorted"
+    done;
+    let fresh = ref 0 in
+    Array.iter (fun k -> if insert t k then incr fresh) run;
+    !fresh
+
+  module As_storage : Storage_intf.S with type elt = key and type t = t =
+  struct
+    type elt = K.t
+    type nonrec t = t
+
+    let create () = create ()
+    let insert = insert
+    let insert_batch = insert_batch
+    let mem = mem
+    let lower_bound = lower_bound
+    let upper_bound = upper_bound
+    let iter = iter
+    let iter_from = iter_from
+    let cardinal = cardinal
+    let is_empty = is_empty
+    let ordered = true
+    let shape _ = None
+  end
 end

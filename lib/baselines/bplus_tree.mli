@@ -36,4 +36,12 @@ module Make (K : Key.ORDERED) : sig
   (** Bulk-build from a strictly increasing array; O(n). *)
 
   val check_invariants : t -> unit
+
+  val insert_batch : t -> key array -> int
+  (** Insert a sorted run (non-decreasing; duplicates skipped); returns the
+      fresh-element count.  A validated insert loop, for {!Storage_intf.S}
+      conformance.  @raise Invalid_argument when the run is not sorted. *)
+
+  (** Storage-backend witness. *)
+  module As_storage : Storage_intf.S with type elt = key and type t = t
 end

@@ -33,4 +33,13 @@ module Make (K : Key.ORDERED) : sig
   val check_invariants : t -> unit
   (** BST order, no red node with a red child, equal black height on all
       paths, black root.  @raise Failure on violation. *)
+
+  val insert_batch : t -> key array -> int
+  (** Insert a sorted run (non-decreasing; duplicates skipped); returns the
+      fresh-element count.  No amortisation here — a validated insert loop,
+      for {!Storage_intf.S} conformance.
+      @raise Invalid_argument when the run is not sorted. *)
+
+  (** Storage-backend witness. *)
+  module As_storage : Storage_intf.S with type elt = key and type t = t
 end

@@ -416,12 +416,18 @@ module Make (K : Key.ORDERED) = struct
       else link_sibling p cur right median
 
   (* Split the full node [node] (write-locked by the caller, who also
-     releases that lock afterwards, cf. Algorithm 1 line 41). *)
-  let split t node =
+     releases that lock afterwards, cf. Algorithm 1 line 41).  Returns the
+     separator that moved up — the batch path uses it as the left half's new
+     exclusive upper bound to keep filling without re-descending. *)
+  let split_returning t node =
     let path = lock_path t node in
     let median, right = split_node t node in
     insert_into_parent t path node right median;
-    unlock_path t path
+    unlock_path t path;
+    ignore (right : node);
+    median
+
+  let split t node = ignore (split_returning t node : key)
 
   (* ------------------------------------------------------------------ *)
   (* Insertion (Algorithm 1)                                            *)
@@ -554,6 +560,196 @@ module Make (K : Key.ORDERED) = struct
     let t0 = Telemetry.hist_start Telemetry.Hist.Btree_insert_ns in
     let r = insert_op ?hints t key in
     Telemetry.hist_end Telemetry.Hist.Btree_insert_ns t0;
+    r
+
+  (* ------------------------------------------------------------------ *)
+  (* Batch insertion (sorted runs)                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  (* The batch path extends the hint mechanism from "retry the last leaf"
+     to "fill the current leaf up to its upper bound": one descent acquires
+     the target leaf's write permit together with the exclusive upper bound
+     of the leaf's responsibility range (the last separator the descent
+     passed on the way down), then consumes run keys until the first key at
+     or past that bound.  The bound snapshot stays authoritative while the
+     leaf's write permit is held, because a node's range only shrinks when
+     that node itself splits — which our permit excludes.  Runs of keys
+     falling into the same inter-key gap are spliced with two blits
+     ([Leaf_pack.splice]); a full leaf is split in place and filling
+     continues in the left half while the run allows it (multi-split). *)
+
+  type batch_target = Bt_dup | Bt_leaf of node * key option
+
+  (* Write-lock the leaf responsible for [key], carrying its exclusive
+     upper bound down the descent ([None] on the rightmost spine).  [Bt_dup]
+     means [key] was found in an inner node. *)
+  let rec batch_locate t key =
+    let rec locate_root () =
+      let root_lease = Olock.start_read t.root_lock in
+      let cur = t.root in
+      let cur_lease = Olock.start_read cur.lock in
+      if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
+      else locate_root ()
+    in
+    let cur, cur_lease = locate_root () in
+    batch_descend t key cur cur_lease None
+
+  and batch_restart t key =
+    Telemetry.bump Telemetry.Counter.Btree_restarts;
+    batch_locate t key
+
+  and batch_descend t key cur cur_lease hi =
+    let n = clamped_nkeys cur in
+    let idx, found = search t cur.keys n key in
+    if not (is_leaf cur) then
+      if found then
+        if Olock.valid cur.lock cur_lease then Bt_dup else batch_restart t key
+      else begin
+        let next = cur.children.(idx) in
+        let hi = if idx < n then Some cur.keys.(idx) else hi in
+        if not (Olock.valid cur.lock cur_lease) then batch_restart t key
+        else begin
+          let next_lease = Olock.start_read next.lock in
+          if not (Olock.valid cur.lock cur_lease) then batch_restart t key
+          else batch_descend t key next next_lease hi
+        end
+      end
+    else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+      batch_restart t key
+    else Bt_leaf (cur, hi)
+
+  (* Consume [run.(i0 ..)] (up to exclusive index [stop_idx]) into the
+     write-locked [leaf] while keys stay below [limit]; returns the next
+     unconsumed index and the fresh count, releasing the write permit. *)
+  let batch_fill t run i0 stop_idx leaf limit0 =
+    let fresh = ref 0 in
+    let i = ref i0 in
+    let limit = ref limit0 in
+    let stop = ref false in
+    while (not !stop) && !i < stop_idx do
+      let key = run.(!i) in
+      let cmp_limit =
+        match !limit with None -> -1 | Some b -> K.compare key b
+      in
+      if cmp_limit = 0 then incr i (* equals a live separator: duplicate *)
+      else if cmp_limit > 0 then stop := true
+      else begin
+        let nk = leaf.nkeys in
+        let idx, found = search t leaf.keys nk key in
+        if found then incr i
+        else if nk >= t.capacity then begin
+          let median = split_returning t leaf in
+          if K.compare key median < 0 then limit := Some median
+          else stop := true (* the rest of the run re-descends *)
+        end
+        else begin
+          (* splice the whole gap group in two blits *)
+          let gap_hi = if idx < nk then Some leaf.keys.(idx) else !limit in
+          let in_gap k =
+            match gap_hi with None -> true | Some b -> K.compare k b < 0
+          in
+          let room = t.capacity - nk in
+          let j = ref (!i + 1) in
+          while
+            !j - !i < room && !j < stop_idx
+            && K.compare run.(!j - 1) run.(!j) < 0
+            && in_gap run.(!j)
+          do
+            incr j
+          done;
+          let glen = !j - !i in
+          Leaf_pack.splice ~keys:leaf.keys ~nkeys:nk ~at:idx ~src:run
+            ~src_pos:!i ~len:glen;
+          leaf.nkeys <- nk + glen;
+          fresh := !fresh + glen;
+          Telemetry.bump Telemetry.Counter.Btree_batch_splices;
+          i := !j
+        end
+      end
+    done;
+    Olock.end_write leaf.lock;
+    (!i, !fresh)
+
+  let insert_batch_op ?hints t run pos len =
+    let stop_idx = pos + len in
+    for k = pos + 1 to stop_idx - 1 do
+      if K.compare run.(k - 1) run.(k) > 0 then
+        invalid_arg "Btree.insert_batch: run not sorted"
+    done;
+    if len = 0 then 0
+    else begin
+      ensure_root t;
+      Telemetry.add Telemetry.Counter.Btree_batch_keys len;
+      let fresh = ref 0 in
+      let i = ref pos in
+      while !i < stop_idx do
+        let key = run.(!i) in
+        (* hinted fast path: upgrade the cached leaf when it covers [key];
+           its own last key then bounds the fill (the leaf is authoritative
+           only up to there unless it is rightmost) *)
+        let hinted =
+          match hints with
+          | Some h when h.insert_leaf != sentinel ->
+            let leaf = h.insert_leaf in
+            let lease = Olock.start_read leaf.lock in
+            let nk = clamped_nkeys leaf in
+            if
+              covers leaf nk key
+              && Olock.valid leaf.lock lease
+              && Olock.try_upgrade_to_write leaf.lock lease
+            then begin
+              let nk = leaf.nkeys in
+              let limit =
+                if leaf.rightmost then None else Some leaf.keys.(nk - 1)
+              in
+              Some (leaf, limit)
+            end
+            else None
+          | _ -> None
+        in
+        let target =
+          match hinted with
+          | Some tgt ->
+            (match hints with
+            | Some h ->
+              h.h_insert_hits <- h.h_insert_hits + 1;
+              run_hit h;
+              Telemetry.bump Telemetry.Counter.Btree_hint_hits
+            | None -> ());
+            Some tgt
+          | None ->
+            (match hints with
+            | Some h ->
+              h.h_insert_misses <- h.h_insert_misses + 1;
+              run_break h;
+              Telemetry.bump Telemetry.Counter.Btree_hint_misses
+            | None -> ());
+            (match batch_locate t key with
+            | Bt_dup ->
+              incr i;
+              None
+            | Bt_leaf (leaf, hi) -> Some (leaf, hi))
+        in
+        match target with
+        | None -> ()
+        | Some (leaf, limit) ->
+          Telemetry.bump Telemetry.Counter.Btree_batch_leaves;
+          let i', f = batch_fill t run !i stop_idx leaf limit in
+          (match hints with Some h -> h.insert_leaf <- leaf | None -> ());
+          i := i';
+          fresh := !fresh + f
+      done;
+      !fresh
+    end
+
+  let insert_batch ?hints ?(pos = 0) ?len t run =
+    let n = Array.length run in
+    let len = match len with Some l -> l | None -> n - pos in
+    if pos < 0 || len < 0 || pos + len > n then
+      invalid_arg "Btree.insert_batch: invalid range";
+    let t0 = Telemetry.hist_start Telemetry.Hist.Btree_batch_ns in
+    let r = insert_batch_op ?hints t run pos len in
+    Telemetry.hist_end Telemetry.Hist.Btree_batch_ns t0;
     r
 
   (* ------------------------------------------------------------------ *)
@@ -837,8 +1033,10 @@ module Make (K : Key.ORDERED) = struct
         invalid_arg "Btree.of_sorted_array: input not strictly increasing"
     done;
     if len > 0 then begin
-      (* Target fill keeps headroom for later inserts. *)
-      let target = max 1 (t.capacity * 3 / 4) in
+      (* Target fill keeps headroom for later inserts; shared with the
+         batch insert path via [Leaf_pack] so bulk-built and batch-grown
+         trees agree on packing conventions. *)
+      let target = Leaf_pack.target_fill ~capacity:t.capacity in
       (* max elements in a subtree of the given height *)
       let rec max_elems h =
         if h = 0 then target else target + ((target + 1) * max_elems (h - 1))
@@ -848,7 +1046,8 @@ module Make (K : Key.ORDERED) = struct
         let n = hi - lo in
         if h = 0 then begin
           let leaf = alloc_leaf t in
-          Array.blit arr lo leaf.keys 0 n;
+          Leaf_pack.splice ~keys:leaf.keys ~nkeys:0 ~at:0 ~src:arr
+            ~src_pos:lo ~len:n;
           leaf.nkeys <- n;
           leaf
         end
@@ -883,6 +1082,33 @@ module Make (K : Key.ORDERED) = struct
       (max_node t.root).rightmost <- true
     end;
     t
+
+  (* Separator keys from the top of the tree, ascending: range-partition
+     pivots for parallel structural merges.  Collects whole levels top-down
+     until at least [limit] keys are available (the keys of one level are
+     sorted among themselves and are valid pivots on their own), then thins
+     evenly to at most [limit].  Quiescent use only. *)
+  let separators t ~limit =
+    if limit <= 0 || is_empty t then [||]
+    else begin
+      let rec level nodes =
+        let keys =
+          List.concat_map
+            (fun n -> Array.to_list (Array.sub n.keys 0 n.nkeys))
+            nodes
+        in
+        if List.length keys >= limit || is_leaf (List.hd nodes) then keys
+        else
+          level
+            (List.concat_map
+               (fun n -> List.init (n.nkeys + 1) (fun i -> n.children.(i)))
+               nodes)
+      in
+      let keys = Array.of_list (level [ t.root ]) in
+      let n = Array.length keys in
+      if n <= limit then keys
+      else Array.init limit (fun i -> keys.(i * n / limit))
+    end
 
   (* ------------------------------------------------------------------ *)
   (* Explicit iterators                                                 *)
@@ -1128,4 +1354,54 @@ module Make (K : Key.ORDERED) = struct
       | Some _ -> fail "root has a parent");
       go t.root 0 None None
     end
+
+  (* ------------------------------------------------------------------ *)
+  (* Sessions                                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  (* A per-domain handle bundling the tree with that domain's operation
+     hints; telemetry is domain-local by construction, so a session also
+     delimits the telemetry shard its operations account to.  This is the
+     preferred surface — the [?hints] optional arguments above remain as
+     thin deprecated wrappers for one release. *)
+
+  type session = { s_tree : t; s_hints : hints }
+
+  let session t = { s_tree = t; s_hints = make_hints () }
+  let s_tree s = s.s_tree
+  let s_hints s = s.s_hints
+  let s_insert s key = insert ~hints:s.s_hints s.s_tree key
+
+  let s_insert_batch ?pos ?len s run =
+    insert_batch ~hints:s.s_hints ?pos ?len s.s_tree run
+
+  let s_mem s key = mem ~hints:s.s_hints s.s_tree key
+  let s_lower_bound s key = lower_bound ~hints:s.s_hints s.s_tree key
+  let s_upper_bound s key = upper_bound ~hints:s.s_hints s.s_tree key
+  let s_iter_from f s key = iter_from ~hints:s.s_hints f s.s_tree key
+
+  (* ------------------------------------------------------------------ *)
+  (* Backend conformance                                                *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Ascription-only witness that the tree satisfies the shared storage
+     backend contract; generic drivers go through this view. *)
+  module As_storage : Storage_intf.S with type elt = key and type t = t =
+  struct
+    type elt = K.t
+    type nonrec t = t
+
+    let create () = create ()
+    let insert t k = insert t k
+    let insert_batch t run = insert_batch t run
+    let mem t k = mem t k
+    let lower_bound t k = lower_bound t k
+    let upper_bound t k = upper_bound t k
+    let iter = iter
+    let iter_from f t k = iter_from f t k
+    let cardinal = cardinal
+    let is_empty = is_empty
+    let ordered = true
+    let shape t = Some (shape t)
+  end
 end

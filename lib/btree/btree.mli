@@ -88,7 +88,23 @@ module Make (K : Key.ORDERED) : sig
 
   val insert : ?hints:hints -> t -> key -> bool
   (** [insert t k] adds [k]; returns [true] iff [k] was not already present.
-      Thread-safe against concurrent [insert]s (Algorithm 1). *)
+      Thread-safe against concurrent [insert]s (Algorithm 1).
+
+      Deprecated surface: prefer {!s_insert} on a per-domain {!session}. *)
+
+  val insert_batch : ?hints:hints -> ?pos:int -> ?len:int -> t -> key array -> int
+  (** [insert_batch t run] inserts the sorted run [run.(pos..pos+len-1)]
+      (non-decreasing; duplicates are skipped) and returns the number of
+      fresh keys.  One optimistic descent acquires the target leaf's write
+      permit together with the leaf's exclusive upper bound, and the run is
+      then consumed up to that bound: same-gap keys are spliced with two
+      blits, a full leaf is split in place and filling continues in the left
+      half while the run allows (multi-split).  Amortises one descent and
+      one write-lock acquisition over many keys — the batch generalisation
+      of the insert hint.  Thread-safe against concurrent [insert]s and
+      [insert_batch]es.
+      @raise Invalid_argument when the run is not sorted or the range is
+      invalid. *)
 
   val insert_all : ?hints:hints -> t -> t -> unit
   (** [insert_all dst src] inserts every element of [src] into [dst] in
@@ -137,8 +153,16 @@ module Make (K : Key.ORDERED) : sig
 
   val of_sorted_array : ?capacity:int -> key array -> t
   (** Bulk-build from a sorted, duplicate-free array; O(n).  Used by the
-      parallel-reduction baseline's merge step and by tests.
+      parallel-reduction baseline's merge step and by tests.  Packing
+      conventions (node target fill) are shared with {!insert_batch}
+      through [Leaf_pack].
       @raise Invalid_argument if the input is not strictly increasing. *)
+
+  val separators : t -> limit:int -> key array
+  (** At most [limit] separator keys from the top levels of the tree, in
+      ascending order — range-partition pivots for parallel structural
+      merges: all keys below [separators.(i)] reach leaves disjoint from
+      those reached by keys above it.  Quiescent use only. *)
 
   (** {1 Explicit iterators}
 
@@ -201,4 +225,33 @@ module Make (K : Key.ORDERED) : sig
   (** Validates ordering, node fill bounds, uniform leaf depth and
       parent/position back-pointers.  @raise Failure describing the first
       violated invariant.  Quiescent use only. *)
+
+  (** {1 Sessions}
+
+      A session is a per-domain handle owning the domain's operation hints
+      (and, by construction, delimiting the domain-local telemetry shard
+      its operations account to).  Create one per domain with {!session}
+      and route all of that domain's operations through it; this replaces
+      threading [?hints] through every call site, which remains available
+      as a deprecated thin wrapper for one release. *)
+
+  type session
+
+  val session : t -> session
+  (** A fresh per-domain handle with empty hints.  Do not share across
+      domains (memory-safe, but destroys the hint hit rate). *)
+
+  val s_tree : session -> t
+  val s_hints : session -> hints
+
+  val s_insert : session -> key -> bool
+  val s_insert_batch : ?pos:int -> ?len:int -> session -> key array -> int
+  val s_mem : session -> key -> bool
+  val s_lower_bound : session -> key -> key option
+  val s_upper_bound : session -> key -> key option
+  val s_iter_from : (key -> bool) -> session -> key -> unit
+
+  (** Witness that the tree satisfies the shared storage-backend contract
+      (hints dropped; structure-generic drivers and tests use this view). *)
+  module As_storage : Storage_intf.S with type elt = key and type t = t
 end

@@ -203,10 +203,11 @@ module Make (K : Key.ORDERED) = struct
       p.children.(j).position <- j
     done
 
-  (* Split [node] and propagate overflow upward through parent pointers. *)
-  let rec split t node =
+  (* Split [node] and propagate overflow upward through parent pointers;
+     returns the median that moved up, for the batch path's multi-split. *)
+  let rec split_returning t node =
     let median, right = split_node t node in
-    match node.parent with
+    (match node.parent with
     | None ->
       let new_root = alloc_inner t in
       new_root.keys.(0) <- median;
@@ -220,11 +221,14 @@ module Make (K : Key.ORDERED) = struct
       t.root <- new_root
     | Some p ->
       if p.nkeys >= t.capacity then begin
-        split t p;
+        ignore (split_returning t p : key);
         let q = match node.parent with Some q -> q | None -> assert false in
         link_sibling q node right median
       end
-      else link_sibling p node right median
+      else link_sibling p node right median);
+    median
+
+  let split t node = ignore (split_returning t node : key)
 
   (* ---------------- insertion ---------------- *)
 
@@ -296,6 +300,127 @@ module Make (K : Key.ORDERED) = struct
         if leaf != sentinel then h.insert_leaf <- leaf;
         inserted
       end
+
+  (* ---------------- batch insertion (sorted runs) ---------------- *)
+
+  (* Sequential mirror of [Btree.Make.insert_batch]: one descent per leaf
+     carries the leaf's exclusive upper bound; the run is consumed up to
+     that bound with bulk gap splices and in-place multi-splits.  No locks
+     and no telemetry, like the rest of this module. *)
+
+  type batch_target = Bt_dup | Bt_leaf of node * key option
+
+  let rec batch_descend t key cur hi =
+    let n = cur.nkeys in
+    let idx, found = search t cur.keys n key in
+    if found then Bt_dup
+    else if is_leaf cur then Bt_leaf (cur, hi)
+    else
+      let hi = if idx < n then Some cur.keys.(idx) else hi in
+      batch_descend t key cur.children.(idx) hi
+
+  let batch_fill t run i0 stop_idx leaf limit0 =
+    let fresh = ref 0 in
+    let i = ref i0 in
+    let limit = ref limit0 in
+    let stop = ref false in
+    while (not !stop) && !i < stop_idx do
+      let key = run.(!i) in
+      let cmp_limit =
+        match !limit with None -> -1 | Some b -> K.compare key b
+      in
+      if cmp_limit = 0 then incr i (* equals a separator: duplicate *)
+      else if cmp_limit > 0 then stop := true
+      else begin
+        let nk = leaf.nkeys in
+        let idx, found = search t leaf.keys nk key in
+        if found then incr i
+        else if nk >= t.capacity then begin
+          let median = split_returning t leaf in
+          if K.compare key median < 0 then limit := Some median
+          else stop := true (* the rest of the run re-descends *)
+        end
+        else begin
+          let gap_hi = if idx < nk then Some leaf.keys.(idx) else !limit in
+          let in_gap k =
+            match gap_hi with None -> true | Some b -> K.compare k b < 0
+          in
+          let room = t.capacity - nk in
+          let j = ref (!i + 1) in
+          while
+            !j - !i < room && !j < stop_idx
+            && K.compare run.(!j - 1) run.(!j) < 0
+            && in_gap run.(!j)
+          do
+            incr j
+          done;
+          let glen = !j - !i in
+          Leaf_pack.splice ~keys:leaf.keys ~nkeys:nk ~at:idx ~src:run
+            ~src_pos:!i ~len:glen;
+          leaf.nkeys <- nk + glen;
+          fresh := !fresh + glen;
+          i := !j
+        end
+      end
+    done;
+    (!i, !fresh)
+
+  let insert_batch ?hints ?(pos = 0) ?len t run =
+    let n = Array.length run in
+    let len = match len with Some l -> l | None -> n - pos in
+    if pos < 0 || len < 0 || pos + len > n then
+      invalid_arg "Btree_seq.insert_batch: invalid range";
+    let stop_idx = pos + len in
+    for k = pos + 1 to stop_idx - 1 do
+      if K.compare run.(k - 1) run.(k) > 0 then
+        invalid_arg "Btree_seq.insert_batch: run not sorted"
+    done;
+    if len = 0 then 0
+    else begin
+      ensure_root t;
+      let fresh = ref 0 in
+      let i = ref pos in
+      while !i < stop_idx do
+        let key = run.(!i) in
+        let hinted =
+          match hints with
+          | Some h when h.insert_leaf != sentinel && covers h.insert_leaf key
+            ->
+            let leaf = h.insert_leaf in
+            let nk = leaf.nkeys in
+            let limit =
+              if leaf.rightmost then None else Some leaf.keys.(nk - 1)
+            in
+            Some (leaf, limit)
+          | _ -> None
+        in
+        let target =
+          match hinted with
+          | Some tgt ->
+            (match hints with
+            | Some h -> h.h_insert_hits <- h.h_insert_hits + 1
+            | None -> ());
+            Some tgt
+          | None ->
+            (match hints with
+            | Some h -> h.h_insert_misses <- h.h_insert_misses + 1
+            | None -> ());
+            (match batch_descend t key t.root None with
+            | Bt_dup ->
+              incr i;
+              None
+            | Bt_leaf (leaf, hi) -> Some (leaf, hi))
+        in
+        match target with
+        | None -> ()
+        | Some (leaf, limit) ->
+          let i', f = batch_fill t run !i stop_idx leaf limit in
+          (match hints with Some h -> h.insert_leaf <- leaf | None -> ());
+          i := i';
+          fresh := !fresh + f
+      done;
+      !fresh
+    end
 
   (* ---------------- queries ---------------- *)
 
@@ -492,7 +617,7 @@ module Make (K : Key.ORDERED) = struct
         invalid_arg "Btree_seq.of_sorted_array: input not strictly increasing"
     done;
     if len > 0 then begin
-      let target = max 1 (t.capacity * 3 / 4) in
+      let target = Leaf_pack.target_fill ~capacity:t.capacity in
       let rec max_elems h =
         if h = 0 then target else target + ((target + 1) * max_elems (h - 1))
       in
@@ -501,7 +626,8 @@ module Make (K : Key.ORDERED) = struct
         let n = hi - lo in
         if h = 0 then begin
           let leaf = alloc_leaf t in
-          Array.blit arr lo leaf.keys 0 n;
+          Leaf_pack.splice ~keys:leaf.keys ~nkeys:0 ~at:0 ~src:arr
+            ~src_pos:lo ~len:n;
           leaf.nkeys <- n;
           leaf
         end
@@ -624,4 +750,42 @@ module Make (K : Key.ORDERED) = struct
       | Some _ -> fail "root has a parent");
       go t.root 0 None None
     end
+
+  (* ---------------- sessions ---------------- *)
+
+  type session = { s_tree : t; s_hints : hints }
+
+  let session t = { s_tree = t; s_hints = make_hints () }
+  let s_tree s = s.s_tree
+  let s_hints s = s.s_hints
+  let s_insert s key = insert ~hints:s.s_hints s.s_tree key
+
+  let s_insert_batch ?pos ?len s run =
+    insert_batch ~hints:s.s_hints ?pos ?len s.s_tree run
+
+  let s_mem s key = mem ~hints:s.s_hints s.s_tree key
+  let s_lower_bound s key = lower_bound ~hints:s.s_hints s.s_tree key
+  let s_upper_bound s key = upper_bound ~hints:s.s_hints s.s_tree key
+  let s_iter_from f s key = iter_from f s.s_tree key
+
+  (* ---------------- storage-backend witness ---------------- *)
+
+  module As_storage : Storage_intf.S with type elt = key and type t = t =
+  struct
+    type elt = K.t
+    type nonrec t = t
+
+    let create () = create ()
+    let insert t k = insert t k
+    let insert_batch t run = insert_batch t run
+    let mem t k = mem t k
+    let lower_bound t k = lower_bound t k
+    let upper_bound t k = upper_bound t k
+    let iter = iter
+    let iter_from f t k = iter_from f t k
+    let cardinal = cardinal
+    let is_empty = is_empty
+    let ordered = true
+    let shape _ = None
+  end
 end

@@ -33,6 +33,12 @@ module Make (K : Key.ORDERED) : sig
   val reset_hint_stats : hints -> unit
 
   val insert : ?hints:hints -> t -> key -> bool
+
+  val insert_batch : ?hints:hints -> ?pos:int -> ?len:int -> t -> key array -> int
+  (** Sequential mirror of {!Btree.Make.insert_batch}: inserts a sorted run
+      (non-decreasing; duplicates skipped), returns the number of fresh
+      keys.  @raise Invalid_argument on an unsorted run or invalid range. *)
+
   val insert_all : ?hints:hints -> t -> t -> unit
   val mem : ?hints:hints -> t -> key -> bool
   val is_empty : t -> bool
@@ -59,4 +65,23 @@ module Make (K : Key.ORDERED) : sig
 
   val stats : t -> stats
   val check_invariants : t -> unit
+
+  (** {1 Sessions} — handle owning the operation hints (single-domain;
+      this tree is not thread-safe). *)
+
+  type session
+
+  val session : t -> session
+  val s_tree : session -> t
+  val s_hints : session -> hints
+  val s_insert : session -> key -> bool
+  val s_insert_batch : ?pos:int -> ?len:int -> session -> key array -> int
+  val s_mem : session -> key -> bool
+  val s_lower_bound : session -> key -> key option
+  val s_upper_bound : session -> key -> key option
+  val s_iter_from : (key -> bool) -> session -> key -> unit
+
+  (** Storage-backend witness (hints dropped; [shape] is [None] — this
+      variant keeps no structural reporting). *)
+  module As_storage : Storage_intf.S with type elt = key and type t = t
 end

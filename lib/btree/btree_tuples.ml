@@ -308,11 +308,15 @@ let rec insert_into_parent t path cur right median =
     end
     else link_sibling p cur right median
 
-let split t node =
+let split_returning t node =
   let path = lock_path t node in
   let median, right = split_node t node in
   insert_into_parent t path node right median;
-  unlock_path t path
+  unlock_path t path;
+  ignore (right : node);
+  median
+
+let split t node = ignore (split_returning t node : int array)
 
 (* ---------------- insertion (Algorithm 1) ---------------- *)
 
@@ -428,6 +432,179 @@ let insert ?hints t key =
   let t0 = Telemetry.hist_start Telemetry.Hist.Btree_insert_ns in
   let r = insert_op ?hints t key in
   Telemetry.hist_end Telemetry.Hist.Btree_insert_ns t0;
+  r
+
+(* ---------------- batch insertion (sorted runs) ---------------- *)
+
+(* Same algorithm as [Btree.Make.insert_batch] (see btree.ml for the full
+   commentary): one descent write-locks the target leaf and carries down
+   the exclusive upper bound of the leaf's range; the run is consumed up to
+   that bound with two-blit gap splices and in-place multi-splits.  The
+   bound snapshot stays authoritative while the write permit is held,
+   because a node's range only shrinks when that node itself splits. *)
+
+type batch_target = Bt_dup | Bt_leaf of node * int array option
+
+let rec batch_locate t key =
+  let rec locate_root () =
+    let root_lease = Olock.start_read t.root_lock in
+    let cur = t.root in
+    let cur_lease = Olock.start_read cur.lock in
+    if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
+    else locate_root ()
+  in
+  let cur, cur_lease = locate_root () in
+  batch_descend t key cur cur_lease None
+
+and batch_restart t key =
+  Telemetry.bump Telemetry.Counter.Btree_restarts;
+  batch_locate t key
+
+and batch_descend t key cur cur_lease hi =
+  let n = clamped_nkeys cur in
+  let idx, found = search t cur.keys n key in
+  if not (is_leaf cur) then
+    if found then
+      if Olock.valid cur.lock cur_lease then Bt_dup else batch_restart t key
+    else begin
+      let next = cur.children.(idx) in
+      let hi = if idx < n then Some cur.keys.(idx) else hi in
+      if not (Olock.valid cur.lock cur_lease) then batch_restart t key
+      else begin
+        let next_lease = Olock.start_read next.lock in
+        if not (Olock.valid cur.lock cur_lease) then batch_restart t key
+        else batch_descend t key next next_lease hi
+      end
+    end
+  else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+    batch_restart t key
+  else Bt_leaf (cur, hi)
+
+let batch_fill t run i0 stop_idx leaf limit0 =
+  let fresh = ref 0 in
+  let i = ref i0 in
+  let limit = ref limit0 in
+  let stop = ref false in
+  while (not !stop) && !i < stop_idx do
+    let key = run.(!i) in
+    let cmp_limit =
+      match !limit with None -> -1 | Some b -> compare_keys t key b
+    in
+    if cmp_limit = 0 then incr i (* equals a live separator: duplicate *)
+    else if cmp_limit > 0 then stop := true
+    else begin
+      let nk = leaf.nkeys in
+      let idx, found = search t leaf.keys nk key in
+      if found then incr i
+      else if nk >= t.capacity then begin
+        let median = split_returning t leaf in
+        if compare_keys t key median < 0 then limit := Some median
+        else stop := true (* the rest of the run re-descends *)
+      end
+      else begin
+        let gap_hi = if idx < nk then Some leaf.keys.(idx) else !limit in
+        let in_gap k =
+          match gap_hi with None -> true | Some b -> compare_keys t k b < 0
+        in
+        let room = t.capacity - nk in
+        let j = ref (!i + 1) in
+        while
+          !j - !i < room && !j < stop_idx
+          && compare_keys t run.(!j - 1) run.(!j) < 0
+          && in_gap run.(!j)
+        do
+          incr j
+        done;
+        let glen = !j - !i in
+        Leaf_pack.splice ~keys:leaf.keys ~nkeys:nk ~at:idx ~src:run
+          ~src_pos:!i ~len:glen;
+        leaf.nkeys <- nk + glen;
+        fresh := !fresh + glen;
+        Telemetry.bump Telemetry.Counter.Btree_batch_splices;
+        i := !j
+      end
+    end
+  done;
+  Olock.end_write leaf.lock;
+  (!i, !fresh)
+
+let insert_batch_op ?hints t run pos len =
+  let stop_idx = pos + len in
+  for k = pos + 1 to stop_idx - 1 do
+    if compare_keys t run.(k - 1) run.(k) > 0 then
+      invalid_arg "Btree_tuples.insert_batch: run not sorted"
+  done;
+  if len = 0 then 0
+  else begin
+    ensure_root t;
+    Telemetry.add Telemetry.Counter.Btree_batch_keys len;
+    let fresh = ref 0 in
+    let i = ref pos in
+    while !i < stop_idx do
+      let key = run.(!i) in
+      let hinted =
+        match hints with
+        | Some h when h.insert_leaf != sentinel ->
+          let leaf = h.insert_leaf in
+          let lease = Olock.start_read leaf.lock in
+          let nk = clamped_nkeys leaf in
+          if
+            covers t leaf nk key
+            && Olock.valid leaf.lock lease
+            && Olock.try_upgrade_to_write leaf.lock lease
+          then begin
+            let nk = leaf.nkeys in
+            let limit =
+              if leaf.rightmost then None else Some leaf.keys.(nk - 1)
+            in
+            Some (leaf, limit)
+          end
+          else None
+        | _ -> None
+      in
+      let target =
+        match hinted with
+        | Some tgt ->
+          (match hints with
+          | Some h ->
+            h.hits <- h.hits + 1;
+            run_hit h;
+            Telemetry.bump Telemetry.Counter.Btree_hint_hits
+          | None -> ());
+          Some tgt
+        | None ->
+          (match hints with
+          | Some h ->
+            h.misses <- h.misses + 1;
+            run_break h;
+            Telemetry.bump Telemetry.Counter.Btree_hint_misses
+          | None -> ());
+          (match batch_locate t key with
+          | Bt_dup ->
+            incr i;
+            None
+          | Bt_leaf (leaf, hi) -> Some (leaf, hi))
+      in
+      match target with
+      | None -> ()
+      | Some (leaf, limit) ->
+        Telemetry.bump Telemetry.Counter.Btree_batch_leaves;
+        let i', f = batch_fill t run !i stop_idx leaf limit in
+        (match hints with Some h -> h.insert_leaf <- leaf | None -> ());
+        i := i';
+        fresh := !fresh + f
+    done;
+    !fresh
+  end
+
+let insert_batch ?hints ?(pos = 0) ?len t run =
+  let n = Array.length run in
+  let len = match len with Some l -> l | None -> n - pos in
+  if pos < 0 || len < 0 || pos + len > n then
+    invalid_arg "Btree_tuples.insert_batch: invalid range";
+  let t0 = Telemetry.hist_start Telemetry.Hist.Btree_batch_ns in
+  let r = insert_batch_op ?hints t run pos len in
+  Telemetry.hist_end Telemetry.Hist.Btree_batch_ns t0;
   r
 
 (* ---------------- queries ---------------- *)
@@ -661,3 +838,95 @@ let shape t =
       fill_deciles;
     }
   end
+
+let compare_tuples = compare_keys
+
+(* ---------------- order queries ---------------- *)
+
+let lower_bound ?hints t key =
+  let r = ref None in
+  iter_from ?hints
+    (fun k ->
+      r := Some k;
+      false)
+    t key;
+  !r
+
+let upper_bound ?hints t key =
+  let r = ref None in
+  iter_from ?hints
+    (fun k ->
+      if compare_keys t k key > 0 then begin
+        r := Some k;
+        false
+      end
+      else true)
+    t key;
+  !r
+
+(* ---------------- separators (merge partitioning) ---------------- *)
+
+(* Whole levels top-down, so the result is always in ascending order; thin
+   evenly when one more level overshoots [limit].  Mirrors
+   [Btree.Make.separators]. *)
+let separators t ~limit =
+  if limit <= 0 || is_empty t then [||]
+  else begin
+    let rec level nodes =
+      let keys =
+        List.concat_map
+          (fun n -> Array.to_list (Array.sub n.keys 0 n.nkeys))
+          nodes
+      in
+      if List.length keys >= limit || is_leaf (List.hd nodes) then keys
+      else
+        level
+          (List.concat_map
+             (fun n -> List.init (n.nkeys + 1) (fun i -> n.children.(i)))
+             nodes)
+    in
+    let keys = Array.of_list (level [ t.root ]) in
+    let n = Array.length keys in
+    if n <= limit then keys
+    else Array.init limit (fun i -> keys.(i * n / limit))
+  end
+
+(* ---------------- sessions ---------------- *)
+
+type session = { s_tree : t; s_hints : hints }
+
+let session t = { s_tree = t; s_hints = make_hints () }
+let s_tree s = s.s_tree
+let s_hints s = s.s_hints
+let s_insert s key = insert ~hints:s.s_hints s.s_tree key
+
+let s_insert_batch ?pos ?len s run =
+  insert_batch ~hints:s.s_hints ?pos ?len s.s_tree run
+
+let s_mem s key = mem ~hints:s.s_hints s.s_tree key
+let s_iter_from f s key = iter_from ~hints:s.s_hints f s.s_tree key
+let s_lower_bound s key = lower_bound ~hints:s.s_hints s.s_tree key
+let s_upper_bound s key = upper_bound ~hints:s.s_hints s.s_tree key
+
+(* ---------------- storage-backend witness ---------------- *)
+
+module As_storage (C : sig
+  val arity : int
+  val order : int array
+end) : Storage_intf.S with type elt = int array and type t = t = struct
+  type elt = int array
+  type nonrec t = t
+
+  let create () = create ~arity:C.arity ~order:C.order ()
+  let insert t k = insert t k
+  let insert_batch t run = insert_batch t run
+  let mem t k = mem t k
+  let lower_bound t k = lower_bound t k
+  let upper_bound t k = upper_bound t k
+  let iter = iter
+  let iter_from f t k = iter_from f t k
+  let cardinal = cardinal
+  let is_empty = is_empty
+  let ordered = true
+  let shape t = Some (shape t)
+end

@@ -26,6 +26,10 @@ val create :
 
 val arity : t -> int
 
+val compare_tuples : t -> int array -> int array -> int
+(** The tree's [order]-major lexicographic tuple comparison — what "sorted"
+    means for {!insert_batch} runs on this tree. *)
+
 type hints
 
 val make_hints : unit -> hints
@@ -40,11 +44,32 @@ val hint_run_hist : hints -> int array
     is counted as if it closed now. *)
 
 val insert : ?hints:hints -> t -> int array -> bool
-(** Thread-safe against concurrent inserts. *)
+(** Thread-safe against concurrent inserts.
+
+    Deprecated surface: prefer {!s_insert} on a per-domain {!session}. *)
+
+val insert_batch :
+  ?hints:hints -> ?pos:int -> ?len:int -> t -> int array array -> int
+(** [insert_batch t run] inserts the sorted run [run.(pos..pos+len-1)]
+    (non-decreasing in the tree's [order]-major comparison; duplicates are
+    skipped) and returns the number of fresh tuples.  One optimistic
+    descent acquires the target leaf's write permit together with the
+    leaf's exclusive upper bound, and the run is consumed up to that bound
+    with bulk two-blit splices and in-place multi-splits — amortising one
+    descent and one write-lock acquisition over many tuples.  Thread-safe
+    against concurrent [insert]s and [insert_batch]es.
+    @raise Invalid_argument when the run is not sorted or the range is
+    invalid. *)
 
 val mem : ?hints:hints -> t -> int array -> bool
 val is_empty : t -> bool
 val cardinal : t -> int
+
+val lower_bound : ?hints:hints -> t -> int array -> int array option
+(** Smallest tuple [>=] the probe (in [order]-major comparison). *)
+
+val upper_bound : ?hints:hints -> t -> int array -> int array option
+(** Smallest tuple [>] the probe. *)
 
 val iter : (int array -> unit) -> t -> unit
 val iter_from : ?hints:hints -> (int array -> bool) -> t -> int array -> unit
@@ -57,3 +82,36 @@ val check_invariants : t -> unit
 val shape : t -> Tree_shape.t
 (** Full structural report (per-level node counts, fill-factor deciles);
     root-only tree has height 1.  Quiescent use only. *)
+
+val separators : t -> limit:int -> int array array
+(** At most [limit] separator tuples from the top levels of the tree, in
+    ascending order — range-partition pivots for parallel structural
+    merges: tuples below [separators.(i)] reach leaves disjoint from those
+    reached by tuples above it.  Quiescent use only. *)
+
+(** {1 Sessions}
+
+    A per-domain handle owning the domain's operation hints; replaces
+    threading [?hints] through every call site (which remains available as
+    a deprecated thin wrapper for one release).  Do not share across
+    domains. *)
+
+type session
+
+val session : t -> session
+val s_tree : session -> t
+val s_hints : session -> hints
+
+val s_insert : session -> int array -> bool
+val s_insert_batch : ?pos:int -> ?len:int -> session -> int array array -> int
+val s_mem : session -> int array -> bool
+val s_lower_bound : session -> int array -> int array option
+val s_upper_bound : session -> int array -> int array option
+val s_iter_from : (int array -> bool) -> session -> int array -> unit
+
+(** Witness that a fixed-signature tuple tree satisfies the shared
+    storage-backend contract (hints dropped). *)
+module As_storage (_ : sig
+  val arity : int
+  val order : int array
+end) : Storage_intf.S with type elt = int array and type t = t

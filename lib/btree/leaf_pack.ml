@@ -1,0 +1,24 @@
+(* Shared leaf-packing conventions of the bulk write paths.
+
+   Both [of_sorted_array] (bulk build) and [insert_batch] (sorted-run batch
+   insert) fill leaves from sorted input; they must agree on how full a
+   freshly packed node may be and how a sorted slice is spliced into a
+   partially filled key array, or a bulk-built tree and a batch-grown tree
+   would diverge in shape and invariants.  This module is that single point
+   of agreement. *)
+
+(* Number of keys a bulk operation packs into a node of the given capacity:
+   3/4 full, leaving headroom so the first few later point inserts do not
+   immediately split every node the bulk path produced. *)
+let target_fill ~capacity = max 1 (capacity * 3 / 4)
+
+(* [splice ~keys ~nkeys ~at ~src ~src_pos ~len] inserts
+   [src.(src_pos .. src_pos+len-1)] at index [at] of [keys] (which holds
+   [nkeys] live entries), shifting the tail right — the bulk counterpart of
+   a single-key leaf insert, costing two blits regardless of [len].  The
+   caller guarantees capacity ([nkeys + len <= Array.length keys]) and
+   order (all spliced keys fall strictly between [keys.(at - 1)] and
+   [keys.(at)]). *)
+let splice ~keys ~nkeys ~at ~src ~src_pos ~len =
+  Array.blit keys at keys (at + len) (nkeys - at);
+  Array.blit src src_pos keys at len

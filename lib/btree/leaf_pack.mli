@@ -1,0 +1,20 @@
+(** Shared leaf-packing conventions of the bulk write paths
+    ([of_sorted_array] bulk build and [insert_batch] sorted-run insert).
+    Keeping both on one helper is what guarantees they agree on
+    capacity/fill conventions. *)
+
+val target_fill : capacity:int -> int
+(** Keys a bulk build packs per node: 3/4 of [capacity] (at least 1),
+    leaving headroom for later point inserts. *)
+
+val splice :
+  keys:'a array ->
+  nkeys:int ->
+  at:int ->
+  src:'a array ->
+  src_pos:int ->
+  len:int ->
+  unit
+(** Splice [src.(src_pos..src_pos+len-1)] into [keys] at [at], shifting the
+    [nkeys - at] tail entries right; two blits regardless of [len].  The
+    caller guarantees room and ordering. *)

@@ -1,0 +1,56 @@
+(** The common contract of every element-set backend the Datalog storage
+    layer can sit on: the concurrent B-tree ({!Btree.Make}), its sequential
+    variant ({!Btree_seq.Make}), the specialized tuple tree
+    ({!Btree_tuples}), and the baseline/hash structures.
+
+    Having one signature lets the storage layer dispatch on a first-class
+    module table instead of repeating a per-kind match per operation, and
+    lets structure-generic tests and benchmarks range over backends.
+
+    Semantics: a set of [elt] with insertion, membership, order queries and
+    in-order scans.  Unordered (hash) backends implement the order queries
+    by linear scan — correct, but only trees make them fast; callers that
+    care dispatch on the backend's [ordered] flag. *)
+
+module type S = sig
+  type elt
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> elt -> bool
+  (** [true] iff the element was not yet present. *)
+
+  val insert_batch : t -> elt array -> int
+  (** [insert_batch t run] inserts a sorted run (non-decreasing in the
+      structure's element order; duplicates are skipped) and returns the
+      number of fresh elements.  Tree backends amortise one descent and one
+      leaf write-lock acquisition across many keys of the run; unordered
+      backends degrade to an insert loop.
+      @raise Invalid_argument when the run is not sorted. *)
+
+  val mem : t -> elt -> bool
+
+  val lower_bound : t -> elt -> elt option
+  (** Smallest element [>=] the probe. *)
+
+  val upper_bound : t -> elt -> elt option
+  (** Smallest element [>] the probe. *)
+
+  val iter : (elt -> unit) -> t -> unit
+  (** In element order for ordered backends. *)
+
+  val iter_from : (elt -> bool) -> t -> elt -> unit
+  (** Scan in order from the first element [>=] the probe while the
+      callback returns [true].  Linear for unordered backends. *)
+
+  val cardinal : t -> int
+  val is_empty : t -> bool
+
+  val ordered : bool
+  (** Whether [iter]/[iter_from] enumerate in element order and the bound
+      queries are sublinear. *)
+
+  val shape : t -> Tree_shape.t option
+  (** Structural report for tree backends; [None] for flat structures. *)
+end

@@ -3,10 +3,25 @@ let parse_field engine s =
   | Some n -> n
   | None -> Engine.intern engine s
 
+(* Parsed tuples are accumulated into fixed-size shards and handed to the
+   engine one chunk at a time ([Engine.add_fact_run]); at [Engine.run] each
+   relation's chunks are regrouped and pushed through the batch write path,
+   which sorts them per index and merges in parallel across domains.  The
+   shard size bounds loader memory spikes without defeating the batching. *)
+let chunk_size = 1 lsl 16
+
 let load_facts_channel engine ~relation ic =
   let arity = Engine.relation_arity engine relation in
   let count = ref 0 in
   let line_no = ref 0 in
+  let chunk = Array.make chunk_size [||] in
+  let filled = ref 0 in
+  let flush () =
+    if !filled > 0 then begin
+      Engine.add_fact_run engine relation (Array.sub chunk 0 !filled);
+      filled := 0
+    end
+  in
   (try
      while true do
        let line = input_line ic in
@@ -19,11 +34,14 @@ let load_facts_channel engine ~relation ic =
                 "facts for %s, line %d: %d fields, expected %d" relation
                 !line_no (List.length fields) arity);
          let tup = Array.of_list (List.map (parse_field engine) fields) in
-         Engine.add_fact engine relation tup;
+         if !filled = chunk_size then flush ();
+         chunk.(!filled) <- tup;
+         incr filled;
          incr count
        end
      done
    with End_of_file -> ());
+  flush ();
   !count
 
 let load_facts_file engine ~relation path =

@@ -8,6 +8,10 @@
 
 val load_facts_channel : Engine.t -> relation:string -> in_channel -> int
 (** Queue every tuple of the channel; returns the number of tuples read.
+    Tuples are accumulated into fixed-size shards queued through
+    {!Engine.add_fact_run}, so at {!Engine.run} they reach the storage layer
+    through the batch write path (per-index sort + parallel structural
+    merge) rather than per-tuple inserts.
     @raise Failure with line information on malformed input
     @raise Invalid_argument on arity mismatch *)
 

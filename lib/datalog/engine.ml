@@ -6,6 +6,7 @@ type t = {
   profile : bool;
   check_phases : bool;
   mutable extra_facts : (int * int array) list;
+  mutable fact_runs : (int * int array array) list;
   mutable result : Eval.result option;
 }
 
@@ -21,6 +22,7 @@ let create ?(kind = Storage.Btree) ?(instrument = false) ?(profile = false)
     profile;
     check_phases;
     extra_facts = [];
+    fact_runs = [];
     result = None;
   }
 
@@ -38,7 +40,22 @@ let add_fact t name tup =
          t.plan.Plan.arities.(p) (Array.length tup));
   t.extra_facts <- (p, tup) :: t.extra_facts
 
-let add_facts t name tups = List.iter (add_fact t name) tups
+let add_fact_run t name run =
+  if t.result <> None then invalid_arg "Engine.add_fact_run: engine already ran";
+  if Array.length run > 0 then begin
+    let p = pred_id_exn t name in
+    let arity = t.plan.Plan.arities.(p) in
+    Array.iter
+      (fun tup ->
+        if Array.length tup <> arity then
+          invalid_arg
+            (Printf.sprintf "Engine.add_fact_run: %s expects arity %d, got %d"
+               name arity (Array.length tup)))
+      run;
+    t.fact_runs <- (p, run) :: t.fact_runs
+  end
+
+let add_facts t name tups = add_fact_run t name (Array.of_list tups)
 let intern t s = Symtab.intern t.symtab s
 
 let symbol_name t id =
@@ -50,9 +67,11 @@ let run t pool =
   if t.result <> None then invalid_arg "Engine.run: engine already ran";
   t.result <-
     Some
-      (Eval.run ~check_phases:t.check_phases t.plan ~pool ~kind:t.kind
-         ~stats:t.stats ~extra_facts:t.extra_facts ~profile:t.profile);
-  t.extra_facts <- []
+      (Eval.run ~check_phases:t.check_phases ~fact_runs:t.fact_runs t.plan
+         ~pool ~kind:t.kind ~stats:t.stats ~extra_facts:t.extra_facts
+         ~profile:t.profile);
+  t.extra_facts <- [];
+  t.fact_runs <- []
 
 let has_run t = t.result <> None
 

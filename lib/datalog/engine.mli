@@ -30,6 +30,18 @@ val add_fact : t -> string -> int array -> unit
     @raise Invalid_argument on unknown predicate, wrong arity, or after run. *)
 
 val add_facts : t -> string -> int array list -> unit
+(** Queue a batch of tuples at once; like {!add_fact_run} on the list
+    converted to an array. *)
+
+val add_fact_run : t -> string -> int array array -> unit
+(** Queue a whole run of tuples in one chunk.  Chunks bypass the per-fact
+    queue: at {!run} they are blitted directly into the per-predicate fact
+    group that feeds the batch write path ({!Relation.merge_batch}), so bulk
+    loaders ({!Dl_io}) avoid per-tuple queuing entirely.  The array is
+    retained until {!run}; callers must not mutate it (or its tuples)
+    afterwards.
+    @raise Invalid_argument on unknown predicate, wrong arity, or after
+    run. *)
 
 val intern : t -> string -> int
 (** Intern a symbol, for building facts that mix numbers and symbols. *)

@@ -29,11 +29,13 @@ let cmp_holds op x y =
   | Ast.Ne -> x <> y
 
 (* Per-worker execution context for one (sub-)plan: one entry per step.
-   Aggregate steps carry a nested context over the same environment. *)
+   Aggregate steps carry a nested context over the same environment.  All
+   body relations are accessed through typed read-phase handles — the
+   worker cannot accidentally write them. *)
 type wctx = {
   env : int array;
   steps : Plan.step array;
-  step_cursors : Relation.Cursor.t array;
+  step_readers : Relation.Reader.t array;
   step_sigids : int array;
   step_scratch : int array array;
   step_sub : wctx option array; (* Some for SAgg *)
@@ -47,7 +49,7 @@ let rec exec ctx i ~emit =
     | Plan.SMatch m ->
       let bound = ctx.step_scratch.(i) in
       Array.iteri (fun j s -> bound.(j) <- value ctx.env s) m.m_bound;
-      Relation.Cursor.scan ctx.step_cursors.(i) ctx.step_sigids.(i) bound
+      Relation.Reader.scan ctx.step_readers.(i) ctx.step_sigids.(i) bound
         (fun tup ->
           let nb = Array.length m.m_binds in
           for b = 0 to nb - 1 do
@@ -64,7 +66,7 @@ let rec exec ctx i ~emit =
     | Plan.SNeg n ->
       let probe = ctx.step_scratch.(i) in
       Array.iteri (fun j s -> probe.(j) <- value ctx.env s) n.n_bound;
-      if not (Relation.Cursor.mem ctx.step_cursors.(i) probe) then
+      if not (Relation.Reader.mem ctx.step_readers.(i) probe) then
         exec ctx (i + 1) ~emit
     | Plan.SCmp c ->
       if cmp_holds c.c_op (value ctx.env c.c_lhs) (value ctx.env c.c_rhs) then
@@ -128,8 +130,8 @@ let exec_outer ctx tup ~emit =
     if !ok then exec ctx 1 ~emit
   | Plan.SNeg _ | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ -> assert false
 
-let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
-    ~profile =
+let run ?(check_phases = false) ?(fact_runs = []) (plan : Plan.t) ~pool ~kind
+    ~stats ~extra_facts ~profile =
   let npreds = plan.Plan.npreds in
   let fulls =
     Array.init npreds (fun p ->
@@ -137,19 +139,57 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
           ~arity:plan.Plan.arities.(p) ~kind ~sigs:plan.Plan.sigs_full.(p)
           ~stats ())
   in
-  let load (p, tup) =
-    if Array.length tup <> plan.Plan.arities.(p) then
-      invalid_arg
-        (Printf.sprintf "fact arity mismatch for %s" plan.Plan.pred_names.(p));
-    if Relation.insert fulls.(p) tup then
-      match stats with
-      | Some s -> Atomic.incr s.Dl_stats.input_tuples
-      | None -> ()
+  (* a pool is worth forking for a write only when the batch is large
+     enough and the storage kind takes concurrent inserts *)
+  let merge_pool cnt =
+    if cnt >= 256 && Pool.size pool > 1 && Storage.thread_safe_insert kind
+    then Some pool
+    else None
   in
   let t_eval = Telemetry.span_start () in
   let t_load = Telemetry.span_start () in
-  List.iter load plan.Plan.facts;
-  List.iter load extra_facts;
+  (* Bulk fact loading: group facts per predicate, then feed each group
+     through the batch write path (each index sorts the group in its own
+     order and bulk-inserts it — in parallel for large groups). *)
+  let counts = Array.make npreds 0 in
+  let check (p, tup) =
+    if Array.length tup <> plan.Plan.arities.(p) then
+      invalid_arg
+        (Printf.sprintf "fact arity mismatch for %s" plan.Plan.pred_names.(p));
+    counts.(p) <- counts.(p) + 1
+  in
+  List.iter check plan.Plan.facts;
+  List.iter check extra_facts;
+  List.iter
+    (fun (p, run) -> Array.iter (fun tup -> check (p, tup)) run)
+    fact_runs;
+  let groups = Array.init npreds (fun p -> Array.make counts.(p) [||]) in
+  let fill = Array.make npreds 0 in
+  let put (p, tup) =
+    groups.(p).(fill.(p)) <- tup;
+    fill.(p) <- fill.(p) + 1
+  in
+  List.iter put plan.Plan.facts;
+  List.iter put extra_facts;
+  List.iter
+    (fun (p, run) ->
+      let n = Array.length run in
+      Array.blit run 0 groups.(p) fill.(p) n;
+      fill.(p) <- fill.(p) + n)
+    fact_runs;
+  Array.iteri
+    (fun p group ->
+      let cnt = Array.length group in
+      if cnt > 0 then begin
+        let w = Relation.begin_write fulls.(p) in
+        let fresh = Relation.Writer.insert_batch ?pool:(merge_pool cnt) w group in
+        Relation.Writer.finish w;
+        match stats with
+        | Some s ->
+          ignore (Atomic.fetch_and_add s.Dl_stats.input_tuples fresh : int)
+        | None -> ()
+      end)
+    groups;
   Telemetry.span_end ~cat:"eval" "eval.load_facts" t_load;
   let iterations = ref 0 in
   (* delta / new relations, allocated per stratum *)
@@ -200,41 +240,59 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
       | Plan.SNeg n -> Array.length n.n_bound
       | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ -> 0
     in
-    let rec make_steps_ctx env steps =
+    (* every phase handle a worker opens is collected and finished when the
+       worker is done — a relation that is a write target this round may be
+       a read source next round, so phases must not leak *)
+    let rec make_steps_ctx handles env steps =
       {
         env;
         steps;
-        step_cursors =
-          Array.map (fun st -> Relation.Cursor.create (step_rel st)) steps;
+        step_readers =
+          Array.map
+            (fun st ->
+              let r = Relation.begin_read (step_rel st) in
+              handles := (fun () -> Relation.Reader.finish r) :: !handles;
+              r)
+            steps;
         step_sigids = sigids_of steps;
         step_scratch = Array.map (fun st -> Array.make (scratch_len st) 0) steps;
         step_sub =
           Array.map
             (fun st ->
               match st with
-              | Plan.SAgg a -> Some (make_steps_ctx env a.a_steps)
+              | Plan.SAgg a -> Some (make_steps_ctx handles env a.a_steps)
               | _ -> None)
             steps;
       }
     in
     (* per-worker context + emit: build the head tuple, dedup against full,
-       insert into new *)
+       insert into new.  Body relations are read handles, the head's new
+       relation is the only write handle. *)
     let make_worker () =
-      let ctx = make_steps_ctx (Array.make (max 1 cr.cr_nslots) 0) cr.cr_steps in
-      let head_cursor = Relation.Cursor.create (the news.(cr.cr_head)) in
-      let full_head_cursor = Relation.Cursor.create fulls.(cr.cr_head) in
+      let handles = ref [] in
+      let ctx =
+        make_steps_ctx handles (Array.make (max 1 cr.cr_nslots) 0) cr.cr_steps
+      in
+      let head_writer = Relation.begin_write (the news.(cr.cr_head)) in
+      let full_head_reader = Relation.begin_read fulls.(cr.cr_head) in
       let emit () =
         let tup = Array.map (fun s -> value ctx.env s) cr.cr_head_src in
-        if not (Relation.Cursor.mem full_head_cursor tup) then
-          ignore (Relation.Cursor.insert head_cursor tup : bool)
+        if not (Relation.Reader.mem full_head_reader tup) then
+          ignore (Relation.Writer.insert head_writer tup : bool)
       in
-      (ctx, emit)
+      let close () =
+        Relation.Writer.finish head_writer;
+        Relation.Reader.finish full_head_reader;
+        List.iter (fun f -> f ()) !handles
+      in
+      (ctx, emit, close)
     in
     match cr.cr_steps.(0) with
     | Plan.SNeg _ | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ ->
       (* ground prefix (e.g. `p(1) :- !q(2).`): no outer loop to split *)
-      let ctx, emit = make_worker () in
-      exec ctx 0 ~emit
+      let ctx, emit, close = make_worker () in
+      exec ctx 0 ~emit;
+      close ()
     | Plan.SMatch m ->
       (* materialise the outer scan, then partition it over the pool *)
       let outer_rel = step_rel cr.cr_steps.(0) in
@@ -242,25 +300,28 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
       (* outer bound sources are constants only: the first literal has no
          previously bound variables; [value] with an empty env would fail on
          slots, which the planner rules out *)
-      let cur = Relation.Cursor.create outer_rel in
+      let outer_reader = Relation.begin_read outer_rel in
       let outer_sig = Relation.sig_id outer_rel m.m_sig in
       let buf = ref [] and n = ref 0 in
-      Relation.Cursor.scan cur outer_sig bound (fun tup ->
+      Relation.Reader.scan outer_reader outer_sig bound (fun tup ->
           buf := tup :: !buf;
           incr n);
+      Relation.Reader.finish outer_reader;
       if !n > 0 then begin
         let arr = Array.make !n [||] in
         List.iteri (fun i tup -> arr.(i) <- tup) !buf;
         if !n < 64 || Pool.size pool = 1 then begin
-          let ctx, emit = make_worker () in
-          Array.iter (fun tup -> exec_outer ctx tup ~emit) arr
+          let ctx, emit, close = make_worker () in
+          Array.iter (fun tup -> exec_outer ctx tup ~emit) arr;
+          close ()
         end
         else
           Pool.parallel_for_ranges ~label:"rule" pool 0 !n (fun _w lo hi ->
-              let ctx, emit = make_worker () in
+              let ctx, emit, close = make_worker () in
               for i = lo to hi - 1 do
                 exec_outer ctx arr.(i) ~emit
-              done)
+              done;
+              close ())
       end
   in
   let eval_rule cr =
@@ -289,13 +350,12 @@ let run ?(check_phases = false) (plan : Plan.t) ~pool ~kind ~stats ~extra_facts
           total := !total + !cnt;
           let arr = Array.make !cnt [||] in
           List.iteri (fun i tup -> arr.(i) <- tup) !tuples;
-          if !cnt < 256 || Pool.size pool = 1 || not (Storage.thread_safe_insert kind)
-          then Array.iter (fun tup -> ignore (Relation.insert fulls.(p) tup : bool)) arr
-          else
-            Pool.parallel_for_ranges ~label:"promote" pool 0 !cnt (fun _w lo hi ->
-                for i = lo to hi - 1 do
-                  ignore (Relation.insert fulls.(p) arr.(i) : bool)
-                done)
+          (* delta -> full structural merge through the batch write path:
+             serial for small deltas and thread-unsafe kinds, partitioned
+             over the pool otherwise *)
+          let w = Relation.begin_write fulls.(p) in
+          ignore (Relation.Writer.insert_batch ?pool:(merge_pool !cnt) w arr : int);
+          Relation.Writer.finish w
         end;
         deltas.(p) <- news.(p);
         news.(p) <- Some (fresh_rel p))

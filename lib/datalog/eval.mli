@@ -26,6 +26,7 @@ type result = {
 
 val run :
   ?check_phases:bool ->
+  ?fact_runs:(int * int array array) list ->
   Plan.t ->
   pool:Pool.t ->
   kind:Storage.kind ->
@@ -34,6 +35,11 @@ val run :
   profile:bool ->
   result
 (** [extra_facts] are programmatically added input tuples (pred id, tuple);
-    they are loaded alongside the program's inline facts.  [check_phases]
-    wraps every index in {!Storage.Index.with_phase_check}, turning any
-    violation of the two-phase access discipline into an exception. *)
+    they are loaded alongside the program's inline facts.  [fact_runs] are
+    the same tuples in pre-chunked form (one array per loader shard, as
+    produced by {!Dl_io}) — all facts of a predicate are grouped and fed
+    through the batch write path ({!Relation.merge_batch}), which sorts the
+    group per index and bulk-inserts it, in parallel on [pool] for large
+    groups on thread-safe storage kinds.  [check_phases] wraps every index
+    in {!Storage.Index.with_phase_check}, turning any violation of the
+    two-phase access discipline into an exception. *)

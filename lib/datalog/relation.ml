@@ -9,14 +9,12 @@ type t = {
       (* signature -> serving index; entries may share indexes physically
          (chain cover, tree kinds only) *)
   distinct : Storage.Index.t array; (* each underlying secondary index once *)
+  phase : int Atomic.t;
+      (* open typed phases: writers in the low 20 bits, readers above (same
+         packing as [Storage.Index.with_phase_check]) *)
 }
 
-(* Tree indexes can serve every signature on a containment chain; hash
-   multimaps serve exactly one signature each. *)
-let shares_indexes = function
-  | Storage.Btree | Storage.Btree_nohints | Storage.Rbtree | Storage.Bplus ->
-    true
-  | Storage.Hashset | Storage.Tbb_hash -> false
+let shares_indexes = Storage.shares_indexes
 
 let create ?(check_phases = false) ~name ~arity ~kind ~sigs ~stats () =
   let checked i idx =
@@ -66,6 +64,7 @@ let create ?(check_phases = false) ~name ~arity ~kind ~sigs ~stats () =
     primary = checked 0 (Storage.Index.create kind ~arity ~cols:[||] ~stats ());
     secondary;
     distinct;
+    phase = Atomic.make 0;
   }
 
 let name t = t.name
@@ -168,3 +167,110 @@ module Cursor = struct
       Storage.Index.c_scan cur ~cols bound f
     end
 end
+
+(* ---------------- batch merge ---------------- *)
+
+let merge_batch ?pool t tuples =
+  if Array.length tuples = 0 then 0
+  else begin
+    let do_merge () =
+      if Array.length t.distinct = 0 then
+        Storage.Index.merge ?pool t.primary tuples
+      else if shares_indexes t.kind then begin
+        (* Tree kinds: every index is a dedup set, so each can merge the
+           full array independently (sorting its own copy in its own
+           order).  Skipping the primary-freshness gate is equivalent to
+           the serial per-tuple path: a tuple already in the primary is
+           already in every secondary. *)
+        let fresh = Storage.Index.merge ?pool t.primary tuples in
+        Array.iter
+          (fun idx -> ignore (Storage.Index.merge ?pool idx tuples : int))
+          t.distinct;
+        fresh
+      end
+      else begin
+        (* Hash kinds: secondaries are multimaps (no dedup), so only
+           tuples fresh in the primary may reach them — gate per tuple
+           like the serial path, spread on the pool when the kind takes
+           concurrent inserts. *)
+        match pool with
+        | Some p
+          when t.write_lock = None
+               && Pool.size p > 1
+               && Array.length tuples >= 1024 ->
+          let fresh = Atomic.make 0 in
+          Pool.parallel_for_ranges ~label:"merge" p 0 (Array.length tuples)
+            (fun _w lo hi ->
+              let f = ref 0 in
+              for i = lo to hi - 1 do
+                if insert_unlocked t tuples.(i) then incr f
+              done;
+              ignore (Atomic.fetch_and_add fresh !f : int));
+          Atomic.get fresh
+        | _ ->
+          let fresh = ref 0 in
+          Array.iter
+            (fun tup -> if insert_unlocked t tup then incr fresh)
+            tuples;
+          !fresh
+      end
+    in
+    match t.write_lock with
+    | None -> do_merge ()
+    | Some m -> Mutex.protect m do_merge
+  end
+
+(* ---------------- typed two-phase access ---------------- *)
+
+(* In every parallel region a relation is either written or read, never
+   both — the contract the B-tree's synchronisation is specialised for.
+   [begin_write]/[begin_read] make the phase explicit in the types (a
+   Writer cannot scan, a Reader cannot insert) and detect overlap
+   dynamically: both phases are counted in one atomic word, so an overlap
+   check is a single fetch-and-add with no window. *)
+
+let writer_bit = 1
+let reader_bit = 1 lsl 20
+
+let enter_phase t bit other_mask what =
+  let s = Atomic.fetch_and_add t.phase bit in
+  if s land other_mask <> 0 then begin
+    ignore (Atomic.fetch_and_add t.phase (-bit) : int);
+    raise
+      (Storage.Index.Phase_violation
+         (Printf.sprintf "%s: begin_%s during an open %s phase" t.name what
+            (if what = "write" then "read" else "write")))
+  end
+
+let leave_phase t bit closed =
+  if !closed then invalid_arg "Relation: phase handle finished twice";
+  closed := true;
+  ignore (Atomic.fetch_and_add t.phase (-bit) : int)
+
+module Writer = struct
+  type rel = t
+  type t = { w_cur : Cursor.t; w_rel : rel; w_closed : bool ref }
+
+  let insert w tup = Cursor.insert w.w_cur tup
+  let insert_batch ?pool w tuples = merge_batch ?pool w.w_rel tuples
+  let finish w = leave_phase w.w_rel writer_bit w.w_closed
+end
+
+module Reader = struct
+  type rel = t
+  type t = { r_cur : Cursor.t; r_rel : rel; r_closed : bool ref }
+
+  let mem r tup = Cursor.mem r.r_cur tup
+  let scan r sig_id bound f = Cursor.scan r.r_cur sig_id bound f
+  let finish r = leave_phase r.r_rel reader_bit r.r_closed
+end
+
+let begin_write t =
+  (* a write may not open while readers are active *)
+  enter_phase t writer_bit (-1 lxor (reader_bit - 1)) "write";
+  { Writer.w_cur = Cursor.create t; w_rel = t; w_closed = ref false }
+
+let begin_read t =
+  (* a read may not open while writers are active *)
+  enter_phase t reader_bit (reader_bit - 1) "read";
+  { Reader.r_cur = Cursor.create t; r_rel = t; r_closed = ref false }

@@ -40,6 +40,19 @@ val insert : t -> int array -> bool
 (** Direct insert (fact loading, merging); thread-safety per the contract
     above.  [true] iff the tuple was new. *)
 
+val merge_batch : ?pool:Pool.t -> t -> int array array -> int
+(** [merge_batch ?pool t tuples] inserts an unsorted tuple array into every
+    index of the relation through the batch write path
+    ({!Storage.Index.merge}): for tree kinds each physical index sorts a
+    private copy in its own order and bulk-inserts it, in parallel on
+    [pool] (the parallel structural merge); for hash kinds — whose
+    secondary multimaps do not deduplicate — inserts are gated per tuple
+    on primary freshness like {!insert}, spread on [pool] when the kind
+    takes concurrent inserts.  Like {!insert}, counts nothing into the
+    stats — callers account freshness themselves.  Returns the number of
+    tuples that were new.  Must run in a write phase: safe against
+    concurrent writers, never concurrent with readers. *)
+
 val hint_counters : t -> (int * int) option
 (** Aggregated (hits, misses) of every hint-carrying cursor over all of the
     relation's indexes; [None] for hint-less storage kinds. *)
@@ -56,7 +69,12 @@ val sig_id : t -> int array -> int
 (** Index id of a signature for {!Cursor.scan}; [-1] denotes the primary.
     @raise Not_found if the signature was not declared at creation. *)
 
-(** Per-worker access handles (hint-carrying cursors over every index). *)
+(** Per-worker access handles (hint-carrying cursors over every index).
+
+    Deprecated surface: a [Cursor.t] can both insert and scan, so nothing
+    stops a caller from mixing phases.  Prefer the typed phase handles
+    below ({!begin_write} / {!begin_read}); [Cursor] remains for one
+    release for callers that manage phases externally. *)
 module Cursor : sig
   type rel = t
   type t
@@ -72,3 +90,47 @@ module Cursor : sig
   (** [scan c sig_id bound f]: enumerate tuples matching [bound] on the
       signature [sig_id] (from {!sig_id}); [-1] scans the whole relation. *)
 end
+
+(** {1 Typed two-phase access}
+
+    In every parallel region a relation is either written or read, never
+    both — the discipline parallel semi-naive evaluation guarantees and
+    the B-tree's synchronisation is specialised for.  The typed handles
+    make the phase explicit: a {!Writer.t} can only insert, a {!Reader.t}
+    can only query.  Opening a phase while the opposite phase is live
+    raises {!Storage.Index.Phase_violation} (both phases are counted in
+    one atomic word, so the overlap check has no window).  Any number of
+    concurrent writers — or concurrent readers — may be open at once;
+    create one handle per worker, and {!Writer.finish}/{!Reader.finish} it
+    when the phase ends. *)
+
+(** Write-phase handle: hinted inserts and batch merges only. *)
+module Writer : sig
+  type rel = t
+  type t
+
+  val insert : t -> int array -> bool
+  (** Hinted per-tuple insert (counts stats like {!Cursor.insert}). *)
+
+  val insert_batch : ?pool:Pool.t -> t -> int array array -> int
+  (** {!merge_batch} through this writer. *)
+
+  val finish : t -> unit
+  (** Close the phase.  @raise Invalid_argument if already finished. *)
+end
+
+(** Read-phase handle: hinted membership and scans only. *)
+module Reader : sig
+  type rel = t
+  type t
+
+  val mem : t -> int array -> bool
+  val scan : t -> int -> int array -> (int array -> unit) -> unit
+  val finish : t -> unit
+end
+
+val begin_write : t -> Writer.t
+(** @raise Storage.Index.Phase_violation while a read phase is open. *)
+
+val begin_read : t -> Reader.t
+(** @raise Storage.Index.Phase_violation while a write phase is open. *)

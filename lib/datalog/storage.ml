@@ -2,28 +2,6 @@ type kind = Btree | Btree_nohints | Rbtree | Hashset | Bplus | Tbb_hash
 
 let all_kinds = [ Btree; Btree_nohints; Rbtree; Hashset; Bplus; Tbb_hash ]
 
-let kind_name = function
-  | Btree -> "btree"
-  | Btree_nohints -> "btree (n/h)"
-  | Rbtree -> "rbtset"
-  | Hashset -> "hashset"
-  | Bplus -> "google btree"
-  | Tbb_hash -> "tbb hashset"
-
-let kind_of_name s =
-  match String.lowercase_ascii (String.trim s) with
-  | "btree" -> Some Btree
-  | "btree-nohints" | "btree (n/h)" | "btree_nohints" -> Some Btree_nohints
-  | "rbtree" | "rbtset" -> Some Rbtree
-  | "hashset" -> Some Hashset
-  | "bplus" | "google" | "google btree" -> Some Bplus
-  | "tbb" | "tbb hashset" | "tbb_hash" -> Some Tbb_hash
-  | _ -> None
-
-let thread_safe_insert = function
-  | Btree | Btree_nohints | Tbb_hash -> true
-  | Rbtree | Hashset | Bplus -> false
-
 (* Key module comparing int-array tuples in [cols]-major order, remaining
    columns in ascending position order.  The comparator is specialised for
    the common arities: without cross-module inlining every K.compare call is
@@ -102,6 +80,11 @@ module Index = struct
 
   type t = {
     i_insert : int array -> bool;
+    i_insert_batch : int array array -> int;
+        (* sorted run in the index's own order; returns fresh count *)
+    i_merge : Pool.t option -> int array array -> int;
+        (* unsorted tuples: sort a private copy in index order, then batch
+           insert — partitioned across the pool for concurrent kinds *)
     i_mem : int array -> bool;
     i_iter : (int array -> unit) -> unit;
     i_cardinal : unit -> int;
@@ -111,6 +94,32 @@ module Index = struct
     i_shape : unit -> Tree_shape.t option; (* B-tree kinds only *)
     i_hint_runs : unit -> int array option; (* hinted B-tree kinds only *)
   }
+
+  (* Below this many tuples a parallel merge costs more in pool fork-join
+     than the insert work it spreads. *)
+  let merge_parallel_cutoff = 1024
+
+  (* [tuples] itself when already non-decreasing in [compare]'s order (the
+     common case for loader shards and pre-sorted deltas — one linear scan
+     beats a redundant heapsort), else a sorted private copy. *)
+  let sorted_run ~compare tuples =
+    let n = Array.length tuples in
+    let i = ref 1 in
+    while !i < n && compare tuples.(!i - 1) tuples.(!i) <= 0 do incr i done;
+    if !i >= n then tuples
+    else begin
+      let run = Array.copy tuples in
+      Array.sort compare run;
+      run
+    end
+
+  (* Serial fallback shared by the kinds without a native batch path: sort
+     in the structure's own order, then loop. *)
+  let sort_and_count ~compare ~insert tuples =
+    let run = sorted_run ~compare tuples in
+    let fresh = ref 0 in
+    Array.iter (fun tup -> if insert tup then incr fresh) run;
+    !fresh
 
   (* element-wise sum of equal-length hint-run histograms *)
   let merge_runs a b =
@@ -196,8 +205,58 @@ module Index = struct
         c_scan = (fun ~cols bound f -> scan h scratch ~cols bound f);
       }
     in
+    (* Parallel structural merge (delta -> full): sort the incoming tuples
+       in this index's order, partition the run by the full tree's internal
+       separators so every partition descends into a disjoint region, and
+       batch-insert the partitions on the pool with per-partition hints. *)
+    let merge pool tuples =
+      let n = Array.length tuples in
+      if n = 0 then 0
+      else begin
+        let cmp = Btree_tuples.compare_tuples tree in
+        let run = sorted_run ~compare:cmp tuples in
+        match pool with
+        | Some p when Pool.size p > 1 && n >= merge_parallel_cutoff ->
+          let seps =
+            Btree_tuples.separators tree ~limit:((Pool.size p * 4) - 1)
+          in
+          let nseps = Array.length seps in
+          let bounds = Array.make (nseps + 2) 0 in
+          bounds.(nseps + 1) <- n;
+          for s = 0 to nseps - 1 do
+            (* first run index >= seps.(s); searches start at the previous
+               boundary, so the bounds stay non-decreasing *)
+            let lo = ref bounds.(s) and hi = ref n in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if cmp run.(mid) seps.(s) < 0 then lo := mid + 1 else hi := mid
+            done;
+            bounds.(s + 1) <- !lo
+          done;
+          let fresh = Atomic.make 0 in
+          (* one hint record per worker, reused across every partition the
+             worker steals (chunk 1: partitions are coarse units already) *)
+          let whints =
+            Array.init (Pool.size p) (fun _ -> Btree_tuples.make_hints ())
+          in
+          Pool.parallel_for_workers ~label:"merge" ~chunk:1 p 0 (nseps + 1)
+            (fun w part ->
+              let lo = bounds.(part) and hi = bounds.(part + 1) in
+              if hi > lo then begin
+                let f =
+                  Btree_tuples.insert_batch ~hints:whints.(w) ~pos:lo
+                    ~len:(hi - lo) tree run
+                in
+                ignore (Atomic.fetch_and_add fresh f : int)
+              end);
+          Atomic.get fresh
+        | _ -> Btree_tuples.insert_batch tree run
+      end
+    in
     {
       i_insert = (fun tup -> Btree_tuples.insert tree tup);
+      i_insert_batch = (fun run -> Btree_tuples.insert_batch tree run);
+      i_merge = merge;
       i_mem = (fun tup -> Btree_tuples.mem tree tup);
       i_iter = (fun f -> Btree_tuples.iter f tree);
       i_cardinal = (fun () -> Btree_tuples.cardinal tree);
@@ -256,6 +315,11 @@ module Index = struct
     in
     {
       i_insert = (fun tup -> T.insert tree tup);
+      i_insert_batch = (fun run -> T.insert_batch tree run);
+      i_merge =
+        (fun _pool tuples ->
+          (* not thread-safe: always a serial sorted loop *)
+          sort_and_count ~compare:K.compare ~insert:(T.insert tree) tuples);
       i_mem = (fun tup -> T.mem tree tup);
       i_iter = (fun f -> T.iter f tree);
       i_cardinal = (fun () -> T.cardinal tree);
@@ -299,6 +363,10 @@ module Index = struct
     in
     {
       i_insert = (fun tup -> T.insert tree tup);
+      i_insert_batch = (fun run -> T.insert_batch tree run);
+      i_merge =
+        (fun _pool tuples ->
+          sort_and_count ~compare:K.compare ~insert:(T.insert tree) tuples);
       i_mem = (fun tup -> T.mem tree tup);
       i_iter = (fun f -> T.iter f tree);
       i_cardinal = (fun () -> T.cardinal tree);
@@ -342,6 +410,16 @@ module Index = struct
       in
       {
         i_insert = (fun tup -> H.insert set tup);
+        i_insert_batch =
+          (fun run ->
+            let fresh = ref 0 in
+            Array.iter (fun tup -> if H.insert set tup then incr fresh) run;
+            !fresh);
+        i_merge =
+          (fun _pool tuples ->
+            let fresh = ref 0 in
+            Array.iter (fun tup -> if H.insert set tup then incr fresh) tuples;
+            !fresh);
         i_mem = (fun tup -> H.mem set tup);
         i_iter = (fun f -> H.iter f set);
         i_cardinal = (fun () -> H.cardinal set);
@@ -381,8 +459,15 @@ module Index = struct
           c_scan = scan;
         }
       in
+      let insert_many run =
+        (* multimap: every insert lands, so freshness is the tuple count *)
+        Array.iter (fun tup -> ignore (insert tup : bool)) run;
+        Array.length run
+      in
       {
         i_insert = insert;
+        i_insert_batch = insert_many;
+        i_merge = (fun _pool tuples -> insert_many tuples);
         i_mem =
           (fun tup ->
             match Tuple_tbl.find_opt tbl (key_of tup) with
@@ -419,8 +504,32 @@ module Index = struct
               H.iter f set);
         }
       in
+      let merge pool tuples =
+        let n = Array.length tuples in
+        match pool with
+        | Some p when Pool.size p > 1 && n >= merge_parallel_cutoff ->
+          (* inserts are thread-safe; no order to exploit, just spread *)
+          let fresh = Atomic.make 0 in
+          Pool.parallel_for_ranges ~label:"merge" p 0 n (fun _w lo hi ->
+              let f = ref 0 in
+              for i = lo to hi - 1 do
+                if H.insert set tuples.(i) then incr f
+              done;
+              ignore (Atomic.fetch_and_add fresh !f : int));
+          Atomic.get fresh
+        | _ ->
+          let fresh = ref 0 in
+          Array.iter (fun tup -> if H.insert set tup then incr fresh) tuples;
+          !fresh
+      in
       {
         i_insert = (fun tup -> H.insert set tup);
+        i_insert_batch =
+          (fun run ->
+            let fresh = ref 0 in
+            Array.iter (fun tup -> if H.insert set tup then incr fresh) run;
+            !fresh);
+        i_merge = merge;
         i_mem = (fun tup -> H.mem set tup);
         i_iter = (fun f -> H.iter f set);
         i_cardinal = (fun () -> H.cardinal set);
@@ -477,8 +586,25 @@ module Index = struct
           c_scan = scan;
         }
       in
+      let insert_many run =
+        Array.iter (fun tup -> ignore (insert tup : bool)) run;
+        Array.length run
+      in
+      let merge pool tuples =
+        let n = Array.length tuples in
+        match pool with
+        | Some p when Pool.size p > 1 && n >= merge_parallel_cutoff ->
+          Pool.parallel_for_ranges ~label:"merge" p 0 n (fun _w lo hi ->
+              for i = lo to hi - 1 do
+                ignore (insert tuples.(i) : bool)
+              done);
+          n
+        | _ -> insert_many tuples
+      in
       {
         i_insert = insert;
+        i_insert_batch = insert_many;
+        i_merge = merge;
         i_mem = mem;
         i_iter = iter;
         i_cardinal =
@@ -496,6 +622,89 @@ module Index = struct
       i_hint_runs = (fun () -> None);
       }
     end
+
+  (* ---------------- backend dispatch table ---------------- *)
+
+  (* One first-class module per storage kind: its naming, concurrency
+     capabilities, and index factory.  Every per-kind decision in the
+     storage layer and above (naming, write locking, index sharing, index
+     construction) routes through this table instead of scattered
+     matches. *)
+  module type BACKEND = sig
+    val kind : kind
+
+    val name : string
+    (** Display name, as used in the paper's figures. *)
+
+    val aliases : string list
+    (** Lower-case spellings accepted by {!kind_of_name} (including the
+        display name). *)
+
+    val thread_safe_insert : bool
+    val shares_indexes : bool
+
+    val make :
+      arity:int ->
+      cols:int array ->
+      order:int array option ->
+      stats:Dl_stats.t option ->
+      t
+  end
+
+  let backends : (module BACKEND) list =
+    [
+      (module struct
+        let kind = Btree
+        let name = "btree"
+        let aliases = [ "btree" ]
+        let thread_safe_insert = true
+        let shares_indexes = true
+        let make = make_btree ~hints:true
+      end);
+      (module struct
+        let kind = Btree_nohints
+        let name = "btree (n/h)"
+        let aliases = [ "btree-nohints"; "btree (n/h)"; "btree_nohints" ]
+        let thread_safe_insert = true
+        let shares_indexes = true
+        let make = make_btree ~hints:false
+      end);
+      (module struct
+        let kind = Rbtree
+        let name = "rbtset"
+        let aliases = [ "rbtree"; "rbtset" ]
+        let thread_safe_insert = false
+        let shares_indexes = true
+        let make = make_rbtree
+      end);
+      (module struct
+        let kind = Hashset
+        let name = "hashset"
+        let aliases = [ "hashset" ]
+        let thread_safe_insert = false
+        let shares_indexes = false
+        let make ~arity ~cols ~order:_ ~stats = make_hashset ~arity ~cols ~stats
+      end);
+      (module struct
+        let kind = Bplus
+        let name = "google btree"
+        let aliases = [ "bplus"; "google"; "google btree" ]
+        let thread_safe_insert = false
+        let shares_indexes = true
+        let make = make_bplus
+      end);
+      (module struct
+        let kind = Tbb_hash
+        let name = "tbb hashset"
+        let aliases = [ "tbb"; "tbb hashset"; "tbb_hash" ]
+        let thread_safe_insert = true
+        let shares_indexes = false
+        let make ~arity ~cols ~order:_ ~stats = make_tbb ~arity ~cols ~stats
+      end);
+    ]
+
+  let backend k =
+    List.find (fun (module B : BACKEND) -> B.kind = k) backends
 
   let create kind ~arity ~cols ?order ~stats () =
     (match cols with
@@ -522,13 +731,8 @@ module Index = struct
       let sp = List.sort compare (Array.to_list prefix) in
       if Array.length cols > Array.length o || sp <> Array.to_list cols then
         invalid_arg "Storage.Index.create: cols not a prefix set of order");
-    match kind with
-    | Btree -> make_btree ~hints:true ~arity ~cols ~order ~stats
-    | Btree_nohints -> make_btree ~hints:false ~arity ~cols ~order ~stats
-    | Rbtree -> make_rbtree ~arity ~cols ~order ~stats
-    | Bplus -> make_bplus ~arity ~cols ~order ~stats
-    | Hashset -> make_hashset ~arity ~cols ~stats
-    | Tbb_hash -> make_tbb ~arity ~cols ~stats
+    let (module B) = backend kind in
+    B.make ~arity ~cols ~order ~stats
 
   let hint_counters t = t.i_hint_counters ()
   let shape t = t.i_shape ()
@@ -585,6 +789,8 @@ module Index = struct
     in
     {
       i_insert = (fun tup -> as_writer (fun () -> t.i_insert tup));
+      i_insert_batch = (fun run -> as_writer (fun () -> t.i_insert_batch run));
+      i_merge = (fun pool tuples -> as_writer (fun () -> t.i_merge pool tuples));
       i_mem = (fun tup -> as_reader (fun () -> t.i_mem tup));
       i_iter = (fun f -> as_reader (fun () -> t.i_iter f));
       i_cardinal = t.i_cardinal;
@@ -596,6 +802,8 @@ module Index = struct
     }
 
   let insert t tup = t.i_insert tup
+  let insert_batch t run = t.i_insert_batch run
+  let merge ?pool t tuples = t.i_merge pool tuples
   let mem t tup = t.i_mem tup
   let iter t f = t.i_iter f
   let cardinal t = t.i_cardinal ()
@@ -604,3 +812,23 @@ module Index = struct
   let c_mem c tup = c.c_mem tup
   let c_scan c ~cols bound f = c.c_scan ~cols bound f
 end
+
+(* Kind metadata, all answered by the backend table. *)
+let kind_name k =
+  let (module B : Index.BACKEND) = Index.backend k in
+  B.name
+
+let thread_safe_insert k =
+  let (module B : Index.BACKEND) = Index.backend k in
+  B.thread_safe_insert
+
+let shares_indexes k =
+  let (module B : Index.BACKEND) = Index.backend k in
+  B.shares_indexes
+
+let kind_of_name s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_map
+    (fun (module B : Index.BACKEND) ->
+      if List.mem s B.aliases then Some B.kind else None)
+    Index.backends

@@ -36,6 +36,15 @@ val kind_of_name : string -> kind option
 val thread_safe_insert : kind -> bool
 (** Whether [insert] may be called concurrently without external locking. *)
 
+val shares_indexes : kind -> bool
+(** Whether one physical index can serve every signature on a containment
+    chain (tree kinds, via an explicit [order]); hash multimaps serve
+    exactly one signature each.
+
+    All per-kind metadata ([kind_name], {!thread_safe_insert}, this) is
+    answered by one internal backend table — a first-class module per kind
+    also holding its index factory — rather than per-call matches. *)
+
 module Index : sig
   type t
 
@@ -64,6 +73,26 @@ module Index : sig
       Returns [true] iff new.  Only meaningful as a freshness signal on the
       primary index; secondary indexes always contain exactly the tuples of
       the primary. *)
+
+  val insert_batch : t -> int array array -> int
+  (** [insert_batch t run] adds a run of tuples sorted in {e this index's}
+      comparison order (non-decreasing; duplicates skipped) and returns the
+      fresh-tuple count.  Tree kinds amortise one descent and one leaf
+      write permit across each leaf's worth of the run
+      ({!Btree_tuples.insert_batch}); hash kinds degrade to an insert loop.
+      Freshness is only meaningful on the primary index.
+      @raise Invalid_argument when the run is not sorted (ordered kinds). *)
+
+  val merge : ?pool:Pool.t -> t -> int array array -> int
+  (** [merge ?pool t tuples] inserts an {e unsorted} tuple array: sorts a
+      private copy in the index's own order and feeds it to the batch
+      path.  With a pool of more than one worker and enough tuples,
+      thread-safe kinds run the merge in parallel — the B-tree kinds
+      partition the run by the tree's internal separators so every
+      partition descends into a disjoint subtree and batch-inserts with
+      its own hints (the parallel structural merge); concurrent hash kinds
+      spread a plain insert loop.  Serial for the thread-unsafe kinds.
+      Returns the fresh-tuple count (primary index only). *)
 
   val mem : t -> int array -> bool
   val iter : t -> (int array -> unit) -> unit

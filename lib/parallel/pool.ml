@@ -154,7 +154,7 @@ let run ?(label = "job") p f =
       ~cat:"pool" label t0
   end
 
-let parallel_for ?label p ?chunk lo hi f =
+let parallel_for_workers ?label p ?chunk lo hi f =
   if hi > lo then begin
     let n = hi - lo in
     let chunk =
@@ -164,13 +164,13 @@ let parallel_for ?label p ?chunk lo hi f =
       | None -> max 1 (n / (p.size * 8))
     in
     let cursor = Atomic.make lo in
-    let work _w =
+    let work w =
       let rec take () =
         let start = Atomic.fetch_and_add cursor chunk in
         if start < hi then begin
           let stop = min hi (start + chunk) in
           for i = start to stop - 1 do
-            f i
+            f w i
           done;
           take ()
         end
@@ -179,6 +179,9 @@ let parallel_for ?label p ?chunk lo hi f =
     in
     run ?label p work
   end
+
+let parallel_for ?label p ?chunk lo hi f =
+  parallel_for_workers ?label p ?chunk lo hi (fun _w i -> f i)
 
 let partition ~workers ~lo ~hi w =
   (* Contiguous partition of [lo, hi) into [workers] near-equal ranges. *)

@@ -36,6 +36,14 @@ val parallel_for : ?label:string -> t -> ?chunk:int -> int -> int -> (int -> uni
     on the iteration count and pool size).  Corresponds to OpenMP
     [schedule(dynamic, chunk)]. *)
 
+val parallel_for_workers :
+  ?label:string -> t -> ?chunk:int -> int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for_workers p lo hi f] is {!parallel_for} with the executing
+    worker made visible: [f w i] runs iteration [i] on worker
+    [w < size p].  Dynamic scheduling with per-worker state — the shape of
+    the parallel structural merge, where each worker reuses one hint
+    record across however many partitions it ends up stealing. *)
+
 val parallel_for_ranges :
   ?label:string -> t -> int -> int -> (int -> int -> int -> unit) -> unit
 (** [parallel_for_ranges p lo hi f] partitions [\[lo, hi)] into [size]

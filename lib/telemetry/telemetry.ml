@@ -283,6 +283,10 @@ module Counter = struct
     | Btree_root_splits
     | Btree_hint_hits
     | Btree_hint_misses
+    (* batch write path (sorted-run inserts / structural merge) *)
+    | Btree_batch_keys
+    | Btree_batch_leaves
+    | Btree_batch_splices
     (* domain pool (lib/parallel) *)
     | Pool_jobs
     | Pool_busy_ns
@@ -297,7 +301,8 @@ module Counter = struct
       Olock_read_spins; Olock_write_spins; Olock_validation_failures;
       Olock_upgrade_failures; Olock_write_aborts; Btree_restarts;
       Btree_leaf_splits; Btree_inner_splits; Btree_root_splits;
-      Btree_hint_hits; Btree_hint_misses; Pool_jobs; Pool_busy_ns;
+      Btree_hint_hits; Btree_hint_misses; Btree_batch_keys;
+      Btree_batch_leaves; Btree_batch_splices; Pool_jobs; Pool_busy_ns;
       Pool_wall_ns; Eval_iterations; Eval_rule_evals; Eval_delta_tuples;
     ]
 
@@ -313,12 +318,15 @@ module Counter = struct
     | Btree_root_splits -> 8
     | Btree_hint_hits -> 9
     | Btree_hint_misses -> 10
-    | Pool_jobs -> 11
-    | Pool_busy_ns -> 12
-    | Pool_wall_ns -> 13
-    | Eval_iterations -> 14
-    | Eval_rule_evals -> 15
-    | Eval_delta_tuples -> 16
+    | Btree_batch_keys -> 11
+    | Btree_batch_leaves -> 12
+    | Btree_batch_splices -> 13
+    | Pool_jobs -> 14
+    | Pool_busy_ns -> 15
+    | Pool_wall_ns -> 16
+    | Eval_iterations -> 17
+    | Eval_rule_evals -> 18
+    | Eval_delta_tuples -> 19
 
   let count = List.length all
 
@@ -334,6 +342,9 @@ module Counter = struct
     | Btree_root_splits -> "btree.root_splits"
     | Btree_hint_hits -> "btree.hint_hits"
     | Btree_hint_misses -> "btree.hint_misses"
+    | Btree_batch_keys -> "btree.batch_keys"
+    | Btree_batch_leaves -> "btree.batch_leaves"
+    | Btree_batch_splices -> "btree.batch_splices"
     | Pool_jobs -> "pool.jobs"
     | Pool_busy_ns -> "pool.busy_ns"
     | Pool_wall_ns -> "pool.wall_ns"
@@ -360,23 +371,25 @@ module Hist = struct
     | Btree_insert_ns
     | Btree_find_ns
     | Btree_bound_ns
+    | Btree_batch_ns
     | Olock_write_wait_ns
     | Pool_job_ns
     | Eval_iteration_ns
 
   let all =
     [
-      Btree_insert_ns; Btree_find_ns; Btree_bound_ns; Olock_write_wait_ns;
-      Pool_job_ns; Eval_iteration_ns;
+      Btree_insert_ns; Btree_find_ns; Btree_bound_ns; Btree_batch_ns;
+      Olock_write_wait_ns; Pool_job_ns; Eval_iteration_ns;
     ]
 
   let index = function
     | Btree_insert_ns -> 0
     | Btree_find_ns -> 1
     | Btree_bound_ns -> 2
-    | Olock_write_wait_ns -> 3
-    | Pool_job_ns -> 4
-    | Eval_iteration_ns -> 5
+    | Btree_batch_ns -> 3
+    | Olock_write_wait_ns -> 4
+    | Pool_job_ns -> 5
+    | Eval_iteration_ns -> 6
 
   let count = List.length all
 
@@ -384,6 +397,7 @@ module Hist = struct
     | Btree_insert_ns -> "btree.insert_ns"
     | Btree_find_ns -> "btree.find_ns"
     | Btree_bound_ns -> "btree.lower_bound_ns"
+    | Btree_batch_ns -> "btree.batch_ns"
     | Olock_write_wait_ns -> "olock.write_wait_ns"
     | Pool_job_ns -> "pool.job_ns"
     | Eval_iteration_ns -> "eval.iteration_ns"
@@ -393,9 +407,12 @@ module Hist = struct
      the operation it measures).  The coarse sites record every event:
      olock write waits are contention (rare by construction), pool jobs and
      eval iterations are milliseconds apart. *)
+  (* Batch calls are coarse by construction (one per sorted run or merge
+     partition), so they record every event like the other coarse sites. *)
   let sample_shift = function
     | Btree_insert_ns | Btree_find_ns | Btree_bound_ns -> 6
-    | Olock_write_wait_ns | Pool_job_ns | Eval_iteration_ns -> 0
+    | Btree_batch_ns | Olock_write_wait_ns | Pool_job_ns | Eval_iteration_ns ->
+      0
 
   (* Log-linear (HDR-style) bucketing: values below [2^sub_bits] get exact
      buckets; above, each power-of-two octave is divided into [2^sub_bits]

@@ -68,6 +68,15 @@ module Counter : sig
     | Btree_root_splits  (** splits that grew the tree by one level *)
     | Btree_hint_hits
     | Btree_hint_misses
+    | Btree_batch_keys
+        (** keys offered to the sorted-run batch insert path *)
+    | Btree_batch_leaves
+        (** leaf write-lock acquisitions of the batch path (descents plus
+            hint hits) — the amortisation denominator of
+            [Btree_batch_keys] *)
+    | Btree_batch_splices
+        (** bulk gap splices performed by the batch path (each one inserts
+            a run of consecutive keys with two blits) *)
     | Pool_jobs  (** fork-join jobs executed *)
     | Pool_busy_ns  (** summed per-worker busy time inside jobs *)
     | Pool_wall_ns
@@ -101,6 +110,9 @@ module Hist : sig
     | Btree_insert_ns  (** sampled [insert] latency *)
     | Btree_find_ns  (** sampled [mem]/[find] latency *)
     | Btree_bound_ns  (** sampled [lower_bound]/[upper_bound] latency *)
+    | Btree_batch_ns
+        (** [insert_batch] call latency (one event per sorted run or merge
+            partition; unsampled) *)
     | Olock_write_wait_ns
         (** contended write acquisitions only: time from first failed
             [try_start_write] to acquisition *)

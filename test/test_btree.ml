@@ -679,6 +679,163 @@ let test_hint_run_hist () =
   check_bool "reset clears run histogram" true
     (Array.for_all (fun c -> c = 0) (T.hint_run_hist h))
 
+(* ------------------------------------------------------------------ *)
+(* batch inserts                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_run keys = Array.of_list (ISet.elements (ISet.of_list keys))
+
+let test_batch_basic () =
+  let t = T.create ~capacity:4 () in
+  let run = Array.init 1000 (fun i -> i * 2) in
+  check_int "all fresh" 1000 (T.insert_batch t run);
+  T.check_invariants t;
+  check_int "cardinal" 1000 (T.cardinal t);
+  check_int "replay inserts nothing" 0 (T.insert_batch t run);
+  T.check_invariants t;
+  check_int "cardinal unchanged" 1000 (T.cardinal t)
+
+let test_batch_duplicates_in_run () =
+  (* non-decreasing runs are legal; duplicates are skipped *)
+  let t = T.create ~capacity:4 () in
+  check_int "fresh" 3 (T.insert_batch t [| 1; 1; 2; 2; 2; 9 |]);
+  T.check_invariants t;
+  check_ilist "contents" [ 1; 2; 9 ] (T.to_list t)
+
+let test_batch_rejects_unsorted () =
+  let t = T.create () in
+  Alcotest.check_raises "decreasing run"
+    (Invalid_argument "Btree.insert_batch: run not sorted") (fun () ->
+      ignore (T.insert_batch t [| 3; 1 |] : int));
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Btree.insert_batch: invalid range") (fun () ->
+      ignore (T.insert_batch ~pos:1 ~len:3 t [| 1; 2; 3 |] : int))
+
+let test_batch_into_populated () =
+  (* batch into a tree that already holds every other key *)
+  let r = rng 11 in
+  let t = T.create ~capacity:5 () in
+  let model = ref ISet.empty in
+  for _ = 1 to 2_000 do
+    let k = r 4000 in
+    ignore (T.insert t k : bool);
+    model := ISet.add k !model
+  done;
+  let run = Array.init 1500 (fun i -> (i * 3) + 1) in
+  let expected_fresh =
+    Array.fold_left
+      (fun n k -> if ISet.mem k !model then n else n + 1)
+      0 run
+  in
+  check_int "fresh count" expected_fresh (T.insert_batch t run);
+  T.check_invariants t;
+  Array.iter (fun k -> model := ISet.add k !model) run;
+  check_ilist "contents match model" (ISet.elements !model) (T.to_list t)
+
+let prop_batch_matches_serial =
+  QCheck.Test.make ~count:200 ~name:"batch = one-by-one"
+    QCheck.(list (int_bound 2000))
+    (fun keys ->
+      let run = sorted_run keys in
+      let a = T.create ~capacity:4 () in
+      Array.iter (fun k -> ignore (T.insert a k : bool)) run;
+      let b = T.create ~capacity:4 () in
+      let fresh = T.insert_batch b run in
+      T.check_invariants b;
+      fresh = Array.length run && T.equal a b)
+
+let prop_batch_windows_match_whole =
+  (* the run delivered in consecutive ~pos/~len windows = one batch *)
+  QCheck.Test.make ~count:200 ~name:"windowed batches = whole batch"
+    QCheck.(pair (list (int_bound 1500)) (int_range 1 64))
+    (fun (keys, width) ->
+      let run = sorted_run keys in
+      let a = T.create ~capacity:4 () in
+      ignore (T.insert_batch a run : int);
+      let b = T.create ~capacity:4 () in
+      let h = T.make_hints () in
+      let n = Array.length run in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min width (n - !pos) in
+        ignore (T.insert_batch ~hints:h ~pos:!pos ~len b run : int);
+        T.check_invariants b;
+        pos := !pos + len
+      done;
+      T.equal a b)
+
+let prop_session_batch_matches =
+  QCheck.Test.make ~count:100 ~name:"session batch/insert = plain"
+    QCheck.(pair (list (int_bound 500)) (list (int_bound 500)))
+    (fun (batched, singles) ->
+      let run = sorted_run batched in
+      let a = T.create ~capacity:4 () in
+      ignore (T.insert_batch a run : int);
+      List.iter (fun k -> ignore (T.insert a k : bool)) singles;
+      let b = T.create ~capacity:4 () in
+      let s = T.session b in
+      ignore (T.s_insert_batch s run : int);
+      List.iter (fun k -> ignore (T.s_insert s k : bool)) singles;
+      T.check_invariants b;
+      T.equal a b)
+
+let test_concurrent_batch_partitions () =
+  (* the parallel structural merge's access pattern: every domain
+     batch-inserts one contiguous partition of a shared sorted run *)
+  let t = T.create ~capacity:8 () in
+  (* pre-seed so partitions touch a tree with real structure *)
+  let n = 80_000 in
+  for i = 0 to (n / 16) - 1 do
+    ignore (T.insert t (i * 16) : bool)
+  done;
+  let seeded = T.cardinal t in
+  let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let run = Array.init n Fun.id in
+  let fresh = Atomic.make 0 in
+  let worker w () =
+    let h = T.make_hints () in
+    let lo = w * n / d and hi = (w + 1) * n / d in
+    let f = T.insert_batch ~hints:h ~pos:lo ~len:(hi - lo) t run in
+    ignore (Atomic.fetch_and_add fresh f : int)
+  in
+  let ds = List.init d (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join ds;
+  T.check_invariants t;
+  check_int "cardinal" n (T.cardinal t);
+  check_int "fresh total" (n - seeded) (Atomic.get fresh);
+  for i = 0 to n - 1 do
+    if not (T.mem t i) then Alcotest.failf "lost key %d" i
+  done
+
+let test_concurrent_batch_vs_single () =
+  (* batches racing per-key inserts over overlapping keys: freshness must
+     stay exact *)
+  let t = T.create ~capacity:8 () in
+  let n = 40_000 in
+  let run = Array.init n Fun.id in
+  let fresh = Atomic.make 0 in
+  let batch_worker () =
+    let h = T.make_hints () in
+    ignore (Atomic.fetch_and_add fresh (T.insert_batch ~hints:h t run) : int)
+  in
+  let single_worker () =
+    let h = T.make_hints () in
+    let mine = ref 0 in
+    for i = 0 to n - 1 do
+      if T.insert ~hints:h t i then incr mine
+    done;
+    ignore (Atomic.fetch_and_add fresh !mine : int)
+  in
+  let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let ds =
+    List.init d (fun w ->
+        Domain.spawn (if w land 1 = 0 then batch_worker else single_worker))
+  in
+  List.iter Domain.join ds;
+  T.check_invariants t;
+  check_int "cardinal" n (T.cardinal t);
+  check_int "fresh total" n (Atomic.get fresh)
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -734,6 +891,15 @@ let () =
           Alcotest.test_case "copy" `Quick test_iterator_copy;
           Alcotest.test_case "set predicates" `Quick test_set_predicates;
         ] );
+      ( "batch",
+        [
+          Alcotest.test_case "basic" `Quick test_batch_basic;
+          Alcotest.test_case "duplicates in run" `Quick
+            test_batch_duplicates_in_run;
+          Alcotest.test_case "rejects unsorted" `Quick
+            test_batch_rejects_unsorted;
+          Alcotest.test_case "into populated" `Quick test_batch_into_populated;
+        ] );
       qsuite "properties"
         [
           prop_iterator_matches_to_list;
@@ -743,6 +909,9 @@ let () =
           prop_bounds_match_model;
           prop_bulk_build;
           prop_hints_transparent;
+          prop_batch_matches_serial;
+          prop_batch_windows_match_whole;
+          prop_session_batch_matches;
         ];
       ( "concurrency",
         [
@@ -751,5 +920,9 @@ let () =
           Alcotest.test_case "random union" `Quick test_concurrent_random;
           Alcotest.test_case "split storm" `Quick test_concurrent_split_storm;
           Alcotest.test_case "via pool" `Quick test_concurrent_via_pool;
+          Alcotest.test_case "batch partitions" `Quick
+            test_concurrent_batch_partitions;
+          Alcotest.test_case "batch vs single" `Quick
+            test_concurrent_batch_vs_single;
         ] );
     ]

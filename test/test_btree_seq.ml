@@ -164,6 +164,36 @@ let prop_bulk_matches =
       S.check_invariants a;
       S.to_list a = S.to_list b)
 
+let prop_batch_eq_concurrent_batch =
+  (* sequential batch = concurrent batch = one-by-one *)
+  QCheck.Test.make ~count:200 ~name:"insert_batch = concurrent insert_batch"
+    QCheck.(list (int_bound 2000))
+    (fun keys ->
+      let run = Array.of_list (ISet.elements (ISet.of_list keys)) in
+      let s = S.create ~capacity:4 () in
+      let fs = S.insert_batch s run in
+      S.check_invariants s;
+      let c = C.create ~capacity:4 () in
+      let fc = C.insert_batch c run in
+      C.check_invariants c;
+      let serial = S.create ~capacity:4 () in
+      Array.iter (fun k -> ignore (S.insert serial k : bool)) run;
+      fs = fc && S.to_list s = C.to_list c && S.to_list s = S.to_list serial)
+
+let test_batch_rejects_unsorted () =
+  let t = S.create () in
+  Alcotest.check_raises "decreasing run"
+    (Invalid_argument "Btree_seq.insert_batch: run not sorted") (fun () ->
+      ignore (S.insert_batch t [| 3; 1 |] : int))
+
+let test_session_batch () =
+  let t = S.create ~capacity:4 () in
+  let sess = S.session t in
+  check_int "fresh" 100 (S.s_insert_batch sess (Array.init 100 Fun.id));
+  check_int "replay" 0 (S.s_insert_batch sess (Array.init 100 Fun.id));
+  check_bool "mem" true (S.s_mem sess 42);
+  S.check_invariants t
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -186,7 +216,15 @@ let () =
         [
           Alcotest.test_case "of_sorted_array" `Quick test_bulk_build;
           Alcotest.test_case "insert_all" `Quick test_insert_all;
+          Alcotest.test_case "batch rejects unsorted" `Quick
+            test_batch_rejects_unsorted;
+          Alcotest.test_case "session batch" `Quick test_session_batch;
         ] );
       qsuite "properties"
-        [ prop_seq_eq_concurrent; prop_hinted_model; prop_bulk_matches ];
+        [
+          prop_seq_eq_concurrent;
+          prop_hinted_model;
+          prop_bulk_matches;
+          prop_batch_eq_concurrent_batch;
+        ];
     ]

@@ -187,6 +187,122 @@ let test_concurrent_inserts () =
   check_int "cardinal" expected (Btree_tuples.cardinal t);
   check_int "fresh total" expected (Atomic.get fresh)
 
+(* ------------------------------------------------------------------ *)
+(* batch inserts + structural merge pieces                             *)
+(* ------------------------------------------------------------------ *)
+
+module TS = Set.Make (struct
+  type t = int array
+
+  let compare = Key.Int_array.compare
+end)
+
+let sorted_tuples pairs =
+  Array.of_list
+    (TS.elements (TS.of_list (List.map (fun (a, b) -> [| a; b |]) pairs)))
+
+let prop_batch_matches_serial =
+  QCheck.Test.make ~count:200 ~name:"batch = one-by-one (identity order)"
+    QCheck.(list (pair (int_bound 60) (int_bound 60)))
+    (fun pairs ->
+      let run = sorted_tuples pairs in
+      let a = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+      Array.iter (fun tup -> ignore (Btree_tuples.insert a tup : bool)) run;
+      let b = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+      let fresh = Btree_tuples.insert_batch b run in
+      Btree_tuples.check_invariants b;
+      fresh = Array.length run
+      && List.for_all2 tuples_equal (Btree_tuples.to_list a)
+           (Btree_tuples.to_list b))
+
+let prop_batch_permuted_order =
+  (* the run must be sorted in the tree's own (permuted) order *)
+  QCheck.Test.make ~count:200 ~name:"batch respects permuted order"
+    QCheck.(list (pair (int_bound 60) (int_bound 60)))
+    (fun pairs ->
+      let a = Btree_tuples.create ~arity:2 ~order:[| 1; 0 |] () in
+      let tuples = List.map (fun (x, y) -> [| x; y |]) pairs in
+      List.iter (fun tup -> ignore (Btree_tuples.insert a tup : bool)) tuples;
+      let b = Btree_tuples.create ~arity:2 ~order:[| 1; 0 |] () in
+      let run = Array.of_list tuples in
+      Array.sort (Btree_tuples.compare_tuples b) run;
+      ignore (Btree_tuples.insert_batch b run : int);
+      Btree_tuples.check_invariants b;
+      List.for_all2 tuples_equal (Btree_tuples.to_list a)
+        (Btree_tuples.to_list b))
+
+let test_batch_rejects_unsorted () =
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  Alcotest.check_raises "decreasing run"
+    (Invalid_argument "Btree_tuples.insert_batch: run not sorted") (fun () ->
+      ignore (Btree_tuples.insert_batch t [| [| 2; 0 |]; [| 1; 0 |] |] : int))
+
+let test_separators_partition () =
+  (* separators must be sorted keys of the tree usable as partition
+     boundaries *)
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  for i = 0 to 9_999 do
+    ignore (Btree_tuples.insert t [| i / 100; i mod 100 |] : bool)
+  done;
+  let cmp = Btree_tuples.compare_tuples t in
+  List.iter
+    (fun limit ->
+      let seps = Btree_tuples.separators t ~limit in
+      if Array.length seps > limit then
+        Alcotest.failf "limit %d exceeded: %d" limit (Array.length seps);
+      Array.iteri
+        (fun i s ->
+          if i > 0 && cmp seps.(i - 1) s >= 0 then
+            Alcotest.fail "separators not strictly increasing";
+          if not (Btree_tuples.mem t s) then
+            Alcotest.fail "separator not a tree key")
+        seps)
+    [ 1; 3; 7; 15; 64 ];
+  Alcotest.(check int)
+    "empty tree has no separators" 0
+    (Array.length
+       (Btree_tuples.separators
+          (Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] ())
+          ~limit:7))
+
+let test_session_ops () =
+  let a = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  let b = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  let s = Btree_tuples.session b in
+  let run = Array.init 500 (fun i -> [| i; i * 2 |]) in
+  Array.iter (fun tup -> ignore (Btree_tuples.insert a tup : bool)) run;
+  check_int "session batch fresh" 500 (Btree_tuples.s_insert_batch s run);
+  check_bool "session insert" true (Btree_tuples.s_insert s [| 1000; 0 |]);
+  ignore (Btree_tuples.insert a [| 1000; 0 |] : bool);
+  check_bool "session mem" true (Btree_tuples.s_mem s [| 250; 500 |]);
+  Btree_tuples.check_invariants b;
+  check_bool "same contents" true
+    (List.for_all2 tuples_equal (Btree_tuples.to_list a)
+       (Btree_tuples.to_list b))
+
+let test_concurrent_batch_partitions () =
+  let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
+  let n = 60_000 in
+  (* pre-seed sparse structure *)
+  for i = 0 to (n / 8) - 1 do
+    ignore (Btree_tuples.insert t [| i * 8; 7 |] : bool)
+  done;
+  let seeded = Btree_tuples.cardinal t in
+  let run = Array.init n (fun i -> [| i; 7 |]) in
+  let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
+  let fresh = Atomic.make 0 in
+  let worker w () =
+    let h = Btree_tuples.make_hints () in
+    let lo = w * n / d and hi = (w + 1) * n / d in
+    let f = Btree_tuples.insert_batch ~hints:h ~pos:lo ~len:(hi - lo) t run in
+    ignore (Atomic.fetch_and_add fresh f : int)
+  in
+  let ds = List.init d (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join ds;
+  Btree_tuples.check_invariants t;
+  check_int "cardinal" n (Btree_tuples.cardinal t);
+  check_int "fresh total" (n - seeded) (Atomic.get fresh)
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -203,7 +319,23 @@ let () =
           Alcotest.test_case "hint run histogram" `Quick test_hint_run_hist;
           Alcotest.test_case "shape" `Quick test_shape;
         ] );
-      qsuite "properties" [ prop_matches_generic ];
+      ( "batch",
+        [
+          Alcotest.test_case "rejects unsorted" `Quick
+            test_batch_rejects_unsorted;
+          Alcotest.test_case "separators" `Quick test_separators_partition;
+          Alcotest.test_case "session" `Quick test_session_ops;
+        ] );
+      qsuite "properties"
+        [
+          prop_matches_generic;
+          prop_batch_matches_serial;
+          prop_batch_permuted_order;
+        ];
       ( "concurrency",
-        [ Alcotest.test_case "mixed inserts" `Quick test_concurrent_inserts ] );
+        [
+          Alcotest.test_case "mixed inserts" `Quick test_concurrent_inserts;
+          Alcotest.test_case "batch partitions" `Quick
+            test_concurrent_batch_partitions;
+        ] );
     ]

@@ -920,6 +920,110 @@ let test_phase_checker_allows_phases () =
   Storage.Index.iter idx (fun _ -> incr n);
   check_int "contents" 100 !n
 
+let test_typed_phase_handles () =
+  let r =
+    Relation.create ~name:"r" ~arity:2 ~kind:Storage.Btree ~sigs:[ [| 0 |] ]
+      ~stats:None ()
+  in
+  (* concurrent writers are fine *)
+  let w1 = Relation.begin_write r in
+  let w2 = Relation.begin_write r in
+  check_bool "writer insert" true (Relation.Writer.insert w1 [| 1; 2 |]);
+  check_bool "writer dup" false (Relation.Writer.insert w2 [| 1; 2 |]);
+  (* a read may not open while a writer is live *)
+  (match Relation.begin_read r with
+  | _ -> Alcotest.fail "begin_read during write phase accepted"
+  | exception Storage.Index.Phase_violation _ -> ());
+  Relation.Writer.finish w1;
+  Relation.Writer.finish w2;
+  (* double-finish is a bug, loudly *)
+  (match Relation.Writer.finish w1 with
+  | () -> Alcotest.fail "double finish accepted"
+  | exception Invalid_argument _ -> ());
+  (* concurrent readers are fine; writes are now rejected *)
+  let r1 = Relation.begin_read r in
+  let r2 = Relation.begin_read r in
+  check_bool "reader mem" true (Relation.Reader.mem r1 [| 1; 2 |]);
+  let n = ref 0 in
+  Relation.Reader.scan r2 (Relation.sig_id r [| 0 |]) [| 1 |] (fun _ -> incr n);
+  check_int "reader scan" 1 !n;
+  (match Relation.begin_write r with
+  | _ -> Alcotest.fail "begin_write during read phase accepted"
+  | exception Storage.Index.Phase_violation _ -> ());
+  Relation.Reader.finish r1;
+  Relation.Reader.finish r2;
+  (* both phases closed: either may open again *)
+  let w = Relation.begin_write r in
+  Relation.Writer.finish w;
+  let rd = Relation.begin_read r in
+  Relation.Reader.finish rd
+
+let all_tuples r =
+  let acc = ref [] in
+  Relation.iter r (fun tup -> acc := Array.copy tup :: !acc);
+  List.sort compare !acc
+
+let test_merge_batch_parallel_vs_serial () =
+  (* the parallel structural merge must build exactly the set the serial
+     per-tuple path builds, across pool sizes, for every thread-safe kind
+     and the locked serial kinds alike *)
+  let s = ref (Key.mix64 24) in
+  let r bound =
+    s := Key.mix64 (!s + 0x2545F4914F6CDD1D);
+    !s mod bound
+  in
+  let tuples =
+    Array.init 9_000 (fun _ -> [| r 120; r 120 |])
+    (* well above merge_parallel_cutoff, with many duplicates *)
+  in
+  let mk kind =
+    Relation.create ~name:"m" ~arity:2 ~kind ~sigs:[ [| 1 |] ] ~stats:None ()
+  in
+  List.iter
+    (fun kind ->
+      let serial = mk kind in
+      let fresh_serial = ref 0 in
+      Array.iter
+        (fun tup -> if Relation.insert serial tup then incr fresh_serial)
+        tuples;
+      List.iter
+        (fun domains ->
+          let batched = mk kind in
+          let fresh =
+            Pool.with_pool domains (fun pool ->
+                Relation.merge_batch ~pool batched tuples)
+          in
+          let label what =
+            Printf.sprintf "%s (%s, %d domains)" what (Storage.kind_name kind)
+              domains
+          in
+          check_int (label "fresh") !fresh_serial fresh;
+          check_int (label "cardinal") (Relation.cardinal serial)
+            (Relation.cardinal batched);
+          check_bool (label "contents") true
+            (all_tuples serial = all_tuples batched);
+          (* secondary indexes got every tuple too *)
+          let cur = Relation.Cursor.create batched in
+          let n = ref 0 in
+          Relation.Cursor.scan cur (Relation.sig_id batched [| 1 |]) [| 7 |]
+            (fun _ -> incr n);
+          let m = ref 0 in
+          List.iter (fun tup -> if tup.(1) = 7 then incr m) (all_tuples serial);
+          check_int (label "secondary scan") !m !n)
+        [ 1; 2; 4; 8 ])
+    Storage.all_kinds
+
+let test_index_merge_empty_and_small () =
+  (* below the parallel cutoff and on empty input the merge is serial but
+     must agree with per-tuple inserts *)
+  let idx = Storage.Index.create Storage.Btree ~arity:1 ~cols:[||] ~stats:None () in
+  check_int "empty merge" 0 (Storage.Index.merge idx [||]);
+  check_int "small merge" 3
+    (Storage.Index.merge idx [| [| 3 |]; [| 1 |]; [| 2 |]; [| 3 |] |]);
+  check_int "cardinal" 3 (Storage.Index.cardinal idx);
+  check_int "sorted batch replay" 0
+    (Storage.Index.insert_batch idx [| [| 1 |]; [| 2 |]; [| 3 |] |])
+
 let test_engine_respects_two_phases () =
   (* the core claim behind the paper's synchronisation design: parallel
      semi-naive evaluation never reads a relation it is writing *)
@@ -1208,8 +1312,14 @@ let () =
         [
           tc "violation detected" `Quick test_phase_checker_detects_violation;
           tc "phases allowed" `Quick test_phase_checker_allows_phases;
+          tc "typed handles" `Quick test_typed_phase_handles;
           tc "engine respects phases" `Quick test_engine_respects_two_phases;
           tc "workloads respect phases" `Quick test_workloads_respect_two_phases;
+        ] );
+      ( "batch merge",
+        [
+          tc "parallel vs serial" `Quick test_merge_batch_parallel_vs_serial;
+          tc "empty and small" `Quick test_index_merge_empty_and_small;
         ] );
       ( "sample programs",
         [

@@ -49,6 +49,27 @@ let test_parallel_for_chunk1 () =
       Pool.parallel_for p ~chunk:1 0 n (fun i -> ignore (Atomic.fetch_and_add sum i));
       check_int "sum" (n * (n - 1) / 2) (Atomic.get sum))
 
+let test_parallel_for_workers_coverage () =
+  Pool.with_pool 4 (fun p ->
+      let n = 5_000 in
+      let owner = Array.make n (-1) in
+      Pool.parallel_for_workers p ~chunk:7 0 n (fun w i ->
+          if owner.(i) <> -1 then Alcotest.failf "index %d ran twice" i;
+          owner.(i) <- w);
+      Array.iteri
+        (fun i w ->
+          if w < 0 || w >= 4 then Alcotest.failf "index %d: bad worker %d" i w)
+        owner;
+      (* a worker id must stay pinned to one domain for the whole loop, so
+         per-worker state (e.g. hint records) is never shared *)
+      let doms = Array.make 4 None in
+      Pool.parallel_for_workers p ~chunk:1 0 1_000 (fun w _ ->
+          let d = (Domain.self () :> int) in
+          match doms.(w) with
+          | None -> doms.(w) <- Some d
+          | Some d' ->
+            if d' <> d then Alcotest.failf "worker %d moved domains" w))
+
 let test_parallel_for_ranges_partition () =
   Pool.with_pool 4 (fun p ->
       let n = 1003 in
@@ -141,6 +162,8 @@ let () =
           Alcotest.test_case "full coverage" `Quick test_parallel_for_full_coverage;
           Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
           Alcotest.test_case "chunk 1" `Quick test_parallel_for_chunk1;
+          Alcotest.test_case "worker ids" `Quick
+            test_parallel_for_workers_coverage;
           Alcotest.test_case "static ranges" `Quick test_parallel_for_ranges_partition;
         ] );
       ( "reduce",

@@ -17,6 +17,12 @@ echo "== bench smoke (telemetry + metrics JSON) =="
 METRICS="${METRICS_JSON:-bench_metrics.json}"
 dune exec bench/main.exe -- --smoke --record smoke --json "$METRICS"
 
+echo "== bench smoke, second point (batch write path, record ci) =="
+# A second recorded run gives the trajectory >= 2 points, so the regression
+# gate below has something to compare (and the batch-vs-single comparison is
+# re-measured rather than trusted from a single sample).
+dune exec bench/main.exe -- --smoke --record ci --json "$METRICS"
+
 # Independent sanity check on the artifact: non-empty and parseable by a
 # second implementation when one is around (python3 is optional).
 test -s "$METRICS" || { echo "ci: $METRICS is missing or empty" >&2; exit 1; }
@@ -25,10 +31,16 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     d = json.load(f)
-for key in ("schema_version", "overhead", "counters", "trace",
+for key in ("schema_version", "overhead", "batch", "counters", "trace",
             "histograms", "tree_shape"):
     if key not in d:
         raise SystemExit(f"ci: metrics JSON missing {key!r}")
+batch = d["batch"]
+for key in ("domains", "single_insert_s", "batch_merge_s", "batch_speedup"):
+    if key not in batch:
+        raise SystemExit(f"ci: batch block missing {key!r}")
+if batch["domains"] < 4:
+    raise SystemExit("ci: batch bench ran on fewer than 4 domains")
 if d["schema_version"] < 2:
     raise SystemExit(f"ci: expected schema_version >= 2, got {d['schema_version']}")
 hists = d["histograms"]

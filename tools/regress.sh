@@ -50,7 +50,8 @@ prev, last = entries[-2], entries[-1]
 print(f"regress: comparing {last.get('name')!r} against previous run "
       f"({len(entries)} entries in {path})")
 
-METRICS = ["eval_seconds", "insert_off_s", "insert_counters_s"]
+METRICS = ["eval_seconds", "insert_off_s", "insert_counters_s",
+           "batch_single_s", "batch_merge_s"]
 regressed = []
 for m in METRICS:
     a, b = prev.get(m), last.get(m)
@@ -63,6 +64,13 @@ for m in METRICS:
     print(f"regress:   {m}: {a:.6f} -> {b:.6f} ({abs(pct):+.1f}% {word})")
     if pct > threshold:
         regressed.append((m, pct))
+
+speedup = last.get("batch_speedup")
+if isinstance(speedup, (int, float)):
+    print(f"regress:   batch_speedup: {speedup:.2f}x "
+          f"(batch merge vs per-tuple inserts)")
+    if speedup < 1.0:
+        regressed.append(("batch_speedup", (1.0 - speedup) * 100.0))
 
 if regressed:
     for m, pct in regressed:
