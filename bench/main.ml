@@ -988,6 +988,13 @@ let smoke cfg =
           ("batch_speedup", Float batch_speedup);
           ("eval_iteration_p99_ns", Int (p99 Telemetry.Hist.Eval_iteration_ns));
           ("btree_insert_p99_ns", Int (p99 Telemetry.Hist.Btree_insert_ns));
+          (* fallback gate: non-chaos runs must report 0 here (checked by
+             tools/regress.sh); the chaos flag exempts deliberate-fault runs *)
+          ( "pessimistic_fallbacks",
+            Int
+              (Telemetry.get snap
+                 Telemetry.Counter.Btree_pessimistic_fallbacks) );
+          ("chaos", Bool (Chaos.active ()));
         ]
     in
     let hist_file = "BENCH_history.jsonl" in
@@ -1147,7 +1154,15 @@ let run_experiment cfg = function
       (String.concat ", " ("all" :: known_experiments));
     exit 2
 
-let main experiments scale threads full smoke_only json record =
+let main experiments scale threads full smoke_only json record chaos_spec =
+  (match chaos_spec with
+  | None -> ()
+  | Some spec -> (
+    match Chaos.apply_spec spec with
+    | Ok () -> ()
+    | Error m ->
+      Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
+      exit 2));
   let max_threads =
     match threads with
     | Some t -> max 1 t
@@ -1174,6 +1189,7 @@ let main experiments scale threads full smoke_only json record =
         EXPERIMENTS.md).\n";
   let t0 = Bench_util.wall () in
   List.iter (run_experiment cfg) experiments;
+  if Chaos.active () then pf "%s\n" (Format.asprintf "%a" Chaos.pp_fired ());
   pf "\ntotal bench time: %.1fs\n" (Bench_util.wall () -. t0)
 
 open Cmdliner
@@ -1221,12 +1237,22 @@ let record_arg =
               BENCH_<NAME>.json and append a summary line to \
               BENCH_history.jsonl (compare runs with tools/regress.sh).")
 
+let chaos_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:"Arm deterministic fault injection for the run, e.g. \
+              $(b,seed=42,points=all:32).  Spec: \
+              seed=N,points=p1[:rate]+p2[:rate].  Recorded history entries \
+              are tagged chaos=true so tools/regress.sh skips the \
+              zero-fallback gate for them.")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ experiments_arg $ scale_arg $ threads_arg $ full_arg
-      $ smoke_arg $ json_arg $ record_arg)
+      $ smoke_arg $ json_arg $ record_arg $ chaos_arg)
 
 let () = exit (Cmd.eval cmd)

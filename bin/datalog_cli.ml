@@ -41,7 +41,15 @@ let write_prometheus engine snap path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Telemetry.Prom.to_string prom))
 
-let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file =
+let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec lenient =
+  (match chaos_spec with
+  | None -> ()
+  | Some spec -> (
+    match Chaos.apply_spec spec with
+    | Ok () -> ()
+    | Error m ->
+      Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
+      exit 2));
   match Storage.kind_of_name storage with
   | None ->
     Printf.eprintf "unknown storage kind %S (try: btree, btree-nohints, \
@@ -61,16 +69,23 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
         Printf.eprintf "%s: not stratifiable: %s\n" file m;
         exit 1
       | engine ->
-        (match facts_dir with
-        | Some dir ->
-          List.iter
-            (fun (rel, n) -> Printf.printf "loaded %d facts into %s\n" n rel)
-            (Dl_io.load_facts_dir engine dir)
-        | None -> ());
         (* Telemetry: counters whenever --stats or --metrics is on, tracing
-           when a --trace file was requested; the three combine freely. *)
+           when a --trace file was requested; the three combine freely.
+           Enabled before fact loading so lenient-mode skip counts land in
+           the snapshot. *)
         if show_stats || trace_file <> None || metrics_file <> None then
           Telemetry.enable ~tracing:(trace_file <> None) ();
+        (match facts_dir with
+        | Some dir -> (
+          match Dl_io.load_facts_dir ~lenient engine dir with
+          | loaded ->
+            List.iter
+              (fun (rel, n) -> Printf.printf "loaded %d facts into %s\n" n rel)
+              loaded
+          | exception (Dl_io.Parse_error _ as e) ->
+            Printf.eprintf "%s\n" (Printexc.to_string e);
+            exit 1)
+        | None -> ());
         let t0 = Bench_util.wall () in
         Pool.with_pool threads (fun pool -> Engine.run engine pool);
         let elapsed = Bench_util.wall () -. t0 in
@@ -150,6 +165,8 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
                  (Array.to_list (Array.map string_of_int runs)))
           | _ -> ()
         end;
+        if Chaos.active () then
+          Format.printf "%a@." Chaos.pp_fired ();
         if show_profile then begin
           print_endline "rule profile (hottest first):";
           List.iter
@@ -203,6 +220,19 @@ let metrics_arg =
                histograms, tree shape) to $(docv).  Combines with --stats \
                and --trace.")
 
+let chaos_arg =
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC"
+         ~doc:"Arm deterministic fault injection, e.g. \
+               $(b,seed=42,points=olock.validate.force_fail:8+pool.job.raise). \
+               Spec format: seed=N,points=p1[:rate]+p2[:rate] (rate = \
+               1-in-rate firing; 'all' arms every point).  Fired counts are \
+               printed after the run.")
+
+let lenient_arg =
+  Arg.(value & flag & info [ "lenient" ]
+         ~doc:"Skip (and count, see io.malformed_lines in --stats/--metrics) \
+               malformed fact lines instead of aborting the load.")
+
 let cmd =
   let doc = "evaluate a Datalog program with the specialized concurrent B-tree engine" in
   Cmd.v
@@ -210,6 +240,6 @@ let cmd =
     Term.(
       const run_program $ file_arg $ storage_arg $ threads_arg $ print_arg
       $ stats_arg $ profile_arg $ facts_arg $ output_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ chaos_arg $ lenient_arg)
 
 let () = exit (Cmd.eval cmd)

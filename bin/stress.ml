@@ -1,0 +1,287 @@
+(* Chaos stress harness: randomized multi-domain schedules under active
+   failpoints, with a full structural audit after every run.
+
+     stress --seed 42 --domains 4 --runs 100
+
+   Each run derives its own seed from the base seed and the run index and
+   prints it, so any failing run replays deterministically:
+
+     stress --seed 42 --domains 4 --replay 17
+
+   Runs cycle through four scenarios:
+     opt   — functor B-tree, optimistic descents under forced validation
+             failures, descent yields and split delays;
+     pess  — same workload with a zero restart budget, so every descent
+             takes the pessimistic write-locked fallback;
+     pool  — pool.job.raise armed: injected worker faults must surface as
+             aggregated [Pool_failure]s (never a dead domain) and the tree
+             must stay consistent for the workers that survived;
+     tup   — the hand-specialized tuple B-tree under the same chaos mix.
+
+   After every run the failpoints are disarmed and the tree is audited:
+   [check_invariants] plus an exact cardinality check against the distinct
+   keys of the slices whose workers completed. *)
+
+open Cmdliner
+module T = Btree.Make (Key.Int)
+
+let mix seed salt =
+  let z = (seed + ((salt + 1) * 0x9E3779B9)) land max_int in
+  let z = z lxor (z lsr 16) in
+  let z = z * 0x85EBCA6B land max_int in
+  let z = z lxor (z lsr 13) in
+  if z = 0 then 0x2545F491 else z
+
+let rng_next st =
+  let r = !st in
+  let r = r lxor (r lsl 13) land max_int in
+  let r = r lxor (r lsr 7) in
+  let r = r lxor (r lsl 17) land max_int in
+  let r = if r = 0 then 0x2545F491 else r in
+  st := r;
+  r
+
+let scenario_name = function
+  | 0 -> "opt"
+  | 1 -> "pess"
+  | 2 -> "pool"
+  | _ -> "tup"
+
+let tree_points = "olock.validate.force_fail:12+btree.descent.yield:6+btree.split.delay:6"
+let pool_points = tree_points ^ "+pool.job.raise:4"
+
+(* Contiguous partition of [0, n) into [workers] near-equal slices. *)
+let slice ~workers ~n w =
+  let base = n / workers and extra = n mod workers in
+  let lo = (w * base) + min w extra in
+  (lo, lo + base + if w < extra then 1 else 0)
+
+let distinct_sorted cmp arr =
+  Array.sort cmp arr;
+  let d = ref 0 in
+  Array.iteri
+    (fun i k -> if i = 0 || cmp arr.(i - 1) k <> 0 then incr d)
+    arr;
+  !d
+
+exception Audit_failure of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Audit_failure m)) fmt
+
+(* Run one scenario; returns (inserted keys audited, pool failures seen). *)
+let one_run ~domains ~nkeys ~points_override ~seed r =
+  let scen = r mod 4 in
+  let points =
+    match points_override with
+    | Some p -> p
+    | None -> if scen = 2 then pool_points else tree_points
+  in
+  (match Chaos.apply_spec (Printf.sprintf "seed=%d,points=%s" seed points) with
+  | Ok () -> ()
+  | Error m ->
+    Printf.eprintf "bad failpoint spec: %s\n%s\n" m Chaos.spec_help;
+    exit 2);
+  Olock.Backoff.set_seed seed;
+  let capacity = 4 + (4 * (r mod 3)) in
+  let key_range = max 64 (nkeys / 2) in
+  let st = ref (mix seed 0xABCD) in
+  let failures = ref 0 in
+  let failed = Array.make domains false in
+  let audit_keys = ref 0 in
+  if scen <> 3 then begin
+    (* functor tree over ints *)
+    let keys = Array.init nkeys (fun _ -> rng_next st mod key_range) in
+    let tree = T.create ~capacity () in
+    if scen = 1 then T.set_restart_budget 0;
+    Fun.protect
+      ~finally:(fun () -> T.set_restart_budget 16)
+      (fun () ->
+        Pool.with_pool domains (fun pool ->
+            if scen = 2 then Pool.set_watchdog pool 1;
+            try
+              Pool.run pool (fun w ->
+                  let lo, hi = slice ~workers:domains ~n:nkeys w in
+                  if (r + w) land 1 = 0 then begin
+                    let s = T.session tree in
+                    for i = lo to hi - 1 do
+                      ignore (T.s_insert s keys.(i) : bool)
+                    done
+                  end
+                  else begin
+                    let run = Array.sub keys lo (hi - lo) in
+                    Array.sort compare run;
+                    ignore (T.insert_batch tree run : int)
+                  end)
+            with Pool.Pool_failure fs ->
+              incr failures;
+              List.iter
+                (fun f ->
+                  match f.Pool.f_exn with
+                  | Chaos.Injected _ -> failed.(f.Pool.f_worker) <- true
+                  | e ->
+                    failf "worker %d died of a real error: %s"
+                      f.Pool.f_worker (Printexc.to_string e))
+                fs));
+    Chaos.disable ();
+    T.check_invariants tree;
+    (* a failed worker was injected before its job body ran, so its whole
+       slice is absent; every surviving slice must be fully present *)
+    let survivors = ref [] in
+    for w = domains - 1 downto 0 do
+      if not failed.(w) then begin
+        let lo, hi = slice ~workers:domains ~n:nkeys w in
+        for i = hi - 1 downto lo do
+          survivors := keys.(i) :: !survivors
+        done
+      end
+    done;
+    let surv = Array.of_list !survivors in
+    let expected = distinct_sorted compare surv in
+    let card = T.cardinal tree in
+    if card <> expected then
+      failf "cardinal %d, expected %d distinct surviving keys" card expected;
+    Array.iter
+      (fun k -> if not (T.mem tree k) then failf "surviving key %d missing" k)
+      surv;
+    audit_keys := Array.length surv
+  end
+  else begin
+    (* hand-specialized tuple tree, arity 2 *)
+    let keys =
+      Array.init nkeys (fun _ ->
+          [| rng_next st mod key_range; rng_next st mod 16 |])
+    in
+    let tree = Btree_tuples.create ~capacity ~arity:2 ~order:[| 0; 1 |] () in
+    let cmp = Btree_tuples.compare_tuples tree in
+    Pool.with_pool domains (fun pool ->
+        try
+          Pool.run pool (fun w ->
+              let lo, hi = slice ~workers:domains ~n:nkeys w in
+              if (r + w) land 1 = 0 then begin
+                let hints = Btree_tuples.make_hints () in
+                for i = lo to hi - 1 do
+                  ignore (Btree_tuples.insert ~hints tree keys.(i) : bool)
+                done
+              end
+              else begin
+                let run = Array.sub keys lo (hi - lo) in
+                Array.sort cmp run;
+                ignore (Btree_tuples.insert_batch tree run : int)
+              end)
+        with Pool.Pool_failure fs ->
+          incr failures;
+          List.iter
+            (fun f ->
+              match f.Pool.f_exn with
+              | Chaos.Injected _ -> failed.(f.Pool.f_worker) <- true
+              | e ->
+                failf "worker %d died of a real error: %s" f.Pool.f_worker
+                  (Printexc.to_string e))
+            fs);
+    Chaos.disable ();
+    Btree_tuples.check_invariants tree;
+    let survivors = ref [] in
+    for w = domains - 1 downto 0 do
+      if not failed.(w) then begin
+        let lo, hi = slice ~workers:domains ~n:nkeys w in
+        for i = hi - 1 downto lo do
+          survivors := keys.(i) :: !survivors
+        done
+      end
+    done;
+    let surv = Array.of_list !survivors in
+    let expected = distinct_sorted cmp surv in
+    let card = Btree_tuples.cardinal tree in
+    if card <> expected then
+      failf "cardinal %d, expected %d distinct surviving tuples" card expected;
+    Array.iter
+      (fun k ->
+        if not (Btree_tuples.mem tree k) then
+          failf "surviving tuple [%d,%d] missing" k.(0) k.(1))
+      surv;
+    audit_keys := Array.length surv
+  end;
+  (!audit_keys, !failures)
+
+let main base_seed domains runs nkeys points_override replay =
+  let domains = max 1 domains in
+  Telemetry.enable ();
+  let todo =
+    match replay with
+    | Some r when r >= 1 -> [ r - 1 ]
+    | Some _ ->
+      Printf.eprintf "--replay expects a 1-based run index\n";
+      exit 2
+    | None -> List.init runs Fun.id
+  in
+  let failures_total = ref 0 in
+  let injected_jobs = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun r ->
+      let seed = mix base_seed r in
+      match one_run ~domains ~nkeys ~points_override ~seed r with
+      | audited, pool_failures ->
+        injected_jobs := !injected_jobs + pool_failures;
+        Printf.printf "run %3d/%d scen=%-4s seed=0x%08x ok (audited=%d%s)\n"
+          (r + 1) runs (scenario_name (r mod 4)) seed audited
+          (if pool_failures > 0 then
+             Printf.sprintf ", contained pool failures=%d" pool_failures
+           else "")
+      | exception e ->
+        Chaos.disable ();
+        incr failures_total;
+        Printf.printf "run %3d/%d scen=%-4s seed=0x%08x FAILED: %s\n" (r + 1)
+          runs (scenario_name (r mod 4)) seed (Printexc.to_string e);
+        Printf.printf "replay: dune exec bin/stress.exe -- --seed %d \
+                       --domains %d --keys %d --replay %d\n"
+          base_seed domains nkeys (r + 1))
+    todo;
+  let snap = Telemetry.snapshot () in
+  let g c = Telemetry.get snap c in
+  Printf.printf
+    "\n%d run(s) in %.1fs: %d failed; restarts=%d pessimistic_fallbacks=%d \
+     watchdog_trips=%d contained_pool_failures=%d\n"
+    (List.length todo)
+    (Unix.gettimeofday () -. t0)
+    !failures_total
+    (g Telemetry.Counter.Btree_restarts)
+    (g Telemetry.Counter.Btree_pessimistic_fallbacks)
+    (g Telemetry.Counter.Pool_watchdog_trips)
+    !injected_jobs;
+  Telemetry.disable ();
+  if !failures_total > 0 then exit 1
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Base seed; each run derives its own seed from it.")
+
+let domains_arg =
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains per run.")
+
+let runs_arg =
+  Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N"
+         ~doc:"Number of seeded runs.")
+
+let keys_arg =
+  Arg.(value & opt int 4000 & info [ "keys" ] ~docv:"N"
+         ~doc:"Keys offered per run (shared key range forces contention).")
+
+let points_arg =
+  Arg.(value & opt (some string) None & info [ "points" ] ~docv:"POINTS"
+         ~doc:"Override the per-scenario failpoint mix, e.g. \
+               $(b,all:16) or $(b,olock.validate.force_fail:4).")
+
+let replay_arg =
+  Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"RUN"
+         ~doc:"Replay a single 1-based run index (same derived seed).")
+
+let cmd =
+  let doc = "stress the tree, locks and pool under deterministic fault injection" in
+  Cmd.v (Cmd.info "stress" ~doc)
+    Term.(
+      const main $ seed_arg $ domains_arg $ runs_arg $ keys_arg $ points_arg
+      $ replay_arg)
+
+let () = exit (Cmd.eval cmd)

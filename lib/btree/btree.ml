@@ -421,6 +421,10 @@ module Make (K : Key.ORDERED) = struct
      exclusive upper bound to keep filling without re-descending. *)
   let split_returning t node =
     let path = lock_path t node in
+    (* chaos: widen the window during which the ancestor path is
+       write-locked, forcing concurrent descents onto their restart (and
+       eventually fallback) paths *)
+    Chaos.yield_if Chaos.Point.Btree_split_delay;
     let median, right = split_node t node in
     insert_into_parent t path node right median;
     unlock_path t path;
@@ -454,50 +458,134 @@ module Make (K : Key.ORDERED) = struct
     leaf.keys.(idx) <- key;
     leaf.nkeys <- n + 1
 
+  (* Optimistic restarts allowed per insertion before the pessimistic
+     fallback engages.  0 = always pessimistic (tests, stress harness). *)
+  let restart_budget_v = ref 16
+
+  let set_restart_budget n =
+    if n < 0 then invalid_arg "Btree.set_restart_budget: budget must be >= 0";
+    restart_budget_v := n
+
+  let restart_budget () = !restart_budget_v
+
+  (* Pessimistic fallback descent: every level is visited under that node's
+     {e write} permit, so leases cannot go stale and validation cannot fail
+     — the descent terminates in O(height) node visits unless a concurrent
+     writer completes on the very node being stepped to.  The hand-over-hand
+     step never blocks while holding a lock (the discipline that keeps the
+     bottom-up splitters deadlock-free): holding [cur]'s write permit we
+     read the child's raw version [v], release [cur], and re-acquire the
+     child by CAS on [v].  The CAS certifies the child is unchanged since it
+     was observed under [cur]'s permit, exactly like an optimistic upgrade;
+     a failure means a writer {e completed} on the child in between, i.e.
+     the system made progress, and we restart from the root.  Livelock is
+     therefore impossible by construction: every repeated restart is paid
+     for by a finished insertion elsewhere.
+
+     Note the fallback never calls [Olock.valid], so forced validation
+     failures from the chaos layer cannot unbound it. *)
+  let rec insert_pessimistic t key =
+    (* Acquire the root node's write permit while holding nothing, then
+       confirm it still is the root: replacing the root requires write-
+       locking the old root (via [lock_path]), which our permit excludes. *)
+    let rec acquire_root () =
+      let cur = t.root in
+      Olock.start_write cur.lock;
+      if t.root == cur then cur
+      else begin
+        Olock.abort_write cur.lock;
+        acquire_root ()
+      end
+    in
+    (* invariant: [cur] write-locked, no other lock held *)
+    let rec go cur =
+      let n = cur.nkeys in
+      let idx, found = search t cur.keys n key in
+      if found then begin
+        Olock.abort_write cur.lock;
+        (false, sentinel)
+      end
+      else if not (is_leaf cur) then begin
+        let next = cur.children.(idx) in
+        let v = Olock.version next.lock in
+        Olock.abort_write cur.lock;
+        if v land 1 = 0 && Olock.try_upgrade_to_write next.lock v then go next
+        else insert_pessimistic t key
+      end
+      else if cur.nkeys >= t.capacity then begin
+        (* bottom-up split: only the leaf permit is held, same discipline as
+           the optimistic path *)
+        split t cur;
+        Olock.end_write cur.lock;
+        insert_pessimistic t key
+      end
+      else begin
+        insert_in_leaf cur idx key;
+        Olock.end_write cur.lock;
+        (true, cur)
+      end
+    in
+    go (acquire_root ())
+
+  let fallback t key =
+    Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+    let t0 = Telemetry.hist_time () in
+    let r = insert_pessimistic t key in
+    Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
+    r
+
   (* Full insertion: optimistic descent from the root.  Returns whether the
      key was new, plus the leaf finally touched (to refresh hints); the leaf
-     is [sentinel] when the duplicate was discovered in an inner node. *)
-  let rec insert_slow t key =
-    (* Obtain the root and a lease on it, validating the root pointer
-       (Algorithm 1, lines 13-17). *)
-    let rec locate_root () =
+     is [sentinel] when the duplicate was discovered in an inner node.
+     [attempts] counts optimistic restarts; past the budget the descent
+     degrades to {!insert_pessimistic}. *)
+  let rec insert_slow t key attempts =
+    if attempts >= !restart_budget_v then fallback t key
+    else begin
+      (* Obtain the root and a lease on it, validating the root pointer
+         (Algorithm 1, lines 13-17). *)
       let root_lease = Olock.start_read t.root_lock in
       let cur = t.root in
       let cur_lease = Olock.start_read cur.lock in
-      if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
-      else locate_root ()
-    in
-    let cur, cur_lease = locate_root () in
-    descend t key cur cur_lease
+      if Olock.end_read t.root_lock root_lease then
+        descend t key cur cur_lease attempts
+      else restart t key attempts
+    end
 
-  and restart t key =
+  and restart t key attempts =
     (* optimistic descent observed a concurrent write: back to the root *)
     Telemetry.bump Telemetry.Counter.Btree_restarts;
-    insert_slow t key
+    insert_slow t key (attempts + 1)
 
-  and descend t key cur cur_lease =
+  and descend t key cur cur_lease attempts =
+    (* chaos: stretch the read phase so concurrent writers invalidate the
+       lease — drives the restart counter and, past the budget, the
+       pessimistic fallback *)
+    Chaos.yield_if Chaos.Point.Btree_descent_yield;
     let n = clamped_nkeys cur in
     let idx, found = search t cur.keys n key in
     if found then begin
       (* value already present — if the observation was consistent *)
       if Olock.valid cur.lock cur_lease then (false, sentinel)
-      else restart t key
+      else restart t key attempts
     end
     else if not (is_leaf cur) then begin
       let next = cur.children.(idx) in
-      if not (Olock.valid cur.lock cur_lease) then restart t key
+      if not (Olock.valid cur.lock cur_lease) then restart t key attempts
       else begin
         let next_lease = Olock.start_read next.lock in
-        if not (Olock.valid cur.lock cur_lease) then restart t key
-        else descend t key next next_lease
+        if not (Olock.valid cur.lock cur_lease) then restart t key attempts
+        else descend t key next next_lease attempts
       end
     end
     else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
-      restart t key
+      restart t key attempts
     else if cur.nkeys >= t.capacity then begin
       split t cur;
       Olock.end_write cur.lock;
-      insert_slow t key
+      (* a split is progress, not a failed validation: re-descend on the
+         same budget *)
+      insert_slow t key attempts
     end
     else begin
       (* The upgrade CAS certifies the node is unchanged since the lease, so
@@ -506,6 +594,8 @@ module Make (K : Key.ORDERED) = struct
       Olock.end_write cur.lock;
       (true, cur)
     end
+
+  let insert_slow t key = insert_slow t key 0
 
   (* One attempt to insert directly at the hinted leaf. *)
   type hint_attempt = Done of bool | Fallback
@@ -580,43 +670,92 @@ module Make (K : Key.ORDERED) = struct
 
   type batch_target = Bt_dup | Bt_leaf of node * key option
 
+  (* Pessimistic twin of [batch_locate]: same hand-over-hand CAS step as
+     {!insert_pessimistic} (see the progress argument there), but carrying
+     the exclusive upper bound down and returning the leaf still
+     write-locked, as the batch filler expects.  The bound snapshot is exact
+     here — every separator was read under its node's write permit. *)
+  let rec batch_pessimistic t key =
+    let rec acquire_root () =
+      let cur = t.root in
+      Olock.start_write cur.lock;
+      if t.root == cur then cur
+      else begin
+        Olock.abort_write cur.lock;
+        acquire_root ()
+      end
+    in
+    let rec go cur hi =
+      let n = cur.nkeys in
+      let idx, found = search t cur.keys n key in
+      if not (is_leaf cur) then
+        if found then begin
+          Olock.abort_write cur.lock;
+          Bt_dup
+        end
+        else begin
+          let next = cur.children.(idx) in
+          let hi = if idx < n then Some cur.keys.(idx) else hi in
+          let v = Olock.version next.lock in
+          Olock.abort_write cur.lock;
+          if v land 1 = 0 && Olock.try_upgrade_to_write next.lock v then
+            go next hi
+          else batch_pessimistic t key
+        end
+      else Bt_leaf (cur, hi)
+    in
+    go (acquire_root ()) None
+
+  let batch_fallback t key =
+    Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+    let t0 = Telemetry.hist_time () in
+    let r = batch_pessimistic t key in
+    Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
+    r
+
   (* Write-lock the leaf responsible for [key], carrying its exclusive
      upper bound down the descent ([None] on the rightmost spine).  [Bt_dup]
-     means [key] was found in an inner node. *)
-  let rec batch_locate t key =
-    let rec locate_root () =
+     means [key] was found in an inner node.  Same retry budget as the
+     single-key descent. *)
+  let rec batch_locate t key attempts =
+    if attempts >= !restart_budget_v then batch_fallback t key
+    else begin
       let root_lease = Olock.start_read t.root_lock in
       let cur = t.root in
       let cur_lease = Olock.start_read cur.lock in
-      if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
-      else locate_root ()
-    in
-    let cur, cur_lease = locate_root () in
-    batch_descend t key cur cur_lease None
+      if Olock.end_read t.root_lock root_lease then
+        batch_descend t key cur cur_lease None attempts
+      else batch_restart t key attempts
+    end
 
-  and batch_restart t key =
+  and batch_restart t key attempts =
     Telemetry.bump Telemetry.Counter.Btree_restarts;
-    batch_locate t key
+    batch_locate t key (attempts + 1)
 
-  and batch_descend t key cur cur_lease hi =
+  and batch_descend t key cur cur_lease hi attempts =
+    Chaos.yield_if Chaos.Point.Btree_descent_yield;
     let n = clamped_nkeys cur in
     let idx, found = search t cur.keys n key in
     if not (is_leaf cur) then
       if found then
-        if Olock.valid cur.lock cur_lease then Bt_dup else batch_restart t key
+        if Olock.valid cur.lock cur_lease then Bt_dup
+        else batch_restart t key attempts
       else begin
         let next = cur.children.(idx) in
         let hi = if idx < n then Some cur.keys.(idx) else hi in
-        if not (Olock.valid cur.lock cur_lease) then batch_restart t key
+        if not (Olock.valid cur.lock cur_lease) then batch_restart t key attempts
         else begin
           let next_lease = Olock.start_read next.lock in
-          if not (Olock.valid cur.lock cur_lease) then batch_restart t key
-          else batch_descend t key next next_lease hi
+          if not (Olock.valid cur.lock cur_lease) then
+            batch_restart t key attempts
+          else batch_descend t key next next_lease hi attempts
         end
       end
     else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
-      batch_restart t key
+      batch_restart t key attempts
     else Bt_leaf (cur, hi)
+
+  let batch_locate t key = batch_locate t key 0
 
   (* Consume [run.(i0 ..)] (up to exclusive index [stop_idx]) into the
      write-locked [leaf] while keys stay below [limit]; returns the next

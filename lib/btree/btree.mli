@@ -84,6 +84,30 @@ module Make (K : Key.ORDERED) : sig
       it closed now.  Long runs are the sorted access pattern the hints
       exploit (paper section 3.2). *)
 
+  (** {1 Robustness}
+
+      Optimistic descents retry on observing a concurrent write.  Under
+      adversarial scheduling (or forced validation failures from the chaos
+      layer) retries alone cannot bound the descent, so each insertion
+      carries a retry budget: once the budget is exhausted the descent falls
+      back to a {e pessimistic} write-locked descent that never holds one
+      node lock while blocking on another (it re-acquires by CAS on a
+      version observed under the previous lock, restarting from the root on
+      failure — and every such restart coincides with a completed concurrent
+      write, so the fallback makes global progress by construction).
+      Fallbacks bump [Telemetry.Counter.Btree_pessimistic_fallbacks] and
+      time into [Telemetry.Hist.Btree_fallback_ns]; healthy non-chaos runs
+      never fall back (gated by tools/regress.sh). *)
+
+  val set_restart_budget : int -> unit
+  (** Optimistic restarts allowed per insertion before the pessimistic
+      fallback engages (default 16).  [0] makes every descent pessimistic —
+      used by tests and the stress harness to drive the fallback path
+      deterministically.  Quiescent use only; per [Make] instantiation.
+      @raise Invalid_argument if negative. *)
+
+  val restart_budget : unit -> int
+
   (** {1 Modification} *)
 
   val insert : ?hints:hints -> t -> key -> bool

@@ -310,6 +310,8 @@ let rec insert_into_parent t path cur right median =
 
 let split_returning t node =
   let path = lock_path t node in
+  (* chaos: widen the write-locked window (see btree.ml) *)
+  Chaos.yield_if Chaos.Point.Btree_split_delay;
   let median, right = split_node t node in
   insert_into_parent t path node right median;
   unlock_path t path;
@@ -339,49 +341,114 @@ let insert_in_leaf leaf idx key =
   leaf.keys.(idx) <- key;
   leaf.nkeys <- n + 1
 
-let rec insert_slow t key =
-  let rec locate_root () =
+(* Optimistic restarts allowed per insertion before the pessimistic
+   fallback engages; see btree.ml for the full commentary on the fallback
+   descent and its progress argument. *)
+let restart_budget_v = ref 16
+
+let set_restart_budget n =
+  if n < 0 then
+    invalid_arg "Btree_tuples.set_restart_budget: budget must be >= 0";
+  restart_budget_v := n
+
+let restart_budget () = !restart_budget_v
+
+(* Pessimistic fallback descent: hand-over-hand under write permits, never
+   blocking while holding a node lock (read child version under [cur]'s
+   permit, release, re-acquire child by CAS on that version; CAS failure
+   implies a completed concurrent write, so restarting from the root makes
+   global progress).  Mirrors [Btree.Make.insert_pessimistic]. *)
+let rec insert_pessimistic t key =
+  let rec acquire_root () =
+    let cur = t.root in
+    Olock.start_write cur.lock;
+    if t.root == cur then cur
+    else begin
+      Olock.abort_write cur.lock;
+      acquire_root ()
+    end
+  in
+  let rec go cur =
+    let n = cur.nkeys in
+    let idx, found = search t cur.keys n key in
+    if found then begin
+      Olock.abort_write cur.lock;
+      (false, sentinel)
+    end
+    else if not (is_leaf cur) then begin
+      let next = cur.children.(idx) in
+      let v = Olock.version next.lock in
+      Olock.abort_write cur.lock;
+      if v land 1 = 0 && Olock.try_upgrade_to_write next.lock v then go next
+      else insert_pessimistic t key
+    end
+    else if cur.nkeys >= t.capacity then begin
+      split t cur;
+      Olock.end_write cur.lock;
+      insert_pessimistic t key
+    end
+    else begin
+      insert_in_leaf cur idx key;
+      Olock.end_write cur.lock;
+      (true, cur)
+    end
+  in
+  go (acquire_root ())
+
+let fallback t key =
+  Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+  let t0 = Telemetry.hist_time () in
+  let r = insert_pessimistic t key in
+  Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
+  r
+
+let rec insert_slow t key attempts =
+  if attempts >= !restart_budget_v then fallback t key
+  else begin
     let root_lease = Olock.start_read t.root_lock in
     let cur = t.root in
     let cur_lease = Olock.start_read cur.lock in
-    if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
-    else locate_root ()
-  in
-  let cur, cur_lease = locate_root () in
-  descend t key cur cur_lease
+    if Olock.end_read t.root_lock root_lease then
+      descend t key cur cur_lease attempts
+    else restart t key attempts
+  end
 
-and restart t key =
+and restart t key attempts =
   (* optimistic descent observed a concurrent write: back to the root *)
   Telemetry.bump Telemetry.Counter.Btree_restarts;
-  insert_slow t key
+  insert_slow t key (attempts + 1)
 
-and descend t key cur cur_lease =
+and descend t key cur cur_lease attempts =
+  Chaos.yield_if Chaos.Point.Btree_descent_yield;
   let n = clamped_nkeys cur in
   let idx, found = search t cur.keys n key in
   if found then
     if Olock.valid cur.lock cur_lease then (false, sentinel)
-    else restart t key
+    else restart t key attempts
   else if not (is_leaf cur) then begin
     let next = cur.children.(idx) in
-    if not (Olock.valid cur.lock cur_lease) then restart t key
+    if not (Olock.valid cur.lock cur_lease) then restart t key attempts
     else begin
       let next_lease = Olock.start_read next.lock in
-      if not (Olock.valid cur.lock cur_lease) then restart t key
-      else descend t key next next_lease
+      if not (Olock.valid cur.lock cur_lease) then restart t key attempts
+      else descend t key next next_lease attempts
     end
   end
   else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
-    restart t key
+    restart t key attempts
   else if cur.nkeys >= t.capacity then begin
     split t cur;
     Olock.end_write cur.lock;
-    insert_slow t key
+    (* a split is progress, not a failed validation: same budget *)
+    insert_slow t key attempts
   end
   else begin
     insert_in_leaf cur idx key;
     Olock.end_write cur.lock;
     (true, cur)
   end
+
+let insert_slow t key = insert_slow t key 0
 
 type hint_attempt = Done of bool | Fallback
 
@@ -445,40 +512,84 @@ let insert ?hints t key =
 
 type batch_target = Bt_dup | Bt_leaf of node * int array option
 
-let rec batch_locate t key =
-  let rec locate_root () =
+(* Pessimistic twin of [batch_locate]; see [Btree.Make.batch_pessimistic]. *)
+let rec batch_pessimistic t key =
+  let rec acquire_root () =
+    let cur = t.root in
+    Olock.start_write cur.lock;
+    if t.root == cur then cur
+    else begin
+      Olock.abort_write cur.lock;
+      acquire_root ()
+    end
+  in
+  let rec go cur hi =
+    let n = cur.nkeys in
+    let idx, found = search t cur.keys n key in
+    if not (is_leaf cur) then
+      if found then begin
+        Olock.abort_write cur.lock;
+        Bt_dup
+      end
+      else begin
+        let next = cur.children.(idx) in
+        let hi = if idx < n then Some cur.keys.(idx) else hi in
+        let v = Olock.version next.lock in
+        Olock.abort_write cur.lock;
+        if v land 1 = 0 && Olock.try_upgrade_to_write next.lock v then
+          go next hi
+        else batch_pessimistic t key
+      end
+    else Bt_leaf (cur, hi)
+  in
+  go (acquire_root ()) None
+
+let batch_fallback t key =
+  Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+  let t0 = Telemetry.hist_time () in
+  let r = batch_pessimistic t key in
+  Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
+  r
+
+let rec batch_locate t key attempts =
+  if attempts >= !restart_budget_v then batch_fallback t key
+  else begin
     let root_lease = Olock.start_read t.root_lock in
     let cur = t.root in
     let cur_lease = Olock.start_read cur.lock in
-    if Olock.end_read t.root_lock root_lease then (cur, cur_lease)
-    else locate_root ()
-  in
-  let cur, cur_lease = locate_root () in
-  batch_descend t key cur cur_lease None
+    if Olock.end_read t.root_lock root_lease then
+      batch_descend t key cur cur_lease None attempts
+    else batch_restart t key attempts
+  end
 
-and batch_restart t key =
+and batch_restart t key attempts =
   Telemetry.bump Telemetry.Counter.Btree_restarts;
-  batch_locate t key
+  batch_locate t key (attempts + 1)
 
-and batch_descend t key cur cur_lease hi =
+and batch_descend t key cur cur_lease hi attempts =
+  Chaos.yield_if Chaos.Point.Btree_descent_yield;
   let n = clamped_nkeys cur in
   let idx, found = search t cur.keys n key in
   if not (is_leaf cur) then
     if found then
-      if Olock.valid cur.lock cur_lease then Bt_dup else batch_restart t key
+      if Olock.valid cur.lock cur_lease then Bt_dup
+      else batch_restart t key attempts
     else begin
       let next = cur.children.(idx) in
       let hi = if idx < n then Some cur.keys.(idx) else hi in
-      if not (Olock.valid cur.lock cur_lease) then batch_restart t key
+      if not (Olock.valid cur.lock cur_lease) then batch_restart t key attempts
       else begin
         let next_lease = Olock.start_read next.lock in
-        if not (Olock.valid cur.lock cur_lease) then batch_restart t key
-        else batch_descend t key next next_lease hi
+        if not (Olock.valid cur.lock cur_lease) then
+          batch_restart t key attempts
+        else batch_descend t key next next_lease hi attempts
       end
     end
   else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
-    batch_restart t key
+    batch_restart t key attempts
   else Bt_leaf (cur, hi)
+
+let batch_locate t key = batch_locate t key 0
 
 let batch_fill t run i0 stop_idx leaf limit0 =
   let fresh = ref 0 in

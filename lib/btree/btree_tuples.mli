@@ -43,6 +43,15 @@ val hint_run_hist : hints -> int array
     misses that immediately followed a miss).  The still-open run, if any,
     is counted as if it closed now. *)
 
+val set_restart_budget : int -> unit
+(** Optimistic restarts allowed per insertion before the pessimistic
+    write-locked fallback descent engages (default 16; [0] = always
+    pessimistic).  Module-global; quiescent use only.  See
+    [Btree.Make.set_restart_budget] for the fallback's progress argument.
+    @raise Invalid_argument if negative. *)
+
+val restart_budget : unit -> int
+
 val insert : ?hints:hints -> t -> int array -> bool
 (** Thread-safe against concurrent inserts.
 

@@ -1,3 +1,20 @@
+exception
+  Parse_error of {
+    file : string option;
+    line : int;
+    relation : string;
+    message : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { file; line; relation; message } ->
+      Some
+        (Printf.sprintf "Dl_io.Parse_error(%s:%d, relation %s: %s)"
+           (match file with Some f -> f | None -> "<channel>")
+           line relation message)
+    | _ -> None)
+
 let parse_field engine s =
   match int_of_string_opt s with
   | Some n -> n
@@ -10,7 +27,7 @@ let parse_field engine s =
    shard size bounds loader memory spikes without defeating the batching. *)
 let chunk_size = 1 lsl 16
 
-let load_facts_channel engine ~relation ic =
+let load_facts_channel ?(lenient = false) ?file engine ~relation ic =
   let arity = Engine.relation_arity engine relation in
   let count = ref 0 in
   let line_no = ref 0 in
@@ -22,31 +39,46 @@ let load_facts_channel engine ~relation ic =
       filled := 0
     end
   in
+  let malformed message =
+    if lenient then
+      (* skip-and-count: a corrupt line must not silently shrink a dataset,
+         so every skip is visible in --stats / --metrics *)
+      Telemetry.bump Telemetry.Counter.Io_malformed_lines
+    else raise (Parse_error { file; line = !line_no; relation; message })
+  in
   (try
      while true do
        let line = input_line ic in
        incr line_no;
+       (* chaos: lose the tail of the line, as a torn write or short read
+          would — the loader must surface it, not load a partial tuple *)
+       let line =
+         if Chaos.fire Chaos.Point.Io_read_truncate then
+           String.sub line 0 (String.length line / 2)
+         else line
+       in
        if String.trim line <> "" then begin
          let fields = String.split_on_char '\t' line in
-         if List.length fields <> arity then
-           failwith
-             (Printf.sprintf
-                "facts for %s, line %d: %d fields, expected %d" relation
-                !line_no (List.length fields) arity);
-         let tup = Array.of_list (List.map (parse_field engine) fields) in
-         if !filled = chunk_size then flush ();
-         chunk.(!filled) <- tup;
-         incr filled;
-         incr count
+         let nfields = List.length fields in
+         if nfields <> arity then
+           malformed
+             (Printf.sprintf "%d fields, expected %d" nfields arity)
+         else begin
+           let tup = Array.of_list (List.map (parse_field engine) fields) in
+           if !filled = chunk_size then flush ();
+           chunk.(!filled) <- tup;
+           incr filled;
+           incr count
+         end
        end
      done
    with End_of_file -> ());
   flush ();
   !count
 
-let load_facts_file engine ~relation path =
+let load_facts_file ?lenient engine ~relation path =
   let ic = open_in path in
-  match load_facts_channel engine ~relation ic with
+  match load_facts_channel ?lenient ~file:path engine ~relation ic with
   | n ->
     close_in ic;
     n
@@ -54,12 +86,12 @@ let load_facts_file engine ~relation path =
     close_in ic;
     raise e
 
-let load_facts_dir engine dir =
+let load_facts_dir ?lenient engine dir =
   List.filter_map
     (fun relation ->
       let path = Filename.concat dir (relation ^ ".facts") in
       if Sys.file_exists path then
-        Some (relation, load_facts_file engine ~relation path)
+        Some (relation, load_facts_file ?lenient engine ~relation path)
       else None)
     (Engine.input_relations engine)
 

@@ -6,19 +6,37 @@
     [<dir>/<name>.csv] in the same format, decoding symbol ids is the
     caller's business (facts are plain integers once interned). *)
 
-val load_facts_channel : Engine.t -> relation:string -> in_channel -> int
+exception
+  Parse_error of {
+    file : string option;  (** [None] for bare-channel loads *)
+    line : int;  (** 1-based line number *)
+    relation : string;
+    message : string;
+  }
+(** A corrupt, truncated or wrong-arity fact line.  Structured (rather than
+    a bare [Failure]) so callers can report the exact file position and
+    tooling can distinguish data corruption from programming errors. *)
+
+val load_facts_channel :
+  ?lenient:bool -> ?file:string -> Engine.t -> relation:string -> in_channel -> int
 (** Queue every tuple of the channel; returns the number of tuples read.
     Tuples are accumulated into fixed-size shards queued through
     {!Engine.add_fact_run}, so at {!Engine.run} they reach the storage layer
     through the batch write path (per-index sort + parallel structural
     merge) rather than per-tuple inserts.
-    @raise Failure with line information on malformed input
-    @raise Invalid_argument on arity mismatch *)
 
-val load_facts_file : Engine.t -> relation:string -> string -> int
-(** @raise Sys_error on IO failure. *)
+    With [~lenient:true] malformed lines are skipped instead of raised,
+    each one counted into [Telemetry.Counter.Io_malformed_lines] (surfaced
+    by [--stats] and [--metrics]); the returned count covers loaded tuples
+    only.  [?file] names the source in error reports.
+    @raise Parse_error on a malformed line (strict mode, the default). *)
 
-val load_facts_dir : Engine.t -> string -> (string * int) list
+val load_facts_file :
+  ?lenient:bool -> Engine.t -> relation:string -> string -> int
+(** @raise Parse_error on malformed input (strict mode)
+    @raise Sys_error on IO failure. *)
+
+val load_facts_dir : ?lenient:bool -> Engine.t -> string -> (string * int) list
 (** [load_facts_dir e dir] loads [<dir>/<name>.facts] for every declared
     input relation of the program for which such a file exists; returns the
     per-relation tuple counts. *)

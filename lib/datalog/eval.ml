@@ -287,12 +287,15 @@ let run ?(check_phases = false) ?(fact_runs = []) (plan : Plan.t) ~pool ~kind
       in
       (ctx, emit, close)
     in
+    (* [close] runs under [Fun.protect]: a worker that dies mid-rule (a
+       phase violation, an injected fault) must still release its phase
+       handles, or the leaked phase poisons every later round that reopens
+       the relation in the other phase. *)
     match cr.cr_steps.(0) with
     | Plan.SNeg _ | Plan.SCmp _ | Plan.SBind _ | Plan.SAgg _ ->
       (* ground prefix (e.g. `p(1) :- !q(2).`): no outer loop to split *)
       let ctx, emit, close = make_worker () in
-      exec ctx 0 ~emit;
-      close ()
+      Fun.protect ~finally:close (fun () -> exec ctx 0 ~emit)
     | Plan.SMatch m ->
       (* materialise the outer scan, then partition it over the pool *)
       let outer_rel = step_rel cr.cr_steps.(0) in
@@ -303,25 +306,27 @@ let run ?(check_phases = false) ?(fact_runs = []) (plan : Plan.t) ~pool ~kind
       let outer_reader = Relation.begin_read outer_rel in
       let outer_sig = Relation.sig_id outer_rel m.m_sig in
       let buf = ref [] and n = ref 0 in
-      Relation.Reader.scan outer_reader outer_sig bound (fun tup ->
-          buf := tup :: !buf;
-          incr n);
-      Relation.Reader.finish outer_reader;
+      Fun.protect
+        ~finally:(fun () -> Relation.Reader.finish outer_reader)
+        (fun () ->
+          Relation.Reader.scan outer_reader outer_sig bound (fun tup ->
+              buf := tup :: !buf;
+              incr n));
       if !n > 0 then begin
         let arr = Array.make !n [||] in
         List.iteri (fun i tup -> arr.(i) <- tup) !buf;
         if !n < 64 || Pool.size pool = 1 then begin
           let ctx, emit, close = make_worker () in
-          Array.iter (fun tup -> exec_outer ctx tup ~emit) arr;
-          close ()
+          Fun.protect ~finally:close (fun () ->
+              Array.iter (fun tup -> exec_outer ctx tup ~emit) arr)
         end
         else
           Pool.parallel_for_ranges ~label:"rule" pool 0 !n (fun _w lo hi ->
               let ctx, emit, close = make_worker () in
-              for i = lo to hi - 1 do
-                exec_outer ctx arr.(i) ~emit
-              done;
-              close ())
+              Fun.protect ~finally:close (fun () ->
+                  for i = lo to hi - 1 do
+                    exec_outer ctx arr.(i) ~emit
+                  done))
       end
   in
   let eval_rule cr =

@@ -247,12 +247,28 @@ let leave_phase t bit closed =
   closed := true;
   ignore (Atomic.fetch_and_add t.phase (-bit) : int)
 
+(* A finished handle no longer holds its phase slot: an operation through
+   it would race whatever phase opened since (exactly the overlap the
+   phase word exists to exclude), so it is refused eagerly rather than
+   left to corrupt silently.  One bool-ref load on the hot path. *)
+let check_open name closed what =
+  if !closed then
+    raise
+      (Storage.Index.Phase_violation
+         (Printf.sprintf "%s: %s through a finished handle" name what))
+
 module Writer = struct
   type rel = t
   type t = { w_cur : Cursor.t; w_rel : rel; w_closed : bool ref }
 
-  let insert w tup = Cursor.insert w.w_cur tup
-  let insert_batch ?pool w tuples = merge_batch ?pool w.w_rel tuples
+  let insert w tup =
+    check_open w.w_rel.name w.w_closed "insert";
+    Cursor.insert w.w_cur tup
+
+  let insert_batch ?pool w tuples =
+    check_open w.w_rel.name w.w_closed "insert_batch";
+    merge_batch ?pool w.w_rel tuples
+
   let finish w = leave_phase w.w_rel writer_bit w.w_closed
 end
 
@@ -260,8 +276,14 @@ module Reader = struct
   type rel = t
   type t = { r_cur : Cursor.t; r_rel : rel; r_closed : bool ref }
 
-  let mem r tup = Cursor.mem r.r_cur tup
-  let scan r sig_id bound f = Cursor.scan r.r_cur sig_id bound f
+  let mem r tup =
+    check_open r.r_rel.name r.r_closed "mem";
+    Cursor.mem r.r_cur tup
+
+  let scan r sig_id bound f =
+    check_open r.r_rel.name r.r_closed "scan";
+    Cursor.scan r.r_cur sig_id bound f
+
   let finish r = leave_phase r.r_rel reader_bit r.r_closed
 end
 

@@ -17,23 +17,64 @@
    obtain the release/acquire edge required by the seqlock recipe. *)
 
 module Backoff = struct
-  type t = { mutable current : int; ceiling : int }
+  (* Truncated exponential backoff with seeded jitter.  The delay grows
+     1, 2, 4, ... up to [ceiling] (never past it — an unbounded doubling
+     would overflow into multi-second stalls under pathological contention)
+     and every round adds a pseudo-random jitter in [0, current): two
+     waiters created at the same instant would otherwise resonate, retrying
+     in lockstep and colliding on every round.  Jitter streams are seeded
+     deterministically (a global seed mixed with a per-instance counter),
+     so a fixed seed replays the same delay schedule. *)
+  type t = { mutable current : int; ceiling : int; mutable rng : int }
 
-  let create ?(ceiling = 4096) () = { current = 1; ceiling }
+  let jitter_seed = ref 0x51AB_77E5
+  let instances = Atomic.make 0
+
+  let set_seed s = jitter_seed := s
+
+  let mix seed salt =
+    let z = (seed + ((salt + 1) * 0x9E3779B9)) land max_int in
+    let z = z lxor (z lsr 16) in
+    let z = z * 0x85EBCA6B land max_int in
+    let z = z lxor (z lsr 13) in
+    if z = 0 then 0x2545F491 else z
+
+  let create ?(ceiling = 4096) () =
+    { current = 1; ceiling; rng = mix !jitter_seed (Atomic.fetch_and_add instances 1) }
 
   let reset b = b.current <- 1
+
+  let rng_next b =
+    let r = b.rng in
+    let r = r lxor (r lsl 13) land max_int in
+    let r = r lxor (r lsr 7) in
+    let r = r lxor (r lsl 17) land max_int in
+    let r = if r = 0 then 0x2545F491 else r in
+    b.rng <- r;
+    r
 
   let once b =
     (* [cpu_relax] is not exposed by the stdlib; a short counted loop of
        [Domain.cpu_relax] is.  OCaml 5.1 provides Domain.cpu_relax. *)
-    for _ = 1 to b.current do
+    let spins = b.current + (rng_next b mod b.current) in
+    for _ = 1 to spins do
       Domain.cpu_relax ()
     done;
-    if b.current < b.ceiling then b.current <- b.current * 2
+    if b.current < b.ceiling then begin
+      let next = b.current * 2 in
+      b.current <- (if next > b.ceiling then b.ceiling else next)
+    end
 end
 
 type t = { version : int Atomic.t }
 type lease = int
+
+exception Protocol_violation of string
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_violation m -> Some (Printf.sprintf "Olock.Protocol_violation(%s)" m)
+    | _ -> None)
 
 let create () = { version = Atomic.make 0 }
 
@@ -60,6 +101,10 @@ let start_read l =
 
 let valid l lease =
   let ok = Atomic.get l.version = lease in
+  (* chaos: spuriously report a torn read, pushing the caller onto its
+     restart path — the rare interleaving every optimistic correctness
+     claim depends on, forced on demand *)
+  let ok = ok && not (Chaos.fire Chaos.Point.Olock_validate_force_fail) in
   if not ok then Telemetry.bump Telemetry.Counter.Olock_validation_failures;
   ok
 
@@ -90,11 +135,36 @@ let start_write l =
     Telemetry.hist_end Telemetry.Hist.Olock_write_wait_ns t0
   end
 
-let end_write l = ignore (Atomic.fetch_and_add l.version 1 : int)
+(* Misuse detection for the release half of the protocol: releasing a lock
+   that is not write-held (an even version) would silently corrupt the
+   counter — an even release would hand out a "free" version that a later
+   writer turns odd, wedging every reader.  The check rides on the value
+   the release increment returns, so the hot path still performs exactly
+   one atomic op; on a violation the increment is undone before raising
+   (the transiently odd version only makes concurrent readers spin one
+   extra round). *)
+let end_write l =
+  let old = Atomic.fetch_and_add l.version 1 in
+  if is_even old then begin
+    ignore (Atomic.fetch_and_add l.version (-1) : int);
+    raise
+      (Protocol_violation
+         (Printf.sprintf
+            "end_write on a lock not held for writing (version %d is even)"
+            old))
+  end
 
 let abort_write l =
-  Telemetry.bump Telemetry.Counter.Olock_write_aborts;
-  ignore (Atomic.fetch_and_add l.version (-1) : int)
+  let old = Atomic.fetch_and_add l.version (-1) in
+  if is_even old then begin
+    ignore (Atomic.fetch_and_add l.version 1 : int);
+    raise
+      (Protocol_violation
+         (Printf.sprintf
+            "abort_write on a lock not held for writing (version %d is even)"
+            old))
+  end;
+  Telemetry.bump Telemetry.Counter.Olock_write_aborts
 let is_write_locked l = not (is_even (Atomic.get l.version))
 let version l = Atomic.get l.version
 

@@ -28,6 +28,14 @@ type lease = int
 (** A read lease: the version number observed by {!start_read}.  Even by
     construction. *)
 
+exception Protocol_violation of string
+(** Raised by {!end_write}/{!abort_write} when the lock is not held for
+    writing (the version is even): such a release would silently corrupt
+    the version counter — an extra increment parks the lock "write-held"
+    forever, wedging every reader.  The message carries the observed
+    version so the parity is visible in the report.  The offending
+    operation is rolled back before raising, so the lock stays usable. *)
+
 val create : unit -> t
 (** [create ()] is a fresh, unlocked lock (version [0]). *)
 
@@ -62,12 +70,14 @@ val start_write : t -> unit
 val end_write : t -> unit
 (** [end_write l] ends a write phase, publishing the modifications: the
     version becomes even again and differs from every lease handed out before
-    the write. *)
+    the write.
+    @raise Protocol_violation if the lock is not write-held. *)
 
 val abort_write : t -> unit
 (** [abort_write l] ends a write phase during which {e no} modification was
     performed.  The version is rolled back to its pre-write value so that
-    concurrent readers are not needlessly invalidated. *)
+    concurrent readers are not needlessly invalidated.
+    @raise Protocol_violation if the lock is not write-held. *)
 
 val is_write_locked : t -> bool
 (** [is_write_locked l] observes whether a writer is currently active (racy,
@@ -111,14 +121,25 @@ module Rwlock : sig
 end
 
 module Backoff : sig
-  (** Truncated exponential backoff for spin loops. *)
+  (** Truncated exponential backoff with seeded jitter for spin loops.
+      The delay doubles each round but never exceeds the ceiling, and each
+      round adds a pseudo-random jitter in [\[0, current)] so two waiters
+      created together do not retry in lockstep (waiter resonance).  Jitter
+      streams are deterministic: a fixed {!set_seed} replays the same delay
+      schedule. *)
 
   type t
 
   val create : ?ceiling:int -> unit -> t
+  (** Default ceiling: 4096 [cpu_relax] rounds. *)
+
   val once : t -> unit
-  (** [once b] spins for the current delay and doubles it (up to the
-      ceiling). *)
+  (** [once b] spins for the current delay plus jitter and doubles the
+      delay (clamped to the ceiling). *)
 
   val reset : t -> unit
+
+  val set_seed : int -> unit
+  (** Reseed the global jitter stream (affects backoffs created after the
+      call); used by the chaos harness for deterministic replays. *)
 end

@@ -12,6 +12,35 @@
 
 type job = int -> unit
 
+(* Fault containment: a worker exception never kills its domain.  Each
+   failure is captured where it happened — worker id, exception, formatted
+   backtrace — the remaining workers drain the job normally, and the caller
+   re-raises everything at the join as one aggregated [Pool_failure].
+   Aggregating (rather than keeping the first exception) matters under
+   fault injection: when several domains fail in the same job the report
+   must show all of them, or a chaos run can mistake a systemic failure for
+   a one-off. *)
+type failure = {
+  f_worker : int;
+  f_exn : exn;
+  f_backtrace : string;
+}
+
+exception Pool_failure of failure list
+
+let () =
+  Printexc.register_printer (function
+    | Pool_failure fs ->
+      Some
+        (Printf.sprintf "Pool_failure [%s]"
+           (String.concat "; "
+              (List.map
+                 (fun f ->
+                   Printf.sprintf "worker %d: %s" f.f_worker
+                     (Printexc.to_string f.f_exn))
+                 fs)))
+    | _ -> None)
+
 type t = {
   size : int;
   mutex : Mutex.t;
@@ -21,16 +50,20 @@ type t = {
   mutable job : job option;
   mutable pending : int;             (* workers still running current job *)
   mutable stop : bool;
-  mutable error : exn option;        (* first exception raised by a worker *)
+  mutable failures : failure list;   (* per-worker captures, newest first *)
+  mutable deadline_ns : int;         (* watchdog; 0 = off *)
   mutable domains : unit Domain.t list;
   mutable alive : bool;
 }
 
 let recommended_workers () = Domain.recommended_domain_count ()
 
-let record_error p e =
+let record_failure p w e =
+  (* capture the backtrace on the failing domain, before any other frame
+     overwrites it *)
+  let bt = Printexc.get_backtrace () in
   Mutex.lock p.mutex;
-  if p.error = None then p.error <- Some e;
+  p.failures <- { f_worker = w; f_exn = e; f_backtrace = bt } :: p.failures;
   Mutex.unlock p.mutex
 
 let worker_loop p w =
@@ -49,7 +82,10 @@ let worker_loop p w =
         | None -> assert false
       in
       Mutex.unlock p.mutex;
-      (try job w with e -> record_error p e);
+      (try
+         Chaos.inject Chaos.Point.Pool_job_raise;
+         job w
+       with e -> record_failure p w e);
       Mutex.lock p.mutex;
       p.pending <- p.pending - 1;
       if p.pending = 0 then Condition.broadcast p.work_done;
@@ -71,7 +107,8 @@ let create n =
       job = None;
       pending = 0;
       stop = false;
-      error = None;
+      failures = [];
+      deadline_ns = 0;
       domains = [];
       alive = true;
     }
@@ -82,26 +119,70 @@ let create n =
 
 let size p = p.size
 
+let set_watchdog p ns =
+  if ns < 0 then invalid_arg "Pool.set_watchdog: deadline must be >= 0";
+  p.deadline_ns <- ns
+
+(* Join-side watchdog: the fork-join protocol cannot interrupt a stuck
+   worker, but it can flag the job.  Checked once per job at the join, so
+   the cost is one clock read when armed and nothing when not. *)
+let watchdog_check p t0 =
+  if p.deadline_ns > 0 then begin
+    let wall = Telemetry.now_ns () - t0 in
+    if wall > p.deadline_ns then begin
+      Telemetry.bump Telemetry.Counter.Pool_watchdog_trips;
+      Telemetry.instant
+        ~args:
+          [
+            ("wall_ms", Telemetry.A_int (wall / 1_000_000));
+            ("deadline_ms", Telemetry.A_int (p.deadline_ns / 1_000_000));
+          ]
+        ~cat:"pool" "pool.watchdog_trip"
+    end
+  end
+
+let raise_failures fs =
+  let fs =
+    List.sort (fun a b -> compare a.f_worker b.f_worker) fs
+  in
+  raise (Pool_failure fs)
+
 let run_plain p f =
-  if p.size = 1 then f 0
+  if p.size = 1 then begin
+    let t0 = if p.deadline_ns > 0 then Telemetry.now_ns () else 0 in
+    (try
+       Chaos.inject Chaos.Point.Pool_job_raise;
+       f 0
+     with e -> record_failure p 0 e);
+    watchdog_check p t0;
+    let fs = p.failures in
+    p.failures <- [];
+    if fs <> [] then raise_failures fs
+  end
   else begin
+    let t0 = if p.deadline_ns > 0 then Telemetry.now_ns () else 0 in
     Mutex.lock p.mutex;
     p.job <- Some f;
     p.pending <- p.size - 1;
     p.generation <- p.generation + 1;
-    p.error <- None;
+    p.failures <- [];
     Condition.broadcast p.work_ready;
     Mutex.unlock p.mutex;
     (* The caller is worker 0. *)
-    (try f 0 with e -> record_error p e);
+    (try
+       Chaos.inject Chaos.Point.Pool_job_raise;
+       f 0
+     with e -> record_failure p 0 e);
     Mutex.lock p.mutex;
     while p.pending > 0 do
       Condition.wait p.work_done p.mutex
     done;
-    let err = p.error in
+    let fs = p.failures in
+    p.failures <- [];
     p.job <- None;
     Mutex.unlock p.mutex;
-    match err with None -> () | Some e -> raise e
+    watchdog_check p t0;
+    if fs <> [] then raise_failures fs
   end
 
 (* Instrumented wrapper around [run_plain]: per-worker busy time (recorded

@@ -11,6 +11,22 @@
 
 type t
 
+type failure = {
+  f_worker : int;  (** worker index that raised *)
+  f_exn : exn;
+  f_backtrace : string;
+      (** backtrace captured on the failing domain (empty unless backtrace
+          recording is on, e.g. [OCAMLRUNPARAM=b]) *)
+}
+(** One captured worker failure. *)
+
+exception Pool_failure of failure list
+(** Aggregated job failure, raised on the caller at the join.  Worker
+    exceptions never kill their domain: each is captured where it happened,
+    the surviving workers drain the job normally, and the caller receives
+    every capture (sorted by worker index) in one exception.  The pool
+    remains usable afterwards. *)
+
 val create : int -> t
 (** [create n] is a pool of [n] workers in total ([n - 1] spawned domains).
     [n] must be at least 1; [create 1] spawns nothing and runs everything on
@@ -22,13 +38,25 @@ val size : t -> int
 val run : ?label:string -> t -> (int -> unit) -> unit
 (** [run p f] executes [f w] once on each worker [w] in [0 .. size - 1]
     concurrently (worker [0] is the calling domain) and returns when all
-    calls have finished.  The first exception raised by any worker is
-    re-raised on the caller after the join.
+    calls have finished.
 
     When telemetry is enabled (see lib/telemetry) the job records per-worker
     busy time and, under tracing, emits one span per worker plus a job span
     named [label] (default ["job"]) carrying the load-imbalance summary
-    ([max_busy / avg_busy]). *)
+    ([max_busy / avg_busy]).
+
+    @raise Pool_failure if any worker raised: all captures are aggregated
+    and delivered after every surviving worker has finished the job, so a
+    fault is contained to the job that suffered it. *)
+
+val set_watchdog : t -> int -> unit
+(** [set_watchdog p ns] arms a per-job deadline: any subsequent job whose
+    wall time exceeds [ns] nanoseconds bumps the
+    [Telemetry.Counter.Pool_watchdog_trips] counter and emits a trace
+    instant at the join.  The fork-join protocol cannot interrupt a stuck
+    worker, so this is a flag, not a kill switch — its purpose is making a
+    hung or overlong job visible in stats and traces instead of silently
+    stretching the run.  [set_watchdog p 0] disarms (the default). *)
 
 val parallel_for : ?label:string -> t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
 (** [parallel_for p lo hi f] executes [f i] for every [lo <= i < hi], work

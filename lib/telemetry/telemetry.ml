@@ -278,6 +278,7 @@ module Counter = struct
     | Olock_write_aborts
     (* concurrent B-tree (lib/btree) *)
     | Btree_restarts
+    | Btree_pessimistic_fallbacks
     | Btree_leaf_splits
     | Btree_inner_splits
     | Btree_root_splits
@@ -291,19 +292,23 @@ module Counter = struct
     | Pool_jobs
     | Pool_busy_ns
     | Pool_wall_ns
+    | Pool_watchdog_trips
     (* semi-naive evaluation (lib/datalog) *)
     | Eval_iterations
     | Eval_rule_evals
     | Eval_delta_tuples
+    (* fact IO (lib/datalog Dl_io) *)
+    | Io_malformed_lines
 
   let all =
     [
       Olock_read_spins; Olock_write_spins; Olock_validation_failures;
       Olock_upgrade_failures; Olock_write_aborts; Btree_restarts;
-      Btree_leaf_splits; Btree_inner_splits; Btree_root_splits;
-      Btree_hint_hits; Btree_hint_misses; Btree_batch_keys;
+      Btree_pessimistic_fallbacks; Btree_leaf_splits; Btree_inner_splits;
+      Btree_root_splits; Btree_hint_hits; Btree_hint_misses; Btree_batch_keys;
       Btree_batch_leaves; Btree_batch_splices; Pool_jobs; Pool_busy_ns;
-      Pool_wall_ns; Eval_iterations; Eval_rule_evals; Eval_delta_tuples;
+      Pool_wall_ns; Pool_watchdog_trips; Eval_iterations; Eval_rule_evals;
+      Eval_delta_tuples; Io_malformed_lines;
     ]
 
   let index = function
@@ -313,20 +318,23 @@ module Counter = struct
     | Olock_upgrade_failures -> 3
     | Olock_write_aborts -> 4
     | Btree_restarts -> 5
-    | Btree_leaf_splits -> 6
-    | Btree_inner_splits -> 7
-    | Btree_root_splits -> 8
-    | Btree_hint_hits -> 9
-    | Btree_hint_misses -> 10
-    | Btree_batch_keys -> 11
-    | Btree_batch_leaves -> 12
-    | Btree_batch_splices -> 13
-    | Pool_jobs -> 14
-    | Pool_busy_ns -> 15
-    | Pool_wall_ns -> 16
-    | Eval_iterations -> 17
-    | Eval_rule_evals -> 18
-    | Eval_delta_tuples -> 19
+    | Btree_pessimistic_fallbacks -> 6
+    | Btree_leaf_splits -> 7
+    | Btree_inner_splits -> 8
+    | Btree_root_splits -> 9
+    | Btree_hint_hits -> 10
+    | Btree_hint_misses -> 11
+    | Btree_batch_keys -> 12
+    | Btree_batch_leaves -> 13
+    | Btree_batch_splices -> 14
+    | Pool_jobs -> 15
+    | Pool_busy_ns -> 16
+    | Pool_wall_ns -> 17
+    | Pool_watchdog_trips -> 18
+    | Eval_iterations -> 19
+    | Eval_rule_evals -> 20
+    | Eval_delta_tuples -> 21
+    | Io_malformed_lines -> 22
 
   let count = List.length all
 
@@ -337,6 +345,7 @@ module Counter = struct
     | Olock_upgrade_failures -> "olock.upgrade_failures"
     | Olock_write_aborts -> "olock.write_aborts"
     | Btree_restarts -> "btree.restarts"
+    | Btree_pessimistic_fallbacks -> "btree.pessimistic_fallbacks"
     | Btree_leaf_splits -> "btree.leaf_splits"
     | Btree_inner_splits -> "btree.inner_splits"
     | Btree_root_splits -> "btree.root_splits"
@@ -348,9 +357,11 @@ module Counter = struct
     | Pool_jobs -> "pool.jobs"
     | Pool_busy_ns -> "pool.busy_ns"
     | Pool_wall_ns -> "pool.wall_ns"
+    | Pool_watchdog_trips -> "pool.watchdog_trips"
     | Eval_iterations -> "eval.iterations"
     | Eval_rule_evals -> "eval.rule_evals"
     | Eval_delta_tuples -> "eval.delta_tuples"
+    | Io_malformed_lines -> "io.malformed_lines"
 
   (* Unit metadata: most counters are event counts, but the pool time
      accumulators are nanosecond totals.  Exporters use this to render
@@ -372,6 +383,7 @@ module Hist = struct
     | Btree_find_ns
     | Btree_bound_ns
     | Btree_batch_ns
+    | Btree_fallback_ns
     | Olock_write_wait_ns
     | Pool_job_ns
     | Eval_iteration_ns
@@ -379,7 +391,7 @@ module Hist = struct
   let all =
     [
       Btree_insert_ns; Btree_find_ns; Btree_bound_ns; Btree_batch_ns;
-      Olock_write_wait_ns; Pool_job_ns; Eval_iteration_ns;
+      Btree_fallback_ns; Olock_write_wait_ns; Pool_job_ns; Eval_iteration_ns;
     ]
 
   let index = function
@@ -387,9 +399,10 @@ module Hist = struct
     | Btree_find_ns -> 1
     | Btree_bound_ns -> 2
     | Btree_batch_ns -> 3
-    | Olock_write_wait_ns -> 4
-    | Pool_job_ns -> 5
-    | Eval_iteration_ns -> 6
+    | Btree_fallback_ns -> 4
+    | Olock_write_wait_ns -> 5
+    | Pool_job_ns -> 6
+    | Eval_iteration_ns -> 7
 
   let count = List.length all
 
@@ -398,6 +411,7 @@ module Hist = struct
     | Btree_find_ns -> "btree.find_ns"
     | Btree_bound_ns -> "btree.lower_bound_ns"
     | Btree_batch_ns -> "btree.batch_ns"
+    | Btree_fallback_ns -> "btree.fallback_ns"
     | Olock_write_wait_ns -> "olock.write_wait_ns"
     | Pool_job_ns -> "pool.job_ns"
     | Eval_iteration_ns -> "eval.iteration_ns"
@@ -409,9 +423,12 @@ module Hist = struct
      eval iterations are milliseconds apart. *)
   (* Batch calls are coarse by construction (one per sorted run or merge
      partition), so they record every event like the other coarse sites. *)
+  (* Pessimistic fallbacks are cold by construction (a fallback means the
+     optimistic retry budget ran dry), so every one is recorded. *)
   let sample_shift = function
     | Btree_insert_ns | Btree_find_ns | Btree_bound_ns -> 6
-    | Btree_batch_ns | Olock_write_wait_ns | Pool_job_ns | Eval_iteration_ns ->
+    | Btree_batch_ns | Btree_fallback_ns | Olock_write_wait_ns | Pool_job_ns
+    | Eval_iteration_ns ->
       0
 
   (* Log-linear (HDR-style) bucketing: values below [2^sub_bits] get exact

@@ -63,6 +63,10 @@ module Counter : sig
     | Btree_restarts
         (** insertions restarted from the root after a failed validation or
             upgrade during optimistic descent *)
+    | Btree_pessimistic_fallbacks
+        (** descents that exhausted the optimistic retry budget and fell
+            back to the pessimistic write-locked descent; [0] in healthy
+            non-chaos runs (gated by tools/regress.sh) *)
     | Btree_leaf_splits
     | Btree_inner_splits
     | Btree_root_splits  (** splits that grew the tree by one level *)
@@ -82,9 +86,15 @@ module Counter : sig
     | Pool_wall_ns
         (** summed job wall time × worker count, so that
             [Pool_busy_ns / Pool_wall_ns] is pool utilisation *)
+    | Pool_watchdog_trips
+        (** pool jobs whose wall time exceeded the pool's watchdog deadline
+            (see [Pool.set_watchdog]) *)
     | Eval_iterations  (** semi-naive fixed-point rounds *)
     | Eval_rule_evals  (** rule-version evaluations *)
     | Eval_delta_tuples  (** tuples promoted from new into full relations *)
+    | Io_malformed_lines
+        (** corrupt/truncated fact lines skipped by [Dl_io]'s lenient
+            loader *)
 
   val all : t list
   val index : t -> int
@@ -113,6 +123,9 @@ module Hist : sig
     | Btree_batch_ns
         (** [insert_batch] call latency (one event per sorted run or merge
             partition; unsampled) *)
+    | Btree_fallback_ns
+        (** pessimistic fallback descent latency (unsampled — fallbacks are
+            cold by construction) *)
     | Olock_write_wait_ns
         (** contended write acquisitions only: time from first failed
             [try_start_write] to acquisition *)

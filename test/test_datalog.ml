@@ -734,7 +734,8 @@ let test_io_arity_error () =
       let e = Engine.create (Parser.parse_string tc_src) in
       match Dl_io.load_facts_dir e dir with
       | _ -> Alcotest.fail "accepted wrong arity"
-      | exception Failure _ -> ())
+      | exception Dl_io.Parse_error { line = 1; relation = "edge"; file = Some _; _ }
+        -> ())
 
 (* ---------------- aggregates ---------------- *)
 
@@ -957,6 +958,41 @@ let test_typed_phase_handles () =
   Relation.Writer.finish w;
   let rd = Relation.begin_read r in
   Relation.Reader.finish rd
+
+let test_stale_phase_handles () =
+  (* a finished handle is dead: any operation through it must fail loudly
+     rather than silently reopen the phase (the bug class this catches is a
+     worker caching a [Writer.t] across rounds) *)
+  let r =
+    Relation.create ~name:"stale" ~arity:2 ~kind:Storage.Btree
+      ~sigs:[ [| 0 |] ] ~stats:None ()
+  in
+  let w = Relation.begin_write r in
+  check_bool "live insert" true (Relation.Writer.insert w [| 1; 2 |]);
+  Relation.Writer.finish w;
+  (match Relation.Writer.insert w [| 3; 4 |] with
+  | _ -> Alcotest.fail "insert through a stale writer accepted"
+  | exception Storage.Index.Phase_violation _ -> ());
+  (match Relation.Writer.insert_batch w [| [| 5; 6 |] |] with
+  | _ -> Alcotest.fail "insert_batch through a stale writer accepted"
+  | exception Storage.Index.Phase_violation _ -> ());
+  (* the failed stale calls must not have corrupted the phase tracking:
+     a fresh read phase opens and sees only the live insert *)
+  let rd = Relation.begin_read r in
+  check_bool "stale insert did not land" false (Relation.Reader.mem rd [| 3; 4 |]);
+  check_bool "live insert landed" true (Relation.Reader.mem rd [| 1; 2 |]);
+  Relation.Reader.finish rd;
+  (match Relation.Reader.mem rd [| 1; 2 |] with
+  | _ -> Alcotest.fail "mem through a stale reader accepted"
+  | exception Storage.Index.Phase_violation _ -> ());
+  (match Relation.Reader.scan rd (Relation.sig_id r [| 0 |]) [| 1 |] ignore with
+  | () -> Alcotest.fail "scan through a stale reader accepted"
+  | exception Storage.Index.Phase_violation _ -> ());
+  (* and the relation itself is still healthy *)
+  let w2 = Relation.begin_write r in
+  check_bool "relation usable after stale accesses" true
+    (Relation.Writer.insert w2 [| 7; 8 |]);
+  Relation.Writer.finish w2
 
 let all_tuples r =
   let acc = ref [] in
@@ -1313,6 +1349,7 @@ let () =
           tc "violation detected" `Quick test_phase_checker_detects_violation;
           tc "phases allowed" `Quick test_phase_checker_allows_phases;
           tc "typed handles" `Quick test_typed_phase_handles;
+          tc "stale handles" `Quick test_stale_phase_handles;
           tc "engine respects phases" `Quick test_engine_respects_two_phases;
           tc "workloads respect phases" `Quick test_workloads_respect_two_phases;
         ] );

@@ -123,13 +123,29 @@ let test_exception_propagates () =
         try
           Pool.run p (fun w -> if w = 2 then failwith "boom");
           false
-        with Failure m -> m = "boom"
+        with Pool.Pool_failure [ { Pool.f_worker = 2; f_exn; _ } ] -> (
+          match f_exn with Failure m -> m = "boom" | _ -> false)
       in
-      check_bool "exception propagated to caller" true raised;
+      check_bool "failure aggregated to caller" true raised;
       (* pool must still be usable afterwards *)
       let c = Atomic.make 0 in
       Pool.run p (fun _ -> Atomic.incr c);
       check_int "pool alive after exception" 4 (Atomic.get c))
+
+let test_multi_failure_aggregated () =
+  Pool.with_pool 4 (fun p ->
+      let workers =
+        try
+          Pool.run p (fun w -> if w <> 0 then failwith "multi");
+          []
+        with Pool.Pool_failure fs -> List.map (fun f -> f.Pool.f_worker) fs
+      in
+      check_bool "all failing workers reported, sorted" true
+        (workers = [ 1; 2; 3 ]);
+      (* surviving workers still drained: next job sees all four *)
+      let c = Atomic.make 0 in
+      Pool.run p (fun _ -> Atomic.incr c);
+      check_int "pool alive after multi-failure" 4 (Atomic.get c))
 
 let test_shutdown_idempotent () =
   let p = Pool.create 3 in
@@ -175,6 +191,8 @@ let () =
       ( "robustness",
         [
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "multi-failure aggregated" `Quick
+            test_multi_failure_aggregated;
           Alcotest.test_case "many generations" `Quick test_nested_data_parallelism;
         ] );
     ]

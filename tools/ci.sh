@@ -13,6 +13,12 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== chaos stress smoke (fixed seed, deterministic) =="
+# 100 seeded runs cycling optimistic / all-pessimistic / pool-fault /
+# tuple-tree scenarios under active failpoints; every run ends in a full
+# check_invariants audit and failing seeds replay deterministically.
+sh tools/stress.sh --seed 42 --domains 4 --runs 100
+
 echo "== bench smoke (telemetry + metrics JSON) =="
 METRICS="${METRICS_JSON:-bench_metrics.json}"
 dune exec bench/main.exe -- --smoke --record smoke --json "$METRICS"

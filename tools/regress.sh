@@ -72,6 +72,19 @@ if isinstance(speedup, (int, float)):
     if speedup < 1.0:
         regressed.append(("batch_speedup", (1.0 - speedup) * 100.0))
 
+# Hard correctness gate, not a perf threshold: a healthy optimistic descent
+# never exhausts its retry budget, so any pessimistic fallback in a
+# non-chaos run means pathological contention or a livelock that the
+# fallback papered over.  Runs recorded under --chaos are exempt (their
+# fallbacks are the injected faults doing their job).
+fallbacks = last.get("pessimistic_fallbacks")
+if isinstance(fallbacks, int) and not last.get("chaos", False):
+    if fallbacks > 0:
+        print(f"regress: FAIL pessimistic_fallbacks={fallbacks} in a "
+              f"non-chaos run (must be 0)")
+        sys.exit(1)
+    print("regress:   pessimistic_fallbacks: 0 (gate ok)")
+
 if regressed:
     for m, pct in regressed:
         print(f"regress: WARNING {m} regressed {pct:.1f}% "

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Chaos stress harness wrapper: randomized multi-domain schedules under
+# active failpoints, full invariant audit after every run, per-run seeds
+# printed for deterministic replay.
+#
+#   sh tools/stress.sh --seed 42 --domains 4 --runs 100
+#   sh tools/stress.sh --seed 42 --domains 4 --replay 17   # rerun one seed
+#
+# See `dune exec bin/stress.exe -- --help` for the full option list.
+set -eu
+
+cd "$(dirname "$0")/.."
+exec dune exec bin/stress.exe -- "$@"
