@@ -1,0 +1,22 @@
+(* Driver for the concurrency-discipline linter: scans the given roots
+   (default: lib bin) and fails the build on any finding.  Wired into
+   `dune build @lint`. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "lib"; "bin" ]
+  in
+  let files, findings = Lint.check_roots roots in
+  List.iter
+    (fun f -> print_endline (Lint.finding_to_string f))
+    findings;
+  if findings = [] then (
+    Printf.printf "lint: OK — %d files clean (%s)\n" (List.length files)
+      (String.concat " " roots);
+    exit 0)
+  else (
+    Printf.eprintf "lint: %d finding(s) in %d files scanned\n"
+      (List.length findings) (List.length files);
+    exit 1)

@@ -197,7 +197,11 @@ module Make (K : Key.ORDERED) = struct
       let rec locate_root () =
         let rl = Olock.start_read t.root_lock in
         let cur = t.root in
-        let cl = Olock.start_read cur.lock in
+        let[@lint.allow
+             "lease-discipline: multi-value return, consumed immediately \
+              by the descend loop"] cl =
+          Olock.start_read cur.lock
+        in
         if Olock.end_read t.root_lock rl then (cur, cl) else locate_root ()
       in
       let rec descend cur cl =
@@ -242,7 +246,11 @@ module Make (K : Key.ORDERED) = struct
         let rec locate_root () =
           let rl = Olock.start_read t.root_lock in
           let cur = t.root in
-          let cl = Olock.start_read cur.lock in
+          let[@lint.allow
+               "lease-discipline: multi-value return, consumed immediately \
+                by the descend loop"] cl =
+            Olock.start_read cur.lock
+          in
           if Olock.end_read t.root_lock rl then (cur, cl) else locate_root ()
         in
         let rec descend cur cl =

@@ -25,7 +25,7 @@ let mix64 x =
 module Int = struct
   type t = int
 
-  let compare (a : int) (b : int) = compare a b
+  let compare (a : int) (b : int) = Stdlib.Int.compare a b
   let dummy = 0
   let to_string = string_of_int
   let hash = mix64
@@ -55,7 +55,7 @@ module Int_array = struct
     let la = Array.length a and lb = Array.length b in
     let n = if la < lb then la else lb in
     let rec go i =
-      if i = n then compare la lb
+      if i = n then Stdlib.Int.compare la lb
       else
         let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
         if x < y then -1 else if x > y then 1 else go (i + 1)

@@ -1,29 +1,29 @@
 type t = {
-  inserts : int Atomic.t;
-  mem_tests : int Atomic.t;
-  lower_bounds : int Atomic.t;
-  upper_bounds : int Atomic.t;
-  input_tuples : int Atomic.t;
-  produced_tuples : int Atomic.t;
+  inserts : Sync.Counter.t;
+  mem_tests : Sync.Counter.t;
+  lower_bounds : Sync.Counter.t;
+  upper_bounds : Sync.Counter.t;
+  input_tuples : Sync.Counter.t;
+  produced_tuples : Sync.Counter.t;
 }
 
 let create () =
   {
-    inserts = Atomic.make 0;
-    mem_tests = Atomic.make 0;
-    lower_bounds = Atomic.make 0;
-    upper_bounds = Atomic.make 0;
-    input_tuples = Atomic.make 0;
-    produced_tuples = Atomic.make 0;
+    inserts = Sync.Counter.make 0;
+    mem_tests = Sync.Counter.make 0;
+    lower_bounds = Sync.Counter.make 0;
+    upper_bounds = Sync.Counter.make 0;
+    input_tuples = Sync.Counter.make 0;
+    produced_tuples = Sync.Counter.make 0;
   }
 
 let reset t =
-  Atomic.set t.inserts 0;
-  Atomic.set t.mem_tests 0;
-  Atomic.set t.lower_bounds 0;
-  Atomic.set t.upper_bounds 0;
-  Atomic.set t.input_tuples 0;
-  Atomic.set t.produced_tuples 0
+  Sync.Counter.set t.inserts 0;
+  Sync.Counter.set t.mem_tests 0;
+  Sync.Counter.set t.lower_bounds 0;
+  Sync.Counter.set t.upper_bounds 0;
+  Sync.Counter.set t.input_tuples 0;
+  Sync.Counter.set t.produced_tuples 0
 
 type snapshot = {
   s_inserts : int;
@@ -36,12 +36,12 @@ type snapshot = {
 
 let snapshot t =
   {
-    s_inserts = Atomic.get t.inserts;
-    s_mem_tests = Atomic.get t.mem_tests;
-    s_lower_bounds = Atomic.get t.lower_bounds;
-    s_upper_bounds = Atomic.get t.upper_bounds;
-    s_input_tuples = Atomic.get t.input_tuples;
-    s_produced_tuples = Atomic.get t.produced_tuples;
+    s_inserts = Sync.Counter.get t.inserts;
+    s_mem_tests = Sync.Counter.get t.mem_tests;
+    s_lower_bounds = Sync.Counter.get t.lower_bounds;
+    s_upper_bounds = Sync.Counter.get t.upper_bounds;
+    s_input_tuples = Sync.Counter.get t.input_tuples;
+    s_produced_tuples = Sync.Counter.get t.produced_tuples;
   }
 
 (* Exact integer, with an abbreviated form appended once it stops being

@@ -2,16 +2,16 @@
     behind Table 2 of the paper (inserts, membership tests, lower_bound and
     upper_bound calls per workload).
 
-    Counters are atomics so parallel runs count exactly; instrumented runs
+    Counters are Sync counters (atomics confined to [Sync]) so parallel runs count exactly; instrumented runs
     are kept separate from timed runs in the benchmark harness. *)
 
 type t = {
-  inserts : int Atomic.t;          (** insert attempts on relations *)
-  mem_tests : int Atomic.t;        (** membership tests (dedup + negation) *)
-  lower_bounds : int Atomic.t;     (** range-scan openings *)
-  upper_bounds : int Atomic.t;     (** range-scan terminations *)
-  input_tuples : int Atomic.t;     (** facts loaded *)
-  produced_tuples : int Atomic.t;  (** distinct tuples derived by rules *)
+  inserts : Sync.Counter.t;          (** insert attempts on relations *)
+  mem_tests : Sync.Counter.t;        (** membership tests (dedup + negation) *)
+  lower_bounds : Sync.Counter.t;     (** range-scan openings *)
+  upper_bounds : Sync.Counter.t;     (** range-scan terminations *)
+  input_tuples : Sync.Counter.t;     (** facts loaded *)
+  produced_tuples : Sync.Counter.t;  (** distinct tuples derived by rules *)
 }
 
 val create : unit -> t

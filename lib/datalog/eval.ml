@@ -186,7 +186,7 @@ let run ?(check_phases = false) ?(fact_runs = []) (plan : Plan.t) ~pool ~kind
         Relation.Writer.finish w;
         match stats with
         | Some s ->
-          ignore (Atomic.fetch_and_add s.Dl_stats.input_tuples fresh : int)
+          Sync.Counter.add s.Dl_stats.input_tuples fresh
         | None -> ()
       end)
     groups;
@@ -421,7 +421,7 @@ let run ?(check_phases = false) ?(fact_runs = []) (plan : Plan.t) ~pool ~kind
   in
   let profile =
     List.sort
-      (fun a b -> compare b.rp_seconds a.rp_seconds)
+      (fun a b -> Float.compare b.rp_seconds a.rp_seconds)
       (List.map
          (fun ((cr : Plan.crule), t, n) ->
            {

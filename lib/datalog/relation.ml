@@ -9,9 +9,9 @@ type t = {
       (* signature -> serving index; entries may share indexes physically
          (chain cover, tree kinds only) *)
   distinct : Storage.Index.t array; (* each underlying secondary index once *)
-  phase : int Atomic.t;
-      (* open typed phases: writers in the low 20 bits, readers above (same
-         packing as [Storage.Index.with_phase_check]) *)
+  phase : Sync.Phase_latch.t;
+      (* open typed phases: a reader/writer latch word (same packing as
+         [Storage.Index.with_phase_check]) *)
 }
 
 let shares_indexes = Storage.shares_indexes
@@ -25,7 +25,7 @@ let create ?(check_phases = false) ~name ~arity ~kind ~sigs ~stats () =
     else idx
   in
   let uniq =
-    List.sort_uniq compare (List.filter (fun s -> Array.length s > 0) sigs)
+    List.sort_uniq Key.Int_array.compare (List.filter (fun s -> Array.length s > 0) sigs)
   in
   let secondary, distinct =
     if shares_indexes kind then begin
@@ -64,7 +64,7 @@ let create ?(check_phases = false) ~name ~arity ~kind ~sigs ~stats () =
     primary = checked 0 (Storage.Index.create kind ~arity ~cols:[||] ~stats ());
     secondary;
     distinct;
-    phase = Atomic.make 0;
+    phase = Sync.Phase_latch.make ();
   }
 
 let name t = t.name
@@ -138,8 +138,8 @@ module Cursor = struct
     match c.rel.stats with
     | None -> ()
     | Some s ->
-      Atomic.incr s.Dl_stats.inserts;
-      if fresh then Atomic.incr s.Dl_stats.produced_tuples
+      Sync.Counter.incr s.Dl_stats.inserts;
+      if fresh then Sync.Counter.incr s.Dl_stats.produced_tuples
 
   let insert_unlocked c tup =
     let fresh = Storage.Index.c_insert c.c_primary tup in
@@ -198,15 +198,15 @@ let merge_batch ?pool t tuples =
           when t.write_lock = None
                && Pool.size p > 1
                && Array.length tuples >= 1024 ->
-          let fresh = Atomic.make 0 in
+          let fresh = Sync.Counter.make 0 in
           Pool.parallel_for_ranges ~label:"merge" p 0 (Array.length tuples)
             (fun _w lo hi ->
               let f = ref 0 in
               for i = lo to hi - 1 do
                 if insert_unlocked t tuples.(i) then incr f
               done;
-              ignore (Atomic.fetch_and_add fresh !f : int));
-          Atomic.get fresh
+              Sync.Counter.add fresh !f);
+          Sync.Counter.get fresh
         | _ ->
           let fresh = ref 0 in
           Array.iter
@@ -229,23 +229,17 @@ let merge_batch ?pool t tuples =
    dynamically: both phases are counted in one atomic word, so an overlap
    check is a single fetch-and-add with no window. *)
 
-let writer_bit = 1
-let reader_bit = 1 lsl 20
-
-let enter_phase t bit other_mask what =
-  let s = Atomic.fetch_and_add t.phase bit in
-  if s land other_mask <> 0 then begin
-    ignore (Atomic.fetch_and_add t.phase (-bit) : int);
+let enter_phase t phase what =
+  if not (Sync.Phase_latch.try_enter t.phase phase) then
     raise
       (Storage.Index.Phase_violation
          (Printf.sprintf "%s: begin_%s during an open %s phase" t.name what
             (if what = "write" then "read" else "write")))
-  end
 
-let leave_phase t bit closed =
+let leave_phase t phase closed =
   if !closed then invalid_arg "Relation: phase handle finished twice";
   closed := true;
-  ignore (Atomic.fetch_and_add t.phase (-bit) : int)
+  Sync.Phase_latch.leave t.phase phase
 
 (* A finished handle no longer holds its phase slot: an operation through
    it would race whatever phase opened since (exactly the overlap the
@@ -269,7 +263,7 @@ module Writer = struct
     check_open w.w_rel.name w.w_closed "insert_batch";
     merge_batch ?pool w.w_rel tuples
 
-  let finish w = leave_phase w.w_rel writer_bit w.w_closed
+  let finish w = leave_phase w.w_rel Sync.Phase_latch.Write w.w_closed
 end
 
 module Reader = struct
@@ -284,15 +278,15 @@ module Reader = struct
     check_open r.r_rel.name r.r_closed "scan";
     Cursor.scan r.r_cur sig_id bound f
 
-  let finish r = leave_phase r.r_rel reader_bit r.r_closed
+  let finish r = leave_phase r.r_rel Sync.Phase_latch.Read r.r_closed
 end
 
 let begin_write t =
   (* a write may not open while readers are active *)
-  enter_phase t writer_bit (-1 lxor (reader_bit - 1)) "write";
+  enter_phase t Sync.Phase_latch.Write "write";
   { Writer.w_cur = Cursor.create t; w_rel = t; w_closed = ref false }
 
 let begin_read t =
   (* a read may not open while writers are active *)
-  enter_phase t reader_bit (reader_bit - 1) "read";
+  enter_phase t Sync.Phase_latch.Read "read";
   { Reader.r_cur = Cursor.create t; r_rel = t; r_closed = ref false }

@@ -51,7 +51,7 @@ let ordered_key ~arity ~(cols : int array) : (module Key.ORDERED with type t = i
     | [| p0 |] ->
       fun a b ->
         let x = Array.unsafe_get a p0 and y = Array.unsafe_get b p0 in
-        Stdlib.compare (x : int) y
+        Int.compare x y
     | [| p0; p1 |] -> cmp2 p0 p1
     | [| p0; p1; p2 |] -> cmp3 p0 p1 p2
     | _ -> generic
@@ -127,7 +127,7 @@ module Index = struct
     | None, x | x, None -> x
     | Some a, Some b -> Some (Array.mapi (fun i v -> v + b.(i)) a)
 
-  let count c = Atomic.incr c
+  let count c = Sync.Counter.incr c
 
   let count_scan stats ncols =
     match stats with
@@ -233,7 +233,7 @@ module Index = struct
             done;
             bounds.(s + 1) <- !lo
           done;
-          let fresh = Atomic.make 0 in
+          let fresh = Sync.Counter.make 0 in
           (* one hint record per worker, reused across every partition the
              worker steals (chunk 1: partitions are coarse units already) *)
           let whints =
@@ -247,9 +247,9 @@ module Index = struct
                   Btree_tuples.insert_batch ~hints:whints.(w) ~pos:lo
                     ~len:(hi - lo) tree run
                 in
-                ignore (Atomic.fetch_and_add fresh f : int)
+                Sync.Counter.add fresh f
               end);
-          Atomic.get fresh
+          Sync.Counter.get fresh
         | _ -> Btree_tuples.insert_batch tree run
       end
     in
@@ -509,14 +509,14 @@ module Index = struct
         match pool with
         | Some p when Pool.size p > 1 && n >= merge_parallel_cutoff ->
           (* inserts are thread-safe; no order to exploit, just spread *)
-          let fresh = Atomic.make 0 in
+          let fresh = Sync.Counter.make 0 in
           Pool.parallel_for_ranges ~label:"merge" p 0 n (fun _w lo hi ->
               let f = ref 0 in
               for i = lo to hi - 1 do
                 if H.insert set tuples.(i) then incr f
               done;
-              ignore (Atomic.fetch_and_add fresh !f : int));
-          Atomic.get fresh
+              Sync.Counter.add fresh !f);
+          Sync.Counter.get fresh
         | _ ->
           let fresh = ref 0 in
           Array.iter (fun tup -> if H.insert set tup then incr fresh) tuples;
@@ -728,7 +728,7 @@ module Index = struct
         o;
       (* cols must be a prefix set of the order *)
       let prefix = Array.sub o 0 (min (Array.length o) (Array.length cols)) in
-      let sp = List.sort compare (Array.to_list prefix) in
+      let sp = List.sort Int.compare (Array.to_list prefix) in
       if Array.length cols > Array.length o || sp <> Array.to_list cols then
         invalid_arg "Storage.Index.create: cols not a prefix set of order");
     let (module B) = backend kind in
@@ -740,44 +740,36 @@ module Index = struct
   let is_empty t = t.i_is_empty ()
   exception Phase_violation of string
 
-  (* Readers and writers counted in one atomic word: writers in the low 20
-     bits, readers above — so the read+write overlap check is a single
+  (* Readers and writers counted in one latch word (see
+     [Sync.Phase_latch]) — the read+write overlap check is a single
      atomic read-modify-write with no window. *)
   let with_phase_check ~name t =
-    let state = Atomic.make 0 in
-    let writer_bit = 1 in
-    let reader_bit = 1 lsl 20 in
-    let enter bit other_mask what =
-      let s = Atomic.fetch_and_add state bit in
-      if s land other_mask <> 0 then begin
-        ignore (Atomic.fetch_and_add state (-bit) : int);
+    let latch = Sync.Phase_latch.make () in
+    let enter phase what =
+      if not (Sync.Phase_latch.try_enter latch phase) then
         raise
           (Phase_violation
              (Printf.sprintf "%s: concurrent %s during the opposite phase"
                 name what))
-      end
     in
-    let leave bit = ignore (Atomic.fetch_and_add state (-bit) : int) in
-    let readers_mask = -1 lxor (reader_bit - 1) in
-    let writers_mask = reader_bit - 1 in
     let as_reader f =
-      enter reader_bit writers_mask "read";
+      enter Sync.Phase_latch.Read "read";
       match f () with
       | r ->
-        leave reader_bit;
+        Sync.Phase_latch.leave latch Sync.Phase_latch.Read;
         r
       | exception e ->
-        leave reader_bit;
+        Sync.Phase_latch.leave latch Sync.Phase_latch.Read;
         raise e
     in
     let as_writer f =
-      enter writer_bit readers_mask "write";
+      enter Sync.Phase_latch.Write "write";
       match f () with
       | r ->
-        leave writer_bit;
+        Sync.Phase_latch.leave latch Sync.Phase_latch.Write;
         r
       | exception e ->
-        leave writer_bit;
+        Sync.Phase_latch.leave latch Sync.Phase_latch.Write;
         raise e
     in
     let wrap_cursor c =

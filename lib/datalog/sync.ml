@@ -1,0 +1,47 @@
+(* The one place in lib/datalog allowed to touch [Atomic.*]: the linter's
+   atomic-confinement rule (lib/lint, R1) whitelists exactly this file.
+   Everything the engine needs from atomics is one of two disciplined
+   shapes — a monotonic counter, or the packed reader/writer phase word —
+   so those are the only two abstractions exported. *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make n = Atomic.make n
+  let get c = Atomic.get c
+  let set c n = Atomic.set c n
+  let incr c = Atomic.incr c
+  let add c n = ignore (Atomic.fetch_and_add c n : int)
+end
+
+module Phase_latch = struct
+  (* Readers and writers counted in one atomic word: writers in the low
+     20 bits, readers above — so an overlap check is a single atomic
+     read-modify-write with no window. *)
+  type t = int Atomic.t
+  type phase = Read | Write
+
+  let writer_bit = 1
+  let reader_bit = 1 lsl 20
+  let bit = function Write -> writer_bit | Read -> reader_bit
+
+  (* Write conflicts with any open reader (the high bits), Read with any
+     open writer (the low bits). *)
+  let conflict_mask = function
+    | Write -> -1 lxor (reader_bit - 1)
+    | Read -> reader_bit - 1
+
+  let make () = Atomic.make 0
+
+  let try_enter t phase =
+    let b = bit phase in
+    let s = Atomic.fetch_and_add t b in
+    if s land conflict_mask phase <> 0 then begin
+      (* roll the optimistic increment back before reporting the clash *)
+      ignore (Atomic.fetch_and_add t (-b) : int);
+      false
+    end
+    else true
+
+  let leave t phase = ignore (Atomic.fetch_and_add t (- bit phase) : int)
+end

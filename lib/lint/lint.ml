@@ -1,0 +1,705 @@
+(* Concurrency-discipline linter for this repository.
+
+   Four rules, checked purely syntactically over the parsetree
+   (compiler-libs [Parse] + [Ast_iterator]):
+
+   R1 atomic-confinement: [Atomic.*] may only be referenced inside the
+      synchronisation modules (lib/optlock, lib/chaos, lib/parallel,
+      lib/telemetry, lib/datalog/sync.ml).  Anywhere else the use must be
+      refactored behind a sync helper or carry
+      [@lint.allow "atomic-confinement: <justification>"] — for this rule
+      the justification text is mandatory.
+
+   R2 lease-discipline: a lease bound from [Olock.start_read] must flow
+      into [valid] / [end_read] / [try_upgrade_to_write] (or be handed to
+      a helper call) on every syntactic path of the binding's body, and
+      must not escape into a tuple / record / constructor / array.
+
+   R3 no-blocking-under-write-permit: between a successful
+      [try_start_write] / [start_write] / [try_upgrade_to_write] and the
+      matching [end_write] / [abort_write], deny-listed calls are
+      forbidden: pool joins, [Domain.join], [Mutex.lock],
+      [Condition.wait], [Unix.*], channel I/O, and [Olock.start_read] on
+      another lock.
+
+   R4 hygiene: [Obj.magic] is banned everywhere; in the hot modules
+      (lib/btree/{btree,btree_seq,btree_tuples,leaf_pack}.ml,
+      lib/datalog/{eval,storage,relation}.ml) the polymorphic [compare]
+      (bare or [Stdlib.compare]) and polymorphic comparison operators
+      applied to tuple literals are banned — use [Key.compare] or a
+      three-way tuple comparator.
+
+   The checker is intentionally a lint, not a proof: it tracks the write
+   permit as a single boolean through statement sequences and
+   if-branches, resets it at function boundaries, and ignores leases that
+   cross function boundaries as parameters (the callee's binding site is
+   where the discipline is enforced). *)
+
+open Parsetree
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let rule_atomic_confinement = "atomic-confinement"
+let rule_lease_discipline = "lease-discipline"
+let rule_no_blocking = "no-blocking-under-write-permit"
+let rule_hygiene = "hygiene"
+let rule_parse_error = "parse-error"
+
+let all_rules =
+  [
+    rule_atomic_confinement;
+    rule_lease_discipline;
+    rule_no_blocking;
+    rule_hygiene;
+  ]
+
+let finding_to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let compare_finding a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c else compare a.col b.col
+
+(* ------------------------------------------------------------------ *)
+(* Path classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let normalize path =
+  String.concat "/" (String.split_on_char '\\' path)
+
+let path_has_segment seg path =
+  let parts = String.split_on_char '/' (normalize path) in
+  List.mem seg parts
+
+let default_atomic_whitelisted path =
+  let p = normalize path in
+  path_has_segment "optlock" p || path_has_segment "chaos" p
+  || path_has_segment "parallel" p
+  || path_has_segment "telemetry" p
+  || Filename.basename p = "sync.ml"
+
+let hot_modules =
+  [
+    "btree.ml";
+    "key.ml";
+    "btree_seq.ml";
+    "btree_tuples.ml";
+    "leaf_pack.ml";
+    "eval.ml";
+    "storage.ml";
+    "relation.ml";
+  ]
+
+let default_hot path = List.mem (Filename.basename (normalize path)) hot_modules
+
+(* ------------------------------------------------------------------ *)
+(* Attribute suppression: [@lint.allow "rule: justification"]          *)
+(* ------------------------------------------------------------------ *)
+
+type allow = { al_rule : string; al_justified : bool }
+
+let trim = String.trim
+
+let parse_allow_payload s =
+  match String.index_opt s ':' with
+  | None -> { al_rule = trim s; al_justified = false }
+  | Some i ->
+    let rule = trim (String.sub s 0 i) in
+    let just = trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    { al_rule = rule; al_justified = just <> "" }
+
+let allow_of_attribute (attr : attribute) =
+  if attr.attr_name.txt <> "lint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+      Some (parse_allow_payload s)
+    | _ -> Some { al_rule = "malformed"; al_justified = false }
+
+let allows_of_attributes attrs = List.filter_map allow_of_attribute attrs
+
+(* ------------------------------------------------------------------ *)
+(* Small parsetree helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let flatten_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Longident.flatten txt with _ -> [])
+  | _ -> []
+
+(* Last component of the callee of an application, provided it is
+   module-qualified (e.g. [Olock.start_read] but not a local
+   [start_read]). *)
+let qualified_callee e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+    match flatten_ident f with
+    | _ :: _ :: _ as parts -> Some (List.nth parts (List.length parts - 1))
+    | _ -> None)
+  | _ -> None
+
+let is_call_of names e =
+  match qualified_callee e with Some n -> List.mem n names | None -> false
+
+let is_acquire_stmt e = is_call_of [ "start_write" ] e
+let is_release_stmt e = is_call_of [ "end_write"; "abort_write" ] e
+let is_try_acquire e =
+  is_call_of [ "try_start_write"; "try_upgrade_to_write" ] e
+
+let is_start_read e = is_call_of [ "start_read" ] e
+
+let is_ident_named name e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident n; _ } -> n = name
+  | _ -> false
+
+(* Immediate sub-expressions of a node, one level deep. *)
+let immediate_subexprs e =
+  let acc = ref [] in
+  let probe =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ c -> acc := c :: !acc);
+    }
+  in
+  Ast_iterator.default_iterator.expr probe e;
+  List.rev !acc
+
+let pattern_vars p =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> acc := txt :: !acc
+          | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it p;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* R2: lease consumption / escape analysis                             *)
+(* ------------------------------------------------------------------ *)
+
+let arg_is name (_, a) = is_ident_named name a
+
+let validator_names = [ "valid"; "end_read"; "try_upgrade_to_write" ]
+
+(* Does [e] contain a call to one of the validation primitives (on any
+   lock)?  A branch guarded by such a call observing failure may abandon
+   its lease: an invalidated lease is worthless and carries no cleanup
+   obligation. *)
+let contains_validator e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          if is_call_of validator_names e then found := true;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* Does [e] consume the lease on every syntactic path?  "Consume" means:
+   appear as a direct argument of some application — a validator
+   ([valid] / [end_read] / [try_upgrade_to_write]) or a helper call the
+   lease is handed off to.  Branching nodes consume if their scrutinee
+   does, or if every branch does; sequencing nodes if any component
+   does.  The failure branch of a validation test is exempt (see
+   {!contains_validator}). *)
+let rec consumes_on_all_paths name e =
+  let ok = consumes_on_all_paths name in
+  match e.pexp_desc with
+  | Pexp_apply (_, args) when List.exists (arg_is name) args -> true
+  | Pexp_ifthenelse (c, t, eo) ->
+    ok c
+    ||
+    let exempt_then, exempt_else =
+      match c.pexp_desc with
+      | Pexp_apply (f, [ (_, inner) ]) when is_ident_named "not" f ->
+        (* [if not (Olock.valid ...) then <failure> else ...] *)
+        (contains_validator inner, false)
+      | _ ->
+        (* [if Olock.end_read ... then ... else <failure>] *)
+        (false, contains_validator c)
+    in
+    (ok t || exempt_then)
+    && ((match eo with Some el -> ok el | None -> false) || exempt_else)
+  | Pexp_match (s, cases) | Pexp_try (s, cases) ->
+    ok s
+    || (cases <> [] && List.for_all (fun c -> ok c.pc_rhs) cases)
+  | Pexp_sequence (a, b) -> ok a || ok b
+  | Pexp_let (_, vbs, body) ->
+    List.exists (fun vb -> ok vb.pvb_expr) vbs || ok body
+  | Pexp_while (c, b) -> ok c || ok b
+  | Pexp_fun _ | Pexp_function _ ->
+    (* A closure body runs at an unknown time; a lease captured there is
+       not a validation on this path. *)
+    false
+  | _ -> List.exists ok (immediate_subexprs e)
+
+(* First location where the lease escapes into a data structure, if
+   any. *)
+let escape_site name e =
+  let found = ref None in
+  let note loc = if !found = None then found := Some loc in
+  let check_parts loc parts =
+    if List.exists (is_ident_named name) parts then note loc
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_tuple els | Pexp_array els -> check_parts e.pexp_loc els
+          | Pexp_construct (_, Some arg) | Pexp_variant (_, Some arg) ->
+            check_parts e.pexp_loc
+              (match arg.pexp_desc with
+              | Pexp_tuple els -> els
+              | _ -> [ arg ])
+          | Pexp_record (fields, _) ->
+            check_parts e.pexp_loc (List.map snd fields)
+          | Pexp_setfield (_, _, v) -> check_parts e.pexp_loc [ v ]
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* R3: deny list under a held write permit                             *)
+(* ------------------------------------------------------------------ *)
+
+let blocking_unqualified =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "prerr_string";
+    "prerr_endline";
+    "read_line";
+    "input_line";
+    "input_char";
+    "input_value";
+    "really_input";
+    "output_string";
+    "output_char";
+    "output_bytes";
+    "output_value";
+    "flush";
+    "flush_all";
+  ]
+
+(* [Some reason] when calling [callee] would block / side-effect while a
+   write permit is held. *)
+let deny_reason callee =
+  match flatten_ident callee with
+  | [ "Domain"; "join" ] -> Some "Domain.join blocks on another domain"
+  | [ "Mutex"; "lock" ] -> Some "Mutex.lock can block"
+  | [ "Condition"; "wait" ] -> Some "Condition.wait blocks"
+  | "Unix" :: _ -> Some "Unix syscalls can block"
+  | [ "Pool"; f ]
+    when List.mem f
+           [
+             "run";
+             "parallel_for";
+             "parallel_for_workers";
+             "parallel_for_ranges";
+             "parallel_reduce";
+             "shutdown";
+             "with_pool";
+           ] ->
+    Some (Printf.sprintf "Pool.%s joins worker domains" f)
+  | parts when parts <> [] && List.nth parts (List.length parts - 1) = "start_read"
+               && List.length parts >= 2 ->
+    Some "taking a read lease on another lock while holding a write permit"
+  | [ f ] when List.mem f blocking_unqualified ->
+    Some (Printf.sprintf "channel I/O (%s)" f)
+  | [ ("Printf" | "Format"); ("printf" | "eprintf" | "fprintf") ] ->
+    Some "formatted channel I/O"
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The per-file checker                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_structure ~file ~hot ~atomic_ok (str : structure) : finding list =
+  let findings = ref [] in
+  (* Active [@lint.allow] suppressions, innermost first. *)
+  let allows : allow list ref = ref [] in
+  (* Names currently shadowing the polymorphic [compare]. *)
+  let shadowed : string list ref = ref [] in
+  (* Inside a write-permit critical section? *)
+  let held = ref false in
+
+  let emit loc rule message =
+    let suppression =
+      List.find_opt (fun a -> a.al_rule = rule) !allows
+    in
+    match suppression with
+    | Some a when rule <> rule_atomic_confinement || a.al_justified -> ()
+    | Some _ ->
+      let pos = loc.Location.loc_start in
+      findings :=
+        {
+          file;
+          line = pos.Lexing.pos_lnum;
+          col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+          rule;
+          message =
+            message
+            ^ " (suppressing atomic-confinement requires a justification: \
+               [@lint.allow \"atomic-confinement: why\"])";
+        }
+        :: !findings
+    | None ->
+      let pos = loc.Location.loc_start in
+      findings :=
+        {
+          file;
+          line = pos.Lexing.pos_lnum;
+          col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+          rule;
+          message;
+        }
+        :: !findings
+  in
+
+  let with_allows attrs body =
+    let saved = !allows in
+    allows := allows_of_attributes attrs @ !allows;
+    body ();
+    allows := saved
+  in
+  let with_shadowed names body =
+    let saved = !shadowed in
+    shadowed := names @ !shadowed;
+    body ();
+    shadowed := saved
+  in
+  let with_held v body =
+    let saved = !held in
+    held := v;
+    body ();
+    held := saved
+  in
+
+  (* --- point checks ------------------------------------------------ *)
+  let check_longident loc parts =
+    (match parts with
+    | "Atomic" :: _ | "Stdlib" :: "Atomic" :: _ ->
+      if not atomic_ok then
+        emit loc rule_atomic_confinement
+          "Atomic.* outside the sync modules; move this behind a Sync \
+           helper (lib/datalog/sync.ml) or justify with [@lint.allow \
+           \"atomic-confinement: why\"]"
+    | _ -> ());
+    match parts with
+    | [ "Obj"; "magic" ] ->
+      emit loc rule_hygiene "Obj.magic is banned in this codebase"
+    | [ "compare" ] when hot && not (List.mem "compare" !shadowed) ->
+      emit loc rule_hygiene
+        "polymorphic compare in a hot module; use Key.compare, \
+         Int.compare or a specialised three-way comparator"
+    | [ "Stdlib"; "compare" ] when hot ->
+      emit loc rule_hygiene
+        "Stdlib.compare in a hot module; use Key.compare, Int.compare \
+         or a specialised three-way comparator"
+    | _ -> ()
+  in
+
+  let poly_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ] in
+  let check_apply e =
+    match e.pexp_desc with
+    | Pexp_apply (f, args) ->
+      (if hot then
+         match f.pexp_desc with
+         | Pexp_ident { txt = Longident.Lident op; _ }
+           when List.mem op poly_ops
+                && List.exists
+                     (fun (_, a) ->
+                       match a.pexp_desc with
+                       | Pexp_tuple _ -> true
+                       | _ -> false)
+                     args ->
+           emit e.pexp_loc rule_hygiene
+             (Printf.sprintf
+                "polymorphic (%s) on a tuple in a hot module; compare \
+                 components with a specialised comparator"
+                op)
+         | _ -> ());
+      if !held then (
+        match deny_reason f with
+        | Some reason ->
+          emit e.pexp_loc rule_no_blocking
+            (Printf.sprintf
+               "%s while holding a write permit; hoist it out of the \
+                critical section"
+               reason)
+        | None -> ());
+      (* [ignore (Olock.start_read l)]: a lease made only to be thrown
+         away. *)
+      (match (f.pexp_desc, args) with
+      | Pexp_ident { txt = Longident.Lident "ignore"; _ }, [ (_, a) ]
+        when is_start_read a ->
+        emit e.pexp_loc rule_lease_discipline
+          "read lease discarded without validation"
+      | _ -> ())
+    | _ -> ()
+  in
+
+  let check_lease_binding vb body =
+    if is_start_read vb.pvb_expr then
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt = name; _ } ->
+        with_allows vb.pvb_attributes (fun () ->
+            (match escape_site name body with
+            | Some loc ->
+              emit loc rule_lease_discipline
+                (Printf.sprintf
+                   "lease %s escapes into a data structure; leases are \
+                    ephemeral validation tokens"
+                   name)
+            | None -> ());
+            if not (consumes_on_all_paths name body) then
+              emit vb.pvb_loc rule_lease_discipline
+                (Printf.sprintf
+                   "lease %s is not validated (valid/end_read/\
+                    try_upgrade_to_write) on every path of its scope"
+                   name))
+      | Ppat_any ->
+        emit vb.pvb_loc rule_lease_discipline
+          "read lease discarded without validation"
+      | _ -> ()
+  in
+
+  (* Update the held flag after a statement in a sequence. *)
+  let update_held stmt =
+    if is_acquire_stmt stmt then held := true
+    else if is_release_stmt stmt then held := false
+  in
+
+  (* --- the iterator ------------------------------------------------ *)
+  let rec expr it e =
+    with_allows e.pexp_attributes (fun () ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+          check_longident e.pexp_loc
+            (try Longident.flatten txt with _ -> [])
+        | _ -> ());
+        check_apply e;
+        match e.pexp_desc with
+        | Pexp_sequence (a, b) ->
+          expr it a;
+          update_held a;
+          expr it b
+        | Pexp_let (rf, vbs, body) ->
+          let names = List.concat_map (fun vb -> pattern_vars vb.pvb_pat) vbs in
+          let iter_vbs () =
+            List.iter
+              (fun vb ->
+                with_allows vb.pvb_attributes (fun () -> expr it vb.pvb_expr))
+              vbs
+          in
+          (match rf with
+          | Asttypes.Recursive -> with_shadowed names iter_vbs
+          | Asttypes.Nonrecursive -> iter_vbs ());
+          List.iter (fun vb -> check_lease_binding vb body) vbs;
+          let saved = !held in
+          List.iter (fun vb -> update_held vb.pvb_expr) vbs;
+          with_shadowed names (fun () -> expr it body);
+          held := saved
+        | Pexp_ifthenelse (c, t, eo) ->
+          expr it c;
+          let then_held, else_held =
+            match c.pexp_desc with
+            | _ when is_try_acquire c -> (true, !held)
+            | Pexp_apply (f, [ (_, inner) ])
+              when is_ident_named "not" f && is_try_acquire inner ->
+              (!held, true)
+            | _ -> (!held, !held)
+          in
+          with_held then_held (fun () -> expr it t);
+          Option.iter (fun el -> with_held else_held (fun () -> expr it el)) eo
+        | Pexp_fun (_, dflt, pat, body) ->
+          Option.iter (expr it) dflt;
+          it.Ast_iterator.pat it pat;
+          with_shadowed (pattern_vars pat) (fun () ->
+              with_held false (fun () -> expr it body))
+        | Pexp_function cases -> iter_cases it ~reset_held:true cases
+        | Pexp_match (s, cases) ->
+          expr it s;
+          iter_cases it ~reset_held:false cases
+        | Pexp_try (s, cases) ->
+          expr it s;
+          iter_cases it ~reset_held:false cases
+        | _ -> Ast_iterator.default_iterator.expr it e)
+  and iter_cases it ~reset_held cases =
+    List.iter
+      (fun c ->
+        with_shadowed (pattern_vars c.pc_lhs) (fun () ->
+            it.Ast_iterator.pat it c.pc_lhs;
+            Option.iter (expr it) c.pc_guard;
+            if reset_held then with_held false (fun () -> expr it c.pc_rhs)
+            else expr it c.pc_rhs))
+      cases
+  in
+
+  let typ it ty =
+    (match ty.ptyp_desc with
+    | Ptyp_constr ({ txt; _ }, _) ->
+      (match (try Longident.flatten txt with _ -> []) with
+      | "Atomic" :: _ | "Stdlib" :: "Atomic" :: _ ->
+        if not atomic_ok then
+          emit ty.ptyp_loc rule_atomic_confinement
+            "Atomic.t outside the sync modules; wrap the state in a Sync \
+             helper type"
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.typ it ty
+  in
+
+  let structure it items =
+    let saved_shadowed = !shadowed in
+    let saved_allows = !allows in
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (rf, vbs) ->
+          held := false;
+          let names =
+            List.concat_map (fun vb -> pattern_vars vb.pvb_pat) vbs
+          in
+          let iter_vbs () =
+            List.iter
+              (fun vb ->
+                with_allows vb.pvb_attributes (fun () ->
+                    it.Ast_iterator.pat it vb.pvb_pat;
+                    it.Ast_iterator.expr it vb.pvb_expr))
+              vbs
+          in
+          (match rf with
+          | Asttypes.Recursive ->
+            shadowed := names @ !shadowed;
+            iter_vbs ()
+          | Asttypes.Nonrecursive ->
+            iter_vbs ();
+            shadowed := names @ !shadowed)
+        | Pstr_attribute attr ->
+          (* A floating [@@@lint.allow "..."] suppresses for the rest of
+             the enclosing structure. *)
+          (match allow_of_attribute attr with
+          | Some a -> allows := a :: !allows
+          | None -> ())
+        | _ -> Ast_iterator.default_iterator.structure_item it item)
+      items;
+    shadowed := saved_shadowed;
+    allows := saved_allows
+  in
+
+  let it =
+    { Ast_iterator.default_iterator with expr; typ; structure }
+  in
+  it.Ast_iterator.structure it str;
+  List.sort compare_finding !findings
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_string ~file src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+let check_source ?hot ?atomic_ok ~file src =
+  let hot = match hot with Some h -> h | None -> default_hot file in
+  let atomic_ok =
+    match atomic_ok with
+    | Some a -> a
+    | None -> default_atomic_whitelisted file
+  in
+  match parse_string ~file src with
+  | str -> check_structure ~file ~hot ~atomic_ok str
+  | exception exn ->
+    let line, col, msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok err) ->
+        let loc = err.Location.main.Location.loc in
+        ( loc.Location.loc_start.Lexing.pos_lnum,
+          loc.Location.loc_start.Lexing.pos_cnum
+          - loc.Location.loc_start.Lexing.pos_bol,
+          Printexc.to_string exn )
+      | _ -> (1, 0, Printexc.to_string exn)
+    in
+    [ { file; line; col; rule = rule_parse_error; message = msg } ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file ?hot ?atomic_ok path =
+  check_source ?hot ?atomic_ok ~file:path (read_file path)
+
+(* Collect the .ml files under [roots], skipping build artefacts and the
+   deliberately-violating lint fixtures. *)
+let scan_roots roots =
+  let skip_dir name =
+    name = "lint_fixtures" || name = "_build"
+    || (String.length name > 0 && name.[0] = '.')
+  in
+  let files = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then (
+            if not (skip_dir entry) then walk path)
+          else if Filename.check_suffix entry ".ml" then
+            files := path :: !files)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun root ->
+      if Sys.file_exists root then
+        if Sys.is_directory root then walk root
+        else if Filename.check_suffix root ".ml" then files := root :: !files)
+    roots;
+  List.rev !files
+
+let check_roots roots =
+  let files = scan_roots roots in
+  (files, List.concat_map (fun f -> check_file f) files)

@@ -1,0 +1,63 @@
+(** Concurrency-discipline linter over this repository's own sources.
+
+    Purely syntactic checks on the parsetree (compiler-libs):
+
+    - {b atomic-confinement} (R1): [Atomic.*] only inside the sync
+      modules; elsewhere requires a justified
+      [@lint.allow "atomic-confinement: why"].
+    - {b lease-discipline} (R2): leases bound from [Olock.start_read]
+      must be validated (or handed to a helper) on every path and must
+      not escape into data structures.
+    - {b no-blocking-under-write-permit} (R3): no pool joins,
+      [Domain.join], [Mutex.lock], [Unix.*], channel I/O or
+      [Olock.start_read] between acquiring and releasing a write permit.
+    - {b hygiene} (R4): [Obj.magic] banned everywhere; polymorphic
+      [compare] / comparison operators on tuples banned in hot modules.
+
+    Per-site suppression: attach [@lint.allow "rule"] (or
+    [@lint.allow "rule: justification"] — mandatory justification for
+    atomic-confinement) to the expression or binding, or float
+    [@@@lint.allow "rule"] for the rest of the enclosing structure. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+val rule_atomic_confinement : string
+val rule_lease_discipline : string
+val rule_no_blocking : string
+val rule_hygiene : string
+
+val rule_parse_error : string
+(** Pseudo-rule reported when a scanned file fails to parse. *)
+
+val all_rules : string list
+(** The four real rules, excluding {!rule_parse_error}. *)
+
+val finding_to_string : finding -> string
+(** [file:line:col: [rule] message] — grep- and editor-friendly. *)
+
+val default_hot : string -> bool
+(** Is this path one of the hot modules (R4 polymorphic-compare scope)? *)
+
+val default_atomic_whitelisted : string -> bool
+(** Is this path inside the sync modules where [Atomic.*] is allowed? *)
+
+val check_source :
+  ?hot:bool -> ?atomic_ok:bool -> file:string -> string -> finding list
+(** Lint source text. [hot] / [atomic_ok] override the path-derived
+    classification (used by the fixture tests). A parse failure yields a
+    single {!rule_parse_error} finding. *)
+
+val check_file : ?hot:bool -> ?atomic_ok:bool -> string -> finding list
+
+val scan_roots : string list -> string list
+(** The .ml files under the given roots, skipping [_build], dotdirs and
+    [lint_fixtures]. *)
+
+val check_roots : string list -> string list * finding list
+(** [(files scanned, findings)] for every .ml under the roots. *)

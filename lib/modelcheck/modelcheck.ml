@@ -1,0 +1,354 @@
+(* Exhaustive interleaving checker for the olock protocol (an executable
+   model of Fig. 2 of the paper).
+
+   The pieces:
+
+   - {!Traced_atomic} implements [Olock.ATOMIC] over a plain mutable cell
+     and performs an effect before every operation.  [Olock.Make
+     (Traced_atomic)] is therefore the production protocol code, verbatim,
+     with a scheduler decision point at every atomic step.
+
+   - {!explore} runs a small fixed set of threads under a deterministic
+     cooperative scheduler and enumerates every interleaving by DFS over
+     schedules.  Threads are one-shot effect handlers: resuming a thread
+     executes exactly one atomic operation and runs the thread to its next
+     operation (or to completion).  Backtracking replays the program from
+     scratch along a forced schedule prefix — runs are deterministic, so a
+     prefix always reproduces the same state.
+
+   - State-hash pruning: after a prefix is replayed, the checker hashes
+     (atomic cell values, per-thread status + observed-result history).
+     Threads are deterministic functions of what their operations
+     returned, so two prefixes with equal hashes have identical futures
+     and the subtree is explored once.  This collapses the exponential
+     blowup of commuting operations.
+
+   - Blocking operations ([start_write]/[start_read] spinning on a held
+     lock) make some schedules infinite (the scheduler can starve the
+     holder forever).  A per-thread op budget ([fuel]) truncates those
+     unfair schedules; every fair schedule of the small models fits well
+     inside the default fuel, so the exploration is exhaustive over the
+     schedules on which the protocol promises progress. *)
+
+type res = R_int of int | R_bool of bool
+
+type _ Effect.t += Step : string * (unit -> res) -> res Effect.t
+
+exception Violation of string
+
+(* ------------------------------------------------------------------ *)
+(* Traced cells                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cell = { cell_id : int; mutable v : int }
+
+(* Registry of every traced cell created in the current run, for state
+   hashing.  Runs are single-threaded (the scheduler is cooperative), so
+   plain mutable state is sound here. *)
+let registry : cell list ref = ref []
+let next_cell_id = ref 0
+
+let reset_registry () =
+  registry := [];
+  next_cell_id := 0
+
+let new_cell v =
+  let c = { cell_id = !next_cell_id; v } in
+  incr next_cell_id;
+  registry := c :: !registry;
+  c
+
+let step desc run =
+  (* Outside [explore] (e.g. model setup code) there is no handler; fall
+     back to executing the operation directly. *)
+  try Effect.perform (Step (desc, run)) with Effect.Unhandled _ -> run ()
+
+let yield () =
+  ignore (step "yield" (fun () -> R_int 0) : res)
+
+let expect_int = function R_int v -> v | R_bool _ -> assert false
+let expect_bool = function R_bool b -> b | R_int _ -> assert false
+
+module Traced_atomic : Olock.ATOMIC with type t = cell = struct
+  type t = cell
+
+  let make v = new_cell v
+
+  let get c =
+    expect_int (step (Printf.sprintf "get a%d" c.cell_id) (fun () -> R_int c.v))
+
+  let compare_and_set c old nw =
+    expect_bool
+      (step
+         (Printf.sprintf "cas a%d %d->%d" c.cell_id old nw)
+         (fun () ->
+           if c.v = old then begin
+             c.v <- nw;
+             R_bool true
+           end
+           else R_bool false))
+
+  let fetch_and_add c d =
+    expect_int
+      (step
+         (Printf.sprintf "faa a%d %+d" c.cell_id d)
+         (fun () ->
+           let o = c.v in
+           c.v <- o + d;
+           R_int o))
+end
+
+module Torn_cas_atomic : Olock.ATOMIC with type t = cell = struct
+  (* Mutant used to prove the checker detects protocol bugs: its
+     compare-and-set is torn into a separate read step and write step, so
+     the scheduler can interleave another thread between them — the lost
+     upgrade race the real CAS exists to exclude. *)
+  type t = cell
+
+  let make v = new_cell v
+  let get = Traced_atomic.get
+  let fetch_and_add = Traced_atomic.fetch_and_add
+
+  let compare_and_set c old nw =
+    let v =
+      expect_int
+        (step (Printf.sprintf "torn-cas-read a%d" c.cell_id) (fun () -> R_int c.v))
+    in
+    if v <> old then false
+    else
+      expect_bool
+        (step
+           (Printf.sprintf "torn-cas-write a%d %d->%d" c.cell_id old nw)
+           (fun () ->
+             c.v <- nw;
+             R_bool true))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'shared spec = {
+  name : string;
+  setup : unit -> 'shared;
+  threads : ('shared -> unit) array;
+  invariant : 'shared -> unit;
+  final : 'shared -> unit;
+}
+
+type counterexample = {
+  cx_model : string;
+  cx_message : string;
+  cx_trace : (int * string) list;  (* thread id, "op -> result" *)
+}
+
+type report = {
+  rep_schedules : int;  (* complete interleavings explored *)
+  rep_steps : int;      (* atomic operations executed, across all replays *)
+  rep_pruned : int;     (* subtrees cut by state-hash pruning *)
+  rep_truncated : int;  (* schedules abandoned at the fuel bound *)
+  rep_violation : counterexample option;
+}
+
+exception Abandoned
+
+type status =
+  | Ready of { resume : unit -> unit; cancel : unit -> unit }
+  | Done
+  | Stuck of exn
+
+let show_res = function
+  | R_int v -> string_of_int v
+  | R_bool b -> string_of_bool b
+
+(* Replay outcome for one forced prefix. *)
+type run_outcome =
+  | O_violation of string * (int * string) list
+  | O_all_done
+  | O_no_runnable  (* some thread unfinished but out of fuel *)
+  | O_enabled of int list * int  (* runnable thread ids, state hash *)
+
+let hash_combine h v = (h * 31) + v
+
+let run_prefix (spec : 'a spec) ~fuel prefix =
+  reset_registry ();
+  let n = Array.length spec.threads in
+  let shared = spec.setup () in
+  let statuses = Array.make n Done in
+  let ops_done = Array.make n 0 in
+  let trace_hash = Array.make n 0 in
+  let trace = ref [] in
+  let steps = ref 0 in
+  let spawn i body =
+    let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
+        =
+      fun eff ->
+       match eff with
+       | Step (desc, run) ->
+         Some
+           (fun (k : (a, unit) Effect.Deep.continuation) ->
+             statuses.(i) <-
+               Ready
+                 {
+                   resume =
+                     (fun () ->
+                       let r = run () in
+                       incr steps;
+                       ops_done.(i) <- ops_done.(i) + 1;
+                       trace_hash.(i) <-
+                         hash_combine trace_hash.(i) (Hashtbl.hash (desc, r));
+                       trace :=
+                         (i, Printf.sprintf "%s -> %s" desc (show_res r))
+                         :: !trace;
+                       Effect.Deep.continue k r);
+                   cancel =
+                     (fun () ->
+                       match Effect.Deep.discontinue k Abandoned with
+                       | () -> ()
+                       | exception _ -> ());
+                 })
+       | _ -> None
+    in
+    Effect.Deep.match_with body shared
+      {
+        retc = (fun () -> statuses.(i) <- Done);
+        exnc = (fun e -> statuses.(i) <- Stuck e);
+        effc;
+      }
+  in
+  Array.iteri (fun i body -> spawn i body) spec.threads;
+  let cancel_all () =
+    Array.iter
+      (function Ready { cancel; _ } -> cancel () | Done | Stuck _ -> ())
+      statuses
+  in
+  let violation msg =
+    cancel_all ();
+    O_violation (msg, List.rev !trace)
+  in
+  let check_statuses () =
+    (* A thread that died on an exception the model did not catch is a
+       failure of the model itself — surface it as a counterexample. *)
+    let bad = ref None in
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Stuck Abandoned -> ()
+        | Stuck e -> if !bad = None then bad := Some (i, e)
+        | _ -> ())
+      statuses;
+    match !bad with
+    | Some (i, Violation m) -> Some (Printf.sprintf "t%d: %s" i m)
+    | Some (i, e) ->
+      Some (Printf.sprintf "t%d raised %s" i (Printexc.to_string e))
+    | None -> None
+  in
+  let rec follow = function
+    | [] -> finish ()
+    | t :: rest -> (
+      match statuses.(t) with
+      | Ready { resume; _ } -> (
+        (match resume () with
+        | () -> ()
+        | exception e ->
+          (* an exception escaping [resume] means the op thunk itself
+             failed — treat like a stuck thread *)
+          statuses.(t) <- Stuck e);
+        match check_statuses () with
+        | Some msg -> violation msg
+        | None -> (
+          match spec.invariant shared with
+          | () -> follow rest
+          | exception Violation msg -> violation msg))
+      | Done | Stuck _ ->
+        (* schedules are only ever extended with enabled threads, so a
+           forced choice must be runnable on replay *)
+        violation (Printf.sprintf "internal: replay chose finished thread t%d" t))
+  and finish () =
+    let enabled = ref [] in
+    for i = n - 1 downto 0 do
+      match statuses.(i) with
+      | Ready _ when ops_done.(i) < fuel -> enabled := i :: !enabled
+      | _ -> ()
+    done;
+    match !enabled with
+    | [] ->
+      let unfinished =
+        Array.exists (function Ready _ -> true | _ -> false) statuses
+      in
+      if unfinished then begin
+        cancel_all ();
+        O_no_runnable
+      end
+      else (
+        match spec.final shared with
+        | () -> O_all_done
+        | exception Violation msg -> violation msg)
+    | enabled ->
+      let h = ref (Hashtbl.hash spec.name) in
+      List.iter
+        (fun c -> h := hash_combine (hash_combine !h c.cell_id) c.v)
+        !registry;
+      Array.iteri
+        (fun i st ->
+          let tag = match st with Ready _ -> 0 | Done -> 1 | Stuck _ -> 2 in
+          h := hash_combine (hash_combine !h tag) trace_hash.(i))
+        statuses;
+      (* the run is abandoned here (DFS replays from scratch); unwind the
+         captured fibers so they do not outlive the node *)
+      cancel_all ();
+      O_enabled (enabled, !h)
+  in
+  let outcome = follow prefix in
+  (outcome, !steps)
+
+let explore ?(fuel = 16) (spec : 'a spec) =
+  let visited = Hashtbl.create 4096 in
+  let schedules = ref 0 in
+  let steps = ref 0 in
+  let pruned = ref 0 in
+  let truncated = ref 0 in
+  let violation = ref None in
+  (* Explicit work stack of schedule prefixes (stored reversed). *)
+  let stack = ref [ [] ] in
+  while !stack <> [] && !violation = None do
+    match !stack with
+    | [] -> ()
+    | prefix_rev :: rest ->
+      stack := rest;
+      let prefix = List.rev prefix_rev in
+      let outcome, st = run_prefix spec ~fuel prefix in
+      steps := !steps + st;
+      (match outcome with
+      | O_violation (msg, trace) ->
+        violation :=
+          Some { cx_model = spec.name; cx_message = msg; cx_trace = trace }
+      | O_all_done -> incr schedules
+      | O_no_runnable -> incr truncated
+      | O_enabled (enabled, h) ->
+        if Hashtbl.mem visited h then incr pruned
+        else begin
+          Hashtbl.add visited h ();
+          (* push in reverse so thread 0 is explored first *)
+          List.iter
+            (fun t -> stack := (t :: prefix_rev) :: !stack)
+            (List.rev enabled)
+        end)
+  done;
+  {
+    rep_schedules = !schedules;
+    rep_steps = !steps;
+    rep_pruned = !pruned;
+    rep_truncated = !truncated;
+    rep_violation = !violation;
+  }
+
+let pp_counterexample fmt cx =
+  Format.fprintf fmt "model %S: %s@\ncounterexample schedule (%d steps):@\n"
+    cx.cx_model cx.cx_message (List.length cx.cx_trace);
+  List.iteri
+    (fun i (t, op) -> Format.fprintf fmt "  %3d  t%d  %s@\n" (i + 1) t op)
+    cx.cx_trace
+
+let counterexample_to_string cx =
+  Format.asprintf "%a" pp_counterexample cx

@@ -14,7 +14,14 @@
 
    end_write / abort_write use a plain atomic increment: the writer holds
    exclusivity so no CAS is needed, but the store must be atomic so readers
-   obtain the release/acquire edge required by the seqlock recipe. *)
+   obtain the release/acquire edge required by the seqlock recipe.
+
+   The protocol itself is written once, as a functor over the four atomic
+   operations it performs ({!ATOMIC}).  The default instantiation below is
+   backed by [Stdlib.Atomic] and is what every runtime caller links
+   against; [lib/modelcheck] instantiates the same functor over a traced
+   atomic that yields to a deterministic scheduler at every operation, so
+   the code being model-checked is the code that runs in production. *)
 
 module Backoff = struct
   (* Truncated exponential backoff with seeded jitter.  The delay grows
@@ -66,8 +73,18 @@ module Backoff = struct
     end
 end
 
-type t = { version : int Atomic.t }
-type lease = int
+(* The version counter is an [int], so the four operations below are all
+   the protocol ever needs; keeping the signature minimal keeps traced
+   substitutes (model checking, fault injection) small and obviously
+   faithful. *)
+module type ATOMIC = sig
+  type t
+
+  val make : int -> t
+  val get : t -> int
+  val compare_and_set : t -> int -> int -> bool
+  val fetch_and_add : t -> int -> int
+end
 
 exception Protocol_violation of string
 
@@ -76,97 +93,130 @@ let () =
     | Protocol_violation m -> Some (Printf.sprintf "Olock.Protocol_violation(%s)" m)
     | _ -> None)
 
-let create () = { version = Atomic.make 0 }
+module type S = sig
+  type t
+  type lease = int
 
-let is_even v = v land 1 = 0
+  val create : unit -> t
+  val start_read : t -> lease
+  val valid : t -> lease -> bool
+  val end_read : t -> lease -> bool
+  val try_upgrade_to_write : t -> lease -> bool
+  val try_start_write : t -> bool
+  val start_write : t -> unit
+  val end_write : t -> unit
+  val abort_write : t -> unit
+  val is_write_locked : t -> bool
+  val version : t -> int
+end
 
-(* Telemetry sites sit on the contention paths only: the uncontended fast
-   paths (an even version on the first read, a successful CAS) touch no
-   counter, so the cost of an event is paid exactly when the event — a spin,
-   a stale lease, an abort — actually happened.  All counters are
-   domain-local plain stores (see lib/telemetry). *)
+module Make (A : ATOMIC) : S = struct
+  type t = { version : A.t }
+  type lease = int
 
-let start_read l =
-  let b = Backoff.create () in
-  let rec loop () =
-    let v = Atomic.get l.version in
-    if is_even v then v
-    else begin
-      Telemetry.bump Telemetry.Counter.Olock_read_spins;
-      Backoff.once b;
-      loop ()
-    end
-  in
-  loop ()
+  let create () = { version = A.make 0 }
 
-let valid l lease =
-  let ok = Atomic.get l.version = lease in
-  (* chaos: spuriously report a torn read, pushing the caller onto its
-     restart path — the rare interleaving every optimistic correctness
-     claim depends on, forced on demand *)
-  let ok = ok && not (Chaos.fire Chaos.Point.Olock_validate_force_fail) in
-  if not ok then Telemetry.bump Telemetry.Counter.Olock_validation_failures;
-  ok
+  let is_even v = v land 1 = 0
 
-let end_read = valid
+  (* Telemetry sites sit on the contention paths only: the uncontended fast
+     paths (an even version on the first read, a successful CAS) touch no
+     counter, so the cost of an event is paid exactly when the event — a spin,
+     a stale lease, an abort — actually happened.  All counters are
+     domain-local plain stores (see lib/telemetry). *)
 
-let try_upgrade_to_write l lease =
-  let ok = Atomic.compare_and_set l.version lease (lease + 1) in
-  if not ok then Telemetry.bump Telemetry.Counter.Olock_upgrade_failures;
-  ok
-
-let try_start_write l =
-  let v = Atomic.get l.version in
-  is_even v && Atomic.compare_and_set l.version v (v + 1)
-
-let start_write l =
-  (* Uncontended acquisitions take the first CAS and pay no timing cost;
-     only the contended path measures its wait (first failure to success)
-     into the write-wait histogram. *)
-  if not (try_start_write l) then begin
-    let t0 = Telemetry.hist_time () in
+  let start_read l =
     let b = Backoff.create () in
-    Telemetry.bump Telemetry.Counter.Olock_write_spins;
-    Backoff.once b;
-    while not (try_start_write l) do
+    let rec loop () =
+      let v = A.get l.version in
+      if is_even v then v
+      else begin
+        Telemetry.bump Telemetry.Counter.Olock_read_spins;
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+
+  let valid l lease =
+    let ok = A.get l.version = lease in
+    (* chaos: spuriously report a torn read, pushing the caller onto its
+       restart path — the rare interleaving every optimistic correctness
+       claim depends on, forced on demand *)
+    let ok = ok && not (Chaos.fire Chaos.Point.Olock_validate_force_fail) in
+    if not ok then Telemetry.bump Telemetry.Counter.Olock_validation_failures;
+    ok
+
+  let end_read = valid
+
+  let try_upgrade_to_write l lease =
+    let ok = A.compare_and_set l.version lease (lease + 1) in
+    if not ok then Telemetry.bump Telemetry.Counter.Olock_upgrade_failures;
+    ok
+
+  let try_start_write l =
+    let v = A.get l.version in
+    is_even v && A.compare_and_set l.version v (v + 1)
+
+  let start_write l =
+    (* Uncontended acquisitions take the first CAS and pay no timing cost;
+       only the contended path measures its wait (first failure to success)
+       into the write-wait histogram. *)
+    if not (try_start_write l) then begin
+      let t0 = Telemetry.hist_time () in
+      let b = Backoff.create () in
       Telemetry.bump Telemetry.Counter.Olock_write_spins;
-      Backoff.once b
-    done;
-    Telemetry.hist_end Telemetry.Hist.Olock_write_wait_ns t0
-  end
+      Backoff.once b;
+      while not (try_start_write l) do
+        Telemetry.bump Telemetry.Counter.Olock_write_spins;
+        Backoff.once b
+      done;
+      Telemetry.hist_end Telemetry.Hist.Olock_write_wait_ns t0
+    end
 
-(* Misuse detection for the release half of the protocol: releasing a lock
-   that is not write-held (an even version) would silently corrupt the
-   counter — an even release would hand out a "free" version that a later
-   writer turns odd, wedging every reader.  The check rides on the value
-   the release increment returns, so the hot path still performs exactly
-   one atomic op; on a violation the increment is undone before raising
-   (the transiently odd version only makes concurrent readers spin one
-   extra round). *)
-let end_write l =
-  let old = Atomic.fetch_and_add l.version 1 in
-  if is_even old then begin
-    ignore (Atomic.fetch_and_add l.version (-1) : int);
-    raise
-      (Protocol_violation
-         (Printf.sprintf
-            "end_write on a lock not held for writing (version %d is even)"
-            old))
-  end
+  (* Misuse detection for the release half of the protocol: releasing a lock
+     that is not write-held (an even version) would silently corrupt the
+     counter — an even release would hand out a "free" version that a later
+     writer turns odd, wedging every reader.  The check rides on the value
+     the release increment returns, so the hot path still performs exactly
+     one atomic op; on a violation the increment is undone before raising
+     (the transiently odd version only makes concurrent readers spin one
+     extra round). *)
+  let end_write l =
+    let old = A.fetch_and_add l.version 1 in
+    if is_even old then begin
+      ignore (A.fetch_and_add l.version (-1) : int);
+      raise
+        (Protocol_violation
+           (Printf.sprintf
+              "end_write on a lock not held for writing (version %d is even)"
+              old))
+    end
 
-let abort_write l =
-  let old = Atomic.fetch_and_add l.version (-1) in
-  if is_even old then begin
-    ignore (Atomic.fetch_and_add l.version 1 : int);
-    raise
-      (Protocol_violation
-         (Printf.sprintf
-            "abort_write on a lock not held for writing (version %d is even)"
-            old))
-  end;
-  Telemetry.bump Telemetry.Counter.Olock_write_aborts
-let is_write_locked l = not (is_even (Atomic.get l.version))
-let version l = Atomic.get l.version
+  let abort_write l =
+    let old = A.fetch_and_add l.version (-1) in
+    if is_even old then begin
+      ignore (A.fetch_and_add l.version 1 : int);
+      raise
+        (Protocol_violation
+           (Printf.sprintf
+              "abort_write on a lock not held for writing (version %d is even)"
+              old))
+    end;
+    Telemetry.bump Telemetry.Counter.Olock_write_aborts
+
+  let is_write_locked l = not (is_even (A.get l.version))
+  let version l = A.get l.version
+end
+
+(* Default instantiation: the version counter is a [Stdlib.Atomic]. *)
+include Make (struct
+  type t = int Atomic.t
+
+  let make = Atomic.make
+  let get = Atomic.get
+  let compare_and_set = Atomic.compare_and_set
+  let fetch_and_add = Atomic.fetch_and_add
+end)
 
 module Rwlock = struct
   (* state >= 0: number of active readers; -1: writer active *)

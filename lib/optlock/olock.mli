@@ -19,72 +19,101 @@
     per-field atomics: the OCaml memory model defines the behaviour of racy
     reads (they yield some previously written value and can never yield a wild
     pointer), so a torn observation is always caught by the validation step
-    rather than causing undefined behaviour, as it would in C++. *)
+    rather than causing undefined behaviour, as it would in C++.
 
-type t
-(** An optimistic read-write lock. *)
+    The protocol is implemented once as the functor {!Make} over the
+    {!ATOMIC} operations it performs.  The toplevel values of this module
+    are the default instantiation over [Stdlib.Atomic] (what production
+    code uses); [lib/modelcheck] instantiates {!Make} over a traced atomic
+    to explore every interleaving of the very same protocol code. *)
 
-type lease = int
-(** A read lease: the version number observed by {!start_read}.  Even by
-    construction. *)
+module type ATOMIC = sig
+  (** The four atomic operations the protocol performs on its version
+      counter.  Monomorphic on [int] — the counter is the whole lock. *)
+
+  type t
+
+  val make : int -> t
+  val get : t -> int
+  val compare_and_set : t -> int -> int -> bool
+  val fetch_and_add : t -> int -> int
+end
 
 exception Protocol_violation of string
-(** Raised by {!end_write}/{!abort_write} when the lock is not held for
+(** Raised by [end_write]/[abort_write] when the lock is not held for
     writing (the version is even): such a release would silently corrupt
     the version counter — an extra increment parks the lock "write-held"
     forever, wedging every reader.  The message carries the observed
     version so the parity is visible in the report.  The offending
     operation is rolled back before raising, so the lock stays usable. *)
 
-val create : unit -> t
-(** [create ()] is a fresh, unlocked lock (version [0]). *)
+module type S = sig
+  type t
+  (** An optimistic read-write lock. *)
 
-val start_read : t -> lease
-(** [start_read l] begins a read phase and returns the observed lease.  Spins
-    (with exponential backoff) while a writer is active, i.e. always returns an
-    even version number. *)
+  type lease = int
+  (** A read lease: the version number observed by {!start_read}.  Even by
+      construction. *)
 
-val valid : t -> lease -> bool
-(** [valid l lease] is [true] iff no write phase has started since [lease] was
-    obtained.  Non-blocking; does not end the read phase.  Data read under
-    [lease] may only be used if this returns [true]. *)
+  val create : unit -> t
+  (** [create ()] is a fresh, unlocked lock (version [0]). *)
 
-val end_read : t -> lease -> bool
-(** [end_read l lease] terminates a read phase, returning whether the phase
-    was free of concurrent writes (same condition as {!valid}). *)
+  val start_read : t -> lease
+  (** [start_read l] begins a read phase and returns the observed lease.  Spins
+      (with exponential backoff) while a writer is active, i.e. always returns an
+      even version number. *)
 
-val try_upgrade_to_write : t -> lease -> bool
-(** [try_upgrade_to_write l lease] attempts to atomically convert a read
-    permit into an exclusive write permit.  Succeeds iff the version is still
-    exactly [lease]; on success the caller holds the write lock.  On failure
-    the read phase is invalid and the caller must restart.  Non-blocking. *)
+  val valid : t -> lease -> bool
+  (** [valid l lease] is [true] iff no write phase has started since [lease] was
+      obtained.  Non-blocking; does not end the read phase.  Data read under
+      [lease] may only be used if this returns [true]. *)
 
-val try_start_write : t -> bool
-(** [try_start_write l] attempts to directly enter a write phase.
-    Non-blocking; [true] on success. *)
+  val end_read : t -> lease -> bool
+  (** [end_read l lease] terminates a read phase, returning whether the phase
+      was free of concurrent writes (same condition as {!valid}). *)
 
-val start_write : t -> unit
-(** [start_write l] blocks (spins with backoff) until a write permit is
-    granted.  The only blocking operation of the protocol. *)
+  val try_upgrade_to_write : t -> lease -> bool
+  (** [try_upgrade_to_write l lease] attempts to atomically convert a read
+      permit into an exclusive write permit.  Succeeds iff the version is still
+      exactly [lease]; on success the caller holds the write lock.  On failure
+      the read phase is invalid and the caller must restart.  Non-blocking. *)
 
-val end_write : t -> unit
-(** [end_write l] ends a write phase, publishing the modifications: the
-    version becomes even again and differs from every lease handed out before
-    the write.
-    @raise Protocol_violation if the lock is not write-held. *)
+  val try_start_write : t -> bool
+  (** [try_start_write l] attempts to directly enter a write phase.
+      Non-blocking; [true] on success. *)
 
-val abort_write : t -> unit
-(** [abort_write l] ends a write phase during which {e no} modification was
-    performed.  The version is rolled back to its pre-write value so that
-    concurrent readers are not needlessly invalidated.
-    @raise Protocol_violation if the lock is not write-held. *)
+  val start_write : t -> unit
+  (** [start_write l] blocks (spins with backoff) until a write permit is
+      granted.  The only blocking operation of the protocol. *)
 
-val is_write_locked : t -> bool
-(** [is_write_locked l] observes whether a writer is currently active (racy,
-    for diagnostics and tests). *)
+  val end_write : t -> unit
+  (** [end_write l] ends a write phase, publishing the modifications: the
+      version becomes even again and differs from every lease handed out before
+      the write.
+      @raise Protocol_violation if the lock is not write-held. *)
 
-val version : t -> int
-(** [version l] is the raw version counter (racy; diagnostics only). *)
+  val abort_write : t -> unit
+  (** [abort_write l] ends a write phase during which {e no} modification was
+      performed.  The version is rolled back to its pre-write value so that
+      concurrent readers are not needlessly invalidated.
+      @raise Protocol_violation if the lock is not write-held. *)
+
+  val is_write_locked : t -> bool
+  (** [is_write_locked l] observes whether a writer is currently active (racy,
+      for diagnostics and tests). *)
+
+  val version : t -> int
+  (** [version l] is the raw version counter (racy; diagnostics only). *)
+end
+
+include S
+(** The default instantiation, backed by [Stdlib.Atomic]. *)
+
+module Make (A : ATOMIC) : S
+(** [Make (A)] is the Fig. 2 protocol over the atomic operations [A].
+    Every instantiation shares {!Protocol_violation} (it is declared at
+    module level, not inside the functor), so checking code can match on
+    the same exception the production instantiation raises. *)
 
 module Spin : sig
   (** A plain test-and-test-and-set spin lock, used by baseline structures
@@ -107,7 +136,7 @@ module Rwlock : sig
       count, writer bit).  This is the comparison point the paper argues
       against: acquiring even a {e read} permit performs a store on the
       shared lock word, invalidating the cache line in every other core —
-      the cost {!Olock.start_read} avoids by being a pure load. *)
+      the cost {!start_read} avoids by being a pure load. *)
 
   type t
 

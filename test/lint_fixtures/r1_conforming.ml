@@ -1,0 +1,13 @@
+(* R1 conforming fixture: shared state behind the Sync helpers, plus one
+   justified escape hatch.  Never compiled — test data for test_lint.ml. *)
+
+let pending = Sync.Counter.make 0
+let record () = Sync.Counter.incr pending
+let drained () = Sync.Counter.get pending
+
+(* A justified [@lint.allow "atomic-confinement: why"] is accepted. *)
+let epoch =
+  (Atomic.make 0
+  [@lint.allow
+    "atomic-confinement: epoch word is read from a signal handler, no \
+     Sync wrapper can be used there"])

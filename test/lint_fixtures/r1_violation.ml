@@ -1,0 +1,10 @@
+(* R1 firing fixture: raw atomics outside the sync modules, checked with
+   atomic_ok:false.  Never compiled — test data for test_lint.ml. *)
+
+type stats = { hits : int Atomic.t }
+
+let make () = { hits = Atomic.make 0 }
+let record t = Atomic.incr t.hits
+
+(* An allow without a justification does not silence R1. *)
+let sloppy = (Atomic.make 0 [@lint.allow "atomic-confinement"])

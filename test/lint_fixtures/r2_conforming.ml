@@ -1,0 +1,28 @@
+(* R2 conforming fixture: every lease is validated, upgraded, handed off,
+   or abandoned only after a failed validation.  Never compiled — test
+   data for test_lint.ml. *)
+
+let read lock data =
+  let lease = Olock.start_read lock in
+  let v = data () in
+  if Olock.end_read lock lease then Some v else None
+
+let upgrade lock =
+  let lease = Olock.start_read lock in
+  if Olock.try_upgrade_to_write lock lease then begin
+    Olock.end_write lock;
+    true
+  end
+  else false
+
+(* Handing the lease to a helper is the callee's obligation. *)
+let handoff helper lock =
+  let lease = Olock.start_read lock in
+  helper lock lease
+
+(* The then-branch abandons [lease], but it is the failure branch of a
+   validation on the enclosing node — an invalidated lease carries no
+   obligation. *)
+let restart_on_failure lock parent parent_lease use =
+  let lease = Olock.start_read lock in
+  if not (Olock.valid parent parent_lease) then None else Some (use lease)

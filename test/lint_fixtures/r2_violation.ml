@@ -1,0 +1,16 @@
+(* R2 firing fixture: leases that escape or go unvalidated.  Never
+   compiled — test data for test_lint.ml. *)
+
+(* Escapes into a constructor, and is never validated: two findings. *)
+let peek lock =
+  let lease = Olock.start_read lock in
+  Some lease
+
+(* The implicit else-branch drops the lease, and [compute] is not a
+   validation, so the failure-path exemption does not apply. *)
+let unvalidated_branch lock compute =
+  let lease = Olock.start_read lock in
+  if compute () then ignore (Olock.end_read lock lease)
+
+(* A lease made only to be thrown away. *)
+let dropped lock = ignore (Olock.start_read lock)

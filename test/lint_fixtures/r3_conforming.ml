@@ -1,0 +1,25 @@
+(* R3 conforming fixture: blocking work hoisted out of the critical
+   section.  Never compiled — test data for test_lint.ml. *)
+
+let insert pool lock compute store =
+  let v = compute () in
+  Pool.run pool (fun _ -> ());
+  Olock.start_write lock;
+  store v;
+  Olock.end_write lock
+
+let guarded lock mutate =
+  if Olock.try_start_write lock then begin
+    mutate ();
+    Olock.end_write lock;
+    (* after the release the permit is gone: I/O is fine again *)
+    print_endline "done";
+    true
+  end
+  else false
+
+let upgrade_then_write lock lease mutate =
+  if Olock.try_upgrade_to_write lock lease then begin
+    mutate ();
+    Olock.end_write lock
+  end

@@ -1,0 +1,25 @@
+(* R3 firing fixture: blocking calls between acquiring and releasing a
+   write permit.  Never compiled — test data for test_lint.ml. *)
+
+let rebalance pool lock =
+  Olock.start_write lock;
+  Pool.run pool (fun _ -> ());
+  Olock.end_write lock
+
+let log_under_permit lock msg =
+  if Olock.try_start_write lock then begin
+    print_endline msg;
+    Olock.end_write lock
+  end
+
+let lease_under_permit lock other =
+  Olock.start_write lock;
+  let lease = Olock.start_read other in
+  ignore (Olock.valid other lease);
+  Olock.end_write lock
+
+let timed_insert lock =
+  Olock.start_write lock;
+  let t = Unix.gettimeofday () in
+  Olock.end_write lock;
+  t

@@ -1,0 +1,13 @@
+(* R4 conforming fixture, checked with hot:true: specialised comparators
+   only; a labelled [~compare] parameter legitimately shadows the
+   polymorphic one.  Never compiled — test data for test_lint.ml. *)
+
+let sort_keys xs = List.sort Key.compare xs
+
+let same_span (a, b) (c, d) = Int.equal a c && Int.equal b d
+
+let sorted_by ~compare xs = List.sort compare xs
+
+let lex (a1, b1) (a2, b2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c else Int.compare b1 b2

@@ -1,0 +1,10 @@
+(* R4 firing fixture, checked with hot:true: Obj.magic and polymorphic
+   comparisons.  Never compiled — test data for test_lint.ml. *)
+
+let cast (x : int) : bool = Obj.magic x
+
+let sort_pairs xs = List.sort compare xs
+
+let same_span (a, b) (c, d) = (a, b) = (c, d)
+
+let cmp_any x y = Stdlib.compare x y

@@ -1,0 +1,167 @@
+(* Fixture tests for the concurrency-discipline linter (lib/lint): one
+   firing and one conforming sample per rule R1-R4, plus attribute
+   scoping and path-classification checks.  The fixtures under
+   lint_fixtures/ are parsed, never compiled. *)
+
+(* cwd is test/ under `dune runtest` but the workspace root under
+   `dune exec test/test_lint.exe`. *)
+let fx name =
+  let local = Filename.concat "lint_fixtures" name in
+  if Sys.file_exists local then local
+  else Filename.concat (Filename.concat "test" "lint_fixtures") name
+
+let count rule findings =
+  List.length (List.filter (fun f -> f.Lint.rule = rule) findings)
+
+let dump findings =
+  List.iter (fun f -> print_endline ("  " ^ Lint.finding_to_string f)) findings
+
+let check_fixture ~name ~hot ~atomic_ok =
+  let findings = Lint.check_file ~hot ~atomic_ok (fx name) in
+  Printf.printf "%s: %d finding(s)\n" name (List.length findings);
+  dump findings;
+  Alcotest.(check int)
+    (name ^ ": parses")
+    0
+    (count Lint.rule_parse_error findings);
+  findings
+
+(* --- R1 atomic confinement ---------------------------------------- *)
+
+let test_r1_fires () =
+  let fs = check_fixture ~name:"r1_violation.ml" ~hot:false ~atomic_ok:false in
+  (* the record type, Atomic.make, Atomic.incr, and the unjustified
+     allow *)
+  Alcotest.(check int) "atomic-confinement findings" 4
+    (count Lint.rule_atomic_confinement fs);
+  Alcotest.(check bool) "unjustified allow is called out" true
+    (List.exists
+       (fun f ->
+         f.Lint.rule = Lint.rule_atomic_confinement
+         && f.Lint.line = 10)
+       fs)
+
+let test_r1_clean () =
+  let fs = check_fixture ~name:"r1_conforming.ml" ~hot:false ~atomic_ok:false in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+(* --- R2 lease discipline ------------------------------------------ *)
+
+let test_r2_fires () =
+  let fs = check_fixture ~name:"r2_violation.ml" ~hot:false ~atomic_ok:true in
+  (* peek: escape + unvalidated; unvalidated_branch; dropped *)
+  Alcotest.(check int) "lease-discipline findings" 4
+    (count Lint.rule_lease_discipline fs);
+  Alcotest.(check bool) "escape is reported" true
+    (List.exists
+       (fun f ->
+         f.Lint.rule = Lint.rule_lease_discipline
+         && String.length f.Lint.message >= 5
+         && String.sub f.Lint.message 0 5 = "lease")
+       fs)
+
+let test_r2_clean () =
+  let fs = check_fixture ~name:"r2_conforming.ml" ~hot:false ~atomic_ok:true in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+(* --- R3 no blocking under a write permit -------------------------- *)
+
+let test_r3_fires () =
+  let fs = check_fixture ~name:"r3_violation.ml" ~hot:false ~atomic_ok:true in
+  (* Pool.run, print_endline, Olock.start_read, Unix.gettimeofday *)
+  Alcotest.(check int) "no-blocking findings" 4
+    (count Lint.rule_no_blocking fs)
+
+let test_r3_clean () =
+  let fs = check_fixture ~name:"r3_conforming.ml" ~hot:false ~atomic_ok:true in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+(* --- R4 hygiene ---------------------------------------------------- *)
+
+let test_r4_fires () =
+  let fs = check_fixture ~name:"r4_violation.ml" ~hot:true ~atomic_ok:true in
+  (* Obj.magic, bare compare, (=) on tuples, Stdlib.compare *)
+  Alcotest.(check int) "hygiene findings" 4 (count Lint.rule_hygiene fs)
+
+let test_r4_clean () =
+  let fs = check_fixture ~name:"r4_conforming.ml" ~hot:true ~atomic_ok:true in
+  Alcotest.(check int) "no findings" 0 (List.length fs)
+
+(* Obj.magic is banned even outside hot modules. *)
+let test_obj_magic_everywhere () =
+  let fs =
+    Lint.check_source ~hot:false ~atomic_ok:true ~file:"inline.ml"
+      "let f x = Obj.magic x\n"
+  in
+  Alcotest.(check int) "hygiene findings" 1 (count Lint.rule_hygiene fs)
+
+(* --- attribute scoping -------------------------------------------- *)
+
+let test_allow_is_scoped () =
+  let src =
+    "let x = (Atomic.make 0 [@lint.allow \"atomic-confinement: justified \
+     for x only\"])\n\
+     let y = Atomic.make 0\n"
+  in
+  let fs = Lint.check_source ~hot:false ~atomic_ok:false ~file:"inline.ml" src in
+  Alcotest.(check int) "only the unsuppressed site fires" 1
+    (count Lint.rule_atomic_confinement fs);
+  Alcotest.(check bool) "and it is y's" true
+    (List.for_all (fun f -> f.Lint.line = 2) fs)
+
+let test_floating_allow () =
+  let src =
+    "[@@@lint.allow \"hygiene\"]\nlet f xs = List.sort compare xs\n"
+  in
+  let fs = Lint.check_source ~hot:true ~atomic_ok:true ~file:"inline.ml" src in
+  Alcotest.(check int) "floating allow suppresses the structure" 0
+    (List.length fs)
+
+(* --- path classification ------------------------------------------ *)
+
+let test_classification () =
+  Alcotest.(check bool) "btree.ml is hot" true
+    (Lint.default_hot "lib/btree/btree.ml");
+  Alcotest.(check bool) "symtab.ml is not hot" false
+    (Lint.default_hot "lib/datalog/symtab.ml");
+  Alcotest.(check bool) "olock.ml may use atomics" true
+    (Lint.default_atomic_whitelisted "lib/optlock/olock.ml");
+  Alcotest.(check bool) "sync.ml may use atomics" true
+    (Lint.default_atomic_whitelisted "lib/datalog/sync.ml");
+  Alcotest.(check bool) "eval.ml may not" false
+    (Lint.default_atomic_whitelisted "lib/datalog/eval.ml")
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "r1-atomic-confinement",
+        [
+          Alcotest.test_case "fires" `Quick test_r1_fires;
+          Alcotest.test_case "clean" `Quick test_r1_clean;
+        ] );
+      ( "r2-lease-discipline",
+        [
+          Alcotest.test_case "fires" `Quick test_r2_fires;
+          Alcotest.test_case "clean" `Quick test_r2_clean;
+        ] );
+      ( "r3-no-blocking",
+        [
+          Alcotest.test_case "fires" `Quick test_r3_fires;
+          Alcotest.test_case "clean" `Quick test_r3_clean;
+        ] );
+      ( "r4-hygiene",
+        [
+          Alcotest.test_case "fires" `Quick test_r4_fires;
+          Alcotest.test_case "clean" `Quick test_r4_clean;
+          Alcotest.test_case "obj-magic everywhere" `Quick
+            test_obj_magic_everywhere;
+        ] );
+      ( "attributes",
+        [
+          Alcotest.test_case "expression allow is scoped" `Quick
+            test_allow_is_scoped;
+          Alcotest.test_case "floating allow" `Quick test_floating_allow;
+        ] );
+      ( "classification",
+        [ Alcotest.test_case "paths" `Quick test_classification ] );
+    ]

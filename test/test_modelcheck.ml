@@ -1,0 +1,340 @@
+(* Exhaustive interleaving checks for the olock protocol (an executable
+   model of Fig. 2): mutual exclusion of writers, reader-validation
+   agreement, upgrade atomicity, and Protocol_violation behaviour, each
+   explored over every fair schedule of a small thread program.  The same
+   models run over the torn-CAS mutant to prove the checker actually
+   detects a protocol bug (and prints its counterexample schedule). *)
+
+module MC = Modelcheck
+
+(* The models are written once, over any instantiation of the protocol. *)
+module Models (L : Olock.S) = struct
+  type shared = {
+    lock : L.t;
+    mutable holders : int; (* threads currently believing they hold write *)
+    mutable d1 : int; (* protected data, written as a pair *)
+    mutable d2 : int;
+    mutable writer_done : bool;
+  }
+
+  let setup () =
+    { lock = L.create (); holders = 0; d1 = 0; d2 = 0; writer_done = false }
+
+  let excl s =
+    if s.holders > 1 then
+      raise (MC.Violation "two writers inside the critical section")
+
+  let no_check _ = ()
+
+  (* Both threads race [try_start_write]; at most one may win before the
+     other's attempt fails. *)
+  let mutex_try =
+    let body s =
+      if L.try_start_write s.lock then begin
+        s.holders <- s.holders + 1;
+        MC.yield ();
+        s.holders <- s.holders - 1;
+        L.end_write s.lock
+      end
+    in
+    {
+      MC.name = "mutex-try";
+      setup;
+      threads = [| body; body |];
+      invariant = excl;
+      final =
+        (fun s ->
+          if L.is_write_locked s.lock then
+            raise (MC.Violation "lock left write-held"));
+    }
+
+  (* Blocking writers: both spin in [start_write]; exclusion must hold on
+     every fair schedule. *)
+  let mutex_blocking =
+    let body s =
+      L.start_write s.lock;
+      s.holders <- s.holders + 1;
+      MC.yield ();
+      s.holders <- s.holders - 1;
+      L.end_write s.lock
+    in
+    {
+      MC.name = "mutex-blocking";
+      setup;
+      threads = [| body; body |];
+      invariant = excl;
+      final = no_check;
+    }
+
+  (* The lost-upgrade race: both threads read, then both try to upgrade
+     the same lease.  The CAS must let at most one win — this is the
+     upgrade-atomicity obligation of Fig. 2, and the model that catches
+     the torn-CAS mutant. *)
+  let upgrade_race =
+    let body s =
+      let lease = L.start_read s.lock in
+      if L.try_upgrade_to_write s.lock lease then begin
+        s.holders <- s.holders + 1;
+        MC.yield ();
+        s.holders <- s.holders - 1;
+        L.end_write s.lock
+      end
+    in
+    {
+      MC.name = "upgrade-race";
+      setup;
+      threads = [| body; body |];
+      invariant = excl;
+      final = no_check;
+    }
+
+  (* Reader-validation agreement: the writer publishes (d1, d2) as a pair
+     under a write permit; a reader that observes a torn pair must be
+     told so by [end_read].  A schedule where end_read returns true over
+     a torn observation is a seqlock soundness bug. *)
+  let reader_validation =
+    let writer s =
+      L.start_write s.lock;
+      MC.yield ();
+      s.d1 <- 1;
+      MC.yield ();
+      s.d2 <- 1;
+      L.end_write s.lock
+    in
+    let reader s =
+      let lease = L.start_read s.lock in
+      let a = s.d1 in
+      MC.yield ();
+      let b = s.d2 in
+      if L.end_read s.lock lease && a <> b then
+        raise (MC.Violation "end_read validated a torn read")
+    in
+    {
+      MC.name = "reader-validation";
+      setup;
+      threads = [| writer; reader |];
+      invariant = no_check;
+      final = no_check;
+    }
+
+  (* Three threads: two try-upgraders and a validating reader. *)
+  let three_thread =
+    let upgrader s =
+      let lease = L.start_read s.lock in
+      if L.try_upgrade_to_write s.lock lease then begin
+        s.holders <- s.holders + 1;
+        s.d1 <- s.d1 + 1;
+        MC.yield ();
+        s.d2 <- s.d2 + 1;
+        s.holders <- s.holders - 1;
+        L.end_write s.lock
+      end
+    in
+    let reader s =
+      let lease = L.start_read s.lock in
+      let a = s.d1 in
+      MC.yield ();
+      let b = s.d2 in
+      if L.end_read s.lock lease && a <> b then
+        raise (MC.Violation "end_read validated a torn read")
+    in
+    {
+      MC.name = "three-thread";
+      setup;
+      threads = [| upgrader; upgrader; reader |];
+      invariant = excl;
+      final = no_check;
+    }
+
+  (* Regression: end_write on a lock not held for writing must raise and
+     leave the lock usable (PR 4 behaviour). *)
+  let end_write_misuse =
+    let body s =
+      (match L.end_write s.lock with
+      | () -> raise (MC.Violation "end_write on a free lock did not raise")
+      | exception Olock.Protocol_violation _ -> ());
+      (* the rollback must leave the lock usable *)
+      L.start_write s.lock;
+      s.d1 <- 1;
+      L.end_write s.lock
+    in
+    {
+      MC.name = "end-write-misuse";
+      setup;
+      threads = [| body |];
+      invariant = no_check;
+      final =
+        (fun s ->
+          if L.version s.lock <> 2 then
+            raise
+              (MC.Violation
+                 (Printf.sprintf "lock version %d after misuse + one write"
+                    (L.version s.lock))));
+    }
+
+  (* Regression: a thread whose [try_start_write] failed holds nothing;
+     calling [abort_write] once the lock is free again must raise (and
+     must not wedge the lock).  The model sequences the abort after the
+     real writer finished via a plain flag, so the lock is provably free
+     (even version) at the abort on every schedule that reaches it. *)
+  let abort_after_failed_try =
+    let writer s =
+      L.start_write s.lock;
+      MC.yield ();
+      L.end_write s.lock;
+      s.writer_done <- true
+    in
+    let aborter s =
+      let rec attempt tries =
+        if L.try_start_write s.lock then L.end_write s.lock
+        else begin
+          MC.yield ();
+          if s.writer_done then (
+            match L.abort_write s.lock with
+            | () ->
+              raise
+                (MC.Violation
+                   "abort_write after a failed try_start_write did not raise")
+            | exception Olock.Protocol_violation _ -> ())
+          else if tries > 0 then attempt (tries - 1)
+        end
+      in
+      attempt 3
+    in
+    {
+      MC.name = "abort-after-failed-try";
+      setup;
+      threads = [| writer; aborter |];
+      invariant = no_check;
+      final =
+        (fun s ->
+          if L.is_write_locked s.lock then
+            raise (MC.Violation "lock left write-held"));
+    }
+end
+
+module Faithful = Models (Olock.Make (MC.Traced_atomic))
+module Mutant = Models (Olock.Make (MC.Torn_cas_atomic))
+
+let check_passes ?fuel name spec ~min_schedules =
+  let rep = MC.explore ?fuel spec in
+  (match rep.MC.rep_violation with
+  | None -> ()
+  | Some cx ->
+    Alcotest.failf "%s: unexpected violation:\n%s" name
+      (MC.counterexample_to_string cx));
+  if rep.MC.rep_schedules < min_schedules then
+    Alcotest.failf "%s: only %d complete schedules explored (expected >= %d)"
+      name rep.MC.rep_schedules min_schedules
+
+let test_mutex_try () =
+  check_passes "mutex-try" Faithful.mutex_try ~min_schedules:2
+
+let test_mutex_blocking () =
+  check_passes "mutex-blocking" Faithful.mutex_blocking ~min_schedules:2
+
+let test_upgrade_race () =
+  check_passes "upgrade-race" Faithful.upgrade_race ~min_schedules:2
+
+let test_reader_validation () =
+  check_passes "reader-validation" Faithful.reader_validation ~min_schedules:2
+
+let test_three_thread () =
+  check_passes ~fuel:8 "three-thread" Faithful.three_thread ~min_schedules:6
+
+let test_end_write_misuse () =
+  check_passes "end-write-misuse" Faithful.end_write_misuse ~min_schedules:1
+
+let test_abort_after_failed_try () =
+  check_passes "abort-after-failed-try" Faithful.abort_after_failed_try
+    ~min_schedules:2
+
+(* The torn-CAS mutant must be caught, with a schedule trace that pins the
+   interleaving: a second thread's step between one thread's cas-read and
+   cas-write. *)
+let test_mutant_detected () =
+  let rep = MC.explore Mutant.upgrade_race in
+  match rep.MC.rep_violation with
+  | None ->
+    Alcotest.fail
+      "torn-CAS mutant not detected: upgrade race passed the checker"
+  | Some cx ->
+    let trace = MC.counterexample_to_string cx in
+    Printf.printf "seeded-bug counterexample, as the checker prints it:\n%s%!"
+      trace;
+    Alcotest.(check bool)
+      "trace mentions the torn CAS" true
+      (String.length trace > 0
+      && List.exists
+           (fun (_, op) ->
+             String.length op >= 8 && String.sub op 0 8 = "torn-cas")
+           cx.MC.cx_trace);
+    (* The torn CAS lets both threads upgrade; the checker may observe
+       that either as the holders invariant firing, or — depending on
+       which interleaving DFS reaches first — as the second end_write
+       blowing up with Protocol_violation because both decrements drove
+       the version past the held state.  Both pin the same seeded bug. *)
+    let names_double_hold =
+      cx.MC.cx_message = "two writers inside the critical section"
+      ||
+      let is_prefix p s =
+        String.length s >= String.length p
+        && String.sub s 0 (String.length p) = p
+      in
+      is_prefix "t0 raised Olock.Protocol_violation" cx.MC.cx_message
+      || is_prefix "t1 raised Olock.Protocol_violation" cx.MC.cx_message
+    in
+    Alcotest.(check bool)
+      "message names the double write-hold or the protocol blow-up" true
+      names_double_hold
+
+(* The faithful instantiation must behave exactly like the production one
+   on a sequential protocol run — same version trajectory. *)
+let test_traced_matches_default () =
+  let module T = Olock.Make (MC.Traced_atomic) in
+  let t = T.create () in
+  let d = Olock.create () in
+  let step name f g =
+    Alcotest.(check bool) name true (f () = g ())
+  in
+  step "try_start_write"
+    (fun () -> T.try_start_write t)
+    (fun () -> Olock.try_start_write d);
+  step "version odd" (fun () -> T.version t) (fun () -> Olock.version d);
+  T.end_write t;
+  Olock.end_write d;
+  step "version after end" (fun () -> T.version t) (fun () -> Olock.version d);
+  let lt = T.start_read t and ld = Olock.start_read d in
+  Alcotest.(check int) "lease" ld lt;
+  step "upgrade"
+    (fun () -> T.try_upgrade_to_write t lt)
+    (fun () -> Olock.try_upgrade_to_write d ld);
+  T.abort_write t;
+  Olock.abort_write d;
+  step "version after abort" (fun () -> T.version t) (fun () -> Olock.version d)
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ( "olock-model",
+        [
+          Alcotest.test_case "mutex try" `Quick test_mutex_try;
+          Alcotest.test_case "mutex blocking" `Quick test_mutex_blocking;
+          Alcotest.test_case "upgrade race" `Quick test_upgrade_race;
+          Alcotest.test_case "reader validation" `Quick test_reader_validation;
+          Alcotest.test_case "three threads" `Quick test_three_thread;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "end_write misuse" `Quick test_end_write_misuse;
+          Alcotest.test_case "abort after failed try" `Quick
+            test_abort_after_failed_try;
+        ] );
+      ( "seeded-bug",
+        [
+          Alcotest.test_case "torn-cas mutant detected" `Quick
+            test_mutant_detected;
+          Alcotest.test_case "traced matches default" `Quick
+            test_traced_matches_default;
+        ] );
+    ]

@@ -13,6 +13,19 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== concurrency-discipline lint (lib/ + bin/) =="
+# Static analysis over the repo's own sources: atomic confinement, lease
+# discipline, no-blocking-under-write-permit, and hygiene (lib/lint).
+# Any finding is a nonzero exit.
+dune build @lint
+
+echo "== olock interleaving checker (exhaustive, deterministic) =="
+# DFS over every schedule of 2-3-thread olock programs (lib/modelcheck):
+# mutual exclusion, reader validation, upgrade atomicity, protocol
+# violations — plus a seeded torn-CAS mutant that must be caught with a
+# printed counterexample schedule.
+dune exec test/test_modelcheck.exe
+
 echo "== chaos stress smoke (fixed seed, deterministic) =="
 # 100 seeded runs cycling optimistic / all-pessimistic / pool-fault /
 # tuple-tree scenarios under active failpoints; every run ends in a full
