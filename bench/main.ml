@@ -38,6 +38,7 @@ type config = {
   full : bool;
   json : string; (* metrics output of the smoke experiment *)
   record : string option; (* --record NAME: append to the perf trajectory *)
+  workload : string; (* smoke subset: "btree" | "datalog" | "all" *)
 }
 
 let scaled cfg n = max 1 (int_of_float (float_of_int n *. cfg.scale))
@@ -793,151 +794,207 @@ let ablation_specialization cfg =
      3. write all of it as metrics JSON and re-parse both files, failing
         loudly on malformed output. *)
 let smoke cfg =
-  pf "\n== smoke: telemetry overhead + metrics export ==\n";
+  pf "\n== smoke: telemetry overhead + metrics export (workload=%s) ==\n"
+    cfg.workload;
   let threads = min 2 cfg.max_threads in
   let read_file f = In_channel.with_open_bin f In_channel.input_all in
+  let run_btree = cfg.workload = "all" || cfg.workload = "btree" in
+  let run_datalog = cfg.workload = "all" || cfg.workload = "datalog" in
   (* 1. overhead: sequential random inserts, telemetry off vs counters on *)
-  let pts = random_points { cfg with scale = min cfg.scale 1.0 } 300_000 41 in
-  let insert_run () =
-    let t = CB.create () in
-    Array.iter (fun p -> ignore (CB.insert t p : bool)) pts
+  let overhead =
+    if not run_btree then None
+    else begin
+      let pts =
+        random_points { cfg with scale = min cfg.scale 1.0 } 300_000 41
+      in
+      let insert_run () =
+        let t = CB.create () in
+        Array.iter (fun p -> ignore (CB.insert t p : bool)) pts
+      in
+      Telemetry.disable ();
+      Gc.full_major ();
+      let d_off = Bench_util.best_of 3 insert_run in
+      Telemetry.enable ();
+      Gc.full_major ();
+      let d_on = Bench_util.best_of 3 insert_run in
+      Telemetry.disable ();
+      let overhead_pct = (d_on -. d_off) /. d_off *. 100.0 in
+      pf "insert %d points: %.3fs off, %.3fs counters-on (%+.1f%%)\n"
+        (Array.length pts) d_off d_on overhead_pct;
+      Some (Array.length pts, d_off, d_on, overhead_pct)
+    end
   in
-  Telemetry.disable ();
-  Gc.full_major ();
-  let d_off = Bench_util.best_of 3 insert_run in
-  Telemetry.enable ();
-  Gc.full_major ();
-  let d_on = Bench_util.best_of 3 insert_run in
-  Telemetry.disable ();
-  let overhead_pct = (d_on -. d_off) /. d_off *. 100.0 in
-  pf "insert %d points: %.3fs off, %.3fs counters-on (%+.1f%%)\n"
-    (Array.length pts) d_off d_on overhead_pct;
   (* 1b. batch write path: delta->full sorted-run merge, per-tuple parallel
      inserts vs the parallel structural merge, on >= 4 domains.  The tree is
      pre-seeded (so it has internal separators to partition by) and then a
      large sorted delta is merged — the insert-heavy shape of semi-naive
      promotion. *)
-  let bdomains = max 4 (min cfg.max_threads 8) in
-  let bpts = random_points { cfg with scale = min cfg.scale 1.0 } 400_000 43 in
-  let btuples = Array.map (fun (x, y) -> [| x; y |]) bpts in
-  let nseed = Array.length btuples / 4 in
-  let seed_tuples = Array.sub btuples 0 nseed in
-  let delta = Array.sub btuples nseed (Array.length btuples - nseed) in
-  let cmp2 a b =
-    let c = compare a.(0) b.(0) in
-    if c <> 0 then c else compare a.(1) b.(1)
-  in
-  Array.sort cmp2 delta;
-  let ndelta = Array.length delta in
-  let prep () =
-    let idx =
-      Storage.Index.create Storage.Btree ~arity:2 ~cols:[||] ~stats:None ()
-    in
-    Array.iter (fun tup -> ignore (Storage.Index.insert idx tup : bool))
-      seed_tuples;
-    idx
-  in
-  let d_single, d_batch, batch_ok =
-    Pool.with_pool bdomains (fun pool ->
-        let single idx =
-          Pool.parallel_for_ranges ~label:"bench_single" pool 0 ndelta
-            (fun _w lo hi ->
-              let cur = Storage.Index.cursor idx in
-              for i = lo to hi - 1 do
-                ignore (Storage.Index.c_insert cur delta.(i) : bool)
-              done)
+  let batch =
+    if not run_btree then None
+    else begin
+      let bdomains = max 4 (min cfg.max_threads 8) in
+      let bpts =
+        random_points { cfg with scale = min cfg.scale 1.0 } 400_000 43
+      in
+      let btuples = Array.map (fun (x, y) -> [| x; y |]) bpts in
+      let nseed = Array.length btuples / 4 in
+      let seed_tuples = Array.sub btuples 0 nseed in
+      let delta = Array.sub btuples nseed (Array.length btuples - nseed) in
+      let cmp2 a b =
+        let c = compare a.(0) b.(0) in
+        if c <> 0 then c else compare a.(1) b.(1)
+      in
+      Array.sort cmp2 delta;
+      let ndelta = Array.length delta in
+      let prep () =
+        let idx =
+          Storage.Index.create Storage.Btree ~arity:2 ~cols:[||] ~stats:None ()
         in
-        let batch idx = ignore (Storage.Index.merge ~pool idx delta : int) in
-        (* correctness gate (doubles as warmup): both paths must build the
-           same set *)
-        let card f =
-          let idx = prep () in
-          f idx;
-          Storage.Index.cardinal idx
-        in
-        let cs = card single and cb = card batch in
-        if cs <> cb then
-          failwith
-            (Printf.sprintf "smoke: batch merge built %d tuples, single %d" cb
-               cs);
-        let best3 f =
-          let best = ref infinity in
-          for _ = 1 to 3 do
-            let idx = prep () in
-            Gc.full_major ();
-            let _, d = Bench_util.time (fun () -> f idx) in
-            if d < !best then best := d
-          done;
-          !best
-        in
-        (best3 single, best3 batch, cs = cb))
+        Array.iter (fun tup -> ignore (Storage.Index.insert idx tup : bool))
+          seed_tuples;
+        idx
+      in
+      let d_single, d_batch, batch_ok =
+        Pool.with_pool bdomains (fun pool ->
+            let single idx =
+              Pool.parallel_for_ranges ~label:"bench_single" pool 0 ndelta
+                (fun _w lo hi ->
+                  let cur = Storage.Index.cursor idx in
+                  for i = lo to hi - 1 do
+                    ignore (Storage.Index.c_insert cur delta.(i) : bool)
+                  done)
+            in
+            let batch idx = ignore (Storage.Index.merge ~pool idx delta : int) in
+            (* correctness gate (doubles as warmup): both paths must build the
+               same set *)
+            let card f =
+              let idx = prep () in
+              f idx;
+              Storage.Index.cardinal idx
+            in
+            let cs = card single and cb = card batch in
+            if cs <> cb then
+              failwith
+                (Printf.sprintf "smoke: batch merge built %d tuples, single %d"
+                   cb cs);
+            let best3 f =
+              let best = ref infinity in
+              for _ = 1 to 3 do
+                let idx = prep () in
+                Gc.full_major ();
+                let _, d = Bench_util.time (fun () -> f idx) in
+                if d < !best then best := d
+              done;
+              !best
+            in
+            (best3 single, best3 batch, cs = cb))
+      in
+      ignore (batch_ok : bool);
+      let batch_speedup = d_single /. d_batch in
+      pf
+        "sorted-run merge of %d tuples on %d domains: %.3fs per-tuple, %.3fs \
+         batch (%.2fx)\n"
+        ndelta bdomains d_single d_batch batch_speedup;
+      Some (bdomains, nseed, ndelta, d_single, d_batch, batch_speedup)
+    end
   in
-  ignore (batch_ok : bool);
-  let batch_speedup = d_single /. d_batch in
-  pf
-    "sorted-run merge of %d tuples on %d domains: %.3fs per-tuple, %.3fs \
-     batch (%.2fx)\n"
-    ndelta bdomains d_single d_batch batch_speedup;
-  (* 2. traced Datalog run *)
-  Telemetry.reset ();
-  Telemetry.enable ~tracing:true ();
-  let workload = pointsto_workload { cfg with scale = min cfg.scale 0.2 } in
-  let engine, dt = run_engine ~kind:Storage.Btree ~threads workload in
-  let snap = Telemetry.snapshot () in
-  let trace_file = Filename.temp_file "smoke" ".trace.json" in
-  Telemetry.export_trace ~process_name:"bench smoke" trace_file;
-  Telemetry.disable ();
-  let trace = Telemetry.Json.of_string (read_file trace_file) in
-  let events =
-    match Telemetry.Json.member "traceEvents" trace with
-    | Some (Telemetry.Json.List l) -> List.length l
-    | _ -> failwith "smoke: trace JSON has no traceEvents list"
+  (* 2. traced Datalog run, with the flight recorder on: its events ride
+     into the Chrome trace via the registered provider, and the drained
+     rings aggregate into the contention heatmap of the metrics JSON. *)
+  let eval =
+    if not run_datalog then None
+    else begin
+      Telemetry.reset ();
+      Telemetry.enable ~tracing:true ();
+      Flight.enable ();
+      let workload = pointsto_workload { cfg with scale = min cfg.scale 0.2 } in
+      let engine, dt = run_engine ~kind:Storage.Btree ~threads workload in
+      let heat = Tree_shape.heat_of_events (Flight.events ()) in
+      let trace_file = Filename.temp_file "smoke" ".trace.json" in
+      Telemetry.export_trace ~process_name:"bench smoke" trace_file;
+      Flight.disable ();
+      Telemetry.disable ();
+      let trace = Telemetry.Json.of_string (read_file trace_file) in
+      let events =
+        match Telemetry.Json.member "traceEvents" trace with
+        | Some (Telemetry.Json.List l) -> List.length l
+        | _ -> failwith "smoke: trace JSON has no traceEvents list"
+      in
+      if events = 0 then failwith "smoke: trace contains no events";
+      pf "traced pointsto run: %.3fs on %d threads, %d iterations, %d trace \
+          events (%s)\n"
+        dt threads (Engine.iterations engine) events trace_file;
+      Some (engine, dt, trace_file, events, heat)
+    end
   in
-  if events = 0 then failwith "smoke: trace contains no events";
-  pf "traced pointsto run: %.3fs on %d threads, %d iterations, %d trace \
-      events (%s)\n"
-    dt threads (Engine.iterations engine) events trace_file;
-  (* 3. metrics JSON + parse-back *)
+  (* 3. metrics JSON + parse-back.  Counters/histograms snapshot whatever
+     the selected workload ran: the datalog phase resets telemetry first,
+     the btree-only path keeps its counters-on insert run. *)
   let open Telemetry.Json in
+  let snap = Telemetry.snapshot () in
   let metrics =
     Obj
-      [
-        ("schema_version", Int 2);
-        ( "config",
-          Obj
-            [
-              ("threads", Int threads);
-              ("scale", Float cfg.scale);
-              ("insert_points", Int (Array.length pts));
-            ] );
-        ( "overhead",
-          Obj
-            [
-              ("insert_off_s", Float d_off);
-              ("insert_counters_s", Float d_on);
-              ("overhead_pct", Float overhead_pct);
-            ] );
-        ( "batch",
-          Obj
-            [
-              ("domains", Int bdomains);
-              ("seed_tuples", Int nseed);
-              ("delta_tuples", Int ndelta);
-              ("single_insert_s", Float d_single);
-              ("batch_merge_s", Float d_batch);
-              ("batch_speedup", Float batch_speedup);
-            ] );
-        ("eval", Obj [ ("seconds", Float dt);
-                       ("iterations", Int (Engine.iterations engine)) ]);
-        ("counters", Telemetry.counters_json snap);
-        ("histograms", Telemetry.histograms_json snap);
-        ( "tree_shape",
-          Obj
-            (List.map
-               (fun (rel, sh) -> (rel, Tree_shape.to_json sh))
-               (Engine.tree_shapes engine)) );
-        ("trace", Obj [ ("file", String trace_file); ("events", Int events) ]);
-      ]
+      ([
+         ("schema_version", Int 2);
+         ( "config",
+           Obj
+             [
+               ("threads", Int threads);
+               ("scale", Float cfg.scale);
+               ("workload", String cfg.workload);
+             ] );
+       ]
+      @ (match overhead with
+        | None -> []
+        | Some (npts, d_off, d_on, overhead_pct) ->
+          [
+            ( "overhead",
+              Obj
+                [
+                  ("insert_points", Int npts);
+                  ("insert_off_s", Float d_off);
+                  ("insert_counters_s", Float d_on);
+                  ("overhead_pct", Float overhead_pct);
+                ] );
+          ])
+      @ (match batch with
+        | None -> []
+        | Some (bdomains, nseed, ndelta, d_single, d_batch, batch_speedup) ->
+          [
+            ( "batch",
+              Obj
+                [
+                  ("domains", Int bdomains);
+                  ("seed_tuples", Int nseed);
+                  ("delta_tuples", Int ndelta);
+                  ("single_insert_s", Float d_single);
+                  ("batch_merge_s", Float d_batch);
+                  ("batch_speedup", Float batch_speedup);
+                ] );
+          ])
+      @ (match eval with
+        | None -> []
+        | Some (engine, dt, trace_file, events, heat) ->
+          [
+            ( "eval",
+              Obj
+                [
+                  ("seconds", Float dt);
+                  ("iterations", Int (Engine.iterations engine));
+                ] );
+            ( "tree_shape",
+              Obj
+                (List.map
+                   (fun (rel, sh) -> (rel, Tree_shape.to_json sh))
+                   (Engine.tree_shapes engine)) );
+            ("contention", Tree_shape.heat_to_json heat);
+            ( "trace",
+              Obj [ ("file", String trace_file); ("events", Int events) ] );
+          ])
+      @ [
+          ("counters", Telemetry.counters_json snap);
+          ("histograms", Telemetry.histograms_json snap);
+        ])
   in
   Out_channel.with_open_bin cfg.json (fun oc ->
       output oc metrics;
@@ -974,28 +1031,48 @@ let smoke cfg =
     let p99 m = Telemetry.hist_quantile (Telemetry.hist_of snap m) 0.99 in
     let entry =
       Obj
-        [
-          ("schema_version", Int 2);
-          ("name", String name);
-          ("recorded_at", Float now);
-          ("eval_seconds", Float dt);
-          ("iterations", Int (Engine.iterations engine));
-          ("insert_off_s", Float d_off);
-          ("insert_counters_s", Float d_on);
-          ("overhead_pct", Float overhead_pct);
-          ("batch_single_s", Float d_single);
-          ("batch_merge_s", Float d_batch);
-          ("batch_speedup", Float batch_speedup);
-          ("eval_iteration_p99_ns", Int (p99 Telemetry.Hist.Eval_iteration_ns));
-          ("btree_insert_p99_ns", Int (p99 Telemetry.Hist.Btree_insert_ns));
-          (* fallback gate: non-chaos runs must report 0 here (checked by
-             tools/regress.sh); the chaos flag exempts deliberate-fault runs *)
-          ( "pessimistic_fallbacks",
-            Int
-              (Telemetry.get snap
-                 Telemetry.Counter.Btree_pessimistic_fallbacks) );
-          ("chaos", Bool (Chaos.active ()));
-        ]
+        ([
+           ("schema_version", Int 2);
+           ("name", String name);
+           ("recorded_at", Float now);
+           ("workload", String cfg.workload);
+         ]
+        @ (match eval with
+          | None -> []
+          | Some (engine, dt, _, _, _) ->
+            [
+              ("eval_seconds", Float dt);
+              ("iterations", Int (Engine.iterations engine));
+              ( "eval_iteration_p99_ns",
+                Int (p99 Telemetry.Hist.Eval_iteration_ns) );
+            ])
+        @ (match overhead with
+          | None -> []
+          | Some (_, d_off, d_on, overhead_pct) ->
+            [
+              ("insert_off_s", Float d_off);
+              ("insert_counters_s", Float d_on);
+              ("overhead_pct", Float overhead_pct);
+            ])
+        @ (match batch with
+          | None -> []
+          | Some (_, _, _, d_single, d_batch, batch_speedup) ->
+            [
+              ("batch_single_s", Float d_single);
+              ("batch_merge_s", Float d_batch);
+              ("batch_speedup", Float batch_speedup);
+            ])
+        @ [
+            ("btree_insert_p99_ns", Int (p99 Telemetry.Hist.Btree_insert_ns));
+            (* fallback gate: non-chaos runs must report 0 here (checked by
+               tools/regress.sh); the chaos flag exempts deliberate-fault
+               runs *)
+            ( "pessimistic_fallbacks",
+              Int
+                (Telemetry.get snap
+                   Telemetry.Counter.Btree_pessimistic_fallbacks) );
+            ("chaos", Bool (Chaos.active ()));
+          ])
     in
     let hist_file = "BENCH_history.jsonl" in
     let oc = open_out_gen [ Open_append; Open_creat ] 0o644 hist_file in
@@ -1154,7 +1231,14 @@ let run_experiment cfg = function
       (String.concat ", " ("all" :: known_experiments));
     exit 2
 
-let main experiments scale threads full smoke_only json record chaos_spec =
+let main experiments scale threads full smoke_only json record chaos_spec
+    workload =
+  (match workload with
+  | "all" | "btree" | "datalog" -> ()
+  | w ->
+    Printf.eprintf "--smoke-workload: unknown workload %S (btree|datalog|all)\n"
+      w;
+    exit 2);
   (match chaos_spec with
   | None -> ()
   | Some spec -> (
@@ -1163,12 +1247,17 @@ let main experiments scale threads full smoke_only json record chaos_spec =
     | Error m ->
       Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
       exit 2));
+  (* Chaos firings become recorder events whenever the recorder is on
+     (the smoke datalog phase switches it on itself). *)
+  Chaos.set_fire_hook
+    (Some
+       (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0));
   let max_threads =
     match threads with
     | Some t -> max 1 t
     | None -> max 1 (Domain.recommended_domain_count ())
   in
-  let cfg = { scale; max_threads; full; json; record } in
+  let cfg = { scale; max_threads; full; json; record; workload } in
   let experiments =
     (* --record implies the smoke experiment (it is what gets recorded) *)
     if smoke_only || record <> None then [ "smoke" ]
@@ -1188,7 +1277,18 @@ let main experiments scale threads full smoke_only json record chaos_spec =
         parallel speedups cannot materialise in this container (see \
         EXPERIMENTS.md).\n";
   let t0 = Bench_util.wall () in
-  List.iter (run_experiment cfg) experiments;
+  (* Post-mortem: if a run dies while the flight recorder is live, drain
+     the rings into a crash dump before propagating. *)
+  (try List.iter (run_experiment cfg) experiments
+   with e when Flight.enabled () ->
+     let path =
+       Flight.write_crashdump ~reason:(Printexc.to_string e)
+         ~seed:(Chaos.seed ())
+         ~extra:[ ("binary", Telemetry.Json.String "bench") ]
+         ()
+     in
+     Printf.eprintf "flight recorder: wrote %s (inspect with flightrec)\n" path;
+     raise e);
   if Chaos.active () then pf "%s\n" (Format.asprintf "%a" Chaos.pp_fired ());
   pf "\ntotal bench time: %.1fs\n" (Bench_util.wall () -. t0)
 
@@ -1247,12 +1347,21 @@ let chaos_arg =
               are tagged chaos=true so tools/regress.sh skips the \
               zero-fallback gate for them.")
 
+let workload_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "smoke-workload" ] ~docv:"W"
+        ~doc:"Smoke workload subset: $(b,btree) (insert overhead + batch \
+              merge), $(b,datalog) (traced evaluation with the flight \
+              recorder on), or $(b,all).  Recorded baselines \
+              (BENCH_btree.json, BENCH_datalog.json) are per-workload.")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ experiments_arg $ scale_arg $ threads_arg $ full_arg
-      $ smoke_arg $ json_arg $ record_arg $ chaos_arg)
+      $ smoke_arg $ json_arg $ record_arg $ chaos_arg $ workload_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -12,16 +12,26 @@ let write_prometheus engine snap path =
   List.iter
     (fun (rel, sh) ->
       let labels = [ ("relation", rel) ] in
-      let g name v = Telemetry.Prom.gauge prom ~labels name v in
-      g "repro_btree_shape_height" (float_of_int sh.Tree_shape.height);
-      g "repro_btree_shape_nodes" (float_of_int sh.Tree_shape.nodes);
-      g "repro_btree_shape_leaves" (float_of_int sh.Tree_shape.leaves);
-      g "repro_btree_shape_elements" (float_of_int sh.Tree_shape.elements);
-      g "repro_btree_shape_fill" sh.Tree_shape.fill;
+      let g ~help name v = Telemetry.Prom.gauge prom ~help ~labels name v in
+      g ~help:"B-tree height of a relation's primary index."
+        "repro_btree_shape_height"
+        (float_of_int sh.Tree_shape.height);
+      g ~help:"B-tree node count of a relation's primary index."
+        "repro_btree_shape_nodes"
+        (float_of_int sh.Tree_shape.nodes);
+      g ~help:"B-tree leaf count of a relation's primary index."
+        "repro_btree_shape_leaves"
+        (float_of_int sh.Tree_shape.leaves);
+      g ~help:"Elements stored in a relation's primary index."
+        "repro_btree_shape_elements"
+        (float_of_int sh.Tree_shape.elements);
+      g ~help:"Average node fill factor of a relation's primary index."
+        "repro_btree_shape_fill" sh.Tree_shape.fill;
       Array.iteri
         (fun d n ->
           if n > 0 then
             Telemetry.Prom.gauge prom
+              ~help:"Nodes per 10%-of-capacity fill band."
               ~labels:(("decile", string_of_int d) :: labels)
               "repro_btree_shape_fill_nodes" (float_of_int n))
         sh.Tree_shape.fill_deciles)
@@ -32,16 +42,50 @@ let write_prometheus engine snap path =
       (fun b n ->
         if n > 0 then
           Telemetry.Prom.gauge prom
+            ~help:"Hint hit-run lengths (log2 buckets)."
             ~labels:[ ("bucket", string_of_int b) ]
             "repro_btree_hint_runs" (float_of_int n))
       runs
   | None -> ());
+  (* Contention heatmap from the flight recorder, when it ran. *)
+  (if Flight.enabled () then
+     let heat = Tree_shape.heat_of_events (Flight.events ()) in
+     List.iter
+       (fun ((level, bucket), counts) ->
+         Array.iteri
+           (fun cls n ->
+             if n > 0 then
+               Telemetry.Prom.counter prom
+                 ~help:
+                   "Flight-recorder contention events by tree level and \
+                    root-child key bucket (level/bucket -1 = hinted leaf)."
+                 ~labels:
+                   [
+                     ("class", Tree_shape.heat_classes.(cls));
+                     ("level", string_of_int level);
+                     ("bucket", string_of_int bucket);
+                   ]
+                 "repro_contention_events_total" (float_of_int n))
+           counts)
+       heat.Tree_shape.heat_cells;
+     Telemetry.Prom.counter prom
+       ~help:"Flight-recorder root restarts (untagged)."
+       "repro_contention_restarts_total"
+       (float_of_int heat.Tree_shape.heat_restarts);
+     Telemetry.Prom.counter prom
+       ~help:"Flight-recorder pessimistic fallbacks (untagged)."
+       "repro_contention_fallbacks_total"
+       (float_of_int heat.Tree_shape.heat_fallbacks);
+     Telemetry.Prom.counter prom
+       ~help:"Summed contended write-lock wait observed by the recorder."
+       "repro_contention_lock_wait_seconds_total"
+       (float_of_int heat.Tree_shape.heat_lock_wait_ns /. 1e9));
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Telemetry.Prom.to_string prom))
 
-let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec lenient =
+let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec flight lenient =
   (match chaos_spec with
   | None -> ()
   | Some spec -> (
@@ -50,6 +94,12 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
     | Error m ->
       Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
       exit 2));
+  if flight then begin
+    Flight.enable ();
+    Chaos.set_fire_hook
+      (Some
+         (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0))
+  end;
   match Storage.kind_of_name storage with
   | None ->
     Printf.eprintf "unknown storage kind %S (try: btree, btree-nohints, \
@@ -87,7 +137,25 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
             exit 1)
         | None -> ());
         let t0 = Bench_util.wall () in
-        Pool.with_pool threads (fun pool -> Engine.run engine pool);
+        (* Post-mortem evidence: a pool failure, watchdog-flagged job or any
+           uncaught exception drains the flight rings into a crash dump
+           before the error propagates. *)
+        (try Pool.with_pool threads (fun pool -> Engine.run engine pool)
+         with e when Flight.enabled () ->
+           let path =
+             Flight.write_crashdump
+               ~reason:(Printexc.to_string e)
+               ~seed:(Chaos.seed ())
+               ~extra:
+                 [
+                   ("program", Telemetry.Json.String file);
+                   ("chaos", Telemetry.Json.Bool (Chaos.active ()));
+                 ]
+               ()
+           in
+           Printf.eprintf "flight recorder: wrote %s (inspect with flightrec)\n"
+             path;
+           raise e);
         let elapsed = Bench_util.wall () -. t0 in
         let telemetry_snap =
           if Telemetry.enabled () then Some (Telemetry.snapshot ()) else None
@@ -157,13 +225,17 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
               (fun (rel, sh) ->
                 Format.printf "  %-14s %a@." rel Tree_shape.pp sh)
               shapes);
-          match Engine.hint_run_hist engine with
+          (match Engine.hint_run_hist engine with
           | Some runs when Array.exists (fun n -> n > 0) runs ->
             Format.printf
               "hint locality (hit-run lengths, log2 buckets): [%s]@."
               (String.concat " "
                  (Array.to_list (Array.map string_of_int runs)))
-          | _ -> ()
+          | _ -> ());
+          if Flight.enabled () then
+            Format.printf "contention heatmap (flight recorder):@.%a@."
+              Tree_shape.pp_heat
+              (Tree_shape.heat_of_events (Flight.events ()))
         end;
         if Chaos.active () then
           Format.printf "%a@." Chaos.pp_fired ();
@@ -228,6 +300,13 @@ let chaos_arg =
                1-in-rate firing; 'all' arms every point).  Fired counts are \
                printed after the run.")
 
+let flight_arg =
+  Arg.(value & flag & info [ "flight" ]
+         ~doc:"Enable the flight recorder: per-domain event rings feeding \
+               the contention heatmap (--stats, --metrics), Chrome traces \
+               (--trace), and a crashdump-<seed>.json written on failure \
+               (inspect with $(b,flightrec)).")
+
 let lenient_arg =
   Arg.(value & flag & info [ "lenient" ]
          ~doc:"Skip (and count, see io.malformed_lines in --stats/--metrics) \
@@ -240,6 +319,6 @@ let cmd =
     Term.(
       const run_program $ file_arg $ storage_arg $ threads_arg $ print_arg
       $ stats_arg $ profile_arg $ facts_arg $ output_arg $ trace_arg
-      $ metrics_arg $ chaos_arg $ lenient_arg)
+      $ metrics_arg $ chaos_arg $ flight_arg $ lenient_arg)
 
 let () = exit (Cmd.eval cmd)

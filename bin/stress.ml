@@ -203,9 +203,68 @@ let one_run ~domains ~nkeys ~points_override ~seed r =
   end;
   (!audit_keys, !failures)
 
-let main base_seed domains runs nkeys points_override replay =
+(* --crash-demo: exercise the post-mortem path end to end.  Phase one
+   runs a contended insert under forced validation failures so the rings
+   hold real contention events; phase two arms [pool.job.raise:1] (every
+   probe fires) and lets the resulting [Pool_failure] escape instead of
+   containing it like the pool scenario does.  The handler drains every
+   domain's ring into crashdump-<seed>.json and exits non-zero —
+   tools/stress.sh --crashdump-selftest asserts the dump exists and that
+   flightrec can parse it. *)
+let crash_demo ~domains ~nkeys seed =
+  let arm points =
+    match
+      Chaos.apply_spec (Printf.sprintf "seed=%d,points=%s" seed points)
+    with
+    | Ok () -> ()
+    | Error m ->
+      Printf.eprintf "bad failpoint spec: %s\n" m;
+      exit 2
+  in
+  let st = ref (mix seed 0xC4A5) in
+  let key_range = max 64 (nkeys / 2) in
+  let keys = Array.init nkeys (fun _ -> rng_next st mod key_range) in
+  let tree = T.create ~capacity:8 () in
+  let insert_slices pool =
+    Pool.run pool (fun w ->
+        let lo, hi = slice ~workers:domains ~n:nkeys w in
+        let s = T.session tree in
+        for i = lo to hi - 1 do
+          ignore (T.s_insert s keys.(i) : bool)
+        done)
+  in
+  match
+    Pool.with_pool domains (fun pool ->
+        arm "olock.validate.force_fail:8+btree.descent.yield:6";
+        insert_slices pool;
+        arm "pool.job.raise:1";
+        insert_slices pool)
+  with
+  | () ->
+    Chaos.disable ();
+    Printf.eprintf "crash demo: pool.job.raise:1 did not fire\n";
+    exit 2
+  | exception e ->
+    Chaos.disable ();
+    let path =
+      Flight.write_crashdump ~reason:(Printexc.to_string e) ~seed
+        ~extra:[ ("scenario", Telemetry.Json.String "crash-demo") ]
+        ()
+    in
+    Printf.printf "crash demo: induced %s\n" (Printexc.to_string e);
+    Printf.printf "flight recorder: wrote %s (inspect with flightrec)\n" path;
+    exit 1
+
+let main base_seed domains runs nkeys points_override replay crash =
   let domains = max 1 domains in
   Telemetry.enable ();
+  (* The recorder is always on under stress: the harness exists to shake
+     out rare interleavings, and a failing run is worth a ring drain. *)
+  Flight.enable ();
+  Chaos.set_fire_hook
+    (Some
+       (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0));
+  if crash then crash_demo ~domains ~nkeys base_seed;
   let todo =
     match replay with
     | Some r when r >= 1 -> [ r - 1 ]
@@ -233,6 +292,17 @@ let main base_seed domains runs nkeys points_override replay =
         incr failures_total;
         Printf.printf "run %3d/%d scen=%-4s seed=0x%08x FAILED: %s\n" (r + 1)
           runs (scenario_name (r mod 4)) seed (Printexc.to_string e);
+        let dump =
+          Flight.write_crashdump ~reason:(Printexc.to_string e) ~seed
+            ~extra:
+              [
+                ("scenario", Telemetry.Json.String (scenario_name (r mod 4)));
+                ("run", Telemetry.Json.Int (r + 1));
+              ]
+            ()
+        in
+        Printf.printf "flight recorder: wrote %s (inspect with flightrec)\n"
+          dump;
         Printf.printf "replay: dune exec bin/stress.exe -- --seed %d \
                        --domains %d --keys %d --replay %d\n"
           base_seed domains nkeys (r + 1))
@@ -277,11 +347,16 @@ let replay_arg =
   Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"RUN"
          ~doc:"Replay a single 1-based run index (same derived seed).")
 
+let crash_arg =
+  Arg.(value & flag & info [ "crash-demo" ]
+         ~doc:"Induce an uncontained $(b,Pool_failure) (pool.job.raise:1), \
+               write a flight-recorder crash dump, and exit non-zero.")
+
 let cmd =
   let doc = "stress the tree, locks and pool under deterministic fault injection" in
   Cmd.v (Cmd.info "stress" ~doc)
     Term.(
       const main $ seed_arg $ domains_arg $ runs_arg $ keys_arg $ points_arg
-      $ replay_arg)
+      $ replay_arg $ crash_arg)
 
 let () = exit (Cmd.eval cmd)

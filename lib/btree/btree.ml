@@ -497,8 +497,10 @@ module Make (K : Key.ORDERED) = struct
         acquire_root ()
       end
     in
-    (* invariant: [cur] write-locked, no other lock held *)
-    let rec go cur =
+    (* invariant: [cur] write-locked, no other lock held.  [level]/[bucket]
+       are flight-recorder node identity: depth from the root and the
+       root-child index the descent took (-1 above the first branch). *)
+    let rec go cur level bucket =
       let n = cur.nkeys in
       let idx, found = search t cur.keys n key in
       if found then begin
@@ -507,14 +509,20 @@ module Make (K : Key.ORDERED) = struct
       end
       else if not (is_leaf cur) then begin
         let next = cur.children.(idx) in
+        let bucket' = if level = 0 then idx else bucket in
         let v = Olock.version next.lock in
         Olock.abort_write cur.lock;
-        if v land 1 = 0 && Olock.try_upgrade_to_write next.lock v then go next
-        else insert_pessimistic t key
+        if v land 1 = 0 && Olock.try_upgrade_to_write next.lock v then
+          go next (level + 1) bucket'
+        else begin
+          Flight.record Flight.Ev.Upgrade_fail (level + 1) bucket' 0;
+          insert_pessimistic t key
+        end
       end
       else if cur.nkeys >= t.capacity then begin
         (* bottom-up split: only the leaf permit is held, same discipline as
            the optimistic path *)
+        Flight.record Flight.Ev.Split level bucket 0;
         split t cur;
         Olock.end_write cur.lock;
         insert_pessimistic t key
@@ -525,10 +533,11 @@ module Make (K : Key.ORDERED) = struct
         (true, cur)
       end
     in
-    go (acquire_root ())
+    go (acquire_root ()) 0 (-1)
 
   let fallback t key =
     Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+    Flight.record Flight.Ev.Fallback !restart_budget_v 0 0;
     let t0 = Telemetry.hist_time () in
     let r = insert_pessimistic t key in
     Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
@@ -548,16 +557,22 @@ module Make (K : Key.ORDERED) = struct
       let cur = t.root in
       let cur_lease = Olock.start_read cur.lock in
       if Olock.end_read t.root_lock root_lease then
-        descend t key cur cur_lease attempts
+        descend t key cur cur_lease 0 (-1) attempts
       else restart t key attempts
     end
 
   and restart t key attempts =
     (* optimistic descent observed a concurrent write: back to the root *)
     Telemetry.bump Telemetry.Counter.Btree_restarts;
+    Flight.record Flight.Ev.Restart (attempts + 1) 0 0;
     insert_slow t key (attempts + 1)
 
-  and descend t key cur cur_lease attempts =
+  (* [level] is the depth of [cur] (0 = root); [bucket] is the root-child
+     index this descent took — a genuine key-range bucket, since the root
+     separators partition the key space — or -1 above the first branch.
+     Both tag the flight-recorder contention events, so post-mortem
+     heatmaps can name the level and key region where leases died. *)
+  and descend t key cur cur_lease level bucket attempts =
     (* chaos: stretch the read phase so concurrent writers invalidate the
        lease — drives the restart counter and, past the budget, the
        pessimistic fallback *)
@@ -567,20 +582,33 @@ module Make (K : Key.ORDERED) = struct
     if found then begin
       (* value already present — if the observation was consistent *)
       if Olock.valid cur.lock cur_lease then (false, sentinel)
-      else restart t key attempts
+      else begin
+        Flight.record Flight.Ev.Validation_fail level bucket 0;
+        restart t key attempts
+      end
     end
     else if not (is_leaf cur) then begin
       let next = cur.children.(idx) in
-      if not (Olock.valid cur.lock cur_lease) then restart t key attempts
+      let bucket' = if level = 0 then idx else bucket in
+      if not (Olock.valid cur.lock cur_lease) then begin
+        Flight.record Flight.Ev.Validation_fail level bucket 0;
+        restart t key attempts
+      end
       else begin
         let next_lease = Olock.start_read next.lock in
-        if not (Olock.valid cur.lock cur_lease) then restart t key attempts
-        else descend t key next next_lease attempts
+        if not (Olock.valid cur.lock cur_lease) then begin
+          Flight.record Flight.Ev.Validation_fail level bucket 0;
+          restart t key attempts
+        end
+        else descend t key next next_lease (level + 1) bucket' attempts
       end
     end
-    else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+    else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then begin
+      Flight.record Flight.Ev.Upgrade_fail level bucket 0;
       restart t key attempts
+    end
     else if cur.nkeys >= t.capacity then begin
+      Flight.record Flight.Ev.Split level bucket 0;
       split t cur;
       Olock.end_write cur.lock;
       (* a split is progress, not a failed validation: re-descend on the
@@ -600,6 +628,8 @@ module Make (K : Key.ORDERED) = struct
   (* One attempt to insert directly at the hinted leaf. *)
   type hint_attempt = Done of bool | Fallback
 
+  (* Hinted attempts have no descent, so their flight events carry the
+     -1/-1 "hinted leaf" node identity. *)
   let try_insert_at t leaf key =
     let lease = Olock.start_read leaf.lock in
     let n = clamped_nkeys leaf in
@@ -607,11 +637,19 @@ module Make (K : Key.ORDERED) = struct
     else begin
       let idx, found = search t leaf.keys n key in
       if found then
-        if Olock.valid leaf.lock lease then Done false else Fallback
-      else if not (Olock.try_upgrade_to_write leaf.lock lease) then Fallback
+        if Olock.valid leaf.lock lease then Done false
+        else begin
+          Flight.record Flight.Ev.Validation_fail (-1) (-1) 0;
+          Fallback
+        end
+      else if not (Olock.try_upgrade_to_write leaf.lock lease) then begin
+        Flight.record Flight.Ev.Upgrade_fail (-1) (-1) 0;
+        Fallback
+      end
       else if leaf.nkeys >= t.capacity then begin
         (* Bottom-up split locking starts from the hinted leaf — the very
            compatibility property of section 3.2. *)
+        Flight.record Flight.Ev.Split (-1) (-1) 0;
         split t leaf;
         Olock.end_write leaf.lock;
         Fallback
@@ -685,7 +723,7 @@ module Make (K : Key.ORDERED) = struct
         acquire_root ()
       end
     in
-    let rec go cur hi =
+    let rec go cur hi level bucket =
       let n = cur.nkeys in
       let idx, found = search t cur.keys n key in
       if not (is_leaf cur) then
@@ -696,18 +734,23 @@ module Make (K : Key.ORDERED) = struct
         else begin
           let next = cur.children.(idx) in
           let hi = if idx < n then Some cur.keys.(idx) else hi in
+          let bucket' = if level = 0 then idx else bucket in
           let v = Olock.version next.lock in
           Olock.abort_write cur.lock;
           if v land 1 = 0 && Olock.try_upgrade_to_write next.lock v then
-            go next hi
-          else batch_pessimistic t key
+            go next hi (level + 1) bucket'
+          else begin
+            Flight.record Flight.Ev.Upgrade_fail (level + 1) bucket' 0;
+            batch_pessimistic t key
+          end
         end
       else Bt_leaf (cur, hi)
     in
-    go (acquire_root ()) None
+    go (acquire_root ()) None 0 (-1)
 
   let batch_fallback t key =
     Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+    Flight.record Flight.Ev.Fallback !restart_budget_v 0 0;
     let t0 = Telemetry.hist_time () in
     let r = batch_pessimistic t key in
     Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
@@ -724,35 +767,48 @@ module Make (K : Key.ORDERED) = struct
       let cur = t.root in
       let cur_lease = Olock.start_read cur.lock in
       if Olock.end_read t.root_lock root_lease then
-        batch_descend t key cur cur_lease None attempts
+        batch_descend t key cur cur_lease None 0 (-1) attempts
       else batch_restart t key attempts
     end
 
   and batch_restart t key attempts =
     Telemetry.bump Telemetry.Counter.Btree_restarts;
+    Flight.record Flight.Ev.Restart (attempts + 1) 0 0;
     batch_locate t key (attempts + 1)
 
-  and batch_descend t key cur cur_lease hi attempts =
+  (* [level]/[bucket] as in [descend]: flight-recorder node identity. *)
+  and batch_descend t key cur cur_lease hi level bucket attempts =
     Chaos.yield_if Chaos.Point.Btree_descent_yield;
     let n = clamped_nkeys cur in
     let idx, found = search t cur.keys n key in
     if not (is_leaf cur) then
       if found then
         if Olock.valid cur.lock cur_lease then Bt_dup
-        else batch_restart t key attempts
+        else begin
+          Flight.record Flight.Ev.Validation_fail level bucket 0;
+          batch_restart t key attempts
+        end
       else begin
         let next = cur.children.(idx) in
         let hi = if idx < n then Some cur.keys.(idx) else hi in
-        if not (Olock.valid cur.lock cur_lease) then batch_restart t key attempts
+        let bucket' = if level = 0 then idx else bucket in
+        if not (Olock.valid cur.lock cur_lease) then begin
+          Flight.record Flight.Ev.Validation_fail level bucket 0;
+          batch_restart t key attempts
+        end
         else begin
           let next_lease = Olock.start_read next.lock in
-          if not (Olock.valid cur.lock cur_lease) then
+          if not (Olock.valid cur.lock cur_lease) then begin
+            Flight.record Flight.Ev.Validation_fail level bucket 0;
             batch_restart t key attempts
-          else batch_descend t key next next_lease hi attempts
+          end
+          else batch_descend t key next next_lease hi (level + 1) bucket' attempts
         end
       end
-    else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+    else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then begin
+      Flight.record Flight.Ev.Upgrade_fail level bucket 0;
       batch_restart t key attempts
+    end
     else Bt_leaf (cur, hi)
 
   let batch_locate t key = batch_locate t key 0
@@ -777,6 +833,7 @@ module Make (K : Key.ORDERED) = struct
         let idx, found = search t leaf.keys nk key in
         if found then incr i
         else if nk >= t.capacity then begin
+          Flight.record Flight.Ev.Split (-1) (-1) 0;
           let median = split_returning t leaf in
           if K.compare key median < 0 then limit := Some median
           else stop := true (* the rest of the run re-descends *)

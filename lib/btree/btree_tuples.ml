@@ -397,6 +397,7 @@ let rec insert_pessimistic t key =
 
 let fallback t key =
   Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+  Flight.record Flight.Ev.Fallback !restart_budget_v 0 0;
   let t0 = Telemetry.hist_time () in
   let r = insert_pessimistic t key in
   Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
@@ -409,34 +410,51 @@ let rec insert_slow t key attempts =
     let cur = t.root in
     let cur_lease = Olock.start_read cur.lock in
     if Olock.end_read t.root_lock root_lease then
-      descend t key cur cur_lease attempts
+      descend t key cur cur_lease 0 (-1) attempts
     else restart t key attempts
   end
 
 and restart t key attempts =
   (* optimistic descent observed a concurrent write: back to the root *)
   Telemetry.bump Telemetry.Counter.Btree_restarts;
+  Flight.record Flight.Ev.Restart (attempts + 1) 0 0;
   insert_slow t key (attempts + 1)
 
-and descend t key cur cur_lease attempts =
+(* [level] is depth from the root, [bucket] the root-child index this
+   descent took (-1 at the root): the node identity stamped onto flight
+   events, mirroring [Btree.Make.descend]. *)
+and descend t key cur cur_lease level bucket attempts =
   Chaos.yield_if Chaos.Point.Btree_descent_yield;
   let n = clamped_nkeys cur in
   let idx, found = search t cur.keys n key in
   if found then
     if Olock.valid cur.lock cur_lease then (false, sentinel)
-    else restart t key attempts
+    else begin
+      Flight.record Flight.Ev.Validation_fail level bucket 0;
+      restart t key attempts
+    end
   else if not (is_leaf cur) then begin
     let next = cur.children.(idx) in
-    if not (Olock.valid cur.lock cur_lease) then restart t key attempts
+    let bucket' = if level = 0 then idx else bucket in
+    if not (Olock.valid cur.lock cur_lease) then begin
+      Flight.record Flight.Ev.Validation_fail level bucket 0;
+      restart t key attempts
+    end
     else begin
       let next_lease = Olock.start_read next.lock in
-      if not (Olock.valid cur.lock cur_lease) then restart t key attempts
-      else descend t key next next_lease attempts
+      if not (Olock.valid cur.lock cur_lease) then begin
+        Flight.record Flight.Ev.Validation_fail level bucket 0;
+        restart t key attempts
+      end
+      else descend t key next next_lease (level + 1) bucket' attempts
     end
   end
-  else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+  else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then begin
+    Flight.record Flight.Ev.Upgrade_fail level bucket 0;
     restart t key attempts
+  end
   else if cur.nkeys >= t.capacity then begin
+    Flight.record Flight.Ev.Split level bucket 0;
     split t cur;
     Olock.end_write cur.lock;
     (* a split is progress, not a failed validation: same budget *)
@@ -452,15 +470,26 @@ let insert_slow t key = insert_slow t key 0
 
 type hint_attempt = Done of bool | Fallback
 
+(* Hinted attempts have no descent, so their flight events carry the
+   -1/-1 "hinted leaf" node identity. *)
 let try_insert_at t leaf key =
   let lease = Olock.start_read leaf.lock in
   let n = clamped_nkeys leaf in
   if not (covers t leaf n key && Olock.valid leaf.lock lease) then Fallback
   else begin
     let idx, found = search t leaf.keys n key in
-    if found then if Olock.valid leaf.lock lease then Done false else Fallback
-    else if not (Olock.try_upgrade_to_write leaf.lock lease) then Fallback
+    if found then
+      if Olock.valid leaf.lock lease then Done false
+      else begin
+        Flight.record Flight.Ev.Validation_fail (-1) (-1) 0;
+        Fallback
+      end
+    else if not (Olock.try_upgrade_to_write leaf.lock lease) then begin
+      Flight.record Flight.Ev.Upgrade_fail (-1) (-1) 0;
+      Fallback
+    end
     else if leaf.nkeys >= t.capacity then begin
+      Flight.record Flight.Ev.Split (-1) (-1) 0;
       split t leaf;
       Olock.end_write leaf.lock;
       Fallback
@@ -546,6 +575,7 @@ let rec batch_pessimistic t key =
 
 let batch_fallback t key =
   Telemetry.bump Telemetry.Counter.Btree_pessimistic_fallbacks;
+  Flight.record Flight.Ev.Fallback !restart_budget_v 0 0;
   let t0 = Telemetry.hist_time () in
   let r = batch_pessimistic t key in
   Telemetry.hist_end Telemetry.Hist.Btree_fallback_ns t0;
@@ -558,35 +588,47 @@ let rec batch_locate t key attempts =
     let cur = t.root in
     let cur_lease = Olock.start_read cur.lock in
     if Olock.end_read t.root_lock root_lease then
-      batch_descend t key cur cur_lease None attempts
+      batch_descend t key cur cur_lease None 0 (-1) attempts
     else batch_restart t key attempts
   end
 
 and batch_restart t key attempts =
   Telemetry.bump Telemetry.Counter.Btree_restarts;
+  Flight.record Flight.Ev.Restart (attempts + 1) 0 0;
   batch_locate t key (attempts + 1)
 
-and batch_descend t key cur cur_lease hi attempts =
+and batch_descend t key cur cur_lease hi level bucket attempts =
   Chaos.yield_if Chaos.Point.Btree_descent_yield;
   let n = clamped_nkeys cur in
   let idx, found = search t cur.keys n key in
   if not (is_leaf cur) then
     if found then
       if Olock.valid cur.lock cur_lease then Bt_dup
-      else batch_restart t key attempts
+      else begin
+        Flight.record Flight.Ev.Validation_fail level bucket 0;
+        batch_restart t key attempts
+      end
     else begin
       let next = cur.children.(idx) in
       let hi = if idx < n then Some cur.keys.(idx) else hi in
-      if not (Olock.valid cur.lock cur_lease) then batch_restart t key attempts
+      let bucket' = if level = 0 then idx else bucket in
+      if not (Olock.valid cur.lock cur_lease) then begin
+        Flight.record Flight.Ev.Validation_fail level bucket 0;
+        batch_restart t key attempts
+      end
       else begin
         let next_lease = Olock.start_read next.lock in
-        if not (Olock.valid cur.lock cur_lease) then
+        if not (Olock.valid cur.lock cur_lease) then begin
+          Flight.record Flight.Ev.Validation_fail level bucket 0;
           batch_restart t key attempts
-        else batch_descend t key next next_lease hi attempts
+        end
+        else batch_descend t key next next_lease hi (level + 1) bucket' attempts
       end
     end
-  else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then
+  else if not (Olock.try_upgrade_to_write cur.lock cur_lease) then begin
+    Flight.record Flight.Ev.Upgrade_fail level bucket 0;
     batch_restart t key attempts
+  end
   else Bt_leaf (cur, hi)
 
 let batch_locate t key = batch_locate t key 0
@@ -608,6 +650,7 @@ let batch_fill t run i0 stop_idx leaf limit0 =
       let idx, found = search t leaf.keys nk key in
       if found then incr i
       else if nk >= t.capacity then begin
+        Flight.record Flight.Ev.Split (-1) (-1) 0;
         let median = split_returning t leaf in
         if compare_keys t key median < 0 then limit := Some median
         else stop := true (* the rest of the run re-descends *)

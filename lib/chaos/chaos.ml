@@ -115,6 +115,12 @@ let configure ?(seed = 1) points =
 
 let disable () = Atomic.set armed false
 
+(* Observability hook, called on every firing (cold path by construction:
+   firings are 1-in-rate).  The chaos layer depends on nothing, so outside
+   observers — the flight recorder — are wired in by the binaries. *)
+let fire_hook : (Point.t -> unit) option ref = ref None
+let set_fire_hook h = fire_hook := h
+
 let fire p =
   if not (Atomic.get armed) then false
   else begin
@@ -128,7 +134,10 @@ let fire p =
         st.st_rng <- mix !current_seed ((Domain.self () :> int))
       end;
       let hit = rng_next st mod rate = 0 in
-      if hit then Atomic.incr fired_counts.(Point.index p);
+      if hit then begin
+        Atomic.incr fired_counts.(Point.index p);
+        match !fire_hook with Some f -> f p | None -> ()
+      end;
       hit
     end
   end

@@ -74,7 +74,14 @@ val disable : unit -> unit
 val fire : Point.t -> bool
 (** [fire p] decides whether [p] injects its failure now.  One atomic load
     + branch when the registry is disabled; when armed, a DLS lookup and
-    one xorshift step.  A firing bumps the point's {!fired} counter. *)
+    one xorshift step.  A firing bumps the point's {!fired} counter and
+    invokes the {!set_fire_hook} observer, if any. *)
+
+val set_fire_hook : (Point.t -> unit) option -> unit
+(** Install (or clear) an observer called on every firing, on the firing
+    domain.  Chaos depends on nothing, so binaries use this to forward
+    firings to the flight recorder.  Firings are 1-in-rate rare, so the
+    hook is off the fast path; it must not raise. *)
 
 val inject : Point.t -> unit
 (** [inject p] raises {!Injected} iff [fire p].  For points whose failure

@@ -235,11 +235,20 @@ let enter_phase t phase what =
       (Storage.Index.Phase_violation
          (Printf.sprintf "%s: begin_%s during an open %s phase" t.name what
             (if what = "write" then "read" else "write")))
+  else
+    Flight.record Flight.Ev.Phase
+      (if phase = Sync.Phase_latch.Write then Flight.phase_write_enter
+       else Flight.phase_read_enter)
+      0 0
 
 let leave_phase t phase closed =
   if !closed then invalid_arg "Relation: phase handle finished twice";
   closed := true;
-  Sync.Phase_latch.leave t.phase phase
+  Sync.Phase_latch.leave t.phase phase;
+  Flight.record Flight.Ev.Phase
+    (if phase = Sync.Phase_latch.Write then Flight.phase_write_leave
+     else Flight.phase_read_leave)
+    0 0
 
 (* A finished handle no longer holds its phase slot: an operation through
    it would race whatever phase opened since (exactly the overlap the

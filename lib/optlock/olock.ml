@@ -170,7 +170,12 @@ module Make (A : ATOMIC) : S = struct
         Telemetry.bump Telemetry.Counter.Olock_write_spins;
         Backoff.once b
       done;
-      Telemetry.hist_end Telemetry.Hist.Olock_write_wait_ns t0
+      Telemetry.hist_end Telemetry.Hist.Olock_write_wait_ns t0;
+      (* The lock has no node identity; the wait itself is the evidence
+         (level/bucket attribution comes from the b-tree's own events). *)
+      Flight.record Flight.Ev.Lock_wait
+        (if t0 > 0 then Telemetry.now_ns () - t0 else 0)
+        0 0
     end
 
   (* Misuse detection for the release half of the protocol: releasing a lock

@@ -131,6 +131,9 @@ let watchdog_check p t0 =
     let wall = Telemetry.now_ns () - t0 in
     if wall > p.deadline_ns then begin
       Telemetry.bump Telemetry.Counter.Pool_watchdog_trips;
+      Flight.record Flight.Ev.Watchdog (wall / 1_000_000)
+        (p.deadline_ns / 1_000_000)
+        0;
       Telemetry.instant
         ~args:
           [
@@ -192,7 +195,13 @@ let run_plain p f =
    off, so the plain path pays one load + branch per job. *)
 let run ?(label = "job") p f =
   if not p.alive then invalid_arg "Pool.run: pool has been shut down";
-  if not (Telemetry.enabled ()) then run_plain p f
+  (* Flight-recorder job boundaries: the start mark survives into a crash
+     dump even when the job dies (no end mark is then recorded — a
+     started-but-never-ended job is the post-mortem signature of the
+     failure).  One load + branch each when the recorder is off. *)
+  Flight.record Flight.Ev.Pool_job_start p.size 0 0;
+  let ft0 = if Flight.enabled () then Telemetry.now_ns () else 0 in
+  (if not (Telemetry.enabled ()) then run_plain p f
   else begin
     let t0 = Telemetry.now_ns () in
     let busy = Array.make p.size 0 in
@@ -233,7 +242,10 @@ let run ?(label = "job") p f =
                else float_of_int max_busy /. float_of_int avg_busy) );
         ]
       ~cat:"pool" label t0
-  end
+  end);
+  Flight.record Flight.Ev.Pool_job_end
+    (if ft0 > 0 then Telemetry.now_ns () - ft0 else 0)
+    0 0
 
 let parallel_for_workers ?label p ?chunk lo hi f =
   if hi > lo then begin

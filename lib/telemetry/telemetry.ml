@@ -371,6 +371,36 @@ module Counter = struct
   let unit_of = function
     | Pool_busy_ns | Pool_wall_ns -> Nanoseconds
     | _ -> Count
+
+  (* One-line help strings for exporters (Prometheus HELP lines). *)
+  let help = function
+    | Olock_read_spins -> "Backoff rounds spent in start_read waiting out a writer."
+    | Olock_write_spins -> "Backoff rounds spent in start_write waiting for the lock."
+    | Olock_validation_failures ->
+      "Optimistic reads discarded after observing a concurrent write."
+    | Olock_upgrade_failures ->
+      "Failed read-to-write upgrade CAS attempts (stale lease)."
+    | Olock_write_aborts -> "Write permits released without modification."
+    | Btree_restarts ->
+      "Insertions restarted from the root after a failed validation or upgrade."
+    | Btree_pessimistic_fallbacks ->
+      "Descents that exhausted the optimistic retry budget and fell back to locking."
+    | Btree_leaf_splits -> "Leaf node splits."
+    | Btree_inner_splits -> "Inner node splits."
+    | Btree_root_splits -> "Splits that grew the tree by one level."
+    | Btree_hint_hits -> "Insertions satisfied by the per-thread leaf hint."
+    | Btree_hint_misses -> "Hinted insertions that had to descend from the root."
+    | Btree_batch_keys -> "Keys offered to the sorted-run batch insert path."
+    | Btree_batch_leaves -> "Leaf write-lock acquisitions of the batch path."
+    | Btree_batch_splices -> "Bulk gap splices performed by the batch path."
+    | Pool_jobs -> "Fork-join jobs executed."
+    | Pool_busy_ns -> "Summed per-worker busy time inside jobs."
+    | Pool_wall_ns -> "Summed job wall time times worker count."
+    | Pool_watchdog_trips -> "Pool jobs whose wall time exceeded the watchdog deadline."
+    | Eval_iterations -> "Semi-naive fixed-point rounds."
+    | Eval_rule_evals -> "Rule-version evaluations."
+    | Eval_delta_tuples -> "Tuples promoted from new into full relations."
+    | Io_malformed_lines -> "Corrupt fact lines skipped by the lenient loader."
 end
 
 (* ------------------------------------------------------------------ *)
@@ -415,6 +445,17 @@ module Hist = struct
     | Olock_write_wait_ns -> "olock.write_wait_ns"
     | Pool_job_ns -> "pool.job_ns"
     | Eval_iteration_ns -> "eval.iteration_ns"
+
+  let help = function
+    | Btree_insert_ns -> "Sampled B-tree insert latency (ns)."
+    | Btree_find_ns -> "Sampled B-tree find/mem latency (ns)."
+    | Btree_bound_ns -> "Sampled B-tree lower/upper bound latency (ns)."
+    | Btree_batch_ns -> "Batch insert call latency, one event per sorted run (ns)."
+    | Btree_fallback_ns -> "Pessimistic fallback descent latency (ns)."
+    | Olock_write_wait_ns ->
+      "Contended write acquisitions: first failed CAS to acquisition (ns)."
+    | Pool_job_ns -> "Fork-join job wall time (ns)."
+    | Eval_iteration_ns -> "Semi-naive fixed-point round wall time (ns)."
 
   (* Per-op B-tree sites fire millions of times per second, so they are
      sampled 1-in-2^shift (the clock_gettime pair would otherwise dominate
@@ -962,22 +1003,27 @@ let prometheus_of_snapshot ?(prefix = "repro") prom s =
   List.iter
     (fun c ->
       let v = get s c in
+      let help = Counter.help c in
       match Counter.unit_of c with
       | Counter.Count ->
-        Prom.counter prom (base (Counter.name c) ^ "_total") (float_of_int v)
+        Prom.counter prom ~help (base (Counter.name c) ^ "_total") (float_of_int v)
       | Counter.Nanoseconds ->
-        Prom.counter prom
+        Prom.counter prom ~help
           (base (chop_ns_suffix (Counter.name c)) ^ "_seconds_total")
           (float_of_int v /. 1e9))
     Counter.all;
-  Prom.gauge prom (base "btree.hint_hit_rate") (hint_hit_rate s);
-  Prom.gauge prom (base "pool.utilisation") (imbalance s);
+  Prom.gauge prom
+    ~help:"Hint hits over hinted B-tree operations (hits / (hits + misses))."
+    (base "btree.hint_hit_rate") (hint_hit_rate s);
+  Prom.gauge prom
+    ~help:"Summed worker busy time over summed job wall time (1.0 = balanced)."
+    (base "pool.utilisation") (imbalance s);
   List.iter
     (fun m ->
       let h = hist_of s m in
       if h.h_total > 0 then begin
         let name = base (Hist.name m) in
-        Prom.header prom name "histogram";
+        Prom.header prom ~help:(Hist.help m) name "histogram";
         (* cumulative counts at the inclusive upper bound of each nonzero
            bucket (values are integral ns, so le = hi - 1) *)
         let acc = ref 0 in
@@ -994,10 +1040,18 @@ let prometheus_of_snapshot ?(prefix = "repro") prom s =
         Prom.line prom (name ^ "_bucket") [ ("le", "+Inf") ] (float_of_int h.h_total);
         Prom.line prom (name ^ "_sum") [] (float_of_int h.h_sum);
         Prom.line prom (name ^ "_count") [] (float_of_int h.h_total);
-        Prom.gauge prom (name ^ "_p50") (float_of_int (hist_quantile h 0.5));
-        Prom.gauge prom (name ^ "_p90") (float_of_int (hist_quantile h 0.9));
-        Prom.gauge prom (name ^ "_p99") (float_of_int (hist_quantile h 0.99));
-        Prom.gauge prom (name ^ "_max") (float_of_int h.h_max)
+        let q p =
+          Prom.gauge prom
+            ~help:(Hist.help m ^ " " ^ p ^ " quantile estimate.")
+            (name ^ "_" ^ p)
+        in
+        q "p50" (float_of_int (hist_quantile h 0.5));
+        q "p90" (float_of_int (hist_quantile h 0.9));
+        q "p99" (float_of_int (hist_quantile h 0.99));
+        Prom.gauge prom
+          ~help:(Hist.help m ^ " Exact maximum.")
+          (name ^ "_max")
+          (float_of_int h.h_max)
       end)
     Hist.all
 
@@ -1038,6 +1092,13 @@ let event_json ev =
   in
   let scope = if ev.ev_ph = 'i' then [ ("s", Json.String "t") ] else [] in
   Json.Obj (base @ dur @ args @ scope)
+
+(* External trace providers (e.g. the flight recorder) contribute extra
+   ready-made trace-event objects at export time, so subsystems layered on
+   top of telemetry can ride in the same Chrome trace without telemetry
+   depending on them. *)
+let trace_providers : (unit -> Json.t list) list ref = ref []
+let register_trace_provider f = trace_providers := f :: !trace_providers
 
 let trace_json ?(process_name = "datalog") () =
   let shards = Mutex.protect registry_mutex (fun () -> !registry) in
@@ -1082,10 +1143,13 @@ let trace_json ?(process_name = "datalog") () =
         ("args", Json.Obj [ ("name", Json.String process_name) ]);
       ]
   in
+  let provider_events = List.concat_map (fun f -> f ()) !trace_providers in
   Json.Obj
     [
       ( "traceEvents",
-        Json.List (meta :: List.map event_json (events @ counter_events)) );
+        Json.List
+          ((meta :: List.map event_json (events @ counter_events))
+          @ provider_events) );
       ("displayTimeUnit", Json.String "ms");
       ("otherData", counters_json s);
     ]

@@ -108,6 +108,9 @@ module Counter : sig
   (** Unit of a counter's value: plain event count, or accumulated
       nanoseconds ({!Pool_busy_ns}, {!Pool_wall_ns}).  Exporters render
       nanosecond counters as durations/seconds, not raw counts. *)
+
+  val help : t -> string
+  (** One-line description for exporters (Prometheus [# HELP] lines). *)
 end
 
 (** Latency histogram identities: log-linear (HDR-style) bucketed latency
@@ -138,6 +141,9 @@ module Hist : sig
 
   val name : t -> string
   (** Dotted lower-case name, e.g. ["btree.insert_ns"]. *)
+
+  val help : t -> string
+  (** One-line description for exporters (Prometheus [# HELP] lines). *)
 
   val sample_shift : t -> int
   (** Record 1 in [2^shift] events; [0] = record every event. *)
@@ -271,6 +277,11 @@ val imbalance : snapshot -> float
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 (** {1 Export} *)
+
+val register_trace_provider : (unit -> Json.t list) -> unit
+(** Register a function contributing ready-made trace-event objects to
+    {!trace_json} at export time (used by the flight recorder to append
+    its events to Chrome traces without a reverse dependency). *)
 
 val trace_json : ?process_name:string -> unit -> Json.t
 (** The Chrome trace-event document ({v {"traceEvents": [...]} v}) holding

@@ -1,0 +1,24 @@
+(* R1 conforming fixture: the flight-recorder shape — per-domain rings
+   reached through Domain.DLS, a mutex-protected registry for the
+   drain side, and no atomics anywhere: every hot-path store is
+   domain-local.  Never compiled — test data for test_lint.ml. *)
+
+type ring = { slots : int array; mutable pos : int }
+
+let rings : ring list ref = ref []
+let rings_mutex = Mutex.create ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r = { slots = Array.make 4096 0; pos = 0 } in
+      Mutex.protect rings_mutex (fun () -> rings := r :: !rings);
+      r)
+
+let record code =
+  let r = Domain.DLS.get ring_key in
+  r.slots.(r.pos) <- code;
+  r.pos <- (r.pos + 1) land 4095
+
+let drain () =
+  Mutex.protect rings_mutex (fun () ->
+      List.concat_map (fun r -> Array.to_list r.slots) !rings)

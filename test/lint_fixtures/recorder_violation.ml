@@ -1,0 +1,14 @@
+(* R1 firing fixture: a "lock-free" event recorder sharing one ring
+   across domains through raw atomics — the design rule R1 exists to
+   keep this out of unwhitelisted modules.  The real recorder
+   (lib/telemetry/flight.ml) keeps one ring per domain behind
+   Domain.DLS and needs no atomics at all.  Never compiled — test data
+   for test_lint.ml. *)
+
+type ring = { slots : int array; cursor : int Atomic.t }
+
+let shared = { slots = Array.make 4096 0; cursor = Atomic.make 0 }
+
+let record code =
+  let i = Atomic.fetch_and_add shared.cursor 1 in
+  shared.slots.(i land 4095) <- code

@@ -45,6 +45,23 @@ let test_r1_clean () =
   let fs = check_fixture ~name:"r1_conforming.ml" ~hot:false ~atomic_ok:false in
   Alcotest.(check int) "no findings" 0 (List.length fs)
 
+(* R1 against the flight-recorder shapes: a shared-atomic ring fires,
+   the domain-local DLS ring (the design lib/telemetry/flight.ml uses)
+   is clean. *)
+
+let test_recorder_fires () =
+  let fs =
+    check_fixture ~name:"recorder_violation.ml" ~hot:false ~atomic_ok:false
+  in
+  Alcotest.(check int) "shared-atomic recorder fires R1" 3
+    (count Lint.rule_atomic_confinement fs)
+
+let test_recorder_clean () =
+  let fs =
+    check_fixture ~name:"recorder_conforming.ml" ~hot:false ~atomic_ok:false
+  in
+  Alcotest.(check int) "domain-local recorder is clean" 0 (List.length fs)
+
 (* --- R2 lease discipline ------------------------------------------ *)
 
 let test_r2_fires () =
@@ -128,6 +145,8 @@ let test_classification () =
     (Lint.default_atomic_whitelisted "lib/optlock/olock.ml");
   Alcotest.(check bool) "sync.ml may use atomics" true
     (Lint.default_atomic_whitelisted "lib/datalog/sync.ml");
+  Alcotest.(check bool) "flight.ml may use atomics" true
+    (Lint.default_atomic_whitelisted "lib/telemetry/flight.ml");
   Alcotest.(check bool) "eval.ml may not" false
     (Lint.default_atomic_whitelisted "lib/datalog/eval.ml")
 
@@ -138,6 +157,10 @@ let () =
         [
           Alcotest.test_case "fires" `Quick test_r1_fires;
           Alcotest.test_case "clean" `Quick test_r1_clean;
+          Alcotest.test_case "shared-atomic recorder fires" `Quick
+            test_recorder_fires;
+          Alcotest.test_case "domain-local recorder clean" `Quick
+            test_recorder_clean;
         ] );
       ( "r2-lease-discipline",
         [

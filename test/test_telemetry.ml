@@ -483,6 +483,223 @@ let test_prometheus_parse_back () =
       in
       check_int "one TYPE header per family" 1 (List.length header_lines))
 
+(* Exposition-format completeness: every exported sample family must carry
+   exactly one # HELP and one # TYPE line, including the flight-recorder
+   heatmap counters (emitted here the same way datalog_cli's
+   --prometheus path does). *)
+let test_prometheus_help_type_complete () =
+  with_telemetry (fun () ->
+      Telemetry.bump Telemetry.Counter.Pool_jobs;
+      Telemetry.add Telemetry.Counter.Pool_busy_ns 1_000_000;
+      Telemetry.hist_record Telemetry.Hist.Btree_insert_ns 500;
+      let s = Telemetry.snapshot () in
+      let prom = Telemetry.Prom.create () in
+      Telemetry.prometheus_of_snapshot prom s;
+      (* heatmap families, as written by datalog_cli --prometheus *)
+      Flight.enable ~capacity:64 ();
+      Flight.record Flight.Ev.Validation_fail 1 2 0;
+      Flight.record Flight.Ev.Upgrade_fail 0 1 0;
+      Flight.record Flight.Ev.Restart 1 0 0;
+      Flight.record Flight.Ev.Lock_wait 12_000 0 0;
+      let heat = Tree_shape.heat_of_events (Flight.events ()) in
+      Flight.disable ();
+      List.iter
+        (fun ((level, bucket), counts) ->
+          Array.iteri
+            (fun cls n ->
+              if n > 0 then
+                Telemetry.Prom.counter prom
+                  ~help:"Flight-recorder contention events by node identity."
+                  ~labels:
+                    [
+                      ("class", Tree_shape.heat_classes.(cls));
+                      ("level", string_of_int level);
+                      ("bucket", string_of_int bucket);
+                    ]
+                  "repro_contention_events_total" (float_of_int n))
+            counts)
+        heat.Tree_shape.heat_cells;
+      Telemetry.Prom.counter prom ~help:"Flight-recorder root restarts."
+        "repro_contention_restarts_total"
+        (float_of_int heat.Tree_shape.heat_restarts);
+      Telemetry.Prom.counter prom
+        ~help:"Summed contended write-lock wait observed by the recorder."
+        "repro_contention_lock_wait_seconds_total"
+        (float_of_int heat.Tree_shape.heat_lock_wait_ns /. 1e9);
+      let text = Telemetry.Prom.to_string prom in
+      let lines = String.split_on_char '\n' text in
+      let tagged tag =
+        List.filter_map
+          (fun l ->
+            let prefix = "# " ^ tag ^ " " in
+            if String.length l > String.length prefix
+               && String.sub l 0 (String.length prefix) = prefix
+            then
+              let rest =
+                String.sub l (String.length prefix)
+                  (String.length l - String.length prefix)
+              in
+              match String.index_opt rest ' ' with
+              | Some i -> Some (String.sub rest 0 i)
+              | None -> Some rest
+            else None)
+          lines
+      in
+      let helps = tagged "HELP" and types = tagged "TYPE" in
+      check_bool "HELP lines present" true (helps <> []);
+      (* no family announced twice *)
+      check_int "HELP families unique" (List.length helps)
+        (List.length (List.sort_uniq compare helps));
+      check_int "TYPE families unique" (List.length types)
+        (List.length (List.sort_uniq compare types));
+      check_bool "heatmap family typed" true
+        (List.mem "repro_contention_events_total" types);
+      check_bool "heatmap family helped" true
+        (List.mem "repro_contention_events_total" helps);
+      (* every sample belongs to a family that has both HELP and TYPE *)
+      let strip name suffix =
+        let nl = String.length name and sl = String.length suffix in
+        if nl > sl && String.sub name (nl - sl) sl = suffix then
+          Some (String.sub name 0 (nl - sl))
+        else None
+      in
+      let family name =
+        let base =
+          List.find_map (strip name) [ "_bucket"; "_sum"; "_count" ]
+        in
+        match base with
+        | Some b when List.mem b types -> b
+        | _ -> name
+      in
+      List.iter
+        (fun (name, _, _) ->
+          let f = family name in
+          check_bool (Printf.sprintf "family %s has TYPE" f) true
+            (List.mem f types);
+          check_bool (Printf.sprintf "family %s has HELP" f) true
+            (List.mem f helps))
+        (parse_prom text))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_flight ?capacity f =
+  Flight.enable ?capacity ();
+  Fun.protect ~finally:(fun () -> Flight.disable ()) f
+
+let test_flight_disabled_records_nothing () =
+  Flight.enable ~capacity:64 ();
+  Flight.disable ();
+  for i = 1 to 50 do
+    Flight.record Flight.Ev.Restart i 0 0
+  done;
+  check_int "no events while disabled" 0 (List.length (Flight.events ()));
+  check_int "recorded_total stays zero" 0 (Flight.recorded_total ())
+
+let test_flight_wraparound () =
+  with_flight ~capacity:8 (fun () ->
+      for i = 1 to 20 do
+        Flight.record Flight.Ev.Restart i 0 0
+      done;
+      let evs = Flight.events () in
+      check_int "ring keeps exactly capacity events" 8 (List.length evs);
+      check_int "total counts overwritten events" 20
+        (Flight.recorded_total ());
+      (* survivors are the newest [capacity] events, oldest first *)
+      List.iteri
+        (fun i e ->
+          check_int "survivor order" (13 + i) e.Flight.e_a1;
+          check_bool "kind preserved" true
+            (e.Flight.e_kind = Flight.Ev.Restart))
+        evs)
+
+let test_flight_multi_domain_writers () =
+  with_flight ~capacity:1024 (fun () ->
+      let per_worker = 100 in
+      Pool.with_pool 4 (fun pool ->
+          Pool.run pool (fun w ->
+              for i = 1 to per_worker do
+                Flight.record Flight.Ev.Restart (1000 + w) i 0
+              done));
+      let evs =
+        List.filter
+          (fun e ->
+            e.Flight.e_kind = Flight.Ev.Restart && e.Flight.e_a1 >= 1000)
+          (Flight.events ())
+      in
+      check_int "all workers' events survive" (4 * per_worker)
+        (List.length evs);
+      for w = 0 to 3 do
+        let mine =
+          List.filter (fun e -> e.Flight.e_a1 = 1000 + w) evs
+        in
+        check_int (Printf.sprintf "worker %d event count" w) per_worker
+          (List.length mine);
+        (* each worker's events all come from one domain's ring, in
+           program order *)
+        match mine with
+        | [] -> ()
+        | first :: _ ->
+          check_bool "single ring per worker" true
+            (List.for_all
+               (fun e -> e.Flight.e_domain = first.Flight.e_domain)
+               mine);
+          ignore
+            (List.fold_left
+               (fun prev e ->
+                 check_bool "per-domain order preserved" true
+                   (e.Flight.e_a2 = prev + 1);
+                 e.Flight.e_a2)
+               0 mine)
+      done;
+      let domains =
+        List.sort_uniq compare
+          (List.map (fun e -> e.Flight.e_domain) evs)
+      in
+      check_int "four distinct writer domains" 4 (List.length domains))
+
+let test_flight_dump_roundtrip () =
+  with_flight ~capacity:32 (fun () ->
+      Flight.record Flight.Ev.Validation_fail 2 5 0;
+      Flight.record Flight.Ev.Fallback 16 0 0;
+      Flight.record Flight.Ev.Phase Flight.phase_write_enter 0 0;
+      let live = Flight.events () in
+      (* in-memory round-trip *)
+      let j = Flight.to_json ~reason:"unit test" ~seed:99 () in
+      let d = Flight.dump_of_json j in
+      check_string "reason survives" "unit test" d.Flight.d_reason;
+      check_int "seed survives" 99 d.Flight.d_seed;
+      check_int "capacity survives" 32 d.Flight.d_capacity;
+      let reloaded = Flight.dump_events d in
+      check_int "event count survives" (List.length live)
+        (List.length reloaded);
+      List.iter2
+        (fun a b ->
+          check_bool "kind survives" true (a.Flight.e_kind = b.Flight.e_kind);
+          check_int "ts survives" a.Flight.e_ts b.Flight.e_ts;
+          check_bool "args survive" true
+            (Flight.event_args a = Flight.event_args b))
+        live reloaded;
+      (* file round-trip *)
+      let path = Filename.temp_file "flight" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let written =
+            Flight.write_crashdump ~path ~reason:"unit test" ~seed:99 ()
+          in
+          check_string "write returns the path" path written;
+          let d2 = Flight.load path in
+          check_int "file round-trip events" (List.length live)
+            (List.length (Flight.dump_events d2)));
+      (* a non-dump document must be rejected *)
+      check_bool "non-dump rejected" true
+        (try
+           ignore (Flight.dump_of_json (Telemetry.Json.Obj []));
+           false
+         with Flight.Bad_dump _ -> true))
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -527,5 +744,18 @@ let () =
             test_histograms_json_parses_back;
           Alcotest.test_case "prometheus parses back" `Quick
             test_prometheus_parse_back;
+          Alcotest.test_case "prometheus HELP/TYPE complete" `Quick
+            test_prometheus_help_type_complete;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_flight_disabled_records_nothing;
+          Alcotest.test_case "wraparound at capacity" `Quick
+            test_flight_wraparound;
+          Alcotest.test_case "concurrent per-domain writers" `Quick
+            test_flight_multi_domain_writers;
+          Alcotest.test_case "dump/reload round-trip" `Quick
+            test_flight_dump_roundtrip;
         ] );
     ]

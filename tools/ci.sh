@@ -32,6 +32,12 @@ echo "== chaos stress smoke (fixed seed, deterministic) =="
 # check_invariants audit and failing seeds replay deterministically.
 sh tools/stress.sh --seed 42 --domains 4 --runs 100
 
+echo "== flight-recorder crash-dump selftest =="
+# Induce an uncontained Pool_failure under chaos, assert the per-domain
+# rings drain into a crash dump, and validate the dump by round-tripping
+# it through the flightrec inspector.
+sh tools/stress.sh --crashdump-selftest
+
 echo "== bench smoke (telemetry + metrics JSON) =="
 METRICS="${METRICS_JSON:-bench_metrics.json}"
 dune exec bench/main.exe -- --smoke --record smoke --json "$METRICS"

@@ -5,53 +5,103 @@
 #
 #   sh tools/regress.sh [BENCH_history.jsonl]
 #
+# When the local history has fewer than two entries (fresh checkout, first
+# CI run), the checked-in baselines BENCH_btree.json and BENCH_datalog.json
+# stand in for the previous run: their nested metrics blocks are flattened
+# into the same headline keys and the single local entry is compared
+# against them.  Only metrics present on both sides are compared, so a
+# per-workload run (bench --smoke-workload btree) checks only its own keys.
+#
 # Environment:
 #   REGRESS_THRESHOLD_PCT  slowdown (in percent) past which a metric counts
 #                          as a regression (default 25 — smoke runs are
 #                          noisy, so the default is deliberately loose).
+#   REGRESS_BASELINE_PCT   threshold against the checked-in baselines
+#                          (default 150: they were recorded on different
+#                          hardware, so only order-of-magnitude changes are
+#                          meaningful).
 #   REGRESS_STRICT         when 1, exit non-zero on regression; the default
 #                          (0) only prints warnings so CI can use this as a
 #                          soft gate.
 set -eu
 
+cd "$(dirname "$0")/.."
+
 HIST="${1:-BENCH_history.jsonl}"
 THRESHOLD="${REGRESS_THRESHOLD_PCT:-25}"
+BASELINE_THRESHOLD="${REGRESS_BASELINE_PCT:-150}"
 STRICT="${REGRESS_STRICT:-0}"
-
-if [ ! -s "$HIST" ]; then
-  echo "regress: no history at $HIST (run: bench --record NAME); skipping"
-  exit 0
-fi
 
 if ! command -v python3 >/dev/null 2>&1; then
   echo "regress: python3 not available; skipping comparison"
   exit 0
 fi
 
-HIST="$HIST" THRESHOLD="$THRESHOLD" STRICT="$STRICT" python3 <<'EOF'
+HIST="$HIST" THRESHOLD="$THRESHOLD" BASELINE_THRESHOLD="$BASELINE_THRESHOLD" \
+STRICT="$STRICT" python3 <<'EOF'
 import json, os, sys
 
 path = os.environ["HIST"]
 threshold = float(os.environ["THRESHOLD"])
+baseline_threshold = float(os.environ["BASELINE_THRESHOLD"])
 strict = os.environ["STRICT"] == "1"
-
-entries = []
-with open(path) as f:
-    for line in f:
-        line = line.strip()
-        if line:
-            entries.append(json.loads(line))
-
-if len(entries) < 2:
-    print(f"regress: only {len(entries)} entry in {path}; need 2 to compare")
-    sys.exit(0)
-
-prev, last = entries[-2], entries[-1]
-print(f"regress: comparing {last.get('name')!r} against previous run "
-      f"({len(entries)} entries in {path})")
 
 METRICS = ["eval_seconds", "insert_off_s", "insert_counters_s",
            "batch_single_s", "batch_merge_s"]
+
+entries = []
+if os.path.exists(path):
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+
+
+def flat_baseline():
+    """Flatten the committed BENCH_<workload>.json snapshots into the
+    headline-metric keys a history entry carries."""
+    flat = {}
+    for snap_path in ("BENCH_btree.json", "BENCH_datalog.json"):
+        if not os.path.exists(snap_path):
+            continue
+        with open(snap_path) as f:
+            m = json.load(f).get("metrics", {})
+        overhead = m.get("overhead", {})
+        batch = m.get("batch", {})
+        ev = m.get("eval", {})
+        for key, val in (("insert_off_s", overhead.get("insert_off_s")),
+                         ("insert_counters_s",
+                          overhead.get("insert_counters_s")),
+                         ("batch_single_s", batch.get("single_insert_s")),
+                         ("batch_merge_s", batch.get("batch_merge_s")),
+                         ("eval_seconds", ev.get("seconds"))):
+            if isinstance(val, (int, float)):
+                flat[key] = val
+    return flat
+
+
+if len(entries) >= 2:
+    prev, last = entries[-2], entries[-1]
+    limit = threshold
+    print(f"regress: comparing {last.get('name')!r} against previous run "
+          f"({len(entries)} entries in {path})")
+else:
+    baseline = flat_baseline()
+    if not baseline:
+        print(f"regress: {len(entries)} local entr"
+              f"{'y' if len(entries) == 1 else 'ies'} and no checked-in "
+              f"baselines; nothing to compare")
+        sys.exit(0)
+    if not entries:
+        print(f"regress: no local history at {path}; checked-in baselines "
+              f"carry {len(baseline)} metric(s) (run: bench --record NAME)")
+        sys.exit(0)
+    prev, last = baseline, entries[-1]
+    limit = baseline_threshold
+    print(f"regress: comparing {last.get('name')!r} against checked-in "
+          f"baselines (threshold {limit:.0f}% — cross-hardware)")
+
 regressed = []
 for m in METRICS:
     a, b = prev.get(m), last.get(m)
@@ -62,7 +112,7 @@ for m in METRICS:
     pct = (b - a) / a * 100.0
     word = "slower" if pct >= 0 else "faster"
     print(f"regress:   {m}: {a:.6f} -> {b:.6f} ({abs(pct):+.1f}% {word})")
-    if pct > threshold:
+    if pct > limit:
         regressed.append((m, pct))
 
 speedup = last.get("batch_speedup")
@@ -88,7 +138,7 @@ if isinstance(fallbacks, int) and not last.get("chaos", False):
 if regressed:
     for m, pct in regressed:
         print(f"regress: WARNING {m} regressed {pct:.1f}% "
-              f"(threshold {threshold:.0f}%)")
+              f"(threshold {limit:.0f}%)")
     sys.exit(1 if strict else 0)
 print("regress: OK (no metric past threshold)")
 EOF
