@@ -1232,7 +1232,7 @@ let run_experiment cfg = function
     exit 2
 
 let main experiments scale threads full smoke_only json record chaos_spec
-    workload =
+    workload serve_metrics serve_interval =
   (match workload with
   | "all" | "btree" | "datalog" -> ()
   | w ->
@@ -1252,6 +1252,35 @@ let main experiments scale threads full smoke_only json record chaos_spec
   Chaos.set_fire_hook
     (Some
        (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0));
+  (* Live scrape endpoint: started before any experiment so the whole run
+     is observable.  The smoke phases keep toggling telemetry themselves
+     (the overhead phase measures the disabled cost); a window sampled
+     across a reset simply clamps to empty. *)
+  let server =
+    match serve_metrics with
+    | None -> None
+    | Some addr_s -> (
+      match Telemetry_server.parse_addr addr_s with
+      | Error m ->
+        Printf.eprintf "--serve-metrics: %s\n" m;
+        exit 2
+      | Ok addr -> (
+        if not (Flight.enabled ()) then Flight.enable ();
+        Telemetry_server.set_chaos_probe
+          (Some (fun () -> (Chaos.active (), Chaos.total_fired ())));
+        match Telemetry_server.start ~interval_ms:serve_interval addr with
+        | Error m ->
+          Printf.eprintf "--serve-metrics: %s\n" m;
+          exit 2
+        | Ok srv ->
+          pf "serving telemetry on %s (/metrics /snapshot.json /heat /health \
+              /trace)\n"
+            (Telemetry_server.addr_to_string (Telemetry_server.bound srv));
+          Some srv))
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Telemetry_server.stop server)
+  @@ fun () ->
   let max_threads =
     match threads with
     | Some t -> max 1 t
@@ -1281,6 +1310,7 @@ let main experiments scale threads full smoke_only json record chaos_spec
      the rings into a crash dump before propagating. *)
   (try List.iter (run_experiment cfg) experiments
    with e when Flight.enabled () ->
+     Telemetry_server.Health.note_uncontained (Printexc.to_string e);
      let path =
        Flight.write_crashdump ~reason:(Printexc.to_string e)
          ~seed:(Chaos.seed ())
@@ -1356,12 +1386,29 @@ let workload_arg =
               recorder on), or $(b,all).  Recorded baselines \
               (BENCH_btree.json, BENCH_datalog.json) are per-workload.")
 
+let serve_metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "serve-metrics" ] ~docv:"ADDR"
+        ~doc:"Serve live telemetry over HTTP/1.0 while the experiments run \
+              (/metrics /snapshot.json /heat /health /trace).  $(docv) is \
+              $(b,unix:PATH), $(b,PORT), or $(b,HOST:PORT); port 0 picks an \
+              ephemeral port (printed at startup).")
+
+let serve_interval_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "serve-interval" ] ~docv:"MS"
+        ~doc:"Sampling window length for --serve-metrics, in milliseconds \
+              (min 10).")
+
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ experiments_arg $ scale_arg $ threads_arg $ full_arg
-      $ smoke_arg $ json_arg $ record_arg $ chaos_arg $ workload_arg)
+      $ smoke_arg $ json_arg $ record_arg $ chaos_arg $ workload_arg
+      $ serve_metrics_arg $ serve_interval_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -85,7 +85,36 @@ let write_prometheus engine snap path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Telemetry.Prom.to_string prom))
 
-let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec flight lenient =
+(* Start the live telemetry service (--serve-metrics): counters and the
+   flight recorder must be on for the windows to carry data, and the chaos
+   probe is wired here because the telemetry layer cannot depend on the
+   chaos layer. *)
+let start_server serve_metrics serve_interval =
+  match serve_metrics with
+  | None -> None
+  | Some addr_s -> (
+    match Telemetry_server.parse_addr addr_s with
+    | Error m ->
+      Printf.eprintf "--serve-metrics: %s\n" m;
+      exit 2
+    | Ok addr -> (
+      Telemetry.enable ();
+      if not (Flight.enabled ()) then Flight.enable ();
+      Telemetry_server.set_chaos_probe
+        (Some (fun () -> (Chaos.active (), Chaos.total_fired ())));
+      match Telemetry_server.start ~interval_ms:serve_interval addr with
+      | Error m ->
+        Printf.eprintf "--serve-metrics: %s\n" m;
+        exit 2
+      | Ok srv ->
+        Printf.printf
+          "serving telemetry on %s (/metrics /snapshot.json /heat /health \
+           /trace)\n\
+           %!"
+          (Telemetry_server.addr_to_string (Telemetry_server.bound srv));
+        Some srv))
+
+let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec flight lenient serve_metrics serve_interval =
   (match chaos_spec with
   | None -> ()
   | Some spec -> (
@@ -94,12 +123,16 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
     | Error m ->
       Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
       exit 2));
-  if flight then begin
+  if flight || serve_metrics <> None then begin
     Flight.enable ();
     Chaos.set_fire_hook
       (Some
          (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0))
   end;
+  let server = start_server serve_metrics serve_interval in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Telemetry_server.stop server)
+  @@ fun () ->
   match Storage.kind_of_name storage with
   | None ->
     Printf.eprintf "unknown storage kind %S (try: btree, btree-nohints, \
@@ -125,6 +158,19 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
            the snapshot. *)
         if show_stats || trace_file <> None || metrics_file <> None then
           Telemetry.enable ~tracing:(trace_file <> None) ();
+        (* Live gauges for the scrape windows: Dl_stats are Sync counters,
+           so reading them mid-evaluation is safe (no tree traversal). *)
+        if server <> None && show_stats then
+          Telemetry_server.register_gauges "datalog" (fun () ->
+              match Engine.stats engine with
+              | None -> []
+              | Some s ->
+                [
+                  ("inserts", float_of_int s.Dl_stats.s_inserts);
+                  ("mem_tests", float_of_int s.Dl_stats.s_mem_tests);
+                  ("produced_tuples", float_of_int s.Dl_stats.s_produced_tuples);
+                  ("input_tuples", float_of_int s.Dl_stats.s_input_tuples);
+                ]);
         (match facts_dir with
         | Some dir -> (
           match Dl_io.load_facts_dir ~lenient engine dir with
@@ -142,6 +188,7 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
            before the error propagates. *)
         (try Pool.with_pool threads (fun pool -> Engine.run engine pool)
          with e when Flight.enabled () ->
+           Telemetry_server.Health.note_uncontained (Printexc.to_string e);
            let path =
              Flight.write_crashdump
                ~reason:(Printexc.to_string e)
@@ -312,6 +359,20 @@ let lenient_arg =
          ~doc:"Skip (and count, see io.malformed_lines in --stats/--metrics) \
                malformed fact lines instead of aborting the load.")
 
+let serve_metrics_arg =
+  Arg.(value & opt (some string) None & info [ "serve-metrics" ] ~docv:"ADDR"
+         ~doc:"Serve live telemetry over HTTP/1.0 while the run executes: \
+               /metrics (Prometheus), /snapshot.json (windowed deltas), \
+               /heat (contention heatmap), /health, /trace.  $(docv) is \
+               $(b,unix:PATH), $(b,PORT) (binds 127.0.0.1), or \
+               $(b,HOST:PORT); port 0 picks an ephemeral port (printed at \
+               startup).  Implies counters and the flight recorder.")
+
+let serve_interval_arg =
+  Arg.(value & opt int 1000 & info [ "serve-interval" ] ~docv:"MS"
+         ~doc:"Sampling window length for --serve-metrics, in milliseconds \
+               (min 10).")
+
 let cmd =
   let doc = "evaluate a Datalog program with the specialized concurrent B-tree engine" in
   Cmd.v
@@ -319,6 +380,7 @@ let cmd =
     Term.(
       const run_program $ file_arg $ storage_arg $ threads_arg $ print_arg
       $ stats_arg $ profile_arg $ facts_arg $ output_arg $ trace_arg
-      $ metrics_arg $ chaos_arg $ flight_arg $ lenient_arg)
+      $ metrics_arg $ chaos_arg $ flight_arg $ lenient_arg
+      $ serve_metrics_arg $ serve_interval_arg)
 
 let () = exit (Cmd.eval cmd)

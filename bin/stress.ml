@@ -246,6 +246,7 @@ let crash_demo ~domains ~nkeys seed =
     exit 2
   | exception e ->
     Chaos.disable ();
+    Telemetry_server.Health.note_uncontained (Printexc.to_string e);
     let path =
       Flight.write_crashdump ~reason:(Printexc.to_string e) ~seed
         ~extra:[ ("scenario", Telemetry.Json.String "crash-demo") ]
@@ -255,7 +256,7 @@ let crash_demo ~domains ~nkeys seed =
     Printf.printf "flight recorder: wrote %s (inspect with flightrec)\n" path;
     exit 1
 
-let main base_seed domains runs nkeys points_override replay crash =
+let main base_seed domains runs nkeys points_override replay crash serve_metrics serve_interval =
   let domains = max 1 domains in
   Telemetry.enable ();
   (* The recorder is always on under stress: the harness exists to shake
@@ -264,6 +265,34 @@ let main base_seed domains runs nkeys points_override replay crash =
   Chaos.set_fire_hook
     (Some
        (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0));
+  (* Live observability for long drills: /health degrades while failpoints
+     fire or watchdogs trip, /heat shows where the contention lands. *)
+  let server =
+    match serve_metrics with
+    | None -> None
+    | Some addr_s -> (
+      match Telemetry_server.parse_addr addr_s with
+      | Error m ->
+        Printf.eprintf "--serve-metrics: %s\n" m;
+        exit 2
+      | Ok addr -> (
+        Telemetry_server.set_chaos_probe
+          (Some (fun () -> (Chaos.active (), Chaos.total_fired ())));
+        match Telemetry_server.start ~interval_ms:serve_interval addr with
+        | Error m ->
+          Printf.eprintf "--serve-metrics: %s\n" m;
+          exit 2
+        | Ok srv ->
+          Printf.printf
+            "serving telemetry on %s (/metrics /snapshot.json /heat /health \
+             /trace)\n\
+             %!"
+            (Telemetry_server.addr_to_string (Telemetry_server.bound srv));
+          Some srv))
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Telemetry_server.stop server)
+  @@ fun () ->
   if crash then crash_demo ~domains ~nkeys base_seed;
   let todo =
     match replay with
@@ -289,6 +318,7 @@ let main base_seed domains runs nkeys points_override replay crash =
            else "")
       | exception e ->
         Chaos.disable ();
+        Telemetry_server.Health.note_uncontained (Printexc.to_string e);
         incr failures_total;
         Printf.printf "run %3d/%d scen=%-4s seed=0x%08x FAILED: %s\n" (r + 1)
           runs (scenario_name (r mod 4)) seed (Printexc.to_string e);
@@ -352,11 +382,23 @@ let crash_arg =
          ~doc:"Induce an uncontained $(b,Pool_failure) (pool.job.raise:1), \
                write a flight-recorder crash dump, and exit non-zero.")
 
+let serve_metrics_arg =
+  Arg.(value & opt (some string) None & info [ "serve-metrics" ] ~docv:"ADDR"
+         ~doc:"Serve live telemetry over HTTP/1.0 while the drill runs \
+               (/metrics /snapshot.json /heat /health /trace).  $(docv) is \
+               $(b,unix:PATH), $(b,PORT), or $(b,HOST:PORT); port 0 picks \
+               an ephemeral port.")
+
+let serve_interval_arg =
+  Arg.(value & opt int 1000 & info [ "serve-interval" ] ~docv:"MS"
+         ~doc:"Sampling window length for --serve-metrics, in milliseconds \
+               (min 10).")
+
 let cmd =
   let doc = "stress the tree, locks and pool under deterministic fault injection" in
   Cmd.v (Cmd.info "stress" ~doc)
     Term.(
       const main $ seed_arg $ domains_arg $ runs_arg $ keys_arg $ points_arg
-      $ replay_arg $ crash_arg)
+      $ replay_arg $ crash_arg $ serve_metrics_arg $ serve_interval_arg)
 
 let () = exit (Cmd.eval cmd)

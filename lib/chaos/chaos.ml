@@ -155,6 +155,15 @@ let yield_if p =
 let fired p = Atomic.get fired_counts.(Point.index p)
 let total_fired () = Array.fold_left (fun a c -> a + Atomic.get c) 0 fired_counts
 
+let armed_points () =
+  if not (Atomic.get armed) then []
+  else
+    List.filter_map
+      (fun p ->
+        let rate = rates.(Point.index p) in
+        if rate > 0 then Some (p, rate) else None)
+      Point.all
+
 let spec_help =
   "seed=N,points=P1[:RATE1]+P2[:RATE2]+...  (point names: \
    olock.validate.force_fail btree.descent.yield btree.split.delay \

@@ -97,6 +97,12 @@ val fired : Point.t -> int
 
 val total_fired : unit -> int
 
+val armed_points : unit -> (Point.t * int) list
+(** The currently armed points with their 1-in-rate firing rates; empty
+    when disarmed.  Racy-but-defined against a concurrent [configure]
+    (which quiescent code performs), so live observers — the telemetry
+    server's chaos probe — may read it at any time. *)
+
 val spec_help : string
 (** One-line syntax summary of the [--chaos] spec, for CLI docs. *)
 

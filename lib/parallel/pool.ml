@@ -131,6 +131,7 @@ let watchdog_check p t0 =
     let wall = Telemetry.now_ns () - t0 in
     if wall > p.deadline_ns then begin
       Telemetry.bump Telemetry.Counter.Pool_watchdog_trips;
+      Telemetry_server.Health.note_watchdog_trip ();
       Flight.record Flight.Ev.Watchdog (wall / 1_000_000)
         (p.deadline_ns / 1_000_000)
         0;
@@ -148,6 +149,10 @@ let raise_failures fs =
   let fs =
     List.sort (fun a b -> compare a.f_worker b.f_worker) fs
   in
+  (* health plane: failures are aggregated here and (normally) contained
+     by the caller's retry/fallback logic; the live /health endpoint
+     degrades for one window per aggregation *)
+  Telemetry_server.Health.note_pool_failure ~workers:(List.length fs);
   raise (Pool_failure fs)
 
 let run_plain p f =

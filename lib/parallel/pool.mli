@@ -25,7 +25,13 @@ exception Pool_failure of failure list
     exceptions never kill their domain: each is captured where it happened,
     the surviving workers drain the job normally, and the caller receives
     every capture (sorted by worker index) in one exception.  The pool
-    remains usable afterwards. *)
+    remains usable afterwards.
+
+    Every aggregation is also reported to
+    [Telemetry_server.Health.note_pool_failure] (as are watchdog trips to
+    [note_watchdog_trip]), so a live [/health] endpoint degrades for the
+    window in which they happened — whether or not the caller contains the
+    exception. *)
 
 val create : int -> t
 (** [create n] is a pool of [n] workers in total ([n - 1] spawned domains).

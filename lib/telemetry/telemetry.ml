@@ -967,12 +967,32 @@ module Prom = struct
     else if v < 0.0 then "-Inf"
     else "NaN"
 
+  (* Exposition-format escaping (not OCaml %S escaping, which differs on
+     tabs and non-printables): HELP text escapes backslash and newline;
+     label values additionally escape the double quote. *)
+  let escape ~quote s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '"' when quote -> Buffer.add_string b "\\\""
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let escape_help = escape ~quote:false
+  let escape_label_value = escape ~quote:true
+
   (* HELP/TYPE are emitted once per metric family, on first use. *)
   let header t ?help name typ =
     if not (Hashtbl.mem t.seen name) then begin
       Hashtbl.add t.seen name ();
       (match help with
-      | Some h -> Buffer.add_string t.buf (Printf.sprintf "# HELP %s %s\n" name h)
+      | Some h ->
+        Buffer.add_string t.buf
+          (Printf.sprintf "# HELP %s %s\n" name (escape_help h))
       | None -> ());
       Buffer.add_string t.buf (Printf.sprintf "# TYPE %s %s\n" name typ)
     end
@@ -982,7 +1002,10 @@ module Prom = struct
     | l ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v) l)
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+             l)
       ^ "}"
 
   let line t name labels v =

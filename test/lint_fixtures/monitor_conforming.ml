@@ -1,0 +1,33 @@
+(* R1 conforming fixture: the telemetry-monitor shape — the window ring
+   is domain-confined state owned by the monitor loop (sampler and
+   request handler run on the same domain, so the ring needs no
+   synchronization at all), and the only shared state is a cold-path
+   registry published under a mutex.  Mirrors
+   lib/telemetry/telemetry_server.ml.  Never compiled — test data for
+   test_lint.ml. *)
+
+type window = { counts : int array; seq : int }
+
+(* cold-path registry: external gauge providers, mutex-published *)
+let providers : (string * (unit -> float)) list ref = ref []
+let providers_mutex = Mutex.create ()
+
+let register name f =
+  Mutex.protect providers_mutex (fun () ->
+      providers := (name, f) :: !providers)
+
+let current_providers () =
+  Mutex.protect providers_mutex (fun () -> !providers)
+
+(* monitor loop: ring and cursor live in the loop's own frame and never
+   escape the monitor domain *)
+let monitor_loop serve =
+  let ring = Array.make 64 None in
+  let rec loop seq =
+    let w = { counts = Array.make 64 seq; seq } in
+    ring.(seq mod Array.length ring) <- Some w;
+    ignore (current_providers ());
+    serve ring;
+    loop (seq + 1)
+  in
+  loop 0

@@ -1,0 +1,23 @@
+(* R1 firing fixture: a telemetry monitor loop publishing its latest
+   sampled window through a shared mutable snapshot guarded only by raw
+   atomics — sampler on the monitor domain, scrape handler on whatever
+   domain accepts the connection.  The design rule R1 exists to keep
+   this out of unwhitelisted modules: the real monitor
+   (lib/telemetry/telemetry_server.ml) keeps the window ring
+   domain-confined and serves requests on the same domain, so no
+   cross-domain publication exists at all.  Never compiled — test data
+   for test_lint.ml. *)
+
+type snapshot = { counts : int array; seq : int Atomic.t }
+
+let shared = { counts = Array.make 64 0; seq = Atomic.make 0 }
+
+let sample totals =
+  (* torn with respect to readers: counts and seq are not updated
+     atomically together *)
+  Array.blit totals 0 shared.counts 0 (Array.length totals);
+  Atomic.incr shared.seq
+
+let scrape () =
+  let s = Atomic.get shared.seq in
+  (s, Array.copy shared.counts)

@@ -62,6 +62,26 @@ let test_recorder_clean () =
   in
   Alcotest.(check int) "domain-local recorder is clean" 0 (List.length fs)
 
+(* R1 against the telemetry-monitor shapes: publishing a sampled window
+   through a shared atomic-guarded snapshot fires; the domain-confined
+   ring + mutex-published cold-path registry (the design
+   lib/telemetry/telemetry_server.ml uses) is clean. *)
+
+let test_monitor_fires () =
+  let fs =
+    check_fixture ~name:"monitor_violation.ml" ~hot:false ~atomic_ok:false
+  in
+  (* the snapshot type's Atomic.t field, Atomic.make, Atomic.incr in the
+     sampler, Atomic.get in the scrape handler *)
+  Alcotest.(check int) "shared-snapshot monitor fires R1" 4
+    (count Lint.rule_atomic_confinement fs)
+
+let test_monitor_clean () =
+  let fs =
+    check_fixture ~name:"monitor_conforming.ml" ~hot:false ~atomic_ok:false
+  in
+  Alcotest.(check int) "domain-confined monitor is clean" 0 (List.length fs)
+
 (* --- R2 lease discipline ------------------------------------------ *)
 
 let test_r2_fires () =
@@ -161,6 +181,10 @@ let () =
             test_recorder_fires;
           Alcotest.test_case "domain-local recorder clean" `Quick
             test_recorder_clean;
+          Alcotest.test_case "shared-snapshot monitor fires" `Quick
+            test_monitor_fires;
+          Alcotest.test_case "domain-confined monitor clean" `Quick
+            test_monitor_clean;
         ] );
       ( "r2-lease-discipline",
         [

@@ -580,6 +580,38 @@ let test_prometheus_help_type_complete () =
             (List.mem f helps))
         (parse_prom text))
 
+(* Exposition escaping with hostile strings: HELP text must escape
+   backslash and newline (but not quotes); label values must escape
+   backslash, newline, and the double quote.  Checked against the exact
+   expected text, because %S-style OCaml escaping produces output that
+   Prometheus parsers reject (e.g. \t, \ddd). *)
+let test_prometheus_hostile_escaping () =
+  let prom = Telemetry.Prom.create () in
+  Telemetry.Prom.counter prom
+    ~help:"win path C:\\tmp\nsecond \"quoted\" line"
+    ~labels:[ ("file", "C:\\logs\n\"x\".txt") ]
+    "repro_hostile_total" 1.0;
+  let expected =
+    "# HELP repro_hostile_total win path C:\\\\tmp\\nsecond \"quoted\" line\n"
+    ^ "# TYPE repro_hostile_total counter\n"
+    ^ "repro_hostile_total{file=\"C:\\\\logs\\n\\\"x\\\".txt\"} 1\n"
+  in
+  check_string "hostile HELP and label value escaped exactly" expected
+    (Telemetry.Prom.to_string prom);
+  (* the output must stay single-HELP-line: no raw newline anywhere inside
+     a HELP line or a label value *)
+  let lines = String.split_on_char '\n' (Telemetry.Prom.to_string prom) in
+  check_int "exactly three lines plus trailing newline" 4 (List.length lines);
+  (* benign strings pass through untouched *)
+  let prom2 = Telemetry.Prom.create () in
+  Telemetry.Prom.gauge prom2 ~help:"plain help."
+    ~labels:[ ("k", "v") ]
+    "repro_plain" 2.0;
+  check_string "benign strings unchanged"
+    ("# HELP repro_plain plain help.\n# TYPE repro_plain gauge\n"
+   ^ "repro_plain{k=\"v\"} 2\n")
+    (Telemetry.Prom.to_string prom2)
+
 (* ------------------------------------------------------------------ *)
 (* Flight recorder                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -746,6 +778,8 @@ let () =
             test_prometheus_parse_back;
           Alcotest.test_case "prometheus HELP/TYPE complete" `Quick
             test_prometheus_help_type_complete;
+          Alcotest.test_case "prometheus hostile escaping" `Quick
+            test_prometheus_hostile_escaping;
         ] );
       ( "flight",
         [

@@ -86,6 +86,100 @@ print("ci: metrics JSON ok (v%d):" % d["schema_version"], sys.argv[1])
 PY
 fi
 
+echo "== telemetry endpoint selftest (bench --serve-metrics) =="
+# Start the smoke bench with the live telemetry server on a Unix socket,
+# scrape every endpoint while the run is hot, validate the payloads, and
+# assert the server shuts down cleanly (socket unlinked, bench exit 0).
+if command -v python3 >/dev/null 2>&1; then
+  SOCK="$(mktemp -u /tmp/repro_telemetry_XXXXXX.sock)"
+  SELFTEST_JSON="$(mktemp /tmp/repro_telemetry_XXXXXX.json)"
+  dune exec bench/main.exe -- --smoke --smoke-workload btree \
+    --json "$SELFTEST_JSON" --serve-metrics "unix:$SOCK" \
+    --serve-interval 100 &
+  BENCH_PID=$!
+  if SOCK="$SOCK" python3 <<'PY'
+import json, os, socket, sys, time
+
+sock_path = os.environ["SOCK"]
+
+
+def fetch(path):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(5.0)
+    s.connect(sock_path)
+    s.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+    buf = b""
+    while chunk := s.recv(65536):
+        buf += chunk
+    s.close()
+    head, _, body = buf.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode()
+
+
+# wait for the monitor domain to bind the socket
+for _ in range(100):
+    if os.path.exists(sock_path):
+        break
+    time.sleep(0.05)
+else:
+    raise SystemExit("ci: telemetry socket never appeared")
+
+# let at least one sampling window complete so /snapshot.json is non-empty
+time.sleep(0.25)
+
+status, metrics = fetch("/metrics")
+if status != 200:
+    raise SystemExit(f"ci: /metrics returned {status}")
+samples = 0
+for line in metrics.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name_labels, _, value = line.rpartition(" ")
+    if not name_labels:
+        raise SystemExit(f"ci: malformed exposition line {line!r}")
+    if value not in ("+Inf", "-Inf", "NaN"):
+        float(value)  # raises on torn output
+    samples += 1
+if samples < 10:
+    raise SystemExit(f"ci: only {samples} exposition samples")
+
+for path, schema in (("/snapshot.json", "telemetry_window/1"),
+                     ("/heat", "telemetry_heat/1"),
+                     ("/health", None),
+                     ("/trace", "telemetry_trace/1")):
+    status, body = fetch(path)
+    if path != "/health" and status != 200:
+        raise SystemExit(f"ci: {path} returned {status}")
+    if path == "/health" and status not in (200, 503):
+        raise SystemExit(f"ci: /health returned {status}")
+    doc = json.loads(body)
+    if schema and doc.get("schema") != schema:
+        raise SystemExit(f"ci: {path} schema {doc.get('schema')!r}")
+if json.loads(fetch("/snapshot.json")[1])["window"]["seq"] < 1:
+    raise SystemExit("ci: no completed window after warmup")
+print(f"ci: telemetry endpoints ok ({samples} exposition samples)")
+PY
+  then :; else
+    kill "$BENCH_PID" 2>/dev/null || true
+    wait "$BENCH_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$SELFTEST_JSON"
+    echo "ci: telemetry endpoint selftest failed" >&2
+    exit 1
+  fi
+  wait "$BENCH_PID" || {
+    rm -f "$SELFTEST_JSON"
+    echo "ci: bench with --serve-metrics exited nonzero" >&2; exit 1; }
+  rm -f "$SELFTEST_JSON"
+  if [ -e "$SOCK" ]; then
+    echo "ci: telemetry socket $SOCK not unlinked on clean shutdown" >&2
+    exit 1
+  fi
+  echo "ci: telemetry server shut down cleanly"
+else
+  echo "ci: python3 not available; skipping telemetry endpoint selftest"
+fi
+
 echo "== bench regression check (soft gate) =="
 sh tools/regress.sh BENCH_history.jsonl
 

@@ -5,12 +5,18 @@
 #
 #   sh tools/regress.sh [BENCH_history.jsonl]
 #
-# When the local history has fewer than two entries (fresh checkout, first
-# CI run), the checked-in baselines BENCH_btree.json and BENCH_datalog.json
-# stand in for the previous run: their nested metrics blocks are flattened
-# into the same headline keys and the single local entry is compared
-# against them.  Only metrics present on both sides are compared, so a
-# per-workload run (bench --smoke-workload btree) checks only its own keys.
+# Entries are compared per workload: the latest entry is matched against
+# the most recent earlier entry whose "workload" key (default "all") is the
+# same, so an interleaved history like [all, btree, all] compares the two
+# "all" runs instead of reporting a bogus cross-workload regression.
+#
+# When the history has no earlier entry for the latest entry's workload
+# (fresh checkout, first CI run of that workload), the checked-in baselines
+# stand in for the previous run — restricted to the snapshots that workload
+# actually produced (btree -> BENCH_btree.json, datalog ->
+# BENCH_datalog.json, all -> both): their nested metrics blocks are
+# flattened into the same headline keys and the single local entry is
+# compared against them.  Only metrics present on both sides are compared.
 #
 # Environment:
 #   REGRESS_THRESHOLD_PCT  slowdown (in percent) past which a metric counts
@@ -58,11 +64,19 @@ if os.path.exists(path):
                 entries.append(json.loads(line))
 
 
-def flat_baseline():
+SNAPS_FOR_WORKLOAD = {
+    "btree": ("BENCH_btree.json",),
+    "datalog": ("BENCH_datalog.json",),
+    "all": ("BENCH_btree.json", "BENCH_datalog.json"),
+}
+
+
+def flat_baseline(workload):
     """Flatten the committed BENCH_<workload>.json snapshots into the
-    headline-metric keys a history entry carries."""
+    headline-metric keys a history entry carries, restricted to the
+    snapshots the given workload produces."""
     flat = {}
-    for snap_path in ("BENCH_btree.json", "BENCH_datalog.json"):
+    for snap_path in SNAPS_FOR_WORKLOAD.get(workload, ()):
         if not os.path.exists(snap_path):
             continue
         with open(snap_path) as f:
@@ -81,26 +95,49 @@ def flat_baseline():
     return flat
 
 
-if len(entries) >= 2:
-    prev, last = entries[-2], entries[-1]
+def workload_of(entry):
+    return entry.get("workload", "all")
+
+
+last = entries[-1] if entries else None
+prev = None
+if last is not None:
+    wl = workload_of(last)
+    for cand in reversed(entries[:-1]):
+        if workload_of(cand) == wl:
+            prev = cand
+            break
+
+if prev is not None:
     limit = threshold
-    print(f"regress: comparing {last.get('name')!r} against previous run "
-          f"({len(entries)} entries in {path})")
+    skipped = len(entries) - 2 - entries[:-1].index(prev) \
+        if prev in entries[:-1] else 0
+    note = (f", skipping {skipped} other-workload entr"
+            f"{'y' if skipped == 1 else 'ies'}") if skipped else ""
+    print(f"regress: comparing {last.get('name')!r} against previous "
+          f"{workload_of(last)!r} run ({len(entries)} entries in "
+          f"{path}{note})")
 else:
-    baseline = flat_baseline()
+    if last is None:
+        baseline = flat_baseline("all")
+        if baseline:
+            print(f"regress: no local history at {path}; checked-in "
+                  f"baselines carry {len(baseline)} metric(s) "
+                  f"(run: bench --record NAME)")
+        else:
+            print("regress: no local history and no checked-in baselines; "
+                  "nothing to compare")
+        sys.exit(0)
+    baseline = flat_baseline(workload_of(last))
     if not baseline:
-        print(f"regress: {len(entries)} local entr"
-              f"{'y' if len(entries) == 1 else 'ies'} and no checked-in "
-              f"baselines; nothing to compare")
+        print(f"regress: no earlier {workload_of(last)!r} entry and no "
+              f"checked-in baseline for it; nothing to compare")
         sys.exit(0)
-    if not entries:
-        print(f"regress: no local history at {path}; checked-in baselines "
-              f"carry {len(baseline)} metric(s) (run: bench --record NAME)")
-        sys.exit(0)
-    prev, last = baseline, entries[-1]
+    prev = baseline
     limit = baseline_threshold
     print(f"regress: comparing {last.get('name')!r} against checked-in "
-          f"baselines (threshold {limit:.0f}% — cross-hardware)")
+          f"{workload_of(last)!r} baselines (threshold {limit:.0f}% — "
+          f"cross-hardware)")
 
 regressed = []
 for m in METRICS:
