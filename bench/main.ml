@@ -122,11 +122,11 @@ let structures () : structure list =
       s_insert =
         (fun pts ->
           let t = CB.create () in
-          let h = CB.make_hints () in
-          Array.iter (fun p -> ignore (CB.insert ~hints:h t p : bool)) pts;
-          let qh = CB.make_hints () in
+          let s = CB.session t in
+          Array.iter (fun p -> ignore (CB.s_insert s p : bool)) pts;
+          let qs = CB.session t in
           {
-            l_mem = (fun p -> CB.mem ~hints:qh t p);
+            l_mem = (fun p -> CB.s_mem qs p);
             l_scan =
               (fun () ->
                 let n = ref 0 in
@@ -347,8 +347,8 @@ let fig4 cfg ~ordered ~contiguous ~label =
         fun pool ->
           let t = CB.create () in
           parallel_insert_driver ~contiguous pool pts (fun _w ->
-              let h = CB.make_hints () in
-              fun p -> ignore (CB.insert ~hints:h t p : bool)) );
+              let s = CB.session t in
+              fun p -> ignore (CB.s_insert s p : bool)) );
       ( "btree (n/h)",
         fun pool ->
           let t = CB.create () in
@@ -518,9 +518,9 @@ let table3 cfg =
         fun pool keys ->
           let t = IB.create () in
           Pool.parallel_for_ranges pool 0 (Array.length keys) (fun _w lo hi ->
-              let h = IB.make_hints () in
+              let s = IB.session t in
               for i = lo to hi - 1 do
-                ignore (IB.insert ~hints:h t keys.(i) : bool)
+                ignore (IB.s_insert s keys.(i) : bool)
               done) );
       ( "PALM tree",
         fun pool keys ->
@@ -1124,7 +1124,7 @@ let bechamel_suite () =
       ]
   in
   let grow = CB.create () in
-  let grow_hints = CB.make_hints () in
+  let grow_sess = CB.session grow in
   let counter = ref 0 in
   let insert_group =
     Test.make_grouped ~name:"fig3ab insertion" ~fmt:"%s %s"
@@ -1132,7 +1132,7 @@ let bechamel_suite () =
         Test.make ~name:"btree-ordered-hinted"
           (Staged.stage (fun () ->
                incr counter;
-               ignore (CB.insert ~hints:grow_hints grow (!counter, 0) : bool)));
+               ignore (CB.s_insert grow_sess (!counter, 0) : bool)));
         Test.make ~name:"btree-random"
           (Staged.stage (fun () -> ignore (CB.insert cb (next_key ()) : bool)));
       ]
@@ -1239,48 +1239,15 @@ let main experiments scale threads full smoke_only json record chaos_spec
     Printf.eprintf "--smoke-workload: unknown workload %S (btree|datalog|all)\n"
       w;
     exit 2);
-  (match chaos_spec with
-  | None -> ()
-  | Some spec -> (
-    match Chaos.apply_spec spec with
-    | Ok () -> ()
-    | Error m ->
-      Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
-      exit 2));
-  (* Chaos firings become recorder events whenever the recorder is on
-     (the smoke datalog phase switches it on itself). *)
-  Chaos.set_fire_hook
-    (Some
-       (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0));
-  (* Live scrape endpoint: started before any experiment so the whole run
-     is observable.  The smoke phases keep toggling telemetry themselves
-     (the overhead phase measures the disabled cost); a window sampled
-     across a reset simply clamps to empty. *)
+  (* Shared observability surface; --serve-metrics must not force the
+     telemetry counters on here — the smoke phases keep toggling telemetry
+     themselves (the overhead phase measures the disabled cost), and a
+     window sampled across a reset simply clamps to empty. *)
   let server =
-    match serve_metrics with
-    | None -> None
-    | Some addr_s -> (
-      match Telemetry_server.parse_addr addr_s with
-      | Error m ->
-        Printf.eprintf "--serve-metrics: %s\n" m;
-        exit 2
-      | Ok addr -> (
-        if not (Flight.enabled ()) then Flight.enable ();
-        Telemetry_server.set_chaos_probe
-          (Some (fun () -> (Chaos.active (), Chaos.total_fired ())));
-        match Telemetry_server.start ~interval_ms:serve_interval addr with
-        | Error m ->
-          Printf.eprintf "--serve-metrics: %s\n" m;
-          exit 2
-        | Ok srv ->
-          pf "serving telemetry on %s (/metrics /snapshot.json /heat /health \
-              /trace)\n"
-            (Telemetry_server.addr_to_string (Telemetry_server.bound srv));
-          Some srv))
+    Obs_cli.setup ~telemetry_on_serve:false ~chaos:chaos_spec ~flight:false
+      ~serve_metrics ~serve_interval ()
   in
-  Fun.protect
-    ~finally:(fun () -> Option.iter Telemetry_server.stop server)
-  @@ fun () ->
+  Fun.protect ~finally:(fun () -> Obs_cli.teardown server) @@ fun () ->
   let max_threads =
     match threads with
     | Some t -> max 1 t
@@ -1310,12 +1277,10 @@ let main experiments scale threads full smoke_only json record chaos_spec
      the rings into a crash dump before propagating. *)
   (try List.iter (run_experiment cfg) experiments
    with e when Flight.enabled () ->
-     Telemetry_server.Health.note_uncontained (Printexc.to_string e);
      let path =
-       Flight.write_crashdump ~reason:(Printexc.to_string e)
-         ~seed:(Chaos.seed ())
+       Obs_cli.crash_dump
          ~extra:[ ("binary", Telemetry.Json.String "bench") ]
-         ()
+         e
      in
      Printf.eprintf "flight recorder: wrote %s (inspect with flightrec)\n" path;
      raise e);
@@ -1367,16 +1332,6 @@ let record_arg =
               BENCH_<NAME>.json and append a summary line to \
               BENCH_history.jsonl (compare runs with tools/regress.sh).")
 
-let chaos_arg =
-  Arg.(
-    value & opt (some string) None
-    & info [ "chaos" ] ~docv:"SPEC"
-        ~doc:"Arm deterministic fault injection for the run, e.g. \
-              $(b,seed=42,points=all:32).  Spec: \
-              seed=N,points=p1[:rate]+p2[:rate].  Recorded history entries \
-              are tagged chaos=true so tools/regress.sh skips the \
-              zero-fallback gate for them.")
-
 let workload_arg =
   Arg.(
     value & opt string "all"
@@ -1386,29 +1341,13 @@ let workload_arg =
               recorder on), or $(b,all).  Recorded baselines \
               (BENCH_btree.json, BENCH_datalog.json) are per-workload.")
 
-let serve_metrics_arg =
-  Arg.(
-    value & opt (some string) None
-    & info [ "serve-metrics" ] ~docv:"ADDR"
-        ~doc:"Serve live telemetry over HTTP/1.0 while the experiments run \
-              (/metrics /snapshot.json /heat /health /trace).  $(docv) is \
-              $(b,unix:PATH), $(b,PORT), or $(b,HOST:PORT); port 0 picks an \
-              ephemeral port (printed at startup).")
-
-let serve_interval_arg =
-  Arg.(
-    value & opt int 1000
-    & info [ "serve-interval" ] ~docv:"MS"
-        ~doc:"Sampling window length for --serve-metrics, in milliseconds \
-              (min 10).")
-
 let cmd =
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ experiments_arg $ scale_arg $ threads_arg $ full_arg
-      $ smoke_arg $ json_arg $ record_arg $ chaos_arg $ workload_arg
-      $ serve_metrics_arg $ serve_interval_arg)
+      $ smoke_arg $ json_arg $ record_arg $ Obs_cli.chaos_term $ workload_arg
+      $ Obs_cli.serve_metrics_term $ Obs_cli.serve_interval_term)
 
 let () = exit (Cmd.eval cmd)

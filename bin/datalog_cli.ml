@@ -85,54 +85,147 @@ let write_prometheus engine snap path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Telemetry.Prom.to_string prom))
 
-(* Start the live telemetry service (--serve-metrics): counters and the
-   flight recorder must be on for the windows to carry data, and the chaos
-   probe is wired here because the telemetry layer cannot depend on the
-   chaos layer. *)
-let start_server serve_metrics serve_interval =
-  match serve_metrics with
-  | None -> None
-  | Some addr_s -> (
-    match Telemetry_server.parse_addr addr_s with
-    | Error m ->
-      Printf.eprintf "--serve-metrics: %s\n" m;
-      exit 2
-    | Ok addr -> (
-      Telemetry.enable ();
-      if not (Flight.enabled ()) then Flight.enable ();
-      Telemetry_server.set_chaos_probe
-        (Some (fun () -> (Chaos.active (), Chaos.total_fired ())));
-      match Telemetry_server.start ~interval_ms:serve_interval addr with
-      | Error m ->
-        Printf.eprintf "--serve-metrics: %s\n" m;
-        exit 2
-      | Ok srv ->
-        Printf.printf
-          "serving telemetry on %s (/metrics /snapshot.json /heat /health \
-           /trace)\n\
-           %!"
-          (Telemetry_server.addr_to_string (Telemetry_server.bound srv));
-        Some srv))
+(* ------------------------------------------------------------------- *)
+(* Remote mode (--connect): drive a resident datalog_serve instance     *)
+(* through the Dl_client line protocol instead of evaluating locally.   *)
+(* ------------------------------------------------------------------- *)
 
-let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec flight lenient serve_metrics serve_interval =
-  (match chaos_spec with
-  | None -> ()
-  | Some spec -> (
-    match Chaos.apply_spec spec with
-    | Ok () -> ()
-    | Error m ->
-      Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
-      exit 2));
-  if flight || serve_metrics <> None then begin
-    Flight.enable ();
-    Chaos.set_fire_hook
-      (Some
-         (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0))
-  end;
-  let server = start_server serve_metrics serve_interval in
+let read_whole_file path =
+  let ic = open_in_bin path in
   Fun.protect
-    ~finally:(fun () -> Option.iter Telemetry_server.stop server)
-  @@ fun () ->
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let remote_fail ctx = function
+  | Error m ->
+    Printf.eprintf "datalog_cli: %s: %s\n" ctx m;
+    exit 1
+  | Ok (Dl_client.Err (code, msg)) ->
+    Printf.eprintf "datalog_cli: %s: ERR %s %s\n" ctx code msg;
+    exit 1
+  | Ok r -> r
+
+let run_remote addr_s file facts_dir print_rels output_dir do_shutdown =
+  match Telemetry_server.parse_addr addr_s with
+  | Error m ->
+    Printf.eprintf "--connect: %s\n" m;
+    exit 2
+  | Ok addr -> (
+    match Dl_client.connect addr with
+    | Error m ->
+      Printf.eprintf "datalog_cli: cannot connect to %s: %s\n" addr_s m;
+      exit 1
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Dl_client.close c) @@ fun () ->
+      (match file with
+      | None ->
+        if not do_shutdown then begin
+          Printf.eprintf
+            "datalog_cli: --connect needs a program (or --shutdown)\n";
+          exit 2
+        end
+      | Some f ->
+        (* Parse locally too: the decls give us the output relations and
+           their arities for the wildcard queries below. *)
+        let prog =
+          match Parser.parse_file f with
+          | p -> p
+          | exception Parser.Syntax_error { line; col; message } ->
+            Printf.eprintf "%s:%d:%d: syntax error: %s\n" f line col message;
+            exit 1
+        in
+        (match remote_fail "RULES" (Dl_client.rules c (read_whole_file f)) with
+        | Dl_client.Ok_ info -> Printf.printf "installed: %s\n" info
+        | _ ->
+          Printf.eprintf "datalog_cli: RULES: unexpected reply\n";
+          exit 1);
+        (match facts_dir with
+        | None -> ()
+        | Some dir ->
+          let entries = Sys.readdir dir in
+          Array.sort compare entries;
+          Array.iter
+            (fun entry ->
+              match Filename.chop_suffix_opt ~suffix:".facts" entry with
+              | None -> ()
+              | Some rel ->
+                let rows =
+                  read_whole_file (Filename.concat dir entry)
+                  |> String.split_on_char '\n'
+                  |> List.filter (fun l -> String.trim l <> "")
+                in
+                (match
+                   remote_fail ("LOAD " ^ rel) (Dl_client.load c rel rows)
+                 with
+                | Dl_client.Ok_ info ->
+                  Printf.printf "loaded %d facts into %s (%s)\n"
+                    (List.length rows) rel info
+                | _ ->
+                  Printf.eprintf "datalog_cli: LOAD: unexpected reply\n";
+                  exit 1))
+            entries);
+        let outputs =
+          match
+            List.filter (fun d -> d.Ast.is_output) prog.Ast.decls
+          with
+          | [] -> prog.Ast.decls
+          | l -> l
+        in
+        List.iter
+          (fun (d : Ast.decl) ->
+            let pats = List.init d.Ast.arity (fun _ -> "_") in
+            match
+              remote_fail ("QUERY " ^ d.Ast.name)
+                (Dl_client.query c d.Ast.name pats)
+            with
+            | Dl_client.Data (_, rows) ->
+              Printf.printf "%s: %d tuples\n" d.Ast.name (List.length rows);
+              if List.mem d.Ast.name print_rels then begin
+                Printf.printf "--- %s ---\n" d.Ast.name;
+                List.iter print_endline rows
+              end;
+              (match output_dir with
+              | None -> ()
+              | Some dir ->
+                let path = Filename.concat dir (d.Ast.name ^ ".csv") in
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () ->
+                    List.iter
+                      (fun row ->
+                        output_string oc row;
+                        output_char oc '\n')
+                      rows);
+                Printf.printf "wrote %d tuples to %s\n" (List.length rows)
+                  path)
+            | _ ->
+              Printf.eprintf "datalog_cli: QUERY: unexpected reply\n";
+              exit 1)
+          outputs);
+      if do_shutdown then
+        match remote_fail "SHUTDOWN" (Dl_client.shutdown c) with
+        | Dl_client.Ok_ _ -> Printf.printf "server draining\n"
+        | _ ->
+          Printf.eprintf "datalog_cli: SHUTDOWN: unexpected reply\n";
+          exit 1)
+
+let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec flight lenient serve_metrics serve_interval connect do_shutdown =
+  let server =
+    Obs_cli.setup ~chaos:chaos_spec ~flight ~serve_metrics ~serve_interval ()
+  in
+  Fun.protect ~finally:(fun () -> Obs_cli.teardown server) @@ fun () ->
+  match connect with
+  | Some addr_s ->
+    run_remote addr_s file facts_dir print_rels output_dir do_shutdown
+  | None -> (
+  let file =
+    match file with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "datalog_cli: a PROGRAM.dl argument is required\n";
+      exit 2
+  in
   match Storage.kind_of_name storage with
   | None ->
     Printf.eprintf "unknown storage kind %S (try: btree, btree-nohints, \
@@ -188,17 +281,14 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
            before the error propagates. *)
         (try Pool.with_pool threads (fun pool -> Engine.run engine pool)
          with e when Flight.enabled () ->
-           Telemetry_server.Health.note_uncontained (Printexc.to_string e);
            let path =
-             Flight.write_crashdump
-               ~reason:(Printexc.to_string e)
-               ~seed:(Chaos.seed ())
+             Obs_cli.crash_dump
                ~extra:
                  [
                    ("program", Telemetry.Json.String file);
                    ("chaos", Telemetry.Json.Bool (Chaos.active ()));
                  ]
-               ()
+               e
            in
            Printf.eprintf "flight recorder: wrote %s (inspect with flightrec)\n"
              path;
@@ -297,10 +387,10 @@ let run_program file storage threads print_rels show_stats show_profile facts_di
             (Engine.rule_profile engine)
         end;
         Printf.printf "evaluated in %.3fs (%d iterations, storage=%s, threads=%d)\n"
-          elapsed (Engine.iterations engine) (Storage.kind_name kind) threads))
+          elapsed (Engine.iterations engine) (Storage.kind_name kind) threads)))
 
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.dl")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM.dl")
 
 let storage_arg =
   Arg.(value & opt string "btree" & info [ "storage"; "s" ] ~docv:"KIND"
@@ -339,39 +429,23 @@ let metrics_arg =
                histograms, tree shape) to $(docv).  Combines with --stats \
                and --trace.")
 
-let chaos_arg =
-  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC"
-         ~doc:"Arm deterministic fault injection, e.g. \
-               $(b,seed=42,points=olock.validate.force_fail:8+pool.job.raise). \
-               Spec format: seed=N,points=p1[:rate]+p2[:rate] (rate = \
-               1-in-rate firing; 'all' arms every point).  Fired counts are \
-               printed after the run.")
-
-let flight_arg =
-  Arg.(value & flag & info [ "flight" ]
-         ~doc:"Enable the flight recorder: per-domain event rings feeding \
-               the contention heatmap (--stats, --metrics), Chrome traces \
-               (--trace), and a crashdump-<seed>.json written on failure \
-               (inspect with $(b,flightrec)).")
-
 let lenient_arg =
   Arg.(value & flag & info [ "lenient" ]
          ~doc:"Skip (and count, see io.malformed_lines in --stats/--metrics) \
                malformed fact lines instead of aborting the load.")
 
-let serve_metrics_arg =
-  Arg.(value & opt (some string) None & info [ "serve-metrics" ] ~docv:"ADDR"
-         ~doc:"Serve live telemetry over HTTP/1.0 while the run executes: \
-               /metrics (Prometheus), /snapshot.json (windowed deltas), \
-               /heat (contention heatmap), /health, /trace.  $(docv) is \
-               $(b,unix:PATH), $(b,PORT) (binds 127.0.0.1), or \
-               $(b,HOST:PORT); port 0 picks an ephemeral port (printed at \
-               startup).  Implies counters and the flight recorder.")
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect"; "c" ] ~docv:"ADDR"
+         ~doc:"Run against a resident $(b,datalog_serve) instance at $(docv) \
+               ($(b,unix:PATH), $(b,PORT), or $(b,HOST:PORT)) instead of \
+               evaluating locally: install PROGRAM.dl, batch-load --facts, \
+               then query every output relation ($(b,--print) and \
+               $(b,--output) apply to the served results).")
 
-let serve_interval_arg =
-  Arg.(value & opt int 1000 & info [ "serve-interval" ] ~docv:"MS"
-         ~doc:"Sampling window length for --serve-metrics, in milliseconds \
-               (min 10).")
+let shutdown_arg =
+  Arg.(value & flag & info [ "shutdown" ]
+         ~doc:"With --connect: ask the server to drain and exit afterwards \
+               (with no PROGRAM.dl, just send the shutdown).")
 
 let cmd =
   let doc = "evaluate a Datalog program with the specialized concurrent B-tree engine" in
@@ -380,7 +454,8 @@ let cmd =
     Term.(
       const run_program $ file_arg $ storage_arg $ threads_arg $ print_arg
       $ stats_arg $ profile_arg $ facts_arg $ output_arg $ trace_arg
-      $ metrics_arg $ chaos_arg $ flight_arg $ lenient_arg
-      $ serve_metrics_arg $ serve_interval_arg)
+      $ metrics_arg $ Obs_cli.chaos_term $ Obs_cli.flight_term $ lenient_arg
+      $ Obs_cli.serve_metrics_term $ Obs_cli.serve_interval_term
+      $ connect_arg $ shutdown_arg)
 
 let () = exit (Cmd.eval cmd)

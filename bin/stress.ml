@@ -8,7 +8,7 @@
 
      stress --seed 42 --domains 4 --replay 17
 
-   Runs cycle through four scenarios:
+   Runs cycle through five scenarios:
      opt   — functor B-tree, optimistic descents under forced validation
              failures, descent yields and split delays;
      pess  — same workload with a zero restart budget, so every descent
@@ -16,11 +16,14 @@
      pool  — pool.job.raise armed: injected worker faults must surface as
              aggregated [Pool_failure]s (never a dead domain) and the tree
              must stay consistent for the workers that survived;
-     tup   — the hand-specialized tuple B-tree under the same chaos mix.
+     tup   — the hand-specialized tuple B-tree under the same chaos mix;
+     serve — a resident datalog_serve instance under connection drops and
+             admission-busy faults, driven by concurrent client domains.
 
    After every run the failpoints are disarmed and the tree is audited:
    [check_invariants] plus an exact cardinality check against the distinct
-   keys of the slices whose workers completed. *)
+   keys of the slices whose workers completed (for serve: the acked facts
+   against the served relation). *)
 
 open Cmdliner
 module T = Btree.Make (Key.Int)
@@ -41,14 +44,18 @@ let rng_next st =
   st := r;
   r
 
+let n_scenarios = 5
+
 let scenario_name = function
   | 0 -> "opt"
   | 1 -> "pess"
   | 2 -> "pool"
-  | _ -> "tup"
+  | 3 -> "tup"
+  | _ -> "serve"
 
 let tree_points = "olock.validate.force_fail:12+btree.descent.yield:6+btree.split.delay:6"
 let pool_points = tree_points ^ "+pool.job.raise:4"
+let serve_points = "server.conn.drop:12+server.phase.busy:6"
 
 (* Contiguous partition of [0, n) into [workers] near-equal slices. *)
 let slice ~workers ~n w =
@@ -68,13 +75,200 @@ exception Audit_failure of string
 
 let failf fmt = Printf.ksprintf (fun m -> raise (Audit_failure m)) fmt
 
+(* serve scenario: a resident server under connection drops and
+   admission-busy faults.  Client domains assert disjoint facts with
+   bounded retries (busy → back off, dropped connection → reconnect);
+   chaos drops fire before a request is parsed, so an acked fact is always
+   applied and an unacked one never is — the audit can demand the served
+   relation equal the acked set exactly. *)
+let serve_program =
+  ".decl kv(a:number, b:number)\n.input kv\n\
+   .decl out(a:number, b:number)\n.output out\n\
+   out(x, y) :- kv(x, y).\n"
+
+let serve_run ~domains ~nkeys ~seed r =
+  ignore seed;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stress-serve-%d-%d.sock" (Unix.getpid ()) r)
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let addr =
+    match Telemetry_server.parse_addr ("unix:" ^ sock) with
+    | Ok a -> a
+    | Error m -> failf "bad socket addr: %s" m
+  in
+  let cfg =
+    {
+      (Dl_server.default_config addr) with
+      Dl_server.workers = 2;
+      flip_pending = 64;
+      flip_interval_ms = 5;
+    }
+  in
+  match Dl_server.start cfg with
+  | Error m -> failf "server start: %s" m
+  | Ok srv ->
+    let audit = ref (0, 0) in
+    (try
+       (* Install the program.  The conn-drop failpoint severs connections
+          before any buffered request is parsed, so a transport error means
+          the install was not applied and retrying over a fresh connection
+          is safe (and RULES re-installation is idempotent regardless). *)
+       let rec install tries =
+         match Dl_client.connect addr with
+         | Error m ->
+           if tries <= 1 then failf "install connect: %s" m
+           else begin
+             Unix.sleepf 0.005;
+             install (tries - 1)
+           end
+         | Ok c -> (
+           let reply =
+             Fun.protect ~finally:(fun () -> Dl_client.close c) @@ fun () ->
+             Dl_client.rules c serve_program
+           in
+           match reply with
+           | Ok (Dl_client.Ok_ _) -> ()
+           | Ok (Dl_client.Err (code, m)) -> failf "RULES: %s %s" code m
+           | Ok _ -> failf "RULES: bad reply"
+           | Error _ ->
+             if tries <= 1 then failf "RULES: no reply after retries"
+             else begin
+               Unix.sleepf 0.002;
+               install (tries - 1)
+             end)
+       in
+       install 20;
+       (* Each client owns [lo, hi) of the key space; b is the client id,
+          so every acked (a, b) is globally unique. *)
+       let acked = Array.make domains [] in
+       let give_ups = Array.make domains 0 in
+       let clients =
+         List.init domains (fun w ->
+             Domain.spawn (fun () ->
+                 let lo, hi = slice ~workers:domains ~n:nkeys w in
+                 let conn = ref None in
+                 let disconnect () =
+                   (match !conn with
+                   | Some c -> Dl_client.close c
+                   | None -> ());
+                   conn := None
+                 in
+                 let rec get_conn tries =
+                   match !conn with
+                   | Some c -> Some c
+                   | None ->
+                     if tries <= 0 then None
+                     else (
+                       match Dl_client.connect addr with
+                       | Ok c ->
+                         conn := Some c;
+                         Some c
+                       | Error _ ->
+                         Unix.sleepf 0.005;
+                         get_conn (tries - 1))
+                 in
+                 for i = lo to hi - 1 do
+                   let rec try_assert tries =
+                     if tries <= 0 then give_ups.(w) <- give_ups.(w) + 1
+                     else
+                       match get_conn 10 with
+                       | None -> give_ups.(w) <- give_ups.(w) + 1
+                       | Some c -> (
+                         match
+                           Dl_client.assert_fact c "kv"
+                             [ string_of_int i; string_of_int w ]
+                         with
+                         | Ok (Dl_client.Ok_ _) ->
+                           acked.(w) <- i :: acked.(w)
+                         | Ok (Dl_client.Err ("busy", _)) ->
+                           Unix.sleepf 0.002;
+                           try_assert (tries - 1)
+                         | Ok _ -> give_ups.(w) <- give_ups.(w) + 1
+                         | Error _ ->
+                           (* dropped before the request was parsed *)
+                           disconnect ();
+                           try_assert (tries - 1))
+                   in
+                   try_assert 20;
+                   if i land 31 = 0 then
+                     match get_conn 3 with
+                     | None -> ()
+                     | Some c -> (
+                       match
+                         Dl_client.query c "out" [ "_"; string_of_int w ]
+                       with
+                       | Ok _ -> ()
+                       | Error _ -> disconnect ())
+                 done;
+                 disconnect ()))
+       in
+       List.iter Domain.join clients;
+       (* audit with the failpoints quiet *)
+       Chaos.disable ();
+       let expected =
+         Array.to_list acked
+         |> List.mapi (fun w keys ->
+                List.map (fun i -> Printf.sprintf "%d\t%d" i w) keys)
+         |> List.concat
+       in
+       let uncertain = Array.fold_left ( + ) 0 give_ups in
+       (match Dl_client.connect addr with
+       | Error m -> failf "audit connect: %s" m
+       | Ok c ->
+         Fun.protect ~finally:(fun () -> Dl_client.close c) @@ fun () ->
+         (match Dl_client.query c "out" [ "_"; "_" ] with
+         | Ok (Dl_client.Data (_, rows)) ->
+           let served = Hashtbl.create (List.length rows) in
+           List.iter (fun row -> Hashtbl.replace served row ()) rows;
+           List.iter
+             (fun row ->
+               if not (Hashtbl.mem served row) then
+                 failf "acked fact %S missing from served relation" row)
+             expected;
+           let n_expected = List.length expected in
+           let n_served = Hashtbl.length served in
+           if n_served < n_expected || n_served > n_expected + uncertain
+           then
+             failf "served %d tuples, expected %d (+%d uncertain)" n_served
+               n_expected uncertain
+         | Ok (Dl_client.Err (code, m)) -> failf "audit query: %s %s" code m
+         | Ok _ | Error _ -> failf "audit query: bad reply");
+         (match Dl_client.stats c with
+         | Ok (Dl_client.Data (_, lines)) ->
+           List.iter
+             (fun l ->
+               match String.index_opt l '=' with
+               | Some eq
+                 when String.sub l 0 eq = "phase_violations"
+                      && String.sub l (eq + 1) (String.length l - eq - 1)
+                         <> "0" ->
+                 failf "server reported %s" l
+               | _ -> ())
+             lines
+         | Ok _ | Error _ -> failf "audit stats: bad reply");
+         (match Dl_client.shutdown c with
+         | Ok (Dl_client.Ok_ _) -> ()
+         | Ok _ | Error _ -> failf "shutdown: bad reply"));
+       audit := (List.length expected, 0)
+     with e ->
+       Dl_server.stop srv;
+       raise e);
+    Dl_server.stop srv;
+    !audit
+
 (* Run one scenario; returns (inserted keys audited, pool failures seen). *)
 let one_run ~domains ~nkeys ~points_override ~seed r =
-  let scen = r mod 4 in
+  let scen = r mod n_scenarios in
   let points =
     match points_override with
     | Some p -> p
-    | None -> if scen = 2 then pool_points else tree_points
+    | None ->
+      if scen = 2 then pool_points
+      else if scen = 4 then serve_points
+      else tree_points
   in
   (match Chaos.apply_spec (Printf.sprintf "seed=%d,points=%s" seed points) with
   | Ok () -> ()
@@ -82,6 +276,8 @@ let one_run ~domains ~nkeys ~points_override ~seed r =
     Printf.eprintf "bad failpoint spec: %s\n%s\n" m Chaos.spec_help;
     exit 2);
   Olock.Backoff.set_seed seed;
+  if scen = 4 then serve_run ~domains ~nkeys ~seed r
+  else begin
   let capacity = 4 + (4 * (r mod 3)) in
   let key_range = max 64 (nkeys / 2) in
   let st = ref (mix seed 0xABCD) in
@@ -158,9 +354,9 @@ let one_run ~domains ~nkeys ~points_override ~seed r =
           Pool.run pool (fun w ->
               let lo, hi = slice ~workers:domains ~n:nkeys w in
               if (r + w) land 1 = 0 then begin
-                let hints = Btree_tuples.make_hints () in
+                let s = Btree_tuples.session tree in
                 for i = lo to hi - 1 do
-                  ignore (Btree_tuples.insert ~hints tree keys.(i) : bool)
+                  ignore (Btree_tuples.s_insert s keys.(i) : bool)
                 done
               end
               else begin
@@ -202,6 +398,7 @@ let one_run ~domains ~nkeys ~points_override ~seed r =
     audit_keys := Array.length surv
   end;
   (!audit_keys, !failures)
+  end
 
 (* --crash-demo: exercise the post-mortem path end to end.  Phase one
    runs a contended insert under forced validation failures so the rings
@@ -246,11 +443,10 @@ let crash_demo ~domains ~nkeys seed =
     exit 2
   | exception e ->
     Chaos.disable ();
-    Telemetry_server.Health.note_uncontained (Printexc.to_string e);
     let path =
-      Flight.write_crashdump ~reason:(Printexc.to_string e) ~seed
+      Obs_cli.crash_dump
         ~extra:[ ("scenario", Telemetry.Json.String "crash-demo") ]
-        ()
+        e
     in
     Printf.printf "crash demo: induced %s\n" (Printexc.to_string e);
     Printf.printf "flight recorder: wrote %s (inspect with flightrec)\n" path;
@@ -259,40 +455,15 @@ let crash_demo ~domains ~nkeys seed =
 let main base_seed domains runs nkeys points_override replay crash serve_metrics serve_interval =
   let domains = max 1 domains in
   Telemetry.enable ();
-  (* The recorder is always on under stress: the harness exists to shake
-     out rare interleavings, and a failing run is worth a ring drain. *)
-  Flight.enable ();
-  Chaos.set_fire_hook
-    (Some
-       (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0));
-  (* Live observability for long drills: /health degrades while failpoints
-     fire or watchdogs trip, /heat shows where the contention lands. *)
+  (* The recorder is always on under stress (the harness exists to shake
+     out rare interleavings, and a failing run is worth a ring drain);
+     chaos is armed per run, not from a flag.  Live observability for long
+     drills: /health degrades while failpoints fire or watchdogs trip,
+     /heat shows where the contention lands. *)
   let server =
-    match serve_metrics with
-    | None -> None
-    | Some addr_s -> (
-      match Telemetry_server.parse_addr addr_s with
-      | Error m ->
-        Printf.eprintf "--serve-metrics: %s\n" m;
-        exit 2
-      | Ok addr -> (
-        Telemetry_server.set_chaos_probe
-          (Some (fun () -> (Chaos.active (), Chaos.total_fired ())));
-        match Telemetry_server.start ~interval_ms:serve_interval addr with
-        | Error m ->
-          Printf.eprintf "--serve-metrics: %s\n" m;
-          exit 2
-        | Ok srv ->
-          Printf.printf
-            "serving telemetry on %s (/metrics /snapshot.json /heat /health \
-             /trace)\n\
-             %!"
-            (Telemetry_server.addr_to_string (Telemetry_server.bound srv));
-          Some srv))
+    Obs_cli.setup ~chaos:None ~flight:true ~serve_metrics ~serve_interval ()
   in
-  Fun.protect
-    ~finally:(fun () -> Option.iter Telemetry_server.stop server)
-  @@ fun () ->
+  Fun.protect ~finally:(fun () -> Obs_cli.teardown server) @@ fun () ->
   if crash then crash_demo ~domains ~nkeys base_seed;
   let todo =
     match replay with
@@ -311,25 +482,29 @@ let main base_seed domains runs nkeys points_override replay crash serve_metrics
       match one_run ~domains ~nkeys ~points_override ~seed r with
       | audited, pool_failures ->
         injected_jobs := !injected_jobs + pool_failures;
-        Printf.printf "run %3d/%d scen=%-4s seed=0x%08x ok (audited=%d%s)\n"
-          (r + 1) runs (scenario_name (r mod 4)) seed audited
+        Printf.printf "run %3d/%d scen=%-5s seed=0x%08x ok (audited=%d%s)\n%!"
+          (r + 1) runs
+          (scenario_name (r mod n_scenarios))
+          seed audited
           (if pool_failures > 0 then
              Printf.sprintf ", contained pool failures=%d" pool_failures
            else "")
       | exception e ->
         Chaos.disable ();
-        Telemetry_server.Health.note_uncontained (Printexc.to_string e);
         incr failures_total;
-        Printf.printf "run %3d/%d scen=%-4s seed=0x%08x FAILED: %s\n" (r + 1)
-          runs (scenario_name (r mod 4)) seed (Printexc.to_string e);
+        Printf.printf "run %3d/%d scen=%-5s seed=0x%08x FAILED: %s\n" (r + 1)
+          runs
+          (scenario_name (r mod n_scenarios))
+          seed (Printexc.to_string e);
         let dump =
-          Flight.write_crashdump ~reason:(Printexc.to_string e) ~seed
+          Obs_cli.crash_dump
             ~extra:
               [
-                ("scenario", Telemetry.Json.String (scenario_name (r mod 4)));
+                ( "scenario",
+                  Telemetry.Json.String (scenario_name (r mod n_scenarios)) );
                 ("run", Telemetry.Json.Int (r + 1));
               ]
-            ()
+            e
         in
         Printf.printf "flight recorder: wrote %s (inspect with flightrec)\n"
           dump;

@@ -2,32 +2,34 @@
 
      dune exec examples/quickstart.exe
 
-   Walks through the public API: creation, hinted insertion, membership,
-   bound queries, range scans, and a concurrent insertion phase driven by
-   multiple domains — the paper's write-phase / read-phase usage pattern. *)
+   Walks through the public API: creation, session-hinted insertion,
+   membership, bound queries, range scans, and a concurrent insertion phase
+   driven by multiple domains — the paper's write-phase / read-phase usage
+   pattern. *)
 
 module T = Btree.Make (Key.Pair)
 
 let () =
   print_endline "== specialized concurrent B-tree: quickstart ==\n";
 
-  (* 1. build a tree single-threaded, with operation hints *)
+  (* 1. build a tree single-threaded, through a per-domain session (the
+     session owns this domain's operation hints) *)
   let tree = T.create () in
-  let hints = T.make_hints () in
+  let sess = T.session tree in
   for x = 0 to 99 do
     for y = 0 to 99 do
-      ignore (T.insert ~hints tree (x, y) : bool)
+      ignore (T.s_insert sess (x, y) : bool)
     done
   done;
   Printf.printf "inserted a 100x100 grid of 2D tuples: cardinal = %d\n"
     (T.cardinal tree);
-  let s = T.hint_stats hints in
+  let s = T.hint_stats (T.s_hints sess) in
   Printf.printf "ordered insertion drove the insert hint: %d hits / %d misses\n"
     s.T.insert_hits s.T.insert_misses;
 
   (* 2. point queries and bounds *)
-  Printf.printf "mem (7, 10)   = %b\n" (T.mem ~hints tree (7, 10));
-  Printf.printf "mem (7, 100)  = %b\n" (T.mem ~hints tree (7, 100));
+  Printf.printf "mem (7, 10)   = %b\n" (T.s_mem sess (7, 10));
+  Printf.printf "mem (7, 100)  = %b\n" (T.s_mem sess (7, 100));
   (match T.lower_bound tree (42, 98) with
   | Some (x, y) -> Printf.printf "lower_bound (42, 98) = (%d, %d)\n" x y
   | None -> print_endline "lower_bound (42, 98) = none");
@@ -48,16 +50,16 @@ let () =
     tree (13, 0);
   Printf.printf "range scan of row 13 visited %d tuples\n" !row;
 
-  (* 4. concurrent write phase: domains share the tree, each with its own
-     hints; no other synchronisation is needed *)
+  (* 4. concurrent write phase: domains share the tree, each through its
+     own session; no other synchronisation is needed *)
   let tree2 = T.create () in
   let workers = max 2 (Domain.recommended_domain_count ()) in
   let per = 50_000 in
   let spawn w =
     Domain.spawn (fun () ->
-        let h = T.make_hints () in
+        let s = T.session tree2 in
         for i = 0 to per - 1 do
-          ignore (T.insert ~hints:h tree2 (w, i) : bool)
+          ignore (T.s_insert s (w, i) : bool)
         done)
   in
   let t0 = Bench_util.wall () in

@@ -1558,8 +1558,8 @@ module Make (K : Key.ORDERED) = struct
   (* A per-domain handle bundling the tree with that domain's operation
      hints; telemetry is domain-local by construction, so a session also
      delimits the telemetry shard its operations account to.  This is the
-     preferred surface — the [?hints] optional arguments above remain as
-     thin deprecated wrappers for one release. *)
+     only hinted surface: the [?hints] parameters on the raw operations are
+     internal, shadowed by unhinted rebinds below. *)
 
   type session = { s_tree : t; s_hints : hints }
 
@@ -1600,4 +1600,20 @@ module Make (K : Key.ORDERED) = struct
     let ordered = true
     let shape t = Some (shape t)
   end
+
+  (* ------------------------------------------------------------------ *)
+  (* Public unhinted surface                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  (* The [?hints] optional arguments are not exported: hinted operation
+     goes through a per-domain session, everything else through these
+     unhinted rebinds (which the .mli exposes).  This completes the PR 3
+     session migration — there is exactly one way to hold hints. *)
+  let insert t key = insert t key
+  let insert_batch ?pos ?len t run = insert_batch ?pos ?len t run
+  let insert_all dst src = insert_all dst src
+  let mem t key = mem t key
+  let lower_bound t key = lower_bound t key
+  let upper_bound t key = upper_bound t key
+  let iter_from f t key = iter_from f t key
 end

@@ -47,10 +47,11 @@ module Make (K : Key.ORDERED) : sig
   (** {1 Operation hints}
 
       A [hints] value caches the last leaf located by each operation kind.
-      Hints are {e thread-local by convention}: create one per domain with
-      {!make_hints} and pass it to every call from that domain.  Sharing one
-      [hints] value between domains is memory-safe but destroys the hit
-      rate.  Hints never dangle because nodes are never deleted. *)
+      Hints are {e thread-local by convention} and are owned by a
+      per-domain {!session} — route hinted operations through {!s_insert}
+      and friends; the values below exist for hint-statistics inspection
+      (via {!s_hints}) and for the ablation harness.  Hints never dangle
+      because nodes are never deleted. *)
 
   type hints
 
@@ -110,13 +111,12 @@ module Make (K : Key.ORDERED) : sig
 
   (** {1 Modification} *)
 
-  val insert : ?hints:hints -> t -> key -> bool
+  val insert : t -> key -> bool
   (** [insert t k] adds [k]; returns [true] iff [k] was not already present.
-      Thread-safe against concurrent [insert]s (Algorithm 1).
+      Thread-safe against concurrent [insert]s (Algorithm 1).  Unhinted;
+      for the hinted path use {!s_insert} on a per-domain {!session}. *)
 
-      Deprecated surface: prefer {!s_insert} on a per-domain {!session}. *)
-
-  val insert_batch : ?hints:hints -> ?pos:int -> ?len:int -> t -> key array -> int
+  val insert_batch : ?pos:int -> ?len:int -> t -> key array -> int
   (** [insert_batch t run] inserts the sorted run [run.(pos..pos+len-1)]
       (non-decreasing; duplicates are skipped) and returns the number of
       fresh keys.  One optimistic descent acquires the target leaf's write
@@ -130,15 +130,16 @@ module Make (K : Key.ORDERED) : sig
       @raise Invalid_argument when the run is not sorted or the range is
       invalid. *)
 
-  val insert_all : ?hints:hints -> t -> t -> unit
+  val insert_all : t -> t -> unit
   (** [insert_all dst src] inserts every element of [src] into [dst] in
-      order, driving the insertion with hints so that runs of consecutive
-      keys share tree traversals — the paper's specialised merge.  [src] is
-      not modified.  Thread-safe on [dst] (it is a loop of [insert]s). *)
+      order, driving the insertion with internal hints so that runs of
+      consecutive keys share tree traversals — the paper's specialised
+      merge.  [src] is not modified.  Thread-safe on [dst] (it is a loop
+      of [insert]s). *)
 
   (** {1 Queries (read phase)} *)
 
-  val mem : ?hints:hints -> t -> key -> bool
+  val mem : t -> key -> bool
   val is_empty : t -> bool
 
   val cardinal : t -> int
@@ -148,10 +149,10 @@ module Make (K : Key.ORDERED) : sig
   val min_elt : t -> key option
   val max_elt : t -> key option
 
-  val lower_bound : ?hints:hints -> t -> key -> key option
+  val lower_bound : t -> key -> key option
   (** Smallest element [>= k], if any. *)
 
-  val upper_bound : ?hints:hints -> t -> key -> key option
+  val upper_bound : t -> key -> key option
   (** Smallest element [> k], if any. *)
 
   val iter : (key -> unit) -> t -> unit
@@ -163,14 +164,15 @@ module Make (K : Key.ORDERED) : sig
   (** In-order iteration stopping the first time the callback returns
       [false]. *)
 
-  val iter_from : ?hints:hints -> (key -> bool) -> t -> key -> unit
+  val iter_from : (key -> bool) -> t -> key -> unit
   (** [iter_from f t k] applies [f] in order to every element [>= k] and
       stops when [f] returns [false].  This is the range-scan primitive
       behind the Datalog engine's [lower_bound]/[upper_bound] joins.
 
-      With [hints], a scan that starts inside (and completes within) the
-      leaf cached by the previous bound query skips the tree traversal
-      entirely; the hit is counted in the lower-bound hint statistics. *)
+      Through a session ({!s_iter_from}), a scan that starts inside (and
+      completes within) the leaf cached by the previous bound query skips
+      the tree traversal entirely; the hit is counted in the lower-bound
+      hint statistics. *)
 
   val to_list : t -> key list
   val to_sorted_array : t -> key array
@@ -255,9 +257,9 @@ module Make (K : Key.ORDERED) : sig
       A session is a per-domain handle owning the domain's operation hints
       (and, by construction, delimiting the domain-local telemetry shard
       its operations account to).  Create one per domain with {!session}
-      and route all of that domain's operations through it; this replaces
-      threading [?hints] through every call site, which remains available
-      as a deprecated thin wrapper for one release. *)
+      and route all of that domain's operations through it.  Sessions are
+      the only hinted surface: the former [?hints] optional arguments on
+      the raw operations are gone. *)
 
   type session
 

@@ -1084,3 +1084,15 @@ end) : Storage_intf.S with type elt = int array and type t = t = struct
   let ordered = true
   let shape t = Some (shape t)
 end
+
+(* ---------------- public unhinted surface ---------------- *)
+
+(* The [?hints] optional arguments are not exported: hinted operation goes
+   through a per-domain session, everything else through these unhinted
+   rebinds (which the .mli exposes). *)
+let insert t key = insert t key
+let insert_batch ?pos ?len t run = insert_batch ?pos ?len t run
+let mem t key = mem t key
+let lower_bound t key = lower_bound t key
+let upper_bound t key = upper_bound t key
+let iter_from f t key = iter_from f t key

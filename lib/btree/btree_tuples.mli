@@ -52,13 +52,11 @@ val set_restart_budget : int -> unit
 
 val restart_budget : unit -> int
 
-val insert : ?hints:hints -> t -> int array -> bool
-(** Thread-safe against concurrent inserts.
+val insert : t -> int array -> bool
+(** Thread-safe against concurrent inserts.  Unhinted; for the hinted path
+    use {!s_insert} on a per-domain {!session}. *)
 
-    Deprecated surface: prefer {!s_insert} on a per-domain {!session}. *)
-
-val insert_batch :
-  ?hints:hints -> ?pos:int -> ?len:int -> t -> int array array -> int
+val insert_batch : ?pos:int -> ?len:int -> t -> int array array -> int
 (** [insert_batch t run] inserts the sorted run [run.(pos..pos+len-1)]
     (non-decreasing in the tree's [order]-major comparison; duplicates are
     skipped) and returns the number of fresh tuples.  One optimistic
@@ -70,18 +68,18 @@ val insert_batch :
     @raise Invalid_argument when the run is not sorted or the range is
     invalid. *)
 
-val mem : ?hints:hints -> t -> int array -> bool
+val mem : t -> int array -> bool
 val is_empty : t -> bool
 val cardinal : t -> int
 
-val lower_bound : ?hints:hints -> t -> int array -> int array option
+val lower_bound : t -> int array -> int array option
 (** Smallest tuple [>=] the probe (in [order]-major comparison). *)
 
-val upper_bound : ?hints:hints -> t -> int array -> int array option
+val upper_bound : t -> int array -> int array option
 (** Smallest tuple [>] the probe. *)
 
 val iter : (int array -> unit) -> t -> unit
-val iter_from : ?hints:hints -> (int array -> bool) -> t -> int array -> unit
+val iter_from : (int array -> bool) -> t -> int array -> unit
 (** In-order from the first tuple [>=] the probe (in [order]-major
     comparison), while the callback returns [true]. *)
 
@@ -100,10 +98,9 @@ val separators : t -> limit:int -> int array array
 
 (** {1 Sessions}
 
-    A per-domain handle owning the domain's operation hints; replaces
-    threading [?hints] through every call site (which remains available as
-    a deprecated thin wrapper for one release).  Do not share across
-    domains. *)
+    A per-domain handle owning the domain's operation hints — the only
+    hinted surface (the former [?hints] optional arguments on the raw
+    operations are gone).  Do not share across domains. *)
 
 type session
 

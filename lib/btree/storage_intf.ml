@@ -7,6 +7,13 @@
     module table instead of repeating a per-kind match per operation, and
     lets structure-generic tests and benchmarks range over backends.
 
+    This signature — together with the typed phase handles of
+    [Relation.Writer]/[Relation.Reader] one layer up — is the documented
+    public storage API: backends conform via their [As_storage] witnesses
+    (unhinted; per-domain hinted access is a session concern of the
+    concrete modules), and anything structure-generic should be written
+    against it rather than against a concrete tree.
+
     Semantics: a set of [elt] with insertion, membership, order queries and
     in-order scans.  Unordered (hash) backends implement the order queries
     by linear scan — correct, but only trees make them fast; callers that

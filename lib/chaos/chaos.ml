@@ -24,11 +24,13 @@ module Point = struct
     | Btree_split_delay
     | Pool_job_raise
     | Io_read_truncate
+    | Server_conn_drop
+    | Server_phase_busy
 
   let all =
     [
       Olock_validate_force_fail; Btree_descent_yield; Btree_split_delay;
-      Pool_job_raise; Io_read_truncate;
+      Pool_job_raise; Io_read_truncate; Server_conn_drop; Server_phase_busy;
     ]
 
   let index = function
@@ -37,6 +39,8 @@ module Point = struct
     | Btree_split_delay -> 2
     | Pool_job_raise -> 3
     | Io_read_truncate -> 4
+    | Server_conn_drop -> 5
+    | Server_phase_busy -> 6
 
   let count = List.length all
 
@@ -46,6 +50,8 @@ module Point = struct
     | Btree_split_delay -> "btree.split.delay"
     | Pool_job_raise -> "pool.job.raise"
     | Io_read_truncate -> "io.read.truncate"
+    | Server_conn_drop -> "server.conn.drop"
+    | Server_phase_busy -> "server.phase.busy"
 
   let of_name s = List.find_opt (fun p -> name p = s) all
 end
@@ -167,8 +173,8 @@ let armed_points () =
 let spec_help =
   "seed=N,points=P1[:RATE1]+P2[:RATE2]+...  (point names: \
    olock.validate.force_fail btree.descent.yield btree.split.delay \
-   pool.job.raise io.read.truncate, or 'all'; RATE fires 1-in-RATE, \
-   default 16)"
+   pool.job.raise io.read.truncate server.conn.drop server.phase.busy, \
+   or 'all'; RATE fires 1-in-RATE, default 16)"
 
 let default_rate = 16
 

@@ -37,6 +37,12 @@ module Point : sig
     | Io_read_truncate
         (** truncate a fact line mid-read, simulating a torn/corrupt input
             file *)
+    | Server_conn_drop
+        (** drop a client connection mid-request, simulating a flaky peer or
+            network — the query server must contain it to that session *)
+    | Server_phase_busy
+        (** force the server's admission scheduler to reject a request with
+            a 503-style BUSY response, as under overload *)
 
   val all : t list
   val count : int

@@ -80,6 +80,8 @@ let result_exn t =
   | Some r -> r
   | None -> invalid_arg "Engine: call run first"
 
+let relation t name = (result_exn t).Eval.relations.(pred_id_exn t name)
+
 let relation_size t name =
   Relation.cardinal (result_exn t).Eval.relations.(pred_id_exn t name)
 

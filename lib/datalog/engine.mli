@@ -53,6 +53,13 @@ val run : t -> Pool.t -> unit
     @raise Invalid_argument on repeated calls. *)
 
 val has_run : t -> bool
+
+val relation : t -> string -> Relation.t
+(** The evaluated relation itself (after {!run}), for phase-typed access:
+    open {!Relation.begin_read} handles to serve concurrent queries over
+    the fixed point — the query server's reader phases go through here.
+    @raise Invalid_argument on unknown relation or before run. *)
+
 val relation_size : t -> string -> int
 val iter_relation : t -> string -> (int array -> unit) -> unit
 val relation_list : t -> string -> int array list

@@ -66,43 +66,24 @@ val hint_runs : t -> int array option
     the relation; [None] when the storage kind is unhinted. *)
 
 val sig_id : t -> int array -> int
-(** Index id of a signature for {!Cursor.scan}; [-1] denotes the primary.
+(** Index id of a signature for {!Reader.scan}; [-1] denotes the primary.
     @raise Not_found if the signature was not declared at creation. *)
 
-(** Per-worker access handles (hint-carrying cursors over every index).
+(** {1 Typed two-phase access — the public access API}
 
-    Deprecated surface: a [Cursor.t] can both insert and scan, so nothing
-    stops a caller from mixing phases.  Prefer the typed phase handles
-    below ({!begin_write} / {!begin_read}); [Cursor] remains for one
-    release for callers that manage phases externally. *)
-module Cursor : sig
-  type rel = t
-  type t
-
-  val create : rel -> t
-
-  val insert : t -> int array -> bool
-  (** Insert through this worker's hinted cursors; counts an insert attempt
-      and — when fresh — a produced tuple into the stats. *)
-
-  val mem : t -> int array -> bool
-  val scan : t -> int -> int array -> (int array -> unit) -> unit
-  (** [scan c sig_id bound f]: enumerate tuples matching [bound] on the
-      signature [sig_id] (from {!sig_id}); [-1] scans the whole relation. *)
-end
-
-(** {1 Typed two-phase access}
-
-    In every parallel region a relation is either written or read, never
-    both — the discipline parallel semi-naive evaluation guarantees and
-    the B-tree's synchronisation is specialised for.  The typed handles
-    make the phase explicit: a {!Writer.t} can only insert, a {!Reader.t}
-    can only query.  Opening a phase while the opposite phase is live
-    raises {!Storage.Index.Phase_violation} (both phases are counted in
-    one atomic word, so the overlap check has no window).  Any number of
-    concurrent writers — or concurrent readers — may be open at once;
-    create one handle per worker, and {!Writer.finish}/{!Reader.finish} it
-    when the phase ends. *)
+    This is the stable, documented way to read and write a relation from
+    worker code; the untyped cursor that used to sit beside it is now
+    internal.  In every parallel region a relation is either written or
+    read, never both — the discipline parallel semi-naive evaluation
+    guarantees and the B-tree's synchronisation is specialised for.  The
+    typed handles make the phase explicit: a {!Writer.t} can only insert,
+    a {!Reader.t} can only query.  Opening a phase while the opposite
+    phase is live raises {!Storage.Index.Phase_violation} (both phases are
+    counted in one atomic word, so the overlap check has no window).  Any
+    number of concurrent writers — or concurrent readers — may be open at
+    once; create one handle per worker (each owns its per-domain hinted
+    cursors), and {!Writer.finish}/{!Reader.finish} it when the phase
+    ends. *)
 
 (** Write-phase handle: hinted inserts and batch merges only. *)
 module Writer : sig
@@ -110,7 +91,8 @@ module Writer : sig
   type t
 
   val insert : t -> int array -> bool
-  (** Hinted per-tuple insert (counts stats like {!Cursor.insert}). *)
+  (** Hinted per-tuple insert; counts an insert attempt and — when fresh —
+      a produced tuple into the stats. *)
 
   val insert_batch : ?pool:Pool.t -> t -> int array array -> int
   (** {!merge_batch} through this writer. *)
@@ -125,8 +107,14 @@ module Reader : sig
   type t
 
   val mem : t -> int array -> bool
+
   val scan : t -> int -> int array -> (int array -> unit) -> unit
+  (** [scan r sig_id bound f]: enumerate tuples matching [bound] on the
+      signature [sig_id] (from {!sig_id}); [-1] with an empty [bound]
+      scans the whole relation. *)
+
   val finish : t -> unit
+  (** Close the phase.  @raise Invalid_argument if already finished. *)
 end
 
 val begin_write : t -> Writer.t

@@ -169,40 +169,52 @@ module Index = struct
       | None -> full_order ~arity ~cols
     in
     let tree = Btree_tuples.create ~arity ~order () in
-    (* every hint record ever handed to a cursor, for hit-rate reporting *)
+    (* the hints of every session ever handed to a cursor, for hit-rate
+       reporting *)
     let hint_registry = ref [] in
     let registry_lock = Olock.Spin.create () in
-    let scan h scratch ~cols bound f =
+    let scan sess scratch ~cols bound f =
       count_scan stats (Array.length cols);
       if Array.length cols = 0 then Btree_tuples.iter f tree
       else begin
         Array.fill scratch 0 arity min_int;
         Array.iteri (fun i c -> scratch.(c) <- bound.(i)) cols;
-        Btree_tuples.iter_from ?hints:h
-          (fun tup ->
-            if matches ~cols bound tup then begin
-              f tup;
-              true
-            end
-            else false)
-          tree scratch
+        let keep tup =
+          if matches ~cols bound tup then begin
+            f tup;
+            true
+          end
+          else false
+        in
+        match sess with
+        | Some s -> Btree_tuples.s_iter_from keep s scratch
+        | None -> Btree_tuples.iter_from keep tree scratch
       end
     in
     let cursor () =
-      let h = if hints then Some (Btree_tuples.make_hints ()) else None in
-      (match h with
-      | Some hr ->
+      (* each cursor is a per-domain access handle, so it owns a session
+         (the hinted path); the no-hints ablation kind uses the raw
+         unhinted operations instead *)
+      let sess = if hints then Some (Btree_tuples.session tree) else None in
+      (match sess with
+      | Some s ->
         Olock.Spin.with_lock registry_lock (fun () ->
-            hint_registry := hr :: !hint_registry)
+            hint_registry := Btree_tuples.s_hints s :: !hint_registry)
       | None -> ());
       let scratch = Array.make (max 1 arity) 0 in
       {
-        c_insert = (fun tup -> Btree_tuples.insert ?hints:h tree tup);
+        c_insert =
+          (fun tup ->
+            match sess with
+            | Some s -> Btree_tuples.s_insert s tup
+            | None -> Btree_tuples.insert tree tup);
         c_mem =
           (fun tup ->
             count_mem stats;
-            Btree_tuples.mem ?hints:h tree tup);
-        c_scan = (fun ~cols bound f -> scan h scratch ~cols bound f);
+            match sess with
+            | Some s -> Btree_tuples.s_mem s tup
+            | None -> Btree_tuples.mem tree tup);
+        c_scan = (fun ~cols bound f -> scan sess scratch ~cols bound f);
       }
     in
     (* Parallel structural merge (delta -> full): sort the incoming tuples
@@ -234,18 +246,18 @@ module Index = struct
             bounds.(s + 1) <- !lo
           done;
           let fresh = Sync.Counter.make 0 in
-          (* one hint record per worker, reused across every partition the
+          (* one session per worker, reused across every partition the
              worker steals (chunk 1: partitions are coarse units already) *)
-          let whints =
-            Array.init (Pool.size p) (fun _ -> Btree_tuples.make_hints ())
+          let wsess =
+            Array.init (Pool.size p) (fun _ -> Btree_tuples.session tree)
           in
           Pool.parallel_for_workers ~label:"merge" ~chunk:1 p 0 (nseps + 1)
             (fun w part ->
               let lo = bounds.(part) and hi = bounds.(part + 1) in
               if hi > lo then begin
                 let f =
-                  Btree_tuples.insert_batch ~hints:whints.(w) ~pos:lo
-                    ~len:(hi - lo) tree run
+                  Btree_tuples.s_insert_batch ~pos:lo ~len:(hi - lo)
+                    wsess.(w) run
                 in
                 Sync.Counter.add fresh f
               end);

@@ -1,0 +1,94 @@
+(* Shared observability flag surface (see the .mli for the contract).
+   Everything here was once copy-pasted across datalog_cli/bench/stress;
+   keep it boring and binary-agnostic. *)
+
+module Arg = Cmdliner.Arg
+
+let chaos_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault injection, e.g. \
+           $(b,seed=42,points=olock.validate.force_fail:8+pool.job.raise). \
+           Spec format: seed=N,points=p1[:rate]+p2[:rate] (rate = 1-in-rate \
+           firing; 'all' arms every point).")
+
+let flight_term =
+  Arg.(
+    value & flag
+    & info [ "flight" ]
+        ~doc:
+          "Enable the flight recorder: per-domain event rings feeding the \
+           contention heatmap, Chrome traces, and a crashdump-<seed>.json \
+           written on failure (inspect with $(b,flightrec)).")
+
+let serve_metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve-metrics" ] ~docv:"ADDR"
+        ~doc:
+          "Serve live telemetry over HTTP/1.0 while the run executes: \
+           /metrics (Prometheus), /snapshot.json (windowed deltas), /heat \
+           (contention heatmap), /health, /trace.  $(docv) is $(b,unix:PATH), \
+           $(b,PORT) (binds 127.0.0.1), or $(b,HOST:PORT); port 0 picks an \
+           ephemeral port (printed at startup).  Implies the flight \
+           recorder.")
+
+let serve_interval_term =
+  Arg.(
+    value & opt int 1000
+    & info [ "serve-interval" ] ~docv:"MS"
+        ~doc:
+          "Sampling window length for --serve-metrics, in milliseconds (min \
+           10).")
+
+let setup ?(telemetry_on_serve = true) ~chaos ~flight ~serve_metrics
+    ~serve_interval () =
+  (match chaos with
+  | None -> ()
+  | Some spec -> (
+    match Chaos.apply_spec spec with
+    | Ok () -> ()
+    | Error m ->
+      Printf.eprintf "--chaos: %s\n%s\n" m Chaos.spec_help;
+      exit 2));
+  if flight then Flight.enable ();
+  (* Inert while the recorder is off, so install it unconditionally: a
+     phase that enables the recorder later gets firings for free. *)
+  Chaos.set_fire_hook
+    (Some
+       (fun p -> Flight.record Flight.Ev.Chaos_fire (Chaos.Point.index p) 0 0));
+  match serve_metrics with
+  | None -> None
+  | Some addr_s -> (
+    match Telemetry_server.parse_addr addr_s with
+    | Error m ->
+      Printf.eprintf "--serve-metrics: %s\n" m;
+      exit 2
+    | Ok addr -> (
+      if telemetry_on_serve then Telemetry.enable ();
+      if not (Flight.enabled ()) then Flight.enable ();
+      Telemetry_server.set_chaos_probe
+        (Some (fun () -> (Chaos.active (), Chaos.total_fired ())));
+      match Telemetry_server.start ~interval_ms:serve_interval addr with
+      | Error m ->
+        Printf.eprintf "--serve-metrics: %s\n" m;
+        exit 2
+      | Ok srv ->
+        Printf.printf
+          "serving telemetry on %s (/metrics /snapshot.json /heat /health \
+           /trace)\n\
+           %!"
+          (Telemetry_server.addr_to_string (Telemetry_server.bound srv));
+        Some srv))
+
+let teardown server = Option.iter Telemetry_server.stop server
+
+let crash_dump ?(extra = []) exn =
+  Telemetry_server.Health.note_uncontained (Printexc.to_string exn);
+  Flight.write_crashdump
+    ~reason:(Printexc.to_string exn)
+    ~seed:(Chaos.seed ()) ~extra ()

@@ -1,0 +1,53 @@
+(** Shared observability flag surface of the binaries.
+
+    [datalog_cli], [bench], [stress] and [datalog_serve] all expose the
+    same quartet — [--chaos], [--flight], [--serve-metrics],
+    [--serve-interval] — and the same wiring behind it (spec parsing,
+    recorder enablement, the chaos→flight fire hook, the telemetry
+    endpoint with its chaos probe, crash dumps).  This module is that
+    surface, defined once: a binary composes the terms into its command
+    line and calls {!setup} first thing, so a new observability flag
+    lands in every binary by construction. *)
+
+val chaos_term : string option Cmdliner.Term.t
+(** [--chaos SPEC] — deterministic fault injection ({!Chaos.apply_spec}
+    syntax). *)
+
+val flight_term : bool Cmdliner.Term.t
+(** [--flight] — enable the flight recorder. *)
+
+val serve_metrics_term : string option Cmdliner.Term.t
+(** [--serve-metrics ADDR] — live telemetry endpoint
+    ([unix:PATH] / [PORT] / [HOST:PORT]). *)
+
+val serve_interval_term : int Cmdliner.Term.t
+(** [--serve-interval MS] — sampling window length (default 1000). *)
+
+val setup :
+  ?telemetry_on_serve:bool ->
+  chaos:string option ->
+  flight:bool ->
+  serve_metrics:string option ->
+  serve_interval:int ->
+  unit ->
+  Telemetry_server.t option
+(** Apply the quartet, in order: arm the chaos spec ([exit 2] + usage on a
+    malformed one), enable the flight recorder if asked, install the
+    chaos→flight fire hook (always — it is inert while the recorder is
+    off), and start the telemetry endpoint when requested (banner printed;
+    [exit 2] on a bad address or bind failure).  Serving implies the
+    flight recorder, and — unless [telemetry_on_serve] is [false] (a
+    binary that toggles counters itself, e.g. bench's overhead phases) —
+    the telemetry counters.  Returns the running endpoint; pass it to
+    {!teardown} in a [Fun.protect] finally. *)
+
+val teardown : Telemetry_server.t option -> unit
+(** Stop the endpoint from {!setup}, if one was started. *)
+
+val crash_dump :
+  ?extra:(string * Telemetry.Json.t) list -> exn -> string
+(** Post-mortem on an escaping exception: flag /health degraded
+    ({!Telemetry_server.Health.note_uncontained}) and drain the flight
+    rings into a crash dump tagged with the chaos seed plus [extra].
+    Returns the dump path (callers print it their own way).  Call only
+    with the recorder enabled. *)

@@ -1,0 +1,190 @@
+(* Blocking protocol client.  Deliberately boring: one fd, one read
+   buffer, socket timeouts instead of an event loop — the concurrency
+   story lives on the server side, a client is one session on one
+   domain. *)
+
+type t = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  chunk : Bytes.t;
+  mutable alive : bool;
+}
+
+type reply =
+  | Ok_ of string
+  | Data of string * string list
+  | Err of string * string
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with _ -> ()
+  end
+
+(* --------------------------------------------------------------- *)
+(* Buffered line reading                                            *)
+(* --------------------------------------------------------------- *)
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let rec read_line t =
+  if not t.alive then Error "connection closed"
+  else
+    let data = Buffer.contents t.rbuf in
+    match String.index_opt data '\n' with
+    | Some nl ->
+      let line = strip_cr (String.sub data 0 nl) in
+      Buffer.clear t.rbuf;
+      Buffer.add_substring t.rbuf data (nl + 1) (String.length data - nl - 1);
+      Ok line
+    | None -> (
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 ->
+        close t;
+        Error "connection closed by server"
+      | n ->
+        Buffer.add_subbytes t.rbuf t.chunk 0 n;
+        read_line t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line t
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        close t;
+        Error "receive timeout"
+      | exception e ->
+        close t;
+        Error (Printexc.to_string e))
+
+let write_all t s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write t.fd b off (len - off) with
+      | 0 ->
+        close t;
+        Error "send failed"
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception e ->
+        close t;
+        Error (Printexc.to_string e)
+  in
+  if t.alive then go 0 else Error "connection closed"
+
+(* --------------------------------------------------------------- *)
+(* Replies                                                          *)
+(* --------------------------------------------------------------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let read_reply t =
+  let* status = read_line t in
+  match Dl_proto.parse_response_line status with
+  | `Ok info -> Ok (Ok_ info)
+  | `Err ("garbled", line) ->
+    close t;
+    Error ("garbled reply: " ^ line)
+  | `Err (code, msg) -> Ok (Err (code, msg))
+  | `Data (n, info) ->
+    let rec rows acc k =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* line = read_line t in
+        rows (line :: acc) (k - 1)
+    in
+    let* payload = rows [] n in
+    let* fin = read_line t in
+    if fin = "END" then Ok (Data (info, payload))
+    else begin
+      close t;
+      Error ("bad payload terminator: " ^ fin)
+    end
+
+let request t line =
+  let* () = write_all t (line ^ "\n") in
+  read_reply t
+
+let send_payload t header lines =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    lines;
+  let* () = write_all t (Buffer.contents buf) in
+  read_reply t
+
+(* --------------------------------------------------------------- *)
+(* Connect                                                          *)
+(* --------------------------------------------------------------- *)
+
+let resolve_host h =
+  try Unix.inet_addr_of_string h
+  with _ -> (
+    try (Unix.gethostbyname h).Unix.h_addr_list.(0)
+    with _ -> failwith ("cannot resolve host " ^ h))
+
+let connect ?(timeout_s = 30.0) addr =
+  let mk () =
+    match addr with
+    | Telemetry_server.Tcp (host, port) ->
+      ( Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0,
+        Unix.ADDR_INET (resolve_host host, port) )
+    | Telemetry_server.Unix_sock p ->
+      ( Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0,
+        Unix.ADDR_UNIX p )
+  in
+  match mk () with
+  | exception e -> Error (Printexc.to_string e)
+  | fd, sa -> (
+    match
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+      Unix.connect fd sa
+    with
+    | () -> (
+      let t =
+        { fd; rbuf = Buffer.create 512; chunk = Bytes.create 4096; alive = true }
+      in
+      (* the greeting is the handshake: anything else is not our server *)
+      match read_line t with
+      | Ok g when g = Dl_proto.greeting -> Ok t
+      | Ok g ->
+        close t;
+        Error ("unexpected greeting: " ^ g)
+      | Error e ->
+        close t;
+        Error e)
+    | exception e ->
+      (try Unix.close fd with _ -> ());
+      Error (Printexc.to_string e))
+
+(* --------------------------------------------------------------- *)
+(* Verb wrappers                                                    *)
+(* --------------------------------------------------------------- *)
+
+let hello t = request t ("HELLO " ^ Dl_proto.version)
+let ping t = request t "PING"
+let stats t = request t "STATS"
+let shutdown t = request t "SHUTDOWN"
+
+let rules t text =
+  let lines = String.split_on_char '\n' text in
+  (* a trailing newline in the source is not an extra payload line *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  send_payload t (Printf.sprintf "RULES %d" (List.length lines)) lines
+
+let load t rel rows =
+  send_payload t (Printf.sprintf "LOAD %s %d" rel (List.length rows)) rows
+
+let assert_fact t rel fields =
+  request t (Printf.sprintf "ASSERT %s %s" rel (String.concat " " fields))
+
+let query t rel pats =
+  request t (Printf.sprintf "QUERY %s %s" rel (String.concat " " pats))

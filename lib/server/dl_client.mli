@@ -1,0 +1,51 @@
+(** Blocking line-protocol client for {!Dl_server} ([fetch]-style: small,
+    synchronous, self-contained), used by the tests, the CI selftest, the
+    stress harness's server scenario and [datalog_cli --connect].
+
+    One {!t} is one session; it is not thread-safe — give each domain its
+    own connection (that is the server's unit of isolation anyway). *)
+
+type t
+
+val connect :
+  ?timeout_s:float -> Telemetry_server.addr -> (t, string) result
+(** Connect and consume the server greeting.  [timeout_s] (default 30)
+    bounds every subsequent send/receive. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+(** A complete server reply.  [Err (code, msg)] carries the wire error
+    code (see {!Dl_proto.err_code}; unknown codes pass through). *)
+type reply =
+  | Ok_ of string
+  | Data of string * string list  (** info, payload rows *)
+  | Err of string * string
+
+val request : t -> string -> (reply, string) result
+(** Send one already-formatted request line and read the full reply
+    (including a [DATA] payload).  [Error] means the transport failed —
+    closed/dropped connection, timeout, or a garbled reply; protocol-level
+    rejections come back as [Ok (Err _)]. *)
+
+val send_payload : t -> string -> string list -> (reply, string) result
+(** [send_payload t header lines]: a header announcing
+    [List.length lines] payload lines, then the lines.  The caller formats
+    the header ({!load} / {!rules} are the common wrappers). *)
+
+val hello : t -> (reply, string) result
+val ping : t -> (reply, string) result
+val stats : t -> (reply, string) result
+val shutdown : t -> (reply, string) result
+
+val rules : t -> string -> (reply, string) result
+(** Install a program from source text (split on newlines). *)
+
+val load : t -> string -> string list -> (reply, string) result
+(** [load t rel rows]: batch-load pre-rendered fact lines. *)
+
+val assert_fact : t -> string -> string list -> (reply, string) result
+(** [assert_fact t rel fields]. *)
+
+val query : t -> string -> string list -> (reply, string) result
+(** [query t rel patterns] — a pattern field is a value or ["_"]. *)

@@ -1,0 +1,954 @@
+(* Resident query server: one server domain owns everything.
+
+   Concurrency shape (the telemetry monitor-domain idiom, grown up): the
+   spawned server domain exclusively owns the listener, every session, the
+   admission queue, the base-fact store and the engine generations, all
+   multiplexed over a single [Unix.select].  Nothing on this path is
+   synchronised because nothing is shared; the only cross-domain edges are
+   the self-pipe ([stop]), the resident pool (driven only from the server
+   domain), and a mutex-protected registration handshake with the
+   telemetry gauge registry whose reads are racy-but-defined plain loads.
+
+   Phases: ingest is *admitted* on the server domain (validated, appended
+   to the fact store, acknowledged) and *applied* in batched writer phases
+   — a generation flip re-evaluates the program over the full store and
+   swaps one mutable field.  Queries are fanned out over the pool as
+   concurrent reader phases against the immutable current generation, so
+   the paper's all-writers-or-all-readers discipline holds by construction
+   and [check_phases] can assert it never tears. *)
+
+type config = {
+  addr : Telemetry_server.addr;
+  kind : Storage.kind;
+  workers : int;
+  flip_pending : int;
+  flip_interval_ms : int;
+  max_pending : int;
+  max_clients : int;
+  check_phases : bool;
+}
+
+let default_config addr =
+  {
+    addr;
+    kind = Storage.Btree;
+    workers = Pool.recommended_workers ();
+    flip_pending = 256;
+    flip_interval_ms = 50;
+    max_pending = 100_000;
+    max_clients = 64;
+    check_phases = false;
+  }
+
+(* --------------------------------------------------------------- *)
+(* Per-session state (all touched only by the server domain)        *)
+(* --------------------------------------------------------------- *)
+
+(* An announced LOAD/RULES payload being consumed line by line.  The
+   first error poisons the batch — remaining lines are still consumed
+   (framing must survive bad content) but the whole batch is rejected,
+   so a LOAD is atomic: all facts or none. *)
+type payload = {
+  p_kind : [ `Load of string * int (* relation, arity *) | `Rules ];
+  mutable p_left : int;
+  mutable p_lines : string list; (* newest first *)
+  mutable p_err : (Dl_proto.err_code * string) option;
+  mutable p_lineno : int;
+  p_t0 : int;
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_rbuf : Buffer.t; (* unparsed input bytes *)
+  c_outq : string Queue.t; (* rendered responses awaiting the socket *)
+  mutable c_out_off : int; (* bytes of the queue head already written *)
+  mutable c_payload : payload option;
+  mutable c_alive : bool;
+  mutable c_close_after_flush : bool;
+}
+
+(* Accumulated base facts of one relation, replayed into every
+   generation.  Values keep their surface form; symbols are re-interned
+   per generation (symbol ids are engine-local). *)
+type fact_store = {
+  fs_arity : int;
+  mutable fs_rows : Dl_proto.value array list; (* newest first *)
+  mutable fs_count : int;
+}
+
+type state = {
+  s_cfg : config;
+  s_lfd : Unix.file_descr;
+  s_stop_rd : Unix.file_descr;
+  s_pool : Pool.t;
+  s_chunk : Bytes.t; (* per-server read buffer (two servers may coexist) *)
+  s_conns : (Unix.file_descr, conn) Hashtbl.t;
+  s_facts : (string, fact_store) Hashtbl.t;
+  s_queries : (conn * string * Dl_proto.pat array * int) Queue.t;
+  mutable s_program : Ast.program option;
+  mutable s_decls : (string * int) list; (* name, arity of installed decls *)
+  mutable s_gen : Engine.t option;
+  mutable s_gen_seq : int;
+  mutable s_stale : bool; (* program/facts newer than s_gen *)
+  mutable s_pending : int; (* facts admitted since the last flip *)
+  mutable s_pending_t0s : int list; (* admission stamps of pending requests *)
+  mutable s_oldest_pending : int; (* ns; max_int when none *)
+  mutable s_flip_failures : int; (* consecutive *)
+  mutable s_retry_at : int; (* ns; no flip before this after a failure *)
+  mutable s_requests : int;
+  mutable s_busy : int;
+  mutable s_flips : int;
+  mutable s_conn_total : int;
+  mutable s_phase_violations : int;
+  mutable s_shutting_down : bool;
+  mutable s_drain_deadline : int; (* ns; meaningful once shutting down *)
+  mutable s_running : bool;
+}
+
+(* --------------------------------------------------------------- *)
+(* Gauge registry handshake (the only cross-domain shared state)    *)
+(* --------------------------------------------------------------- *)
+
+(* [register_gauges] appends, so register once and route through a slot
+   holding the current server; the provider's field reads are racy
+   plain loads of ints, the documented gauge contract. *)
+let gauge_mutex = Mutex.create ()
+let gauge_slot : state option ref = ref None
+let gauges_registered = ref false
+
+let read_gauge_slot () = Mutex.protect gauge_mutex (fun () -> !gauge_slot)
+
+let install_gauges st =
+  Mutex.protect gauge_mutex (fun () ->
+      gauge_slot := Some st;
+      if not !gauges_registered then begin
+        gauges_registered := true;
+        Telemetry_server.register_gauges "dl_server" (fun () ->
+            match read_gauge_slot () with
+            | None -> []
+            | Some st ->
+              [
+                ("pending_ingest", float_of_int st.s_pending);
+                ("queued_queries", float_of_int (Queue.length st.s_queries));
+                ("clients", float_of_int (Hashtbl.length st.s_conns));
+                ("generation", float_of_int st.s_gen_seq);
+                ("flips", float_of_int st.s_flips);
+                ("busy_rejections", float_of_int st.s_busy);
+                ("phase_violations", float_of_int st.s_phase_violations);
+              ])
+      end)
+
+let clear_gauges () = Mutex.protect gauge_mutex (fun () -> gauge_slot := None)
+
+(* --------------------------------------------------------------- *)
+(* Session plumbing                                                 *)
+(* --------------------------------------------------------------- *)
+
+let close_conn st c =
+  if c.c_alive then begin
+    c.c_alive <- false;
+    Hashtbl.remove st.s_conns c.c_fd;
+    try Unix.close c.c_fd with _ -> ()
+  end
+
+(* Opportunistic nonblocking flush; what the kernel will not take now is
+   retried when select reports the socket writable. *)
+let rec flush_conn st c =
+  if c.c_alive then
+    if Queue.is_empty c.c_outq then begin
+      if c.c_close_after_flush then close_conn st c
+    end
+    else
+      let head = Queue.peek c.c_outq in
+      let len = String.length head - c.c_out_off in
+      match Unix.write_substring c.c_fd head c.c_out_off len with
+      | n when n = len ->
+        ignore (Queue.pop c.c_outq);
+        c.c_out_off <- 0;
+        flush_conn st c
+      | n -> c.c_out_off <- c.c_out_off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn st c
+      | exception _ -> close_conn st c
+
+let respond st c resp =
+  if c.c_alive then begin
+    let buf = Buffer.create 128 in
+    Dl_proto.render buf resp;
+    Queue.add (Buffer.contents buf) c.c_outq;
+    flush_conn st c
+  end
+
+let reject_busy st c msg =
+  st.s_busy <- st.s_busy + 1;
+  Telemetry.bump Telemetry.Counter.Server_busy_rejections;
+  respond st c (Dl_proto.R_err (Dl_proto.E_busy, msg))
+
+(* --------------------------------------------------------------- *)
+(* Generation flips (writer phases)                                 *)
+(* --------------------------------------------------------------- *)
+
+let build_generation st prog =
+  let e =
+    Engine.create ~kind:st.s_cfg.kind ~check_phases:st.s_cfg.check_phases prog
+  in
+  Hashtbl.iter
+    (fun rel fs ->
+      let tuples = Array.make fs.fs_count [||] in
+      let i = ref 0 in
+      List.iter
+        (fun vals ->
+          tuples.(!i) <-
+            Array.map
+              (function
+                | Dl_proto.V_int v -> v
+                | Dl_proto.V_sym s -> Engine.intern e s)
+              vals;
+          incr i)
+        fs.fs_rows;
+      Engine.add_fact_run e rel tuples)
+    st.s_facts;
+  Engine.run e st.s_pool;
+  e
+
+let fail_waiting_queries st msg =
+  Queue.iter
+    (fun (c, _, _, _) -> respond st c (Dl_proto.R_err (Dl_proto.E_internal, msg)))
+    st.s_queries;
+  Queue.clear st.s_queries
+
+let do_flip st =
+  match st.s_program with
+  | None -> ()
+  | Some prog -> (
+    let t0 = Telemetry.now_ns () in
+    match build_generation st prog with
+    | e ->
+      let now = Telemetry.now_ns () in
+      st.s_gen <- Some e;
+      st.s_gen_seq <- st.s_gen_seq + 1;
+      st.s_stale <- false;
+      st.s_flips <- st.s_flips + 1;
+      st.s_flip_failures <- 0;
+      st.s_retry_at <- 0;
+      Telemetry.bump Telemetry.Counter.Server_phase_flips;
+      Telemetry.hist_record Telemetry.Hist.Server_flip_ns (now - t0);
+      List.iter
+        (fun a -> Telemetry.hist_record Telemetry.Hist.Server_ingest_ns (now - a))
+        st.s_pending_t0s;
+      st.s_pending <- 0;
+      st.s_pending_t0s <- [];
+      st.s_oldest_pending <- max_int
+    | exception e ->
+      (* Contained: the previous generation keeps serving, the admitted
+         facts stay in the store, and the flip retries on the next
+         trigger.  After a few consecutive failures the waiting queries
+         are failed rather than starved forever. *)
+      (match e with
+      | Storage.Index.Phase_violation _ ->
+        st.s_phase_violations <- st.s_phase_violations + 1
+      | _ -> ());
+      st.s_flip_failures <- st.s_flip_failures + 1;
+      (* back off so an armed chaos point cannot hot-spin the loop *)
+      st.s_retry_at <-
+        Telemetry.now_ns () + (st.s_cfg.flip_interval_ms * 1_000_000);
+      if st.s_flip_failures >= 3 then begin
+        fail_waiting_queries st
+          (Printf.sprintf "evaluation failing (%d attempts): %s"
+             st.s_flip_failures (Printexc.to_string e));
+        st.s_flip_failures <- 0
+      end)
+
+let flip_due st now =
+  st.s_program <> None
+  && (st.s_stale || st.s_pending > 0)
+  && now >= st.s_retry_at
+  && (st.s_gen = None || st.s_shutting_down
+     || st.s_pending >= st.s_cfg.flip_pending
+     || (not (Queue.is_empty st.s_queries))
+     || st.s_pending > 0
+        && now - st.s_oldest_pending
+           >= st.s_cfg.flip_interval_ms * 1_000_000)
+
+(* --------------------------------------------------------------- *)
+(* Query execution (reader phases)                                  *)
+(* --------------------------------------------------------------- *)
+
+(* A resolved pattern field: symbols interned on the server domain
+   (symtab mutation is not thread-safe) before fanning out; a symbol the
+   generation never saw matches nothing, which interning expresses
+   naturally (a fresh id no tuple contains). *)
+
+let row_to_string tup =
+  String.concat "\t" (Array.to_list (Array.map string_of_int tup))
+
+let run_queries st =
+  match st.s_gen with
+  | Some gen when (not st.s_stale) && not (Queue.is_empty st.s_queries) ->
+    let qs = Array.of_seq (Queue.to_seq st.s_queries) in
+    Queue.clear st.s_queries;
+    let k = Array.length qs in
+    (* Resolve relations and patterns sequentially on the server domain;
+       workers then touch only immutable relation structure. *)
+    let resolved =
+      Array.map
+        (fun (_, rel, pats, _) ->
+          let r = Engine.relation gen rel in
+          let ipats =
+            Array.map
+              (function
+                | Dl_proto.P_any -> None
+                | Dl_proto.P_val (Dl_proto.V_int v) -> Some v
+                | Dl_proto.P_val (Dl_proto.V_sym s) -> Some (Engine.intern gen s))
+              pats
+          in
+          (r, ipats))
+        qs
+    in
+    let slots = Array.make k `Unrun in
+    let run_one i =
+      let r, ipats = resolved.(i) in
+      match
+        let reader = Relation.begin_read r in
+        Fun.protect
+          ~finally:(fun () -> Relation.Reader.finish reader)
+          (fun () ->
+            let rows = ref [] in
+            let n = ref 0 in
+            Relation.Reader.scan reader (-1) [||] (fun tup ->
+                let ok = ref true in
+                Array.iteri
+                  (fun j p ->
+                    match p with
+                    | Some v when tup.(j) <> v -> ok := false
+                    | _ -> ())
+                  ipats;
+                if !ok then begin
+                  rows := row_to_string tup :: !rows;
+                  incr n
+                end);
+            (List.rev !rows, !n))
+      with
+      | rows, n -> slots.(i) <- `Rows (rows, n)
+      | exception Storage.Index.Phase_violation m -> slots.(i) <- `Violation m
+      | exception e -> slots.(i) <- `Failed (Printexc.to_string e)
+    in
+    (* Fan out: each worker takes a strided slice; slot writes are
+       disjoint plain writes, joined by Pool.run before anyone reads. *)
+    (try
+       Pool.run st.s_pool ~label:"serve.query" (fun w ->
+           let i = ref w in
+           let stride = Pool.size st.s_pool in
+           while !i < k do
+             run_one !i;
+             i := !i + stride
+           done)
+     with Pool.Pool_failure _ -> ());
+    let now = Telemetry.now_ns () in
+    Array.iteri
+      (fun i slot ->
+        let c, rel, _, t0 = qs.(i) in
+        Telemetry.hist_record Telemetry.Hist.Server_query_ns (now - t0);
+        match slot with
+        | `Rows (rows, n) ->
+          respond st c
+            (Dl_proto.R_data
+               ( Printf.sprintf "%s rows=%d gen=%d" rel n st.s_gen_seq,
+                 rows ))
+        | `Violation m ->
+          st.s_phase_violations <- st.s_phase_violations + 1;
+          respond st c
+            (Dl_proto.R_err (Dl_proto.E_internal, "phase violation: " ^ m))
+        | `Failed m -> respond st c (Dl_proto.R_err (Dl_proto.E_internal, m))
+        | `Unrun ->
+          respond st c
+            (Dl_proto.R_err (Dl_proto.E_internal, "query worker died")))
+      slots
+  | _ -> ()
+
+(* --------------------------------------------------------------- *)
+(* Request handling                                                 *)
+(* --------------------------------------------------------------- *)
+
+let decl_arity st rel =
+  List.assoc_opt rel st.s_decls
+
+let stats_response st =
+  let lines =
+    [
+      "proto=" ^ Dl_proto.version;
+      Printf.sprintf "program=%s"
+        (match st.s_program with Some _ -> "installed" | None -> "none");
+      Printf.sprintf "generation=%d" st.s_gen_seq;
+      Printf.sprintf "stale=%b" st.s_stale;
+      Printf.sprintf "pending_ingest=%d" st.s_pending;
+      Printf.sprintf "queued_queries=%d" (Queue.length st.s_queries);
+      Printf.sprintf "clients=%d" (Hashtbl.length st.s_conns);
+      Printf.sprintf "conns_total=%d" st.s_conn_total;
+      Printf.sprintf "requests=%d" st.s_requests;
+      Printf.sprintf "busy_rejections=%d" st.s_busy;
+      Printf.sprintf "flips=%d" st.s_flips;
+      Printf.sprintf "flip_failures=%d" st.s_flip_failures;
+      Printf.sprintf "phase_violations=%d" st.s_phase_violations;
+      Printf.sprintf "workers=%d" (Pool.size st.s_pool);
+      Printf.sprintf "storage=%s" (Storage.kind_name st.s_cfg.kind);
+    ]
+  in
+  let rels =
+    match st.s_gen with
+    | None -> []
+    | Some gen ->
+      (* quiescent: the server domain is between phases here *)
+      List.map
+        (fun r ->
+          Printf.sprintf "rel.%s=%d" r
+            (Relation.cardinal (Engine.relation gen r)))
+        (Engine.relations gen)
+  in
+  Dl_proto.R_data ("server stats", lines @ rels)
+
+(* [t0] is the admission stamp of the ingest request; the flip records
+   admission-to-applied latency from it. *)
+let admit_ingest st rows_count t0 =
+  st.s_pending <- st.s_pending + rows_count;
+  st.s_pending_t0s <- t0 :: st.s_pending_t0s;
+  if st.s_oldest_pending = max_int then st.s_oldest_pending <- t0;
+  st.s_stale <- true
+
+let store_for st rel arity =
+  match Hashtbl.find_opt st.s_facts rel with
+  | Some fs -> fs
+  | None ->
+    let fs = { fs_arity = arity; fs_rows = []; fs_count = 0 } in
+    Hashtbl.add st.s_facts rel fs;
+    fs
+
+let install_program st prog text_rules =
+  st.s_program <- Some prog;
+  st.s_decls <-
+    List.map (fun d -> (d.Ast.name, d.Ast.arity)) prog.Ast.decls;
+  (* keep base facts whose relation survived the program change *)
+  let kept = ref 0 and dropped = ref 0 in
+  let stale_rels =
+    Hashtbl.fold
+      (fun rel fs acc ->
+        match decl_arity st rel with
+        | Some a when a = fs.fs_arity ->
+          kept := !kept + fs.fs_count;
+          acc
+        | _ ->
+          dropped := !dropped + fs.fs_count;
+          rel :: acc)
+      st.s_facts []
+  in
+  List.iter (fun rel -> Hashtbl.remove st.s_facts rel) stale_rels;
+  st.s_gen <- None;
+  st.s_stale <- true;
+  Printf.sprintf "program installed rels=%d rules=%d kept_facts=%d \
+                  dropped_facts=%d"
+    (List.length prog.Ast.decls) text_rules !kept !dropped
+
+let finish_rules st c p =
+  match p.p_err with
+  | Some (code, msg) -> respond st c (Dl_proto.R_err (code, msg))
+  | None -> (
+    let text = String.concat "\n" (List.rev p.p_lines) ^ "\n" in
+    match Parser.parse_string ~filename:"<rules>" text with
+    | exception Parser.Syntax_error { line; col; message } ->
+      respond st c
+        (Dl_proto.R_err
+           ( Dl_proto.E_program,
+             Printf.sprintf "syntax error at %d:%d: %s" line col message ))
+    | prog -> (
+      (* probe-compile so static errors surface here, not at flip time *)
+      match Engine.create ~kind:st.s_cfg.kind prog with
+      | exception Plan.Compile_error msg ->
+        respond st c (Dl_proto.R_err (Dl_proto.E_program, msg))
+      | exception Stratify.Not_stratifiable msg ->
+        respond st c
+          (Dl_proto.R_err (Dl_proto.E_program, "not stratifiable: " ^ msg))
+      | exception e ->
+        respond st c
+          (Dl_proto.R_err (Dl_proto.E_program, Printexc.to_string e))
+      | _probe ->
+        let info = install_program st prog (List.length prog.Ast.rules) in
+        respond st c (Dl_proto.R_ok info)))
+
+let finish_load st c p rel arity =
+  match p.p_err with
+  | Some (code, msg) -> respond st c (Dl_proto.R_err (code, msg))
+  | None ->
+    let rows = List.rev p.p_lines in
+    let parsed = ref [] in
+    let n = ref 0 in
+    let err = ref None in
+    List.iteri
+      (fun i line ->
+        if !err = None then
+          match Dl_proto.parse_fact line with
+          | Error m ->
+            err := Some (Printf.sprintf "fact %d: %s" (i + 1) m)
+          | Ok vals when Array.length vals <> arity ->
+            err :=
+              Some
+                (Printf.sprintf "fact %d: %d fields, %s has arity %d" (i + 1)
+                   (Array.length vals) rel arity)
+          | Ok vals ->
+            parsed := vals :: !parsed;
+            incr n)
+      rows;
+    (match !err with
+    | Some m -> respond st c (Dl_proto.R_err (Dl_proto.E_parse, m))
+    | None ->
+      let fs = store_for st rel arity in
+      fs.fs_rows <- List.rev_append !parsed fs.fs_rows;
+      fs.fs_count <- fs.fs_count + !n;
+      if !n > 0 then admit_ingest st !n p.p_t0;
+      respond st c
+        (Dl_proto.R_ok
+           (Printf.sprintf "queued=%d pending=%d" !n st.s_pending)))
+
+let finish_payload st c p =
+  c.c_payload <- None;
+  match p.p_kind with
+  | `Rules -> finish_rules st c p
+  | `Load (rel, arity) -> finish_load st c p rel arity
+
+let payload_line st c p line =
+  p.p_left <- p.p_left - 1;
+  p.p_lineno <- p.p_lineno + 1;
+  (match (p.p_err, p.p_kind) with
+  | Some _, _ -> () (* poisoned: consume for framing only *)
+  | None, _ when String.length line > Dl_proto.max_line ->
+    p.p_err <-
+      Some
+        ( Dl_proto.E_proto,
+          Printf.sprintf "payload line %d exceeds %d bytes" p.p_lineno
+            Dl_proto.max_line )
+  | None, _ -> p.p_lines <- line :: p.p_lines);
+  if p.p_left <= 0 then finish_payload st c p
+
+(* Admission checks shared by the ingest verbs; [Error] is the rejection
+   to send (or to poison a payload with). *)
+let check_ingest st rel n =
+  if Chaos.fire Chaos.Point.Server_phase_busy then
+    Error (Dl_proto.E_busy, "chaos drill: writer phase saturated, retry")
+  else if st.s_pending + n > st.s_cfg.max_pending then
+    Error
+      ( Dl_proto.E_busy,
+        Printf.sprintf "pending ingest at cap (%d), retry after a flip"
+          st.s_cfg.max_pending )
+  else
+    match st.s_program with
+    | None -> Error (Dl_proto.E_no_program, "no program installed (use RULES)")
+    | Some _ -> (
+      match decl_arity st rel with
+      | None -> Error (Dl_proto.E_relation, "unknown relation " ^ rel)
+      | Some arity -> Ok arity)
+
+let handle_request st c line =
+  st.s_requests <- st.s_requests + 1;
+  Telemetry.bump Telemetry.Counter.Server_requests;
+  if st.s_shutting_down then
+    respond st c (Dl_proto.R_err (Dl_proto.E_shutdown, "server is draining"))
+  else
+    match Dl_proto.parse_request line with
+    | Error msg -> respond st c (Dl_proto.R_err (Dl_proto.E_parse, msg))
+    | Ok (Dl_proto.Hello v) ->
+      if v = Dl_proto.version then respond st c (Dl_proto.R_ok Dl_proto.version)
+      else
+        respond st c
+          (Dl_proto.R_err
+             ( Dl_proto.E_proto,
+               Printf.sprintf "unsupported protocol %S (speak %s)" v
+                 Dl_proto.version ))
+    | Ok Dl_proto.Ping -> respond st c (Dl_proto.R_ok "pong")
+    | Ok Dl_proto.Stats -> respond st c (stats_response st)
+    | Ok Dl_proto.Shutdown ->
+      st.s_shutting_down <- true;
+      st.s_drain_deadline <- Telemetry.now_ns () + 2_000_000_000;
+      respond st c (Dl_proto.R_ok "draining")
+    | Ok (Dl_proto.Rules n) ->
+      let p =
+        {
+          p_kind = `Rules;
+          p_left = n;
+          p_lines = [];
+          p_err = None;
+          p_lineno = 0;
+          p_t0 = Telemetry.now_ns ();
+        }
+      in
+      c.c_payload <- Some p;
+      if n = 0 then finish_payload st c p
+    | Ok (Dl_proto.Load (rel, n)) ->
+      let t0 = Telemetry.now_ns () in
+      let kind, err =
+        match check_ingest st rel n with
+        | Ok arity -> (`Load (rel, arity), None)
+        | Error (code, msg) ->
+          if code = Dl_proto.E_busy then begin
+            st.s_busy <- st.s_busy + 1;
+            Telemetry.bump Telemetry.Counter.Server_busy_rejections
+          end;
+          (`Load (rel, -1), Some (code, msg))
+      in
+      let p =
+        {
+          p_kind = kind;
+          p_left = n;
+          p_lines = [];
+          p_err = err;
+          p_lineno = 0;
+          p_t0 = t0;
+        }
+      in
+      c.c_payload <- Some p;
+      if n = 0 then finish_payload st c p
+    | Ok (Dl_proto.Assert_ (rel, vals)) -> (
+      match check_ingest st rel 1 with
+      | Error (code, msg) ->
+        if code = Dl_proto.E_busy then reject_busy st c msg
+        else respond st c (Dl_proto.R_err (code, msg))
+      | Ok arity ->
+        if Array.length vals <> arity then
+          respond st c
+            (Dl_proto.R_err
+               ( Dl_proto.E_arity,
+                 Printf.sprintf "%d fields, %s has arity %d"
+                   (Array.length vals) rel arity ))
+        else begin
+          let fs = store_for st rel arity in
+          fs.fs_rows <- vals :: fs.fs_rows;
+          fs.fs_count <- fs.fs_count + 1;
+          admit_ingest st 1 (Telemetry.now_ns ());
+          respond st c
+            (Dl_proto.R_ok (Printf.sprintf "queued=1 pending=%d" st.s_pending))
+        end)
+    | Ok (Dl_proto.Query (rel, pats)) -> (
+      if Chaos.fire Chaos.Point.Server_phase_busy then
+        reject_busy st c "chaos drill: reader phase saturated, retry"
+      else if Queue.length st.s_queries >= st.s_cfg.max_clients * 4 then
+        reject_busy st c "query queue at cap, retry"
+      else
+        match st.s_program with
+        | None ->
+          respond st c
+            (Dl_proto.R_err
+               (Dl_proto.E_no_program, "no program installed (use RULES)"))
+        | Some _ -> (
+          match decl_arity st rel with
+          | None ->
+            respond st c
+              (Dl_proto.R_err (Dl_proto.E_relation, "unknown relation " ^ rel))
+          | Some arity when Array.length pats <> arity ->
+            respond st c
+              (Dl_proto.R_err
+                 ( Dl_proto.E_arity,
+                   Printf.sprintf "%d pattern fields, %s has arity %d"
+                     (Array.length pats) rel arity ))
+          | Some _ ->
+            Queue.add (c, rel, pats, Telemetry.now_ns ()) st.s_queries))
+
+(* --------------------------------------------------------------- *)
+(* Input plumbing                                                   *)
+(* --------------------------------------------------------------- *)
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let process_buffer st c =
+  let data = Buffer.contents c.c_rbuf in
+  Buffer.clear c.c_rbuf;
+  let n = String.length data in
+  let pos = ref 0 in
+  (* consume complete lines; the tail (no newline yet) stays buffered *)
+  let continue = ref true in
+  while !continue && !pos < n do
+    match String.index_from_opt data !pos '\n' with
+    | None ->
+      Buffer.add_substring c.c_rbuf data !pos (n - !pos);
+      continue := false
+    | Some nl ->
+      let line = strip_cr (String.sub data !pos (nl - !pos)) in
+      pos := nl + 1;
+      if c.c_alive then begin
+        match c.c_payload with
+        | Some p -> payload_line st c p line
+        | None ->
+          if String.length line > Dl_proto.max_line then begin
+            respond st c
+              (Dl_proto.R_err (Dl_proto.E_proto, "request line too long"));
+            c.c_close_after_flush <- true;
+            continue := false
+          end
+          else handle_request st c line
+      end
+  done;
+  (* a partial line is bounded too: a peer streaming an endless line
+     must not balloon the buffer *)
+  if c.c_alive && Buffer.length c.c_rbuf > Dl_proto.max_line then begin
+    respond st c (Dl_proto.R_err (Dl_proto.E_proto, "request line too long"));
+    c.c_close_after_flush <- true;
+    Buffer.clear c.c_rbuf
+  end
+
+let handle_readable st c =
+  if c.c_alive then
+    if Chaos.fire Chaos.Point.Server_conn_drop then close_conn st c
+    else
+      match Unix.read c.c_fd st.s_chunk 0 (Bytes.length st.s_chunk) with
+      | 0 -> close_conn st c
+      | n ->
+        Buffer.add_subbytes c.c_rbuf st.s_chunk 0 n;
+        process_buffer st c
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception _ -> close_conn st c
+
+let accept_ready st =
+  let rec go () =
+    match Unix.accept ~cloexec:true st.s_lfd with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception _ -> ()
+    | fd, _peer ->
+      let refuse line =
+        (try ignore (Unix.write_substring fd line 0 (String.length line))
+         with _ -> ());
+        try Unix.close fd with _ -> ()
+      in
+      (if st.s_shutting_down then
+         refuse "ERR shutdown server is draining\n"
+       else if Hashtbl.length st.s_conns >= st.s_cfg.max_clients then begin
+         st.s_busy <- st.s_busy + 1;
+         Telemetry.bump Telemetry.Counter.Server_busy_rejections;
+         refuse "ERR busy too many clients\n"
+       end
+       else begin
+         (try Unix.set_nonblock fd with _ -> ());
+         let c =
+           {
+             c_fd = fd;
+             c_rbuf = Buffer.create 256;
+             c_outq = Queue.create ();
+             c_out_off = 0;
+             c_payload = None;
+             c_alive = true;
+             c_close_after_flush = false;
+           }
+         in
+         Hashtbl.replace st.s_conns fd c;
+         st.s_conn_total <- st.s_conn_total + 1;
+         Telemetry.bump Telemetry.Counter.Server_conns;
+         Queue.add (Dl_proto.greeting ^ "\n") c.c_outq;
+         flush_conn st c
+       end);
+      go ()
+  in
+  go ()
+
+(* --------------------------------------------------------------- *)
+(* The server loop                                                  *)
+(* --------------------------------------------------------------- *)
+
+let conn_list st = Hashtbl.fold (fun _ c acc -> c :: acc) st.s_conns []
+
+let select_timeout st now =
+  if st.s_shutting_down then 0.05
+  else if st.s_pending > 0 && st.s_oldest_pending < max_int then begin
+    let deadline =
+      (* a post-failure backoff supersedes the age trigger *)
+      max
+        (st.s_oldest_pending + (st.s_cfg.flip_interval_ms * 1_000_000))
+        st.s_retry_at
+    in
+    let left = deadline - now in
+    if left <= 0 then 0.0 else Float.min 0.25 (float_of_int left /. 1e9)
+  end
+  else 0.25
+
+let rec server_loop st =
+  if st.s_running then begin
+    let now = Telemetry.now_ns () in
+    if flip_due st now then do_flip st;
+    run_queries st;
+    let conns = conn_list st in
+    List.iter (fun c -> flush_conn st c) conns;
+    let conns = conn_list st in
+    let rds =
+      st.s_lfd :: st.s_stop_rd :: List.map (fun c -> c.c_fd) conns
+    in
+    let wrs =
+      List.filter_map
+        (fun c -> if Queue.is_empty c.c_outq then None else Some c.c_fd)
+        conns
+    in
+    let timeout = select_timeout st now in
+    let rd, wr, _ =
+      try Unix.select rds wrs [] timeout
+      with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      | Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
+    in
+    if List.mem st.s_stop_rd rd then begin
+      (try ignore (Unix.read st.s_stop_rd (Bytes.create 1) 0 1) with _ -> ());
+      st.s_shutting_down <- true;
+      st.s_drain_deadline <- Telemetry.now_ns () + 2_000_000_000
+    end;
+    if List.mem st.s_lfd rd then accept_ready st;
+    List.iter
+      (fun c -> if List.mem c.c_fd rd then handle_readable st c)
+      conns;
+    List.iter (fun c -> if List.mem c.c_fd wr then flush_conn st c) conns;
+    (if st.s_shutting_down then begin
+       (* flush pending answers (final flip + queries ran above), then
+          leave once every session drained or the grace period lapsed *)
+       let drained =
+         Hashtbl.fold
+           (fun _ c acc -> acc && Queue.is_empty c.c_outq)
+           st.s_conns true
+       in
+       if
+         (drained
+         && Queue.is_empty st.s_queries
+         && (st.s_pending = 0 || st.s_program = None))
+         || Telemetry.now_ns () > st.s_drain_deadline
+       then st.s_running <- false
+     end);
+    server_loop st
+  end
+
+let server_cleanup st unlink_path =
+  List.iter (fun c -> close_conn st c) (conn_list st);
+  (try Unix.close st.s_lfd with _ -> ());
+  (match unlink_path with
+  | Some p -> ( try Unix.unlink p with _ -> ())
+  | None -> ());
+  clear_gauges ();
+  Pool.shutdown st.s_pool
+
+(* --------------------------------------------------------------- *)
+(* Lifecycle                                                        *)
+(* --------------------------------------------------------------- *)
+
+type t = {
+  t_bound : Telemetry_server.addr;
+  t_stop_rd : Unix.file_descr;
+  t_stop_wr : Unix.file_descr;
+  t_dom : unit Domain.t;
+  mutable t_joined : bool;
+}
+
+let resolve_host h =
+  try Unix.inet_addr_of_string h
+  with _ -> (
+    try (Unix.gethostbyname h).Unix.h_addr_list.(0)
+    with _ -> failwith ("cannot resolve host " ^ h))
+
+let bind_listen addr =
+  match addr with
+  | Telemetry_server.Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+       Unix.listen fd 64;
+       let bound =
+         match Unix.getsockname fd with
+         | Unix.ADDR_INET (_, p) -> Telemetry_server.Tcp (host, p)
+         | _ -> addr
+       in
+       (fd, bound, None)
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e)
+  | Telemetry_server.Unix_sock path ->
+    (try if Sys.file_exists path then Unix.unlink path with _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64;
+       (fd, addr, Some path)
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e)
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  match bind_listen cfg.addr with
+  | exception e ->
+    Error
+      (Printf.sprintf "datalog server: cannot bind: %s" (Printexc.to_string e))
+  | lfd, bound, unlink_path ->
+    (try Unix.set_nonblock lfd with _ -> ());
+    let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+    let pool = Pool.create (max 1 cfg.workers) in
+    let dom =
+      Domain.spawn (fun () ->
+          let st =
+            {
+              s_cfg = cfg;
+              s_lfd = lfd;
+              s_stop_rd = stop_rd;
+              s_pool = pool;
+              s_chunk = Bytes.create 8192;
+              s_conns = Hashtbl.create 16;
+              s_facts = Hashtbl.create 16;
+              s_queries = Queue.create ();
+              s_program = None;
+              s_decls = [];
+              s_gen = None;
+              s_gen_seq = 0;
+              s_stale = false;
+              s_pending = 0;
+              s_pending_t0s = [];
+              s_oldest_pending = max_int;
+              s_flip_failures = 0;
+              s_retry_at = 0;
+              s_requests = 0;
+              s_busy = 0;
+              s_flips = 0;
+              s_conn_total = 0;
+              s_phase_violations = 0;
+              s_shutting_down = false;
+              s_drain_deadline = max_int;
+              s_running = true;
+            }
+          in
+          install_gauges st;
+          Fun.protect
+            ~finally:(fun () -> server_cleanup st unlink_path)
+            (fun () -> server_loop st))
+    in
+    Ok { t_bound = bound; t_stop_rd = stop_rd; t_stop_wr = stop_wr; t_dom = dom;
+         t_joined = false }
+
+let bound t = t.t_bound
+
+let wait t =
+  if not t.t_joined then begin
+    t.t_joined <- true;
+    (try Domain.join t.t_dom
+     with e ->
+       Telemetry_server.Health.note_uncontained
+         ("server domain died: " ^ Printexc.to_string e));
+    List.iter
+      (fun fd -> try Unix.close fd with _ -> ())
+      [ t.t_stop_wr; t.t_stop_rd ]
+  end
+
+let signal_stop t =
+  if not t.t_joined then
+    try ignore (Unix.write_substring t.t_stop_wr "x" 0 1) with _ -> ()
+
+let stop t =
+  if not t.t_joined then begin
+    signal_stop t;
+    wait t
+  end

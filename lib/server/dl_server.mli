@@ -1,0 +1,74 @@
+(** Resident Datalog query server with phase-flip admission scheduling.
+
+    The server keeps an {!Engine} resident and turns the paper's two-phase
+    access discipline into its scheduling policy: client ingest ([ASSERT]/
+    [LOAD]) is only {e admitted} — accepted into a durable base-fact store
+    and acknowledged — while the actual write work is batched into whole
+    {b writer phases}, and queries are fanned out over the worker pool as
+    concurrent {b reader phases} against an immutable evaluated generation.
+    The two phases never overlap by construction: both run from the single
+    server domain, which owns every connection, the admission queue and the
+    engine, multiplexed over one [Unix.select] (the telemetry monitor-domain
+    idiom — domain-confined state, no synchronisation on the hot path).
+
+    {b Generations.}  [Engine.run] evaluates once, so a writer phase is a
+    {e generation flip}: recompile the installed program, replay the full
+    base-fact store through the batch load path, evaluate to fixed point on
+    the resident pool, and atomically (it is one mutable field on one
+    domain) swap the served generation.  Readers only ever see a fully
+    evaluated, immutable generation — the FB+-tree motivation of keeping
+    reads latch-free pushed to its limit.  Full recomputation per flip is
+    deliberate: incremental/MVCC variants are later roadmap items, and the
+    admission scheduler is exactly the seam they will slot into.
+
+    {b Flip policy.}  A flip is triggered when pending ingest reaches
+    [flip_pending] facts, when the oldest pending ingest has waited
+    [flip_interval_ms], when a query arrives with ingest pending (queries
+    would otherwise read stale data — this gives read-your-writes at batch
+    granularity), or on shutdown.  Backpressure: beyond [max_pending]
+    admitted-but-unapplied facts the server answers [ERR busy] (503-style)
+    instead of queueing unboundedly.
+
+    {b Failure containment.}  A failed flip (e.g. a chaos-injected pool
+    fault) leaves the previous generation serving and retries on the next
+    trigger; a failed query poisons only its own response; a dropped
+    connection only its session.  Phase violations are counted and exposed
+    via [STATS] so tests can assert there were none. *)
+
+type config = {
+  addr : Telemetry_server.addr;  (** listen address ([unix:PATH] or TCP) *)
+  kind : Storage.kind;  (** relation storage backend of each generation *)
+  workers : int;  (** resident pool size (evaluation + query fan-out) *)
+  flip_pending : int;  (** flip the writer phase at this many pending facts *)
+  flip_interval_ms : int;  (** ... or when the oldest has waited this long *)
+  max_pending : int;  (** admission cap; beyond it ingest gets [ERR busy] *)
+  max_clients : int;  (** concurrent sessions; beyond it connects are refused *)
+  check_phases : bool;  (** assert the two-phase discipline inside eval *)
+}
+
+val default_config : Telemetry_server.addr -> config
+(** Btree storage, [recommended_workers] pool, flip at 256 facts / 50 ms,
+    100k pending cap, 64 clients, phase checking off. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Bind, spawn the server domain and return immediately.  [Error] on a
+    bind failure.  Installs a process-wide [SIGPIPE] ignore (a peer
+    closing mid-write must be a per-session error, not process death). *)
+
+val bound : t -> Telemetry_server.addr
+(** The actual bound address (resolves port 0). *)
+
+val signal_stop : t -> unit
+(** Ask the server to stop without waiting for it: one self-pipe write,
+    safe from a signal handler.  Follow with {!wait}. *)
+
+val stop : t -> unit
+(** Graceful stop: drain in-flight responses, close every session, unlink
+    a Unix-socket path, shut the pool down, join.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until the server exits of its own accord (a client [SHUTDOWN])
+    and release its resources.  Idempotent; [stop] after [wait] is a
+    no-op. *)

@@ -16,12 +16,17 @@
    the last N events per domain — who was restarting where, what the GC
    was doing, which failpoints fired — are attributable after the fact.
 
-   GC correlation: the first event a domain records installs a
-   [Gc.create_alarm] on that domain; the alarm callback (end of each major
-   cycle, running on the installing domain) records a [Gc_major] event
-   into the same ring.  OCaml exposes no minor-collection hook, so minor
-   pauses are not individually visible; major-cycle ends bound the pauses
-   that matter for tail latency (DESIGN.md section 11). *)
+   GC correlation: [enable] installs a single [Gc.create_alarm] on the
+   calling (long-lived) domain; the major cycle is global in OCaml 5, so
+   one alarm observes every cycle end and records a [Gc_major] event into
+   the enabling domain's ring.  The alarm must NOT be per-domain: alarms
+   are self-re-registering finalisers, and a domain that terminates with
+   one pending leaves it to the runtime's orphaned-finaliser adoption,
+   which segfaults intermittently under domain churn on OCaml 5.1 (seen
+   as crashes in a run *after* the one that spawned the domains).  OCaml
+   exposes no minor-collection hook, so minor pauses are not individually
+   visible; major-cycle ends bound the pauses that matter for tail
+   latency (DESIGN.md section 11). *)
 
 (* Event vocabulary.  Codes are the wire format (ring slots and crash
    dumps), so they are append-only: new kinds take fresh codes. *)
@@ -128,11 +133,12 @@ let flight_on = ref false
 
 let enabled () = !flight_on
 
-(* GC correlation: one [Gc.create_alarm] per domain, installed when the
-   domain's ring materialises (first recorded event).  The callback goes
-   through a forward ref because it records into the ring it was installed
-   from — the ring exists by the time the alarm can fire. *)
+(* GC correlation: exactly one [Gc.create_alarm], installed by the first
+   [enable] on the calling domain (see the header comment for why it must
+   not be per-domain).  The callback goes through a forward ref because it
+   records through the ring machinery defined below. *)
 let gc_alarm_hook : (unit -> unit) ref = ref (fun () -> ())
+let gc_alarm_installed = ref false
 
 let ring_key =
   Domain.DLS.new_key (fun () ->
@@ -146,7 +152,6 @@ let ring_key =
         }
       in
       Mutex.protect rings_mutex (fun () -> rings := r :: !rings);
-      ignore (Gc.create_alarm (fun () -> !gc_alarm_hook ()) : Gc.alarm);
       r)
 
 let record_slow ev a1 a2 a3 =
@@ -267,6 +272,10 @@ let enable ?(capacity = default_capacity) () =
   if not !provider_registered then begin
     provider_registered := true;
     Telemetry.register_trace_provider trace_provider
+  end;
+  if not !gc_alarm_installed then begin
+    gc_alarm_installed := true;
+    ignore (Gc.create_alarm (fun () -> !gc_alarm_hook ()) : Gc.alarm)
   end;
   flight_on := true
 

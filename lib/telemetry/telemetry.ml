@@ -299,6 +299,11 @@ module Counter = struct
     | Eval_delta_tuples
     (* fact IO (lib/datalog Dl_io) *)
     | Io_malformed_lines
+    (* query/ingest server (lib/server Dl_server) *)
+    | Server_requests
+    | Server_busy_rejections
+    | Server_phase_flips
+    | Server_conns
 
   let all =
     [
@@ -308,7 +313,8 @@ module Counter = struct
       Btree_root_splits; Btree_hint_hits; Btree_hint_misses; Btree_batch_keys;
       Btree_batch_leaves; Btree_batch_splices; Pool_jobs; Pool_busy_ns;
       Pool_wall_ns; Pool_watchdog_trips; Eval_iterations; Eval_rule_evals;
-      Eval_delta_tuples; Io_malformed_lines;
+      Eval_delta_tuples; Io_malformed_lines; Server_requests;
+      Server_busy_rejections; Server_phase_flips; Server_conns;
     ]
 
   let index = function
@@ -335,6 +341,10 @@ module Counter = struct
     | Eval_rule_evals -> 20
     | Eval_delta_tuples -> 21
     | Io_malformed_lines -> 22
+    | Server_requests -> 23
+    | Server_busy_rejections -> 24
+    | Server_phase_flips -> 25
+    | Server_conns -> 26
 
   let count = List.length all
 
@@ -362,6 +372,10 @@ module Counter = struct
     | Eval_rule_evals -> "eval.rule_evals"
     | Eval_delta_tuples -> "eval.delta_tuples"
     | Io_malformed_lines -> "io.malformed_lines"
+    | Server_requests -> "server.requests"
+    | Server_busy_rejections -> "server.busy_rejections"
+    | Server_phase_flips -> "server.phase_flips"
+    | Server_conns -> "server.conns"
 
   (* Unit metadata: most counters are event counts, but the pool time
      accumulators are nanosecond totals.  Exporters use this to render
@@ -401,6 +415,12 @@ module Counter = struct
     | Eval_rule_evals -> "Rule-version evaluations."
     | Eval_delta_tuples -> "Tuples promoted from new into full relations."
     | Io_malformed_lines -> "Corrupt fact lines skipped by the lenient loader."
+    | Server_requests -> "Protocol requests admitted by the query server."
+    | Server_busy_rejections ->
+      "Requests rejected with a BUSY response (backpressure or chaos drill)."
+    | Server_phase_flips ->
+      "Writer-phase flips (engine generation rebuilds) performed by the server."
+    | Server_conns -> "Client connections accepted by the query server."
 end
 
 (* ------------------------------------------------------------------ *)
@@ -417,11 +437,15 @@ module Hist = struct
     | Olock_write_wait_ns
     | Pool_job_ns
     | Eval_iteration_ns
+    | Server_ingest_ns
+    | Server_query_ns
+    | Server_flip_ns
 
   let all =
     [
       Btree_insert_ns; Btree_find_ns; Btree_bound_ns; Btree_batch_ns;
       Btree_fallback_ns; Olock_write_wait_ns; Pool_job_ns; Eval_iteration_ns;
+      Server_ingest_ns; Server_query_ns; Server_flip_ns;
     ]
 
   let index = function
@@ -433,6 +457,9 @@ module Hist = struct
     | Olock_write_wait_ns -> 5
     | Pool_job_ns -> 6
     | Eval_iteration_ns -> 7
+    | Server_ingest_ns -> 8
+    | Server_query_ns -> 9
+    | Server_flip_ns -> 10
 
   let count = List.length all
 
@@ -445,6 +472,9 @@ module Hist = struct
     | Olock_write_wait_ns -> "olock.write_wait_ns"
     | Pool_job_ns -> "pool.job_ns"
     | Eval_iteration_ns -> "eval.iteration_ns"
+    | Server_ingest_ns -> "server.ingest_ns"
+    | Server_query_ns -> "server.query_ns"
+    | Server_flip_ns -> "server.flip_ns"
 
   let help = function
     | Btree_insert_ns -> "Sampled B-tree insert latency (ns)."
@@ -456,6 +486,12 @@ module Hist = struct
       "Contended write acquisitions: first failed CAS to acquisition (ns)."
     | Pool_job_ns -> "Fork-join job wall time (ns)."
     | Eval_iteration_ns -> "Semi-naive fixed-point round wall time (ns)."
+    | Server_ingest_ns ->
+      "Ingest service latency: admission to the end of the applying writer \
+       phase (ns)."
+    | Server_query_ns -> "Query service latency: admission to response (ns)."
+    | Server_flip_ns ->
+      "Writer-phase flip duration (engine generation rebuild, ns)."
 
   (* Per-op B-tree sites fire millions of times per second, so they are
      sampled 1-in-2^shift (the clock_gettime pair would otherwise dominate
@@ -466,10 +502,13 @@ module Hist = struct
      partition), so they record every event like the other coarse sites. *)
   (* Pessimistic fallbacks are cold by construction (a fallback means the
      optimistic retry budget ran dry), so every one is recorded. *)
+  (* Server request sites are coarse too: one event per protocol request or
+     phase flip, paced by socket IO — far below the per-op B-tree rates. *)
   let sample_shift = function
     | Btree_insert_ns | Btree_find_ns | Btree_bound_ns -> 6
     | Btree_batch_ns | Btree_fallback_ns | Olock_write_wait_ns | Pool_job_ns
-    | Eval_iteration_ns ->
+    | Eval_iteration_ns | Server_ingest_ns | Server_query_ns | Server_flip_ns
+      ->
       0
 
   (* Log-linear (HDR-style) bucketing: values below [2^sub_bits] get exact

@@ -95,6 +95,14 @@ module Counter : sig
     | Io_malformed_lines
         (** corrupt/truncated fact lines skipped by [Dl_io]'s lenient
             loader *)
+    | Server_requests  (** protocol requests admitted by the query server *)
+    | Server_busy_rejections
+        (** requests rejected with a 503-style BUSY response (admission
+            backpressure or a chaos drill) *)
+    | Server_phase_flips
+        (** writer-phase flips: engine generation rebuilds performed by the
+            server's admission scheduler *)
+    | Server_conns  (** client connections accepted by the query server *)
 
   val all : t list
   val index : t -> int
@@ -134,6 +142,14 @@ module Hist : sig
             [try_start_write] to acquisition *)
     | Pool_job_ns  (** fork-join job wall time *)
     | Eval_iteration_ns  (** semi-naive fixed-point round wall time *)
+    | Server_ingest_ns
+        (** ingest service latency: admission to the end of the writer phase
+            that applied the facts (unsampled) *)
+    | Server_query_ns
+        (** query service latency: admission to response (unsampled) *)
+    | Server_flip_ns
+        (** writer-phase flip duration — one engine generation rebuild
+            (unsampled) *)
 
   val all : t list
   val index : t -> int

@@ -142,31 +142,31 @@ let test_iter_while () =
 
 let test_hints_correctness_ordered () =
   let t = T.create ~capacity:8 () in
-  let h = T.make_hints () in
+  let h = T.session t in
   let n = 20_000 in
   for i = 0 to n - 1 do
-    ignore (T.insert ~hints:h t i : bool)
+    ignore (T.s_insert h i : bool)
   done;
   check_int "cardinal with hints" n (T.cardinal t);
   T.check_invariants t;
-  let s = T.hint_stats h in
+  let s = T.hint_stats (T.s_hints h) in
   check_bool "ordered insert exploits hints" true
     (s.T.insert_hits > n / 2);
   (* hinted membership over ordered probes *)
   for i = 0 to n - 1 do
-    if not (T.mem ~hints:h t i) then Alcotest.failf "hinted mem lost %d" i
+    if not (T.s_mem h i) then Alcotest.failf "hinted mem lost %d" i
   done;
-  let s = T.hint_stats h in
+  let s = T.hint_stats (T.s_hints h) in
   check_bool "ordered find exploits hints" true (s.T.find_hits > n / 2)
 
 let test_hints_correctness_random () =
   let r = rng 99 in
   let t = T.create ~capacity:8 () in
-  let h = T.make_hints () in
+  let h = T.session t in
   let model = ref ISet.empty in
   for _ = 1 to 10_000 do
     let k = r 100_000 in
-    let fresh = T.insert ~hints:h t k in
+    let fresh = T.s_insert h k in
     check_bool "hinted insert matches model" (not (ISet.mem k !model)) fresh;
     model := ISet.add k !model
   done;
@@ -177,20 +177,20 @@ let test_hints_correctness_random () =
   for _ = 1 to 2000 do
     let probe = r 100_000 in
     Alcotest.check int_opt "hinted lb" (model_lb probe)
-      (T.lower_bound ~hints:h t probe);
+      (T.s_lower_bound h probe);
     Alcotest.check int_opt "hinted ub" (model_ub probe)
-      (T.upper_bound ~hints:h t probe)
+      (T.s_upper_bound h probe)
   done;
   T.check_invariants t
 
 let test_hint_stats_reset () =
   let t = T.create () in
-  let h = T.make_hints () in
+  let h = T.session t in
   for i = 0 to 100 do
-    ignore (T.insert ~hints:h t i : bool)
+    ignore (T.s_insert h i : bool)
   done;
-  T.reset_hint_stats h;
-  let s = T.hint_stats h in
+  T.reset_hint_stats (T.s_hints h);
+  let s = T.hint_stats (T.s_hints h) in
   check_int "hits cleared" 0 s.T.insert_hits;
   check_int "misses cleared" 0 s.T.insert_misses;
   check_bool "rate on empty stats" true (T.hit_rate s = 0.0)
@@ -205,11 +205,11 @@ let test_hint_stats_merge () =
     (Float.is_finite (T.hit_rate z));
   (* merging a singleton is the identity *)
   let t = T.create ~capacity:8 () in
-  let h = T.make_hints () in
+  let h = T.session t in
   for i = 0 to 999 do
-    ignore (T.insert ~hints:h t i : bool)
+    ignore (T.s_insert h i : bool)
   done;
-  let s = T.hint_stats h in
+  let s = T.hint_stats (T.s_hints h) in
   let m = T.merge_hint_stats [ s ] in
   check_int "singleton merge: insert hits" s.T.insert_hits m.T.insert_hits;
   check_int "singleton merge: insert misses" s.T.insert_misses m.T.insert_misses;
@@ -222,12 +222,12 @@ let test_hint_stats_multi_domain () =
   let t = T.create ~capacity:8 () in
   let domains = 4 and per_domain = 5_000 in
   let worker d () =
-    let h = T.make_hints () in
+    let h = T.session t in
     let lo = d * per_domain in
     for i = lo to lo + per_domain - 1 do
-      ignore (T.insert ~hints:h t i : bool)
+      ignore (T.s_insert h i : bool)
     done;
-    T.hint_stats h
+    T.hint_stats (T.s_hints h)
   in
   let spawned =
     List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
@@ -502,14 +502,14 @@ let prop_bulk_build =
       T.to_list t = uniq)
 
 let prop_hints_transparent =
-  QCheck.Test.make ~count:100 ~name:"hinted = unhinted semantics"
+  QCheck.Test.make ~count:100 ~name:"session = unhinted semantics"
     QCheck.(list (int_bound 100))
     (fun keys ->
       let a = T.create ~capacity:4 () in
       let b = T.create ~capacity:4 () in
-      let h = T.make_hints () in
+      let h = T.session b in
       let ra = List.map (fun k -> T.insert a k) keys in
-      let rb = List.map (fun k -> T.insert ~hints:h b k) keys in
+      let rb = List.map (fun k -> T.s_insert h k) keys in
       ra = rb && T.to_list a = T.to_list b)
 
 (* ------------------------------------------------------------------ *)
@@ -524,9 +524,9 @@ let test_concurrent_disjoint () =
   let d = domains_for_stress () in
   let per = 20_000 in
   let worker w () =
-    let h = T.make_hints () in
+    let h = T.session t in
     for i = 0 to per - 1 do
-      ignore (T.insert ~hints:h t ((w * per) + i) : bool)
+      ignore (T.s_insert h ((w * per) + i) : bool)
     done
   in
   let ds = List.init d (fun w -> Domain.spawn (worker w)) in
@@ -548,10 +548,10 @@ let test_concurrent_overlapping () =
   let n = 20_000 in
   let fresh = Atomic.make 0 in
   let worker () =
-    let h = T.make_hints () in
+    let h = T.session t in
     let mine = ref 0 in
     for i = 0 to n - 1 do
-      if T.insert ~hints:h t i then incr mine
+      if T.s_insert h i then incr mine
     done;
     ignore (Atomic.fetch_and_add fresh !mine)
   in
@@ -571,8 +571,8 @@ let test_concurrent_random () =
       Array.init per (fun _ -> r 1_000_000))
   in
   let worker w () =
-    let h = T.make_hints () in
-    Array.iter (fun k -> ignore (T.insert ~hints:h t k : bool)) expected.(w)
+    let h = T.session t in
+    Array.iter (fun k -> ignore (T.s_insert h k : bool)) expected.(w)
   in
   let ds = List.init d (fun w -> Domain.spawn (worker w)) in
   List.iter Domain.join ds;
@@ -615,9 +615,9 @@ let test_concurrent_via_pool () =
   Pool.with_pool (domains_for_stress ()) (fun p ->
       let t = T.create () in
       Pool.parallel_for_ranges p 0 n (fun _w lo hi ->
-          let h = T.make_hints () in
+          let h = T.session t in
           for i = lo to hi - 1 do
-            ignore (T.insert ~hints:h t keys.(i) : bool)
+            ignore (T.s_insert h keys.(i) : bool)
           done);
       T.check_invariants t;
       let model = Array.fold_left (fun s k -> ISet.add k s) ISet.empty keys in
@@ -658,13 +658,13 @@ let test_shape_matches_stats () =
 
 let test_hint_run_hist () =
   let t = T.create () in
-  let h = T.make_hints () in
+  let h = T.session t in
   for i = 0 to 9_999 do
-    ignore (T.insert ~hints:h t i : bool)
+    ignore (T.s_insert h i : bool)
   done;
-  let runs = T.hint_run_hist h in
+  let runs = T.hint_run_hist (T.s_hints h) in
   check_int "log2 run buckets" 16 (Array.length runs);
-  let s = T.hint_stats h in
+  let s = T.hint_stats (T.s_hints h) in
   let misses = s.T.insert_misses + s.T.find_misses
                + s.T.lower_bound_misses + s.T.upper_bound_misses in
   let recorded = Array.fold_left ( + ) 0 runs in
@@ -675,9 +675,9 @@ let test_hint_run_hist () =
   check_bool "long runs observed on sorted stream" true
     (Array.exists (fun c -> c > 0)
        (Array.sub runs 4 (Array.length runs - 4)));
-  T.reset_hint_stats h;
+  T.reset_hint_stats (T.s_hints h);
   check_bool "reset clears run histogram" true
-    (Array.for_all (fun c -> c = 0) (T.hint_run_hist h))
+    (Array.for_all (fun c -> c = 0) (T.hint_run_hist (T.s_hints h)))
 
 (* ------------------------------------------------------------------ *)
 (* batch inserts                                                       *)
@@ -753,12 +753,12 @@ let prop_batch_windows_match_whole =
       let a = T.create ~capacity:4 () in
       ignore (T.insert_batch a run : int);
       let b = T.create ~capacity:4 () in
-      let h = T.make_hints () in
+      let h = T.session b in
       let n = Array.length run in
       let pos = ref 0 in
       while !pos < n do
         let len = min width (n - !pos) in
-        ignore (T.insert_batch ~hints:h ~pos:!pos ~len b run : int);
+        ignore (T.s_insert_batch ~pos:!pos ~len h run : int);
         T.check_invariants b;
         pos := !pos + len
       done;
@@ -793,9 +793,9 @@ let test_concurrent_batch_partitions () =
   let run = Array.init n Fun.id in
   let fresh = Atomic.make 0 in
   let worker w () =
-    let h = T.make_hints () in
+    let h = T.session t in
     let lo = w * n / d and hi = (w + 1) * n / d in
-    let f = T.insert_batch ~hints:h ~pos:lo ~len:(hi - lo) t run in
+    let f = T.s_insert_batch ~pos:lo ~len:(hi - lo) h run in
     ignore (Atomic.fetch_and_add fresh f : int)
   in
   let ds = List.init d (fun w -> Domain.spawn (worker w)) in
@@ -815,14 +815,14 @@ let test_concurrent_batch_vs_single () =
   let run = Array.init n Fun.id in
   let fresh = Atomic.make 0 in
   let batch_worker () =
-    let h = T.make_hints () in
-    ignore (Atomic.fetch_and_add fresh (T.insert_batch ~hints:h t run) : int)
+    let h = T.session t in
+    ignore (Atomic.fetch_and_add fresh (T.s_insert_batch h run) : int)
   in
   let single_worker () =
-    let h = T.make_hints () in
+    let h = T.session t in
     let mine = ref 0 in
     for i = 0 to n - 1 do
-      if T.insert ~hints:h t i then incr mine
+      if T.s_insert h i then incr mine
     done;
     ignore (Atomic.fetch_and_add fresh !mine : int)
   in

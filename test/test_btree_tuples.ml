@@ -113,12 +113,12 @@ let test_shape () =
 
 let test_hint_run_hist () =
   let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
-  let h = Btree_tuples.make_hints () in
+  let h = Btree_tuples.session t in
   for i = 0 to 4_999 do
-    ignore (Btree_tuples.insert ~hints:h t [| i / 100; i mod 100 |] : bool)
+    ignore (Btree_tuples.s_insert h [| i / 100; i mod 100 |] : bool)
   done;
-  let _, misses = Btree_tuples.hint_counters h in
-  let runs = Btree_tuples.hint_run_hist h in
+  let _, misses = Btree_tuples.hint_counters (Btree_tuples.s_hints h) in
+  let runs = Btree_tuples.hint_run_hist (Btree_tuples.s_hints h) in
   check_int "log2 run buckets" 16 (Array.length runs);
   let recorded = Array.fold_left ( + ) 0 runs in
   check_bool "one run per miss (+ open run)" true
@@ -128,18 +128,18 @@ let test_hint_run_hist () =
 
 let test_hinted_ops () =
   let t = Btree_tuples.create ~arity:2 ~order:[| 0; 1 |] () in
-  let h = Btree_tuples.make_hints () in
+  let h = Btree_tuples.session t in
   let n = 10_000 in
   for i = 0 to n - 1 do
-    ignore (Btree_tuples.insert ~hints:h t [| i / 100; i mod 100 |] : bool)
+    ignore (Btree_tuples.s_insert h [| i / 100; i mod 100 |] : bool)
   done;
   Btree_tuples.check_invariants t;
   check_int "cardinal" n (Btree_tuples.cardinal t);
-  let hits, misses = Btree_tuples.hint_counters h in
+  let hits, misses = Btree_tuples.hint_counters (Btree_tuples.s_hints h) in
   check_bool "ordered stream hits" true (hits > misses * 5);
   (* hinted membership *)
   for i = 0 to n - 1 do
-    if not (Btree_tuples.mem ~hints:h t [| i / 100; i mod 100 |]) then
+    if not (Btree_tuples.s_mem h [| i / 100; i mod 100 |]) then
       Alcotest.failf "lost %d" i
   done
 
@@ -171,12 +171,12 @@ let test_concurrent_inserts () =
   let per = 20_000 in
   let fresh = Atomic.make 0 in
   let worker w () =
-    let h = Btree_tuples.make_hints () in
+    let h = Btree_tuples.session t in
     let mine = ref 0 in
     for i = 0 to per - 1 do
       (* half disjoint, half overlapping across workers *)
       let tup = if i land 1 = 0 then [| w; i |] else [| -1; i |] in
-      if Btree_tuples.insert ~hints:h t tup then incr mine
+      if Btree_tuples.s_insert h tup then incr mine
     done;
     ignore (Atomic.fetch_and_add fresh !mine)
   in
@@ -292,9 +292,9 @@ let test_concurrent_batch_partitions () =
   let d = min 8 (max 2 (Domain.recommended_domain_count ())) in
   let fresh = Atomic.make 0 in
   let worker w () =
-    let h = Btree_tuples.make_hints () in
+    let h = Btree_tuples.session t in
     let lo = w * n / d and hi = (w + 1) * n / d in
-    let f = Btree_tuples.insert_batch ~hints:h ~pos:lo ~len:(hi - lo) t run in
+    let f = Btree_tuples.s_insert_batch ~pos:lo ~len:(hi - lo) h run in
     ignore (Atomic.fetch_and_add fresh f : int)
   in
   let ds = List.init d (fun w -> Domain.spawn (worker w)) in

@@ -1,7 +1,7 @@
 (* Tests for the robustness layer: the chaos failpoint registry itself,
    olock misuse detection and forced validation failures, the bounded-retry
    pessimistic fallback descent, pool fault containment, IO fault injection,
-   and the deprecated [?hints] wrappers.
+   and session/unhinted API equivalence.
 
    Every test that arms the registry disarms it in a [Fun.protect] finalizer
    so a failing assertion cannot leak chaos into later suites. *)
@@ -364,37 +364,37 @@ let test_io_truncate_lenient () =
           check_int "nothing loaded" 0 !loaded;
           check_int "every malformed line counted" 3 skipped))
 
-(* ---------------- deprecated ?hints wrappers ---------------- *)
+(* ---------------- session / unhinted equivalence ---------------- *)
 
-let test_hints_wrappers_still_behave () =
-  (* the pre-session API ([?hints] threaded by hand) is deprecated but must
-     keep behaving exactly like the session API for one more release *)
+let test_session_matches_unhinted () =
+  (* hints are a pure accelerator: the session API (hinted) and the raw
+     unhinted API must agree operation by operation *)
   let r = rng 57 in
   let keys = Array.init 1000 (fun _ -> r 400) in
-  let t_hints = T.create ~capacity:8 () in
+  let t_plain = T.create ~capacity:8 () in
   let t_sess = T.create ~capacity:8 () in
-  let h = T.make_hints () in
   let s = T.session t_sess in
   Array.iter
     (fun k ->
-      let a = T.insert ~hints:h t_hints k and b = T.s_insert s k in
+      let a = T.insert t_plain k and b = T.s_insert s k in
       if a <> b then Alcotest.failf "insert disagrees on %d" k)
     keys;
-  T.check_invariants t_hints;
-  check_int "same cardinal" (T.cardinal t_sess) (T.cardinal t_hints);
+  T.check_invariants t_plain;
+  check_int "same cardinal" (T.cardinal t_sess) (T.cardinal t_plain);
   Array.iter
     (fun k ->
-      if T.mem ~hints:h t_hints k <> T.s_mem s k then
+      if T.mem t_plain k <> T.s_mem s k then
         Alcotest.failf "mem disagrees on %d" k;
-      if T.lower_bound ~hints:h t_hints k <> T.s_lower_bound s k then
+      if T.lower_bound t_plain k <> T.s_lower_bound s k then
         Alcotest.failf "lower_bound disagrees on %d" k)
     keys;
   let scanned = ref 0 in
-  T.iter_from ~hints:h (fun _ -> incr scanned; !scanned < 50) t_hints 0;
-  check_int "hinted scan" 50 !scanned;
-  (* hinted batch insert still accepted *)
+  T.s_iter_from (fun _ -> incr scanned; !scanned < 50) s 0;
+  check_int "session scan" 50 !scanned;
+  (* batch insert through the session *)
   let run = Array.init 100 (fun i -> 1000 + i) in
-  check_int "hinted batch" 100 (T.insert_batch ~hints:h t_hints run)
+  check_int "session batch" 100 (T.s_insert_batch s run);
+  check_int "plain batch" 100 (T.insert_batch t_plain run)
 
 let () =
   let tc = Alcotest.test_case in
@@ -433,6 +433,6 @@ let () =
           tc "truncate strict" `Quick test_io_truncate_strict;
           tc "truncate lenient" `Quick test_io_truncate_lenient;
         ] );
-      ( "hints wrappers",
-        [ tc "deprecated wrappers behave" `Quick test_hints_wrappers_still_behave ] );
+      ( "sessions",
+        [ tc "session matches unhinted" `Quick test_session_matches_unhinted ] );
     ]

@@ -512,16 +512,17 @@ let test_relation_shares_indexes () =
       done
     done
   done;
-  let cur = Relation.Cursor.create r in
+  let cur = Relation.begin_read r in
   let count sig_cols bound =
     let n = ref 0 in
-    Relation.Cursor.scan cur (Relation.sig_id r sig_cols) bound (fun _ -> incr n);
+    Relation.Reader.scan cur (Relation.sig_id r sig_cols) bound (fun _ -> incr n);
     !n
   in
   check_int "scan {0}" 25 (count [| 0 |] [| 2 |]);
   check_int "scan {0,1}" 5 (count [| 0; 1 |] [| 2; 3 |]);
   check_int "scan {0,1,2}" 1 (count [| 0; 1; 2 |] [| 2; 3; 4 |]);
-  check_int "scan miss" 0 (count [| 0 |] [| 9 |])
+  check_int "scan miss" 0 (count [| 0 |] [| 9 |]);
+  Relation.Reader.finish cur
 
 (* ---------------- constraints and arithmetic ---------------- *)
 
@@ -1039,10 +1040,11 @@ let test_merge_batch_parallel_vs_serial () =
           check_bool (label "contents") true
             (all_tuples serial = all_tuples batched);
           (* secondary indexes got every tuple too *)
-          let cur = Relation.Cursor.create batched in
+          let cur = Relation.begin_read batched in
           let n = ref 0 in
-          Relation.Cursor.scan cur (Relation.sig_id batched [| 1 |]) [| 7 |]
+          Relation.Reader.scan cur (Relation.sig_id batched [| 1 |]) [| 7 |]
             (fun _ -> incr n);
+          Relation.Reader.finish cur;
           let m = ref 0 in
           List.iter (fun tup -> if tup.(1) = 7 then incr m) (all_tuples serial);
           check_int (label "secondary scan") !m !n)

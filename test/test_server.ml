@@ -1,0 +1,387 @@
+(* Query-server tests: protocol totality (parse_request/parse_fact must
+   survive arbitrary bytes), render/parse round-trips, the closed error-code
+   set, hostile input over a live socket (structured ERR, never a dropped
+   connection), and — the load-bearing one — four client domains mixing
+   ASSERT and QUERY against one resident server, audited for exact
+   cardinality and zero phase violations. *)
+
+module P = Dl_proto
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- pure protocol ------------------------------------------------- *)
+
+let test_parse_verbs () =
+  (match P.parse_request "HELLO dlserve/1" with
+  | Ok (P.Hello v) -> check Alcotest.string "hello token" P.version v
+  | _ -> Alcotest.fail "HELLO did not parse");
+  (match P.parse_request "rules 3" with
+  | Ok (P.Rules 3) -> ()
+  | _ -> Alcotest.fail "lowercase RULES did not parse");
+  (match P.parse_request "Load\tedge  2" with
+  | Ok (P.Load ("edge", 2)) -> ()
+  | _ -> Alcotest.fail "LOAD with mixed whitespace did not parse");
+  (match P.parse_request "ASSERT kv 1 -2" with
+  | Ok (P.Assert_ ("kv", [| P.V_int 1; P.V_int (-2) |])) -> ()
+  | _ -> Alcotest.fail "ASSERT fields did not parse");
+  (match P.parse_request "assert kv(1, foo)" with
+  | Ok (P.Assert_ ("kv", [| P.V_int 1; P.V_sym "foo" |])) -> ()
+  | _ -> Alcotest.fail "ASSERT atom sugar did not parse");
+  (match P.parse_request "QUERY out(_, 7)" with
+  | Ok (P.Query ("out", [| P.P_any; P.P_val (P.V_int 7) |])) -> ()
+  | _ -> Alcotest.fail "QUERY atom sugar / wildcard did not parse");
+  (match P.parse_request "query out _ sym" with
+  | Ok (P.Query ("out", [| P.P_any; P.P_val (P.V_sym "sym") |])) -> ()
+  | _ -> Alcotest.fail "QUERY flat form did not parse");
+  List.iter
+    (fun (line, want) ->
+      match (P.parse_request line, want) with
+      | Ok P.Stats, `Stats | Ok P.Ping, `Ping | Ok P.Shutdown, `Shutdown -> ()
+      | _ -> Alcotest.failf "%S did not parse to its verb" line)
+    [ ("STATS", `Stats); ("pInG", `Ping); ("shutdown", `Shutdown) ]
+
+let test_parse_errors () =
+  let bad line =
+    match P.parse_request line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S parsed but should not" line
+  in
+  bad "";
+  bad "   ";
+  bad "FROBNICATE 1 2";
+  bad "RULES";
+  bad "RULES many";
+  bad "RULES -1";
+  bad (Printf.sprintf "RULES %d" (P.max_batch + 1));
+  bad "LOAD edge";
+  bad "ASSERT";
+  bad "QUERY";
+  (* unterminated atom syntax *)
+  bad "ASSERT kv(1, 2";
+  (match P.parse_fact "1 2 xyz" with
+  | Ok [| P.V_int 1; P.V_int 2; P.V_sym "xyz" |] -> ()
+  | _ -> Alcotest.fail "fact line did not parse");
+  (match P.parse_fact "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty fact line parsed")
+
+(* Deterministic byte-string fuzz: totality means no exception, ever. *)
+let test_parse_total_fuzz () =
+  let st = ref 0x2545F4914F6CDD1D in
+  let next () =
+    let x = !st in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    st := x;
+    x land max_int
+  in
+  for _ = 1 to 5_000 do
+    let len = next () mod 120 in
+    let s =
+      String.init len (fun _ ->
+          (* full byte range, including NUL and control characters *)
+          Char.chr (next () mod 256))
+    in
+    (match P.parse_request s with Ok _ | Error _ -> ());
+    match P.parse_fact s with Ok _ | Error _ -> ()
+  done;
+  (* structured garbage that nearly parses *)
+  List.iter
+    (fun s -> match P.parse_request s with Ok _ | Error _ -> ())
+    [
+      "ASSERT kv(((((";
+      "QUERY x(,,,,)";
+      "LOAD " ^ String.make 100 'x' ^ " 99999999999999999999";
+      "ASSERT kv " ^ String.concat " " (List.init 200 string_of_int);
+      String.make 300 '(';
+    ]
+
+let test_response_roundtrip () =
+  let render r =
+    let b = Buffer.create 64 in
+    P.render b r;
+    Buffer.contents b
+  in
+  (match String.split_on_char '\n' (render (P.R_ok "hi there")) with
+  | line :: _ -> (
+    match P.parse_response_line line with
+    | `Ok "hi there" -> ()
+    | _ -> Alcotest.fail "OK did not round-trip")
+  | [] -> Alcotest.fail "render produced nothing");
+  (match
+     String.split_on_char '\n' (render (P.R_data ("2 rows", [ "a\tb"; "c\td" ])))
+   with
+  | status :: rest -> (
+    (match P.parse_response_line status with
+    | `Data (2, "2 rows") -> ()
+    | _ -> Alcotest.fail "DATA status did not round-trip");
+    (* payload lines then END, then the trailing-newline split remainder *)
+    match rest with
+    | [ "a\tb"; "c\td"; "END"; "" ] -> ()
+    | _ -> Alcotest.fail "DATA payload framing wrong")
+  | [] -> Alcotest.fail "render produced nothing");
+  (match
+     String.split_on_char '\n' (render (P.R_err (P.E_busy, "try later")))
+   with
+  | line :: _ -> (
+    match P.parse_response_line line with
+    | `Err ("busy", "try later") -> ()
+    | _ -> Alcotest.fail "ERR did not round-trip")
+  | [] -> Alcotest.fail "render produced nothing");
+  match P.parse_response_line "?? mystery line" with
+  | `Err ("garbled", _) -> ()
+  | _ -> Alcotest.fail "garbled line not classified as garbled"
+
+let test_err_codes () =
+  let all =
+    [
+      P.E_parse; P.E_proto; P.E_program; P.E_no_program; P.E_relation;
+      P.E_arity; P.E_busy; P.E_shutdown; P.E_internal;
+    ]
+  in
+  let names = List.map P.err_name all in
+  (* names are distinct and round-trip through err_of_name *)
+  checki "distinct names" (List.length all)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun c ->
+      match P.err_of_name (P.err_name c) with
+      | Some c' -> checkb "code round-trips" true (c = c')
+      | None -> Alcotest.failf "err_of_name %S = None" (P.err_name c))
+    all;
+  checkb "unknown name rejected" true (P.err_of_name "no-such-code" = None)
+
+(* --- live server ---------------------------------------------------- *)
+
+let fresh_addr =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "test-dlserve-%d-%d.sock" (Unix.getpid ()) !n)
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    match Telemetry_server.parse_addr ("unix:" ^ path) with
+    | Ok a -> a
+    | Error m -> Alcotest.failf "bad addr: %s" m
+
+let with_server ?(workers = 2) ?(flip_pending = 32) ?(flip_interval_ms = 5) ()
+    k =
+  let addr = fresh_addr () in
+  let cfg =
+    {
+      (Dl_server.default_config addr) with
+      Dl_server.workers;
+      flip_pending;
+      flip_interval_ms;
+      check_phases = true;
+    }
+  in
+  match Dl_server.start cfg with
+  | Error m -> Alcotest.failf "server start: %s" m
+  | Ok srv ->
+    Fun.protect ~finally:(fun () -> Dl_server.stop srv) (fun () -> k addr)
+
+let with_client addr k =
+  match Dl_client.connect addr with
+  | Error m -> Alcotest.failf "connect: %s" m
+  | Ok c -> Fun.protect ~finally:(fun () -> Dl_client.close c) (fun () -> k c)
+
+let program =
+  ".decl kv(a:number, b:number)\n.input kv\n\
+   .decl out(a:number, b:number)\n.output out\n\
+   out(x, y) :- kv(x, y).\n"
+
+let install c =
+  match Dl_client.rules c program with
+  | Ok (Dl_client.Ok_ _) -> ()
+  | Ok (Dl_client.Err (code, m)) -> Alcotest.failf "RULES: %s %s" code m
+  | Ok _ | Error _ -> Alcotest.failf "RULES: bad reply"
+
+(* Every hostile line gets a structured ERR on the expected code and the
+   connection stays usable: PING must still answer afterwards. *)
+let test_hostile_lines () =
+  with_server () @@ fun addr ->
+  with_client addr @@ fun c ->
+  let expect_err line code =
+    (match Dl_client.request c line with
+    | Ok (Dl_client.Err (got, _)) ->
+      check Alcotest.string (Printf.sprintf "code for %S" line) code got
+    | Ok _ -> Alcotest.failf "%S did not produce ERR" line
+    | Error m -> Alcotest.failf "%S killed the connection: %s" line m);
+    match Dl_client.ping c with
+    | Ok (Dl_client.Ok_ _) -> ()
+    | _ -> Alcotest.failf "connection dead after %S" line
+  in
+  expect_err "FROBNICATE 1 2" "parse";
+  expect_err "" "parse";
+  expect_err "\000\001\255garbage\127" "parse";
+  expect_err "QUERY out(_, _)" "no-program";
+  expect_err "ASSERT kv 1 2" "no-program";
+  expect_err (Printf.sprintf "RULES %d" (P.max_batch + 1)) "parse";
+  install c;
+  expect_err "ASSERT nosuch 1 2" "relation";
+  expect_err "QUERY nosuch(_)" "relation";
+  expect_err "ASSERT kv 1" "arity";
+  expect_err "QUERY kv(_, _, _)" "arity";
+  (* a broken program must not dislodge the installed one *)
+  (match Dl_client.rules c ":- broken(" with
+  | Ok (Dl_client.Err ("program", _)) -> ()
+  | _ -> Alcotest.fail "broken program not rejected as program error");
+  match Dl_client.assert_fact c "kv" [ "1"; "2" ] with
+  | Ok (Dl_client.Ok_ _) -> ()
+  | _ -> Alcotest.fail "previous program lost after rejected RULES"
+
+(* An oversized request line gets a structured ERR proto and then — since
+   resynchronising inside an unbounded stream is not attempted — a
+   deliberate close; the server itself must stay up. *)
+let test_oversized_line () =
+  with_server () @@ fun addr ->
+  (with_client addr @@ fun c ->
+   match Dl_client.request c ("PING " ^ String.make (P.max_line + 64) 'x') with
+   | Ok (Dl_client.Err ("proto", _)) -> ()
+   | Ok _ -> Alcotest.fail "oversized line did not produce ERR proto"
+   | Error m -> Alcotest.failf "no structured reply before close: %s" m);
+  (* fresh connections still served *)
+  with_client addr @@ fun c ->
+  match Dl_client.ping c with
+  | Ok (Dl_client.Ok_ _) -> ()
+  | _ -> Alcotest.fail "server dead after oversized line"
+
+(* Read-your-writes at batch granularity: a query after an ASSERT on the
+   same connection must see the fact (the query forces a flip). *)
+let test_read_your_writes () =
+  with_server () @@ fun addr ->
+  with_client addr @@ fun c ->
+  install c;
+  (match Dl_client.assert_fact c "kv" [ "11"; "22" ] with
+  | Ok (Dl_client.Ok_ _) -> ()
+  | _ -> Alcotest.fail "assert failed");
+  (match Dl_client.query c "out" [ "11"; "_" ] with
+  | Ok (Dl_client.Data (_, [ "11\t22" ])) -> ()
+  | Ok (Dl_client.Data (_, rows)) ->
+    Alcotest.failf "expected one row, got %d" (List.length rows)
+  | _ -> Alcotest.fail "query failed");
+  (* LOAD batch, then the duplicate is deduplicated *)
+  (match Dl_client.load c "kv" [ "11 22"; "33 44"; "55 66" ] with
+  | Ok (Dl_client.Ok_ _) -> ()
+  | _ -> Alcotest.fail "load failed");
+  match Dl_client.query c "out" [ "_"; "_" ] with
+  | Ok (Dl_client.Data (_, rows)) -> checki "cardinality" 3 (List.length rows)
+  | _ -> Alcotest.fail "audit query failed"
+
+let stats_field c name =
+  match Dl_client.stats c with
+  | Ok (Dl_client.Data (_, lines)) ->
+    List.find_map
+      (fun l ->
+        match String.index_opt l '=' with
+        | Some eq when String.sub l 0 eq = name ->
+          Some (String.sub l (eq + 1) (String.length l - eq - 1))
+        | _ -> None)
+      lines
+  | _ -> Alcotest.fail "STATS: bad reply"
+
+(* The acceptance test: N client domains mix ASSERT and QUERY against one
+   server; every acked fact is unique, so the served relation must equal
+   the acked set exactly, with zero phase violations. *)
+let test_concurrent_clients () =
+  let domains = 4 and per = 120 in
+  with_server ~flip_pending:16 ~flip_interval_ms:2 () @@ fun addr ->
+  (with_client addr @@ fun c -> install c);
+  let acked = Array.make domains 0 in
+  let clients =
+    List.init domains (fun w ->
+        Domain.spawn (fun () ->
+            with_client addr @@ fun c ->
+            for i = 0 to per - 1 do
+              (* (i, w) is globally unique per client *)
+              (match
+                 Dl_client.assert_fact c "kv"
+                   [ string_of_int i; string_of_int w ]
+               with
+              | Ok (Dl_client.Ok_ _) -> acked.(w) <- acked.(w) + 1
+              | Ok (Dl_client.Err (code, m)) ->
+                Alcotest.failf "client %d assert: %s %s" w code m
+              | Ok _ | Error _ -> Alcotest.failf "client %d assert died" w);
+              (* interleave reads: row count for this client only grows *)
+              if i land 15 = 0 then
+                match Dl_client.query c "out" [ "_"; string_of_int w ] with
+                | Ok (Dl_client.Data (_, rows)) ->
+                  if List.length rows > i + 1 then
+                    Alcotest.failf "client %d sees %d rows at i=%d" w
+                      (List.length rows) i
+                | Ok (Dl_client.Err (code, m)) ->
+                  Alcotest.failf "client %d query: %s %s" w code m
+                | Ok _ | Error _ -> Alcotest.failf "client %d query died" w
+            done))
+  in
+  List.iter Domain.join clients;
+  Array.iteri (fun w n -> checki (Printf.sprintf "client %d acks" w) per n)
+    acked;
+  with_client addr @@ fun c ->
+  (match Dl_client.query c "out" [ "_"; "_" ] with
+  | Ok (Dl_client.Data (_, rows)) ->
+    checki "total served" (domains * per) (List.length rows);
+    let seen = Hashtbl.create (domains * per) in
+    List.iter (fun r -> Hashtbl.replace seen r ()) rows;
+    for w = 0 to domains - 1 do
+      for i = 0 to per - 1 do
+        let row = Printf.sprintf "%d\t%d" i w in
+        if not (Hashtbl.mem seen row) then
+          Alcotest.failf "acked fact %S not served" row
+      done
+    done
+  | _ -> Alcotest.fail "audit query failed");
+  match stats_field c "phase_violations" with
+  | Some "0" -> ()
+  | Some v -> Alcotest.failf "phase_violations=%s" v
+  | None -> Alcotest.fail "STATS missing phase_violations"
+
+(* SHUTDOWN drains: the issuing client gets OK, the server exits, and the
+   socket stops accepting. *)
+let test_shutdown () =
+  let addr = fresh_addr () in
+  let cfg =
+    { (Dl_server.default_config addr) with Dl_server.workers = 2 }
+  in
+  match Dl_server.start cfg with
+  | Error m -> Alcotest.failf "server start: %s" m
+  | Ok srv ->
+    (with_client addr @@ fun c ->
+     match Dl_client.shutdown c with
+     | Ok (Dl_client.Ok_ _) -> ()
+     | _ -> Alcotest.fail "SHUTDOWN: bad reply");
+    Dl_server.wait srv;
+    (match Dl_client.connect addr with
+    | Error _ -> ()
+    | Ok c ->
+      Dl_client.close c;
+      Alcotest.fail "server still accepting after shutdown")
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "server"
+    [
+      ( "proto",
+        [
+          tc "verbs parse" `Quick test_parse_verbs;
+          tc "malformed requests rejected" `Quick test_parse_errors;
+          tc "parse is total under fuzz" `Quick test_parse_total_fuzz;
+          tc "response round-trip" `Quick test_response_roundtrip;
+          tc "error codes closed set" `Quick test_err_codes;
+        ] );
+      ( "server",
+        [
+          tc "hostile lines yield structured ERR" `Quick test_hostile_lines;
+          tc "oversized line contained" `Quick test_oversized_line;
+          tc "read-your-writes" `Quick test_read_your_writes;
+          tc "concurrent clients exact audit" `Quick test_concurrent_clients;
+          tc "shutdown drains" `Quick test_shutdown;
+        ] );
+    ]

@@ -28,8 +28,10 @@ dune exec test/test_modelcheck.exe
 
 echo "== chaos stress smoke (fixed seed, deterministic) =="
 # 100 seeded runs cycling optimistic / all-pessimistic / pool-fault /
-# tuple-tree scenarios under active failpoints; every run ends in a full
-# check_invariants audit and failing seeds replay deterministically.
+# tuple-tree / query-server scenarios under active failpoints; every run
+# ends in a full audit (check_invariants, or the served-relation-equals-
+# acked-set audit for the server scenario) and failing seeds replay
+# deterministically.
 sh tools/stress.sh --seed 42 --domains 4 --runs 100
 
 echo "== flight-recorder crash-dump selftest =="
@@ -179,6 +181,94 @@ PY
 else
   echo "ci: python3 not available; skipping telemetry endpoint selftest"
 fi
+
+echo "== query-server selftest (datalog_serve + datalog_cli --connect) =="
+# Start the resident query server with live telemetry, drive it with the
+# one-shot CLI in --connect mode (install program, batch-load facts, query
+# every output relation), scrape /metrics while the server is resident,
+# then compare the served results against a purely local evaluation of the
+# same program — byte-identical output or nonzero exit.  Finish with a
+# protocol SHUTDOWN and assert a clean exit and unlinked sockets.
+SRV_SOCK="$(mktemp -u /tmp/repro_dlserve_XXXXXX.sock)"
+SRV_MSOCK="$(mktemp -u /tmp/repro_dlserve_metrics_XXXXXX.sock)"
+SRV_TMP="$(mktemp -d /tmp/repro_dlserve_XXXXXX)"
+mkdir -p "$SRV_TMP/facts" "$SRV_TMP/served" "$SRV_TMP/local"
+# a small DAG: one 12-node chain plus cross edges
+i=0
+while [ "$i" -lt 12 ]; do
+  printf '%d\t%d\n' "$i" "$((i + 1))"
+  i=$((i + 1))
+done > "$SRV_TMP/facts/edge.facts"
+printf '0\t5\n3\t9\n' >> "$SRV_TMP/facts/edge.facts"
+dune exec bin/datalog_serve.exe -- --listen "unix:$SRV_SOCK" -j 2 \
+  --flip-pending 64 --flip-interval 5 \
+  --serve-metrics "unix:$SRV_MSOCK" --serve-interval 100 &
+SRV_PID=$!
+i=0
+while [ ! -S "$SRV_SOCK" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.05; done
+if [ ! -S "$SRV_SOCK" ]; then
+  echo "ci: datalog_serve socket never appeared" >&2
+  kill "$SRV_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! dune exec bin/datalog_cli.exe -- --connect "unix:$SRV_SOCK" \
+    -F "$SRV_TMP/facts" -D "$SRV_TMP/served" examples/programs/distances.dl
+then
+  echo "ci: datalog_cli --connect run failed" >&2
+  kill "$SRV_PID" 2>/dev/null || true
+  exit 1
+fi
+# scrape the server's live telemetry while it is resident (python3 optional)
+if command -v python3 >/dev/null 2>&1; then
+  SOCK="$SRV_MSOCK" python3 <<'PY'
+import os, socket
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(5.0)
+s.connect(os.environ["SOCK"])
+s.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+buf = b""
+while chunk := s.recv(65536):
+    buf += chunk
+s.close()
+head, _, body = buf.partition(b"\r\n\r\n")
+if int(head.split(b" ", 2)[1]) != 200:
+    raise SystemExit("ci: server /metrics not 200")
+samples = [l for l in body.decode().splitlines() if l and not l.startswith("#")]
+if len(samples) < 5:
+    raise SystemExit(f"ci: only {len(samples)} server exposition samples")
+print(f"ci: server /metrics ok ({len(samples)} exposition samples)")
+PY
+else
+  echo "ci: python3 not available; skipping server /metrics scrape"
+fi
+# differential: same program + facts evaluated locally must match exactly
+dune exec bin/datalog_cli.exe -- -j 2 -F "$SRV_TMP/facts" \
+  -D "$SRV_TMP/local" examples/programs/distances.dl
+for f in "$SRV_TMP/local"/*.csv; do
+  rel="$(basename "$f")"
+  sort "$f" > "$SRV_TMP/local.sorted"
+  sort "$SRV_TMP/served/$rel" > "$SRV_TMP/served.sorted"
+  if ! cmp -s "$SRV_TMP/local.sorted" "$SRV_TMP/served.sorted"; then
+    echo "ci: served $rel differs from local evaluation" >&2
+    kill "$SRV_PID" 2>/dev/null || true
+    exit 1
+  fi
+done
+echo "ci: served results match local evaluation"
+dune exec bin/datalog_cli.exe -- --connect "unix:$SRV_SOCK" --shutdown
+if ! wait "$SRV_PID"; then
+  echo "ci: datalog_serve exited nonzero after SHUTDOWN" >&2
+  exit 1
+fi
+for s in "$SRV_SOCK" "$SRV_MSOCK"; do
+  if [ -e "$s" ]; then
+    echo "ci: server socket $s not unlinked on clean shutdown" >&2
+    exit 1
+  fi
+done
+rm -rf "$SRV_TMP"
+echo "ci: query server shut down cleanly"
 
 echo "== bench regression check (soft gate) =="
 sh tools/regress.sh BENCH_history.jsonl

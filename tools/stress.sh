@@ -1,7 +1,10 @@
 #!/bin/sh
 # Chaos stress harness wrapper: randomized multi-domain schedules under
 # active failpoints, full invariant audit after every run, per-run seeds
-# printed for deterministic replay.
+# printed for deterministic replay.  Runs cycle through five scenarios:
+# optimistic tree, all-pessimistic tree, pool faults, tuple tree, and the
+# resident query server (client domains under connection drops and forced
+# admission busy, audited against the exactly-acked fact set).
 #
 #   sh tools/stress.sh --seed 42 --domains 4 --runs 100
 #   sh tools/stress.sh --seed 42 --domains 4 --replay 17   # rerun one seed
