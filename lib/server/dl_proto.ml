@@ -17,6 +17,11 @@ let max_line = 64 * 1024
    caps what a client can make the server commit to buffering. *)
 let max_batch = 1_000_000
 
+(* The line count alone still admits max_batch lines of up to max_line
+   bytes each, so the accumulated byte size of one batch is capped too;
+   past it the batch is poisoned and nothing further is buffered. *)
+let max_batch_bytes = 16 * 1024 * 1024
+
 type value = V_int of int | V_sym of string
 type pat = P_any | P_val of value
 

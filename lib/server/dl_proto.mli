@@ -47,6 +47,12 @@ val max_line : int
 val max_batch : int
 (** Upper bound on the announced payload line count of [LOAD]/[RULES]. *)
 
+val max_batch_bytes : int
+(** Upper bound on the accumulated payload bytes of one [LOAD]/[RULES]
+    batch; a batch past it is rejected ([ERR proto]) and its buffered
+    lines are dropped, though framing still consumes the announced line
+    count. *)
+
 (** A fact field: integers are taken literally, anything else is a symbol
     interned per engine generation. *)
 type value = V_int of int | V_sym of string

@@ -52,8 +52,10 @@ type payload = {
   p_kind : [ `Load of string * int (* relation, arity *) | `Rules ];
   mutable p_left : int;
   mutable p_lines : string list; (* newest first *)
+  mutable p_bytes : int; (* accumulated payload bytes (unpoisoned lines) *)
   mutable p_err : (Dl_proto.err_code * string) option;
   mutable p_lineno : int;
+  p_reserved : int; (* rows charged against s_reserved at admission *)
   p_t0 : int;
 }
 
@@ -91,6 +93,7 @@ type state = {
   mutable s_gen_seq : int;
   mutable s_stale : bool; (* program/facts newer than s_gen *)
   mutable s_pending : int; (* facts admitted since the last flip *)
+  mutable s_reserved : int; (* rows of in-flight LOAD batches, pre-admission *)
   mutable s_pending_t0s : int list; (* admission stamps of pending requests *)
   mutable s_oldest_pending : int; (* ns; max_int when none *)
   mutable s_flip_failures : int; (* consecutive *)
@@ -129,6 +132,7 @@ let install_gauges st =
             | Some st ->
               [
                 ("pending_ingest", float_of_int st.s_pending);
+                ("reserved_ingest", float_of_int st.s_reserved);
                 ("queued_queries", float_of_int (Queue.length st.s_queries));
                 ("clients", float_of_int (Hashtbl.length st.s_conns));
                 ("generation", float_of_int st.s_gen_seq);
@@ -138,7 +142,14 @@ let install_gauges st =
               ])
       end)
 
-let clear_gauges () = Mutex.protect gauge_mutex (fun () -> gauge_slot := None)
+(* Two servers may coexist (the slot routes to whichever registered
+   last); only clear it if it still points at the state being cleaned
+   up, so stopping one server cannot disable the survivor's gauges. *)
+let clear_gauges st =
+  Mutex.protect gauge_mutex (fun () ->
+      match !gauge_slot with
+      | Some cur when cur == st -> gauge_slot := None
+      | _ -> ())
 
 (* --------------------------------------------------------------- *)
 (* Session plumbing                                                 *)
@@ -147,6 +158,12 @@ let clear_gauges () = Mutex.protect gauge_mutex (fun () -> gauge_slot := None)
 let close_conn st c =
   if c.c_alive then begin
     c.c_alive <- false;
+    (match c.c_payload with
+    | Some p ->
+      (* a session dropped mid-LOAD must give back its admission hold *)
+      st.s_reserved <- st.s_reserved - p.p_reserved;
+      c.c_payload <- None
+    | None -> ());
     Hashtbl.remove st.s_conns c.c_fd;
     try Unix.close c.c_fd with _ -> ()
   end
@@ -279,6 +296,8 @@ let flip_due st now =
    generation never saw matches nothing, which interning expresses
    naturally (a fresh id no tuple contains). *)
 
+let decl_arity st rel = List.assoc_opt rel st.s_decls
+
 let row_to_string tup =
   String.concat "\t" (Array.to_list (Array.map string_of_int tup))
 
@@ -289,49 +308,72 @@ let run_queries st =
     Queue.clear st.s_queries;
     let k = Array.length qs in
     (* Resolve relations and patterns sequentially on the server domain;
-       workers then touch only immutable relation structure. *)
+       workers then touch only immutable relation structure.  A query was
+       validated at admission, but a RULES install does not flush the
+       queue — the relation may have been dropped or re-declared at a
+       different arity since, so re-validate against the *current* decls
+       here and answer a structured error rather than let a raised
+       [Engine.relation] kill the server domain. *)
     let resolved =
       Array.map
         (fun (_, rel, pats, _) ->
-          let r = Engine.relation gen rel in
-          let ipats =
-            Array.map
-              (function
-                | Dl_proto.P_any -> None
-                | Dl_proto.P_val (Dl_proto.V_int v) -> Some v
-                | Dl_proto.P_val (Dl_proto.V_sym s) -> Some (Engine.intern gen s))
-              pats
-          in
-          (r, ipats))
+          match decl_arity st rel with
+          | None -> Error (Dl_proto.E_relation, "unknown relation " ^ rel)
+          | Some arity when Array.length pats <> arity ->
+            Error
+              ( Dl_proto.E_arity,
+                Printf.sprintf "%d pattern fields, %s has arity %d"
+                  (Array.length pats) rel arity )
+          | Some _ -> (
+            match Engine.relation gen rel with
+            | r ->
+              let ipats =
+                Array.map
+                  (function
+                    | Dl_proto.P_any -> None
+                    | Dl_proto.P_val (Dl_proto.V_int v) -> Some v
+                    | Dl_proto.P_val (Dl_proto.V_sym s) ->
+                      Some (Engine.intern gen s))
+                  pats
+              in
+              Ok (r, ipats)
+            | exception _ ->
+              Error (Dl_proto.E_relation, "unknown relation " ^ rel)))
         qs
     in
-    let slots = Array.make k `Unrun in
+    let slots =
+      Array.map
+        (function Error (c, m) -> `Reject (c, m) | Ok _ -> `Unrun)
+        resolved
+    in
     let run_one i =
-      let r, ipats = resolved.(i) in
-      match
-        let reader = Relation.begin_read r in
-        Fun.protect
-          ~finally:(fun () -> Relation.Reader.finish reader)
-          (fun () ->
-            let rows = ref [] in
-            let n = ref 0 in
-            Relation.Reader.scan reader (-1) [||] (fun tup ->
-                let ok = ref true in
-                Array.iteri
-                  (fun j p ->
-                    match p with
-                    | Some v when tup.(j) <> v -> ok := false
-                    | _ -> ())
-                  ipats;
-                if !ok then begin
-                  rows := row_to_string tup :: !rows;
-                  incr n
-                end);
-            (List.rev !rows, !n))
-      with
-      | rows, n -> slots.(i) <- `Rows (rows, n)
-      | exception Storage.Index.Phase_violation m -> slots.(i) <- `Violation m
-      | exception e -> slots.(i) <- `Failed (Printexc.to_string e)
+      match resolved.(i) with
+      | Error _ -> ()
+      | Ok (r, ipats) -> (
+        match
+          let reader = Relation.begin_read r in
+          Fun.protect
+            ~finally:(fun () -> Relation.Reader.finish reader)
+            (fun () ->
+              let rows = ref [] in
+              let n = ref 0 in
+              Relation.Reader.scan reader (-1) [||] (fun tup ->
+                  let ok = ref true in
+                  Array.iteri
+                    (fun j p ->
+                      match p with
+                      | Some v when tup.(j) <> v -> ok := false
+                      | _ -> ())
+                    ipats;
+                  if !ok then begin
+                    rows := row_to_string tup :: !rows;
+                    incr n
+                  end);
+              (List.rev !rows, !n))
+        with
+        | rows, n -> slots.(i) <- `Rows (rows, n)
+        | exception Storage.Index.Phase_violation m -> slots.(i) <- `Violation m
+        | exception e -> slots.(i) <- `Failed (Printexc.to_string e))
     in
     (* Fan out: each worker takes a strided slice; slot writes are
        disjoint plain writes, joined by Pool.run before anyone reads. *)
@@ -355,6 +397,7 @@ let run_queries st =
             (Dl_proto.R_data
                ( Printf.sprintf "%s rows=%d gen=%d" rel n st.s_gen_seq,
                  rows ))
+        | `Reject (code, msg) -> respond st c (Dl_proto.R_err (code, msg))
         | `Violation m ->
           st.s_phase_violations <- st.s_phase_violations + 1;
           respond st c
@@ -370,9 +413,6 @@ let run_queries st =
 (* Request handling                                                 *)
 (* --------------------------------------------------------------- *)
 
-let decl_arity st rel =
-  List.assoc_opt rel st.s_decls
-
 let stats_response st =
   let lines =
     [
@@ -382,6 +422,7 @@ let stats_response st =
       Printf.sprintf "generation=%d" st.s_gen_seq;
       Printf.sprintf "stale=%b" st.s_stale;
       Printf.sprintf "pending_ingest=%d" st.s_pending;
+      Printf.sprintf "reserved_ingest=%d" st.s_reserved;
       Printf.sprintf "queued_queries=%d" (Queue.length st.s_queries);
       Printf.sprintf "clients=%d" (Hashtbl.length st.s_conns);
       Printf.sprintf "conns_total=%d" st.s_conn_total;
@@ -510,6 +551,9 @@ let finish_load st c p rel arity =
 
 let finish_payload st c p =
   c.c_payload <- None;
+  (* the admission hold converts into real pending (on success, inside
+     [finish_load]) or evaporates (rejected/poisoned batch) *)
+  st.s_reserved <- st.s_reserved - p.p_reserved;
   match p.p_kind with
   | `Rules -> finish_rules st c p
   | `Load (rel, arity) -> finish_load st c p rel arity
@@ -517,15 +561,24 @@ let finish_payload st c p =
 let payload_line st c p line =
   p.p_left <- p.p_left - 1;
   p.p_lineno <- p.p_lineno + 1;
-  (match (p.p_err, p.p_kind) with
-  | Some _, _ -> () (* poisoned: consume for framing only *)
-  | None, _ when String.length line > Dl_proto.max_line ->
-    p.p_err <-
-      Some
-        ( Dl_proto.E_proto,
-          Printf.sprintf "payload line %d exceeds %d bytes" p.p_lineno
-            Dl_proto.max_line )
-  | None, _ -> p.p_lines <- line :: p.p_lines);
+  (* poisoning drops what was buffered: a rejected batch must not keep
+     holding its lines while framing drains the remainder *)
+  let poison code msg =
+    p.p_err <- Some (code, msg);
+    p.p_lines <- []
+  in
+  (match p.p_err with
+  | Some _ -> () (* poisoned: consume for framing only *)
+  | None when String.length line > Dl_proto.max_line ->
+    poison Dl_proto.E_proto
+      (Printf.sprintf "payload line %d exceeds %d bytes" p.p_lineno
+         Dl_proto.max_line)
+  | None when p.p_bytes + String.length line > Dl_proto.max_batch_bytes ->
+    poison Dl_proto.E_proto
+      (Printf.sprintf "batch exceeds %d payload bytes" Dl_proto.max_batch_bytes)
+  | None ->
+    p.p_bytes <- p.p_bytes + String.length line;
+    p.p_lines <- line :: p.p_lines);
   if p.p_left <= 0 then finish_payload st c p
 
 (* Admission checks shared by the ingest verbs; [Error] is the rejection
@@ -533,7 +586,7 @@ let payload_line st c p line =
 let check_ingest st rel n =
   if Chaos.fire Chaos.Point.Server_phase_busy then
     Error (Dl_proto.E_busy, "chaos drill: writer phase saturated, retry")
-  else if st.s_pending + n > st.s_cfg.max_pending then
+  else if st.s_pending + st.s_reserved + n > st.s_cfg.max_pending then
     Error
       ( Dl_proto.E_busy,
         Printf.sprintf "pending ingest at cap (%d), retry after a flip"
@@ -574,8 +627,10 @@ let handle_request st c line =
           p_kind = `Rules;
           p_left = n;
           p_lines = [];
+          p_bytes = 0;
           p_err = None;
           p_lineno = 0;
+          p_reserved = 0;
           p_t0 = Telemetry.now_ns ();
         }
       in
@@ -583,23 +638,31 @@ let handle_request st c line =
       if n = 0 then finish_payload st c p
     | Ok (Dl_proto.Load (rel, n)) ->
       let t0 = Telemetry.now_ns () in
-      let kind, err =
+      (* Reserve the announced rows against the admission cap now, not at
+         batch completion: traffic interleaved between the header and its
+         last payload line must not push pending past [max_pending].  The
+         hold is released in [finish_payload] / [close_conn]. *)
+      let kind, err, reserved =
         match check_ingest st rel n with
-        | Ok arity -> (`Load (rel, arity), None)
+        | Ok arity ->
+          st.s_reserved <- st.s_reserved + n;
+          (`Load (rel, arity), None, n)
         | Error (code, msg) ->
           if code = Dl_proto.E_busy then begin
             st.s_busy <- st.s_busy + 1;
             Telemetry.bump Telemetry.Counter.Server_busy_rejections
           end;
-          (`Load (rel, -1), Some (code, msg))
+          (`Load (rel, -1), Some (code, msg), 0)
       in
       let p =
         {
           p_kind = kind;
           p_left = n;
           p_lines = [];
+          p_bytes = 0;
           p_err = err;
           p_lineno = 0;
+          p_reserved = reserved;
           p_t0 = t0;
         }
       in
@@ -830,7 +893,7 @@ let server_cleanup st unlink_path =
   (match unlink_path with
   | Some p -> ( try Unix.unlink p with _ -> ())
   | None -> ());
-  clear_gauges ();
+  clear_gauges st;
   Pool.shutdown st.s_pool
 
 (* --------------------------------------------------------------- *)
@@ -907,6 +970,7 @@ let start cfg =
               s_gen_seq = 0;
               s_stale = false;
               s_pending = 0;
+              s_reserved = 0;
               s_pending_t0s = [];
               s_oldest_pending = max_int;
               s_flip_failures = 0;

@@ -287,6 +287,118 @@ let stats_field c name =
       lines
   | _ -> Alcotest.fail "STATS: bad reply"
 
+(* Raw-socket access, for tests that must pipeline requests without
+   waiting for replies (Dl_client is strictly request/reply). *)
+let with_raw_conn addr k =
+  let path =
+    match addr with
+    | Telemetry_server.Unix_sock p -> p
+    | _ -> Alcotest.fail "expected a unix-socket address"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd in
+      let (_ : string) = input_line ic (* greeting *) in
+      let send s =
+        let n = String.length s in
+        if Unix.write_substring fd s 0 n <> n then
+          Alcotest.fail "short raw write"
+      in
+      k send ic)
+
+(* A RULES install does not flush queued queries; pipelining QUERY then a
+   program that drops/re-declares the queried relations — all in one
+   write, so both parse before the flip runs — must yield structured
+   errors on the queries, never kill the server domain. *)
+let test_rules_swap_queued_query () =
+  with_server () @@ fun addr ->
+  (with_client addr @@ fun c -> install c);
+  (with_raw_conn addr @@ fun send ic ->
+   send
+     "QUERY out _ _\nQUERY kv _ _\nRULES 2\n.decl kv(a:number)\n.input kv\n";
+   (* the RULES ack is sent at install time, before the queries run *)
+   let rules_reply = input_line ic in
+   checkb "RULES ack" true (String.length rules_reply > 2
+                           && String.sub rules_reply 0 2 = "OK");
+   let expect_code want =
+     match P.parse_response_line (input_line ic) with
+     | `Err (code, _) -> check Alcotest.string "queued query code" want code
+     | _ -> Alcotest.failf "queued query did not come back as ERR %s" want
+   in
+   expect_code "relation" (* out: dropped by the new program *);
+   expect_code "arity" (* kv: re-declared at arity 1, query has 2 pats *));
+  (* the load-bearing assertion: the server domain survived *)
+  with_client addr @@ fun c ->
+  match Dl_client.ping c with
+  | Ok (Dl_client.Ok_ _) -> ()
+  | _ -> Alcotest.fail "server dead after program swap under queued queries"
+
+(* LOAD must hold its announced rows against max_pending from the header
+   on, so ingest interleaved mid-batch cannot overshoot the cap; the hold
+   converts to pending at completion and admission reopens after a flip. *)
+let test_load_reserves_pending () =
+  let addr = fresh_addr () in
+  let cfg =
+    {
+      (Dl_server.default_config addr) with
+      Dl_server.workers = 2;
+      flip_pending = 1000;
+      flip_interval_ms = 1000;
+      max_pending = 10;
+    }
+  in
+  match Dl_server.start cfg with
+  | Error m -> Alcotest.failf "server start: %s" m
+  | Ok srv ->
+    Fun.protect ~finally:(fun () -> Dl_server.stop srv) @@ fun () ->
+    (with_client addr @@ fun c -> install c);
+    with_raw_conn addr @@ fun send ic ->
+    send "LOAD kv 10\n1 1\n2 2\n3 3\n4 4\n5 5\n" (* 5 of 10 lines *);
+    with_client addr @@ fun c2 ->
+    let rec await_reservation tries =
+      if tries = 0 then Alcotest.fail "reservation never visible in STATS";
+      match stats_field c2 "reserved_ingest" with
+      | Some "10" -> ()
+      | _ ->
+        Unix.sleepf 0.01;
+        await_reservation (tries - 1)
+    in
+    await_reservation 500;
+    (* pending(0) + reserved(10) + 1 > 10: rejected, not admitted *)
+    (match Dl_client.assert_fact c2 "kv" [ "77"; "88" ] with
+    | Ok (Dl_client.Err ("busy", _)) -> ()
+    | _ -> Alcotest.fail "mid-batch assert admitted past the cap");
+    send "6 6\n7 7\n8 8\n9 9\n10 10\n";
+    (match P.parse_response_line (input_line ic) with
+    | `Ok _ -> ()
+    | _ -> Alcotest.fail "completed LOAD not acked");
+    (* a query forces a flip; pending drains and admission reopens *)
+    (match Dl_client.query c2 "out" [ "_"; "_" ] with
+    | Ok (Dl_client.Data (_, rows)) -> checki "loaded rows" 10 (List.length rows)
+    | _ -> Alcotest.fail "post-load query failed");
+    match Dl_client.assert_fact c2 "kv" [ "77"; "88" ] with
+    | Ok (Dl_client.Ok_ _) -> ()
+    | _ -> Alcotest.fail "admission did not reopen after the flip"
+
+(* A batch whose accumulated payload exceeds max_batch_bytes is rejected
+   with ERR proto (its buffered lines dropped) and the session survives. *)
+let test_batch_bytes_cap () =
+  with_server () @@ fun addr ->
+  with_client addr @@ fun c ->
+  install c;
+  let line = String.make P.max_line 'x' in
+  let n = (P.max_batch_bytes / P.max_line) + 1 in
+  (match Dl_client.load c "kv" (List.init n (fun _ -> line)) with
+  | Ok (Dl_client.Err ("proto", _)) -> ()
+  | Ok _ -> Alcotest.fail "oversized batch not rejected as ERR proto"
+  | Error m -> Alcotest.failf "oversized batch killed the connection: %s" m);
+  match Dl_client.ping c with
+  | Ok (Dl_client.Ok_ _) -> ()
+  | _ -> Alcotest.fail "connection dead after oversized batch"
+
 (* The acceptance test: N client domains mix ASSERT and QUERY against one
    server; every acked fact is unique, so the served relation must equal
    the acked set exactly, with zero phase violations. *)
@@ -381,6 +493,11 @@ let () =
           tc "hostile lines yield structured ERR" `Quick test_hostile_lines;
           tc "oversized line contained" `Quick test_oversized_line;
           tc "read-your-writes" `Quick test_read_your_writes;
+          tc "program swap with queued queries" `Quick
+            test_rules_swap_queued_query;
+          tc "LOAD reserves against max_pending" `Quick
+            test_load_reserves_pending;
+          tc "batch payload byte cap" `Quick test_batch_bytes_cap;
           tc "concurrent clients exact audit" `Quick test_concurrent_clients;
           tc "shutdown drains" `Quick test_shutdown;
         ] );
