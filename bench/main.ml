@@ -898,6 +898,68 @@ let smoke cfg =
       Some (bdomains, nseed, ndelta, d_single, d_batch, batch_speedup)
     end
   in
+  (* 1c. WAL append overhead: the durability tax of the resident server's
+     write-ahead log.  Replays the server's append pattern — fact batches
+     with a commit marker per generation flip — under durability [none]
+     (never fsync) and [batch] (group-commit fsync at each flip), so the
+     ratio is the fsync cost exactly where the server pays it. *)
+  let wal =
+    if not run_btree then None
+    else begin
+      let rec rm_rf path =
+        match (Unix.lstat path).Unix.st_kind with
+        | Unix.S_DIR ->
+          Array.iter
+            (fun e -> rm_rf (Filename.concat path e))
+            (Sys.readdir path);
+          Unix.rmdir path
+        | _ -> Unix.unlink path
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+      in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "bench-wal-%d" (Unix.getpid ()))
+      in
+      let n_facts = 2_000 and per_flip = 100 in
+      let lines =
+        Array.init n_facts (fun i -> Printf.sprintf "%d\t%d" i (i * 7))
+      in
+      let run durability =
+        rm_rf dir;
+        match Wal.open_dir ~durability dir with
+        | Error m -> failwith ("smoke: wal open: " ^ m)
+        | Ok (w, _) ->
+          let append e =
+            match Wal.append w e with
+            | Ok () -> ()
+            | Error m -> failwith ("smoke: wal append: " ^ m)
+          in
+          let _, d =
+            Bench_util.time (fun () ->
+                let seq = ref 0 in
+                Array.iteri
+                  (fun i line ->
+                    append (Wal.Facts ("kv", [ line ]));
+                    if (i + 1) mod per_flip = 0 then begin
+                      incr seq;
+                      append (Wal.Commit !seq)
+                    end)
+                  lines)
+          in
+          Wal.close w;
+          rm_rf dir;
+          d
+      in
+      let d_none = run Wal.D_none in
+      let d_batch = run Wal.D_batch in
+      let wal_overhead = d_batch /. d_none in
+      pf
+        "wal append %d facts (%d per flip): %.3fs none, %.3fs batch (%.2fx)\n"
+        n_facts per_flip d_none d_batch wal_overhead;
+      Some (n_facts, per_flip, d_none, d_batch, wal_overhead)
+    end
+  in
   (* 2. traced Datalog run, with the flight recorder on: its events ride
      into the Chrome trace via the registered provider, and the drained
      rings aggregate into the contention heatmap of the metrics JSON. *)
@@ -970,6 +1032,20 @@ let smoke cfg =
                   ("single_insert_s", Float d_single);
                   ("batch_merge_s", Float d_batch);
                   ("batch_speedup", Float batch_speedup);
+                ] );
+          ])
+      @ (match wal with
+        | None -> []
+        | Some (n_facts, per_flip, d_none, d_batch, wal_overhead) ->
+          [
+            ( "wal",
+              Obj
+                [
+                  ("facts", Int n_facts);
+                  ("facts_per_flip", Int per_flip);
+                  ("append_none_s", Float d_none);
+                  ("append_batch_s", Float d_batch);
+                  ("wal_append_overhead", Float wal_overhead);
                 ] );
           ])
       @ (match eval with
@@ -1061,6 +1137,14 @@ let smoke cfg =
               ("batch_single_s", Float d_single);
               ("batch_merge_s", Float d_batch);
               ("batch_speedup", Float batch_speedup);
+            ])
+        @ (match wal with
+          | None -> []
+          | Some (_, _, d_none, d_batch, wal_overhead) ->
+            [
+              ("wal_none_s", Float d_none);
+              ("wal_batch_s", Float d_batch);
+              ("wal_append_overhead", Float wal_overhead);
             ])
         @ [
             ("btree_insert_p99_ns", Int (p99 Telemetry.Hist.Btree_insert_ns));

@@ -110,14 +110,13 @@ let run_remote addr_s file facts_dir print_rels output_dir do_shutdown =
   | Error m ->
     Printf.eprintf "--connect: %s\n" m;
     exit 2
-  | Ok addr -> (
-    match Dl_client.connect addr with
-    | Error m ->
-      Printf.eprintf "datalog_cli: cannot connect to %s: %s\n" addr_s m;
-      exit 1
-    | Ok c ->
-      Fun.protect ~finally:(fun () -> Dl_client.close c) @@ fun () ->
-      (match file with
+  | Ok addr ->
+    (* A retry session instead of one connect: transient connection faults
+       (server restarting after a crash-recover, socket hiccup) are retried
+       with backoff; structured ERR replies still fail fast. *)
+    Dl_client.with_retry ~attempts:5 ~backoff_ms:50.0 addr @@ fun sess ->
+    let rpc ctx f = remote_fail ctx (Dl_client.retry sess f) in
+    (match file with
       | None ->
         if not do_shutdown then begin
           Printf.eprintf
@@ -134,7 +133,7 @@ let run_remote addr_s file facts_dir print_rels output_dir do_shutdown =
             Printf.eprintf "%s:%d:%d: syntax error: %s\n" f line col message;
             exit 1
         in
-        (match remote_fail "RULES" (Dl_client.rules c (read_whole_file f)) with
+        (match rpc "RULES" (fun c -> Dl_client.rules c (read_whole_file f)) with
         | Dl_client.Ok_ info -> Printf.printf "installed: %s\n" info
         | _ ->
           Printf.eprintf "datalog_cli: RULES: unexpected reply\n";
@@ -155,7 +154,7 @@ let run_remote addr_s file facts_dir print_rels output_dir do_shutdown =
                   |> List.filter (fun l -> String.trim l <> "")
                 in
                 (match
-                   remote_fail ("LOAD " ^ rel) (Dl_client.load c rel rows)
+                   rpc ("LOAD " ^ rel) (fun c -> Dl_client.load c rel rows)
                  with
                 | Dl_client.Ok_ info ->
                   Printf.printf "loaded %d facts into %s (%s)\n"
@@ -175,8 +174,8 @@ let run_remote addr_s file facts_dir print_rels output_dir do_shutdown =
           (fun (d : Ast.decl) ->
             let pats = List.init d.Ast.arity (fun _ -> "_") in
             match
-              remote_fail ("QUERY " ^ d.Ast.name)
-                (Dl_client.query c d.Ast.name pats)
+              rpc ("QUERY " ^ d.Ast.name) (fun c ->
+                  Dl_client.query c d.Ast.name pats)
             with
             | Dl_client.Data (_, rows) ->
               Printf.printf "%s: %d tuples\n" d.Ast.name (List.length rows);
@@ -204,11 +203,11 @@ let run_remote addr_s file facts_dir print_rels output_dir do_shutdown =
               exit 1)
           outputs);
       if do_shutdown then
-        match remote_fail "SHUTDOWN" (Dl_client.shutdown c) with
+        match rpc "SHUTDOWN" Dl_client.shutdown with
         | Dl_client.Ok_ _ -> Printf.printf "server draining\n"
         | _ ->
           Printf.eprintf "datalog_cli: SHUTDOWN: unexpected reply\n";
-          exit 1)
+          exit 1
 
 let run_program file storage threads print_rels show_stats show_profile facts_dir output_dir trace_file metrics_file chaos_spec flight lenient serve_metrics serve_interval connect do_shutdown =
   let server =

@@ -64,8 +64,8 @@ let preload addr program facts_dir =
         entries
 
 let serve listen storage threads flip_pending flip_interval max_pending
-    max_clients check_phases program facts chaos flight serve_metrics
-    serve_interval =
+    max_clients check_phases data_dir durability wal_segment_mb program facts
+    chaos flight serve_metrics serve_interval =
   let mon =
     Obs_cli.setup ~chaos ~flight ~serve_metrics ~serve_interval ()
   in
@@ -83,6 +83,18 @@ let serve listen storage threads flip_pending flip_interval max_pending
       Printf.eprintf "--listen: %s\n" m;
       exit 2
     | Ok addr -> (
+      let durability =
+        match Wal.durability_of_string durability with
+        | Some d -> d
+        | None ->
+          Printf.eprintf "--durability: unknown mode %S (want %s)\n" durability
+            Wal.durability_choices;
+          exit 2
+      in
+      if data_dir = None && durability <> Wal.D_batch then begin
+        Printf.eprintf "datalog_serve: --durability needs --data-dir\n";
+        exit 2
+      end;
       let base = Dl_server.default_config addr in
       let cfg =
         {
@@ -94,6 +106,9 @@ let serve listen storage threads flip_pending flip_interval max_pending
           max_pending = max 1 max_pending;
           max_clients = max 1 max_clients;
           check_phases;
+          data_dir;
+          durability;
+          wal_segment_bytes = max 1 wal_segment_mb * 1024 * 1024;
         }
       in
       match Dl_server.start cfg with
@@ -110,6 +125,11 @@ let serve listen storage threads flip_pending flip_interval max_pending
           (Storage.kind_name kind) cfg.Dl_server.workers
           cfg.Dl_server.flip_pending cfg.Dl_server.flip_interval_ms
           cfg.Dl_server.max_pending cfg.Dl_server.max_clients;
+        (match data_dir with
+        | Some dir ->
+          pf "datalog_serve: durable in %s (durability=%s)\n%!" dir
+            (Wal.durability_name durability)
+        | None -> ());
         (match program with
         | Some file -> preload bound file facts
         | None ->
@@ -189,6 +209,33 @@ let check_phases_arg =
           "Assert the two-phase access discipline on every index during \
            evaluation (debug; raises Phase_violation on overlap).")
 
+let data_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "data-dir"; "d" ] ~docv:"DIR"
+        ~doc:
+          "Durable fact store: write-ahead log every admission into $(docv) \
+           (created if missing) and recover program + facts from it at \
+           startup.  Without it the server is purely in-memory.")
+
+let durability_arg =
+  Arg.(
+    value & opt string "batch"
+    & info [ "durability" ] ~docv:"MODE"
+        ~doc:
+          "When acked ingest reaches disk: $(b,strict) fsyncs before every \
+           ack, $(b,batch) (default) group-commits one fsync per generation \
+           flip, $(b,async) fsyncs only on rotation/shutdown, $(b,none) \
+           never fsyncs.  Needs $(b,--data-dir).")
+
+let wal_segment_mb_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "wal-segment-mb" ] ~docv:"MB"
+        ~doc:
+          "Write-ahead log segment rotation threshold; the log compacts \
+           into one snapshot segment when it outgrows a few segments.")
+
 let program_arg =
   Arg.(
     value & opt (some file) None
@@ -213,7 +260,8 @@ let cmd =
     Term.(
       const serve $ listen_arg $ storage_arg $ threads_arg $ flip_pending_arg
       $ flip_interval_arg $ max_pending_arg $ max_clients_arg
-      $ check_phases_arg $ program_arg $ facts_arg $ Obs_cli.chaos_term
+      $ check_phases_arg $ data_dir_arg $ durability_arg $ wal_segment_mb_arg
+      $ program_arg $ facts_arg $ Obs_cli.chaos_term
       $ Obs_cli.flight_term $ Obs_cli.serve_metrics_term
       $ Obs_cli.serve_interval_term)
 

@@ -8,7 +8,7 @@
 
      stress --seed 42 --domains 4 --replay 17
 
-   Runs cycle through five scenarios:
+   Runs cycle through six scenarios:
      opt   — functor B-tree, optimistic descents under forced validation
              failures, descent yields and split delays;
      pess  — same workload with a zero restart budget, so every descent
@@ -18,7 +18,11 @@
              must stay consistent for the workers that survived;
      tup   — the hand-specialized tuple B-tree under the same chaos mix;
      serve — a resident datalog_serve instance under connection drops and
-             admission-busy faults, driven by concurrent client domains.
+             admission-busy faults, driven by concurrent client domains;
+     wal   — durability drills: torn WAL appends (wal.write.short) must
+             recover to the cleanly-appended prefix, and a kill -9 of a
+             --durability strict server between acks must recover exactly
+             the acked state.
 
    After every run the failpoints are disarmed and the tree is audited:
    [check_invariants] plus an exact cardinality check against the distinct
@@ -44,18 +48,20 @@ let rng_next st =
   st := r;
   r
 
-let n_scenarios = 5
+let n_scenarios = 6
 
 let scenario_name = function
   | 0 -> "opt"
   | 1 -> "pess"
   | 2 -> "pool"
   | 3 -> "tup"
-  | _ -> "serve"
+  | 4 -> "serve"
+  | _ -> "wal"
 
 let tree_points = "olock.validate.force_fail:12+btree.descent.yield:6+btree.split.delay:6"
 let pool_points = tree_points ^ "+pool.job.raise:4"
 let serve_points = "server.conn.drop:12+server.phase.busy:6"
+let wal_points = "wal.write.short:4"
 
 (* Contiguous partition of [0, n) into [workers] near-equal slices. *)
 let slice ~workers ~n w =
@@ -112,35 +118,20 @@ let serve_run ~domains ~nkeys ~seed r =
   | Ok srv ->
     let audit = ref (0, 0) in
     (try
-       (* Install the program.  The conn-drop failpoint severs connections
-          before any buffered request is parsed, so a transport error means
-          the install was not applied and retrying over a fresh connection
-          is safe (and RULES re-installation is idempotent regardless). *)
-       let rec install tries =
-         match Dl_client.connect addr with
-         | Error m ->
-           if tries <= 1 then failf "install connect: %s" m
-           else begin
-             Unix.sleepf 0.005;
-             install (tries - 1)
-           end
-         | Ok c -> (
-           let reply =
-             Fun.protect ~finally:(fun () -> Dl_client.close c) @@ fun () ->
-             Dl_client.rules c serve_program
-           in
-           match reply with
-           | Ok (Dl_client.Ok_ _) -> ()
-           | Ok (Dl_client.Err (code, m)) -> failf "RULES: %s %s" code m
-           | Ok _ -> failf "RULES: bad reply"
-           | Error _ ->
-             if tries <= 1 then failf "RULES: no reply after retries"
-             else begin
-               Unix.sleepf 0.002;
-               install (tries - 1)
-             end)
-       in
-       install 20;
+       (* Install the program through a retry session.  The conn-drop
+          failpoint severs connections before any buffered request is
+          parsed, so retrying a transport fault over a fresh connection is
+          safe (and RULES re-installation is idempotent regardless); an
+          ERR reply is never retried by the session. *)
+       (match
+          Dl_client.with_retry ~attempts:20 ~backoff_ms:5.0 ~seed addr
+            (fun sess ->
+              Dl_client.retry sess (fun c -> Dl_client.rules c serve_program))
+        with
+       | Ok (Dl_client.Ok_ _) -> ()
+       | Ok (Dl_client.Err (code, m)) -> failf "RULES: %s %s" code m
+       | Ok _ -> failf "RULES: bad reply"
+       | Error m -> failf "RULES: %s" m);
        (* Each client owns [lo, hi) of the key space; b is the client id,
           so every acked (a, b) is globally unique. *)
        let acked = Array.make domains [] in
@@ -149,61 +140,39 @@ let serve_run ~domains ~nkeys ~seed r =
          List.init domains (fun w ->
              Domain.spawn (fun () ->
                  let lo, hi = slice ~workers:domains ~n:nkeys w in
-                 let conn = ref None in
-                 let disconnect () =
-                   (match !conn with
-                   | Some c -> Dl_client.close c
-                   | None -> ());
-                   conn := None
-                 in
-                 let rec get_conn tries =
-                   match !conn with
-                   | Some c -> Some c
-                   | None ->
-                     if tries <= 0 then None
-                     else (
-                       match Dl_client.connect addr with
-                       | Ok c ->
-                         conn := Some c;
-                         Some c
-                       | Error _ ->
-                         Unix.sleepf 0.005;
-                         get_conn (tries - 1))
+                 let sess =
+                   Dl_client.session ~attempts:10 ~backoff_ms:5.0
+                     ~seed:(mix seed w) addr
                  in
                  for i = lo to hi - 1 do
+                   (* The session retries dropped connections internally;
+                      ERR busy is the scheduler's answer, so the backoff
+                      for it lives here in the workload, not the client. *)
                    let rec try_assert tries =
                      if tries <= 0 then give_ups.(w) <- give_ups.(w) + 1
                      else
-                       match get_conn 10 with
-                       | None -> give_ups.(w) <- give_ups.(w) + 1
-                       | Some c -> (
-                         match
-                           Dl_client.assert_fact c "kv"
-                             [ string_of_int i; string_of_int w ]
-                         with
-                         | Ok (Dl_client.Ok_ _) ->
-                           acked.(w) <- i :: acked.(w)
-                         | Ok (Dl_client.Err ("busy", _)) ->
-                           Unix.sleepf 0.002;
-                           try_assert (tries - 1)
-                         | Ok _ -> give_ups.(w) <- give_ups.(w) + 1
-                         | Error _ ->
-                           (* dropped before the request was parsed *)
-                           disconnect ();
-                           try_assert (tries - 1))
+                       match
+                         Dl_client.retry sess (fun c ->
+                             Dl_client.assert_fact c "kv"
+                               [ string_of_int i; string_of_int w ])
+                       with
+                       | Ok (Dl_client.Ok_ _) -> acked.(w) <- i :: acked.(w)
+                       | Ok (Dl_client.Err ("busy", _)) ->
+                         Unix.sleepf 0.002;
+                         try_assert (tries - 1)
+                       | Ok _ -> give_ups.(w) <- give_ups.(w) + 1
+                       | Error _ ->
+                         (* connect/transport budget spent under chaos *)
+                         give_ups.(w) <- give_ups.(w) + 1
                    in
                    try_assert 20;
                    if i land 31 = 0 then
-                     match get_conn 3 with
-                     | None -> ()
-                     | Some c -> (
-                       match
-                         Dl_client.query c "out" [ "_"; string_of_int w ]
-                       with
-                       | Ok _ -> ()
-                       | Error _ -> disconnect ())
+                     ignore
+                       (Dl_client.retry sess (fun c ->
+                            Dl_client.query c "out" [ "_"; string_of_int w ])
+                         : (Dl_client.reply, string) result)
                  done;
-                 disconnect ()))
+                 Dl_client.disconnect sess))
        in
        List.iter Domain.join clients;
        (* audit with the failpoints quiet *)
@@ -215,11 +184,9 @@ let serve_run ~domains ~nkeys ~seed r =
          |> List.concat
        in
        let uncertain = Array.fold_left ( + ) 0 give_ups in
-       (match Dl_client.connect addr with
-       | Error m -> failf "audit connect: %s" m
-       | Ok c ->
-         Fun.protect ~finally:(fun () -> Dl_client.close c) @@ fun () ->
-         (match Dl_client.query c "out" [ "_"; "_" ] with
+       (Dl_client.with_retry ~attempts:5 ~backoff_ms:5.0 addr @@ fun sess ->
+        let rpc f = Dl_client.retry sess f in
+        (match rpc (fun c -> Dl_client.query c "out" [ "_"; "_" ]) with
          | Ok (Dl_client.Data (_, rows)) ->
            let served = Hashtbl.create (List.length rows) in
            List.iter (fun row -> Hashtbl.replace served row ()) rows;
@@ -236,7 +203,7 @@ let serve_run ~domains ~nkeys ~seed r =
                n_expected uncertain
          | Ok (Dl_client.Err (code, m)) -> failf "audit query: %s %s" code m
          | Ok _ | Error _ -> failf "audit query: bad reply");
-         (match Dl_client.stats c with
+        (match rpc Dl_client.stats with
          | Ok (Dl_client.Data (_, lines)) ->
            List.iter
              (fun l ->
@@ -249,15 +216,185 @@ let serve_run ~domains ~nkeys ~seed r =
                | _ -> ())
              lines
          | Ok _ | Error _ -> failf "audit stats: bad reply");
-         (match Dl_client.shutdown c with
-         | Ok (Dl_client.Ok_ _) -> ()
-         | Ok _ | Error _ -> failf "shutdown: bad reply"));
+        match rpc Dl_client.shutdown with
+        | Ok (Dl_client.Ok_ _) -> ()
+        | Ok _ | Error _ -> failf "shutdown: bad reply");
        audit := (List.length expected, 0)
      with e ->
        Dl_server.stop srv;
        raise e);
     Dl_server.stop srv;
     !audit
+
+(* wal scenario: durability drills on throwaway data dirs.
+
+   Phase 1 (wal.write.short armed): drive a {!Wal} directly, appending
+   fact records until the failpoint tears one mid-write.  Reopening the
+   dir must then recover exactly the cleanly-appended prefix — the torn
+   tail silently truncated and flagged, never an error.
+
+   Phase 2 (chaos quiet): crash-kill-recover differential.  A child
+   process (this binary re-exec'd with the hidden --wal-child flag; a
+   plain fork is forbidden once any domain has existed) serves a data
+   dir under --durability strict; the parent acks facts over the
+   protocol and SIGKILLs the child *between* acks, so the acked set is
+   exactly the admitted set; a recovery server on the same dir must
+   then serve exactly the acked facts. *)
+
+let wal_child_cfg addr dir =
+  {
+    (Dl_server.default_config addr) with
+    Dl_server.workers = 2;
+    flip_pending = 8;
+    flip_interval_ms = 5;
+    data_dir = Some dir;
+    durability = Wal.D_strict;
+  }
+
+(* --wal-child: the server half of the kill -9 drill, in its own process
+   so SIGKILL hits a real crash boundary (no atexit, no flush). *)
+let wal_child_main addr_s dir =
+  match Telemetry_server.parse_addr addr_s with
+  | Error m ->
+    Printf.eprintf "--wal-child: %s\n" m;
+    exit 2
+  | Ok addr -> (
+    match Dl_server.start (wal_child_cfg addr dir) with
+    | Error m ->
+      Printf.eprintf "wal child: %s\n" m;
+      exit 3
+    | Ok srv -> Dl_server.wait srv)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let wal_run ~nkeys ~seed r =
+  let tmp = Filename.get_temp_dir_name () in
+  let stamp = Printf.sprintf "%d-%d" (Unix.getpid ()) r in
+  let st = ref (mix seed 0x3A1D) in
+  (* ---- phase 1: torn-append/recover drill on a bare Wal ---- *)
+  let dir1 = Filename.concat tmp ("stress-wal-torn-" ^ stamp) in
+  rm_rf dir1;
+  let appended = ref [] and torn = ref false in
+  (match Wal.open_dir ~durability:Wal.D_none dir1 with
+  | Error m -> failf "wal open: %s" m
+  | Ok (w, rv0) ->
+    if rv0.Wal.rv_entries <> [] then failf "fresh wal dir not empty";
+    let budget = max 16 (min 64 nkeys) in
+    for i = 0 to budget - 1 do
+      if not !torn then
+        let line = Printf.sprintf "%d\t%d" i (rng_next st mod 1000) in
+        match Wal.append w (Wal.Facts ("kv", [ line ])) with
+        | Ok () -> appended := line :: !appended
+        | Error _ -> torn := true
+    done;
+    Wal.close w);
+  (match Wal.open_dir ~durability:Wal.D_none dir1 with
+  | Error m -> failf "wal reopen after torn tail: %s" m
+  | Ok (w, rv) ->
+    Wal.close w;
+    let got =
+      List.concat_map
+        (function Wal.Facts (_, lines) -> lines | _ -> [])
+        rv.Wal.rv_entries
+    in
+    if got <> List.rev !appended then
+      failf "torn-tail recovery: %d records, expected %d" (List.length got)
+        (List.length !appended);
+    if !torn && not rv.Wal.rv_torn_tail then
+      failf "torn tail not flagged by recovery");
+  rm_rf dir1;
+  Chaos.disable ();
+  (* ---- phase 2: kill -9 a strict server between acks, recover ---- *)
+  let dir2 = Filename.concat tmp ("stress-wal-srv-" ^ stamp) in
+  let sock = Filename.concat tmp ("stress-wal-" ^ stamp ^ ".sock") in
+  let rsock = Filename.concat tmp ("stress-wal-" ^ stamp ^ "-r.sock") in
+  rm_rf dir2;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ sock; rsock ];
+  let parse p =
+    match Telemetry_server.parse_addr ("unix:" ^ p) with
+    | Ok a -> a
+    | Error m -> failf "bad socket addr: %s" m
+  in
+  let addr = parse sock and raddr = parse rsock in
+  let exe = Sys.executable_name in
+  let pid =
+    Unix.create_process exe
+      [| exe; "--wal-child"; "unix:" ^ sock; "--wal-data"; dir2 |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let stop_server () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid : int * Unix.process_status)
+  in
+  let acked = ref [] in
+  (try
+     Dl_client.with_retry ~attempts:40 ~backoff_ms:5.0 ~seed addr
+     @@ fun sess ->
+     (match
+        Dl_client.retry sess (fun c -> Dl_client.rules c serve_program)
+      with
+     | Ok (Dl_client.Ok_ _) -> ()
+     | Ok (Dl_client.Err (code, m)) -> failf "wal RULES: %s %s" code m
+     | Ok _ -> failf "wal RULES: bad reply"
+     | Error m -> failf "wal RULES: %s" m);
+     let n = 16 + (rng_next st mod 48) in
+     for i = 0 to n - 1 do
+       let b = rng_next st mod 1000 in
+       match
+         Dl_client.retry sess (fun c ->
+             Dl_client.assert_fact c "kv"
+               [ string_of_int i; string_of_int b ])
+       with
+       | Ok (Dl_client.Ok_ _) ->
+         acked := Printf.sprintf "%d\t%d" i b :: !acked
+       | Ok (Dl_client.Err (code, m)) -> failf "wal ASSERT: %s %s" code m
+       | Ok _ -> failf "wal ASSERT: bad reply"
+       | Error m -> failf "wal ASSERT: %s" m
+     done
+   with e ->
+     stop_server ();
+     rm_rf dir2;
+     raise e);
+  (* every sent fact was acked; the kill lands between acks *)
+  stop_server ();
+  (try Sys.remove sock with Sys_error _ -> ());
+  (match Dl_server.start (wal_child_cfg raddr dir2) with
+  | Error m ->
+    rm_rf dir2;
+    failf "wal recovery start: %s" m
+  | Ok srv ->
+    (try
+       (Dl_client.with_retry ~attempts:10 ~backoff_ms:5.0 raddr
+        @@ fun sess ->
+        match
+          Dl_client.retry sess (fun c ->
+              Dl_client.query c "out" [ "_"; "_" ])
+        with
+        | Ok (Dl_client.Data (_, rows)) ->
+          let expected = List.sort compare !acked in
+          let served = List.sort compare rows in
+          if served <> expected then
+            failf
+              "strict recovery served %d tuples, acked %d (must be \
+               byte-identical)"
+              (List.length served) (List.length expected)
+        | Ok (Dl_client.Err (code, m)) ->
+          failf "wal recovery query: %s %s" code m
+        | Ok _ -> failf "wal recovery query: bad reply"
+        | Error m -> failf "wal recovery query: %s" m)
+     with e ->
+       Dl_server.stop srv;
+       rm_rf dir2;
+       raise e);
+    Dl_server.stop srv);
+  rm_rf dir2;
+  (List.length !acked + List.length !appended, 0)
 
 (* Run one scenario; returns (inserted keys audited, pool failures seen). *)
 let one_run ~domains ~nkeys ~points_override ~seed r =
@@ -268,6 +405,7 @@ let one_run ~domains ~nkeys ~points_override ~seed r =
     | None ->
       if scen = 2 then pool_points
       else if scen = 4 then serve_points
+      else if scen = 5 then wal_points
       else tree_points
   in
   (match Chaos.apply_spec (Printf.sprintf "seed=%d,points=%s" seed points) with
@@ -277,6 +415,7 @@ let one_run ~domains ~nkeys ~points_override ~seed r =
     exit 2);
   Olock.Backoff.set_seed seed;
   if scen = 4 then serve_run ~domains ~nkeys ~seed r
+  else if scen = 5 then wal_run ~nkeys ~seed r
   else begin
   let capacity = 4 + (4 * (r mod 3)) in
   let key_range = max 64 (nkeys / 2) in
@@ -452,7 +591,15 @@ let crash_demo ~domains ~nkeys seed =
     Printf.printf "flight recorder: wrote %s (inspect with flightrec)\n" path;
     exit 1
 
-let main base_seed domains runs nkeys points_override replay crash serve_metrics serve_interval =
+let main base_seed domains runs nkeys points_override replay crash serve_metrics serve_interval wal_child wal_data =
+  (match (wal_child, wal_data) with
+  | Some addr_s, Some dir ->
+    wal_child_main addr_s dir;
+    exit 0
+  | Some _, None | None, Some _ ->
+    Printf.eprintf "--wal-child and --wal-data go together\n";
+    exit 2
+  | None, None -> ());
   let domains = max 1 domains in
   Telemetry.enable ();
   (* The recorder is always on under stress (the harness exists to shake
@@ -569,11 +716,23 @@ let serve_interval_arg =
          ~doc:"Sampling window length for --serve-metrics, in milliseconds \
                (min 10).")
 
+(* internal: the wal scenario's crash-target server (see wal_child_main) *)
+let wal_child_arg =
+  Arg.(value & opt (some string) None
+       & info [ "wal-child" ] ~docv:"ADDR" ~docs:Manpage.s_none
+           ~doc:"Internal: run the wal drill's kill target.")
+
+let wal_data_arg =
+  Arg.(value & opt (some string) None
+       & info [ "wal-data" ] ~docv:"DIR" ~docs:Manpage.s_none
+           ~doc:"Internal: data dir for $(b,--wal-child).")
+
 let cmd =
   let doc = "stress the tree, locks and pool under deterministic fault injection" in
   Cmd.v (Cmd.info "stress" ~doc)
     Term.(
       const main $ seed_arg $ domains_arg $ runs_arg $ keys_arg $ points_arg
-      $ replay_arg $ crash_arg $ serve_metrics_arg $ serve_interval_arg)
+      $ replay_arg $ crash_arg $ serve_metrics_arg $ serve_interval_arg
+      $ wal_child_arg $ wal_data_arg)
 
 let () = exit (Cmd.eval cmd)

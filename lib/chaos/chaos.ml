@@ -26,11 +26,15 @@ module Point = struct
     | Io_read_truncate
     | Server_conn_drop
     | Server_phase_busy
+    | Wal_write_short
+    | Wal_fsync_fail
+    | Wal_recover_corrupt
 
   let all =
     [
       Olock_validate_force_fail; Btree_descent_yield; Btree_split_delay;
       Pool_job_raise; Io_read_truncate; Server_conn_drop; Server_phase_busy;
+      Wal_write_short; Wal_fsync_fail; Wal_recover_corrupt;
     ]
 
   let index = function
@@ -41,6 +45,9 @@ module Point = struct
     | Io_read_truncate -> 4
     | Server_conn_drop -> 5
     | Server_phase_busy -> 6
+    | Wal_write_short -> 7
+    | Wal_fsync_fail -> 8
+    | Wal_recover_corrupt -> 9
 
   let count = List.length all
 
@@ -52,6 +59,9 @@ module Point = struct
     | Io_read_truncate -> "io.read.truncate"
     | Server_conn_drop -> "server.conn.drop"
     | Server_phase_busy -> "server.phase.busy"
+    | Wal_write_short -> "wal.write.short"
+    | Wal_fsync_fail -> "wal.fsync.fail"
+    | Wal_recover_corrupt -> "wal.recover.corrupt"
 
   let of_name s = List.find_opt (fun p -> name p = s) all
 end
@@ -173,7 +183,8 @@ let armed_points () =
 let spec_help =
   "seed=N,points=P1[:RATE1]+P2[:RATE2]+...  (point names: \
    olock.validate.force_fail btree.descent.yield btree.split.delay \
-   pool.job.raise io.read.truncate server.conn.drop server.phase.busy, \
+   pool.job.raise io.read.truncate server.conn.drop server.phase.busy \
+   wal.write.short wal.fsync.fail wal.recover.corrupt, \
    or 'all'; RATE fires 1-in-RATE, default 16)"
 
 let default_rate = 16

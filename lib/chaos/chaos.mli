@@ -43,6 +43,14 @@ module Point : sig
     | Server_phase_busy
         (** force the server's admission scheduler to reject a request with
             a 503-style BUSY response, as under overload *)
+    | Wal_write_short
+        (** truncate a WAL record append partway through and mark the log
+            torn, simulating a crash mid-write (a torn tail on disk) *)
+    | Wal_fsync_fail
+        (** make a WAL fsync raise, simulating a failed/lying disk flush *)
+    | Wal_recover_corrupt
+        (** bit-flip a byte of a WAL record as recovery reads it back,
+            simulating on-disk corruption *)
 
   val all : t list
   val count : int

@@ -164,6 +164,98 @@ let connect ?(timeout_s = 30.0) addr =
       Error (Printexc.to_string e))
 
 (* --------------------------------------------------------------- *)
+(* Reconnect/retry sessions                                         *)
+(* --------------------------------------------------------------- *)
+
+(* Promoted from the stress harness's ad-hoc loops: a session that
+   lazily (re)connects and retries *connection-level* failures only —
+   a structured ERR reply is an answer, not a fault, and retrying it
+   would turn admission control (ERR busy) into a hot loop.  Backoff
+   is seeded jittered exponential so a fleet of clients hammering one
+   reborn server fans out instead of thundering. *)
+
+type session = {
+  s_addr : Telemetry_server.addr;
+  s_attempts : int;
+  s_backoff_ms : float;
+  s_timeout_s : float;
+  mutable s_rng : int;
+  mutable s_conn : t option;
+}
+
+let session ?(attempts = 10) ?(backoff_ms = 2.0) ?(seed = 1) ?(timeout_s = 30.0)
+    addr =
+  let rng = if seed = 0 then 0x2545F491 else seed land max_int in
+  {
+    s_addr = addr;
+    s_attempts = max 1 attempts;
+    s_backoff_ms = Float.max 0.0 backoff_ms;
+    s_timeout_s = timeout_s;
+    s_rng = rng;
+    s_conn = None;
+  }
+
+let disconnect s =
+  match s.s_conn with
+  | Some c ->
+    close c;
+    s.s_conn <- None
+  | None -> ()
+
+let rng_next s =
+  let r = s.s_rng in
+  let r = r lxor (r lsl 13) land max_int in
+  let r = r lxor (r lsr 7) in
+  let r = r lxor (r lsl 17) land max_int in
+  let r = if r = 0 then 0x2545F491 else r in
+  s.s_rng <- r;
+  r
+
+(* attempt k (k >= 1) sleeps backoff * 2^(k-1), capped, scaled by a
+   jitter factor in [0.5, 1.5) drawn from the session's own stream *)
+let backoff_sleep s k =
+  if s.s_backoff_ms > 0.0 then begin
+    let exp = Float.min 64.0 (Float.pow 2.0 (float_of_int (min 6 (k - 1)))) in
+    let jitter = 0.5 +. (float_of_int (rng_next s mod 1024) /. 1024.0) in
+    Unix.sleepf (s.s_backoff_ms /. 1000.0 *. exp *. jitter)
+  end
+
+let retry s f =
+  let rec go k last =
+    if k > s.s_attempts then
+      Error (Printf.sprintf "after %d attempts: %s" s.s_attempts last)
+    else begin
+      if k > 1 then backoff_sleep s (k - 1);
+      match
+        match s.s_conn with
+        | Some c when c.alive -> Ok c
+        | _ -> (
+          s.s_conn <- None;
+          match connect ~timeout_s:s.s_timeout_s s.s_addr with
+          | Ok c ->
+            s.s_conn <- Some c;
+            Ok c
+          | Error _ as e -> e)
+      with
+      | Error m -> go (k + 1) ("connect: " ^ m)
+      | Ok c -> (
+        match f c with
+        | Ok _ as r -> r
+        | Error m ->
+          (* transport fault: this connection is dead; a fresh one may
+             succeed.  Note a retried request is re-sent whole — safe
+             against servers that only apply fully-parsed requests. *)
+          disconnect s;
+          go (k + 1) m)
+    end
+  in
+  go 1 "no attempts made"
+
+let with_retry ?attempts ?backoff_ms ?seed ?timeout_s addr f =
+  let s = session ?attempts ?backoff_ms ?seed ?timeout_s addr in
+  Fun.protect ~finally:(fun () -> disconnect s) (fun () -> f s)
+
+(* --------------------------------------------------------------- *)
 (* Verb wrappers                                                    *)
 (* --------------------------------------------------------------- *)
 

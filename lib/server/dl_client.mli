@@ -33,6 +33,54 @@ val send_payload : t -> string -> string list -> (reply, string) result
     [List.length lines] payload lines, then the lines.  The caller formats
     the header ({!load} / {!rules} are the common wrappers). *)
 
+(** {2 Reconnect/retry sessions}
+
+    A {!session} wraps an address with a lazily-established connection
+    and a bounded-retry policy for {e connection-level} failures only:
+    connect errors and transport faults (closed/dropped/garbled) are
+    retried over a fresh connection with seeded jittered exponential
+    backoff; a structured [ERR] reply is {e never} retried — it is the
+    server's answer (retrying [ERR busy] here would defeat admission
+    control; back off at the call site instead). *)
+
+type session
+
+val session :
+  ?attempts:int ->
+  ?backoff_ms:float ->
+  ?seed:int ->
+  ?timeout_s:float ->
+  Telemetry_server.addr ->
+  session
+(** [attempts] (default 10) bounds tries per {!retry} call; [backoff_ms]
+    (default 2) is the base delay, doubled per failure (capped) and
+    scaled by a jitter in [0.5, 1.5) drawn from a deterministic stream
+    seeded by [seed].  No IO happens until the first {!retry}. *)
+
+val retry : session -> (t -> (reply, string) result) -> (reply, string) result
+(** Run one request against the session's connection, (re)connecting as
+    needed.  [Error] only after the attempt budget is spent (the message
+    carries the last failure).  A retried request is re-sent whole, so
+    an op whose first send was half-applied by a dying peer may be
+    applied twice — the resident server only applies fully-parsed
+    requests, and RULES installs are idempotent, so its verbs are safe.
+    Not thread-safe, like {!t}. *)
+
+val disconnect : session -> unit
+(** Drop the cached connection (the next {!retry} reconnects).
+    Idempotent; also the session's destructor. *)
+
+val with_retry :
+  ?attempts:int ->
+  ?backoff_ms:float ->
+  ?seed:int ->
+  ?timeout_s:float ->
+  Telemetry_server.addr ->
+  (session -> 'a) ->
+  'a
+(** [with_retry addr f]: {!session}, run [f], {!disconnect} on every
+    exit path. *)
+
 val hello : t -> (reply, string) result
 val ping : t -> (reply, string) result
 val stats : t -> (reply, string) result

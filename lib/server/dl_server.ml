@@ -26,6 +26,10 @@ type config = {
   max_pending : int;
   max_clients : int;
   check_phases : bool;
+  data_dir : string option;
+  durability : Wal.durability;
+  wal_segment_bytes : int;
+  wal_compact_segments : int;
 }
 
 let default_config addr =
@@ -38,6 +42,10 @@ let default_config addr =
     max_pending = 100_000;
     max_clients = 64;
     check_phases = false;
+    data_dir = None;
+    durability = Wal.D_batch;
+    wal_segment_bytes = 8 * 1024 * 1024;
+    wal_compact_segments = 4;
   }
 
 (* --------------------------------------------------------------- *)
@@ -87,6 +95,10 @@ type state = {
   s_conns : (Unix.file_descr, conn) Hashtbl.t;
   s_facts : (string, fact_store) Hashtbl.t;
   s_queries : (conn * string * Dl_proto.pat array * int) Queue.t;
+  s_wal : Wal.t option;
+  s_recovery : Wal.recovery option;
+  mutable s_wal_errors : int; (* degraded-mode append/fsync failures *)
+  mutable s_program_text : string option; (* installed source, for snapshots *)
   mutable s_program : Ast.program option;
   mutable s_decls : (string * int) list; (* name, arity of installed decls *)
   mutable s_gen : Engine.t option;
@@ -202,6 +214,59 @@ let reject_busy st c msg =
   respond st c (Dl_proto.R_err (Dl_proto.E_busy, msg))
 
 (* --------------------------------------------------------------- *)
+(* Durability (write-ahead log)                                     *)
+(* --------------------------------------------------------------- *)
+
+(* Write-through before acknowledging an admission.  The ack contract
+   is per durability mode: under strict a failed append/fsync must
+   refuse the request (the ack would be a durability lie); under the
+   weaker modes the failure is counted and service continues degraded
+   — recovery still replays every record that did reach the disk. *)
+let wal_admit st e =
+  match st.s_wal with
+  | None -> Ok ()
+  | Some w -> (
+    match Wal.append w e with
+    | Ok () -> Ok ()
+    | Error msg ->
+      st.s_wal_errors <- st.s_wal_errors + 1;
+      if Wal.durability w = Wal.D_strict then
+        Error (Dl_proto.E_internal, "durability failure: " ^ msg)
+      else Ok ())
+
+let fact_line vals =
+  String.concat " "
+    (Array.to_list (Array.map Dl_proto.value_to_string vals))
+
+(* Rows of one relation in admission order, protocol surface form —
+   what a snapshot segment stores (fs_rows is newest first). *)
+let store_lines fs = List.rev_map fact_line fs.fs_rows
+
+(* After a successful flip: mark the group-commit point (the fsync that
+   makes everything admitted before this flip durable under batch), and
+   compact once the log outgrows a few segments — the flip boundary is
+   the one moment the in-memory store and the committed state agree
+   exactly, so the snapshot is trivially consistent. *)
+let wal_flip st =
+  match st.s_wal with
+  | None -> ()
+  | Some w ->
+    (match Wal.append w (Wal.Commit st.s_gen_seq) with
+    | Ok () -> ()
+    | Error _ -> st.s_wal_errors <- st.s_wal_errors + 1);
+    if Wal.should_compact w then begin
+      let facts =
+        Hashtbl.fold (fun rel fs acc -> (rel, store_lines fs) :: acc)
+          st.s_facts []
+      in
+      match
+        Wal.compact w ?program:st.s_program_text ~seq:st.s_gen_seq facts
+      with
+      | Ok () -> ()
+      | Error _ -> st.s_wal_errors <- st.s_wal_errors + 1
+    end
+
+(* --------------------------------------------------------------- *)
 (* Generation flips (writer phases)                                 *)
 (* --------------------------------------------------------------- *)
 
@@ -255,7 +320,8 @@ let do_flip st =
         st.s_pending_t0s;
       st.s_pending <- 0;
       st.s_pending_t0s <- [];
-      st.s_oldest_pending <- max_int
+      st.s_oldest_pending <- max_int;
+      wal_flip st
     | exception e ->
       (* Contained: the previous generation keeps serving, the admitted
          facts stay in the store, and the flip retries on the next
@@ -435,6 +501,33 @@ let stats_response st =
       Printf.sprintf "storage=%s" (Storage.kind_name st.s_cfg.kind);
     ]
   in
+  let wal_lines =
+    match st.s_wal with
+    | None -> [ "durability=off" ]
+    | Some w ->
+      [
+        "durability=" ^ Wal.durability_name (Wal.durability w);
+        "wal_dir=" ^ Wal.dir w;
+        Printf.sprintf "wal_segments=%d" (Wal.segments w);
+        Printf.sprintf "wal_records=%d" (Wal.records w);
+        Printf.sprintf "wal_bytes=%d" (Wal.appended_bytes w);
+        Printf.sprintf "wal_fsyncs=%d" (Wal.fsyncs w);
+        Printf.sprintf "wal_compactions=%d" (Wal.compactions w);
+        Printf.sprintf "wal_errors=%d" st.s_wal_errors;
+        Printf.sprintf "wal_torn=%b" (Wal.torn w);
+      ]
+      @ (match st.s_recovery with
+        | None -> []
+        | Some rv ->
+          [
+            Printf.sprintf "recovered_records=%d" rv.Wal.rv_records;
+            Printf.sprintf "recovered_segments=%d" rv.Wal.rv_segments;
+            Printf.sprintf "recovered_bytes=%d" rv.Wal.rv_bytes;
+            Printf.sprintf "recovered_commit_seq=%d" rv.Wal.rv_committed_seq;
+            Printf.sprintf "recovered_torn_tail=%b" rv.Wal.rv_torn_tail;
+          ])
+  in
+  let lines = lines @ wal_lines in
   let rels =
     match st.s_gen with
     | None -> []
@@ -511,9 +604,15 @@ let finish_rules st c p =
       | exception e ->
         respond st c
           (Dl_proto.R_err (Dl_proto.E_program, Printexc.to_string e))
-      | _probe ->
-        let info = install_program st prog (List.length prog.Ast.rules) in
-        respond st c (Dl_proto.R_ok info)))
+      | _probe -> (
+        (* log the install before mutating state: replay must see the
+           program change exactly where admissions saw it *)
+        match wal_admit st (Wal.Rules text) with
+        | Error (code, msg) -> respond st c (Dl_proto.R_err (code, msg))
+        | Ok () ->
+          let info = install_program st prog (List.length prog.Ast.rules) in
+          st.s_program_text <- Some text;
+          respond st c (Dl_proto.R_ok info))))
 
 let finish_load st c p rel arity =
   match p.p_err with
@@ -540,14 +639,19 @@ let finish_load st c p rel arity =
       rows;
     (match !err with
     | Some m -> respond st c (Dl_proto.R_err (Dl_proto.E_parse, m))
-    | None ->
-      let fs = store_for st rel arity in
-      fs.fs_rows <- List.rev_append !parsed fs.fs_rows;
-      fs.fs_count <- fs.fs_count + !n;
-      if !n > 0 then admit_ingest st !n p.p_t0;
-      respond st c
-        (Dl_proto.R_ok
-           (Printf.sprintf "queued=%d pending=%d" !n st.s_pending)))
+    | None -> (
+      match
+        if !n > 0 then wal_admit st (Wal.Facts (rel, rows)) else Ok ()
+      with
+      | Error (code, msg) -> respond st c (Dl_proto.R_err (code, msg))
+      | Ok () ->
+        let fs = store_for st rel arity in
+        fs.fs_rows <- List.rev_append !parsed fs.fs_rows;
+        fs.fs_count <- fs.fs_count + !n;
+        if !n > 0 then admit_ingest st !n p.p_t0;
+        respond st c
+          (Dl_proto.R_ok
+             (Printf.sprintf "queued=%d pending=%d" !n st.s_pending))))
 
 let finish_payload st c p =
   c.c_payload <- None;
@@ -680,14 +784,17 @@ let handle_request st c line =
                ( Dl_proto.E_arity,
                  Printf.sprintf "%d fields, %s has arity %d"
                    (Array.length vals) rel arity ))
-        else begin
-          let fs = store_for st rel arity in
-          fs.fs_rows <- vals :: fs.fs_rows;
-          fs.fs_count <- fs.fs_count + 1;
-          admit_ingest st 1 (Telemetry.now_ns ());
-          respond st c
-            (Dl_proto.R_ok (Printf.sprintf "queued=1 pending=%d" st.s_pending))
-        end)
+        else
+          match wal_admit st (Wal.Facts (rel, [ fact_line vals ])) with
+          | Error (code, msg) -> respond st c (Dl_proto.R_err (code, msg))
+          | Ok () ->
+            let fs = store_for st rel arity in
+            fs.fs_rows <- vals :: fs.fs_rows;
+            fs.fs_count <- fs.fs_count + 1;
+            admit_ingest st 1 (Telemetry.now_ns ());
+            respond st c
+              (Dl_proto.R_ok
+                 (Printf.sprintf "queued=1 pending=%d" st.s_pending)))
     | Ok (Dl_proto.Query (rel, pats)) -> (
       if Chaos.fire Chaos.Point.Server_phase_busy then
         reject_busy st c "chaos drill: reader phase saturated, retry"
@@ -893,6 +1000,10 @@ let server_cleanup st unlink_path =
   (match unlink_path with
   | Some p -> ( try Unix.unlink p with _ -> ())
   | None -> ());
+  (* flush acked-but-unsynced records and release the data-dir lock —
+     the graceful-shutdown path (SHUTDOWN verb, SIGTERM/SIGINT via
+     [signal_stop]) leaves a clean, immediately recoverable log *)
+  (match st.s_wal with Some w -> Wal.close w | None -> ());
   clear_gauges st;
   Pool.shutdown st.s_pool
 
@@ -942,56 +1053,167 @@ let bind_listen addr =
        (try Unix.close fd with _ -> ());
        raise e)
 
+(* Fold one recovered WAL record into pre-serve state.  Only content the
+   live admission path validated is ever logged, so a failure here means
+   the log is inconsistent with the running binary (or corruption slid
+   past the CRC) — the caller refuses to serve rather than guess. *)
+let replay_entry st e =
+  match e with
+  | Wal.Anchor seq ->
+    (* a snapshot supersedes everything replayed so far *)
+    st.s_program <- None;
+    st.s_program_text <- None;
+    st.s_decls <- [];
+    Hashtbl.reset st.s_facts;
+    st.s_gen_seq <- max st.s_gen_seq seq;
+    Ok ()
+  | Wal.Commit seq ->
+    st.s_gen_seq <- max st.s_gen_seq seq;
+    Ok ()
+  | Wal.Rules text -> (
+    match Parser.parse_string ~filename:"<wal>" text with
+    | exception Parser.Syntax_error { line; col; message } ->
+      Error
+        (Printf.sprintf "logged program does not parse (%d:%d: %s)" line col
+           message)
+    | exception e -> Error (Printexc.to_string e)
+    | prog ->
+      ignore (install_program st prog (List.length prog.Ast.rules));
+      st.s_program_text <- Some text;
+      Ok ())
+  | Wal.Facts (rel, lines) -> (
+    match decl_arity st rel with
+    | None ->
+      Error (Printf.sprintf "logged facts for undeclared relation %s" rel)
+    | Some arity -> (
+      let fs = store_for st rel arity in
+      let bad = ref None in
+      List.iter
+        (fun line ->
+          if !bad = None then
+            match Dl_proto.parse_fact line with
+            | Error m ->
+              bad := Some (Printf.sprintf "logged fact %S: %s" line m)
+            | Ok vals when Array.length vals <> arity ->
+              bad :=
+                Some
+                  (Printf.sprintf "logged fact %S: %d fields, %s has arity %d"
+                     line (Array.length vals) rel arity)
+            | Ok vals ->
+              fs.fs_rows <- vals :: fs.fs_rows;
+              fs.fs_count <- fs.fs_count + 1)
+        lines;
+      match !bad with None -> Ok () | Some m -> Error m))
+
+let replay_recovery st rv =
+  let rec go = function
+    | [] ->
+      (* serve the recovered state: the first loop iteration evaluates
+         one writer phase before any query can be answered *)
+      if st.s_program <> None then st.s_stale <- true;
+      Ok ()
+    | e :: rest -> ( match replay_entry st e with Ok () -> go rest | err -> err)
+  in
+  go rv.Wal.rv_entries
+
 let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-  match bind_listen cfg.addr with
-  | exception e ->
-    Error
-      (Printf.sprintf "datalog server: cannot bind: %s" (Printexc.to_string e))
-  | lfd, bound, unlink_path ->
-    (try Unix.set_nonblock lfd with _ -> ());
-    let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
-    let pool = Pool.create (max 1 cfg.workers) in
-    let dom =
-      Domain.spawn (fun () ->
-          let st =
-            {
-              s_cfg = cfg;
-              s_lfd = lfd;
-              s_stop_rd = stop_rd;
-              s_pool = pool;
-              s_chunk = Bytes.create 8192;
-              s_conns = Hashtbl.create 16;
-              s_facts = Hashtbl.create 16;
-              s_queries = Queue.create ();
-              s_program = None;
-              s_decls = [];
-              s_gen = None;
-              s_gen_seq = 0;
-              s_stale = false;
-              s_pending = 0;
-              s_reserved = 0;
-              s_pending_t0s = [];
-              s_oldest_pending = max_int;
-              s_flip_failures = 0;
-              s_retry_at = 0;
-              s_requests = 0;
-              s_busy = 0;
-              s_flips = 0;
-              s_conn_total = 0;
-              s_phase_violations = 0;
-              s_shutting_down = false;
-              s_drain_deadline = max_int;
-              s_running = true;
-            }
-          in
-          install_gauges st;
-          Fun.protect
-            ~finally:(fun () -> server_cleanup st unlink_path)
-            (fun () -> server_loop st))
+  (* recover the WAL first: a lock conflict or corrupt log must fail
+     before the listen address is taken over *)
+  let wal =
+    match cfg.data_dir with
+    | None -> Ok None
+    | Some dir -> (
+      match
+        Wal.open_dir ~segment_bytes:cfg.wal_segment_bytes
+          ~compact_segments:cfg.wal_compact_segments
+          ~durability:cfg.durability dir
+      with
+      | Ok (w, rv) -> Ok (Some (w, rv))
+      | Error msg -> Error msg)
+  in
+  match wal with
+  | Error msg -> Error ("datalog server: " ^ msg)
+  | Ok wal -> (
+    let close_wal () =
+      match wal with Some (w, _) -> Wal.close w | None -> ()
     in
-    Ok { t_bound = bound; t_stop_rd = stop_rd; t_stop_wr = stop_wr; t_dom = dom;
-         t_joined = false }
+    match bind_listen cfg.addr with
+    | exception e ->
+      close_wal ();
+      Error
+        (Printf.sprintf "datalog server: cannot bind: %s" (Printexc.to_string e))
+    | lfd, bound, unlink_path -> (
+      (try Unix.set_nonblock lfd with _ -> ());
+      let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+      let pool = Pool.create (max 1 cfg.workers) in
+      let st =
+        {
+          s_cfg = cfg;
+          s_lfd = lfd;
+          s_stop_rd = stop_rd;
+          s_pool = pool;
+          s_chunk = Bytes.create 8192;
+          s_conns = Hashtbl.create 16;
+          s_facts = Hashtbl.create 16;
+          s_queries = Queue.create ();
+          s_wal = Option.map fst wal;
+          s_recovery = Option.map snd wal;
+          s_wal_errors = 0;
+          s_program_text = None;
+          s_program = None;
+          s_decls = [];
+          s_gen = None;
+          s_gen_seq = 0;
+          s_stale = false;
+          s_pending = 0;
+          s_reserved = 0;
+          s_pending_t0s = [];
+          s_oldest_pending = max_int;
+          s_flip_failures = 0;
+          s_retry_at = 0;
+          s_requests = 0;
+          s_busy = 0;
+          s_flips = 0;
+          s_conn_total = 0;
+          s_phase_violations = 0;
+          s_shutting_down = false;
+          s_drain_deadline = max_int;
+          s_running = true;
+        }
+      in
+      match
+        match st.s_recovery with
+        | Some rv -> replay_recovery st rv
+        | None -> Ok ()
+      with
+      | Error msg ->
+        close_wal ();
+        (try Unix.close lfd with _ -> ());
+        (match unlink_path with
+        | Some p -> ( try Unix.unlink p with _ -> ())
+        | None -> ());
+        List.iter
+          (fun fd -> try Unix.close fd with _ -> ())
+          [ stop_rd; stop_wr ];
+        Pool.shutdown pool;
+        Error ("datalog server: wal replay: " ^ msg)
+      | Ok () ->
+        let dom =
+          Domain.spawn (fun () ->
+              install_gauges st;
+              Fun.protect
+                ~finally:(fun () -> server_cleanup st unlink_path)
+                (fun () -> server_loop st))
+        in
+        Ok
+          {
+            t_bound = bound;
+            t_stop_rd = stop_rd;
+            t_stop_wr = stop_wr;
+            t_dom = dom;
+            t_joined = false;
+          }))
 
 let bound t = t.t_bound
 

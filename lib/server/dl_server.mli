@@ -33,7 +33,24 @@
     fault) leaves the previous generation serving and retries on the next
     trigger; a failed query poisons only its own response; a dropped
     connection only its session.  Phase violations are counted and exposed
-    via [STATS] so tests can assert there were none. *)
+    via [STATS] so tests can assert there were none.
+
+    {b Durability.}  With [data_dir] set, admissions are written through a
+    {!Wal} before they are acknowledged: RULES installs and fact batches
+    are appended at admission, every flip appends a commit marker, and
+    compaction rewrites the log as one snapshot segment when it grows past
+    a few segments.  The [durability] mode fixes the ack contract:
+    [D_strict] fsyncs before every ack (an [OK] is durable), [D_batch]
+    (the default) group-commits at each flip (an [OK] survives any crash
+    after the next flip; recovery is always a prefix of admission order),
+    [D_async]/[D_none] are progressively weaker.  On {!start} with a
+    populated [data_dir] the server recovers before serving: segments are
+    scanned and checksum-verified, a torn tail is truncated silently, the
+    program and facts are replayed, and the first loop iteration evaluates
+    one writer phase so the recovered generation is served immediately.  A
+    corrupt record outside the final segment, a lock conflict (another
+    server owns the dir), or replay inconsistency makes {!start} return
+    [Error] rather than serve a lossy state. *)
 
 type config = {
   addr : Telemetry_server.addr;  (** listen address ([unix:PATH] or TCP) *)
@@ -44,18 +61,28 @@ type config = {
   max_pending : int;  (** admission cap; beyond it ingest gets [ERR busy] *)
   max_clients : int;  (** concurrent sessions; beyond it connects are refused *)
   check_phases : bool;  (** assert the two-phase discipline inside eval *)
+  data_dir : string option;  (** WAL directory; [None] = in-memory only *)
+  durability : Wal.durability;  (** ack/fsync contract (see {!Wal}) *)
+  wal_segment_bytes : int;  (** segment rotation threshold *)
+  wal_compact_segments : int;  (** compact when live segments exceed this *)
 }
 
 val default_config : Telemetry_server.addr -> config
 (** Btree storage, [recommended_workers] pool, flip at 256 facts / 50 ms,
-    100k pending cap, 64 clients, phase checking off. *)
+    100k pending cap, 64 clients, phase checking off, no [data_dir]
+    (durability [D_batch] once one is set, 8 MiB segments, compact past 4
+    segments). *)
 
 type t
 
 val start : config -> (t, string) result
-(** Bind, spawn the server domain and return immediately.  [Error] on a
-    bind failure.  Installs a process-wide [SIGPIPE] ignore (a peer
-    closing mid-write must be a per-session error, not process death). *)
+(** Bind, recover the WAL (when [data_dir] is set), spawn the server
+    domain and return immediately.  [Error] on a bind failure, a data-dir
+    lock conflict, a corrupt non-final WAL record, or a replay
+    inconsistency — recovery failures happen on the caller's domain so a
+    damaged log never half-serves.  Installs a process-wide [SIGPIPE]
+    ignore (a peer closing mid-write must be a per-session error, not
+    process death). *)
 
 val bound : t -> Telemetry_server.addr
 (** The actual bound address (resolves port 0). *)

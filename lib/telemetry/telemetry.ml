@@ -304,6 +304,14 @@ module Counter = struct
     | Server_busy_rejections
     | Server_phase_flips
     | Server_conns
+    (* write-ahead log (lib/server Wal) *)
+    | Wal_bytes
+    | Wal_records
+    | Wal_fsyncs
+    | Wal_segments
+    | Wal_compactions
+    | Wal_torn_tails
+    | Wal_replayed_records
 
   let all =
     [
@@ -314,7 +322,9 @@ module Counter = struct
       Btree_batch_leaves; Btree_batch_splices; Pool_jobs; Pool_busy_ns;
       Pool_wall_ns; Pool_watchdog_trips; Eval_iterations; Eval_rule_evals;
       Eval_delta_tuples; Io_malformed_lines; Server_requests;
-      Server_busy_rejections; Server_phase_flips; Server_conns;
+      Server_busy_rejections; Server_phase_flips; Server_conns; Wal_bytes;
+      Wal_records; Wal_fsyncs; Wal_segments; Wal_compactions; Wal_torn_tails;
+      Wal_replayed_records;
     ]
 
   let index = function
@@ -345,6 +355,13 @@ module Counter = struct
     | Server_busy_rejections -> 24
     | Server_phase_flips -> 25
     | Server_conns -> 26
+    | Wal_bytes -> 27
+    | Wal_records -> 28
+    | Wal_fsyncs -> 29
+    | Wal_segments -> 30
+    | Wal_compactions -> 31
+    | Wal_torn_tails -> 32
+    | Wal_replayed_records -> 33
 
   let count = List.length all
 
@@ -376,6 +393,13 @@ module Counter = struct
     | Server_busy_rejections -> "server.busy_rejections"
     | Server_phase_flips -> "server.phase_flips"
     | Server_conns -> "server.conns"
+    | Wal_bytes -> "server.wal.bytes"
+    | Wal_records -> "server.wal.records"
+    | Wal_fsyncs -> "server.wal.fsyncs"
+    | Wal_segments -> "server.wal.segments"
+    | Wal_compactions -> "server.wal.compactions"
+    | Wal_torn_tails -> "server.wal.torn_tails"
+    | Wal_replayed_records -> "server.wal.replayed_records"
 
   (* Unit metadata: most counters are event counts, but the pool time
      accumulators are nanosecond totals.  Exporters use this to render
@@ -421,6 +445,16 @@ module Counter = struct
     | Server_phase_flips ->
       "Writer-phase flips (engine generation rebuilds) performed by the server."
     | Server_conns -> "Client connections accepted by the query server."
+    | Wal_bytes -> "Bytes appended to the write-ahead log."
+    | Wal_records -> "Records appended to the write-ahead log."
+    | Wal_fsyncs -> "fsync calls issued by the write-ahead log."
+    | Wal_segments -> "Write-ahead log segment files created (incl. rotation)."
+    | Wal_compactions ->
+      "Snapshot compactions: fact store rewritten as a snapshot segment."
+    | Wal_torn_tails ->
+      "Torn tails silently truncated during write-ahead log recovery."
+    | Wal_replayed_records ->
+      "Write-ahead log records replayed during recovery."
 end
 
 (* ------------------------------------------------------------------ *)
@@ -440,12 +474,15 @@ module Hist = struct
     | Server_ingest_ns
     | Server_query_ns
     | Server_flip_ns
+    | Wal_append_ns
+    | Wal_fsync_ns
 
   let all =
     [
       Btree_insert_ns; Btree_find_ns; Btree_bound_ns; Btree_batch_ns;
       Btree_fallback_ns; Olock_write_wait_ns; Pool_job_ns; Eval_iteration_ns;
-      Server_ingest_ns; Server_query_ns; Server_flip_ns;
+      Server_ingest_ns; Server_query_ns; Server_flip_ns; Wal_append_ns;
+      Wal_fsync_ns;
     ]
 
   let index = function
@@ -460,6 +497,8 @@ module Hist = struct
     | Server_ingest_ns -> 8
     | Server_query_ns -> 9
     | Server_flip_ns -> 10
+    | Wal_append_ns -> 11
+    | Wal_fsync_ns -> 12
 
   let count = List.length all
 
@@ -475,6 +514,8 @@ module Hist = struct
     | Server_ingest_ns -> "server.ingest_ns"
     | Server_query_ns -> "server.query_ns"
     | Server_flip_ns -> "server.flip_ns"
+    | Wal_append_ns -> "server.wal.append_ns"
+    | Wal_fsync_ns -> "server.wal.fsync_ns"
 
   let help = function
     | Btree_insert_ns -> "Sampled B-tree insert latency (ns)."
@@ -492,6 +533,8 @@ module Hist = struct
     | Server_query_ns -> "Query service latency: admission to response (ns)."
     | Server_flip_ns ->
       "Writer-phase flip duration (engine generation rebuild, ns)."
+    | Wal_append_ns -> "Write-ahead log record append latency (ns)."
+    | Wal_fsync_ns -> "Write-ahead log fsync latency (ns)."
 
   (* Per-op B-tree sites fire millions of times per second, so they are
      sampled 1-in-2^shift (the clock_gettime pair would otherwise dominate
@@ -508,7 +551,7 @@ module Hist = struct
     | Btree_insert_ns | Btree_find_ns | Btree_bound_ns -> 6
     | Btree_batch_ns | Btree_fallback_ns | Olock_write_wait_ns | Pool_job_ns
     | Eval_iteration_ns | Server_ingest_ns | Server_query_ns | Server_flip_ns
-      ->
+    | Wal_append_ns | Wal_fsync_ns ->
       0
 
   (* Log-linear (HDR-style) bucketing: values below [2^sub_bits] get exact

@@ -103,6 +103,18 @@ module Counter : sig
         (** writer-phase flips: engine generation rebuilds performed by the
             server's admission scheduler *)
     | Server_conns  (** client connections accepted by the query server *)
+    | Wal_bytes  (** bytes appended to the write-ahead log *)
+    | Wal_records  (** records appended to the write-ahead log *)
+    | Wal_fsyncs  (** fsync calls issued by the write-ahead log *)
+    | Wal_segments
+        (** WAL segment files created (initial open plus rotations) *)
+    | Wal_compactions
+        (** snapshot compactions: fact store rewritten as a snapshot
+            segment, older segments truncated *)
+    | Wal_torn_tails
+        (** torn tails silently truncated during WAL recovery — a crash
+            mid-append leaves one, and recovery discards it by design *)
+    | Wal_replayed_records  (** WAL records replayed during recovery *)
 
   val all : t list
   val index : t -> int
@@ -150,6 +162,8 @@ module Hist : sig
     | Server_flip_ns
         (** writer-phase flip duration — one engine generation rebuild
             (unsampled) *)
+    | Wal_append_ns  (** WAL record append latency (unsampled) *)
+    | Wal_fsync_ns  (** WAL fsync latency (unsampled) *)
 
   val all : t list
   val index : t -> int

@@ -28,10 +28,11 @@ dune exec test/test_modelcheck.exe
 
 echo "== chaos stress smoke (fixed seed, deterministic) =="
 # 100 seeded runs cycling optimistic / all-pessimistic / pool-fault /
-# tuple-tree / query-server scenarios under active failpoints; every run
-# ends in a full audit (check_invariants, or the served-relation-equals-
-# acked-set audit for the server scenario) and failing seeds replay
-# deterministically.
+# tuple-tree / query-server / wal-durability scenarios under active
+# failpoints; every run ends in a full audit (check_invariants, the
+# served-relation-equals-acked-set audit for the server scenario, or the
+# torn-tail + kill -9 recovery differential for the wal scenario) and
+# failing seeds replay deterministically.
 sh tools/stress.sh --seed 42 --domains 4 --runs 100
 
 echo "== flight-recorder crash-dump selftest =="
@@ -269,6 +270,91 @@ for s in "$SRV_SOCK" "$SRV_MSOCK"; do
 done
 rm -rf "$SRV_TMP"
 echo "ci: query server shut down cleanly"
+
+echo "== durability kill-recover selftest (WAL crash recovery) =="
+# Start a durable server (--data-dir, --durability strict), ingest two
+# fact batches through datalog_cli --connect, kill -9 the server between
+# acked sessions, restart it on the same data dir, and require the
+# recovered query results to be byte-identical to a purely local
+# evaluation of the acked facts.  Strict durability means an acked LOAD
+# was fsynced before its OK, so the kill point cannot lose it.
+WAL_SOCK="$(mktemp -u /tmp/repro_dlwal_XXXXXX.sock)"
+WAL_TMP="$(mktemp -d /tmp/repro_dlwal_XXXXXX)"
+mkdir -p "$WAL_TMP/facts_a" "$WAL_TMP/facts_b" "$WAL_TMP/acked" \
+  "$WAL_TMP/served" "$WAL_TMP/local" "$WAL_TMP/data"
+i=0
+while [ "$i" -lt 6 ]; do
+  printf '%d\t%d\n' "$i" "$((i + 1))"
+  i=$((i + 1))
+done > "$WAL_TMP/facts_a/edge.facts"
+while [ "$i" -lt 12 ]; do
+  printf '%d\t%d\n' "$i" "$((i + 1))"
+  i=$((i + 1))
+done > "$WAL_TMP/facts_b/edge.facts"
+printf '0\t5\n3\t9\n' >> "$WAL_TMP/facts_b/edge.facts"
+dune exec bin/datalog_serve.exe -- --listen "unix:$WAL_SOCK" -j 2 \
+  --flip-pending 64 --flip-interval 5 \
+  --data-dir "$WAL_TMP/data" --durability strict &
+WAL_PID=$!
+i=0
+while [ ! -S "$WAL_SOCK" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.05; done
+if [ ! -S "$WAL_SOCK" ]; then
+  echo "ci: durable datalog_serve socket never appeared" >&2
+  kill "$WAL_PID" 2>/dev/null || true
+  exit 1
+fi
+for batch in facts_a facts_b; do
+  if ! dune exec bin/datalog_cli.exe -- --connect "unix:$WAL_SOCK" \
+      -F "$WAL_TMP/$batch" examples/programs/distances.dl > /dev/null
+  then
+    echo "ci: durable ingest ($batch) failed" >&2
+    kill "$WAL_PID" 2>/dev/null || true
+    exit 1
+  fi
+done
+# the crash: no drain, no flush beyond what strict acks already forced
+kill -9 "$WAL_PID" 2>/dev/null || true
+wait "$WAL_PID" 2>/dev/null || true
+rm -f "$WAL_SOCK" # a SIGKILLed server cannot unlink its socket
+dune exec bin/datalog_serve.exe -- --listen "unix:$WAL_SOCK" -j 2 \
+  --data-dir "$WAL_TMP/data" --durability strict &
+WAL_PID=$!
+i=0
+while [ ! -S "$WAL_SOCK" ] && [ "$i" -lt 100 ]; do i=$((i + 1)); sleep 0.05; done
+if [ ! -S "$WAL_SOCK" ]; then
+  echo "ci: recovered datalog_serve socket never appeared" >&2
+  kill "$WAL_PID" 2>/dev/null || true
+  exit 1
+fi
+if ! dune exec bin/datalog_cli.exe -- --connect "unix:$WAL_SOCK" \
+    -D "$WAL_TMP/served" examples/programs/distances.dl
+then
+  echo "ci: query against recovered server failed" >&2
+  kill "$WAL_PID" 2>/dev/null || true
+  exit 1
+fi
+cat "$WAL_TMP/facts_a/edge.facts" "$WAL_TMP/facts_b/edge.facts" \
+  > "$WAL_TMP/acked/edge.facts"
+dune exec bin/datalog_cli.exe -- -j 2 -F "$WAL_TMP/acked" \
+  -D "$WAL_TMP/local" examples/programs/distances.dl
+for f in "$WAL_TMP/local"/*.csv; do
+  rel="$(basename "$f")"
+  sort "$f" > "$WAL_TMP/local.sorted"
+  sort "$WAL_TMP/served/$rel" > "$WAL_TMP/served.sorted"
+  if ! cmp -s "$WAL_TMP/local.sorted" "$WAL_TMP/served.sorted"; then
+    echo "ci: recovered $rel differs from local evaluation of acked facts" >&2
+    kill "$WAL_PID" 2>/dev/null || true
+    exit 1
+  fi
+done
+echo "ci: recovered results match local evaluation of acked facts"
+dune exec bin/datalog_cli.exe -- --connect "unix:$WAL_SOCK" --shutdown
+if ! wait "$WAL_PID"; then
+  echo "ci: recovered datalog_serve exited nonzero after SHUTDOWN" >&2
+  exit 1
+fi
+rm -rf "$WAL_TMP"
+echo "ci: durability kill-recover ok"
 
 echo "== bench regression check (soft gate) =="
 sh tools/regress.sh BENCH_history.jsonl

@@ -29,6 +29,12 @@
 #   REGRESS_STRICT         when 1, exit non-zero on regression; the default
 #                          (0) only prints warnings so CI can use this as a
 #                          soft gate.
+#   REGRESS_WAL_OVERHEAD_MAX  ceiling on wal_append_overhead, the
+#                          durability-batch vs durability-none WAL append
+#                          ratio from the bench smoke (default 50: the
+#                          ratio is fsync-bound, so it swings wildly across
+#                          storage — the gate only catches a group-commit
+#                          path gone quadratic, not a slow disk).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,6 +43,7 @@ HIST="${1:-BENCH_history.jsonl}"
 THRESHOLD="${REGRESS_THRESHOLD_PCT:-25}"
 BASELINE_THRESHOLD="${REGRESS_BASELINE_PCT:-150}"
 STRICT="${REGRESS_STRICT:-0}"
+WAL_OVERHEAD_MAX="${REGRESS_WAL_OVERHEAD_MAX:-50}"
 
 if ! command -v python3 >/dev/null 2>&1; then
   echo "regress: python3 not available; skipping comparison"
@@ -44,16 +51,17 @@ if ! command -v python3 >/dev/null 2>&1; then
 fi
 
 HIST="$HIST" THRESHOLD="$THRESHOLD" BASELINE_THRESHOLD="$BASELINE_THRESHOLD" \
-STRICT="$STRICT" python3 <<'EOF'
+STRICT="$STRICT" WAL_OVERHEAD_MAX="$WAL_OVERHEAD_MAX" python3 <<'EOF'
 import json, os, sys
 
 path = os.environ["HIST"]
 threshold = float(os.environ["THRESHOLD"])
 baseline_threshold = float(os.environ["BASELINE_THRESHOLD"])
 strict = os.environ["STRICT"] == "1"
+wal_overhead_max = float(os.environ["WAL_OVERHEAD_MAX"])
 
 METRICS = ["eval_seconds", "insert_off_s", "insert_counters_s",
-           "batch_single_s", "batch_merge_s"]
+           "batch_single_s", "batch_merge_s", "wal_none_s", "wal_batch_s"]
 
 entries = []
 if os.path.exists(path):
@@ -83,12 +91,15 @@ def flat_baseline(workload):
             m = json.load(f).get("metrics", {})
         overhead = m.get("overhead", {})
         batch = m.get("batch", {})
+        wal = m.get("wal", {})
         ev = m.get("eval", {})
         for key, val in (("insert_off_s", overhead.get("insert_off_s")),
                          ("insert_counters_s",
                           overhead.get("insert_counters_s")),
                          ("batch_single_s", batch.get("single_insert_s")),
                          ("batch_merge_s", batch.get("batch_merge_s")),
+                         ("wal_none_s", wal.get("append_none_s")),
+                         ("wal_batch_s", wal.get("append_batch_s")),
                          ("eval_seconds", ev.get("seconds"))):
             if isinstance(val, (int, float)):
                 flat[key] = val
@@ -158,6 +169,19 @@ if isinstance(speedup, (int, float)):
           f"(batch merge vs per-tuple inserts)")
     if speedup < 1.0:
         regressed.append(("batch_speedup", (1.0 - speedup) * 100.0))
+
+# Durability tax: WAL appends under batch (group-commit fsync per flip)
+# vs none (never fsync).  The ratio is fsync-bound and therefore
+# storage-dependent, so the ceiling is loose — it exists to catch the
+# group-commit path degrading to fsync-per-record (or worse), which would
+# multiply the ratio by the flip batch size.
+wal_overhead = last.get("wal_append_overhead")
+if isinstance(wal_overhead, (int, float)):
+    print(f"regress:   wal_append_overhead: {wal_overhead:.2f}x "
+          f"(durability batch vs none, max {wal_overhead_max:.0f}x)")
+    if wal_overhead > wal_overhead_max:
+        regressed.append(("wal_append_overhead",
+                          (wal_overhead - wal_overhead_max) * 100.0))
 
 # Hard correctness gate, not a perf threshold: a healthy optimistic descent
 # never exhausts its retry budget, so any pessimistic fallback in a
