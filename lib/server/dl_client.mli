@@ -60,10 +60,17 @@ val session :
 val retry : session -> (t -> (reply, string) result) -> (reply, string) result
 (** Run one request against the session's connection, (re)connecting as
     needed.  [Error] only after the attempt budget is spent (the message
-    carries the last failure).  A retried request is re-sent whole, so
-    an op whose first send was half-applied by a dying peer may be
-    applied twice — the resident server only applies fully-parsed
-    requests, and RULES installs are idempotent, so its verbs are safe.
+    carries the last failure).  A retried request is re-sent whole, and
+    the resident server only applies fully-parsed requests, so a request
+    severed mid-send is never half-applied.  But a retry is
+    {e at-least-once}, not exactly-once: if the server applied the
+    request and the connection died before [OK] arrived, the retry
+    applies it again.  RULES and QUERY are idempotent so this is
+    invisible; LOAD/ASSERT are not — a replayed batch duplicates rows in
+    the server's base-fact store and inflates its queued/row counters
+    (query {e results} are unaffected only because the engine's
+    relations are sets).  Callers that need exact row accounting must
+    make retried facts unique or avoid retrying ingest.
     Not thread-safe, like {!t}. *)
 
 val disconnect : session -> unit

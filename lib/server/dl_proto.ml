@@ -78,7 +78,11 @@ let value_to_string = function V_int i -> string_of_int i | V_sym s -> s
 let pat_to_string = function P_any -> "_" | P_val v -> value_to_string v
 
 (* [rel(a,b,c)] sugar: when the argument tail of ASSERT/QUERY starts with
-   a token containing '(', re-split the whole tail on '(' ',' ')'. *)
+   a token containing '(', re-split the whole tail on '(' ',' ')'.  A
+   field may not contain interior whitespace: the space-separated form
+   cannot express such a value, and neither can the WAL, whose fact
+   records re-tokenise on whitespace at recovery — admitting one would
+   make an acked fact unreplayable. *)
 let split_atom_form rest =
   let buf = Buffer.create 32 in
   let fields = ref [] in
@@ -87,7 +91,11 @@ let split_atom_form rest =
   let flush () =
     let f = String.trim (Buffer.contents buf) in
     Buffer.clear buf;
-    if f <> "" then fields := f :: !fields
+    if f <> "" then begin
+      if String.exists is_ws f then
+        bad := Some (Printf.sprintf "whitespace inside field %S" f);
+      fields := f :: !fields
+    end
   in
   String.iter
     (fun c ->

@@ -495,7 +495,7 @@ let rotate t =
 let append t e =
   if t.w_closed then Error "wal: closed"
   else if t.w_torn then
-    Error "wal: torn by chaos (wal.write.short); compact or reopen to recover"
+    Error "wal: log tail is torn (failed append); compact or reopen to recover"
   else
     let rotated =
       if t.w_seg_bytes >= t.w_segment_bytes then rotate t else Ok ()
@@ -523,6 +523,13 @@ let append t e =
               (Telemetry.now_ns () - t0)
         with
         | exception ex ->
+          (* A real failure mid-write(2) (ENOSPC, EIO) can leave a
+             partial record on disk, exactly like the chaos short
+             write: the handle is dead until compact rebuilds a valid
+             log — further O_APPEND writes after the torn bytes would
+             turn a clean truncatable tail into mid-segment
+             corruption. *)
+          t.w_torn <- true;
           Error (Printf.sprintf "wal: append: %s" (Printexc.to_string ex))
         | () -> (
           t.w_seg_bytes <- t.w_seg_bytes + len;
@@ -531,7 +538,24 @@ let append t e =
           Telemetry.bump Telemetry.Counter.Wal_records;
           Telemetry.add Telemetry.Counter.Wal_bytes len;
           match (t.w_durability, e) with
-          | D_strict, _ -> sync_now t
+          | D_strict, _ -> (
+            match sync_now t with
+            | Ok () -> Ok ()
+            | Error _ as err ->
+              (* Under strict the server refuses the admission on a
+                 failed fsync, so the record must not survive to be
+                 replayed at recovery — cut it back off the log; if
+                 even that fails, declare the tail torn so nothing can
+                 land after it. *)
+              (match Unix.ftruncate t.w_fd (t.w_seg_bytes - len) with
+              | () ->
+                t.w_seg_bytes <- t.w_seg_bytes - len;
+                t.w_records <- t.w_records - 1;
+                t.w_bytes <- t.w_bytes - len;
+                Telemetry.add Telemetry.Counter.Wal_records (-1);
+                Telemetry.add Telemetry.Counter.Wal_bytes (-len)
+              | exception _ -> t.w_torn <- true);
+              err)
           | D_batch, Commit _ -> sync_now t
           | _ -> Ok ()))
 

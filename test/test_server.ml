@@ -60,6 +60,10 @@ let test_parse_errors () =
   bad "QUERY";
   (* unterminated atom syntax *)
   bad "ASSERT kv(1, 2";
+  (* an atom-form field with interior whitespace cannot round-trip
+     through whitespace-tokenised fact lines (the WAL's on-disk form) *)
+  bad "ASSERT kv(1, b c)";
+  bad "QUERY kv(a b, _)";
   (match P.parse_fact "1 2 xyz" with
   | Ok [| P.V_int 1; P.V_int 2; P.V_sym "xyz" |] -> ()
   | _ -> Alcotest.fail "fact line did not parse");

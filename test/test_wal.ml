@@ -274,6 +274,33 @@ let test_snapshot_tail_equivalence () =
     (fold_state rv.Wal.rv_entries = fold_state (List.rev !history));
   checki "gen counter resumes past the tail" 3 rv.Wal.rv_committed_seq
 
+(* Under strict durability a record whose fsync failed must not survive
+   in the log: the server refuses the admission on the error, so a
+   recovery replaying the record would diverge from acked state.  The
+   failed append is cut back off and the log stays clean and
+   appendable. *)
+let test_strict_fsync_fail_rollback () =
+  let dir = fresh_dir () in
+  let w, _ = open_ok ~durability:Wal.D_strict dir in
+  let prog = ".decl kv(a:number, b:number)\n.input kv\n" in
+  append_ok w (Wal.Rules prog);
+  Fun.protect ~finally:Chaos.disable (fun () ->
+      (match Chaos.apply_spec "seed=3,points=wal.fsync.fail:1" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "chaos spec: %s" m);
+      match Wal.append w (Wal.Facts ("kv", [ "9 9" ])) with
+      | Ok () -> Alcotest.fail "append under failing fsync did not error"
+      | Error _ -> ());
+  checkb "log not torn" false (Wal.torn w);
+  checki "refused record not counted" 1 (Wal.records w);
+  append_ok w (Wal.Facts ("kv", [ "1 1" ]));
+  Wal.close w;
+  let w, rv = open_ok dir in
+  Wal.close w;
+  checkb "clean recovery" false rv.Wal.rv_torn_tail;
+  checkb "refused record absent, later append present" true
+    (rv.Wal.rv_entries = [ Wal.Rules prog; Wal.Facts ("kv", [ "1 1" ]) ])
+
 let test_lockfile () =
   let dir = fresh_dir () in
   let w, _ = open_ok dir in
@@ -467,6 +494,8 @@ let () =
           tc "chaos recover corrupt" `Quick test_chaos_recover_corrupt;
           tc "snapshot+tail equivalence" `Quick
             test_snapshot_tail_equivalence;
+          tc "strict fsync failure rolled back" `Quick
+            test_strict_fsync_fail_rollback;
           tc "lockfile" `Quick test_lockfile;
         ] );
       ( "recovery",
