@@ -1,22 +1,107 @@
-(* Driver for the concurrency-discipline linter: scans the given roots
-   (default: lib bin) and fails the build on any finding.  Wired into
-   `dune build @lint`. *)
+(* CLI for the concurrency-discipline linter (lib/lint).
+
+     lint.exe [--json] [--baseline FILE] [--write-baseline FILE] ROOTS...
+
+   Without a baseline: print findings, exit 1 if any.  With --baseline:
+   only findings not covered by the baseline fail the gate (the
+   ratchet); entries that no longer fire are reported as shrinkable.
+   --write-baseline regenerates the accepted set from the current
+   findings.  --json emits the machine-consumable document instead of
+   the human-readable lines.  Wired into `dune build @lint`. *)
+
+let usage () =
+  prerr_endline
+    "usage: lint [--json] [--baseline FILE] [--write-baseline FILE] \
+     [roots...]";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let () =
+  let json = ref false in
+  let baseline_file = ref None in
+  let write_baseline = ref None in
+  let roots = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse_args rest
+    | "--baseline" :: file :: rest ->
+      baseline_file := Some file;
+      parse_args rest
+    | "--write-baseline" :: file :: rest ->
+      write_baseline := Some file;
+      parse_args rest
+    | ("--baseline" | "--write-baseline") :: [] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      usage ()
+    | root :: rest ->
+      roots := root :: !roots;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
   let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "lib"; "bin" ]
+    match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs
   in
   let files, findings = Lint.check_roots roots in
-  List.iter
-    (fun f -> print_endline (Lint.finding_to_string f))
-    findings;
-  if findings = [] then (
-    Printf.printf "lint: OK — %d files clean (%s)\n" (List.length files)
-      (String.concat " " roots);
-    exit 0)
-  else (
-    Printf.eprintf "lint: %d finding(s) in %d files scanned\n"
-      (List.length findings) (List.length files);
-    exit 1)
+  (match !write_baseline with
+  | Some path ->
+    let entries = Lint.baseline_of_findings findings in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Lint.baseline_to_json entries));
+    Printf.printf "lint: wrote %d baseline entr%s (%d finding(s)) to %s\n"
+      (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      (List.length findings) path;
+    exit 0
+  | None -> ());
+  match !baseline_file with
+  | None ->
+    if !json then print_string (Lint.findings_to_json findings)
+    else begin
+      List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
+      if findings = [] then
+        Printf.printf "lint: OK — %d files clean (%s)\n" (List.length files)
+          (String.concat " " roots)
+      else
+        Printf.eprintf "lint: %d finding(s) in %d files scanned\n"
+          (List.length findings) (List.length files)
+    end;
+    exit (if findings = [] then 0 else 1)
+  | Some path ->
+    let entries =
+      match Lint.baseline_of_json (read_file path) with
+      | Ok entries -> entries
+      | Error msg ->
+        Printf.eprintf "lint: cannot read baseline %s: %s\n" path msg;
+        exit 2
+    in
+    let fresh, stale = Lint.diff_baseline entries findings in
+    if !json then print_string (Lint.findings_to_json fresh)
+    else begin
+      List.iter (fun f -> print_endline (Lint.finding_to_string f)) fresh;
+      List.iter
+        (fun (e, now) ->
+          Printf.eprintf
+            "lint: baseline entry can be shrunk: %s [%s] %S fires %d/%d \
+             time(s)\n"
+            e.Lint.be_file e.Lint.be_rule e.Lint.be_message now e.Lint.be_count)
+        stale;
+      if fresh = [] then
+        Printf.printf
+          "lint: OK — %d file(s), %d finding(s) all covered by %s (%d \
+           shrinkable entr%s)\n"
+          (List.length files) (List.length findings) path (List.length stale)
+          (if List.length stale = 1 then "y" else "ies")
+      else
+        Printf.eprintf "lint: %d new finding(s) not in %s (%d files scanned)\n"
+          (List.length fresh) path (List.length files)
+    end;
+    exit (if fresh = [] then 0 else 1)

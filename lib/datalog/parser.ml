@@ -518,7 +518,9 @@ let parse_string ?filename:_ src =
 
 let parse_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_string ~filename:path src

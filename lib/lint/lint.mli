@@ -1,23 +1,45 @@
 (** Concurrency-discipline linter over this repository's own sources.
 
-    Purely syntactic checks on the parsetree (compiler-libs):
+    Two-pass whole-repo analysis: pass 1 ({!Lint_summary}) computes
+    per-function effect summaries, pass 2 ({!Lint_callgraph}) closes
+    may-block / appends-WAL / sends-ack / validates-lease over the call
+    graph, and the rules consult the closed summaries whenever a call
+    site cannot be judged locally.
 
     - {b atomic-confinement} (R1): [Atomic.*] only inside the sync
       modules; elsewhere requires a justified
       [@lint.allow "atomic-confinement: why"].
     - {b lease-discipline} (R2): leases bound from [Olock.start_read]
-      must be validated (or handed to a helper) on every path and must
-      not escape into data structures.
+      must be validated (or handed to a helper that transitively
+      validates) on every path and must not escape into data structures.
     - {b no-blocking-under-write-permit} (R3): no pool joins,
-      [Domain.join], [Mutex.lock], [Unix.*], channel I/O or
-      [Olock.start_read] between acquiring and releasing a write permit.
+      [Domain.join], [Mutex.lock], [Unix.*], channel I/O,
+      [Olock.start_read], or calls to functions whose {e transitive}
+      summary may block, between acquiring and releasing a write permit.
     - {b hygiene} (R4): [Obj.magic] banned everywhere; polymorphic
       [compare] / comparison operators on tuples banned in hot modules.
+    - {b fd-discipline} (R5): fds from raw openers must be closed,
+      returned, stored, or handed to a [with_]-style owner on every
+      path, with no unguarded may-raise call while the fd is live —
+      or the scope is wrapped in [Fun.protect].
+    - {b wal-before-ack} (R6, server files): [admit_ingest] /
+      [install_program] / [fs_rows]-[fs_count] assignments must be
+      dominated by a WAL append.
+    - {b select-loop-purity} (R7): potentially-blocking calls inside a
+      [Unix.select] loop must go through functions annotated
+      [@lint.dispatch "why"].
+    - {b stale-suppression} (R8): an [@lint.allow] that matched no
+      finding is itself a finding.
 
     Per-site suppression: attach [@lint.allow "rule"] (or
     [@lint.allow "rule: justification"] — mandatory justification for
     atomic-confinement) to the expression or binding, or float
-    [@@@lint.allow "rule"] for the rest of the enclosing structure. *)
+    [@@@lint.allow "rule"] for the rest of the enclosing structure.
+    Interfaces ([.mli]) are scanned for parse errors and [Obj.*] in
+    signatures only: R1 does not apply there because exposing an
+    [Atomic.t] at a signature is lib/modelcheck's abstraction
+    mechanism, and confinement of uses is enforced at every
+    implementation site. *)
 
 type finding = {
   file : string;
@@ -31,12 +53,16 @@ val rule_atomic_confinement : string
 val rule_lease_discipline : string
 val rule_no_blocking : string
 val rule_hygiene : string
+val rule_fd_discipline : string
+val rule_wal_before_ack : string
+val rule_select_purity : string
+val rule_stale_suppression : string
 
 val rule_parse_error : string
 (** Pseudo-rule reported when a scanned file fails to parse. *)
 
 val all_rules : string list
-(** The four real rules, excluding {!rule_parse_error}. *)
+(** The eight real rules, excluding {!rule_parse_error}. *)
 
 val finding_to_string : finding -> string
 (** [file:line:col: [rule] message] — grep- and editor-friendly. *)
@@ -47,17 +73,71 @@ val default_hot : string -> bool
 val default_atomic_whitelisted : string -> bool
 (** Is this path inside the sync modules where [Atomic.*] is allowed? *)
 
-val check_source :
-  ?hot:bool -> ?atomic_ok:bool -> file:string -> string -> finding list
-(** Lint source text. [hot] / [atomic_ok] override the path-derived
-    classification (used by the fixture tests). A parse failure yields a
-    single {!rule_parse_error} finding. *)
+val default_server : string -> bool
+(** Is this path subject to the wal-before-ack rule (R6)? *)
 
-val check_file : ?hot:bool -> ?atomic_ok:bool -> string -> finding list
+val check_source :
+  ?hot:bool ->
+  ?atomic_ok:bool ->
+  ?server:bool ->
+  file:string ->
+  string ->
+  finding list
+(** Lint source text. [hot] / [atomic_ok] / [server] override the
+    path-derived classification (used by the fixture tests).  The
+    interprocedural environment is built from this file alone, so local
+    helper chains resolve; cross-file resolution needs
+    {!check_roots}.  A parse failure yields a single
+    {!rule_parse_error} finding. *)
+
+val check_interface_source : file:string -> string -> finding list
+(** Lint interface text: parse errors and [Obj.*]-in-signature only. *)
+
+val check_file :
+  ?hot:bool -> ?atomic_ok:bool -> ?server:bool -> string -> finding list
+(** Dispatches on extension: [.mli] via {!check_interface_source},
+    anything else as an implementation. *)
 
 val scan_roots : string list -> string list
-(** The .ml files under the given roots, skipping [_build], dotdirs and
-    [lint_fixtures]. *)
+(** The .ml and .mli files under the given roots, skipping [_build],
+    dotdirs and [lint_fixtures]. *)
 
 val check_roots : string list -> string list * finding list
-(** [(files scanned, findings)] for every .ml under the roots. *)
+(** [(files scanned, findings)] for every .ml/.mli under the roots,
+    with the interprocedural environment built from {e all} of them —
+    the whole-repo two-pass analysis. *)
+
+(** {1 Machine-consumable findings and the baseline ratchet} *)
+
+val findings_to_json : finding list -> string
+(** Versioned JSON document ([lint_findings/1]). *)
+
+val findings_of_json : string -> (finding list, string) result
+(** Parse back what {!findings_to_json} emitted. *)
+
+type baseline_entry = {
+  be_file : string;
+  be_rule : string;
+  be_message : string;
+  be_count : int;
+}
+(** One accepted finding shape.  Identity is (file, rule, message) with
+    an occurrence count; line/col are deliberately excluded so edits
+    above a baselined site do not churn the baseline. *)
+
+val baseline_of_findings : finding list -> baseline_entry list
+(** Group current findings into baseline entries (sorted). *)
+
+val baseline_to_json : baseline_entry list -> string
+(** Versioned JSON document ([lint_baseline/1]). *)
+
+val baseline_of_json : string -> (baseline_entry list, string) result
+
+val diff_baseline :
+  baseline_entry list ->
+  finding list ->
+  finding list * (baseline_entry * int) list
+(** [(fresh, stale)]: findings beyond each key's baselined count (the
+    ratchet gate fails on any), and baseline entries that now fire
+    fewer times than recorded, paired with the current count (the
+    baseline can be shrunk — the count only goes down). *)

@@ -1,0 +1,152 @@
+(* Pass 2 of the whole-repo linter: close the transitive facets of the
+   per-function effect summaries ({!Lint_summary}) over the call graph.
+
+   Name resolution is best-effort and mirrors OCaml scoping from the
+   inside out: an unqualified callee is looked up under the definition
+   site's module path (innermost prefix first), then under the file's
+   opens; a qualified callee has its head expanded through [module M =
+   Path] aliases and is tried as written, then relative to the enclosing
+   module path (sibling submodules), then under the opens.  Unresolved
+   callees (stdlib, functor parameters, local lambdas) contribute no
+   edges — their known-blocking subset is already folded into the direct
+   effects by {!Lint_summary.block_reason}.
+
+   The fixpoint propagates three facets: may-block (with a provenance
+   chain in the reason string), appends-WAL, and sends-ack.  It is a
+   monotone boolean lattice, so naive iteration terminates in at most
+   call-graph-depth rounds. *)
+
+type t = {
+  cg_table : (string, Lint_summary.t) Hashtbl.t;
+  cg_by_file : (string, Lint_summary.t list) Hashtbl.t;
+}
+
+let candidates (ctx : Lint_summary.ctx) parts =
+  let dotted p = String.concat "." p in
+  (* prefixes of the self path, innermost (longest) first *)
+  let rec prefixes p =
+    match p with [] -> [] | _ -> p :: prefixes (List.filteri (fun i _ -> i < List.length p - 1) p)
+  in
+  let self_prefixes = prefixes ctx.cx_self in
+  match parts with
+  | [] -> []
+  | [ x ] ->
+    List.map (fun p -> dotted (p @ [ x ])) self_prefixes
+    @ List.map (fun o -> dotted (o @ [ x ])) ctx.cx_opens
+  | m :: rest ->
+    let expanded =
+      match List.assoc_opt m ctx.cx_aliases with
+      | Some target -> target @ rest
+      | None -> parts
+    in
+    (dotted expanded :: List.map (fun p -> dotted (p @ expanded)) self_prefixes)
+    @ List.map (fun o -> dotted (o @ expanded)) ctx.cx_opens
+
+let lookup cg (ctx : Lint_summary.ctx) parts =
+  let rec first = function
+    | [] -> None
+    | key :: rest -> (
+      match Hashtbl.find_opt cg.cg_table key with
+      | Some s -> Some s
+      | None -> first rest)
+  in
+  first (candidates ctx parts)
+
+(* A resolver scoped to one file: exact candidates first, then a
+   same-file unique-last-component fallback so that helpers inside
+   functor bodies (whose instantiated module path differs from any
+   call-site path) still resolve within their own file. *)
+let resolver cg ~file (ctx : Lint_summary.ctx) =
+  let same_file = Hashtbl.find_opt cg.cg_by_file file in
+  fun parts ->
+    match lookup cg ctx parts with
+    | Some _ as r -> r
+    | None -> (
+      match (parts, same_file) with
+      | [ x ], Some sums -> (
+        let matches =
+          List.filter
+            (fun s ->
+              match String.rindex_opt s.Lint_summary.sm_key '.' with
+              | None -> s.Lint_summary.sm_key = x
+              | Some i ->
+                String.sub s.Lint_summary.sm_key (i + 1)
+                  (String.length s.Lint_summary.sm_key - i - 1)
+                = x)
+            sums
+        in
+        match matches with [ s ] -> Some s | _ -> None)
+      | _ -> None)
+
+let shorten s =
+  if String.length s <= 140 then s else String.sub s 0 137 ^ "..."
+
+let build (summaries : Lint_summary.t list) =
+  let cg =
+    {
+      cg_table = Hashtbl.create 512;
+      cg_by_file = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun s ->
+      (* later bindings shadow earlier ones of the same name; keep the
+         last, matching what a call below both would see *)
+      Hashtbl.replace cg.cg_table s.Lint_summary.sm_key s;
+      let file = s.Lint_summary.sm_file in
+      let prev =
+        match Hashtbl.find_opt cg.cg_by_file file with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace cg.cg_by_file file (s :: prev))
+    summaries;
+  (* fixpoint over the three transitive facets *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun s ->
+        let resolve = resolver cg ~file:s.Lint_summary.sm_file s.Lint_summary.sm_ctx in
+        List.iter
+          (fun parts ->
+            match resolve parts with
+            | Some callee when callee.Lint_summary.sm_key <> s.Lint_summary.sm_key
+              -> (
+              (match (s.Lint_summary.sm_block, callee.Lint_summary.sm_block) with
+              | None, Some why ->
+                s.Lint_summary.sm_block <-
+                  Some
+                    (shorten
+                       (Printf.sprintf "calls %s, which %s"
+                          callee.Lint_summary.sm_key
+                          (if String.length why > 0
+                             && why.[0] >= 'a' && why.[0] <= 'z'
+                           then why
+                           else "may block: " ^ why)));
+                changed := true
+              | _ -> ());
+              if callee.Lint_summary.sm_wal && not s.Lint_summary.sm_wal then begin
+                s.Lint_summary.sm_wal <- true;
+                changed := true
+              end;
+              if callee.Lint_summary.sm_ack && not s.Lint_summary.sm_ack then begin
+                s.Lint_summary.sm_ack <- true;
+                changed := true
+              end;
+              if callee.Lint_summary.sm_lease && not s.Lint_summary.sm_lease
+              then begin
+                s.Lint_summary.sm_lease <- true;
+                changed := true
+              end)
+            | _ -> ())
+          s.Lint_summary.sm_calls)
+      summaries
+  done;
+  cg
+
+let find cg key = Hashtbl.find_opt cg.cg_table key
+
+let all cg = Hashtbl.fold (fun _ s acc -> s :: acc) cg.cg_table []

@@ -1,0 +1,341 @@
+(* Pass 1 of the whole-repo linter: per-function effect summaries.
+
+   Every structure-level value binding (including bindings inside nested
+   modules and functor bodies) gets a summary of the effects its body
+   performs *directly* — may-block (Unix syscalls, pool joins,
+   [Domain.join], [Condition.wait], channel I/O), touches-atomics,
+   acquires/validates an olock lease, opens/closes a file descriptor,
+   appends to the WAL, sends a protocol ack — plus the raw call edges
+   out of the body and the name-resolution context (module path, opens,
+   aliases) needed to resolve those edges against the whole-repo table.
+   {!Lint_callgraph} then closes the transitive facets (may-block,
+   wal-append, sends-ack) over the call graph to a fixpoint.
+
+   Scope decisions, deliberately lint-grade rather than sound:
+   - nested [let]-bound lambdas fold into the enclosing binding's
+     summary (a helper closure's effects belong to whoever runs it on
+     this domain), EXCEPT the argument of [Domain.spawn], which runs
+     elsewhere by construction;
+   - a bare reference to a function (passed to [List.iter] etc.) counts
+     as a call edge — higher-order callees run their arguments;
+   - [Mutex.lock]/[Mutex.protect] are *not* part of the transitive
+     may-block facet: domain-local first-touch initialisation (DLS
+     counter registries) takes a mutex once per domain by design, and
+     treating that as blocking would condemn every telemetry bump on
+     the hot path.  The direct R3 rule still denies [Mutex.lock] under
+     a write permit. *)
+
+open Parsetree
+
+type effects = {
+  e_block : string option; (* why the body may block, if it does *)
+  e_atomic : bool;
+  e_lease_acquire : bool;
+  e_lease_validate : bool;
+  e_fd_open : bool;
+  e_fd_close : bool;
+  e_wal_append : bool;
+  e_ack : bool;
+}
+
+let no_effects =
+  {
+    e_block = None;
+    e_atomic = false;
+    e_lease_acquire = false;
+    e_lease_validate = false;
+    e_fd_open = false;
+    e_fd_close = false;
+    e_wal_append = false;
+    e_ack = false;
+  }
+
+type ctx = {
+  cx_self : string list; (* module path at the definition site *)
+  cx_opens : string list list; (* file-level opens, outermost first *)
+  cx_aliases : (string * string list) list; (* module M = Path *)
+}
+
+type t = {
+  sm_key : string; (* dotted module-qualified name *)
+  sm_file : string;
+  sm_line : int;
+  sm_ctx : ctx;
+  sm_dispatch : bool; (* carries [@lint.dispatch "why"] *)
+  sm_direct : effects;
+  sm_calls : string list list; (* raw callee longidents, one per ref *)
+  mutable sm_block : string option; (* transitive may-block facet *)
+  mutable sm_wal : bool; (* transitively appends to the WAL *)
+  mutable sm_ack : bool; (* transitively sends a protocol ack *)
+  mutable sm_lease : bool; (* transitively validates some lease *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Call classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let blocking_unqualified =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "prerr_string";
+    "prerr_endline";
+    "read_line";
+    "input_line";
+    "input_char";
+    "input_value";
+    "really_input";
+    "really_input_string";
+    "output_string";
+    "output_char";
+    "output_bytes";
+    "output_value";
+    "flush";
+    "flush_all";
+  ]
+
+let pool_joining =
+  [
+    "run";
+    "parallel_for";
+    "parallel_for_workers";
+    "parallel_for_ranges";
+    "parallel_reduce";
+    "shutdown";
+    "with_pool";
+  ]
+
+(* Syscall-grade blocking only (see header): the transitive facet. *)
+let block_reason parts =
+  match parts with
+  | [ "Domain"; "join" ] -> Some "Domain.join blocks on another domain"
+  | [ "Condition"; "wait" ] -> Some "Condition.wait blocks"
+  | "Unix" :: _ | "UnixLabels" :: _ -> Some "Unix syscalls can block"
+  | [ "Thread"; ("join" | "delay") ] -> Some "Thread join/delay blocks"
+  | [ "Pool"; f ] when List.mem f pool_joining ->
+    Some (Printf.sprintf "Pool.%s joins worker domains" f)
+  | [ f ] when List.mem f blocking_unqualified ->
+    Some (Printf.sprintf "channel I/O (%s)" f)
+  | [ ("Printf" | "Format"); ("printf" | "eprintf" | "fprintf") ] ->
+    Some "formatted channel I/O"
+  | _ -> None
+
+let openers =
+  [
+    [ "Unix"; "openfile" ];
+    [ "Unix"; "socket" ];
+    [ "Unix"; "socketpair" ];
+    [ "Unix"; "accept" ];
+    [ "Unix"; "pipe" ];
+    [ "Unix"; "opendir" ];
+    [ "opendir" ];
+    [ "open_in" ];
+    [ "open_in_bin" ];
+    [ "open_in_gen" ];
+    [ "open_out" ];
+    [ "open_out_bin" ];
+    [ "open_out_gen" ];
+  ]
+
+let closers =
+  [
+    [ "Unix"; "close" ];
+    [ "Unix"; "closedir" ];
+    [ "closedir" ];
+    [ "close_in" ];
+    [ "close_in_noerr" ];
+    [ "close_out" ];
+    [ "close_out_noerr" ];
+  ]
+
+let is_opener parts = List.mem parts openers
+let is_closer parts = List.mem parts closers
+
+let last parts =
+  match parts with [] -> "" | _ -> List.nth parts (List.length parts - 1)
+
+let is_atomic_ref parts =
+  match parts with
+  | "Atomic" :: _ | "Stdlib" :: "Atomic" :: _ -> true
+  | _ -> false
+
+let classify parts eff =
+  let eff =
+    match block_reason parts with
+    | Some why when eff.e_block = None -> { eff with e_block = Some why }
+    | _ -> eff
+  in
+  let eff = if is_atomic_ref parts then { eff with e_atomic = true } else eff in
+  let eff =
+    match last parts with
+    | "start_read" when List.length parts >= 2 ->
+      { eff with e_lease_acquire = true }
+    | "valid" | "end_read" | "try_upgrade_to_write"
+      when List.length parts >= 2 ->
+      { eff with e_lease_validate = true }
+    | _ -> eff
+  in
+  let eff = if is_opener parts then { eff with e_fd_open = true } else eff in
+  let eff = if is_closer parts then { eff with e_fd_close = true } else eff in
+  let eff =
+    match parts with
+    | [ "Wal"; "append" ] -> { eff with e_wal_append = true }
+    | [ "Dl_proto"; "render" ] -> { eff with e_ack = true }
+    | _ -> eff
+  in
+  eff
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flatten_lid txt = try Longident.flatten txt with _ -> []
+
+let module_of_file file =
+  let base = Filename.remove_extension (Filename.basename file) in
+  String.capitalize_ascii base
+
+let has_dispatch_attr attrs =
+  List.exists (fun a -> a.attr_name.txt = "lint.dispatch") attrs
+
+(* Collect direct effects and raw call edges of one binding body.
+   Arguments of [Domain.spawn] are skipped: that code runs on another
+   domain and its effects are not the binder's. *)
+let body_facts expr =
+  let eff = ref no_effects in
+  let calls = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun iter e ->
+          match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+            let parts = flatten_lid txt in
+            if parts <> [] then begin
+              eff := classify parts !eff;
+              calls := parts :: !calls
+            end
+          | Pexp_construct ({ txt; _ }, arg) ->
+            (match flatten_lid txt with
+            | parts when last parts = "R_ok" || last parts = "R_data" ->
+              eff := { !eff with e_ack = true }
+            | _ -> ());
+            Option.iter (iter.Ast_iterator.expr iter) arg
+          | Pexp_apply (f, args) -> (
+            match f.pexp_desc with
+            | Pexp_ident { txt = Longident.Ldot (Lident "Domain", "spawn"); _ }
+              ->
+              iter.Ast_iterator.expr iter f
+              (* spawned closure: another domain's effects *)
+            | _ ->
+              iter.Ast_iterator.expr iter f;
+              List.iter (fun (_, a) -> iter.Ast_iterator.expr iter a) args)
+          | _ -> Ast_iterator.default_iterator.expr iter e);
+    }
+  in
+  it.Ast_iterator.expr it expr;
+  (!eff, !calls)
+
+let of_structure ~file (str : structure) : t list =
+  let out = ref [] in
+  let opens = ref [] in
+  let aliases = ref [] in
+  let root = module_of_file file in
+  let rec walk_items path items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+          ->
+          let p = flatten_lid txt in
+          if p <> [] then opens := !opens @ [ p ]
+        | Pstr_module mb -> (
+          match mb.pmb_name.txt with
+          | None -> ()
+          | Some name -> walk_module (path @ [ name ]) mb.pmb_expr)
+        | Pstr_recmodule mbs ->
+          List.iter
+            (fun mb ->
+              match mb.pmb_name.txt with
+              | None -> ()
+              | Some name -> walk_module (path @ [ name ]) mb.pmb_expr)
+            mbs
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = name; _ } ->
+                let eff, calls = body_facts vb.pvb_expr in
+                let loc = vb.pvb_loc.Location.loc_start in
+                out :=
+                  {
+                    sm_key = String.concat "." (path @ [ name ]);
+                    sm_file = file;
+                    sm_line = loc.Lexing.pos_lnum;
+                    sm_ctx =
+                      {
+                        cx_self = path;
+                        cx_opens = !opens;
+                        cx_aliases = !aliases;
+                      };
+                    sm_dispatch = has_dispatch_attr vb.pvb_attributes;
+                    sm_direct = eff;
+                    sm_calls = calls;
+                    sm_block = eff.e_block;
+                    sm_wal = eff.e_wal_append;
+                    sm_ack = eff.e_ack;
+                    sm_lease = eff.e_lease_validate;
+                  }
+                  :: !out
+              | _ -> ())
+            vbs
+        | _ -> ())
+      items
+  and walk_module path mexpr =
+    match mexpr.pmod_desc with
+    | Pmod_structure items -> walk_items path items
+    | Pmod_ident { txt; _ } ->
+      let target = flatten_lid txt in
+      if target <> [] then aliases := (last path, target) :: !aliases
+    | Pmod_functor (_, body) -> walk_module path body
+    | Pmod_constraint (m, _) -> walk_module path m
+    | _ -> ()
+  in
+  walk_items [ root ] str;
+  List.rev !out
+
+(* The file-root resolution context: the module path is just the file's
+   own module, the opens and aliases are every one declared anywhere in
+   the file (flattened — good enough for a lint's name resolution). *)
+let file_ctx ~file (str : structure) : ctx =
+  let opens = ref [] in
+  let aliases = ref [] in
+  let rec walk_items path items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+          ->
+          let p = flatten_lid txt in
+          if p <> [] then opens := !opens @ [ p ]
+        | Pstr_module mb -> (
+          match mb.pmb_name.txt with
+          | None -> ()
+          | Some name -> walk_module (path @ [ name ]) mb.pmb_expr)
+        | _ -> ())
+      items
+  and walk_module path mexpr =
+    match mexpr.pmod_desc with
+    | Pmod_structure items -> walk_items path items
+    | Pmod_ident { txt; _ } ->
+      let target = flatten_lid txt in
+      if target <> [] then aliases := (last path, target) :: !aliases
+    | Pmod_functor (_, body) -> walk_module path body
+    | Pmod_constraint (m, _) -> walk_module path m
+    | _ -> ()
+  in
+  let root = module_of_file file in
+  walk_items [ root ] str;
+  { cx_self = [ root ]; cx_opens = !opens; cx_aliases = !aliases }

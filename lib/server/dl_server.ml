@@ -182,7 +182,9 @@ let close_conn st c =
 
 (* Opportunistic nonblocking flush; what the kernel will not take now is
    retried when select reports the socket writable. *)
-let rec flush_conn st c =
+let[@lint.dispatch
+    "writeback dispatch point of the select loop: nonblocking sends, \
+     EWOULDBLOCK re-queues"] rec flush_conn st c =
   if c.c_alive then
     if Queue.is_empty c.c_outq then begin
       if c.c_close_after_flush then close_conn st c
@@ -299,7 +301,9 @@ let fail_waiting_queries st msg =
     st.s_queries;
   Queue.clear st.s_queries
 
-let do_flip st =
+let[@lint.dispatch
+    "phase-flip dispatch point of the select loop: evaluation and WAL \
+     sync are the loop's job between selects"] do_flip st =
   match st.s_program with
   | None -> ()
   | Some prog -> (
@@ -367,7 +371,9 @@ let decl_arity st rel = List.assoc_opt rel st.s_decls
 let row_to_string tup =
   String.concat "\t" (Array.to_list (Array.map string_of_int tup))
 
-let run_queries st =
+let[@lint.dispatch
+    "query dispatch point of the select loop: fans read-only queries out \
+     to the worker pool between selects"] run_queries st =
   match st.s_gen with
   | Some gen when (not st.s_stale) && not (Queue.is_empty st.s_queries) ->
     let qs = Array.of_seq (Queue.to_seq st.s_queries) in
@@ -864,7 +870,9 @@ let process_buffer st c =
     Buffer.clear c.c_rbuf
   end
 
-let handle_readable st c =
+let[@lint.dispatch
+    "session-read dispatch point of the select loop: reads only fds the \
+     select reported readable"] handle_readable st c =
   if c.c_alive then
     if Chaos.fire Chaos.Point.Server_conn_drop then close_conn st c
     else
@@ -879,7 +887,9 @@ let handle_readable st c =
         ()
       | exception _ -> close_conn st c
 
-let accept_ready st =
+let[@lint.dispatch
+    "accept dispatch point of the select loop: accepts only when the \
+     listener polled readable"] accept_ready st =
   let rec go () =
     match Unix.accept ~cloexec:true st.s_lfd with
     | exception
@@ -967,7 +977,13 @@ let rec server_loop st =
       | Unix.Unix_error (Unix.EBADF, _, _) -> ([], [], [])
     in
     if List.mem st.s_stop_rd rd then begin
-      (try ignore (Unix.read st.s_stop_rd (Bytes.create 1) 0 1) with _ -> ());
+      (try
+       ignore
+         (Unix.read st.s_stop_rd (Bytes.create 1) 0 1
+         [@lint.allow
+           "select-loop-purity: one-byte self-pipe drain; the fd polled \
+            readable in this very select"])
+     with _ -> ());
       st.s_shutting_down <- true;
       st.s_drain_deadline <- Telemetry.now_ns () + 2_000_000_000
     end;
@@ -1057,7 +1073,9 @@ let bind_listen addr =
    live admission path validated is ever logged, so a failure here means
    the log is inconsistent with the running binary (or corruption slid
    past the CRC) — the caller refuses to serve rather than guess. *)
-let replay_entry st e =
+let[@lint.allow
+    "wal-before-ack: recovery replays entries that are already in the \
+     WAL; re-appending them would duplicate the log"] replay_entry st e =
   match e with
   | Wal.Anchor seq ->
     (* a snapshot supersedes everything replayed so far *)

@@ -382,7 +382,11 @@ let create_segment dir seq =
       [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND; Unix.O_CLOEXEC ]
       0o644
   in
-  write_all fd (Bytes.of_string magic) 0 magic_len;
+  (match write_all fd (Bytes.of_string magic) 0 magic_len with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    raise e);
   Telemetry.bump Telemetry.Counter.Wal_segments;
   fd
 

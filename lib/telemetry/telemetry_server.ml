@@ -690,7 +690,9 @@ let route st cfd path =
          (Telemetry.Json.Obj
             [ ("error", Telemetry.Json.String ("no such endpoint: " ^ path)) ]))
 
-let accept_and_serve st =
+let[@lint.dispatch
+    "scrape dispatch point of the monitor loop: accepts only when the \
+     listener polled readable, bounded response"] accept_and_serve st =
   match Unix.accept ~cloexec:true st.m_lfd with
   | exception _ -> ()
   | cfd, _peer ->
@@ -725,7 +727,13 @@ let rec monitor_loop st =
     with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
   in
   if List.mem st.m_stop_rd rd then begin
-    (try ignore (Unix.read st.m_stop_rd (Bytes.create 1) 0 1) with _ -> ());
+    (try
+       ignore
+         (Unix.read st.m_stop_rd (Bytes.create 1) 0 1
+         [@lint.allow
+           "select-loop-purity: one-byte self-pipe drain; the fd polled \
+            readable in this very select"])
+     with _ -> ());
     (* final window so even short runs retire at least one sample *)
     sample st (Telemetry.now_ns ())
   end

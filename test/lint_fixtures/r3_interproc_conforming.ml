@@ -1,0 +1,13 @@
+(* Interprocedural R3 conforming fixture: the helper called under the
+   permit is pure; the blocking helper runs before acquisition.  Never
+   compiled — test data for test_lint.ml. *)
+
+let settle () = Unix.sleepf 0.01
+
+let bump counts i = counts.(i) <- counts.(i) + 1
+
+let insert lock counts i =
+  settle ();
+  Olock.start_write lock;
+  bump counts i;
+  Olock.end_write lock

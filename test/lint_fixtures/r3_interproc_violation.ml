@@ -1,0 +1,18 @@
+(* Interprocedural R3 firing fixture: the write-permit region calls a
+   local helper whose *transitive* summary may block — nothing at the
+   call site looks blocking.  Never compiled — test data for
+   test_lint.ml. *)
+
+(* blocks directly *)
+let settle () = Unix.sleepf 0.01
+
+(* blocks one hop further away *)
+let settle_twice () =
+  settle ();
+  settle ()
+
+let insert lock store v =
+  Olock.start_write lock;
+  store v;
+  settle_twice ();
+  Olock.end_write lock

@@ -1,0 +1,40 @@
+(* R5 conforming fixture: every fd is closed on every path, released
+   through Fun.protect, handed off, or returned.  Never compiled — test
+   data for test_lint.ml. *)
+
+let read_flag path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let buf = Bytes.create 1 in
+      if Unix.read fd buf 0 1 = 1 then Some (Bytes.get buf 0) else None)
+
+let write_header fd = ignore (Unix.write fd (Bytes.make 4 'x') 0 4)
+
+(* close-on-error before re-raising discharges the risky call *)
+let fresh_log path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (match write_header fd with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    raise e);
+  Unix.close fd
+
+(* returning the fd in tail position hands ownership to the caller *)
+let open_log path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  fd
+
+(* handing to a [with_]-style owner is a hand-off *)
+let sum path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  with_input_fd fd
+
+(* accepted socket owned by Fun.protect; EINTR path never binds it *)
+let serve lfd handle =
+  match Unix.accept lfd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | fd, _peer ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> handle fd)

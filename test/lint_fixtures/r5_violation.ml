@@ -1,0 +1,29 @@
+(* R5 firing fixture: file descriptors that leak.  Never compiled —
+   test data for test_lint.ml. *)
+
+(* not closed on the path that returns None *)
+let read_flag path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let buf = Bytes.create 1 in
+  if Unix.read fd buf 0 1 = 1 then begin
+    Unix.close fd;
+    Some (Bytes.get buf 0)
+  end
+  else None
+
+(* closed on success only: leaks when write_header raises *)
+let write_header fd = ignore (Unix.write fd (Bytes.make 4 'x') 0 4)
+
+let fresh_log path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  write_header fd;
+  Unix.close fd
+
+(* the accepted socket leaks if the greeting raises *)
+let greet fd = ignore (Unix.write fd (Bytes.make 2 'h') 0 2)
+
+let serve lfd =
+  match Unix.accept lfd with
+  | fd, _peer ->
+    greet fd;
+    Unix.close fd

@@ -1,0 +1,23 @@
+(* R6 conforming fixture (checked with ~server:true): every admission
+   is dominated by a WAL append — lexically inside the Ok-side of a
+   match on a wal-appending helper, or sequenced after one.  Never
+   compiled — test data for test_lint.ml. *)
+
+type store = { mutable fs_rows : string list; mutable fs_count : int }
+
+let admit_ingest _st _rel = ()
+
+let wal_admit st entry = Wal.append st entry
+
+let assert_fact st fs row =
+  match wal_admit st row with
+  | Error e -> Error e
+  | Ok () ->
+    fs.fs_rows <- row :: fs.fs_rows;
+    fs.fs_count <- fs.fs_count + 1;
+    admit_ingest st "edge";
+    Ok ()
+
+let reset st fs =
+  ignore (wal_admit st "reset");
+  fs.fs_count <- 0

@@ -1,0 +1,16 @@
+(* R6 firing fixture (checked with ~server:true): admissions into the
+   fact store that are not dominated by a WAL append.  Never compiled —
+   test data for test_lint.ml. *)
+
+type store = { mutable fs_rows : string list; mutable fs_count : int }
+
+let admit_ingest _st _rel = ()
+
+let install_program _st _prog = 1
+
+let assert_fact st fs row =
+  fs.fs_rows <- row :: fs.fs_rows;
+  fs.fs_count <- fs.fs_count + 1;
+  admit_ingest st "edge"
+
+let load_rules st prog = ignore (install_program st prog)

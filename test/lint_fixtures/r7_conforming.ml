@@ -1,0 +1,18 @@
+(* R7 conforming fixture: the select loop only touches blocking work
+   through [@lint.dispatch]-annotated points, and recursing on itself
+   is exempt.  Never compiled — test data for test_lint.ml. *)
+
+let[@lint.dispatch "reads only fds the select reported readable"] handle fd =
+  ignore (Unix.read fd (Bytes.create 64) 0 64)
+
+let[@lint.dispatch "accepts only when the listener polled readable"] accept_ready
+    lfd =
+  match Unix.accept lfd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | fd, _peer -> Unix.close fd
+
+let rec loop lfd fds =
+  let rd, _, _ = Unix.select (lfd :: fds) [] [] 0.25 in
+  List.iter (fun fd -> handle fd) rd;
+  if List.mem lfd rd then accept_ready lfd;
+  loop lfd fds

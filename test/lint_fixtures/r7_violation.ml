@@ -1,0 +1,11 @@
+(* R7 firing fixture: blocking work inlined into a select loop without
+   a sanctioned dispatch point.  Never compiled — test data for
+   test_lint.ml. *)
+
+let handle fd = ignore (Unix.read fd (Bytes.create 64) 0 64)
+
+let rec loop lfd fds =
+  let rd, _, _ = Unix.select (lfd :: fds) [] [] 0.25 in
+  List.iter (fun fd -> handle fd) rd;
+  (if rd = [] then ignore (Unix.accept lfd));
+  loop lfd fds

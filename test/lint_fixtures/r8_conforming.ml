@@ -1,0 +1,9 @@
+(* R8 conforming fixture: every suppression matches a live finding and
+   carries a justification.  Never compiled — test data for
+   test_lint.ml. *)
+
+let cast x = (Obj.magic x [@lint.allow "hygiene: FFI shim, checked by the caller"])
+
+let epoch =
+  (Atomic.make 0
+  [@lint.allow "atomic-confinement: epoch word read from a signal handler"])

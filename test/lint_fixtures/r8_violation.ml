@@ -1,0 +1,8 @@
+(* R8 firing fixture: suppressions that suppress nothing.  Never
+   compiled — test data for test_lint.ml. *)
+
+(* wrong rule name — the finding it meant to cover still fires *)
+let cast x = (Obj.magic x [@lint.allow "hygeine: typo never matches"])
+
+(* nothing in this binding can fire lease-discipline *)
+let add a b = (a + b) [@lint.allow "lease-discipline: stale from a refactor"]

@@ -14,9 +14,15 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== concurrency-discipline lint (lib/ + bin/) =="
-# Static analysis over the repo's own sources: atomic confinement, lease
-# discipline, no-blocking-under-write-permit, and hygiene (lib/lint).
-# Any finding is a nonzero exit.
+# Static analysis over the repo's own sources (lib/lint): R1-R4
+# (atomic confinement, lease discipline, no-blocking-under-write-permit,
+# hygiene) plus the interprocedural v2 rules R5-R8 (fd discipline,
+# wal-before-ack, select-loop purity, stale suppressions).  The alias
+# runs `lint.exe --baseline LINT_BASELINE.json lib bin`: only findings
+# NOT covered by the checked-in baseline fail (the ratchet — the
+# baseline may only shrink; shrinkable entries are warned to stderr).
+# Regenerate after fixing baselined findings with
+#   dune exec bin/lint.exe -- --write-baseline LINT_BASELINE.json lib bin
 dune build @lint
 
 echo "== olock interleaving checker (exhaustive, deterministic) =="
